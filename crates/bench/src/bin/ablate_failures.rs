@@ -1,0 +1,40 @@
+//! Extension experiment (not in the paper): graceful degradation under
+//! random link failures. Expanders are known to degrade smoothly, while a
+//! fat-tree's layered structure concentrates damage; this quantifies the
+//! effect with the same FCT methodology as §6.
+
+use dcn_bench::{fct_point, packet_setup, parse_cli, Series};
+use dcn_core::{paper_networks, Routing};
+use dcn_sim::SimConfig;
+use dcn_workloads::{AllToAll, PFabricWebSearch};
+
+fn main() {
+    let cli = parse_cli();
+    let pair = paper_networks(cli.scale, cli.seed);
+    let sizes = PFabricWebSearch::new();
+    let setup = packet_setup(cli.scale);
+    let lambda_ft = 100.0 * pair.fat_tree.num_servers() as f64;
+    let lambda_xp = 100.0 * pair.xpander.num_servers() as f64;
+
+    let mut s = Series::new(
+        "ablate_failures",
+        "failed_link_fraction",
+        &["fat_tree_avg_fct_ms", "xpander_hyb_avg_fct_ms"],
+    );
+    for &frac in &[0.0, 0.05, 0.1, 0.15, 0.2] {
+        eprintln!("failures = {frac}");
+        let ft = pair.fat_tree.with_random_failures(frac, cli.seed);
+        let xp = pair.xpander.with_random_failures(frac, cli.seed);
+        let ft_pat = AllToAll::new(&ft, ft.tors_with_servers());
+        let xp_pat = AllToAll::new(&xp, xp.tors_with_servers());
+        let f = fct_point(
+            &ft, Routing::Ecmp, SimConfig::default(), &ft_pat, &sizes, lambda_ft, setup, cli.seed,
+        );
+        let x = fct_point(
+            &xp, Routing::PAPER_HYB, SimConfig::default(), &xp_pat, &sizes, lambda_xp, setup,
+            cli.seed,
+        );
+        s.push(frac, vec![f.avg_fct_ms, x.avg_fct_ms]);
+    }
+    s.finish(&cli);
+}

@@ -1,0 +1,52 @@
+//! Ablation: DCTCP (the paper's transport) versus a loss-based NewReno
+//! baseline on the 2/3-cost Xpander with HYB — checks that the paper's
+//! routing result does not secretly depend on DCTCP's ECN reaction.
+
+use dcn_bench::{fct_point, packet_setup, parse_cli, Series};
+use dcn_core::{paper_networks, Routing};
+use dcn_sim::SimConfig;
+use dcn_workloads::{active_racks_for_servers, AllToAll, PFabricWebSearch};
+
+fn main() {
+    let cli = parse_cli();
+    let pair = paper_networks(cli.scale, cli.seed);
+    let sizes = PFabricWebSearch::new();
+    let setup = packet_setup(cli.scale);
+    let total = pair.fat_tree.num_servers() as u32;
+    let n_active = (total as f64 * 0.5).round() as u32;
+    let lambda = 130.0 * n_active as f64;
+
+    let racks = active_racks_for_servers(
+        &pair.xpander,
+        &pair.xpander.tors_with_servers(),
+        n_active,
+        true,
+        cli.seed,
+    );
+
+    let mut s = Series::new(
+        "ablate_transport",
+        "transport_index",
+        &["avg_fct_ms", "p99_short_fct_ms", "long_tput_gbps"],
+    );
+    println!("# transport order: [dctcp, newreno]");
+    for (i, cfg) in [SimConfig::default(), SimConfig::default().with_newreno()]
+        .into_iter()
+        .enumerate()
+    {
+        eprintln!("transport {i}");
+        let pat = AllToAll::new(&pair.xpander, racks.clone());
+        let m = fct_point(
+            &pair.xpander,
+            Routing::PAPER_HYB,
+            cfg,
+            &pat,
+            &sizes,
+            lambda,
+            setup,
+            cli.seed,
+        );
+        s.push(i as f64, vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps]);
+    }
+    s.finish(&cli);
+}

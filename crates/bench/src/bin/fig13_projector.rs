@@ -1,0 +1,80 @@
+//! Fig 13: the ProjecToR comparison. ProjecToR's evaluation pitted 128
+//! ToRs with 16 *dynamic* ports each against a full-bandwidth fat-tree —
+//! the paper swaps in an Xpander with 16 *static* ports per ToR (cheaper
+//! than ProjecToR at δ=1.5) and reproduces the same gains.
+//!
+//! The workload is a pair-level-skewed stand-in for the proprietary
+//! Microsoft trace: 77% of traffic between 4% of rack pairs (DESIGN.md §4).
+//! Panels: (a) average FCT and (b) p99 short-flow FCT with server-level
+//! bottlenecks ignored (ProjecToR's method); (c) average FCT with real
+//! 10 Gbps server links.
+
+use dcn_bench::{fct_point, packet_setup, parse_cli, rate_sweep, Series};
+use dcn_core::{paper_networks, Routing, Scale};
+use dcn_sim::SimConfig;
+use dcn_topology::xpander::Xpander;
+use dcn_workloads::{PFabricWebSearch, PairSkew};
+
+fn main() {
+    let cli = parse_cli();
+    let pair = paper_networks(cli.scale, cli.seed);
+    // The flat Xpander of §6.6: same ToR count as the fat-tree's edge
+    // layer, double-ish network ports, no other switches.
+    let xp = match cli.scale {
+        Scale::Tiny => Xpander::for_switches(3, 8, 2, cli.seed),
+        Scale::Small => Xpander::for_switches(7, 32, 4, cli.seed),
+        Scale::Paper => Xpander::paper_projector(cli.seed),
+    }
+    .build();
+    let ft = &pair.fat_tree;
+    assert_eq!(xp.num_servers(), ft.num_servers());
+
+    let sizes = PFabricWebSearch::new();
+    let setup = packet_setup(cli.scale);
+    let servers = ft.num_servers() as f64;
+    // Paper: 2K–14K flow starts/s over 1024 servers. At small scale the
+    // same per-server rate leaves every ToR idle (fewer servers behind
+    // each hot rack), so sweep ~3x further to reach the contrast regime.
+    let per_server = if cli.scale == Scale::Paper { 13.7 } else { 150.0 };
+    let rates = rate_sweep(per_server * servers, 6);
+
+    let mut a = Series::new(
+        "fig13a_projector_avg_fct_unconstrained",
+        "flow_starts_per_s",
+        &["fat_tree", "xpander_ecmp", "xpander_hyb"],
+    );
+    let mut b = Series::new(
+        "fig13b_projector_p99_short_unconstrained",
+        "flow_starts_per_s",
+        &["fat_tree", "xpander_ecmp", "xpander_hyb"],
+    );
+    let mut c = Series::new(
+        "fig13c_projector_avg_fct_constrained",
+        "flow_starts_per_s",
+        &["fat_tree", "xpander_ecmp", "xpander_hyb"],
+    );
+
+    let unconstrained = SimConfig::default().unconstrained_servers();
+    let constrained = SimConfig::default();
+    for &rate in &rates {
+        eprintln!("λ = {rate}");
+        let ft_pat = PairSkew::projector_trace(ft, ft.tors_with_servers(), cli.seed);
+        let xp_pat = PairSkew::projector_trace(&xp, xp.tors_with_servers(), cli.seed);
+
+        let run = |cfg: SimConfig| {
+            let f = fct_point(ft, Routing::Ecmp, cfg, &ft_pat, &sizes, rate, setup, cli.seed);
+            let e = fct_point(&xp, Routing::Ecmp, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
+            let h =
+                fct_point(&xp, Routing::PAPER_HYB, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
+            (f, e, h)
+        };
+        let (fu, eu, hu) = run(unconstrained);
+        a.push(rate, vec![fu.avg_fct_ms, eu.avg_fct_ms, hu.avg_fct_ms]);
+        b.push(rate, vec![fu.p99_short_fct_ms, eu.p99_short_fct_ms, hu.p99_short_fct_ms]);
+        let (fc, ec, hc) = run(constrained);
+        c.push(rate, vec![fc.avg_fct_ms, ec.avg_fct_ms, hc.avg_fct_ms]);
+    }
+    a.finish(&cli);
+    b.finish(&cli);
+    c.finish(&cli);
+}

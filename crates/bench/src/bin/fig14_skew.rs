@@ -1,0 +1,67 @@
+//! Fig 14: Skew(0.04, 0.77) — the paper's parametric simplification of
+//! the ProjecToR traffic matrix (product-form rack weights) — on exactly
+//! the Fig 13 networks. Results should be "largely similar" to Fig 13.
+
+use dcn_bench::{fct_point, packet_setup, parse_cli, rate_sweep, Series};
+use dcn_core::{paper_networks, Routing, Scale};
+use dcn_sim::SimConfig;
+use dcn_topology::xpander::Xpander;
+use dcn_workloads::{PFabricWebSearch, Skew};
+
+fn main() {
+    let cli = parse_cli();
+    let pair = paper_networks(cli.scale, cli.seed);
+    let xp = match cli.scale {
+        Scale::Tiny => Xpander::for_switches(3, 8, 2, cli.seed),
+        Scale::Small => Xpander::for_switches(7, 32, 4, cli.seed),
+        Scale::Paper => Xpander::paper_projector(cli.seed),
+    }
+    .build();
+    let ft = &pair.fat_tree;
+
+    let sizes = PFabricWebSearch::new();
+    let setup = packet_setup(cli.scale);
+    let servers = ft.num_servers() as f64;
+    // Paper: up to 25K flow starts/s over 1024 servers.
+    let rates = rate_sweep(24.4 * servers, 6);
+
+    let mut a = Series::new(
+        "fig14a_skew_avg_fct_unconstrained",
+        "flow_starts_per_s",
+        &["fat_tree", "xpander_ecmp", "xpander_hyb"],
+    );
+    let mut b = Series::new(
+        "fig14b_skew_p99_short_unconstrained",
+        "flow_starts_per_s",
+        &["fat_tree", "xpander_ecmp", "xpander_hyb"],
+    );
+    let mut c = Series::new(
+        "fig14c_skew_avg_fct_constrained",
+        "flow_starts_per_s",
+        &["fat_tree", "xpander_ecmp", "xpander_hyb"],
+    );
+
+    let unconstrained = SimConfig::default().unconstrained_servers();
+    let constrained = SimConfig::default();
+    for &rate in &rates {
+        eprintln!("λ = {rate}");
+        let ft_pat = Skew::projector_like(ft, ft.tors_with_servers(), cli.seed);
+        let xp_pat = Skew::projector_like(&xp, xp.tors_with_servers(), cli.seed);
+
+        let run = |cfg: SimConfig| {
+            let f = fct_point(ft, Routing::Ecmp, cfg, &ft_pat, &sizes, rate, setup, cli.seed);
+            let e = fct_point(&xp, Routing::Ecmp, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
+            let h =
+                fct_point(&xp, Routing::PAPER_HYB, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
+            (f, e, h)
+        };
+        let (fu, eu, hu) = run(unconstrained);
+        a.push(rate, vec![fu.avg_fct_ms, eu.avg_fct_ms, hu.avg_fct_ms]);
+        b.push(rate, vec![fu.p99_short_fct_ms, eu.p99_short_fct_ms, hu.p99_short_fct_ms]);
+        let (fc, ec, hc) = run(constrained);
+        c.push(rate, vec![fc.avg_fct_ms, ec.avg_fct_ms, hc.avg_fct_ms]);
+    }
+    a.finish(&cli);
+    b.finish(&cli);
+    c.finish(&cli);
+}

@@ -1,0 +1,39 @@
+//! Table 1: cost per network port for static and recent dynamic designs,
+//! and the resulting flexible-port factor δ.
+
+use dcn_bench::parse_cli;
+use dcn_core::cost::{delta_lowest, table1};
+
+fn main() {
+    let cli = parse_cli();
+    println!("# table1_costs");
+    println!("design\tcomponent\tlow_usd\thigh_usd");
+    for port in table1() {
+        for (name, lo, hi) in &port.components {
+            println!("{}\t{}\t{}\t{}", port.design, name, lo, hi);
+        }
+        let (lo, hi) = port.total();
+        println!("{}\tTOTAL\t{}\t{}", port.design, lo, hi);
+    }
+    println!("\ndelta_lowest\t{:.3}", delta_lowest());
+    if let Some(dir) = &cli.out_dir {
+        std::fs::create_dir_all(dir).expect("out dir");
+        let rows: Vec<_> = table1()
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "design": p.design,
+                    "components": p.components,
+                    "total": p.total(),
+                })
+            })
+            .collect();
+        let body = serde_json::json!({ "table": rows, "delta_lowest": delta_lowest() });
+        std::fs::write(
+            format!("{dir}/table1_costs.json"),
+            serde_json::to_string_pretty(&body).unwrap(),
+        )
+        .expect("write");
+        eprintln!("wrote {dir}/table1_costs.json");
+    }
+}

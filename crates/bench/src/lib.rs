@@ -1,0 +1,247 @@
+//! # dcn-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! (see DESIGN.md §3 for the full index), plus Criterion benches over the
+//! hot paths. Every binary prints its figure's series as TSV on stdout and
+//! also writes `results/<name>.json` when `--out <dir>` is given.
+//!
+//! Common flags: `--scale tiny|small|paper` (default `small`) selects the
+//! experiment size (DESIGN.md §4, substitution 4), `--seed N` the RNG seed.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    pub scale: dcn_core::Scale,
+    pub seed: u64,
+    pub out_dir: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { scale: dcn_core::Scale::Small, seed: 1, out_dir: None }
+    }
+}
+
+/// Parses `--scale`, `--seed`, `--out` from `std::env::args`.
+pub fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cli.scale = dcn_core::Scale::parse(&args[i])
+                    .unwrap_or_else(|| panic!("unknown scale '{}'", args[i]));
+            }
+            "--seed" => {
+                i += 1;
+                cli.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                cli.out_dir = Some(args[i].clone());
+            }
+            other => panic!("unknown flag '{other}' (supported: --scale, --seed, --out)"),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// A figure's data: named columns over a shared x-axis.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    pub figure: String,
+    pub x_label: String,
+    pub columns: Vec<String>,
+    /// Each row: (x, one value per column); NaN marks a missing point.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Series {
+    pub fn new(figure: &str, x_label: &str, columns: &[&str]) -> Self {
+        Series {
+            figure: figure.to_string(),
+            x_label: x_label.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push((x, values));
+    }
+
+    /// Prints the TSV block the harness emits for every figure.
+    pub fn print(&self) {
+        println!("# {}", self.figure);
+        print!("{}", self.x_label);
+        for c in &self.columns {
+            print!("\t{c}");
+        }
+        println!();
+        for (x, vals) in &self.rows {
+            print!("{x:.6}");
+            for v in vals {
+                if v.is_nan() {
+                    print!("\t-");
+                } else {
+                    print!("\t{v:.6}");
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Writes `<out_dir>/<figure>.json`.
+    pub fn write_json(&self, out_dir: &str) {
+        std::fs::create_dir_all(out_dir).expect("create out dir");
+        let path = format!("{out_dir}/{}.json", self.figure);
+        let mut f = std::fs::File::create(&path).expect("create json");
+        let body = serde_json::to_string_pretty(self).expect("serialize");
+        f.write_all(body.as_bytes()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    /// Print and optionally persist, in one call.
+    pub fn finish(&self, cli: &Cli) {
+        self.print();
+        if let Some(dir) = &cli.out_dir {
+            self.write_json(dir);
+        }
+    }
+}
+
+/// The flow-arrival sweep used in load figures: `n` evenly spaced rates up
+/// to `max_rate` (flow starts per second, aggregate).
+pub fn rate_sweep(max_rate: f64, n: usize) -> Vec<f64> {
+    (1..=n).map(|i| max_rate * i as f64 / n as f64).collect()
+}
+
+/// The fraction-of-active-servers sweep of Figs 5/6/9/10.
+pub fn fraction_sweep(n: usize) -> Vec<f64> {
+    (1..=n).map(|i| i as f64 / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_rows_align() {
+        let mut s = Series::new("figX", "x", &["a", "b"]);
+        s.push(0.1, vec![1.0, 2.0]);
+        s.push(0.2, vec![3.0, f64::NAN]);
+        assert_eq!(s.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn series_rejects_mismatched_row() {
+        let mut s = Series::new("figX", "x", &["a", "b"]);
+        s.push(0.1, vec![1.0]);
+    }
+
+    #[test]
+    fn sweeps() {
+        assert_eq!(fraction_sweep(10).len(), 10);
+        assert_eq!(fraction_sweep(10)[9], 1.0);
+        let r = rate_sweep(1000.0, 4);
+        assert_eq!(r, vec![250.0, 500.0, 750.0, 1000.0]);
+    }
+}
+
+/// Per-scale Garg–Könemann options: tight on small instances, bracketed
+/// (certified lower/upper) on paper-scale ones where tight ε is too slow.
+pub fn gk_opts_for(n_racks: usize) -> dcn_maxflow::GkOptions {
+    if n_racks <= 128 {
+        dcn_maxflow::GkOptions { epsilon: 0.05, target: Some(1.0), gap: 0.04, max_phases: 2_000_000 }
+    } else {
+        dcn_maxflow::GkOptions { epsilon: 0.2, target: Some(1.0), gap: 0.1, max_phases: 2_000_000 }
+    }
+}
+
+/// One point of a fluid-flow throughput curve with its certified bracket.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FluidPoint {
+    pub x: f64,
+    /// Feasible (primal) per-server throughput, clamped to 1.
+    pub lower: f64,
+    /// Dual upper bound, clamped to 1.
+    pub upper: f64,
+}
+
+/// Throughput-vs-fraction curve for a static topology under
+/// longest-matching TMs (§5): one Garg–Könemann solve per x, in parallel.
+pub fn fluid_curve(t: &dcn_topology::Topology, xs: &[f64], seed: u64) -> Vec<FluidPoint> {
+    use rayon::prelude::*;
+    let racks = t.tors_with_servers();
+    let opts = gk_opts_for(racks.len());
+    let net = dcn_maxflow::FlowNetwork::from_topology(t);
+    xs.par_iter()
+        .map(|&x| {
+            let pairs = dcn_workloads::longest_matching(t, &racks, x, seed);
+            let commodities: Vec<dcn_maxflow::Commodity> = pairs
+                .iter()
+                .map(|&(a, b)| dcn_maxflow::Commodity {
+                    src: a,
+                    dst: b,
+                    demand: t.servers_at(a) as f64,
+                })
+                .collect();
+            let r = dcn_maxflow::max_concurrent_flow(&net, &commodities, opts);
+            FluidPoint { x, lower: r.throughput.min(1.0), upper: r.upper_bound.min(1.0) }
+        })
+        .collect()
+}
+
+/// Per-scale packet-experiment timing: measurement window, flow-generation
+/// horizon (a little past the window so load persists while window flows
+/// drain), and a hard simulation-time cap.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketSetup {
+    pub window: (dcn_sim::Ns, dcn_sim::Ns),
+    pub horizon_s: f64,
+    pub max_time: dcn_sim::Ns,
+}
+
+pub fn packet_setup(scale: dcn_core::Scale) -> PacketSetup {
+    let window = dcn_core::default_window(scale);
+    PacketSetup {
+        window,
+        horizon_s: window.1 as f64 / 1e9 * 1.3,
+        max_time: window.1.saturating_mul(40),
+    }
+}
+
+/// One packet-level FCT data point: generate the workload, run, aggregate.
+#[allow(clippy::too_many_arguments)]
+pub fn fct_point(
+    topology: &dcn_topology::Topology,
+    routing: dcn_core::Routing,
+    cfg: dcn_sim::SimConfig,
+    pattern: &dyn dcn_workloads::TrafficPattern,
+    sizes: &dyn dcn_workloads::FlowSizeDist,
+    lambda: f64,
+    setup: PacketSetup,
+    seed: u64,
+) -> dcn_sim::Metrics {
+    let flows = dcn_workloads::generate_flows(pattern, sizes, lambda, setup.horizon_s, seed);
+    let (m, _) =
+        dcn_core::run_fct_experiment(topology, routing, cfg, &flows, setup.window, setup.max_time);
+    if m.completed < m.flows {
+        eprintln!(
+            "warning: {}/{} window flows unfinished at max_time ({} {:?} λ={lambda})",
+            m.flows - m.completed,
+            m.flows,
+            topology.name(),
+            routing
+        );
+    }
+    m
+}

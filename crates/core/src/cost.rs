@@ -1,0 +1,159 @@
+//! The paper's cost model (Table 1 and §4): per-port component costs for
+//! static and dynamic networks, the flexible-port cost factor δ, and
+//! equal-cost network configuration.
+
+use dcn_topology::fattree::FatTree;
+use dcn_topology::xpander::Xpander;
+
+/// Cost breakdown of one network port, in dollars (Table 1; component
+/// costs from ProjecToR).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortCost {
+    pub design: &'static str,
+    pub components: Vec<(&'static str, f64, f64)>, // (name, low, high)
+}
+
+impl PortCost {
+    pub fn total(&self) -> (f64, f64) {
+        self.components
+            .iter()
+            .fold((0.0, 0.0), |(l, h), c| (l + c.1, h + c.2))
+    }
+}
+
+/// Table 1: cost per network port for static, FireFly, and ProjecToR
+/// designs. Each static cable (300 m at $0.3/m) is shared over two ports.
+pub fn table1() -> Vec<PortCost> {
+    vec![
+        PortCost {
+            design: "Static",
+            components: vec![
+                ("SR transceiver", 80.0, 80.0),
+                ("Optical cable ($0.3/m, 300m / 2 ports)", 45.0, 45.0),
+                ("ToR port", 90.0, 90.0),
+            ],
+        },
+        PortCost {
+            design: "FireFly",
+            components: vec![
+                ("SR transceiver", 80.0, 80.0),
+                ("ToR port", 90.0, 90.0),
+                ("Galvo mirror", 200.0, 200.0),
+            ],
+        },
+        PortCost {
+            design: "ProjecToR",
+            components: vec![
+                ("ToR port", 90.0, 90.0),
+                ("ProjecToR Tx+Rx", 80.0, 180.0),
+                ("DMD", 100.0, 100.0),
+                ("Mirror assembly, lens", 50.0, 50.0),
+            ],
+        },
+    ]
+}
+
+/// δ: the cost of a flexible port normalized to a static port, using the
+/// *lowest* dynamic estimate — the paper's conservative choice yielding 1.5.
+pub fn delta_lowest() -> f64 {
+    let t = table1();
+    let static_cost = t[0].total().0;
+    let dynamic_low = t[1..]
+        .iter()
+        .map(|p| p.total().0)
+        .fold(f64::INFINITY, f64::min);
+    dynamic_low / static_cost
+}
+
+/// Network cost in "port dollars": switches' ports at the static per-port
+/// price. The paper equalizes *total expense on ports* (§4).
+pub fn switch_port_cost(num_switches: usize, ports_per_switch: u32) -> f64 {
+    let static_port = table1()[0].total().0;
+    num_switches as f64 * ports_per_switch as f64 * static_port
+}
+
+/// Derives an equal-cost Xpander for a fat-tree baseline: a switch budget
+/// of `cost_fraction` × the fat-tree's switches (same port count per
+/// switch, so port-cost scales identically), split into server and network
+/// ports so all the fat-tree's servers fit.
+///
+/// Returns `None` when no valid split exists (the switch count must be a
+/// multiple of `net_degree + 1` after rounding down).
+pub fn equal_cost_xpander(ft: &FatTree, cost_fraction: f64, seed: u64) -> Option<Xpander> {
+    assert!(cost_fraction > 0.0 && cost_fraction <= 1.0);
+    let budget = (ft.num_switches() as f64 * cost_fraction).floor() as u32;
+    let k = ft.k;
+    let servers_needed = ft.num_servers() as u32;
+    // Fewest server ports that still host every server.
+    let s_min = servers_needed.div_ceil(budget);
+    for s in s_min..k {
+        let d = k - s;
+        if d < 3 {
+            break; // too few network ports to be an expander
+        }
+        let meta = d + 1;
+        let switches = budget - budget % meta; // round down to a valid lift
+        if switches >= meta * 2 && switches * s >= servers_needed {
+            return Some(Xpander::new(d, switches / meta, s, seed));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        let t = table1();
+        assert_eq!(t[0].total(), (215.0, 215.0));
+        assert_eq!(t[1].total(), (370.0, 370.0));
+        assert_eq!(t[2].total(), (320.0, 420.0));
+    }
+
+    #[test]
+    fn delta_is_about_1_5() {
+        // Paper: "the lowest estimates imply δ = 1.5" (320/215 ≈ 1.488).
+        let d = delta_lowest();
+        assert!((d - 1.5).abs() < 0.02, "δ = {d}");
+    }
+
+    #[test]
+    fn port_cost_scales_linearly() {
+        assert_eq!(switch_port_cost(2, 10), 2.0 * 10.0 * 215.0);
+    }
+
+    #[test]
+    fn paper_sec6_xpander_is_equal_cost_at_two_thirds() {
+        // §6.4: fat-tree k=16 (320 switches) vs Xpander with 216 switches
+        // of the same port count — 33% lower cost.
+        let ft = FatTree::full(16);
+        let xp = equal_cost_xpander(&ft, 216.0 / 320.0, 1).expect("xpander exists");
+        assert_eq!(xp.num_switches(), 216);
+        assert_eq!(xp.net_degree + xp.servers_per_switch, 16);
+        assert!(xp.num_servers() >= ft.num_servers());
+        let ratio = switch_port_cost(xp.num_switches(), 16)
+            / switch_port_cost(ft.num_switches(), 16);
+        assert!((ratio - 0.675).abs() < 0.01, "cost ratio {ratio}");
+    }
+
+    #[test]
+    fn half_cost_fat_tree_k20_matches_fig6() {
+        // Fig 6a: k=20 fat-tree has 500 switches and 2000 servers; an
+        // equal-server Jellyfish/Xpander at 50% switches must exist.
+        let ft = FatTree::full(20);
+        assert_eq!(ft.num_switches(), 500);
+        assert_eq!(ft.num_servers(), 2000);
+        let xp = equal_cost_xpander(&ft, 0.5, 1).expect("xpander exists");
+        assert!(xp.num_switches() <= 250);
+        assert!(xp.num_servers() >= 2000);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        // 10% of a k=4 fat-tree leaves 2 switches — no expander fits.
+        let ft = FatTree::full(4);
+        assert!(equal_cost_xpander(&ft, 0.1, 0).is_none());
+    }
+}

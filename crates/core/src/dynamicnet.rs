@@ -1,0 +1,102 @@
+//! Abstract models of dynamic (reconfigurable) topologies, per §4:
+//!
+//! - **Unrestricted**: any ToR may connect to any ToR, reconfiguration is
+//!   free, buffering unlimited. Per-server throughput is
+//!   `min(1, duty · r/s)` regardless of the traffic matrix.
+//! - **Restricted**: direct-connection heuristics and no buffering — the
+//!   network degenerates to the best *static* degree-r graph over the
+//!   active racks, upper-bounded via the Moore-bound argument of [30].
+
+use dcn_maxflow::bound::{restricted_dynamic_bound, unrestricted_dynamic_throughput};
+
+/// The unrestricted dynamic model (§4, §5).
+#[derive(Clone, Copy, Debug)]
+pub struct UnrestrictedDynamic {
+    /// Flexible network ports per ToR.
+    pub net_ports: f64,
+    /// Servers per ToR.
+    pub servers: f64,
+    /// Fraction of time links carry traffic (1.0 = ignore reconfiguration;
+    /// ProjecToR's recommended duty cycle is ≈ 0.9).
+    pub duty_cycle: f64,
+}
+
+impl UnrestrictedDynamic {
+    /// Equal-cost configuration versus a static network with `static_ports`
+    /// network ports per ToR: the dynamic design affords only
+    /// `static_ports / δ` flexible ports (§4: δ = 1.5 at the low estimate).
+    pub fn equal_cost(static_ports: f64, servers: f64, delta: f64) -> Self {
+        UnrestrictedDynamic { net_ports: static_ports / delta, servers, duty_cycle: 1.0 }
+    }
+
+    /// Per-server throughput — independent of the TM and of how many racks
+    /// participate (§5).
+    pub fn throughput(&self) -> f64 {
+        unrestricted_dynamic_throughput(self.net_ports, self.servers, self.duty_cycle)
+    }
+}
+
+/// The restricted dynamic model (§4.1, §5): an upper bound on any topology
+/// the direct-connection heuristic can form over the active racks.
+#[derive(Clone, Copy, Debug)]
+pub struct RestrictedDynamic {
+    pub net_ports: usize,
+    pub servers: usize,
+}
+
+impl RestrictedDynamic {
+    pub fn equal_cost(static_ports: f64, servers: usize, delta: f64) -> Self {
+        RestrictedDynamic { net_ports: (static_ports / delta).floor() as usize, servers }
+    }
+
+    /// Throughput upper bound when `active_racks` racks participate.
+    pub fn throughput_bound(&self, active_racks: usize) -> f64 {
+        restricted_dynamic_bound(active_racks, self.net_ports, self.servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_slimfly_config() {
+        // Fig 5a: static SlimFly has 25 net ports, 24 servers per ToR;
+        // at δ=1.5 the dynamic design gets 16.67 ports → t ≈ 0.69.
+        let dyn_net = UnrestrictedDynamic::equal_cost(25.0, 24.0, 1.5);
+        let t = dyn_net.throughput();
+        assert!((t - 25.0 / 1.5 / 24.0).abs() < 1e-12);
+        assert!(t > 0.69 && t < 0.70);
+    }
+
+    #[test]
+    fn unrestricted_at_delta_one_wins() {
+        // "if there were no additional cost for flexibility, i.e. δ = 1,
+        // unrestricted dynamic networks would … achieve full throughput".
+        let dyn_net = UnrestrictedDynamic::equal_cost(25.0, 24.0, 1.0);
+        assert_eq!(dyn_net.throughput(), 1.0);
+    }
+
+    #[test]
+    fn duty_cycle_scales_throughput() {
+        let d = UnrestrictedDynamic { net_ports: 8.0, servers: 8.0, duty_cycle: 0.9 };
+        assert!((d.throughput() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_toy_example() {
+        // §4.1: 9 racks, 6 ports, 6 servers → 80%.
+        let r = RestrictedDynamic { net_ports: 6, servers: 6 };
+        assert!((r.throughput_bound(9) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_worsens_with_more_active_racks() {
+        let r = RestrictedDynamic::equal_cost(25.0, 24, 1.5);
+        assert_eq!(r.net_ports, 16);
+        let few = r.throughput_bound(20);
+        let many = r.throughput_bound(500);
+        assert!(many < few);
+        assert!(many < 0.5, "restricted bound should be low at scale: {many}");
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's network-flexibility metric (§2.2): *throughput
+//! proportionality* (TP). A network built to sustain per-server throughput
+//! α under the worst-case TM is throughput-proportional if, when only an
+//! `x` fraction of servers participate, each gets `min(1, α/x)`.
+
+/// The TP reference curve: `min(1, α / x)`.
+pub fn tp_throughput(alpha: f64, x: f64) -> f64 {
+    assert!(x > 0.0 && x <= 1.0, "fraction x must be in (0, 1], got {x}");
+    assert!((0.0..=1.0).contains(&alpha));
+    (alpha / x).min(1.0)
+}
+
+/// The fat-tree's flexibility curve from Fig 2: an oversubscribed fat-tree
+/// is pinned at `α` for any participating fraction above `β = 2/k` (the
+/// two-pod bottleneck of Observation 1), and only below β does throughput
+/// rise proportionally.
+pub fn fat_tree_throughput(alpha: f64, beta: f64, x: f64) -> f64 {
+    assert!(x > 0.0 && x <= 1.0);
+    if x >= beta {
+        alpha
+    } else {
+        (alpha * beta / x).min(1.0)
+    }
+}
+
+/// A sampled throughput-vs-fraction curve (one line of Fig 5/6).
+#[derive(Clone, Debug)]
+pub struct FlexCurve {
+    pub label: String,
+    /// (fraction of servers with demand, per-server throughput) pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl FlexCurve {
+    pub fn new(label: impl Into<String>) -> Self {
+        FlexCurve { label: label.into(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, throughput: f64) {
+        self.points.push((x, throughput));
+    }
+
+    /// The TP reference for a measured curve: α is the curve's value at
+    /// the largest sampled fraction (the paper uses x = 1.0).
+    pub fn tp_reference(&self) -> FlexCurve {
+        let &(x_max, alpha) = self
+            .points
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .expect("empty curve");
+        assert!((x_max - 1.0).abs() < 1e-9, "TP reference needs a sample at x=1");
+        FlexCurve {
+            label: format!("TP (α={alpha:.3})"),
+            points: self.points.iter().map(|&(x, _)| (x, tp_throughput(alpha, x))).collect(),
+        }
+    }
+
+    /// Largest fraction at which this curve still delivers ≥ `t` throughput
+    /// (linear interpolation between samples); `None` if it never does.
+    pub fn fraction_supporting(&self, t: f64) -> Option<f64> {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut best = None;
+        for w in pts.windows(2) {
+            let ((x0, t0), (x1, t1)) = (w[0], w[1]);
+            if t0 >= t && t1 >= t {
+                best = Some(x1);
+            } else if (t0 >= t) != (t1 >= t) && (t1 - t0).abs() > 1e-12 {
+                let f = (t - t0) / (t1 - t0);
+                best = Some(best.unwrap_or(0.0).max(x0 + f * (x1 - x0)));
+            }
+        }
+        if let Some(&(x0, t0)) = pts.first() {
+            if t0 >= t && best.is_none() {
+                best = Some(x0);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tp_basic_shape() {
+        assert_eq!(tp_throughput(0.5, 1.0), 0.5);
+        assert_eq!(tp_throughput(0.5, 0.5), 1.0);
+        assert_eq!(tp_throughput(0.5, 0.25), 1.0); // clamped
+        assert!((tp_throughput(0.35, 0.7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fat_tree_flat_then_proportional() {
+        let (a, b) = (0.5, 2.0 / 64.0);
+        assert_eq!(fat_tree_throughput(a, b, 1.0), 0.5);
+        assert_eq!(fat_tree_throughput(a, b, b), 0.5);
+        // Halve the fraction below β: throughput doubles.
+        assert!((fat_tree_throughput(a, b, b / 2.0) - 1.0).abs() < 1e-12);
+        // Fig 2: "hitting 1 only when α fraction of the pod is involved".
+        assert!((fat_tree_throughput(a, b, a * b) - 1.0).abs() < 1e-12);
+        assert!(fat_tree_throughput(a, b, a * b * 1.5) < 1.0);
+    }
+
+    #[test]
+    fn tp_dominates_fat_tree_everywhere() {
+        let (a, b) = (0.4, 0.1);
+        for i in 1..=100 {
+            let x = i as f64 / 100.0;
+            assert!(tp_throughput(a, x) >= fat_tree_throughput(a, b, x) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn tp_reference_from_curve() {
+        let mut c = FlexCurve::new("net");
+        for &x in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+            c.push(x, 0.5_f64.min(0.4 / x).max(0.4));
+        }
+        let tp = c.tp_reference();
+        assert_eq!(tp.points.len(), 5);
+        let at_1 = tp.points.iter().find(|p| p.0 == 1.0).unwrap().1;
+        assert!((at_1 - 0.4).abs() < 1e-12);
+        let at_02 = tp.points.iter().find(|p| p.0 == 0.2).unwrap().1;
+        assert_eq!(at_02, 1.0);
+    }
+
+    #[test]
+    fn fraction_supporting_interpolates() {
+        let mut c = FlexCurve::new("net");
+        c.push(0.2, 1.0);
+        c.push(0.4, 1.0);
+        c.push(0.6, 0.8);
+        c.push(1.0, 0.5);
+        // Full throughput supported up to x = 0.4 exactly… interpolation
+        // finds the crossing between 0.4 and 0.6.
+        let f = c.fraction_supporting(1.0).unwrap();
+        assert!((0.39..=0.41).contains(&f), "{f}");
+        let f8 = c.fraction_supporting(0.8).unwrap();
+        assert!((f8 - 0.6).abs() < 1e-9);
+        assert!(c.fraction_supporting(1.1).is_none());
+    }
+}

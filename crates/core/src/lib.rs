@@ -1,0 +1,35 @@
+//! # dcn-core
+//!
+//! The core contribution of *"Beyond fat-trees without antennae, mirrors,
+//! and disco-balls"* (SIGCOMM 2017) as a library:
+//!
+//! - [`flex`] — the throughput-proportionality (TP) flexibility metric (§2.2);
+//! - [`theory`] — numeric checks of Observation 1 and the Theorem 2.1
+//!   scaling direction;
+//! - [`dynamicnet`] — the abstract unrestricted/restricted dynamic-topology
+//!   models (§4) compared against static networks in §5;
+//! - [`cost`] — the Table 1 port-cost model, δ = 1.5, and equal-cost
+//!   network configuration;
+//! - [`experiment`] — the §6.4 equal-cost network pairs and one-call FCT
+//!   experiment runner used by every figure harness.
+//!
+//! ```
+//! use dcn_core::flex::tp_throughput;
+//! use dcn_core::cost::delta_lowest;
+//!
+//! assert_eq!(tp_throughput(0.5, 0.5), 1.0);
+//! assert!((delta_lowest() - 1.5).abs() < 0.02);
+//! ```
+
+pub mod cost;
+pub mod dynamicnet;
+pub mod experiment;
+pub mod flex;
+pub mod theory;
+
+pub use cost::{delta_lowest, equal_cost_xpander, table1};
+pub use dynamicnet::{RestrictedDynamic, UnrestrictedDynamic};
+pub use experiment::{
+    default_window, paper_networks, run_fct_experiment, NetworkPair, Routing, Scale, SimCounters,
+};
+pub use flex::{fat_tree_throughput, tp_throughput, FlexCurve};

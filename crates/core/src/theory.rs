@@ -1,0 +1,174 @@
+//! Numeric verification of the paper's §2 theory: Observation 1 (the
+//! oversubscribed fat-tree bottleneck) and the scaling direction of
+//! Lemma 2.2 / Theorem 2.1 (throughput cannot rise more than
+//! proportionally as fewer servers participate).
+
+use dcn_maxflow::concurrent::{max_concurrent_flow, per_server_throughput, Commodity, GkOptions};
+use dcn_maxflow::network::FlowNetwork;
+use dcn_topology::fattree::{edge_switches_by_pod, FatTree};
+use dcn_topology::Topology;
+use dcn_workloads::fluid::FluidTm;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Concurrent throughput of a rack-level fluid TM (per unit of its
+/// demands; with hose-normalized TMs this is per-server throughput).
+/// Returns `(feasible, dual upper bound)`, both clamped to 1.
+pub fn fluid_throughput(t: &Topology, tm: &FluidTm, opts: GkOptions) -> (f64, f64) {
+    let commodities: Vec<Commodity> = tm
+        .commodities
+        .iter()
+        .map(|&(s, d, dem)| Commodity { src: s, dst: d, demand: dem })
+        .collect();
+    let net = FlowNetwork::from_topology(t);
+    let r = max_concurrent_flow(&net, &commodities, opts);
+    (r.throughput.min(1.0), r.upper_bound.min(1.0))
+}
+
+/// Observation 1, constructively: builds a fat-tree oversubscribed to
+/// fraction `x` at the core and returns the achieved per-server throughput
+/// of the hard two-pod TM (each server in pod 0 sends to a unique server
+/// in pod 1 — expressed at rack granularity).
+pub fn observation1_throughput(k: u32, core_per_group: u32) -> f64 {
+    let ft = FatTree::oversubscribed_core(k, core_per_group);
+    let t = ft.build();
+    let pods = edge_switches_by_pod(k);
+    let pairs: Vec<(u32, u32)> = pods[0]
+        .iter()
+        .zip(&pods[1])
+        .flat_map(|(&a, &b)| [(a, b), (b, a)])
+        .collect();
+    per_server_throughput(&t, &pairs, GkOptions { epsilon: 0.03, ..Default::default() })
+}
+
+/// The fraction of servers Observation 1's traffic matrix involves: 2/k.
+pub fn observation1_fraction(k: u32) -> f64 {
+    2.0 / k as f64
+}
+
+/// Empirical check of the Theorem 2.1 direction on a concrete topology:
+/// samples `trials` random rack permutations over the full rack set and
+/// over an `x` fraction, and returns `(t_full_min, t_frac_min)` — the
+/// worst observed throughput in each regime. Theorem 2.1 implies
+/// `t_full ≳ x · t_frac` (up to sampling and FPTAS slack).
+pub fn permutation_scaling(t: &Topology, x: f64, trials: u32, seed: u64) -> (f64, f64) {
+    let racks = t.tors_with_servers();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let opts = GkOptions { epsilon: 0.05, target: None, gap: 0.03, max_phases: 2_000_000 };
+    let mut worst_full: f64 = 1.0;
+    let mut worst_frac: f64 = 1.0;
+    for _ in 0..trials {
+        let mut full = racks.clone();
+        full.shuffle(&mut rng);
+        let pairs: Vec<(u32, u32)> = (0..full.len())
+            .map(|i| (full[i], full[(i + 1) % full.len()]))
+            .collect();
+        worst_full = worst_full.min(per_server_throughput(t, &pairs, opts).min(1.0));
+
+        let k = ((racks.len() as f64 * x).round() as usize).max(2);
+        let mut sub = racks.clone();
+        sub.shuffle(&mut rng);
+        sub.truncate(k);
+        let pairs: Vec<(u32, u32)> =
+            (0..k).map(|i| (sub[i], sub[(i + 1) % k])).collect();
+        worst_frac = worst_frac.min(per_server_throughput(t, &pairs, opts).min(1.0));
+    }
+    (worst_full, worst_frac)
+}
+
+/// Scaling audit for the non-permutation TM families of §2.2 (the paper
+/// proves the permutation analogue for all-to-all, many-to-one, and
+/// one-to-many): compares worst-case throughput over the full rack set
+/// against an `x`-fraction subset. Returns `(t_full, t_frac)` per family
+/// in the order [all-to-all, many-to-one, one-to-many].
+pub fn tm_family_scaling(t: &Topology, x: f64, seed: u64) -> Vec<(f64, f64)> {
+    use dcn_workloads::fluid;
+    let racks = t.tors_with_servers();
+    let k = ((racks.len() as f64 * x).round() as usize).clamp(2, racks.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sub = racks.clone();
+    sub.shuffle(&mut rng);
+    sub.truncate(k);
+    let opts = GkOptions { epsilon: 0.07, target: Some(1.0), gap: 0.05, max_phases: 1_000_000 };
+
+    let eval = |tm: &FluidTm| fluid_throughput(t, tm, opts).0;
+    vec![
+        (
+            eval(&fluid::all_to_all(t, &racks)),
+            eval(&fluid::all_to_all(t, &sub)),
+        ),
+        (
+            eval(&fluid::many_to_one(t, &racks[1..], racks[0])),
+            eval(&fluid::many_to_one(t, &sub[1..], sub[0])),
+        ),
+        (
+            eval(&fluid::one_to_many(t, racks[0], &racks[1..])),
+            eval(&fluid::one_to_many(t, sub[0], &sub[1..])),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::jellyfish::Jellyfish;
+    use dcn_workloads::fluid;
+
+    #[test]
+    fn observation1_k4_half_core() {
+        // 50% core ⇒ the two-pod TM is capped at ~0.5 per server.
+        let t = observation1_throughput(4, 1);
+        assert!((t - 0.5).abs() < 0.06, "throughput {t}");
+        assert!((observation1_fraction(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation1_full_core_gets_line_rate() {
+        let t = observation1_throughput(4, 2);
+        assert!(t > 0.85, "throughput {t}");
+    }
+
+    #[test]
+    fn observation1_quarter_core_k8() {
+        // k=8 with 1 of 4 cores per group: x = 0.25.
+        let t = observation1_throughput(8, 1);
+        assert!((t - 0.25).abs() < 0.05, "throughput {t}");
+    }
+
+    #[test]
+    fn fluid_tm_helper_consistent_with_pairs() {
+        let t = Jellyfish::new(16, 4, 2, 1).build();
+        let racks = t.tors_with_servers();
+        let tm = fluid::permutation(&t, &racks, 2);
+        let (lo, hi) = fluid_throughput(
+            &t,
+            &tm,
+            GkOptions { epsilon: 0.05, target: None, gap: 0.03, max_phases: 1_000_000 },
+        );
+        assert!(lo > 0.0 && lo <= hi + 1e-9);
+    }
+
+    #[test]
+    fn tm_families_scale_at_most_proportionally() {
+        let t = Jellyfish::new(20, 4, 3, 5).build();
+        for (full, frac) in tm_family_scaling(&t, 0.5, 3) {
+            // Direction of Theorem 2.1's analogues, with FPTAS slack.
+            assert!(full >= 0.5 * frac * 0.75, "full {full}, frac {frac}");
+            assert!(frac >= full - 0.07, "subset TM should not be harder");
+        }
+    }
+
+    #[test]
+    fn permutation_scaling_direction_holds() {
+        // Theorem 2.1: t_full ≳ x · t_frac on an expander (allowing FPTAS
+        // + sampling slack).
+        let t = Jellyfish::new(20, 4, 3, 5).build();
+        let (full, frac) = permutation_scaling(&t, 0.5, 3, 7);
+        assert!(
+            full >= 0.5 * frac * 0.8,
+            "scaling violated: full {full}, frac {frac}"
+        );
+        assert!(frac >= full - 0.05, "smaller TMs should not be harder");
+    }
+}

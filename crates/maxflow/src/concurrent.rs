@@ -1,0 +1,315 @@
+//! Maximum concurrent flow via the Garg–Könemann / Fleischer
+//! multiplicative-weights FPTAS.
+//!
+//! This replaces the LP solver used by the paper's topobench methodology
+//! (§5): given rack-level commodities, it computes the largest `λ` such
+//! that every commodity can simultaneously route `λ · demand` without
+//! violating arc capacities — to within a `(1−ε)³` factor of optimal.
+
+use crate::network::FlowNetwork;
+
+/// A demand between two switches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Commodity {
+    pub src: u32,
+    pub dst: u32,
+    /// Demand in line-rate units (for rack-level hose TMs: servers at the
+    /// source rack).
+    pub demand: f64,
+}
+
+/// Solver knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct GkOptions {
+    /// Multiplicative-weights step size; the worst-case guarantee is
+    /// (1−ε)³·OPT, but the duality-gap stop below is usually much tighter.
+    pub epsilon: f64,
+    /// Optional early exit: stop once the feasible throughput provably
+    /// reaches this value (per-server throughput is clamped at 1.0, so
+    /// `Some(1.0)` is the usual choice).
+    pub target: Option<f64>,
+    /// Primal–dual stopping rule: terminate once
+    /// `lower ≥ (1 − gap) · upper`, where `upper` is the dual length bound
+    /// evaluated at each phase end. This is what makes large instances
+    /// tractable; set to 0.0 to run to the full worst-case phase count.
+    pub gap: f64,
+    /// Safety cap on phases (the theory bound is ~log(m)/ε²).
+    pub max_phases: usize,
+}
+
+impl Default for GkOptions {
+    fn default() -> Self {
+        GkOptions { epsilon: 0.05, target: Some(1.0), gap: 0.05, max_phases: 2_000_000 }
+    }
+}
+
+/// Result of the concurrent-flow computation.
+#[derive(Clone, Debug)]
+pub struct GkResult {
+    /// Feasible concurrent throughput (primal lower bound): every
+    /// commodity can route `throughput · demand` simultaneously.
+    pub throughput: f64,
+    /// Certified dual upper bound on the optimum (∞ if never evaluated).
+    pub upper_bound: f64,
+    /// Phases executed.
+    pub phases: usize,
+    /// Shortest-path computations performed (cost metric).
+    pub dijkstra_calls: usize,
+}
+
+/// Runs Garg–Könemann on `net` for the given commodities.
+///
+/// Panics if any commodity endpoints coincide or demands are non-positive.
+pub fn max_concurrent_flow(
+    net: &FlowNetwork,
+    commodities: &[Commodity],
+    opts: GkOptions,
+) -> GkResult {
+    assert!(!commodities.is_empty(), "no commodities");
+    for c in commodities {
+        assert!(c.src != c.dst, "commodity with identical endpoints {}", c.src);
+        assert!(c.demand > 0.0, "non-positive demand");
+    }
+    let eps = opts.epsilon;
+    assert!(eps > 0.0 && eps < 0.5, "epsilon must be in (0, 0.5)");
+
+    let m = net.num_arcs() as f64;
+    let delta = (m / (1.0 - eps)).powf(-1.0 / eps);
+    // Scaling factor turning raw routed flow into a feasible flow at any
+    // point of the run: while D(l) < 1, every arc satisfies
+    // l_e·c_e < 1, so its routed flow obeys Φ_e/c_e ≤ log_{1+ε}(1/(δ·c_e))
+    // ≤ log_{1+ε}(1/(δ·c_min)).
+    let c_min = net
+        .arcs
+        .iter()
+        .map(|a| a.capacity)
+        .fold(f64::INFINITY, f64::min);
+    let scale = ((1.0 / (delta * c_min.min(1.0))).ln() / (1.0 + eps).ln()).max(1.0);
+    // Exact feasibility scaling: routed flow divided by the worst arc
+    // congestion is feasible by construction; it is far tighter than the
+    // worst-case `scale` early in the run.
+    let mut phi: Vec<f64> = vec![0.0; net.num_arcs()];
+
+    let mut len: Vec<f64> = net.arcs.iter().map(|a| delta / a.capacity).collect();
+    // D(l) = Σ_e c_e · l_e starts at m·δ and grows to 1.
+    let mut d_val = m * delta;
+    let mut routed: Vec<f64> = vec![0.0; commodities.len()];
+    let mut phases = 0usize;
+    let mut dijkstra_calls = 0usize;
+    let mut upper_bound = f64::INFINITY;
+    let mut scratch = crate::network::DijkstraScratch::new();
+
+    'outer: while d_val < 1.0 && phases < opts.max_phases {
+        phases += 1;
+        for (j, c) in commodities.iter().enumerate() {
+            let mut remaining = c.demand;
+            while remaining > 1e-12 && d_val < 1.0 {
+                dijkstra_calls += 1;
+                if !net.shortest_path_to(c.src, c.dst, &len, &mut scratch) {
+                    panic!("commodity {} -> {} is disconnected", c.src, c.dst);
+                }
+                let bottleneck = scratch
+                    .path
+                    .iter()
+                    .map(|&ai| net.arcs[ai as usize].capacity)
+                    .fold(f64::INFINITY, f64::min);
+                let f = remaining.min(bottleneck);
+                for &ai in &scratch.path {
+                    let cap = net.arcs[ai as usize].capacity;
+                    let old = len[ai as usize];
+                    let new = old * (1.0 + eps * f / cap);
+                    len[ai as usize] = new;
+                    d_val += cap * (new - old);
+                    phi[ai as usize] += f;
+                }
+                remaining -= f;
+                routed[j] += f;
+            }
+            if d_val >= 1.0 {
+                break 'outer;
+            }
+        }
+        let congestion = phi
+            .iter()
+            .zip(&net.arcs)
+            .map(|(f, a)| f / a.capacity)
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let lower = feasible_throughput(&routed, commodities, scale)
+            .max(min_demand_ratio(&routed, commodities) / congestion);
+        if let Some(target) = opts.target {
+            if lower >= target {
+                return GkResult { throughput: lower, upper_bound, phases, dijkstra_calls };
+            }
+        }
+        // Dual bound: for any positive lengths, OPT ≤ D(l) / Σ_j d_j·dist_j.
+        let mut weighted_dist = 0.0;
+        for c in commodities.iter() {
+            dijkstra_calls += 1;
+            assert!(net.shortest_path_to(c.src, c.dst, &len, &mut scratch));
+            let dist: f64 = scratch.path.iter().map(|&ai| len[ai as usize]).sum();
+            weighted_dist += c.demand * dist;
+        }
+        if weighted_dist > 0.0 {
+            upper_bound = upper_bound.min(d_val / weighted_dist);
+        }
+        if opts.gap > 0.0 && lower >= (1.0 - opts.gap) * upper_bound {
+            return GkResult { throughput: lower, upper_bound, phases, dijkstra_calls };
+        }
+    }
+
+    let congestion = phi
+        .iter()
+        .zip(&net.arcs)
+        .map(|(f, a)| f / a.capacity)
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    GkResult {
+        throughput: feasible_throughput(&routed, commodities, scale)
+            .max(min_demand_ratio(&routed, commodities) / congestion),
+        upper_bound,
+        phases,
+        dijkstra_calls,
+    }
+}
+
+fn min_demand_ratio(routed: &[f64], commodities: &[Commodity]) -> f64 {
+    routed
+        .iter()
+        .zip(commodities)
+        .map(|(r, c)| r / c.demand)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn feasible_throughput(routed: &[f64], commodities: &[Commodity], scale: f64) -> f64 {
+    min_demand_ratio(routed, commodities) / scale
+}
+
+/// Per-server throughput for a rack-level traffic matrix on a topology
+/// (the paper's §2.2 definition): each pair `(a, b)` is a commodity with
+/// demand equal to the servers at rack `a`; the result is clamped to 1.0
+/// (a server cannot exceed its line rate).
+pub fn per_server_throughput(
+    t: &dcn_topology::Topology,
+    pairs: &[(u32, u32)],
+    opts: GkOptions,
+) -> f64 {
+    let net = FlowNetwork::from_topology(t);
+    let commodities: Vec<Commodity> = pairs
+        .iter()
+        .map(|&(a, b)| Commodity { src: a, dst: b, demand: t.servers_at(a) as f64 })
+        .collect();
+    max_concurrent_flow(&net, &commodities, opts).throughput.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Arc;
+    use dcn_topology::{fattree::FatTree, NodeKind, Topology};
+
+    fn opts(eps: f64) -> GkOptions {
+        GkOptions { epsilon: eps, target: None, gap: 0.0, max_phases: 2_000_000 }
+    }
+
+    #[test]
+    fn single_edge_single_commodity() {
+        let net = FlowNetwork::from_arcs(2, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let r = max_concurrent_flow(
+            &net,
+            &[Commodity { src: 0, dst: 1, demand: 1.0 }],
+            opts(0.03),
+        );
+        assert!((r.throughput - 1.0).abs() < 0.12, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn two_commodities_share_edge() {
+        let net = FlowNetwork::from_arcs(2, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let r = max_concurrent_flow(
+            &net,
+            &[
+                Commodity { src: 0, dst: 1, demand: 1.0 },
+                Commodity { src: 0, dst: 1, demand: 1.0 },
+            ],
+            opts(0.03),
+        );
+        assert!((r.throughput - 0.5).abs() < 0.06, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn diamond_uses_both_paths() {
+        let mut t = Topology::new("diamond");
+        for _ in 0..4 {
+            t.add_node(NodeKind::Tor, 1);
+        }
+        t.add_link(0, 1);
+        t.add_link(0, 2);
+        t.add_link(1, 3);
+        t.add_link(2, 3);
+        let net = FlowNetwork::from_topology(&t);
+        let r = max_concurrent_flow(
+            &net,
+            &[Commodity { src: 0, dst: 3, demand: 2.0 }],
+            opts(0.03),
+        );
+        assert!((r.throughput - 1.0).abs() < 0.12, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn matches_dinic_on_single_commodity() {
+        // Single-commodity concurrent flow with demand 1 equals max flow.
+        let t = FatTree::full(4).build();
+        let exact = crate::dinic::topology_max_flow(&t, 0, 2);
+        let net = FlowNetwork::from_topology(&t);
+        let r = max_concurrent_flow(
+            &net,
+            &[Commodity { src: 0, dst: 2, demand: 1.0 }],
+            opts(0.03),
+        );
+        assert!(
+            r.throughput <= exact * 1.02 && r.throughput >= exact * 0.85,
+            "gk {} vs dinic {exact}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn full_fat_tree_supports_rack_permutation() {
+        // Full-bandwidth fat-tree: any rack permutation gets throughput 1.
+        let t = FatTree::full(4).build();
+        // ToRs are nodes {0,1}, {4,5}, {8,9}, {12,13} per pod.
+        let pairs = vec![(0u32, 4u32), (4, 8), (8, 12), (12, 0), (1, 5), (5, 9), (9, 13), (13, 1)];
+        let lam = per_server_throughput(&t, &pairs, GkOptions::default());
+        assert!(lam >= 0.95, "per-server throughput {lam}");
+    }
+
+    #[test]
+    fn oversubscribed_fat_tree_halves_permutation_throughput() {
+        // Observation 1: at 50% core, cross-pod permutations get ~0.5.
+        let t = FatTree::oversubscribed_core(4, 1).build();
+        let pairs = vec![(0u32, 4u32), (1, 5), (4, 8), (5, 9), (8, 12), (9, 13), (12, 0), (13, 1)];
+        let lam = per_server_throughput(&t, &pairs, GkOptions { target: None, ..Default::default() });
+        assert!(
+            (lam - 0.5).abs() < 0.07,
+            "per-server throughput {lam}, expected ~0.5"
+        );
+    }
+
+    #[test]
+    fn early_exit_caps_work() {
+        // One rack pair on a full fat-tree: optimum is exactly 1.0; the
+        // FPTAS must land within its (1−ε)³ guarantee and never exceed it.
+        let t = FatTree::full(4).build();
+        let pairs = vec![(0u32, 4u32)];
+        let lam = per_server_throughput(&t, &pairs, GkOptions::default());
+        assert!((0.857..=1.0 + 1e-9).contains(&lam), "clamped throughput {lam}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_commodity_panics() {
+        let net = FlowNetwork::from_arcs(3, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        max_concurrent_flow(&net, &[Commodity { src: 0, dst: 2, demand: 1.0 }], opts(0.1));
+    }
+}

@@ -1,0 +1,371 @@
+//! A compact two-phase dense simplex solver, used to verify the
+//! Garg–Könemann approximation against *exact* LP optima on small
+//! instances (the paper's methodology solves this LP with a commercial
+//! solver; see DESIGN.md §4).
+//!
+//! Solves `maximize c·x  s.t.  A x (≤ | =) b,  x ≥ 0` with Bland's rule
+//! for anti-cycling. Intended for instances with at most a few hundred
+//! variables; the bench harness uses [`crate::concurrent`] instead.
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+use crate::concurrent::Commodity;
+use crate::network::FlowNetwork;
+
+/// Constraint sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    Le,
+    Eq,
+}
+
+/// Outcome of [`simplex_max`].
+#[derive(Clone, Debug)]
+pub enum LpResult {
+    /// Optimal objective value and primal solution.
+    Optimal { objective: f64, x: Vec<f64> },
+    Infeasible,
+    Unbounded,
+}
+
+const TOL: f64 = 1e-9;
+
+/// Maximizes `c·x` subject to `rows[i]·x (sense[i]) b[i]`, `x ≥ 0`.
+/// All right-hand sides must be non-negative.
+pub fn simplex_max(
+    rows: &[Vec<f64>],
+    senses: &[Sense],
+    b: &[f64],
+    c: &[f64],
+) -> LpResult {
+    let m = rows.len();
+    let n = c.len();
+    assert_eq!(senses.len(), m);
+    assert_eq!(b.len(), m);
+    for (i, &bi) in b.iter().enumerate() {
+        assert!(bi >= -TOL, "negative RHS {bi} at row {i} unsupported");
+        assert_eq!(rows[i].len(), n);
+    }
+
+    let n_slack = senses.iter().filter(|&&s| s == Sense::Le).count();
+    let n_art = m; // one artificial per row keeps the basis trivial
+    let ncols = n + n_slack + n_art;
+
+    // Tableau: m rows × (ncols + 1); last column is RHS.
+    let mut t = vec![vec![0.0f64; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut slack_idx = 0usize;
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&rows[i]);
+        t[i][ncols] = b[i];
+        if senses[i] == Sense::Le {
+            t[i][n + slack_idx] = 1.0;
+            slack_idx += 1;
+        }
+        let art = n + n_slack + i;
+        t[i][art] = 1.0;
+        basis[i] = art;
+    }
+
+    // Phase 1: minimize Σ artificials ⇒ cost row starts as Σ of all rows
+    // (pricing out the artificial basis).
+    let mut cost = vec![0.0f64; ncols + 1];
+    for row in &t {
+        for j in 0..=ncols {
+            cost[j] += row[j];
+        }
+    }
+    for a in 0..n_art {
+        cost[n + n_slack + a] = 0.0;
+    }
+    if !pivot_loop(&mut t, &mut cost, &mut basis, n + n_slack + n_art) {
+        return LpResult::Unbounded; // cannot happen in phase 1
+    }
+    if cost[ncols] > 1e-7 {
+        return LpResult::Infeasible;
+    }
+    // Drive any basic artificial out of the basis (or zero its row).
+    for i in 0..m {
+        if basis[i] >= n + n_slack {
+            let mut pivoted = false;
+            for j in 0..n + n_slack {
+                if t[i][j].abs() > TOL {
+                    pivot(&mut t, &mut cost, &mut basis, i, j);
+                    pivoted = true;
+                    break;
+                }
+            }
+            if !pivoted {
+                // Redundant row; leave the zero-valued artificial basic.
+            }
+        }
+    }
+
+    // Phase 2: maximize c·x. Reduced-cost row in the "c − z" convention:
+    // cost_j = c_j − Σ_i cB_i·t[i][j]; pivot while some non-artificial
+    // entry is > TOL. The RHS cell then holds −(objective value).
+    let mut cost2 = vec![0.0f64; ncols + 1];
+    for j in 0..n {
+        cost2[j] = c[j];
+    }
+    for i in 0..m {
+        let bi = basis[i];
+        let cb = if bi < n { c[bi] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..=ncols {
+                cost2[j] -= cb * t[i][j];
+            }
+        }
+    }
+    // Forbid artificial columns from re-entering.
+    if !pivot_loop(&mut t, &mut cost2, &mut basis, n + n_slack) {
+        return LpResult::Unbounded;
+    }
+
+    let mut x = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][ncols];
+        }
+    }
+    LpResult::Optimal { objective: -cost2[ncols], x }
+}
+
+/// Runs simplex pivots until optimal (`true`) or unbounded (`false`).
+/// Only columns `< allowed_cols` may enter the basis.
+fn pivot_loop(
+    t: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    allowed_cols: usize,
+) -> bool {
+    let m = t.len();
+    let ncols = cost.len() - 1;
+    loop {
+        // Bland: entering column = smallest index with positive cost entry
+        // (we maximize the cost row's objective by driving positives out).
+        let Some(enter) = (0..allowed_cols.min(ncols)).find(|&j| cost[j] > TOL) else {
+            return true;
+        };
+        // Ratio test, Bland tie-break on basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > TOL {
+                let ratio = t[i][ncols] / t[i][enter];
+                if ratio < best - TOL
+                    || (ratio < best + TOL
+                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot(t, cost, basis, leave, enter);
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], cost: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
+    let ncols = cost.len() - 1;
+    let p = t[row][col];
+    debug_assert!(p.abs() > TOL);
+    for j in 0..=ncols {
+        t[row][j] /= p;
+    }
+    for i in 0..t.len() {
+        if i != row && t[i][col].abs() > TOL {
+            let f = t[i][col];
+            for j in 0..=ncols {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+    if cost[col].abs() > TOL {
+        let f = cost[col];
+        for j in 0..=ncols {
+            cost[j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+/// Exact maximum concurrent flow by arc-flow LP — ground truth for tests.
+/// Variables: `t` then `f[j][e]` per commodity and arc. Suitable only for
+/// small instances (cost grows with `(K·m)³`).
+pub fn exact_concurrent_flow(net: &FlowNetwork, commodities: &[Commodity]) -> f64 {
+    let m = net.num_arcs();
+    let k = commodities.len();
+    let nvar = 1 + k * m;
+    let var = |j: usize, e: usize| 1 + j * m + e;
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut senses = Vec::new();
+    let mut b = Vec::new();
+
+    // Capacity per arc.
+    for e in 0..m {
+        let mut r = vec![0.0; nvar];
+        for j in 0..k {
+            r[var(j, e)] = 1.0;
+        }
+        rows.push(r);
+        senses.push(Sense::Le);
+        b.push(net.arcs[e].capacity);
+    }
+    // Conservation: out − in = d_j·t at src, 0 at internal nodes (dst row
+    // omitted; it is implied).
+    for (j, com) in commodities.iter().enumerate() {
+        for v in 0..net.num_nodes as u32 {
+            if v == com.dst {
+                continue;
+            }
+            let mut r = vec![0.0; nvar];
+            for (e, a) in net.arcs.iter().enumerate() {
+                if a.from == v {
+                    r[var(j, e)] += 1.0;
+                }
+                if a.to == v {
+                    r[var(j, e)] -= 1.0;
+                }
+            }
+            if v == com.src {
+                r[0] = -com.demand;
+            }
+            rows.push(r);
+            senses.push(Sense::Eq);
+            b.push(0.0);
+        }
+    }
+    let mut c = vec![0.0; nvar];
+    c[0] = 1.0;
+
+    match simplex_max(&rows, &senses, &b, &c) {
+        LpResult::Optimal { objective, .. } => objective,
+        other => panic!("concurrent-flow LP not optimal: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{max_concurrent_flow, GkOptions};
+    use crate::network::Arc;
+    use dcn_topology::{NodeKind, Topology};
+
+    #[test]
+    fn textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 2.0],
+        ];
+        let senses = vec![Sense::Le; 3];
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![3.0, 5.0];
+        match simplex_max(&rows, &senses, &b, &c) {
+            LpResult::Optimal { objective, x } => {
+                assert!((objective - 36.0).abs() < 1e-6);
+                assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + y s.t. x + y = 5, x ≤ 3 → 5.
+        let rows = vec![vec![1.0, 1.0], vec![1.0, 0.0]];
+        let senses = vec![Sense::Eq, Sense::Le];
+        match simplex_max(&rows, &senses, &[5.0, 3.0], &[1.0, 1.0]) {
+            LpResult::Optimal { objective, .. } => assert!((objective - 5.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x = 3.
+        let rows = vec![vec![1.0], vec![1.0]];
+        let senses = vec![Sense::Le, Sense::Eq];
+        match simplex_max(&rows, &senses, &[1.0, 3.0], &[1.0]) {
+            LpResult::Infeasible => {}
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let rows: Vec<Vec<f64>> = vec![];
+        let senses = vec![];
+        match simplex_max(&rows, &senses, &[], &[1.0]) {
+            LpResult::Unbounded => {}
+            other => panic!("expected unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_single_edge_concurrent_flow() {
+        let net = FlowNetwork::from_arcs(2, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let t = exact_concurrent_flow(&net, &[Commodity { src: 0, dst: 1, demand: 2.0 }]);
+        assert!((t - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gk_matches_lp_on_diamond() {
+        let mut top = Topology::new("diamond");
+        for _ in 0..4 {
+            top.add_node(NodeKind::Tor, 1);
+        }
+        top.add_link(0, 1);
+        top.add_link(0, 2);
+        top.add_link(1, 3);
+        top.add_link(2, 3);
+        let net = FlowNetwork::from_topology(&top);
+        let coms = [
+            Commodity { src: 0, dst: 3, demand: 1.0 },
+            Commodity { src: 1, dst: 2, demand: 1.0 },
+        ];
+        let exact = exact_concurrent_flow(&net, &coms);
+        let approx = max_concurrent_flow(
+            &net,
+            &coms,
+            GkOptions { epsilon: 0.03, target: None, gap: 0.01, max_phases: 2_000_000 },
+        )
+        .throughput;
+        assert!(
+            approx <= exact + 1e-6 && approx >= exact * 0.88,
+            "gk {approx} vs lp {exact}"
+        );
+    }
+
+    #[test]
+    fn gk_matches_lp_on_cycle_permutation() {
+        // 5-cycle with a rotation permutation; LP optimum is nontrivial.
+        let mut top = Topology::new("c5");
+        for _ in 0..5 {
+            top.add_node(NodeKind::Tor, 1);
+        }
+        for i in 0..5u32 {
+            top.add_link(i, (i + 1) % 5);
+        }
+        let net = FlowNetwork::from_topology(&top);
+        let coms: Vec<Commodity> = (0..5)
+            .map(|i| Commodity { src: i, dst: (i + 2) % 5, demand: 1.0 })
+            .collect();
+        let exact = exact_concurrent_flow(&net, &coms);
+        let approx = max_concurrent_flow(
+            &net,
+            &coms,
+            GkOptions { epsilon: 0.03, target: None, gap: 0.01, max_phases: 2_000_000 },
+        )
+        .throughput;
+        assert!(
+            approx <= exact + 1e-6 && approx >= exact * 0.88,
+            "gk {approx} vs lp {exact}"
+        );
+    }
+}

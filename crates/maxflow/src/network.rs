@@ -1,0 +1,301 @@
+//! Directed flow-network view of an undirected [`Topology`].
+//!
+//! Every undirected link becomes two directed arcs (full-duplex links, as in
+//! the paper's fluid-flow model). Arcs are stored in CSR form for fast
+//! shortest-path computation inside the Garg–Könemann solver.
+
+use dcn_topology::Topology;
+
+/// A directed arc with capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct Arc {
+    pub from: u32,
+    pub to: u32,
+    pub capacity: f64,
+}
+
+/// CSR directed graph derived from a [`Topology`].
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    pub num_nodes: usize,
+    pub arcs: Vec<Arc>,
+    /// `out_start[v]..out_start[v+1]` indexes `out_arcs` for node v.
+    out_start: Vec<u32>,
+    /// Arc indices ordered by source node.
+    out_arcs: Vec<u32>,
+}
+
+impl FlowNetwork {
+    /// Builds the bidirected network: arcs 2i and 2i+1 are the two
+    /// directions of topology link i.
+    pub fn from_topology(t: &Topology) -> Self {
+        let mut arcs = Vec::with_capacity(t.num_links() * 2);
+        for l in t.links() {
+            arcs.push(Arc { from: l.a, to: l.b, capacity: l.capacity });
+            arcs.push(Arc { from: l.b, to: l.a, capacity: l.capacity });
+        }
+        Self::from_arcs(t.num_nodes(), arcs)
+    }
+
+    /// Builds from explicit arcs (used by tests and the LP verifier).
+    pub fn from_arcs(num_nodes: usize, arcs: Vec<Arc>) -> Self {
+        let mut counts = vec![0u32; num_nodes + 1];
+        for a in &arcs {
+            assert!((a.from as usize) < num_nodes && (a.to as usize) < num_nodes);
+            assert!(a.capacity > 0.0);
+            counts[a.from as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let out_start = counts.clone();
+        let mut cursor = counts;
+        let mut out_arcs = vec![0u32; arcs.len()];
+        for (i, a) in arcs.iter().enumerate() {
+            out_arcs[cursor[a.from as usize] as usize] = i as u32;
+            cursor[a.from as usize] += 1;
+        }
+        FlowNetwork { num_nodes, arcs, out_start, out_arcs }
+    }
+
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Arc indices leaving `v`.
+    pub fn out(&self, v: u32) -> &[u32] {
+        let s = self.out_start[v as usize] as usize;
+        let e = self.out_start[v as usize + 1] as usize;
+        &self.out_arcs[s..e]
+    }
+
+    /// Dijkstra over per-arc lengths; returns (dist, parent arc) arrays.
+    /// `len[arc]` must be ≥ 0. Unreachable nodes get `f64::INFINITY`.
+    pub fn dijkstra(&self, src: u32, len: &[f64]) -> (Vec<f64>, Vec<u32>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Item(f64, u32);
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance; ties broken by node id for determinism.
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist = vec![f64::INFINITY; self.num_nodes];
+        let mut parent = vec![u32::MAX; self.num_nodes];
+        let mut heap = BinaryHeap::new();
+        dist[src as usize] = 0.0;
+        heap.push(Item(0.0, src));
+        while let Some(Item(d, u)) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &ai in self.out(u) {
+                let a = self.arcs[ai as usize];
+                let nd = d + len[ai as usize];
+                if nd < dist[a.to as usize] {
+                    dist[a.to as usize] = nd;
+                    parent[a.to as usize] = ai;
+                    heap.push(Item(nd, a.to));
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// Early-exit Dijkstra using a reusable scratch buffer: stops as soon
+    /// as `dst` is settled and writes the arc path into `scratch.path`.
+    /// Returns `false` if `dst` is unreachable. This is the hot path of
+    /// the Garg–Könemann solver (millions of calls per instance).
+    pub fn shortest_path_to(
+        &self,
+        src: u32,
+        dst: u32,
+        len: &[f64],
+        scratch: &mut DijkstraScratch,
+    ) -> bool {
+        scratch.ensure(self.num_nodes);
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.heap.clear();
+        scratch.set(src as usize, 0.0, u32::MAX, epoch);
+        scratch.heap.push(HeapEntry(0.0, src));
+        while let Some(HeapEntry(d, u)) = scratch.heap.pop() {
+            if scratch.stamp[u as usize] == epoch && d > scratch.dist[u as usize] {
+                continue;
+            }
+            if u == dst {
+                // Reconstruct the arc path.
+                scratch.path.clear();
+                let mut v = dst;
+                while v != src {
+                    let ai = scratch.parent[v as usize];
+                    scratch.path.push(ai);
+                    v = self.arcs[ai as usize].from;
+                }
+                scratch.path.reverse();
+                return true;
+            }
+            for &ai in self.out(u) {
+                let a = self.arcs[ai as usize];
+                let nd = d + len[ai as usize];
+                let t = a.to as usize;
+                if scratch.stamp[t] != epoch || nd < scratch.dist[t] {
+                    scratch.set(t, nd, ai, epoch);
+                    scratch.heap.push(HeapEntry(nd, a.to));
+                }
+            }
+        }
+        false
+    }
+
+    /// Reconstructs the arc path from `src` to `dst` out of Dijkstra
+    /// parents. Returns `None` if unreachable.
+    pub fn path_from_parents(&self, src: u32, dst: u32, parent: &[u32]) -> Option<Vec<u32>> {
+        let mut path = Vec::new();
+        let mut v = dst;
+        while v != src {
+            let ai = parent[v as usize];
+            if ai == u32::MAX {
+                return None;
+            }
+            path.push(ai);
+            v = self.arcs[ai as usize].from;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Min-heap entry for the scratch Dijkstra (distance, node), ordered by
+/// distance with node-id tie-breaking for determinism.
+#[derive(PartialEq)]
+pub struct HeapEntry(pub f64, pub u32);
+
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable buffers for [`FlowNetwork::shortest_path_to`]. Epoch stamping
+/// avoids clearing the distance arrays between calls.
+#[derive(Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    /// Arc path of the last successful query, source→destination order.
+    pub path: Vec<u32>,
+}
+
+impl DijkstraScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, u32::MAX);
+            self.stamp.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, node: usize, dist: f64, parent: u32, epoch: u32) {
+        self.dist[node] = dist;
+        self.parent[node] = parent;
+        self.stamp[node] = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::{NodeKind, Topology};
+
+    fn diamond() -> FlowNetwork {
+        // 0 -> {1,2} -> 3 with unit capacities.
+        let mut t = Topology::new("diamond");
+        for _ in 0..4 {
+            t.add_node(NodeKind::Tor, 1);
+        }
+        t.add_link(0, 1);
+        t.add_link(0, 2);
+        t.add_link(1, 3);
+        t.add_link(2, 3);
+        FlowNetwork::from_topology(&t)
+    }
+
+    #[test]
+    fn csr_adjacency() {
+        let net = diamond();
+        assert_eq!(net.num_arcs(), 8);
+        assert_eq!(net.out(0).len(), 2);
+        assert_eq!(net.out(3).len(), 2);
+        for &ai in net.out(1) {
+            assert_eq!(net.arcs[ai as usize].from, 1);
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_lengths() {
+        let net = diamond();
+        let len = vec![1.0; net.num_arcs()];
+        let (dist, parent) = net.dijkstra(0, &len);
+        assert_eq!(dist[3], 2.0);
+        let path = net.path_from_parents(0, 3, &parent).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(net.arcs[path[0] as usize].from, 0);
+        assert_eq!(net.arcs[path[1] as usize].to, 3);
+    }
+
+    #[test]
+    fn dijkstra_weighted_prefers_cheap_path() {
+        let net = diamond();
+        let mut len = vec![1.0; net.num_arcs()];
+        // Make 0->1 expensive; path must go through 2.
+        len[0] = 10.0;
+        let (_, parent) = net.dijkstra(0, &len);
+        let path = net.path_from_parents(0, 3, &parent).unwrap();
+        assert_eq!(net.arcs[path[0] as usize].to, 2);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let net = FlowNetwork::from_arcs(3, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let (dist, parent) = net.dijkstra(0, &[1.0]);
+        assert!(dist[2].is_infinite());
+        assert!(net.path_from_parents(0, 2, &parent).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Equal-cost multi-path routing: per-destination next-hop sets over all
+//! shortest paths, with deterministic per-hop hashing — the behavior of a
+//! commodity switch hashing a flow(let) onto one of its equal-cost ports.
+
+use dcn_topology::{LinkId, NodeId, Topology};
+
+/// Precomputed ECMP next hops: for every (destination, node) the set of
+/// `(next node, link)` choices that lie on a shortest path. Parallel links
+/// appear once each, so hashing over the set load-balances them too.
+pub struct EcmpTable {
+    /// `nexthops[dst][node]` — empty exactly when `node == dst`.
+    nexthops: Vec<Vec<Vec<(NodeId, LinkId)>>>,
+    /// Hop distance `dist[dst][node]`.
+    dist: Vec<Vec<u32>>,
+}
+
+impl EcmpTable {
+    /// Builds the table with one BFS per destination: O(V·E).
+    pub fn new(t: &Topology) -> Self {
+        let n = t.num_nodes();
+        let mut nexthops = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        for d in 0..n as NodeId {
+            let dd = t.bfs_distances(d);
+            let mut per_node = vec![Vec::new(); n];
+            for u in 0..n as NodeId {
+                if u == d || dd[u as usize] == u32::MAX {
+                    continue;
+                }
+                for &(v, l) in t.neighbors(u) {
+                    if dd[v as usize] + 1 == dd[u as usize] {
+                        per_node[u as usize].push((v, l));
+                    }
+                }
+                debug_assert!(!per_node[u as usize].is_empty());
+            }
+            nexthops.push(per_node);
+            dist.push(dd);
+        }
+        EcmpTable { nexthops, dist }
+    }
+
+    /// All equal-cost `(next node, link)` choices at `node` toward `dst`.
+    pub fn choices(&self, node: NodeId, dst: NodeId) -> &[(NodeId, LinkId)] {
+        &self.nexthops[dst as usize][node as usize]
+    }
+
+    /// Hop distance from `node` to `dst`.
+    pub fn distance(&self, node: NodeId, dst: NodeId) -> u32 {
+        self.dist[dst as usize][node as usize]
+    }
+
+    /// Walks the per-hop hash-selected shortest path from `src` to `dst`.
+    /// `key` identifies the flow(let); every switch hashes `(key, node)`
+    /// independently, like real ECMP. Returns the traversed links.
+    pub fn path(&self, src: NodeId, dst: NodeId, key: u64) -> Vec<LinkId> {
+        assert!(
+            self.dist[dst as usize][src as usize] != u32::MAX,
+            "no route {src} -> {dst}"
+        );
+        let mut links = Vec::with_capacity(self.distance(src, dst) as usize);
+        let mut u = src;
+        while u != dst {
+            let c = self.choices(u, dst);
+            let pick = (hash3(key, u as u64, dst as u64) % c.len() as u64) as usize;
+            let (v, l) = c[pick];
+            links.push(l);
+            u = v;
+        }
+        links
+    }
+
+    /// Number of distinct equal-cost *first hops* from `src` toward `dst`
+    /// (Fig 7a's "ECMP uses only the direct link" audit).
+    pub fn first_hop_diversity(&self, src: NodeId, dst: NodeId) -> usize {
+        self.choices(src, dst).len()
+    }
+}
+
+/// splitmix64-style mix of three words — stable across platforms.
+pub fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17) ^ 0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::fattree::FatTree;
+    use dcn_topology::xpander::Xpander;
+
+    #[test]
+    fn paths_are_shortest() {
+        let t = FatTree::full(4).build();
+        let table = EcmpTable::new(&t);
+        let apsp = t.apsp();
+        for src in [0u32, 1, 4] {
+            for dst in [8u32, 12, 13] {
+                for key in 0..20u64 {
+                    let p = table.path(src, dst, key);
+                    assert_eq!(p.len() as u32, apsp[src as usize][dst as usize]);
+                    // Verify link continuity.
+                    let mut u = src;
+                    for &l in &p {
+                        u = t.link(l).other(u);
+                    }
+                    assert_eq!(u, dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_key_same_path() {
+        let t = FatTree::full(4).build();
+        let table = EcmpTable::new(&t);
+        assert_eq!(table.path(0, 12, 5), table.path(0, 12, 5));
+    }
+
+    #[test]
+    fn different_keys_spread_over_paths() {
+        let t = FatTree::full(8).build();
+        let table = EcmpTable::new(&t);
+        let mut distinct = std::collections::HashSet::new();
+        for key in 0..200u64 {
+            distinct.insert(table.path(0, 40, key));
+        }
+        // k=8 fat-tree has 16 shortest paths between cross-pod ToRs.
+        assert!(distinct.len() > 8, "only {} distinct paths", distinct.len());
+    }
+
+    #[test]
+    fn adjacent_tors_have_single_ecmp_path() {
+        // Fig 7a: between directly connected ToRs in an expander, ECMP
+        // collapses to the single direct link.
+        let t = Xpander::new(6, 8, 3, 2).build();
+        let table = EcmpTable::new(&t);
+        let l = t.link(0);
+        assert_eq!(table.first_hop_diversity(l.a, l.b), 1);
+        for key in 0..50u64 {
+            assert_eq!(table.path(l.a, l.b, key), vec![0]);
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_diversity() {
+        let t = FatTree::full(4).build();
+        let table = EcmpTable::new(&t);
+        // ToR 0 toward a different pod: both aggs are equal-cost.
+        assert_eq!(table.first_hop_diversity(0, 12), 2);
+    }
+
+    #[test]
+    fn distance_lookup() {
+        let t = FatTree::full(4).build();
+        let table = EcmpTable::new(&t);
+        assert_eq!(table.distance(0, 0), 0);
+        assert_eq!(table.distance(0, 1), 2); // same pod via agg
+        assert_eq!(table.distance(0, 12), 4); // cross pod
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Regression pin so routing (and thus experiments) never silently
+        // change across refactors.
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 1, 3));
+    }
+}

@@ -1,0 +1,282 @@
+//! The paper's HYB scheme (§6.3) and the [`PathSelector`] abstraction the
+//! packet simulator routes through.
+//!
+//! HYB forwards a flow's flowlets along ECMP paths until the flow has sent
+//! `Q` bytes (default 100 KB — the operator's "short flow" notion), then
+//! switches to VLB for subsequent flowlets. It is oblivious: no congestion
+//! feedback, only the flow's own byte count.
+
+use crate::ecmp::EcmpTable;
+use crate::vlb::Vlb;
+use dcn_topology::{LinkId, NodeId, Topology};
+use std::sync::Arc;
+
+/// Strategy for choosing a flowlet's path between two ToRs.
+pub trait PathSelector: Send + Sync {
+    /// Links from `src` to `dst` for a flowlet identified by `key`.
+    /// `bytes_sent` is how much the flow had sent when the flowlet began.
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, bytes_sent: u64) -> Vec<LinkId>;
+
+    /// Congestion-aware variant: `ecn_marks` is how many marked ACKs the
+    /// flow has received so far. The default ignores it (oblivious
+    /// schemes); [`AdaptiveHybSelector`] switches on it instead of on the
+    /// byte count.
+    fn select_with_feedback(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        key: u64,
+        bytes_sent: u64,
+        _ecn_marks: u64,
+    ) -> Vec<LinkId> {
+        self.select(src, dst, key, bytes_sent)
+    }
+
+    fn name(&self) -> &'static str;
+}
+
+/// Pure ECMP.
+pub struct EcmpSelector {
+    pub table: Arc<EcmpTable>,
+}
+
+impl PathSelector for EcmpSelector {
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
+        self.table.path(src, dst, key)
+    }
+    fn name(&self) -> &'static str {
+        "ECMP"
+    }
+}
+
+/// Pure VLB.
+pub struct VlbSelector {
+    pub table: Arc<EcmpTable>,
+    pub vlb: Vlb,
+}
+
+impl PathSelector for VlbSelector {
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
+        self.vlb.path(&self.table, src, dst, key)
+    }
+    fn name(&self) -> &'static str {
+        "VLB"
+    }
+}
+
+/// HYB: ECMP below the Q-threshold, VLB above (per flowlet).
+pub struct HybSelector {
+    pub table: Arc<EcmpTable>,
+    pub vlb: Vlb,
+    /// Byte threshold Q; the paper uses 100 KB.
+    pub q_bytes: u64,
+}
+
+/// The paper's Q = 100 KB.
+pub const PAPER_Q_BYTES: u64 = 100_000;
+
+impl PathSelector for HybSelector {
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, bytes_sent: u64) -> Vec<LinkId> {
+        if bytes_sent < self.q_bytes {
+            self.table.path(src, dst, key)
+        } else {
+            self.vlb.path(&self.table, src, dst, key)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "HYB"
+    }
+}
+
+/// The congestion-aware hybrid the paper describes before simplifying to
+/// the Q-threshold (§6.3): "packets for a flow are forwarded along ECMP
+/// paths until this flow encounters a certain congestion threshold (e.g.,
+/// a number of ECN marks), following which, packets … are forwarded using
+/// VLB". Sidesteps HYB's short-flow-saturation caveat at the cost of
+/// needing congestion state.
+pub struct AdaptiveHybSelector {
+    pub table: Arc<EcmpTable>,
+    pub vlb: Vlb,
+    /// ECN-marked ACKs a flow tolerates before moving to VLB.
+    pub mark_threshold: u64,
+}
+
+impl PathSelector for AdaptiveHybSelector {
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
+        // Without feedback, behave as ECMP (no marks seen).
+        self.table.path(src, dst, key)
+    }
+
+    fn select_with_feedback(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        key: u64,
+        _bytes_sent: u64,
+        ecn_marks: u64,
+    ) -> Vec<LinkId> {
+        if ecn_marks < self.mark_threshold {
+            self.table.path(src, dst, key)
+        } else {
+            self.vlb.path(&self.table, src, dst, key)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HYB-adaptive"
+    }
+}
+
+/// Convenience constructors for the three schemes over one shared table.
+pub struct RoutingSuite {
+    pub table: Arc<EcmpTable>,
+    topology_nodes: usize,
+}
+
+impl RoutingSuite {
+    pub fn new(t: &Topology) -> Self {
+        RoutingSuite { table: Arc::new(EcmpTable::new(t)), topology_nodes: t.num_nodes() }
+    }
+
+    pub fn ecmp(&self) -> EcmpSelector {
+        EcmpSelector { table: self.table.clone() }
+    }
+
+    pub fn vlb(&self) -> VlbSelector {
+        VlbSelector { table: self.table.clone(), vlb: self.vlb_core() }
+    }
+
+    pub fn hyb(&self, q_bytes: u64) -> HybSelector {
+        HybSelector { table: self.table.clone(), vlb: self.vlb_core(), q_bytes }
+    }
+
+    pub fn adaptive_hyb(&self, mark_threshold: u64) -> AdaptiveHybSelector {
+        AdaptiveHybSelector { table: self.table.clone(), vlb: self.vlb_core(), mark_threshold }
+    }
+
+    fn vlb_core(&self) -> Vlb {
+        Vlb::with_nodes(self.topology_nodes as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::xpander::Xpander;
+
+    fn suite() -> (Topology, RoutingSuite) {
+        let t = Xpander::new(6, 8, 3, 2).build();
+        let s = RoutingSuite::new(&t);
+        (t, s)
+    }
+
+    fn endpoint(t: &Topology, links: &[LinkId], src: NodeId) -> NodeId {
+        let mut u = src;
+        for &l in links {
+            u = t.link(l).other(u);
+        }
+        u
+    }
+
+    #[test]
+    fn hyb_uses_ecmp_below_threshold() {
+        let (_, s) = suite();
+        let hyb = s.hyb(PAPER_Q_BYTES);
+        let ecmp = s.ecmp();
+        for key in 0..30u64 {
+            assert_eq!(hyb.select(0, 9, key, 0), ecmp.select(0, 9, key, 0));
+            assert_eq!(
+                hyb.select(0, 9, key, PAPER_Q_BYTES - 1),
+                ecmp.select(0, 9, key, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn hyb_uses_vlb_at_threshold() {
+        let (_, s) = suite();
+        let hyb = s.hyb(PAPER_Q_BYTES);
+        let vlb = s.vlb();
+        for key in 0..30u64 {
+            assert_eq!(
+                hyb.select(0, 9, key, PAPER_Q_BYTES),
+                vlb.select(0, 9, key, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn all_selectors_reach_destination() {
+        let (t, s) = suite();
+        let selectors: Vec<Box<dyn PathSelector>> =
+            vec![Box::new(s.ecmp()), Box::new(s.vlb()), Box::new(s.hyb(1000))];
+        for sel in &selectors {
+            for key in 0..20u64 {
+                for &bytes in &[0u64, 500, 5_000_000] {
+                    let p = sel.select(2, 40, key, bytes);
+                    assert_eq!(endpoint(&t, &p, 2), 40, "{} failed", sel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_zero_is_pure_vlb_q_max_is_pure_ecmp() {
+        let (_, s) = suite();
+        let pure_vlb = s.hyb(0);
+        let vlb = s.vlb();
+        let pure_ecmp = s.hyb(u64::MAX);
+        let ecmp = s.ecmp();
+        for key in 0..10u64 {
+            assert_eq!(pure_vlb.select(1, 8, key, 0), vlb.select(1, 8, key, 0));
+            assert_eq!(
+                pure_ecmp.select(1, 8, key, u64::MAX - 1),
+                ecmp.select(1, 8, key, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_switches_on_marks_not_bytes() {
+        let (_, s) = suite();
+        let adaptive = s.adaptive_hyb(3);
+        let ecmp = s.ecmp();
+        let vlb = s.vlb();
+        for key in 0..20u64 {
+            // Bytes are ignored entirely.
+            assert_eq!(
+                adaptive.select_with_feedback(0, 9, key, u64::MAX - 1, 0),
+                ecmp.select(0, 9, key, 0)
+            );
+            assert_eq!(
+                adaptive.select_with_feedback(0, 9, key, 0, 2),
+                ecmp.select(0, 9, key, 0)
+            );
+            assert_eq!(
+                adaptive.select_with_feedback(0, 9, key, 0, 3),
+                vlb.select(0, 9, key, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn default_feedback_ignores_marks() {
+        let (_, s) = suite();
+        let hyb = s.hyb(1000);
+        for key in 0..10u64 {
+            assert_eq!(
+                hyb.select_with_feedback(1, 8, key, 0, 999),
+                hyb.select(1, 8, key, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn names() {
+        let (_, s) = suite();
+        assert_eq!(s.ecmp().name(), "ECMP");
+        assert_eq!(s.vlb().name(), "VLB");
+        assert_eq!(s.hyb(1).name(), "HYB");
+        assert_eq!(s.adaptive_hyb(1).name(), "HYB-adaptive");
+    }
+}

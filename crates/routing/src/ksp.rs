@@ -1,0 +1,170 @@
+//! Yen's k-shortest loopless paths (Yen 1971). The paper's §6 notes prior
+//! expander routing depended on MPTCP over k-shortest paths; we provide
+//! KSP for path-diversity audits (Fig 7a) and as a baseline building block.
+
+use dcn_topology::{NodeId, Topology};
+use std::collections::{HashSet, VecDeque};
+
+/// Computes up to `k` shortest loopless node paths from `src` to `dst`,
+/// ordered by hop count (ties in discovery order). Each path includes both
+/// endpoints. Returns fewer than `k` paths when the graph runs out.
+pub fn k_shortest_paths(t: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+    assert_ne!(src, dst);
+    let Some(first) = bfs_restricted(t, src, dst, &HashSet::new(), &HashSet::new()) else {
+        return Vec::new();
+    };
+    let mut a: Vec<Vec<NodeId>> = vec![first];
+    let mut b: Vec<Vec<NodeId>> = Vec::new();
+
+    while a.len() < k {
+        let prev = a.last().unwrap().clone();
+        for i in 0..prev.len() - 1 {
+            let spur = prev[i];
+            let root = &prev[..=i];
+            let mut banned_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for p in &a {
+                if p.len() > i && p[..=i] == *root {
+                    banned_edges.insert((p[i], p[i + 1]));
+                    banned_edges.insert((p[i + 1], p[i]));
+                }
+            }
+            let banned_nodes: HashSet<NodeId> = root[..i].iter().copied().collect();
+            if let Some(spur_path) = bfs_restricted(t, spur, dst, &banned_nodes, &banned_edges) {
+                let mut cand = root[..i].to_vec();
+                cand.extend(spur_path);
+                if !a.contains(&cand) && !b.contains(&cand) {
+                    b.push(cand);
+                }
+            }
+        }
+        if b.is_empty() {
+            break;
+        }
+        // Shortest candidate next (stable for determinism).
+        let best = b
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, p)| (p.len(), *i))
+            .map(|(i, _)| i)
+            .unwrap();
+        a.push(b.swap_remove(best));
+    }
+    a
+}
+
+fn bfs_restricted(
+    t: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned_nodes: &HashSet<NodeId>,
+    banned_edges: &HashSet<(NodeId, NodeId)>,
+) -> Option<Vec<NodeId>> {
+    if banned_nodes.contains(&src) || banned_nodes.contains(&dst) {
+        return None;
+    }
+    let n = t.num_nodes();
+    let mut parent = vec![u32::MAX; n];
+    let mut seen = vec![false; n];
+    seen[src as usize] = true;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            let mut path = vec![dst];
+            let mut v = dst;
+            while v != src {
+                v = parent[v as usize];
+                path.push(v);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(v, _) in t.neighbors(u) {
+            if seen[v as usize]
+                || banned_nodes.contains(&v)
+                || banned_edges.contains(&(u, v))
+            {
+                continue;
+            }
+            seen[v as usize] = true;
+            parent[v as usize] = u;
+            q.push_back(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::fattree::FatTree;
+    use dcn_topology::xpander::Xpander;
+    use dcn_topology::NodeKind;
+
+    #[test]
+    fn single_path_graph() {
+        let mut t = dcn_topology::Topology::new("path");
+        let n: Vec<_> = (0..4).map(|_| t.add_node(NodeKind::Tor, 1)).collect();
+        for w in n.windows(2) {
+            t.add_link(w[0], w[1]);
+        }
+        let paths = k_shortest_paths(&t, 0, 3, 5);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn diamond_two_paths() {
+        let mut t = dcn_topology::Topology::new("diamond");
+        for _ in 0..4 {
+            t.add_node(NodeKind::Tor, 1);
+        }
+        t.add_link(0, 1);
+        t.add_link(0, 2);
+        t.add_link(1, 3);
+        t.add_link(2, 3);
+        let paths = k_shortest_paths(&t, 0, 3, 5);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 3);
+        assert_eq!(paths[1].len(), 3);
+        assert_ne!(paths[0], paths[1]);
+    }
+
+    #[test]
+    fn paths_are_loopless_and_sorted() {
+        let t = Xpander::new(5, 6, 2, 4).build();
+        let paths = k_shortest_paths(&t, 0, 17, 8);
+        assert!(!paths.is_empty());
+        let mut last = 0usize;
+        for p in &paths {
+            assert!(p.len() >= last, "paths not sorted by length");
+            last = p.len();
+            let set: HashSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len(), "loop in path {p:?}");
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), 17);
+            for w in p.windows(2) {
+                assert!(t.are_adjacent(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_has_many_shortest() {
+        let t = FatTree::full(4).build();
+        // k=4 fat-tree: 4 shortest 4-hop paths between cross-pod ToRs.
+        let paths = k_shortest_paths(&t, 0, 12, 4);
+        assert_eq!(paths.len(), 4);
+        assert!(paths.iter().all(|p| p.len() == 5));
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let mut t = dcn_topology::Topology::new("islands");
+        for _ in 0..3 {
+            t.add_node(NodeKind::Tor, 1);
+        }
+        t.add_link(0, 1);
+        assert!(k_shortest_paths(&t, 0, 2, 3).is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! K-shortest-paths oblivious routing: hash each flowlet onto one of the
+//! k shortest loopless paths. This is the path layer the pre-HYB expander
+//! literature paired with MPTCP (§6: "solutions have depended on MPTCP
+//! over k-shortest paths"); here it serves as a baseline selector.
+
+use crate::ecmp::hash3;
+use crate::hyb::PathSelector;
+use crate::ksp::k_shortest_paths;
+use dcn_topology::{LinkId, NodeId, Topology};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The k link-paths cached for one (src, dst) pair.
+type PathSet = Arc<Vec<Vec<LinkId>>>;
+
+/// Flowlet-hashed KSP selector with a lazily filled per-pair path cache.
+pub struct KspSelector {
+    topology: Topology,
+    k: usize,
+    cache: RwLock<HashMap<(NodeId, NodeId), PathSet>>,
+}
+
+impl KspSelector {
+    pub fn new(topology: &Topology, k: usize) -> Self {
+        assert!(k >= 1);
+        KspSelector { topology: topology.clone(), k, cache: RwLock::new(HashMap::new()) }
+    }
+
+    fn paths(&self, src: NodeId, dst: NodeId) -> PathSet {
+        if let Some(p) = self.cache.read().get(&(src, dst)) {
+            return p.clone();
+        }
+        let node_paths = k_shortest_paths(&self.topology, src, dst, self.k);
+        assert!(!node_paths.is_empty(), "no route {src} -> {dst}");
+        let link_paths: Vec<Vec<LinkId>> = node_paths
+            .iter()
+            .map(|p| {
+                p.windows(2)
+                    .map(|w| {
+                        self.topology
+                            .neighbors(w[0])
+                            .iter()
+                            .find(|&&(v, _)| v == w[1])
+                            .map(|&(_, l)| l)
+                            .expect("consecutive path nodes must be adjacent")
+                    })
+                    .collect()
+            })
+            .collect();
+        let arc = Arc::new(link_paths);
+        self.cache.write().insert((src, dst), arc.clone());
+        arc
+    }
+
+    /// Number of cached (src, dst) entries — for tests and diagnostics.
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// All k cached link-paths for a pair (computing them on first use) —
+    /// used by congestion-aware routers that score candidates themselves.
+    pub fn candidate_paths(&self, src: NodeId, dst: NodeId) -> PathSet {
+        self.paths(src, dst)
+    }
+}
+
+impl PathSelector for KspSelector {
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
+        let paths = self.paths(src, dst);
+        let pick = (hash3(key, src as u64, dst as u64) % paths.len() as u64) as usize;
+        paths[pick].clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "KSP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::xpander::Xpander;
+
+    fn walk(t: &Topology, src: NodeId, links: &[LinkId]) -> NodeId {
+        let mut u = src;
+        for &l in links {
+            u = t.link(l).other(u);
+        }
+        u
+    }
+
+    #[test]
+    fn ksp_selector_reaches_destination_over_many_keys() {
+        let t = Xpander::new(5, 8, 2, 1).build();
+        let sel = KspSelector::new(&t, 6);
+        for key in 0..100u64 {
+            let p = sel.select(0, 30, key, 0);
+            assert_eq!(walk(&t, 0, &p), 30);
+        }
+        assert_eq!(sel.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn ksp_gives_neighbor_pairs_path_diversity() {
+        // Unlike ECMP, KSP routes between adjacent ToRs over several paths.
+        let t = Xpander::new(6, 8, 3, 2).build();
+        let l = t.link(0);
+        let sel = KspSelector::new(&t, 8);
+        let mut distinct = std::collections::HashSet::new();
+        for key in 0..200u64 {
+            distinct.insert(sel.select(l.a, l.b, key, 0));
+        }
+        assert!(distinct.len() >= 4, "only {} paths used", distinct.len());
+    }
+
+    #[test]
+    fn same_key_is_stable() {
+        let t = Xpander::new(5, 6, 2, 3).build();
+        let sel = KspSelector::new(&t, 4);
+        assert_eq!(sel.select(1, 20, 9, 0), sel.select(1, 20, 9, 0));
+    }
+}

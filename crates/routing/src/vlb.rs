@@ -1,0 +1,126 @@
+//! Valiant load balancing (Zhang-Shen & McKeown): bounce each flow(let)
+//! through a random intermediate switch, reaching it and leaving it via
+//! ECMP. This trades 2× path length for full use of the network's path
+//! diversity — the paper's escape hatch from ECMP's single-path collapse
+//! between adjacent ToRs (§6.1), implemented in practice as encap/decap
+//! at the hypervisor (§6.3, as in VL2).
+
+use crate::ecmp::{hash3, EcmpTable};
+use dcn_topology::{LinkId, NodeId, Topology};
+
+/// VLB path selection over a prebuilt [`EcmpTable`].
+pub struct Vlb {
+    num_nodes: u32,
+}
+
+impl Vlb {
+    pub fn new(t: &Topology) -> Self {
+        Self::with_nodes(t.num_nodes() as u32)
+    }
+
+    /// Construct from a switch count alone (VLB needs nothing else).
+    pub fn with_nodes(num_nodes: u32) -> Self {
+        Vlb { num_nodes }
+    }
+
+    /// Picks the intermediate switch for a flowlet: uniform over all
+    /// switches other than source and destination, derived from `key`.
+    pub fn intermediate(&self, src: NodeId, dst: NodeId, key: u64) -> NodeId {
+        assert!(self.num_nodes > 2, "VLB needs at least 3 switches");
+        let mut h = hash3(key, src as u64, dst as u64);
+        loop {
+            let via = (h % self.num_nodes as u64) as NodeId;
+            if via != src && via != dst {
+                return via;
+            }
+            h = hash3(h, 0x5eed, key);
+        }
+    }
+
+    /// Full VLB path: ECMP to the intermediate, then ECMP to the
+    /// destination. The two legs use distinct hash keys so their per-hop
+    /// choices are independent.
+    pub fn path(&self, table: &EcmpTable, src: NodeId, dst: NodeId, key: u64) -> Vec<LinkId> {
+        let via = self.intermediate(src, dst, key);
+        let mut p = table.path(src, via, hash3(key, 1, via as u64));
+        p.extend(table.path(via, dst, hash3(key, 2, via as u64)));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::xpander::Xpander;
+
+    fn net() -> (dcn_topology::Topology, EcmpTable, Vlb) {
+        let t = Xpander::new(6, 8, 3, 2).build();
+        let table = EcmpTable::new(&t);
+        let vlb = Vlb::new(&t);
+        (t, table, vlb)
+    }
+
+    #[test]
+    fn path_reaches_destination() {
+        let (t, table, vlb) = net();
+        for key in 0..50u64 {
+            let p = vlb.path(&table, 0, 1, key);
+            let mut u = 0u32;
+            for &l in &p {
+                u = t.link(l).other(u);
+            }
+            assert_eq!(u, 1);
+        }
+    }
+
+    #[test]
+    fn intermediate_never_endpoint() {
+        let (_, _, vlb) = net();
+        for key in 0..500u64 {
+            let via = vlb.intermediate(3, 9, key);
+            assert_ne!(via, 3);
+            assert_ne!(via, 9);
+        }
+    }
+
+    #[test]
+    fn uses_many_distinct_paths_between_neighbors() {
+        // The whole point (§6.1): adjacent ToRs get path diversity.
+        let (t, table, vlb) = net();
+        let l = t.link(0);
+        let mut firsts = std::collections::HashSet::new();
+        for key in 0..200u64 {
+            let p = vlb.path(&table, l.a, l.b, key);
+            firsts.insert(p[0]);
+        }
+        assert!(firsts.len() > 3, "VLB stuck on {} first hops", firsts.len());
+    }
+
+    #[test]
+    fn deterministic_per_key() {
+        let (_, table, vlb) = net();
+        assert_eq!(vlb.path(&table, 0, 5, 77), vlb.path(&table, 0, 5, 77));
+    }
+
+    #[test]
+    fn intermediates_spread_uniformly() {
+        let (t, _, vlb) = net();
+        let n = t.num_nodes();
+        let mut counts = vec![0usize; n];
+        let trials = 20_000;
+        for key in 0..trials as u64 {
+            counts[vlb.intermediate(0, 1, key) as usize] += 1;
+        }
+        let expect = trials as f64 / (n - 2) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            if i == 0 || i == 1 {
+                assert_eq!(c, 0);
+            } else {
+                assert!(
+                    (c as f64 - expect).abs() < expect * 0.5,
+                    "node {i}: {c} vs {expect}"
+                );
+            }
+        }
+    }
+}

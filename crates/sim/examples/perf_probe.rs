@@ -1,0 +1,33 @@
+//! Quick performance probe: events/second of the engine under load.
+use dcn_routing::RoutingSuite;
+use dcn_sim::{compute_metrics, SimConfig, Simulator, MS, SEC};
+use dcn_topology::fattree::FatTree;
+use dcn_workloads::{fsize::PFabricWebSearch, generate_flows, tm::AllToAll};
+
+fn main() {
+    let t = FatTree::full(8).build(); // 128 servers
+    let suite = RoutingSuite::new(&t);
+    let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+    let pattern = AllToAll::new(&t, t.tors_with_servers());
+    // 167 flows/s/server over 0.1 s
+    let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 167.0 * 128.0, 0.1, 1);
+    println!("flows: {}", flows.len());
+    sim.set_window(10 * MS, 100 * MS);
+    sim.inject(&flows);
+    let start = std::time::Instant::now();
+    let rec = sim.run(20 * SEC);
+    let el = start.elapsed();
+    let m = compute_metrics(&rec, 10 * MS, 100 * MS);
+    println!(
+        "wall {:?}  events {}  ({:.1} M ev/s)  completed {}/{}  avgFCT {:.3} ms p99s {:.3} ms tput {:.2} Gbps drops {}",
+        el,
+        sim.events_processed(),
+        sim.events_processed() as f64 / el.as_secs_f64() / 1e6,
+        m.completed,
+        m.flows,
+        m.avg_fct_ms,
+        m.p99_short_fct_ms,
+        m.avg_long_tput_gbps,
+        sim.total_drops()
+    );
+}

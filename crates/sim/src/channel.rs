@@ -1,0 +1,214 @@
+//! Directed channels: an output queue plus a serializing transmitter.
+//!
+//! Every undirected topology link is two channels; every server has an
+//! up-channel (server→ToR) and a down-channel (ToR→server). Channels drop
+//! from the tail when full and mark ECN (CE) on enqueue when the queue
+//! already holds at least K packets' worth of bytes — DCTCP marking.
+
+use crate::types::{Ns, Packet};
+use std::collections::VecDeque;
+
+/// One directed channel.
+#[derive(Debug)]
+pub struct Channel {
+    /// Node (switch or server, in the simulator's global id space) that
+    /// packets leaving this channel arrive at.
+    pub to_node: u32,
+    /// Bytes per nanosecond.
+    pub rate_bpns: f64,
+    pub prop_ns: Ns,
+    queue: VecDeque<Box<Packet>>,
+    queue_bytes: u64,
+    cap_bytes: u64,
+    ecn_threshold_bytes: u64,
+    /// A packet is currently being serialized.
+    pub busy: bool,
+    /// Drop counter (tail drops), for stats and tests.
+    pub drops: u64,
+    /// ECN marks applied.
+    pub marks: u64,
+}
+
+/// Result of offering a packet to a channel.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Channel idle: caller must schedule TxFree(now + ser) and
+    /// Deliver(now + ser + prop).
+    StartTx,
+    /// Queued behind the current transmission.
+    Queued,
+    /// Tail-dropped.
+    Dropped,
+}
+
+impl Channel {
+    pub fn new(to_node: u32, gbps: f64, prop_ns: Ns, cap_bytes: u64, ecn_bytes: u64) -> Self {
+        Channel {
+            to_node,
+            rate_bpns: gbps / 8.0,
+            prop_ns,
+            queue: VecDeque::new(),
+            queue_bytes: 0,
+            cap_bytes,
+            ecn_threshold_bytes: ecn_bytes,
+            busy: false,
+            drops: 0,
+            marks: 0,
+        }
+    }
+
+    /// Serialization time for `bytes` on this channel.
+    pub fn ser_ns(&self, bytes: u32) -> Ns {
+        (bytes as f64 / self.rate_bpns).ceil() as Ns
+    }
+
+    /// Offers a packet. On `StartTx` the packet is handed back to the
+    /// caller (it owns the in-flight transmission); on `Queued` the channel
+    /// keeps it; on `Dropped` it is gone.
+    pub fn offer(&mut self, mut pkt: Box<Packet>) -> (Offer, Option<Box<Packet>>) {
+        if !self.busy {
+            self.busy = true;
+            return (Offer::StartTx, Some(pkt));
+        }
+        if self.queue_bytes + pkt.bytes as u64 > self.cap_bytes {
+            self.drops += 1;
+            return (Offer::Dropped, None);
+        }
+        // DCTCP: mark on enqueue when the instantaneous queue exceeds K.
+        if self.queue_bytes >= self.ecn_threshold_bytes && !pkt.is_ack {
+            pkt.ecn_ce = true;
+            self.marks += 1;
+        }
+        self.queue_bytes += pkt.bytes as u64;
+        self.queue.push_back(pkt);
+        (Offer::Queued, None)
+    }
+
+    /// Called when the in-flight transmission completes; returns the next
+    /// packet to transmit, if any (caller schedules its TxFree/Deliver).
+    pub fn tx_done(&mut self) -> Option<Box<Packet>> {
+        debug_assert!(self.busy);
+        match self.queue.pop_front() {
+            Some(pkt) => {
+                self.queue_bytes -= pkt.bytes as u64;
+                Some(pkt)
+            }
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    pub fn queue_bytes(&self) -> u64 {
+        self.queue_bytes
+    }
+
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pkt(bytes: u32) -> Box<Packet> {
+        Box::new(Packet {
+            flow: 0,
+            seq: 0,
+            bytes,
+            ecn_ce: false,
+            is_ack: false,
+            ack_ecn: false,
+            ts: 0,
+            hop: 0,
+            path: Arc::new(vec![]),
+        })
+    }
+
+    fn chan() -> Channel {
+        // 10 Gbps, 100ns prop, 10-packet queue, ECN at 3 packets.
+        Channel::new(1, 10.0, 100, 10 * 1500, 3 * 1500)
+    }
+
+    #[test]
+    fn idle_channel_starts_tx() {
+        let mut c = chan();
+        let (o, p) = c.offer(pkt(1500));
+        assert_eq!(o, Offer::StartTx);
+        assert!(p.is_some());
+        assert!(c.busy);
+    }
+
+    #[test]
+    fn busy_channel_queues_then_drains_fifo() {
+        let mut c = chan();
+        c.offer(pkt(1500));
+        let mut q1 = pkt(100);
+        q1.seq = 1;
+        let mut q2 = pkt(100);
+        q2.seq = 2;
+        assert_eq!(c.offer(q1).0, Offer::Queued);
+        assert_eq!(c.offer(q2).0, Offer::Queued);
+        assert_eq!(c.queue_len(), 2);
+        let n1 = c.tx_done().unwrap();
+        assert_eq!(n1.seq, 1);
+        let n2 = c.tx_done().unwrap();
+        assert_eq!(n2.seq, 2);
+        assert!(c.tx_done().is_none());
+        assert!(!c.busy);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut c = chan();
+        c.offer(pkt(1500)); // in flight
+        for _ in 0..10 {
+            assert_eq!(c.offer(pkt(1500)).0, Offer::Queued);
+        }
+        assert_eq!(c.offer(pkt(1500)).0, Offer::Dropped);
+        assert_eq!(c.drops, 1);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut c = chan();
+        c.offer(pkt(1500)); // in flight, queue empty
+        c.offer(pkt(1500)); // queue -> 1500
+        c.offer(pkt(1500)); // queue -> 3000
+        c.offer(pkt(1500)); // queue -> 4500 (enqueued at 3000 < 4500 thresh)
+        assert_eq!(c.marks, 0);
+        c.offer(pkt(1500)); // enqueued seeing 4500 >= 4500 → marked
+        assert_eq!(c.marks, 1);
+        // Drain: the marked packet is the last one.
+        c.tx_done();
+        c.tx_done();
+        c.tx_done();
+        let marked = c.tx_done().unwrap();
+        assert!(marked.ecn_ce);
+    }
+
+    #[test]
+    fn acks_never_marked() {
+        let mut c = chan();
+        c.offer(pkt(1500)); // in flight
+        for _ in 0..3 {
+            c.offer(pkt(1500)); // queue reaches exactly the 4500 B threshold
+        }
+        assert_eq!(c.marks, 0);
+        let mut ack = pkt(40);
+        ack.is_ack = true;
+        c.offer(ack); // sees queue ≥ threshold but is an ACK
+        assert_eq!(c.marks, 0);
+        c.offer(pkt(1500)); // a data packet here *is* marked
+        assert_eq!(c.marks, 1);
+    }
+
+    #[test]
+    fn serialization_uses_channel_rate() {
+        let c = Channel::new(0, 40.0, 0, 1, 1);
+        assert_eq!(c.ser_ns(1500), 300); // 4x faster than 10G
+    }
+}

@@ -1,0 +1,35 @@
+//! # dcn-sim
+//!
+//! A packet-level discrete-event data center network simulator — the Rust
+//! replacement for the netbench framework used by *"Beyond fat-trees
+//! without antennae, mirrors, and disco-balls"* (SIGCOMM 2017, §6).
+//!
+//! Model: output-queued switches with tail-drop queues and DCTCP-style ECN
+//! marking, full-duplex links with serialization + propagation delay,
+//! per-flow DCTCP senders, and flowlet-granularity path selection through
+//! any [`dcn_routing::PathSelector`] (ECMP / VLB / HYB).
+//!
+//! ```
+//! use dcn_sim::{Simulator, SimConfig, compute_metrics, SEC};
+//! use dcn_routing::RoutingSuite;
+//! use dcn_topology::fattree::FatTree;
+//! use dcn_workloads::{tm::AllToAll, fsize::FixedSize, generate_flows};
+//!
+//! let t = FatTree::full(4).build();
+//! let suite = RoutingSuite::new(&t);
+//! let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+//! let pattern = AllToAll::new(&t, t.tors_with_servers());
+//! sim.inject(&generate_flows(&pattern, &FixedSize(10_000), 500.0, 0.01, 7));
+//! let records = sim.run(SEC);
+//! let m = compute_metrics(&records, 0, SEC);
+//! assert_eq!(m.completed, m.flows);
+//! ```
+
+pub mod channel;
+pub mod net;
+pub mod stats;
+pub mod types;
+
+pub use net::Simulator;
+pub use stats::{compute_metrics, percentile, FlowRecord, Metrics, SHORT_FLOW_BYTES};
+pub use types::{Ns, Packet, SimConfig, Transport, MS, SEC, US};

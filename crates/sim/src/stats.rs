@@ -1,0 +1,155 @@
+//! Flow-completion statistics, following §6.4: "average FCT for all flows,
+//! 99th percentile FCT for short flows (<100 KB), and average throughput
+//! for the rest", over flows started within a measurement window.
+
+use crate::types::Ns;
+
+/// Boundary between "short" and "long" flows (paper: 100 KB).
+pub const SHORT_FLOW_BYTES: u64 = 100_000;
+
+/// Outcome of a single flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowRecord {
+    pub start_ns: Ns,
+    pub size_bytes: u64,
+    /// `None` if the flow had not completed when the simulation ended.
+    pub fct_ns: Option<Ns>,
+}
+
+/// Aggregated metrics over a measurement window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Metrics {
+    /// Flows that started inside the window.
+    pub flows: usize,
+    pub completed: usize,
+    /// Average FCT over all completed window flows, in milliseconds.
+    pub avg_fct_ms: f64,
+    /// 99th-percentile FCT of completed short flows, in milliseconds.
+    pub p99_short_fct_ms: f64,
+    /// Average per-flow throughput of completed long flows, in Gbps.
+    pub avg_long_tput_gbps: f64,
+    pub short_flows: usize,
+    pub long_flows: usize,
+}
+
+/// Computes the paper's three headline metrics over flows starting in
+/// `[w_start, w_end)`. Unfinished flows are counted in `flows` but excluded
+/// from the averages (callers should check `completed == flows` and extend
+/// the run otherwise, as the paper's methodology requires all window flows
+/// to finish).
+pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metrics {
+    let window: Vec<&FlowRecord> = records
+        .iter()
+        .filter(|r| r.start_ns >= w_start && r.start_ns < w_end)
+        .collect();
+    let mut m = Metrics { flows: window.len(), ..Default::default() };
+
+    let mut fcts: Vec<f64> = Vec::new();
+    let mut short_fcts: Vec<f64> = Vec::new();
+    let mut long_tputs: Vec<f64> = Vec::new();
+    for r in &window {
+        let short = r.size_bytes < SHORT_FLOW_BYTES;
+        if short {
+            m.short_flows += 1;
+        } else {
+            m.long_flows += 1;
+        }
+        let Some(fct) = r.fct_ns else {
+            continue;
+        };
+        m.completed += 1;
+        let fct_ms = fct as f64 / 1e6;
+        fcts.push(fct_ms);
+        if short {
+            short_fcts.push(fct_ms);
+        } else {
+            // bits / ns = Gbps.
+            long_tputs.push(r.size_bytes as f64 * 8.0 / fct as f64);
+        }
+    }
+    if !fcts.is_empty() {
+        m.avg_fct_ms = fcts.iter().sum::<f64>() / fcts.len() as f64;
+    }
+    m.p99_short_fct_ms = percentile(&mut short_fcts, 0.99);
+    if !long_tputs.is_empty() {
+        m.avg_long_tput_gbps = long_tputs.iter().sum::<f64>() / long_tputs.len() as f64;
+    }
+    m
+}
+
+/// Nearest-rank percentile; 0.0 for an empty sample.
+pub fn percentile(values: &mut [f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MS;
+
+    fn rec(start_ms: u64, size: u64, fct_ms: Option<u64>) -> FlowRecord {
+        FlowRecord {
+            start_ns: start_ms * MS,
+            size_bytes: size,
+            fct_ns: fct_ms.map(|f| f * MS),
+        }
+    }
+
+    #[test]
+    fn window_filtering() {
+        let records = vec![
+            rec(0, 50_000, Some(1)),   // before window
+            rec(5, 50_000, Some(2)),   // inside
+            rec(9, 200_000, Some(10)), // inside
+            rec(10, 50_000, Some(1)),  // at end → excluded
+        ];
+        let m = compute_metrics(&records, 5 * MS, 10 * MS);
+        assert_eq!(m.flows, 2);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.short_flows, 1);
+        assert_eq!(m.long_flows, 1);
+    }
+
+    #[test]
+    fn avg_fct_and_long_throughput() {
+        let records = vec![
+            rec(1, 10_000, Some(2)),     // short, 2 ms
+            rec(1, 1_000_000, Some(4)),  // long, 1 MB in 4 ms = 2 Gbps
+        ];
+        let m = compute_metrics(&records, 0, 10 * MS);
+        assert!((m.avg_fct_ms - 3.0).abs() < 1e-9);
+        assert!((m.avg_long_tput_gbps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_short_only_uses_short_flows() {
+        let mut records: Vec<FlowRecord> =
+            (0..100).map(|i| rec(1, 10_000, Some(i + 1))).collect();
+        records.push(rec(1, 10_000_000, Some(10_000))); // long straggler
+        let m = compute_metrics(&records, 0, 10 * MS);
+        assert!((m.p99_short_fct_ms - 99.0).abs() < 1e-9, "{}", m.p99_short_fct_ms);
+    }
+
+    #[test]
+    fn unfinished_flows_tracked_not_averaged() {
+        let records = vec![rec(1, 10_000, Some(2)), rec(2, 10_000, None)];
+        let m = compute_metrics(&records, 0, 10 * MS);
+        assert_eq!(m.flows, 2);
+        assert_eq!(m.completed, 1);
+        assert!((m.avg_fct_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&mut [], 0.99), 0.0);
+        assert_eq!(percentile(&mut [5.0], 0.99), 5.0);
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&mut v, 0.5), 2.0);
+        assert_eq!(percentile(&mut v, 1.0), 4.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Core simulator types: time, packets, configuration.
+
+use std::sync::Arc;
+
+/// Simulation time in integer nanoseconds.
+pub type Ns = u64;
+
+pub const MS: Ns = 1_000_000;
+pub const US: Ns = 1_000;
+pub const SEC: Ns = 1_000_000_000;
+
+/// A packet in flight. Data packets carry `seq` = packet index within the
+/// flow; ACKs carry `seq` = cumulative packets received in order.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    pub flow: u32,
+    pub seq: u32,
+    /// Wire size in bytes (headers included).
+    pub bytes: u32,
+    /// Congestion Experienced: set by switches when queues exceed the ECN
+    /// threshold (DCTCP marking).
+    pub ecn_ce: bool,
+    pub is_ack: bool,
+    /// ECN echo carried back by ACKs.
+    pub ack_ecn: bool,
+    /// Send timestamp of the data packet this (or its ACK) measures.
+    pub ts: Ns,
+    /// Index of the next channel to traverse in `path`.
+    pub hop: u16,
+    /// Directed channel ids from source server to destination server.
+    pub path: Arc<Vec<u32>>,
+}
+
+/// Congestion-control flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// DCTCP (the paper's setting): ECN-proportional window scaling.
+    Dctcp,
+    /// Loss-based NewReno baseline: ECN marks are ignored; the window
+    /// reacts only to duplicate ACKs and timeouts.
+    NewReno,
+}
+
+/// Simulator configuration. Defaults reproduce the paper's §6.4 setup:
+/// 10 Gbps links, DCTCP with ECN threshold 20 full-sized packets,
+/// 50 µs flowlet gap.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Switch-to-switch link rate in Gbps.
+    pub link_gbps: f64,
+    /// Server-to-ToR link rate in Gbps. §6.6's "server-level bottlenecks
+    /// ignored" mode sets this very high (e.g. 1000.0).
+    pub server_link_gbps: f64,
+    /// Per-link propagation delay.
+    pub prop_delay_ns: Ns,
+    /// Switch egress queue capacity in full-sized packets.
+    pub queue_pkts: u32,
+    /// DCTCP ECN marking threshold in full-sized packets.
+    pub ecn_k_pkts: u32,
+    /// Flowlet inactivity gap (Vanini et al.; the paper uses 50 µs).
+    pub flowlet_gap_ns: Ns,
+    /// Maximum transmission unit (wire bytes per data packet).
+    pub mtu: u32,
+    /// Payload bytes per data packet.
+    pub mss: u32,
+    /// ACK wire size.
+    pub ack_bytes: u32,
+    /// Initial congestion window in packets.
+    pub init_cwnd_pkts: u32,
+    /// Minimum retransmission timeout.
+    pub min_rto_ns: Ns,
+    /// DCTCP gain g for the fraction-of-marked-bytes EWMA.
+    pub dctcp_g: f64,
+    /// Host egress queue capacity in packets (the NIC/stack queue; it
+    /// ECN-marks at the same threshold as switch ports so DCTCP
+    /// self-paces instead of overflowing it).
+    pub host_queue_pkts: u32,
+    /// Congestion control; the paper evaluates DCTCP.
+    pub transport: Transport,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_gbps: 10.0,
+            server_link_gbps: 10.0,
+            prop_delay_ns: 100,
+            queue_pkts: 100,
+            ecn_k_pkts: 20,
+            flowlet_gap_ns: 50 * US,
+            mtu: 1500,
+            mss: 1460,
+            ack_bytes: 40,
+            init_cwnd_pkts: 10,
+            min_rto_ns: MS,
+            dctcp_g: 1.0 / 16.0,
+            host_queue_pkts: 256,
+            transport: Transport::Dctcp,
+        }
+    }
+}
+
+impl SimConfig {
+    /// §6.6 ProjecToR-style evaluation: "unconstrained capacity for
+    /// server-switch links".
+    pub fn unconstrained_servers(mut self) -> Self {
+        self.server_link_gbps = 1000.0;
+        self
+    }
+
+    /// Loss-based NewReno baseline instead of DCTCP.
+    pub fn with_newreno(mut self) -> Self {
+        self.transport = Transport::NewReno;
+        self
+    }
+
+    /// Serialization time of `bytes` at `gbps`.
+    pub fn ser_ns(bytes: u32, gbps: f64) -> Ns {
+        ((bytes as f64 * 8.0) / gbps).ceil() as Ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_10g() {
+        // 1500 B at 10 Gbps = 1.2 µs.
+        assert_eq!(SimConfig::ser_ns(1500, 10.0), 1200);
+        assert_eq!(SimConfig::ser_ns(40, 10.0), 32);
+    }
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = SimConfig::default();
+        assert_eq!(c.ecn_k_pkts, 20);
+        assert_eq!(c.flowlet_gap_ns, 50_000);
+        assert_eq!(c.link_gbps, 10.0);
+    }
+
+    #[test]
+    fn unconstrained_servers_mode() {
+        let c = SimConfig::default().unconstrained_servers();
+        assert_eq!(c.server_link_gbps, 1000.0);
+        assert_eq!(c.link_gbps, 10.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the packet simulator: conservation-style
+//! invariants that must survive any workload in the valid range.
+
+use dcn_routing::RoutingSuite;
+use dcn_sim::{SimConfig, Simulator, MS, SEC};
+use dcn_topology::fattree::FatTree;
+use dcn_topology::xpander::Xpander;
+use dcn_workloads::tm::Endpoint;
+use dcn_workloads::{generate_flows, AllToAll, FixedSize, FlowEvent};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every injected flow completes on an idle-enough network, and FCT
+    /// is at least the serialization floor and at most the run horizon.
+    #[test]
+    fn flows_complete_with_sane_fcts(
+        lambda in 100.0f64..1500.0,
+        bytes in 1_000u64..500_000,
+        seed in 0u64..50,
+    ) {
+        let t = FatTree::full(4).build();
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(bytes), lambda, 0.01, seed);
+        prop_assume!(!flows.is_empty());
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.set_window(0, 10 * MS);
+        sim.inject(&flows);
+        let rec = sim.run(120 * SEC);
+        let floor = (bytes as f64 * 8.0 / 10.0) as u64;
+        for r in &rec {
+            let fct = r.fct_ns.expect("unfinished flow");
+            prop_assert!(fct >= floor);
+            prop_assert!(fct < 120 * SEC);
+        }
+    }
+
+    /// Byte conservation: with zero drops, ECN marks or not, the receiver
+    /// saw exactly the flow's bytes — FCT times goodput equals size.
+    #[test]
+    fn goodput_consistent(bytes in 100_000u64..5_000_000) {
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.set_window(0, MS);
+        sim.inject(&[FlowEvent {
+            start_s: 0.0,
+            src: Endpoint { rack: 0, server: 0 },
+            dst: Endpoint { rack: 12, server: 1 },
+            bytes,
+        }]);
+        let rec = sim.run(60 * SEC);
+        let fct = rec[0].fct_ns.unwrap() as f64;
+        let goodput_gbps = bytes as f64 * 8.0 / fct;
+        prop_assert!(goodput_gbps <= 10.0 + 1e-9, "goodput above line rate");
+        prop_assert!(goodput_gbps > 1.0, "goodput {goodput_gbps} implausibly low");
+        prop_assert_eq!(sim.total_drops(), 0);
+    }
+
+    /// Determinism under every routing scheme.
+    #[test]
+    fn deterministic_under_all_routings(mode in 0u8..3, seed in 0u64..20) {
+        let t = Xpander::new(4, 6, 2, 3).build();
+        let run = || {
+            let suite = RoutingSuite::new(&t);
+            let sel: Box<dyn dcn_routing::PathSelector> = match mode {
+                0 => Box::new(suite.ecmp()),
+                1 => Box::new(suite.vlb()),
+                _ => Box::new(suite.hyb(100_000)),
+            };
+            let pattern = AllToAll::new(&t, t.tors_with_servers());
+            let flows = generate_flows(&pattern, &FixedSize(80_000), 800.0, 0.005, seed);
+            let mut sim = Simulator::new(&t, sel, SimConfig::default());
+            sim.set_window(0, 5 * MS);
+            sim.inject(&flows);
+            sim.run(60 * SEC).iter().map(|r| r.fct_ns).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Shrinking queues can only add drops, never remove completions.
+    #[test]
+    fn small_queues_still_deliver(queue in 5u32..100, seed in 0u64..20) {
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let cfg = SimConfig {
+            queue_pkts: queue,
+            ecn_k_pkts: (queue / 3).max(1),
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(200_000), 2_000.0, 0.005, seed);
+        prop_assume!(!flows.is_empty());
+        sim.set_window(0, 5 * MS);
+        sim.inject(&flows);
+        let rec = sim.run(120 * SEC);
+        for r in &rec {
+            prop_assert!(r.fct_ns.is_some(), "flow lost despite retransmission");
+        }
+    }
+}

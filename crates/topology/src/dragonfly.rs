@@ -1,0 +1,148 @@
+//! Dragonfly (Kim, Dally, Scott, Abts — ISCA 2008): the hierarchical
+//! direct topology whose HPC deployment the paper cites (§4.2) as
+//! evidence that non-Clos static networks are operationally viable.
+//!
+//! A balanced dragonfly has groups of `a` routers; each router carries
+//! `p` servers, `a−1` local links (the group is a clique), and `h` global
+//! links. With `g = a·h + 1` groups, every pair of groups is joined by
+//! exactly one global link.
+
+use crate::graph::{NodeId, NodeKind, Topology};
+
+/// Balanced dragonfly configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Dragonfly {
+    /// Routers per group.
+    pub a: u32,
+    /// Global links per router.
+    pub h: u32,
+    /// Servers per router.
+    pub p: u32,
+}
+
+impl Dragonfly {
+    /// The canonical balanced sizing a = 2h, p = h.
+    pub fn balanced(h: u32) -> Self {
+        assert!(h >= 1);
+        Dragonfly { a: 2 * h, h, p: h }
+    }
+
+    /// Number of groups: a·h + 1.
+    pub fn num_groups(&self) -> u32 {
+        self.a * self.h + 1
+    }
+
+    pub fn num_switches(&self) -> usize {
+        (self.num_groups() * self.a) as usize
+    }
+
+    pub fn num_servers(&self) -> usize {
+        self.num_switches() * self.p as usize
+    }
+
+    /// Builds the topology; router `r` of group `g` is node `g·a + r`,
+    /// and `group(node)` is the dragonfly group.
+    pub fn build(&self) -> Topology {
+        let (a, h, p) = (self.a, self.h, self.p);
+        assert!(a >= 2, "need at least two routers per group");
+        let g = self.num_groups();
+        let mut t = Topology::new(format!("dragonfly(a={a}, h={h}, p={p}; {g} groups)"));
+        for gi in 0..g {
+            for _ in 0..a {
+                let n = t.add_node(NodeKind::Tor, p);
+                t.set_group(n, gi);
+            }
+        }
+        let node = |gi: u32, r: u32| -> NodeId { gi * a + r };
+        // Local links: each group is a clique.
+        for gi in 0..g {
+            for r1 in 0..a {
+                for r2 in (r1 + 1)..a {
+                    t.add_link(node(gi, r1), node(gi, r2));
+                }
+            }
+        }
+        // Global links: one per group pair. Group gi's k-th global port
+        // (k ∈ 0..a·h) leads to group (gi + k + 1) mod g; the matching
+        // port on the far side is the complementary index, so each pair
+        // is wired exactly once (consecutive allocation).
+        for gi in 0..g {
+            for k in 0..a * h {
+                let gj = (gi + k + 1) % g;
+                if gi < gj {
+                    let r_i = k / h;
+                    // Far side: gj reaches gi via offset g − 2 − k.
+                    let k_j = g - 2 - k;
+                    let r_j = k_j / h;
+                    t.add_link(node(gi, r_i), node(gj, r_j));
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::path_stats;
+
+    #[test]
+    fn balanced_h2_shape() {
+        // a=4, h=2, p=2: 9 groups × 4 routers = 36 switches, 72 servers.
+        let df = Dragonfly::balanced(2);
+        assert_eq!(df.num_groups(), 9);
+        assert_eq!(df.num_switches(), 36);
+        assert_eq!(df.num_servers(), 72);
+        let t = df.build();
+        assert_eq!(t.num_nodes(), 36);
+        assert!(t.is_connected());
+        // Every router: (a−1) local + h global links.
+        for n in 0..36u32 {
+            assert_eq!(t.degree(n), 3 + 2, "router {n}");
+        }
+    }
+
+    #[test]
+    fn one_global_link_per_group_pair() {
+        let t = Dragonfly::balanced(2).build();
+        let g = 9u32;
+        let mut count = std::collections::HashMap::new();
+        for l in t.links() {
+            let (ga, gb) = (t.group(l.a).unwrap(), t.group(l.b).unwrap());
+            if ga != gb {
+                *count.entry((ga.min(gb), ga.max(gb))).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(count.len() as u32, g * (g - 1) / 2);
+        assert!(count.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn diameter_is_three() {
+        // local → global → local worst case.
+        let t = Dragonfly::balanced(2).build();
+        assert!(path_stats(&t).diameter <= 3);
+    }
+
+    #[test]
+    fn global_ports_balanced_across_routers() {
+        let t = Dragonfly::balanced(3).build(); // a=6, h=3
+        for n in 0..t.num_nodes() as u32 {
+            let g = t.group(n).unwrap();
+            let global = t
+                .neighbors(n)
+                .iter()
+                .filter(|&&(v, _)| t.group(v).unwrap() != g)
+                .count();
+            assert_eq!(global, 3, "router {n} has {global} global links");
+        }
+    }
+
+    #[test]
+    fn minimum_config() {
+        let t = Dragonfly { a: 2, h: 1, p: 1 }.build();
+        assert_eq!(t.num_nodes(), 6); // 3 groups of 2
+        assert!(t.is_connected());
+    }
+}

@@ -1,0 +1,138 @@
+//! Topology export (Graphviz DOT) and structural cut estimates.
+
+use crate::graph::{NodeId, NodeKind, Topology};
+use std::fmt::Write;
+
+/// Renders the topology as Graphviz DOT. Switches are colored by role,
+/// grouped into clusters by their structural group (pods / meta-nodes),
+/// and labeled with their server counts.
+pub fn to_dot(t: &Topology) -> String {
+    let mut out = String::new();
+    writeln!(out, "graph \"{}\" {{", t.name().replace('"', "'")).unwrap();
+    writeln!(out, "  layout=neato; overlap=false; node [shape=box, style=filled];").unwrap();
+
+    // Group nodes into clusters when groups exist.
+    let mut groups: std::collections::BTreeMap<u32, Vec<NodeId>> = Default::default();
+    let mut ungrouped = Vec::new();
+    for n in 0..t.num_nodes() as NodeId {
+        match t.group(n) {
+            Some(g) => groups.entry(g).or_default().push(n),
+            None => ungrouped.push(n),
+        }
+    }
+    let node_line = |n: NodeId| {
+        let color = match t.kind(n) {
+            NodeKind::Tor => "lightblue",
+            NodeKind::Aggregation => "lightgreen",
+            NodeKind::Core => "lightsalmon",
+        };
+        let servers = t.servers_at(n);
+        let label = if servers > 0 {
+            format!("{n}\\n{servers} srv")
+        } else {
+            format!("{n}")
+        };
+        format!("  n{n} [label=\"{label}\", fillcolor={color}];")
+    };
+    for (g, nodes) in &groups {
+        writeln!(out, "  subgraph cluster_{g} {{ label=\"group {g}\";").unwrap();
+        for &n in nodes {
+            writeln!(out, "  {}", node_line(n)).unwrap();
+        }
+        writeln!(out, "  }}").unwrap();
+    }
+    for &n in &ungrouped {
+        writeln!(out, "{}", node_line(n)).unwrap();
+    }
+    for l in t.links() {
+        if (l.capacity - 1.0).abs() < 1e-12 {
+            writeln!(out, "  n{} -- n{};", l.a, l.b).unwrap();
+        } else {
+            writeln!(out, "  n{} -- n{} [label=\"{}\"];", l.a, l.b, l.capacity).unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Estimated bisection bandwidth: the minimum, over `samples` random
+/// balanced bipartitions, of the capacity crossing the cut. An upper
+/// bound on the true bisection (exact bisection is NP-hard); the paper's
+/// footnote 1 cautions that bisection can be a log factor away from
+/// throughput — this estimator exists to let users check that themselves.
+pub fn bisection_estimate(t: &Topology, samples: u32, seed: u64) -> f64 {
+    use rand::seq::SliceRandom;
+    use rand_chacha::rand_core::SeedableRng;
+    let n = t.num_nodes();
+    assert!(n >= 2);
+    let mut best = f64::INFINITY;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    for _ in 0..samples.max(1) {
+        ids.shuffle(&mut rng);
+        let left: std::collections::HashSet<NodeId> =
+            ids[..n / 2].iter().copied().collect();
+        let cut: f64 = t
+            .links()
+            .iter()
+            .filter(|l| left.contains(&l.a) != left.contains(&l.b))
+            .map(|l| l.capacity)
+            .sum();
+        best = best.min(cut);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTree;
+    use crate::xpander::Xpander;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let t = FatTree::full(4).build();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("graph"));
+        for n in 0..t.num_nodes() {
+            assert!(dot.contains(&format!("n{n} ")), "missing node {n}");
+        }
+        assert_eq!(dot.matches(" -- ").count(), t.num_links());
+        // Pods appear as clusters.
+        assert!(dot.contains("cluster_0"));
+        // Edge switches show their servers.
+        assert!(dot.contains("2 srv"));
+    }
+
+    #[test]
+    fn dot_marks_nonunit_capacity() {
+        let mut t = crate::graph::Topology::new("cap");
+        let a = t.add_node(NodeKind::Tor, 0);
+        let b = t.add_node(NodeKind::Tor, 0);
+        t.add_link_cap(a, b, 4.0);
+        assert!(to_dot(&t).contains("label=\"4\""));
+    }
+
+    #[test]
+    fn bisection_full_fat_tree() {
+        // k=4 fat-tree's true bisection is 8 links (core level); sampled
+        // cuts upper-bound it and must be ≥ it.
+        let t = FatTree::full(4).build();
+        let est = bisection_estimate(&t, 200, 1);
+        assert!(est >= 8.0 - 1e-9, "estimate {est} below true bisection");
+        assert!(est <= t.total_capacity());
+    }
+
+    #[test]
+    fn expander_bisection_scales_with_degree() {
+        let small = bisection_estimate(&Xpander::new(4, 8, 1, 1).build(), 100, 2);
+        let large = bisection_estimate(&Xpander::new(8, 8, 1, 1).build(), 100, 2);
+        assert!(large > small, "degree-8 expander should cut wider than degree-4");
+    }
+
+    #[test]
+    fn bisection_deterministic() {
+        let t = Xpander::new(5, 6, 1, 3).build();
+        assert_eq!(bisection_estimate(&t, 50, 7), bisection_estimate(&t, 50, 7));
+    }
+}

@@ -1,0 +1,446 @@
+//! Compact undirected multigraph used by every other crate.
+//!
+//! Nodes are switches (servers are modeled as per-switch attachment counts,
+//! matching the paper's rack-granularity traffic matrices). Parallel edges
+//! are allowed — oversubscribed fat-trees and small expanders use them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Index of a switch in a [`Topology`].
+pub type NodeId = u32;
+
+/// Index of an undirected link in a [`Topology`].
+pub type LinkId = u32;
+
+/// Role a switch plays in the network, used by routing and workloads to
+/// decide where servers live and by fat-tree construction audits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Top-of-rack switch: has servers attached.
+    Tor,
+    /// Fat-tree aggregation-layer switch.
+    Aggregation,
+    /// Fat-tree core-layer switch.
+    Core,
+}
+
+/// An undirected link between two switches with a capacity in line-rate
+/// units (1.0 = one standard link, e.g. 10 Gbps in the paper's experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub capacity: f64,
+}
+
+impl Link {
+    /// The endpoint that is not `from`. Panics if `from` is neither endpoint.
+    pub fn other(&self, from: NodeId) -> NodeId {
+        if from == self.a {
+            self.b
+        } else {
+            assert_eq!(from, self.b, "node {from} is not an endpoint");
+            self.a
+        }
+    }
+}
+
+/// A static switch-level network topology.
+///
+/// Construction is append-only: add nodes, then links. Adjacency is kept as
+/// `(neighbor, link)` pairs so parallel links stay distinguishable.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    kinds: Vec<NodeKind>,
+    servers: Vec<u32>,
+    links: Vec<Link>,
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+    /// Optional structural grouping (Xpander meta-nodes, fat-tree pods).
+    /// `groups[node]` is `u32::MAX` when the node is ungrouped.
+    groups: Vec<u32>,
+}
+
+impl Topology {
+    /// Creates an empty topology with a human-readable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topology {
+            name: name.into(),
+            kinds: Vec::new(),
+            servers: Vec::new(),
+            links: Vec::new(),
+            adj: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds a switch with `servers` attached servers; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, servers: u32) -> NodeId {
+        let id = self.kinds.len() as NodeId;
+        self.kinds.push(kind);
+        self.servers.push(servers);
+        self.adj.push(Vec::new());
+        self.groups.push(u32::MAX);
+        id
+    }
+
+    /// Adds an undirected unit-capacity link.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> LinkId {
+        self.add_link_cap(a, b, 1.0)
+    }
+
+    /// Adds an undirected link with an explicit capacity.
+    pub fn add_link_cap(&mut self, a: NodeId, b: NodeId, capacity: f64) -> LinkId {
+        assert!(a != b, "self-loops are not allowed (node {a})");
+        assert!((a as usize) < self.adj.len() && (b as usize) < self.adj.len());
+        assert!(capacity > 0.0, "links must have positive capacity");
+        let id = self.links.len() as LinkId;
+        self.links.push(Link { a, b, capacity });
+        self.adj[a as usize].push((b, id));
+        self.adj[b as usize].push((a, id));
+        id
+    }
+
+    /// Assigns a structural group (pod / meta-node) to a node.
+    pub fn set_group(&mut self, node: NodeId, group: u32) {
+        self.groups[node as usize] = group;
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of switches.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of undirected links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of servers across all switches.
+    pub fn num_servers(&self) -> usize {
+        self.servers.iter().map(|&s| s as usize).sum()
+    }
+
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node as usize]
+    }
+
+    /// Servers attached to `node`.
+    pub fn servers_at(&self, node: NodeId) -> u32 {
+        self.servers[node as usize]
+    }
+
+    /// Overrides the number of servers at a switch.
+    pub fn set_servers(&mut self, node: NodeId, servers: u32) {
+        self.servers[node as usize] = servers;
+    }
+
+    pub fn group(&self, node: NodeId) -> Option<u32> {
+        match self.groups[node as usize] {
+            u32::MAX => None,
+            g => Some(g),
+        }
+    }
+
+    pub fn link(&self, id: LinkId) -> Link {
+        self.links[id as usize]
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Neighbors of `node` as `(neighbor, link)` pairs; parallel links appear
+    /// once per link.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[node as usize]
+    }
+
+    /// Network degree (number of switch-to-switch link endpoints) of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node as usize].len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// All switches that have at least one server (the traffic endpoints).
+    pub fn tors_with_servers(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId)
+            .filter(|&n| self.servers[n as usize] > 0)
+            .collect()
+    }
+
+    /// Sum of all link capacities (each undirected link counted once).
+    pub fn total_capacity(&self) -> f64 {
+        self.links.iter().map(|l| l.capacity).sum()
+    }
+
+    /// Unweighted BFS hop distances from `src` (`u32::MAX` = unreachable).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_nodes()];
+        dist[src as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u as usize];
+            for &(v, _) in &self.adj[u as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest hop distances, O(V·E). Suitable for the ≤1000-node
+    /// topologies in the paper's experiments.
+    pub fn apsp(&self) -> Vec<Vec<u32>> {
+        (0..self.num_nodes() as NodeId)
+            .map(|s| self.bfs_distances(s))
+            .collect()
+    }
+
+    /// True iff every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        let d = self.bfs_distances(0);
+        d.iter().all(|&x| x != u32::MAX)
+    }
+
+    /// Returns `true` if `a` and `b` share at least one link.
+    pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a as usize].iter().any(|&(v, _)| v == b)
+    }
+
+    /// Number of parallel links between `a` and `b`.
+    pub fn multiplicity(&self, a: NodeId, b: NodeId) -> usize {
+        self.adj[a as usize].iter().filter(|&&(v, _)| v == b).count()
+    }
+
+    /// Returns a copy of this topology with the given links removed
+    /// (failure injection). Link ids are re-assigned densely; node ids and
+    /// server placement are preserved. Panics if the survivor is
+    /// disconnected — callers model partitions explicitly if they want them.
+    pub fn without_links(&self, failed: &[LinkId]) -> Topology {
+        let failed: std::collections::HashSet<LinkId> = failed.iter().copied().collect();
+        let mut t = Topology::new(format!("{} (-{} links)", self.name, failed.len()));
+        for n in 0..self.num_nodes() as NodeId {
+            t.add_node(self.kind(n), self.servers_at(n));
+            if let Some(g) = self.group(n) {
+                t.set_group(n, g);
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if !failed.contains(&(i as LinkId)) {
+                t.add_link_cap(l.a, l.b, l.capacity);
+            }
+        }
+        assert!(t.is_connected(), "link failures disconnected the topology");
+        t
+    }
+
+    /// Fails a random `fraction` of links (deterministic per seed),
+    /// retrying other samples if a draw disconnects the network. Used for
+    /// the graceful-degradation experiments.
+    pub fn with_random_failures(&self, fraction: f64, seed: u64) -> Topology {
+        use rand::seq::SliceRandom;
+        use rand_chacha::rand_core::SeedableRng;
+        assert!((0.0..1.0).contains(&fraction));
+        let k = (self.num_links() as f64 * fraction).round() as usize;
+        if k == 0 {
+            return self.clone();
+        }
+        for attempt in 0..64u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+                seed.wrapping_add(attempt * 0x9E37_79B9),
+            );
+            let mut ids: Vec<LinkId> = (0..self.num_links() as LinkId).collect();
+            ids.shuffle(&mut rng);
+            ids.truncate(k);
+            // Cheap connectivity pre-check before committing to the copy.
+            let failed: std::collections::HashSet<LinkId> = ids.iter().copied().collect();
+            let mut probe = Topology::new(String::new());
+            for n in 0..self.num_nodes() as NodeId {
+                probe.add_node(self.kind(n), 0);
+            }
+            for (i, l) in self.links.iter().enumerate() {
+                if !failed.contains(&(i as LinkId)) {
+                    probe.add_link(l.a, l.b);
+                }
+            }
+            if probe.is_connected() {
+                return self.without_links(&ids);
+            }
+        }
+        panic!("could not fail {fraction} of links without disconnecting");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new("triangle");
+        let a = t.add_node(NodeKind::Tor, 2);
+        let b = t.add_node(NodeKind::Tor, 2);
+        let c = t.add_node(NodeKind::Tor, 2);
+        t.add_link(a, b);
+        t.add_link(b, c);
+        t.add_link(c, a);
+        t
+    }
+
+    #[test]
+    fn basic_counts() {
+        let t = triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.num_servers(), 6);
+        assert_eq!(t.degree(0), 2);
+        assert!((t.total_capacity() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_other_endpoint() {
+        let t = triangle();
+        let l = t.link(0);
+        assert_eq!(l.other(l.a), l.b);
+        assert_eq!(l.other(l.b), l.a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn link_other_panics_on_foreign_node() {
+        let t = triangle();
+        t.link(0).other(2); // link 0 joins nodes 0 and 1
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let mut t = Topology::new("path");
+        let n: Vec<_> = (0..5).map(|_| t.add_node(NodeKind::Tor, 1)).collect();
+        for w in n.windows(2) {
+            t.add_link(w[0], w[1]);
+        }
+        let d = t.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut t = Topology::new("two islands");
+        let a = t.add_node(NodeKind::Tor, 1);
+        let b = t.add_node(NodeKind::Tor, 1);
+        t.add_node(NodeKind::Tor, 1);
+        t.add_link(a, b);
+        assert!(!t.is_connected());
+        assert_eq!(t.bfs_distances(0)[2], u32::MAX);
+    }
+
+    #[test]
+    fn parallel_links_counted() {
+        let mut t = Topology::new("multi");
+        let a = t.add_node(NodeKind::Tor, 1);
+        let b = t.add_node(NodeKind::Tor, 1);
+        t.add_link(a, b);
+        t.add_link(a, b);
+        assert_eq!(t.multiplicity(a, b), 2);
+        assert_eq!(t.degree(a), 2);
+        assert_eq!(t.num_links(), 2);
+    }
+
+    #[test]
+    fn groups_default_none() {
+        let mut t = triangle();
+        assert_eq!(t.group(0), None);
+        t.set_group(0, 7);
+        assert_eq!(t.group(0), Some(7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut t = Topology::new("loop");
+        let a = t.add_node(NodeKind::Tor, 1);
+        t.add_link(a, a);
+    }
+
+    #[test]
+    fn without_links_preserves_nodes() {
+        let mut t = triangle();
+        t.set_group(1, 3);
+        let survivor = t.without_links(&[0]);
+        assert_eq!(survivor.num_nodes(), 3);
+        assert_eq!(survivor.num_links(), 2);
+        assert_eq!(survivor.num_servers(), 6);
+        assert_eq!(survivor.group(1), Some(3));
+        assert!(!survivor.are_adjacent(0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn without_links_rejects_disconnection() {
+        let mut t = Topology::new("path2");
+        let a = t.add_node(NodeKind::Tor, 1);
+        let b = t.add_node(NodeKind::Tor, 1);
+        t.add_link(a, b);
+        t.without_links(&[0]);
+    }
+
+    #[test]
+    fn random_failures_deterministic_and_sized() {
+        // A dense graph tolerates 20% failures.
+        let mut t = Topology::new("k6");
+        for _ in 0..6 {
+            t.add_node(NodeKind::Tor, 1);
+        }
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                t.add_link(a, b);
+            }
+        }
+        let f1 = t.with_random_failures(0.2, 5);
+        let f2 = t.with_random_failures(0.2, 5);
+        assert_eq!(f1.num_links(), 12); // 15 - round(3)
+        let e1: Vec<_> = f1.links().iter().map(|l| (l.a, l.b)).collect();
+        let e2: Vec<_> = f2.links().iter().map(|l| (l.a, l.b)).collect();
+        assert_eq!(e1, e2);
+        assert!(f1.is_connected());
+    }
+
+    #[test]
+    fn zero_failures_is_identity() {
+        let t = triangle();
+        let f = t.with_random_failures(0.0, 1);
+        assert_eq!(f.num_links(), 3);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric index pair reads best
+    fn apsp_symmetric() {
+        let t = triangle();
+        let d = t.apsp();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The Fig 4 toy example of §4.1: 54 switches with 12 ports and 6 servers
+//! each, where only 9 racks are active. The 45 inactive switches are wired
+//! as a k=6 fat-tree (used as 6-port devices) whose 54 exposed ports fan
+//! out to the 9 active racks, giving every active server full bandwidth —
+//! something the *restricted* dynamic model cannot do.
+
+use crate::fattree::FatTree;
+use crate::graph::{NodeId, NodeKind, Topology};
+
+/// Builder for the Fig 4 topology.
+#[derive(Clone, Copy, Debug)]
+pub struct ToyFig4;
+
+/// Result of [`ToyFig4::build`]: the topology plus the ids of the 9 active
+/// top-of-rack switches.
+pub struct ToyNetwork {
+    pub topology: Topology,
+    pub active_tors: Vec<NodeId>,
+}
+
+impl ToyFig4 {
+    /// Builds the 54-switch network. The first 45 node ids are the
+    /// k=6 fat-tree (see [`FatTree::build`]'s layout); the last 9 are the
+    /// active ToRs, each with 6 servers and 6 links into distinct fat-tree
+    /// edge switches.
+    pub fn build() -> ToyNetwork {
+        // k=6 fat-tree: 18 edge + 18 agg + 9 core = 45 switches. Its edge
+        // switches each have 3 "server" ports, here re-purposed as uplink
+        // sockets for the active racks (3 × 18 = 54 sockets).
+        let mut t = FatTree::full(6).build();
+        t.set_name("toy-fig4(54x12-port, 9 active racks)");
+        let mut sockets: Vec<NodeId> = Vec::with_capacity(54);
+        for n in 0..t.num_nodes() as NodeId {
+            if t.kind(n) == NodeKind::Tor {
+                t.set_servers(n, 0); // fat-tree switches host no servers here
+                for _ in 0..3 {
+                    sockets.push(n);
+                }
+            }
+        }
+        assert_eq!(sockets.len(), 54);
+
+        let mut active = Vec::with_capacity(9);
+        for r in 0..9 {
+            let tor = t.add_node(NodeKind::Tor, 6);
+            t.set_group(tor, 100 + r); // distinct group marks active racks
+            active.push(tor);
+        }
+        // Round-robin the 54 sockets over the 9 racks: 6 sockets per rack,
+        // spread across edge switches.
+        for (i, &sock) in sockets.iter().enumerate() {
+            t.add_link(active[i % 9], sock);
+        }
+        ToyNetwork { topology: t, active_tors: active }
+    }
+
+    /// The best *static* topology over only the 9 active racks using their
+    /// 6 inter-rack ports directly (what the restricted dynamic model
+    /// degenerates to for all-to-all traffic): a 6-regular graph on 9
+    /// nodes. We use the circulant C9(1,2,4) which is vertex-transitive.
+    pub fn direct_only() -> ToyNetwork {
+        let mut t = Topology::new("toy-fig4-direct(9 racks, 6 ports)");
+        let tors: Vec<NodeId> = (0..9).map(|_| t.add_node(NodeKind::Tor, 6)).collect();
+        for i in 0..9u32 {
+            for &off in &[1u32, 2, 4] {
+                let j = (i + off) % 9;
+                t.add_link(tors[i as usize], tors[j as usize]);
+            }
+        }
+        ToyNetwork { topology: t, active_tors: tors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape() {
+        let net = ToyFig4::build();
+        let t = &net.topology;
+        assert_eq!(t.num_nodes(), 54);
+        assert_eq!(net.active_tors.len(), 9);
+        assert_eq!(t.num_servers(), 54);
+        // Active racks: 6 servers + 6 uplinks = 12 ports.
+        for &a in &net.active_tors {
+            assert_eq!(t.degree(a), 6);
+            assert_eq!(t.servers_at(a), 6);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn fig4_no_port_exceeds_twelve() {
+        let net = ToyFig4::build();
+        for n in 0..net.topology.num_nodes() as u32 {
+            let used = net.topology.degree(n) + net.topology.servers_at(n) as usize;
+            assert!(used <= 12, "switch {n} uses {used} ports");
+        }
+    }
+
+    #[test]
+    fn fig4_active_racks_attach_to_distinct_edges() {
+        let net = ToyFig4::build();
+        for &a in &net.active_tors {
+            let mut edges: Vec<_> = net.topology.neighbors(a).iter().map(|&(v, _)| v).collect();
+            edges.sort_unstable();
+            edges.dedup();
+            assert_eq!(edges.len(), 6, "rack {a} links concentrated");
+        }
+    }
+
+    #[test]
+    fn direct_only_is_6_regular() {
+        let net = ToyFig4::direct_only();
+        for n in 0..9u32 {
+            assert_eq!(net.topology.degree(n), 6);
+        }
+        assert!(net.topology.is_connected());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests over the topology generators: structural
+//! invariants that must hold for every valid parameterization.
+
+use dcn_topology::fattree::FatTree;
+use dcn_topology::jellyfish::Jellyfish;
+use dcn_topology::longhop::Longhop;
+use dcn_topology::metrics::path_stats;
+use dcn_topology::xpander::Xpander;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fat-trees: size formulas, port budgets, connectivity.
+    #[test]
+    fn fat_tree_structure(k in (2u32..9).prop_map(|h| h * 2)) {
+        let ft = FatTree::full(k);
+        let t = ft.build();
+        prop_assert_eq!(t.num_nodes(), (5 * k * k / 4) as usize);
+        prop_assert_eq!(t.num_servers(), (k * k * k / 4) as usize);
+        prop_assert!(t.is_connected());
+        for n in 0..t.num_nodes() as u32 {
+            prop_assert!(t.degree(n) + t.servers_at(n) as usize <= k as usize);
+        }
+        // Switch-level diameter of a multi-pod fat-tree is exactly 4.
+        prop_assert_eq!(path_stats(&t).diameter, 4);
+    }
+
+    /// Trimmed fat-trees stay connected and within the cost budget.
+    #[test]
+    fn fat_tree_cost_fraction(k in (3u32..9).prop_map(|h| h * 2), frac in 0.5f64..1.0) {
+        // The cheapest valid trim keeps one agg per pod and one core.
+        let cheapest = (k * k / 2 + k + 1) as f64;
+        let full = FatTree::full(k).num_switches() as f64;
+        prop_assume!(frac >= cheapest / full);
+        let ft = FatTree::at_cost_fraction(k, frac);
+        let t = ft.build();
+        prop_assert!(t.is_connected());
+        let full = FatTree::full(k).num_switches() as f64;
+        prop_assert!(ft.num_switches() as f64 <= full * frac + 0.5);
+    }
+
+    /// Jellyfish: simple, connected, near-regular.
+    #[test]
+    fn jellyfish_structure(
+        n in 12u32..60,
+        d in 3u32..7,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n > d + 1 && (n * d) % 2 == 0);
+        let t = Jellyfish::new(n, d, 2, seed).build();
+        prop_assert!(t.is_connected());
+        let mut deficient = 0;
+        for a in 0..n {
+            prop_assert!(t.degree(a) <= d as usize);
+            if t.degree(a) < d as usize {
+                deficient += 1;
+            }
+            for b in (a + 1)..n {
+                prop_assert!(t.multiplicity(a, b) <= 1, "parallel edge {}-{}", a, b);
+            }
+        }
+        prop_assert!(deficient <= 1);
+    }
+
+    /// Xpander lifts: d-regular, connected, one matching per meta-pair.
+    #[test]
+    fn xpander_structure(d in 3u32..8, lift in 2u32..8, seed in 0u64..1000) {
+        let t = Xpander::new(d, lift, 2, seed).build();
+        prop_assert_eq!(t.num_nodes() as u32, (d + 1) * lift);
+        prop_assert!(t.is_connected());
+        for n in 0..t.num_nodes() as u32 {
+            prop_assert_eq!(t.degree(n), d as usize);
+            let g = t.group(n).unwrap();
+            for &(v, _) in t.neighbors(n) {
+                prop_assert_ne!(t.group(v).unwrap(), g, "intra-meta-node edge");
+            }
+        }
+    }
+
+    /// Cayley graphs on F2^m: vertex-transitive degree, connectivity when
+    /// the generators span the space.
+    #[test]
+    fn longhop_structure(m in 3u32..8) {
+        let lh = Longhop::folded_hypercube(m, 1);
+        let t = lh.build();
+        prop_assert!(t.is_connected());
+        for n in 0..t.num_nodes() as u32 {
+            prop_assert_eq!(t.degree(n), (m + 1) as usize);
+        }
+        // Folded hypercube diameter = ceil(m/2).
+        prop_assert_eq!(path_stats(&t).diameter, m.div_ceil(2));
+    }
+
+    /// Path stats basics: diameter bounds average, histogram sums to all
+    /// ordered pairs.
+    #[test]
+    fn path_stats_consistent(d in 3u32..6, lift in 2u32..6, seed in 0u64..100) {
+        let t = Xpander::new(d, lift, 1, seed).build();
+        let ps = path_stats(&t);
+        prop_assert!(ps.avg_path_length <= ps.diameter as f64);
+        prop_assert!(ps.avg_path_length >= 1.0);
+        let n = t.num_nodes() as u64;
+        prop_assert_eq!(ps.histogram.iter().sum::<u64>(), n * (n - 1));
+    }
+}

@@ -1,0 +1,101 @@
+//! Poisson flow arrivals and the experiment framework of §6.4: a total
+//! flow count `F`, an aggregate arrival rate `λ`, endpoints drawn from a
+//! [`TrafficPattern`], sizes from a [`FlowSizeDist`].
+
+use crate::fsize::FlowSizeDist;
+use crate::tm::{Endpoint, TrafficPattern};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One flow to be injected into a simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowEvent {
+    /// Arrival time in seconds from simulation start.
+    pub start_s: f64,
+    pub src: Endpoint,
+    pub dst: Endpoint,
+    pub bytes: u64,
+}
+
+/// Generates Poisson arrivals at aggregate rate `lambda` (flows/second)
+/// until `horizon_s`, with endpoints and sizes sampled per flow.
+/// Fixing `seed` fixes the entire workload — the paper's "identical set
+/// of flows is run … by fixing the seed for the random number generator".
+pub fn generate_flows(
+    pattern: &dyn TrafficPattern,
+    sizes: &dyn FlowSizeDist,
+    lambda: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> Vec<FlowEvent> {
+    assert!(lambda > 0.0 && horizon_s > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity((lambda * horizon_s * 1.1) as usize + 16);
+    loop {
+        t += exponential(&mut rng, lambda);
+        if t >= horizon_s {
+            break;
+        }
+        let (src, dst) = pattern.sample(&mut rng);
+        let bytes = sizes.sample(&mut rng).max(1);
+        out.push(FlowEvent { start_s: t, src, dst, bytes });
+    }
+    out
+}
+
+fn exponential(rng: &mut ChaCha8Rng, rate: f64) -> f64 {
+    use rand::Rng;
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsize::FixedSize;
+    use crate::tm::AllToAll;
+    use dcn_topology::fattree::FatTree;
+
+    #[test]
+    fn arrival_rate_matches() {
+        let t = FatTree::full(4).build();
+        let pat = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pat, &FixedSize(1000), 5_000.0, 2.0, 1);
+        let n = flows.len() as f64;
+        assert!((n - 10_000.0).abs() < 400.0, "{n} arrivals for expectation 10000");
+        // Sorted in time, all within horizon.
+        for w in flows.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s);
+        }
+        assert!(flows.last().unwrap().start_s < 2.0);
+    }
+
+    #[test]
+    fn deterministic_workload_per_seed() {
+        let t = FatTree::full(4).build();
+        let pat = AllToAll::new(&t, t.tors_with_servers());
+        let a = generate_flows(&pat, &FixedSize(7), 100.0, 1.0, 42);
+        let b = generate_flows(&pat, &FixedSize(7), 100.0, 1.0, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.start_s, y.start_s);
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.dst, y.dst);
+        }
+    }
+
+    #[test]
+    fn interarrivals_look_exponential() {
+        let t = FatTree::full(4).build();
+        let pat = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pat, &FixedSize(1), 1_000.0, 20.0, 3);
+        let gaps: Vec<f64> = flows.windows(2).map(|w| w[1].start_s - w[0].start_s).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 1e-3).abs() < 1e-4, "mean gap {mean}");
+        // Coefficient of variation of an exponential is 1.
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
+    }
+}

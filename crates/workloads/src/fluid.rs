@@ -1,0 +1,224 @@
+//! Fluid-model traffic matrices at rack granularity — the TM families of
+//! §2.2 for which the paper proves (or conjectures) that throughput cannot
+//! scale more than proportionally: permutations, all-to-all, many-to-one,
+//! one-to-many, and uniformly random hose-compliant matrices.
+//!
+//! A [`FluidTm`] is a list of `(src, dst, demand)` commodities; demands
+//! are in server line-rate units, normalized so that at concurrent
+//! throughput `t = 1` every involved server is exactly saturated (the
+//! hose model of §2.2).
+#![allow(clippy::needless_range_loop)] // matrix math reads best indexed
+
+use dcn_topology::{NodeId, Topology};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A rack-level fluid traffic matrix.
+#[derive(Clone, Debug)]
+pub struct FluidTm {
+    pub name: String,
+    /// (source rack, destination rack, demand in line-rate units).
+    pub commodities: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl FluidTm {
+    /// Total demand entering the network.
+    pub fn total_demand(&self) -> f64 {
+        self.commodities.iter().map(|c| c.2).sum()
+    }
+
+    /// Hose-model audit: per-rack egress/ingress demand must not exceed
+    /// the rack's server capacity. Returns the worst utilization.
+    pub fn hose_utilization(&self, t: &Topology) -> f64 {
+        let n = t.num_nodes();
+        let mut out = vec![0.0f64; n];
+        let mut inn = vec![0.0f64; n];
+        for &(s, d, dem) in &self.commodities {
+            out[s as usize] += dem;
+            inn[d as usize] += dem;
+        }
+        let mut worst = 0.0f64;
+        for r in 0..n {
+            let cap = t.servers_at(r as NodeId) as f64;
+            if cap > 0.0 {
+                worst = worst.max(out[r] / cap).max(inn[r] / cap);
+            } else {
+                assert!(out[r] == 0.0 && inn[r] == 0.0, "demand at serverless rack {r}");
+            }
+        }
+        worst
+    }
+}
+
+/// All-to-all over the given racks: each rack spreads its full server
+/// capacity equally over the other participants.
+pub fn all_to_all(t: &Topology, racks: &[NodeId]) -> FluidTm {
+    assert!(racks.len() >= 2);
+    let mut commodities = Vec::new();
+    for &s in racks {
+        let share = t.servers_at(s) as f64 / (racks.len() - 1) as f64;
+        for &d in racks {
+            if s != d {
+                commodities.push((s, d, share));
+            }
+        }
+    }
+    FluidTm { name: format!("all-to-all({} racks)", racks.len()), commodities }
+}
+
+/// Rack-level permutation: rack i sends its full capacity to its cycle
+/// successor.
+pub fn permutation(t: &Topology, racks: &[NodeId], seed: u64) -> FluidTm {
+    use rand::seq::SliceRandom;
+    assert!(racks.len() >= 2);
+    let mut order = racks.to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let commodities = (0..order.len())
+        .map(|i| {
+            let s = order[i];
+            (s, order[(i + 1) % order.len()], t.servers_at(s) as f64)
+        })
+        .collect();
+    FluidTm { name: format!("permutation({} racks)", racks.len()), commodities }
+}
+
+/// Many-to-one: every source sends an equal share of the sink's ingress
+/// capacity (the sink's servers saturate at t = 1).
+pub fn many_to_one(t: &Topology, sources: &[NodeId], sink: NodeId) -> FluidTm {
+    assert!(!sources.is_empty());
+    assert!(!sources.contains(&sink));
+    let share = t.servers_at(sink) as f64 / sources.len() as f64;
+    let commodities = sources.iter().map(|&s| (s, sink, share)).collect();
+    FluidTm { name: format!("many-to-one({} sources)", sources.len()), commodities }
+}
+
+/// One-to-many: the source spreads its egress capacity over the sinks.
+pub fn one_to_many(t: &Topology, source: NodeId, sinks: &[NodeId]) -> FluidTm {
+    assert!(!sinks.is_empty());
+    assert!(!sinks.contains(&source));
+    let share = t.servers_at(source) as f64 / sinks.len() as f64;
+    let commodities = sinks.iter().map(|&d| (source, d, share)).collect();
+    FluidTm { name: format!("one-to-many({} sinks)", sinks.len()), commodities }
+}
+
+/// A random hose-compliant TM: random positive demands, then scaled rows
+/// and columns (Sinkhorn-style) until every rack's egress and ingress sit
+/// at its server capacity. Used by the Conjecture 2.4 explorer.
+pub fn random_hose(t: &Topology, racks: &[NodeId], seed: u64) -> FluidTm {
+    assert!(racks.len() >= 2);
+    let n = racks.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                m[i][j] = rng.gen_range(0.05..1.0);
+            }
+        }
+    }
+    let caps: Vec<f64> = racks.iter().map(|&r| t.servers_at(r) as f64).collect();
+    // Sinkhorn scaling toward the hose marginals.
+    for _ in 0..200 {
+        for i in 0..n {
+            let row: f64 = m[i].iter().sum();
+            if row > 0.0 {
+                let f = caps[i] / row;
+                for v in &mut m[i] {
+                    *v *= f;
+                }
+            }
+        }
+        for j in 0..n {
+            let col: f64 = (0..n).map(|i| m[i][j]).sum();
+            if col > 0.0 {
+                let f = caps[j] / col;
+                for i in 0..n {
+                    m[i][j] *= f;
+                }
+            }
+        }
+    }
+    let mut commodities = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if m[i][j] > 1e-9 {
+                commodities.push((racks[i], racks[j], m[i][j]));
+            }
+        }
+    }
+    FluidTm { name: format!("random-hose({n} racks, seed {seed})"), commodities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::fattree::FatTree;
+
+    fn net() -> Topology {
+        FatTree::full(4).build()
+    }
+
+    #[test]
+    fn all_to_all_saturates_hose() {
+        let t = net();
+        let racks = t.tors_with_servers();
+        let tm = all_to_all(&t, &racks);
+        assert!((tm.hose_utilization(&t) - 1.0).abs() < 1e-9);
+        assert_eq!(tm.commodities.len(), racks.len() * (racks.len() - 1));
+    }
+
+    #[test]
+    fn permutation_saturates_hose() {
+        let t = net();
+        let racks = t.tors_with_servers();
+        let tm = permutation(&t, &racks, 3);
+        assert!((tm.hose_utilization(&t) - 1.0).abs() < 1e-9);
+        assert_eq!(tm.commodities.len(), racks.len());
+    }
+
+    #[test]
+    fn many_to_one_sink_bound() {
+        let t = net();
+        let racks = t.tors_with_servers();
+        let tm = many_to_one(&t, &racks[1..], racks[0]);
+        // Sink ingress saturated; sources mostly idle.
+        assert!((tm.hose_utilization(&t) - 1.0).abs() < 1e-9);
+        let total = tm.total_demand();
+        assert!((total - t.servers_at(racks[0]) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_to_many_source_bound() {
+        let t = net();
+        let racks = t.tors_with_servers();
+        let tm = one_to_many(&t, racks[0], &racks[1..]);
+        assert!((tm.hose_utilization(&t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_hose_is_hose_compliant() {
+        let t = net();
+        let racks = t.tors_with_servers();
+        for seed in 0..5 {
+            let tm = random_hose(&t, &racks, seed);
+            let u = tm.hose_utilization(&t);
+            assert!(u <= 1.0 + 1e-6, "utilization {u}");
+            assert!(u >= 0.95, "Sinkhorn did not converge: {u}");
+        }
+    }
+
+    #[test]
+    fn random_hose_deterministic() {
+        let t = net();
+        let racks = t.tors_with_servers();
+        let a = random_hose(&t, &racks, 9);
+        let b = random_hose(&t, &racks, 9);
+        assert_eq!(a.commodities.len(), b.commodities.len());
+        for (x, y) in a.commodities.iter().zip(&b.commodities) {
+            assert_eq!(x.0, y.0);
+            assert!((x.2 - y.2).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The §5 head-to-head in miniature: a static expander against the
+//! abstract dynamic-topology models at equal cost (δ = 1.5), under
+//! longest-matching traffic of decreasing spread.
+//!
+//! Run with: `cargo run --release --example dynamic_models`
+
+use beyond_fattrees::maxflow::FlowNetwork;
+use beyond_fattrees::prelude::*;
+
+fn main() {
+    // SlimFly-style config scaled down: 50 ToRs, 7 network ports,
+    // 7 servers each (≈ the paper's 1:1 net:server ratio).
+    let sf = SlimFly::new(5, 7);
+    let t = sf.build();
+    let net_ports = sf.net_degree() as f64;
+    let servers = 7.0;
+    let delta = delta_lowest(); // ≈ 1.5 from Table 1
+
+    let unrestricted = UnrestrictedDynamic::equal_cost(net_ports, servers, delta);
+    let restricted = RestrictedDynamic::equal_cost(net_ports, servers as usize, delta);
+    let racks = t.tors_with_servers();
+    let net = FlowNetwork::from_topology(&t);
+
+    println!(
+        "δ = {delta:.2}: the dynamic designs afford {:.1} flexible ports per ToR\n",
+        net_ports / delta
+    );
+    println!(
+        "{:>10} {:>12} {:>18} {:>16}",
+        "fraction", "static", "unrestricted dyn", "restricted dyn"
+    );
+    for &x in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        let pairs = longest_matching(&t, &racks, x, 1);
+        let commodities: Vec<Commodity> = pairs
+            .iter()
+            .map(|&(a, b)| Commodity { src: a, dst: b, demand: servers })
+            .collect();
+        let lam = max_concurrent_flow(&net, &commodities, GkOptions::default())
+            .throughput
+            .min(1.0);
+        let active = (racks.len() as f64 * x).round() as usize;
+        println!(
+            "{:>10.1} {:>12.3} {:>18.3} {:>16.3}",
+            x,
+            lam,
+            unrestricted.throughput(),
+            restricted.throughput_bound(active)
+        );
+    }
+    println!("\nThe static expander overtakes the equal-cost unrestricted dynamic");
+    println!("model as traffic concentrates — §5's core finding.");
+}

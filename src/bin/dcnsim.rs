@@ -1,0 +1,290 @@
+//! `dcnsim` — run a custom data center FCT experiment from a JSON config,
+//! without writing Rust. The adoption-oriented entry point:
+//!
+//! ```text
+//! cargo run --release --bin dcnsim -- experiment.json
+//! cargo run --release --bin dcnsim -- --print-example > experiment.json
+//! ```
+//!
+//! The config selects a topology, routing scheme, workload, arrival rate,
+//! and simulator constants; the tool prints the paper's three headline
+//! metrics (and a full JSON report to stdout with `--json`).
+
+use beyond_fattrees::prelude::*;
+use serde::Deserialize;
+
+#[derive(Deserialize, Debug)]
+#[serde(deny_unknown_fields)]
+struct Config {
+    topology: TopologyCfg,
+    routing: RoutingCfg,
+    workload: WorkloadCfg,
+    /// Aggregate flow arrivals per second.
+    lambda: f64,
+    /// Measurement window in milliseconds [start, end).
+    #[serde(default = "default_window_ms")]
+    window_ms: (u64, u64),
+    #[serde(default = "default_seed")]
+    seed: u64,
+    #[serde(default)]
+    sim: SimCfg,
+}
+
+fn default_window_ms() -> (u64, u64) {
+    (50, 150)
+}
+fn default_seed() -> u64 {
+    1
+}
+
+#[derive(Deserialize, Debug)]
+#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+enum TopologyCfg {
+    FatTree { k: u32, #[serde(default)] cost_fraction: Option<f64> },
+    Xpander { net_degree: u32, switches: u32, servers_per_switch: u32 },
+    Jellyfish { switches: u32, net_degree: u32, servers_per_switch: u32 },
+    SlimFly { q: u32, servers_per_switch: u32 },
+    LonghopFolded { m: u32, servers_per_switch: u32 },
+    Dragonfly { h: u32 },
+    /// Load a serialized [`Topology`] (JSON, as produced by serde) from disk.
+    File { path: String },
+}
+
+impl TopologyCfg {
+    fn build(&self, seed: u64) -> Topology {
+        match *self {
+            TopologyCfg::FatTree { k, cost_fraction } => match cost_fraction {
+                Some(f) => FatTree::at_cost_fraction(k, f).build(),
+                None => FatTree::full(k).build(),
+            },
+            TopologyCfg::Xpander { net_degree, switches, servers_per_switch } => {
+                Xpander::for_switches(net_degree, switches, servers_per_switch, seed).build()
+            }
+            TopologyCfg::Jellyfish { switches, net_degree, servers_per_switch } => {
+                Jellyfish::new(switches, net_degree, servers_per_switch, seed).build()
+            }
+            TopologyCfg::SlimFly { q, servers_per_switch } => {
+                SlimFly::new(q, servers_per_switch).build()
+            }
+            TopologyCfg::LonghopFolded { m, servers_per_switch } => {
+                Longhop::folded_hypercube(m, servers_per_switch).build()
+            }
+            TopologyCfg::Dragonfly { h } => {
+                beyond_fattrees::topology::dragonfly::Dragonfly::balanced(h).build()
+            }
+            TopologyCfg::File { ref path } => {
+                let body = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read topology {path}: {e}"));
+                let t: Topology = serde_json::from_str(&body)
+                    .unwrap_or_else(|e| panic!("parse topology {path}: {e}"));
+                assert!(t.is_connected(), "loaded topology is disconnected");
+                t
+            }
+        }
+    }
+}
+
+#[derive(Deserialize, Debug)]
+#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+enum RoutingCfg {
+    Ecmp,
+    Vlb,
+    Hyb { #[serde(default = "default_q")] q_bytes: u64 },
+    AdaptiveHyb { ecn_marks: u64 },
+    Ksp { k: usize },
+}
+
+fn default_q() -> u64 {
+    PAPER_Q_BYTES
+}
+
+impl RoutingCfg {
+    fn to_routing(&self) -> Routing {
+        match *self {
+            RoutingCfg::Ecmp => Routing::Ecmp,
+            RoutingCfg::Vlb => Routing::Vlb,
+            RoutingCfg::Hyb { q_bytes } => Routing::Hyb(q_bytes),
+            RoutingCfg::AdaptiveHyb { ecn_marks } => Routing::AdaptiveHyb(ecn_marks),
+            RoutingCfg::Ksp { k } => Routing::Ksp(k),
+        }
+    }
+}
+
+#[derive(Deserialize, Debug)]
+#[serde(deny_unknown_fields)]
+struct WorkloadCfg {
+    pattern: PatternCfg,
+    #[serde(default)]
+    sizes: SizeCfg,
+}
+
+#[derive(Deserialize, Debug)]
+#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+enum PatternCfg {
+    AllToAll { #[serde(default = "one")] fraction: f64 },
+    Permute { #[serde(default = "one")] fraction: f64 },
+    Skew { theta: f64, phi: f64 },
+    ProjectorTrace,
+}
+
+fn one() -> f64 {
+    1.0
+}
+
+#[derive(Deserialize, Debug, Default)]
+#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+enum SizeCfg {
+    #[default]
+    PfabricWebSearch,
+    ParetoHull,
+    Fixed { bytes: u64 },
+}
+
+#[derive(Deserialize, Debug, Default)]
+#[serde(deny_unknown_fields)]
+struct SimCfg {
+    link_gbps: Option<f64>,
+    server_link_gbps: Option<f64>,
+    queue_pkts: Option<u32>,
+    ecn_k_pkts: Option<u32>,
+    flowlet_gap_us: Option<u64>,
+    newreno: Option<bool>,
+}
+
+impl SimCfg {
+    fn to_config(&self) -> SimConfig {
+        let mut c = SimConfig::default();
+        if let Some(v) = self.link_gbps {
+            c.link_gbps = v;
+        }
+        if let Some(v) = self.server_link_gbps {
+            c.server_link_gbps = v;
+        }
+        if let Some(v) = self.queue_pkts {
+            c.queue_pkts = v;
+        }
+        if let Some(v) = self.ecn_k_pkts {
+            c.ecn_k_pkts = v;
+        }
+        if let Some(v) = self.flowlet_gap_us {
+            c.flowlet_gap_ns = v * US;
+        }
+        if self.newreno == Some(true) {
+            c = c.with_newreno();
+        }
+        c
+    }
+}
+
+const EXAMPLE: &str = r#"{
+  "topology": { "kind": "xpander", "net_degree": 5, "switches": 54, "servers_per_switch": 3 },
+  "routing": { "kind": "hyb", "q_bytes": 100000 },
+  "workload": {
+    "pattern": { "kind": "skew", "theta": 0.04, "phi": 0.77 },
+    "sizes": { "kind": "pfabric_web_search" }
+  },
+  "lambda": 10000.0,
+  "window_ms": [50, 150],
+  "seed": 1,
+  "sim": { "ecn_k_pkts": 20, "flowlet_gap_us": 50 }
+}"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--print-example") {
+        println!("{EXAMPLE}");
+        return;
+    }
+    let json_out = args.iter().any(|a| a == "--json");
+    // First positional argument, skipping flag values (--dot takes one).
+    let mut path: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dot" => i += 1, // skip its value
+            a if !a.starts_with("--") && path.is_none() => path = Some(&args[i]),
+            _ => {}
+        }
+        i += 1;
+    }
+    let path =
+        path.expect("usage: dcnsim <config.json> [--json] [--dot out.dot] | dcnsim --print-example");
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let cfg: Config = serde_json::from_str(&body).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+
+    let topo = cfg.topology.build(cfg.seed);
+    eprintln!(
+        "topology: {} ({} switches, {} servers)",
+        topo.name(),
+        topo.num_nodes(),
+        topo.num_servers()
+    );
+    if let Some(i) = args.iter().position(|a| a == "--dot") {
+        let out = args.get(i + 1).expect("--dot takes a file path");
+        std::fs::write(out, beyond_fattrees::topology::export::to_dot(&topo))
+            .unwrap_or_else(|e| panic!("write {out}: {e}"));
+        eprintln!("wrote {out}");
+    }
+
+    let racks = topo.tors_with_servers();
+    let pattern: Box<dyn TrafficPattern> = match cfg.workload.pattern {
+        PatternCfg::AllToAll { fraction } => Box::new(AllToAll::new(
+            &topo,
+            active_fraction(&racks, fraction, true, cfg.seed),
+        )),
+        PatternCfg::Permute { fraction } => Box::new(Permutation::new(
+            &topo,
+            active_fraction(&racks, fraction, true, cfg.seed),
+            cfg.seed,
+        )),
+        PatternCfg::Skew { theta, phi } => {
+            Box::new(Skew::new(&topo, racks.clone(), theta, phi, cfg.seed))
+        }
+        PatternCfg::ProjectorTrace => {
+            Box::new(PairSkew::projector_trace(&topo, racks.clone(), cfg.seed))
+        }
+    };
+    let sizes: Box<dyn FlowSizeDist> = match cfg.workload.sizes {
+        SizeCfg::PfabricWebSearch => Box::new(PFabricWebSearch::new()),
+        SizeCfg::ParetoHull => Box::new(ParetoHull::new()),
+        SizeCfg::Fixed { bytes } => Box::new(FixedSize(bytes)),
+    };
+
+    let window = (cfg.window_ms.0 * MS, cfg.window_ms.1 * MS);
+    let horizon_s = window.1 as f64 / 1e9 * 1.3;
+    let flows = generate_flows(pattern.as_ref(), sizes.as_ref(), cfg.lambda, horizon_s, cfg.seed);
+    eprintln!("workload: {} flows at λ = {}", flows.len(), cfg.lambda);
+
+    let (m, counters) = run_fct_experiment(
+        &topo,
+        cfg.routing.to_routing(),
+        cfg.sim.to_config(),
+        &flows,
+        window,
+        window.1.saturating_mul(40),
+    );
+
+    if json_out {
+        let report = serde_json::json!({
+            "topology": topo.name(),
+            "switches": topo.num_nodes(),
+            "servers": topo.num_servers(),
+            "flows_measured": m.flows,
+            "completed": m.completed,
+            "avg_fct_ms": m.avg_fct_ms,
+            "p99_short_fct_ms": m.p99_short_fct_ms,
+            "avg_long_tput_gbps": m.avg_long_tput_gbps,
+            "drops": counters.drops,
+            "ecn_marks": counters.ecn_marks,
+            "events": counters.events,
+        });
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        println!("flows measured      {}", m.flows);
+        println!("completed           {}", m.completed);
+        println!("avg FCT             {:.3} ms", m.avg_fct_ms);
+        println!("p99 short-flow FCT  {:.3} ms", m.p99_short_fct_ms);
+        println!("long-flow goodput   {:.2} Gbps", m.avg_long_tput_gbps);
+        println!("drops / ECN marks   {} / {}", counters.drops, counters.ecn_marks);
+    }
+}

@@ -1,0 +1,40 @@
+//! Integration: the whole pipeline — topology generation, workload
+//! sampling, routing, packet simulation — is byte-for-byte reproducible
+//! from the seed, which is what makes the paper's "identical set of
+//! flows … by fixing the seed" methodology possible.
+
+use beyond_fattrees::prelude::*;
+
+/// (topology edges, workload flow sizes, per-flow FCT outcomes).
+type PipelineFingerprint = (Vec<(u32, u32)>, Vec<u64>, Vec<Option<u64>>);
+
+fn pipeline(seed: u64) -> PipelineFingerprint {
+    let xp = Xpander::for_switches(5, 24, 2, seed).build();
+    let edges: Vec<(u32, u32)> = xp.links().iter().map(|l| (l.a, l.b)).collect();
+
+    let pattern = Skew::new(&xp, xp.tors_with_servers(), 0.1, 0.7, seed);
+    let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 2000.0, 0.01, seed);
+    let sizes: Vec<u64> = flows.iter().map(|f| f.bytes).collect();
+
+    let mut sim = Simulator::new(&xp, Routing::PAPER_HYB.selector(&xp), SimConfig::default());
+    sim.set_window(0, 10 * MS);
+    sim.inject(&flows);
+    let rec = sim.run(20 * SEC);
+    (edges, sizes, rec.iter().map(|r| r.fct_ns).collect())
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = pipeline(1234);
+    let b = pipeline(1234);
+    assert_eq!(a.0, b.0, "topologies differ");
+    assert_eq!(a.1, b.1, "workloads differ");
+    assert_eq!(a.2, b.2, "simulation outcomes differ");
+}
+
+#[test]
+fn different_seed_different_workload() {
+    let a = pipeline(1);
+    let b = pipeline(2);
+    assert_ne!(a.1, b.1, "different seeds produced identical workloads");
+}
