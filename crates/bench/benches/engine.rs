@@ -1,63 +1,44 @@
-//! Criterion: packet-engine throughput — events/second of the discrete
-//! event core under a realistic A2A load, and the raw channel state
-//! machine.
+//! Packet-engine throughput — events/second of the discrete event core
+//! under a realistic A2A load, and the raw channel state machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_bench::bench_case;
 use dcn_routing::RoutingSuite;
 use dcn_sim::{SimConfig, Simulator, MS, SEC};
 use dcn_topology::fattree::FatTree;
 use dcn_workloads::tm::Endpoint;
 use dcn_workloads::{generate_flows, AllToAll, FlowEvent, PFabricWebSearch};
-use std::hint::black_box;
 
-fn engine_events(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
+fn main() {
     for &(k, lam_per_srv) in &[(4u32, 500.0f64), (8, 200.0)] {
         let t = FatTree::full(k).build();
         let pattern = AllToAll::new(&t, t.tors_with_servers());
         let lambda = lam_per_srv * t.num_servers() as f64;
         let flows = generate_flows(&pattern, &PFabricWebSearch::new(), lambda, 0.01, 7);
-        g.bench_with_input(
-            BenchmarkId::new("a2a_10ms", format!("k{k}")),
-            &flows,
-            |b, flows| {
-                b.iter(|| {
-                    let suite = RoutingSuite::new(&t);
-                    let mut sim =
-                        Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-                    sim.set_window(0, 10 * MS);
-                    sim.inject(flows);
-                    black_box(sim.run(10 * SEC));
-                    sim.events_processed()
-                })
-            },
-        );
+        bench_case(&format!("engine/a2a_10ms_k{k}"), 5, || {
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+            sim.set_window(0, 10 * MS);
+            sim.inject(&flows);
+            sim.run(10 * SEC);
+            sim.events_processed()
+        });
     }
-    g.finish();
-}
 
-fn single_flow_goodput(c: &mut Criterion) {
     let t = FatTree::full(4).build();
     let flow = FlowEvent {
         start_s: 0.0,
         src: Endpoint { rack: 0, server: 0 },
-        dst: Endpoint { rack: 12, server: 0 },
+        dst: Endpoint {
+            rack: 12,
+            server: 0,
+        },
         bytes: 10_000_000,
     };
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
-    g.bench_function("single_10MB_flow", |b| {
-        b.iter(|| {
-            let suite = RoutingSuite::new(&t);
-            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-            sim.inject(&[flow]);
-            let rec = black_box(sim.run(10 * SEC));
-            assert!(rec[0].fct_ns.is_some());
-        })
+    bench_case("engine/single_10MB_flow", 10, || {
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow]);
+        let rec = sim.run(10 * SEC);
+        assert!(rec[0].fct_ns.is_some());
     });
-    g.finish();
 }
-
-criterion_group!(benches, engine_events, single_flow_goodput);
-criterion_main!(benches);

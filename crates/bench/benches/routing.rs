@@ -1,54 +1,39 @@
-//! Criterion: routing hot paths — table construction, per-flowlet path
-//! selection, and the stable hash.
+//! Routing hot paths — table construction, per-flowlet path selection,
+//! and the stable hash.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_bench::bench_case;
 use dcn_routing::ecmp::{hash3, EcmpTable};
 use dcn_routing::hyb::PathSelector;
 use dcn_routing::RoutingSuite;
 use dcn_topology::xpander::Xpander;
-use std::hint::black_box;
 
-fn table_build(c: &mut Criterion) {
+fn main() {
     let t = Xpander::paper_sec6(1).build();
-    c.bench_function("ecmp/table_build_216", |b| b.iter(|| black_box(EcmpTable::new(&t))));
-}
+    bench_case("ecmp/table_build_216", 10, || EcmpTable::new(&t));
 
-fn path_selection(c: &mut Criterion) {
-    let t = Xpander::paper_sec6(1).build();
     let suite = RoutingSuite::new(&t);
     let ecmp = suite.ecmp();
     let vlb = suite.vlb();
     let hyb = suite.hyb(100_000);
     let mut key = 0u64;
-    c.bench_function("select/ecmp", |b| {
-        b.iter(|| {
-            key = key.wrapping_add(1);
-            black_box(ecmp.select(3, 200, key, 0))
-        })
+    bench_case("select/ecmp", 1_000_000, || {
+        key = key.wrapping_add(1);
+        ecmp.select(3, 200, key, 0)
     });
-    c.bench_function("select/vlb", |b| {
-        b.iter(|| {
-            key = key.wrapping_add(1);
-            black_box(vlb.select(3, 200, key, 0))
-        })
+    let mut key = 0u64;
+    bench_case("select/vlb", 1_000_000, || {
+        key = key.wrapping_add(1);
+        vlb.select(3, 200, key, 0)
     });
-    c.bench_function("select/hyb_past_threshold", |b| {
-        b.iter(|| {
-            key = key.wrapping_add(1);
-            black_box(hyb.select(3, 200, key, 1_000_000))
-        })
+    let mut key = 0u64;
+    bench_case("select/hyb_past_threshold", 1_000_000, || {
+        key = key.wrapping_add(1);
+        hyb.select(3, 200, key, 1_000_000)
     });
-}
 
-fn hashing(c: &mut Criterion) {
     let mut x = 0u64;
-    c.bench_function("hash3", |b| {
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            black_box(hash3(x, 17, 23))
-        })
+    bench_case("hash3", 10_000_000, || {
+        x = x.wrapping_add(1);
+        hash3(x, 17, 23)
     });
 }
-
-criterion_group!(benches, table_build, path_selection, hashing);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion: fluid-flow solver costs — Garg–Könemann accuracy/runtime
-//! trade (the ε ablation of DESIGN.md §6), Dinic, and the tiny simplex.
+//! Fluid-flow solver costs — Garg–Könemann accuracy/runtime trade (the
+//! ε ablation of DESIGN.md §6), Dinic, and the tiny simplex.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_bench::bench_case;
 use dcn_maxflow::concurrent::{max_concurrent_flow, Commodity, GkOptions};
 use dcn_maxflow::dinic::topology_max_flow;
 use dcn_maxflow::lp::exact_concurrent_flow;
@@ -9,59 +9,66 @@ use dcn_maxflow::network::FlowNetwork;
 use dcn_topology::fattree::FatTree;
 use dcn_topology::jellyfish::Jellyfish;
 use dcn_workloads::longest_matching;
-use std::hint::black_box;
 
-fn gk_epsilon_tradeoff(c: &mut Criterion) {
+fn main() {
     let t = Jellyfish::new(60, 6, 4, 1).build();
     let racks = t.tors_with_servers();
     let pairs = longest_matching(&t, &racks, 1.0, 1);
     let commodities: Vec<Commodity> = pairs
         .iter()
-        .map(|&(a, b)| Commodity { src: a, dst: b, demand: 4.0 })
+        .map(|&(a, b)| Commodity {
+            src: a,
+            dst: b,
+            demand: 4.0,
+        })
         .collect();
     let net = FlowNetwork::from_topology(&t);
-
-    let mut g = c.benchmark_group("gk_epsilon");
-    g.sample_size(10);
     for &eps in &[0.3, 0.1, 0.05] {
-        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
-            b.iter(|| {
-                black_box(max_concurrent_flow(
-                    &net,
-                    &commodities,
-                    GkOptions { epsilon: eps, target: None, gap: 0.05, max_phases: 2_000_000 },
-                ))
-            })
+        bench_case(&format!("gk_epsilon/{eps}"), 5, || {
+            max_concurrent_flow(
+                &net,
+                &commodities,
+                GkOptions {
+                    epsilon: eps,
+                    target: None,
+                    gap: 0.05,
+                    max_phases: 2_000_000,
+                },
+            )
         });
     }
-    g.finish();
-}
 
-fn dinic_fat_tree(c: &mut Criterion) {
-    let t = FatTree::full(8).build();
-    c.bench_function("dinic/fat_tree_k8_cross_pod", |b| {
-        b.iter(|| black_box(topology_max_flow(&t, 0, 40)))
+    let ft = FatTree::full(8).build();
+    bench_case("dinic/fat_tree_k8_cross_pod", 20, || {
+        topology_max_flow(&ft, 0, 40)
     });
-}
 
-fn simplex_small(c: &mut Criterion) {
-    let mut t = dcn_topology::Topology::new("c6");
+    let mut c6 = dcn_topology::Topology::new("c6");
     for _ in 0..6 {
-        t.add_node(dcn_topology::NodeKind::Tor, 1);
+        c6.add_node(dcn_topology::NodeKind::Tor, 1);
     }
     for i in 0..6u32 {
-        t.add_link(i, (i + 1) % 6);
+        c6.add_link(i, (i + 1) % 6);
     }
-    let net = FlowNetwork::from_topology(&t);
+    let net6 = FlowNetwork::from_topology(&c6);
     let coms = [
-        Commodity { src: 0, dst: 3, demand: 1.0 },
-        Commodity { src: 1, dst: 4, demand: 1.0 },
-        Commodity { src: 2, dst: 5, demand: 1.0 },
+        Commodity {
+            src: 0,
+            dst: 3,
+            demand: 1.0,
+        },
+        Commodity {
+            src: 1,
+            dst: 4,
+            demand: 1.0,
+        },
+        Commodity {
+            src: 2,
+            dst: 5,
+            demand: 1.0,
+        },
     ];
-    c.bench_function("simplex/c6_three_commodities", |b| {
-        b.iter(|| black_box(exact_concurrent_flow(&net, &coms)))
+    bench_case("simplex/c6_three_commodities", 50, || {
+        exact_concurrent_flow(&net6, &coms)
     });
 }
-
-criterion_group!(benches, gk_epsilon_tradeoff, dinic_fat_tree, simplex_small);
-criterion_main!(benches);

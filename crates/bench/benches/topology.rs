@@ -1,31 +1,21 @@
-//! Criterion: topology generation and analysis costs.
+//! Topology generation and analysis costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_bench::bench_case;
 use dcn_topology::fattree::FatTree;
 use dcn_topology::jellyfish::Jellyfish;
 use dcn_topology::metrics::path_stats;
 use dcn_topology::slimfly::SlimFly;
 use dcn_topology::xpander::{second_eigenvalue, Xpander};
-use std::hint::black_box;
 
-fn generators(c: &mut Criterion) {
-    c.bench_function("build/fat_tree_k16", |b| b.iter(|| black_box(FatTree::full(16).build())));
-    c.bench_function("build/xpander_216", |b| {
-        b.iter(|| black_box(Xpander::paper_sec6(1).build()))
+fn main() {
+    bench_case("build/fat_tree_k16", 10, || FatTree::full(16).build());
+    bench_case("build/xpander_216", 10, || Xpander::paper_sec6(1).build());
+    bench_case("build/jellyfish_216", 10, || {
+        Jellyfish::new(216, 11, 5, 1).build()
     });
-    c.bench_function("build/jellyfish_216", |b| {
-        b.iter(|| black_box(Jellyfish::new(216, 11, 5, 1).build()))
-    });
-    c.bench_function("build/slimfly_q17", |b| {
-        b.iter(|| black_box(SlimFly::paper_fig5a().build()))
-    });
-}
+    bench_case("build/slimfly_q17", 10, || SlimFly::paper_fig5a().build());
 
-fn analysis(c: &mut Criterion) {
     let xp = Xpander::paper_sec6(1).build();
-    c.bench_function("analyze/path_stats_216", |b| b.iter(|| black_box(path_stats(&xp))));
-    c.bench_function("analyze/lambda2_216", |b| b.iter(|| black_box(second_eigenvalue(&xp))));
+    bench_case("analyze/path_stats_216", 5, || path_stats(&xp));
+    bench_case("analyze/lambda2_216", 5, || second_eigenvalue(&xp));
 }
-
-criterion_group!(benches, generators, analysis);
-criterion_main!(benches);

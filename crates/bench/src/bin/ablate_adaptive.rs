@@ -33,18 +33,42 @@ fn main() {
     let mut s = Series::new(
         "ablate_adaptive",
         "scheme_index",
-        &["neighbor_avg_fct_ms", "uniform_avg_fct_ms", "uniform_p99_short_ms"],
+        &[
+            "neighbor_avg_fct_ms",
+            "uniform_avg_fct_ms",
+            "uniform_p99_short_ms",
+        ],
     );
-    println!("# scheme order: {:?}", schemes.iter().map(|x| x.0).collect::<Vec<_>>());
+    println!(
+        "# scheme order: {:?}",
+        schemes.iter().map(|x| x.0).collect::<Vec<_>>()
+    );
     for (i, (name, routing)) in schemes.iter().enumerate() {
         eprintln!("scheme {name}");
         let n = fct_point(
-            xp, *routing, SimConfig::default(), &neighbor, &sizes, neighbor_lambda, setup, cli.seed,
+            xp,
+            *routing,
+            SimConfig::default(),
+            &neighbor,
+            &sizes,
+            neighbor_lambda,
+            setup,
+            cli.seed,
         );
         let u = fct_point(
-            xp, *routing, SimConfig::default(), &uniform, &sizes, uniform_lambda, setup, cli.seed,
+            xp,
+            *routing,
+            SimConfig::default(),
+            &uniform,
+            &sizes,
+            uniform_lambda,
+            setup,
+            cli.seed,
         );
-        s.push(i as f64, vec![n.avg_fct_ms, u.avg_fct_ms, u.p99_short_fct_ms]);
+        s.push(
+            i as f64,
+            vec![n.avg_fct_ms, u.avg_fct_ms, u.p99_short_fct_ms],
+        );
     }
     s.finish(&cli);
 }

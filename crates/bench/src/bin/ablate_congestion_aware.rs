@@ -19,18 +19,17 @@ fn main() {
     let n_active = (total as f64 * 0.31).round() as u32;
     let rates = rate_sweep(117.0 * total as f64, 5);
 
-    let racks = active_racks_for_servers(
-        xp,
-        &xp.tors_with_servers(),
-        n_active,
-        true,
-        cli.seed,
-    );
+    let racks = active_racks_for_servers(xp, &xp.tors_with_servers(), n_active, true, cli.seed);
 
     let mut s = Series::new(
         "ablate_congestion_aware",
         "flow_starts_per_s",
-        &["hyb_avg_fct_ms", "oracle_ksp8_avg_fct_ms", "hyb_long_tput", "oracle_long_tput"],
+        &[
+            "hyb_avg_fct_ms",
+            "oracle_ksp8_avg_fct_ms",
+            "hyb_long_tput",
+            "oracle_long_tput",
+        ],
     );
     for &rate in &rates {
         eprintln!("λ = {rate}");
@@ -51,7 +50,12 @@ fn main() {
         let oracle = run(true);
         s.push(
             rate,
-            vec![hyb.avg_fct_ms, oracle.avg_fct_ms, hyb.avg_long_tput_gbps, oracle.avg_long_tput_gbps],
+            vec![
+                hyb.avg_fct_ms,
+                oracle.avg_fct_ms,
+                hyb.avg_long_tput_gbps,
+                oracle.avg_long_tput_gbps,
+            ],
         );
     }
     s.finish(&cli);

@@ -27,14 +27,22 @@ fn main() {
     let mut s = Series::new(
         "ablate_ecn",
         "ecn_k_pkts",
-        &["avg_fct_ms", "p99_short_fct_ms", "long_tput_gbps", "drops", "marks"],
+        &[
+            "avg_fct_ms",
+            "p99_short_fct_ms",
+            "long_tput_gbps",
+            "drops",
+            "marks",
+        ],
     );
     for &k in &[5u32, 10, 20, 40, 80] {
         eprintln!("K = {k}");
-        let cfg = SimConfig { ecn_k_pkts: k, ..Default::default() };
+        let cfg = SimConfig {
+            ecn_k_pkts: k,
+            ..Default::default()
+        };
         let pat = AllToAll::new(&pair.xpander, racks.clone());
-        let flows =
-            dcn_workloads::generate_flows(&pat, &sizes, lambda, setup.horizon_s, cli.seed);
+        let flows = dcn_workloads::generate_flows(&pat, &sizes, lambda, setup.horizon_s, cli.seed);
         let (m, counters) = dcn_core::run_fct_experiment(
             &pair.xpander,
             Routing::PAPER_HYB,
@@ -49,7 +57,7 @@ fn main() {
                 m.avg_fct_ms,
                 m.p99_short_fct_ms,
                 m.avg_long_tput_gbps,
-                counters.drops as f64,
+                counters.drops() as f64,
                 counters.ecn_marks as f64,
             ],
         );

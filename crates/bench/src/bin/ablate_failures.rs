@@ -1,14 +1,32 @@
 //! Extension experiment (not in the paper): graceful degradation under
-//! random link failures. Expanders are known to degrade smoothly, while a
+//! link failures. Expanders are known to degrade smoothly, while a
 //! fat-tree's layered structure concentrates damage; this quantifies the
 //! effect with the same FCT methodology as §6.
+//!
+//! Two modes:
+//!
+//! * default (static): links are removed before the run and the routing
+//!   is built on the degraded topology — steady-state damage.
+//! * `--dynamic`: links fail *during* the measurement window and recover
+//!   later; routing reconverges after a delay and senders reroute on RTO.
+//!   Emits the fault-drop and recovery-latency columns alongside FCT.
 
 use dcn_bench::{fct_point, packet_setup, parse_cli, Series};
-use dcn_core::{paper_networks, Routing};
-use dcn_sim::SimConfig;
-use dcn_workloads::{AllToAll, PFabricWebSearch};
+use dcn_core::{paper_networks, run_fct_experiment_with_faults, Routing};
+use dcn_sim::{FaultPlan, SimConfig};
+use dcn_workloads::{generate_flows, AllToAll, PFabricWebSearch};
 
 fn main() {
+    let cli = parse_cli();
+    if cli.has_flag("dynamic") {
+        dynamic_mode();
+    } else {
+        static_mode();
+    }
+}
+
+/// Steady-state damage: fail a fraction of links up front, route around.
+fn static_mode() {
     let cli = parse_cli();
     let pair = paper_networks(cli.scale, cli.seed);
     let sizes = PFabricWebSearch::new();
@@ -28,13 +46,90 @@ fn main() {
         let ft_pat = AllToAll::new(&ft, ft.tors_with_servers());
         let xp_pat = AllToAll::new(&xp, xp.tors_with_servers());
         let f = fct_point(
-            &ft, Routing::Ecmp, SimConfig::default(), &ft_pat, &sizes, lambda_ft, setup, cli.seed,
+            &ft,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &ft_pat,
+            &sizes,
+            lambda_ft,
+            setup,
+            cli.seed,
         );
         let x = fct_point(
-            &xp, Routing::PAPER_HYB, SimConfig::default(), &xp_pat, &sizes, lambda_xp, setup,
+            &xp,
+            Routing::PAPER_HYB,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            lambda_xp,
+            setup,
             cli.seed,
         );
         s.push(frac, vec![f.avg_fct_ms, x.avg_fct_ms]);
+    }
+    s.finish(&cli);
+}
+
+/// Fail-then-recover: the fraction of links goes down a quarter into the
+/// measurement window and comes back at the midpoint, so the run covers
+/// outage, reconvergence, and recovery on the *same* flows.
+fn dynamic_mode() {
+    let cli = parse_cli();
+    let pair = paper_networks(cli.scale, cli.seed);
+    let sizes = PFabricWebSearch::new();
+    let setup = packet_setup(cli.scale);
+    let (w0, w1) = setup.window;
+    let span = w1 - w0;
+    let down_at = w0 + span / 4;
+    let up_at = w0 + span / 2;
+
+    let mut s = Series::new(
+        "ablate_failures_dynamic",
+        "failed_link_fraction",
+        &[
+            "fat_tree_avg_fct_ms",
+            "fat_tree_fault_drops",
+            "fat_tree_failed_flows",
+            "fat_tree_avg_recovery_ms",
+            "xpander_hyb_avg_fct_ms",
+            "xpander_hyb_fault_drops",
+            "xpander_hyb_failed_flows",
+            "xpander_hyb_avg_recovery_ms",
+        ],
+    );
+    for &frac in &[0.0, 0.05, 0.1, 0.15, 0.2] {
+        eprintln!("dynamic failures = {frac}");
+        let mut row = Vec::with_capacity(8);
+        for (t, routing) in [
+            (&pair.fat_tree, Routing::Ecmp),
+            (&pair.xpander, Routing::PAPER_HYB),
+        ] {
+            let count = (frac * t.num_links() as f64).round() as usize;
+            let plan = if count == 0 {
+                FaultPlan::new()
+            } else {
+                FaultPlan::random_link_outages(t, count, down_at, Some(up_at), cli.seed)
+            };
+            let lambda = 100.0 * t.num_servers() as f64;
+            let pattern = AllToAll::new(t, t.tors_with_servers());
+            let flows = generate_flows(&pattern, &sizes, lambda, setup.horizon_s, cli.seed);
+            let (m, c) = run_fct_experiment_with_faults(
+                t,
+                routing,
+                SimConfig::default(),
+                &flows,
+                setup.window,
+                setup.max_time,
+                Some(&plan),
+            );
+            row.extend([
+                m.avg_fct_ms,
+                c.fault_drops as f64,
+                m.failed as f64,
+                m.avg_recovery_ms,
+            ]);
+        }
+        s.push(frac, row);
     }
     s.finish(&cli);
 }

@@ -31,7 +31,10 @@ fn main() {
     );
     for &gap_us in &[1u64, 10, 50, 500, 10_000_000] {
         eprintln!("gap = {gap_us} µs");
-        let cfg = SimConfig { flowlet_gap_ns: gap_us * US, ..Default::default() };
+        let cfg = SimConfig {
+            flowlet_gap_ns: gap_us * US,
+            ..Default::default()
+        };
         let pat = Permutation::new(&pair.xpander, racks.clone(), cli.seed);
         let m = fct_point(
             &pair.xpander,
@@ -43,7 +46,10 @@ fn main() {
             setup,
             cli.seed,
         );
-        s.push(gap_us as f64, vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps]);
+        s.push(
+            gap_us as f64,
+            vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps],
+        );
     }
     s.finish(&cli);
 }

@@ -43,7 +43,10 @@ fn main() {
             cli.seed,
         );
         let x = if q == u64::MAX { 1e12 } else { q as f64 };
-        s.push(x, vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps]);
+        s.push(
+            x,
+            vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps],
+        );
     }
     s.finish(&cli);
 }

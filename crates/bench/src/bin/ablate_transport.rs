@@ -46,7 +46,10 @@ fn main() {
             setup,
             cli.seed,
         );
-        s.push(i as f64, vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps]);
+        s.push(
+            i as f64,
+            vec![m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps],
+        );
     }
     s.finish(&cli);
 }

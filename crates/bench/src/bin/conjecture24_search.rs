@@ -18,7 +18,11 @@ fn lp_throughput(net: &FlowNetwork, tm: &fluid::FluidTm) -> f64 {
     let coms: Vec<Commodity> = tm
         .commodities
         .iter()
-        .map(|&(s, d, dem)| Commodity { src: s, dst: d, demand: dem })
+        .map(|&(s, d, dem)| Commodity {
+            src: s,
+            dst: d,
+            demand: dem,
+        })
         .collect();
     exact_concurrent_flow(net, &coms)
 }
@@ -34,7 +38,11 @@ fn main() {
     let mut s = Series::new(
         "conjecture24_search",
         "instance",
-        &["hose_tm_throughput", "worst_permutation_throughput", "counterexample"],
+        &[
+            "hose_tm_throughput",
+            "worst_permutation_throughput",
+            "counterexample",
+        ],
     );
     let mut idx = 0.0;
     let mut counterexamples = 0;

@@ -37,13 +37,8 @@ fn main() {
         cli.seed,
     );
     // The 77% fat-tree has the same ToR layout indices for its first racks.
-    let ft77_racks = active_racks_for_servers(
-        &ft77,
-        &ft77.tors_with_servers(),
-        n_active,
-        false,
-        cli.seed,
-    );
+    let ft77_racks =
+        active_racks_for_servers(&ft77, &ft77.tors_with_servers(), n_active, false, cli.seed);
 
     let mut a = Series::new(
         "fig11a_permute_load_avg_fct",
@@ -68,19 +63,55 @@ fn main() {
         let ft77_pat = Permutation::new(&ft77, ft77_racks.clone(), cli.seed);
 
         let ft = fct_point(
-            &pair.fat_tree, Routing::Ecmp, SimConfig::default(), &ft_pat, &sizes, rate, setup, cli.seed,
+            &pair.fat_tree,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &ft_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
         let ecmp = fct_point(
-            &pair.xpander, Routing::Ecmp, SimConfig::default(), &xp_pat, &sizes, rate, setup, cli.seed,
+            &pair.xpander,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
         let hyb = fct_point(
-            &pair.xpander, Routing::PAPER_HYB, SimConfig::default(), &xp_pat, &sizes, rate, setup, cli.seed,
+            &pair.xpander,
+            Routing::PAPER_HYB,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
         let cheap = fct_point(
-            &ft77, Routing::Ecmp, SimConfig::default(), &ft77_pat, &sizes, rate, setup, cli.seed,
+            &ft77,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &ft77_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
 
-        a.push(rate, vec![ft.avg_fct_ms, ecmp.avg_fct_ms, hyb.avg_fct_ms, cheap.avg_fct_ms]);
+        a.push(
+            rate,
+            vec![
+                ft.avg_fct_ms,
+                ecmp.avg_fct_ms,
+                hyb.avg_fct_ms,
+                cheap.avg_fct_ms,
+            ],
+        );
         b.push(
             rate,
             vec![

@@ -43,13 +43,34 @@ fn main() {
         let ft_pat = AllToAll::new(&pair.fat_tree, ft_racks.clone());
         let xp_pat = AllToAll::new(&pair.xpander, xp_racks.clone());
         let ft = fct_point(
-            &pair.fat_tree, Routing::Ecmp, SimConfig::default(), &ft_pat, &sizes, rate, setup, cli.seed,
+            &pair.fat_tree,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &ft_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
         let ecmp = fct_point(
-            &pair.xpander, Routing::Ecmp, SimConfig::default(), &xp_pat, &sizes, rate, setup, cli.seed,
+            &pair.xpander,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
         let hyb = fct_point(
-            &pair.xpander, Routing::PAPER_HYB, SimConfig::default(), &xp_pat, &sizes, rate, setup, cli.seed,
+            &pair.xpander,
+            Routing::PAPER_HYB,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            rate,
+            setup,
+            cli.seed,
         );
         // The figure's y-axis is µs.
         s.push(

@@ -35,7 +35,11 @@ fn main() {
     // Paper: 2K–14K flow starts/s over 1024 servers. At small scale the
     // same per-server rate leaves every ToR idle (fewer servers behind
     // each hot rack), so sweep ~3x further to reach the contrast regime.
-    let per_server = if cli.scale == Scale::Paper { 13.7 } else { 150.0 };
+    let per_server = if cli.scale == Scale::Paper {
+        13.7
+    } else {
+        150.0
+    };
     let rates = rate_sweep(per_server * servers, 6);
 
     let mut a = Series::new(
@@ -62,15 +66,48 @@ fn main() {
         let xp_pat = PairSkew::projector_trace(&xp, xp.tors_with_servers(), cli.seed);
 
         let run = |cfg: SimConfig| {
-            let f = fct_point(ft, Routing::Ecmp, cfg, &ft_pat, &sizes, rate, setup, cli.seed);
-            let e = fct_point(&xp, Routing::Ecmp, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
-            let h =
-                fct_point(&xp, Routing::PAPER_HYB, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
+            let f = fct_point(
+                ft,
+                Routing::Ecmp,
+                cfg,
+                &ft_pat,
+                &sizes,
+                rate,
+                setup,
+                cli.seed,
+            );
+            let e = fct_point(
+                &xp,
+                Routing::Ecmp,
+                cfg,
+                &xp_pat,
+                &sizes,
+                rate,
+                setup,
+                cli.seed,
+            );
+            let h = fct_point(
+                &xp,
+                Routing::PAPER_HYB,
+                cfg,
+                &xp_pat,
+                &sizes,
+                rate,
+                setup,
+                cli.seed,
+            );
             (f, e, h)
         };
         let (fu, eu, hu) = run(unconstrained);
         a.push(rate, vec![fu.avg_fct_ms, eu.avg_fct_ms, hu.avg_fct_ms]);
-        b.push(rate, vec![fu.p99_short_fct_ms, eu.p99_short_fct_ms, hu.p99_short_fct_ms]);
+        b.push(
+            rate,
+            vec![
+                fu.p99_short_fct_ms,
+                eu.p99_short_fct_ms,
+                hu.p99_short_fct_ms,
+            ],
+        );
         let (fc, ec, hc) = run(constrained);
         c.push(rate, vec![fc.avg_fct_ms, ec.avg_fct_ms, hc.avg_fct_ms]);
     }

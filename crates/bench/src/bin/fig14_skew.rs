@@ -49,15 +49,48 @@ fn main() {
         let xp_pat = Skew::projector_like(&xp, xp.tors_with_servers(), cli.seed);
 
         let run = |cfg: SimConfig| {
-            let f = fct_point(ft, Routing::Ecmp, cfg, &ft_pat, &sizes, rate, setup, cli.seed);
-            let e = fct_point(&xp, Routing::Ecmp, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
-            let h =
-                fct_point(&xp, Routing::PAPER_HYB, cfg, &xp_pat, &sizes, rate, setup, cli.seed);
+            let f = fct_point(
+                ft,
+                Routing::Ecmp,
+                cfg,
+                &ft_pat,
+                &sizes,
+                rate,
+                setup,
+                cli.seed,
+            );
+            let e = fct_point(
+                &xp,
+                Routing::Ecmp,
+                cfg,
+                &xp_pat,
+                &sizes,
+                rate,
+                setup,
+                cli.seed,
+            );
+            let h = fct_point(
+                &xp,
+                Routing::PAPER_HYB,
+                cfg,
+                &xp_pat,
+                &sizes,
+                rate,
+                setup,
+                cli.seed,
+            );
             (f, e, h)
         };
         let (fu, eu, hu) = run(unconstrained);
         a.push(rate, vec![fu.avg_fct_ms, eu.avg_fct_ms, hu.avg_fct_ms]);
-        b.push(rate, vec![fu.p99_short_fct_ms, eu.p99_short_fct_ms, hu.p99_short_fct_ms]);
+        b.push(
+            rate,
+            vec![
+                fu.p99_short_fct_ms,
+                eu.p99_short_fct_ms,
+                hu.p99_short_fct_ms,
+            ],
+        );
         let (fc, ec, hc) = run(constrained);
         c.push(rate, vec![fc.avg_fct_ms, ec.avg_fct_ms, hc.avg_fct_ms]);
     }

@@ -75,8 +75,18 @@ fn main() {
         let e = flow_point(&xp, Routing::Ecmp, &xp_pat, rate, setup, cli.seed);
         let h = flow_point(&xp, Routing::PAPER_HYB, &xp_pat, rate, setup, cli.seed);
         a.push(rate, vec![f.avg_fct_ms, e.avg_fct_ms, h.avg_fct_ms]);
-        b.push(rate, vec![f.p99_short_fct_ms, e.p99_short_fct_ms, h.p99_short_fct_ms]);
-        c.push(rate, vec![f.avg_long_tput_gbps, e.avg_long_tput_gbps, h.avg_long_tput_gbps]);
+        b.push(
+            rate,
+            vec![f.p99_short_fct_ms, e.p99_short_fct_ms, h.p99_short_fct_ms],
+        );
+        c.push(
+            rate,
+            vec![
+                f.avg_long_tput_gbps,
+                e.avg_long_tput_gbps,
+                h.avg_long_tput_gbps,
+            ],
+        );
     }
     a.finish(&cli);
     b.finish(&cli);

@@ -14,7 +14,12 @@ fn main() {
     let mut s = Series::new(
         "fig1_observation1",
         "core_fraction",
-        &["k", "servers_involved", "predicted_cap", "measured_throughput"],
+        &[
+            "k",
+            "servers_involved",
+            "predicted_cap",
+            "measured_throughput",
+        ],
     );
     let ks: &[u32] = match cli.scale {
         dcn_core::Scale::Tiny => &[4],

@@ -16,7 +16,10 @@ fn main() {
         &["throughput_proportional", "fat_tree"],
     );
     for x in fraction_sweep(100) {
-        s.push(x, vec![tp_throughput(alpha, x), fat_tree_throughput(alpha, beta, x)]);
+        s.push(
+            x,
+            vec![tp_throughput(alpha, x), fat_tree_throughput(alpha, beta, x)],
+        );
     }
     s.finish(&cli);
 }

@@ -3,6 +3,7 @@
 //! the rack floor plan.
 
 use dcn_bench::parse_cli;
+use dcn_json::Json;
 use dcn_topology::metrics::{cable_stats, path_stats, xpander_floor_plan};
 use dcn_topology::xpander::{second_eigenvalue, Xpander};
 
@@ -37,24 +38,20 @@ fn main() {
 
     if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir).expect("out dir");
-        let body = serde_json::json!({
-            "switches": t.num_nodes(),
-            "servers": t.num_servers(),
-            "pods": fp.pods,
-            "meta_nodes_per_pod": fp.meta_nodes_per_pod,
-            "racks_per_meta_node": fp.racks_per_meta_node,
-            "cable_bundles": cables.bundles,
-            "cables_per_bundle": xp.lift,
-            "diameter": paths.diameter,
-            "avg_path_length": paths.avg_path_length,
-            "lambda2": lam2,
-            "ramanujan_bound": ramanujan,
-        });
-        std::fs::write(
-            format!("{dir}/fig3_xpander_floorplan.json"),
-            serde_json::to_string_pretty(&body).unwrap(),
-        )
-        .expect("write");
+        let body = Json::obj(vec![
+            ("switches", Json::from(t.num_nodes())),
+            ("servers", Json::from(t.num_servers())),
+            ("pods", Json::from(fp.pods)),
+            ("meta_nodes_per_pod", Json::from(fp.meta_nodes_per_pod)),
+            ("racks_per_meta_node", Json::from(fp.racks_per_meta_node)),
+            ("cable_bundles", Json::from(cables.bundles)),
+            ("cables_per_bundle", Json::from(xp.lift)),
+            ("diameter", Json::from(paths.diameter)),
+            ("avg_path_length", Json::from(paths.avg_path_length)),
+            ("lambda2", Json::from(lam2)),
+            ("ramanujan_bound", Json::from(ramanujan)),
+        ]);
+        std::fs::write(format!("{dir}/fig3_xpander_floorplan.json"), body.pretty()).expect("write");
         eprintln!("wrote {dir}/fig3_xpander_floorplan.json");
     }
 }

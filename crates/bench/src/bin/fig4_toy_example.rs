@@ -5,6 +5,7 @@
 
 use dcn_bench::parse_cli;
 use dcn_core::dynamicnet::{RestrictedDynamic, UnrestrictedDynamic};
+use dcn_json::Json;
 use dcn_maxflow::concurrent::{per_server_throughput, GkOptions};
 use dcn_maxflow::dinic::topology_max_flow;
 use dcn_topology::toy::ToyFig4;
@@ -20,14 +21,31 @@ fn main() {
     let static_tp = per_server_throughput(
         t,
         &pairs,
-        GkOptions { epsilon: 0.05, target: Some(1.0), gap: 0.03, max_phases: 2_000_000 },
+        GkOptions {
+            epsilon: 0.05,
+            target: Some(1.0),
+            gap: 0.03,
+            max_phases: 2_000_000,
+        },
     );
 
     // All-to-all across active racks in the direct-only network is what the
     // restricted dynamic model degenerates to.
-    let restricted = RestrictedDynamic { net_ports: 6, servers: 6 }.throughput_bound(9);
-    let unrestricted = UnrestrictedDynamic { net_ports: 6.0, servers: 6.0, duty_cycle: 1.0 };
-    let duty = UnrestrictedDynamic { net_ports: 6.0, servers: 6.0, duty_cycle: 0.9 };
+    let restricted = RestrictedDynamic {
+        net_ports: 6,
+        servers: 6,
+    }
+    .throughput_bound(9);
+    let unrestricted = UnrestrictedDynamic {
+        net_ports: 6.0,
+        servers: 6.0,
+        duty_cycle: 1.0,
+    };
+    let duty = UnrestrictedDynamic {
+        net_ports: 6.0,
+        servers: 6.0,
+        duty_cycle: 0.9,
+    };
 
     // Max flow between two active racks as a sanity witness of full
     // bandwidth (6 servers ⇒ need 6 units).
@@ -43,18 +61,17 @@ fn main() {
 
     if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir).expect("out dir");
-        let body = serde_json::json!({
-            "static_permutation_throughput": static_tp,
-            "static_pair_max_flow_units": witness,
-            "restricted_dynamic_bound": restricted,
-            "unrestricted_dynamic": unrestricted.throughput(),
-            "unrestricted_projector_duty": duty.throughput(),
-        });
-        std::fs::write(
-            format!("{dir}/fig4_toy_example.json"),
-            serde_json::to_string_pretty(&body).unwrap(),
-        )
-        .expect("write");
+        let body = Json::obj(vec![
+            ("static_permutation_throughput", Json::from(static_tp)),
+            ("static_pair_max_flow_units", Json::from(witness)),
+            ("restricted_dynamic_bound", Json::from(restricted)),
+            (
+                "unrestricted_dynamic",
+                Json::from(unrestricted.throughput()),
+            ),
+            ("unrestricted_projector_duty", Json::from(duty.throughput())),
+        ]);
+        std::fs::write(format!("{dir}/fig4_toy_example.json"), body.pretty()).expect("write");
         eprintln!("wrote {dir}/fig4_toy_example.json");
     }
 }

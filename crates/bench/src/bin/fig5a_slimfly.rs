@@ -31,7 +31,11 @@ fn main() {
     let jf_curve = fluid_curve(&jf, &xs, cli.seed);
 
     // α for the TP reference comes from Jellyfish at x = 1 (paper's choice).
-    let alpha = jf_curve.iter().find(|p| (p.x - 1.0).abs() < 1e-9).unwrap().lower;
+    let alpha = jf_curve
+        .iter()
+        .find(|p| (p.x - 1.0).abs() < 1e-9)
+        .unwrap()
+        .lower;
 
     let delta = 1.5;
     let unrestricted =

@@ -26,7 +26,11 @@ fn main() {
     eprintln!("solving Jellyfish ...");
     let jf_curve = fluid_curve(&jf, &xs, cli.seed);
 
-    let alpha = jf_curve.iter().find(|p| (p.x - 1.0).abs() < 1e-9).unwrap().lower;
+    let alpha = jf_curve
+        .iter()
+        .find(|p| (p.x - 1.0).abs() < 1e-9)
+        .unwrap()
+        .lower;
     let delta = 1.5;
     let unrestricted =
         UnrestrictedDynamic::equal_cost(net_deg as f64, servers as f64, delta).throughput();

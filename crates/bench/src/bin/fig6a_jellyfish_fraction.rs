@@ -24,10 +24,12 @@ fn main() {
         let s_per = servers.div_ceil(switches);
         let net_deg = k - s_per;
         // Jellyfish needs an even switches × degree product.
-        let switches = if (switches * net_deg) % 2 == 1 { switches - 1 } else { switches };
-        eprintln!(
-            "jellyfish {pct}: {switches} switches, {net_deg} net ports, {s_per} servers/sw"
-        );
+        let switches = if (switches * net_deg) % 2 == 1 {
+            switches - 1
+        } else {
+            switches
+        };
+        eprintln!("jellyfish {pct}: {switches} switches, {net_deg} net ports, {s_per} servers/sw");
         let jf = Jellyfish::new(switches, net_deg, s_per, cli.seed).build();
         curves.push(fluid_curve(&jf, &xs, cli.seed));
     }
@@ -35,7 +37,9 @@ fn main() {
     let mut s = Series::new(
         "fig6a_jellyfish_fraction",
         "fraction_with_demand",
-        &["jf80_lo", "jf80_hi", "jf50_lo", "jf50_hi", "jf40_lo", "jf40_hi"],
+        &[
+            "jf80_lo", "jf80_hi", "jf50_lo", "jf50_hi", "jf40_lo", "jf40_hi",
+        ],
     );
     for (i, &x) in xs.iter().enumerate() {
         s.push(

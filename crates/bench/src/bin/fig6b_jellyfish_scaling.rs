@@ -25,7 +25,11 @@ fn main() {
         let s_per = servers.div_ceil(switches);
         let net_deg = k - s_per;
         assert!(net_deg >= 3, "k={k} leaves too few network ports");
-        let switches = if (switches * net_deg) % 2 == 1 { switches - 1 } else { switches };
+        let switches = if (switches * net_deg) % 2 == 1 {
+            switches - 1
+        } else {
+            switches
+        };
         eprintln!("k={k}: jellyfish {switches} switches, {net_deg} net, {s_per} srv/sw");
         let jf = Jellyfish::new(switches, net_deg, s_per, cli.seed).build();
         curves.push(fluid_curve(&jf, &xs, cli.seed));

@@ -10,7 +10,11 @@ use dcn_routing::{k_shortest_paths, EcmpTable};
 fn main() {
     let cli = parse_cli();
     let pair = paper_networks(
-        if cli.scale == Scale::Paper { Scale::Paper } else { Scale::Small },
+        if cli.scale == Scale::Paper {
+            Scale::Paper
+        } else {
+            Scale::Small
+        },
         cli.seed,
     );
     let t = &pair.xpander;
@@ -19,7 +23,12 @@ fn main() {
     let mut s = Series::new(
         "fig7a_path_diversity",
         "pair_index",
-        &["adjacent", "hop_distance", "ecmp_first_hops", "ksp8_alternatives_within_plus2"],
+        &[
+            "adjacent",
+            "hop_distance",
+            "ecmp_first_hops",
+            "ksp8_alternatives_within_plus2",
+        ],
     );
     // Sample: the first 8 links give adjacent pairs; 8 distant pairs too.
     for i in 0..8u32 {
@@ -29,7 +38,12 @@ fn main() {
         let alt = paths.iter().filter(|p| p.len() <= short + 2).count();
         s.push(
             i as f64,
-            vec![1.0, table.distance(l.a, l.b) as f64, table.first_hop_diversity(l.a, l.b) as f64, alt as f64],
+            vec![
+                1.0,
+                table.distance(l.a, l.b) as f64,
+                table.first_hop_diversity(l.a, l.b) as f64,
+                alt as f64,
+            ],
         );
     }
     let n = t.num_nodes() as u32;

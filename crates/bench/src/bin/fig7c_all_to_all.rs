@@ -20,7 +20,11 @@ fn main() {
     let mut s = Series::new(
         "fig7c_all_to_all",
         "flow_starts_per_s",
-        &["fat_tree_avg_fct_ms", "xpander_ecmp_avg_fct_ms", "xpander_vlb_avg_fct_ms"],
+        &[
+            "fat_tree_avg_fct_ms",
+            "xpander_ecmp_avg_fct_ms",
+            "xpander_vlb_avg_fct_ms",
+        ],
     );
     for &rate in &rates {
         eprintln!("λ = {rate}");

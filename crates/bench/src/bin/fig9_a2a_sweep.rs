@@ -54,18 +54,53 @@ fn main() {
         let xp_pat = AllToAll::new(&pair.xpander, xp_racks);
 
         let ft = fct_point(
-            &pair.fat_tree, Routing::Ecmp, SimConfig::default(), &ft_pat, &sizes, lambda, setup, cli.seed,
+            &pair.fat_tree,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &ft_pat,
+            &sizes,
+            lambda,
+            setup,
+            cli.seed,
         );
         let ecmp = fct_point(
-            &pair.xpander, Routing::Ecmp, SimConfig::default(), &xp_pat, &sizes, lambda, setup, cli.seed,
+            &pair.xpander,
+            Routing::Ecmp,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            lambda,
+            setup,
+            cli.seed,
         );
         let hyb = fct_point(
-            &pair.xpander, Routing::PAPER_HYB, SimConfig::default(), &xp_pat, &sizes, lambda, setup, cli.seed,
+            &pair.xpander,
+            Routing::PAPER_HYB,
+            SimConfig::default(),
+            &xp_pat,
+            &sizes,
+            lambda,
+            setup,
+            cli.seed,
         );
 
         a.push(x, vec![ft.avg_fct_ms, ecmp.avg_fct_ms, hyb.avg_fct_ms]);
-        b.push(x, vec![ft.p99_short_fct_ms, ecmp.p99_short_fct_ms, hyb.p99_short_fct_ms]);
-        c.push(x, vec![ft.avg_long_tput_gbps, ecmp.avg_long_tput_gbps, hyb.avg_long_tput_gbps]);
+        b.push(
+            x,
+            vec![
+                ft.p99_short_fct_ms,
+                ecmp.p99_short_fct_ms,
+                hyb.p99_short_fct_ms,
+            ],
+        );
+        c.push(
+            x,
+            vec![
+                ft.avg_long_tput_gbps,
+                ecmp.avg_long_tput_gbps,
+                hyb.avg_long_tput_gbps,
+            ],
+        );
     }
     a.finish(&cli);
     b.finish(&cli);

@@ -14,17 +14,31 @@ fn main() {
             let pairs = longest_matching(&t, &racks, x, 1);
             let coms: Vec<Commodity> = pairs
                 .iter()
-                .map(|&(a, b)| Commodity { src: a, dst: b, demand: t.servers_at(a) as f64 })
+                .map(|&(a, b)| Commodity {
+                    src: a,
+                    dst: b,
+                    demand: t.servers_at(a) as f64,
+                })
                 .collect();
             let start = std::time::Instant::now();
             let r = max_concurrent_flow(
                 &net,
                 &coms,
-                GkOptions { epsilon: eps, target: Some(1.0), gap, max_phases: 2_000_000 },
+                GkOptions {
+                    epsilon: eps,
+                    target: Some(1.0),
+                    gap,
+                    max_phases: 2_000_000,
+                },
             );
             println!(
                 "eps={eps} gap={gap} x={x} pairs={} lam={:.4} ub={:.4} phases={} dij={} wall={:?}",
-                pairs.len(), r.throughput, r.upper_bound, r.phases, r.dijkstra_calls, start.elapsed()
+                pairs.len(),
+                r.throughput,
+                r.upper_bound,
+                r.phases,
+                r.dijkstra_calls,
+                start.elapsed()
             );
         }
     }

@@ -3,6 +3,7 @@
 
 use dcn_bench::parse_cli;
 use dcn_core::cost::{delta_lowest, table1};
+use dcn_json::Json;
 
 fn main() {
     let cli = parse_cli();
@@ -18,22 +19,36 @@ fn main() {
     println!("\ndelta_lowest\t{:.3}", delta_lowest());
     if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir).expect("out dir");
-        let rows: Vec<_> = table1()
+        let rows: Vec<Json> = table1()
             .iter()
             .map(|p| {
-                serde_json::json!({
-                    "design": p.design,
-                    "components": p.components,
-                    "total": p.total(),
-                })
+                let (lo, hi) = p.total();
+                Json::obj(vec![
+                    ("design", Json::from(p.design)),
+                    (
+                        "components",
+                        Json::Arr(
+                            p.components
+                                .iter()
+                                .map(|&(name, lo, hi)| {
+                                    Json::Arr(vec![
+                                        Json::from(name),
+                                        Json::from(lo),
+                                        Json::from(hi),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("total", Json::Arr(vec![Json::from(lo), Json::from(hi)])),
+                ])
             })
             .collect();
-        let body = serde_json::json!({ "table": rows, "delta_lowest": delta_lowest() });
-        std::fs::write(
-            format!("{dir}/table1_costs.json"),
-            serde_json::to_string_pretty(&body).unwrap(),
-        )
-        .expect("write");
+        let body = Json::obj(vec![
+            ("table", Json::Arr(rows)),
+            ("delta_lowest", Json::from(delta_lowest())),
+        ]);
+        std::fs::write(format!("{dir}/table1_costs.json"), body.pretty()).expect("write");
         eprintln!("wrote {dir}/table1_costs.json");
     }
 }

@@ -1,14 +1,15 @@
 //! # dcn-bench
 //!
 //! The reproduction harness: one binary per table/figure of the paper
-//! (see DESIGN.md §3 for the full index), plus Criterion benches over the
-//! hot paths. Every binary prints its figure's series as TSV on stdout and
+//! (see DESIGN.md §3 for the full index), plus harness-free perf benches
+//! over the hot paths (`bench_case`). Every binary prints its figure's
+//! series as TSV on stdout and
 //! also writes `results/<name>.json` when `--out <dir>` is given.
 //!
 //! Common flags: `--scale tiny|small|paper` (default `small`) selects the
 //! experiment size (DESIGN.md §4, substitution 4), `--seed N` the RNG seed.
 
-use serde::Serialize;
+use dcn_json::Json;
 use std::io::Write;
 
 /// Parsed common CLI options.
@@ -17,15 +18,33 @@ pub struct Cli {
     pub scale: dcn_core::Scale,
     pub seed: u64,
     pub out_dir: Option<String>,
+    /// Boolean switches beyond the shared set (e.g. `--dynamic` for the
+    /// failure ablation); binaries check them with [`Cli::has_flag`].
+    pub flags: Vec<String>,
 }
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { scale: dcn_core::Scale::Small, seed: 1, out_dir: None }
+        Cli {
+            scale: dcn_core::Scale::Small,
+            seed: 1,
+            out_dir: None,
+            flags: Vec::new(),
+        }
     }
 }
 
-/// Parses `--scale`, `--seed`, `--out` from `std::env::args`.
+impl Cli {
+    /// Whether a binary-specific boolean switch (e.g. `--dynamic`) was
+    /// passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Parses `--scale`, `--seed`, `--out` from `std::env::args`. Other
+/// `--flag` switches are collected into [`Cli::flags`] for the binary to
+/// interpret; anything else is an error.
 pub fn parse_cli() -> Cli {
     let mut cli = Cli::default();
     let args: Vec<String> = std::env::args().collect();
@@ -45,7 +64,10 @@ pub fn parse_cli() -> Cli {
                 i += 1;
                 cli.out_dir = Some(args[i].clone());
             }
-            other => panic!("unknown flag '{other}' (supported: --scale, --seed, --out)"),
+            other if other.starts_with("--") => {
+                cli.flags.push(other.trim_start_matches("--").to_string());
+            }
+            other => panic!("unexpected argument '{other}' (flags start with --)"),
         }
         i += 1;
     }
@@ -53,7 +75,7 @@ pub fn parse_cli() -> Cli {
 }
 
 /// A figure's data: named columns over a shared x-axis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     pub figure: String,
     pub x_label: String,
@@ -98,13 +120,49 @@ impl Series {
         }
     }
 
+    /// The JSON form written by [`Series::write_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("figure", Json::from(self.figure.as_str())),
+            ("x_label", Json::from(self.x_label.as_str())),
+            (
+                "columns",
+                Json::Arr(
+                    self.columns
+                        .iter()
+                        .map(|c| Json::from(c.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(x, vals)| {
+                            let mut row = vec![Json::Num(*x)];
+                            row.extend(vals.iter().map(|v| {
+                                if v.is_nan() {
+                                    Json::Null
+                                } else {
+                                    Json::Num(*v)
+                                }
+                            }));
+                            Json::Arr(row)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Writes `<out_dir>/<figure>.json`.
     pub fn write_json(&self, out_dir: &str) {
         std::fs::create_dir_all(out_dir).expect("create out dir");
         let path = format!("{out_dir}/{}.json", self.figure);
         let mut f = std::fs::File::create(&path).expect("create json");
-        let body = serde_json::to_string_pretty(self).expect("serialize");
-        f.write_all(body.as_bytes()).expect("write json");
+        f.write_all(self.to_json().pretty().as_bytes())
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 
@@ -114,6 +172,25 @@ impl Series {
         if let Some(dir) = &cli.out_dir {
             self.write_json(dir);
         }
+    }
+}
+
+/// Minimal timing harness for the `cargo bench` targets (all declared
+/// `harness = false`): one warmup call, then `iters` timed runs, printing
+/// the mean wall-clock per iteration in a unit matched to its magnitude.
+pub fn bench_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    if per >= 1.0 {
+        println!("{name}\t{per:.3} s/iter");
+    } else if per >= 1e-3 {
+        println!("{name}\t{:.3} ms/iter", per * 1e3);
+    } else {
+        println!("{name}\t{:.3} us/iter", per * 1e6);
     }
 }
 
@@ -160,14 +237,24 @@ mod tests {
 /// (certified lower/upper) on paper-scale ones where tight ε is too slow.
 pub fn gk_opts_for(n_racks: usize) -> dcn_maxflow::GkOptions {
     if n_racks <= 128 {
-        dcn_maxflow::GkOptions { epsilon: 0.05, target: Some(1.0), gap: 0.04, max_phases: 2_000_000 }
+        dcn_maxflow::GkOptions {
+            epsilon: 0.05,
+            target: Some(1.0),
+            gap: 0.04,
+            max_phases: 2_000_000,
+        }
     } else {
-        dcn_maxflow::GkOptions { epsilon: 0.2, target: Some(1.0), gap: 0.1, max_phases: 2_000_000 }
+        dcn_maxflow::GkOptions {
+            epsilon: 0.2,
+            target: Some(1.0),
+            gap: 0.1,
+            max_phases: 2_000_000,
+        }
     }
 }
 
 /// One point of a fluid-flow throughput curve with its certified bracket.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FluidPoint {
     pub x: f64,
     /// Feasible (primal) per-server throughput, clamped to 1.
@@ -177,26 +264,46 @@ pub struct FluidPoint {
 }
 
 /// Throughput-vs-fraction curve for a static topology under
-/// longest-matching TMs (§5): one Garg–Könemann solve per x, in parallel.
+/// longest-matching TMs (§5): one Garg–Könemann solve per x, spread over
+/// scoped threads (one per point, capped by available parallelism).
 pub fn fluid_curve(t: &dcn_topology::Topology, xs: &[f64], seed: u64) -> Vec<FluidPoint> {
-    use rayon::prelude::*;
     let racks = t.tors_with_servers();
     let opts = gk_opts_for(racks.len());
     let net = dcn_maxflow::FlowNetwork::from_topology(t);
-    xs.par_iter()
-        .map(|&x| {
-            let pairs = dcn_workloads::longest_matching(t, &racks, x, seed);
-            let commodities: Vec<dcn_maxflow::Commodity> = pairs
-                .iter()
-                .map(|&(a, b)| dcn_maxflow::Commodity {
-                    src: a,
-                    dst: b,
-                    demand: t.servers_at(a) as f64,
-                })
-                .collect();
-            let r = dcn_maxflow::max_concurrent_flow(&net, &commodities, opts);
-            FluidPoint { x, lower: r.throughput.min(1.0), upper: r.upper_bound.min(1.0) }
-        })
+    let solve = |x: f64| {
+        let pairs = dcn_workloads::longest_matching(t, &racks, x, seed);
+        let commodities: Vec<dcn_maxflow::Commodity> = pairs
+            .iter()
+            .map(|&(a, b)| dcn_maxflow::Commodity {
+                src: a,
+                dst: b,
+                demand: t.servers_at(a) as f64,
+            })
+            .collect();
+        let r = dcn_maxflow::max_concurrent_flow(&net, &commodities, opts);
+        FluidPoint {
+            x,
+            lower: r.throughput.min(1.0),
+            upper: r.upper_bound.min(1.0),
+        }
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut points: Vec<Option<FluidPoint>> = vec![None; xs.len()];
+    std::thread::scope(|scope| {
+        for (chunk_xs, chunk_out) in xs
+            .chunks(xs.len().div_ceil(threads))
+            .zip(points.chunks_mut(xs.len().div_ceil(threads)))
+        {
+            scope.spawn(|| {
+                for (&x, out) in chunk_xs.iter().zip(chunk_out.iter_mut()) {
+                    *out = Some(solve(x));
+                }
+            });
+        }
+    });
+    points
+        .into_iter()
+        .map(|p| p.expect("every point solved"))
         .collect()
 }
 

@@ -133,8 +133,8 @@ mod tests {
         assert_eq!(xp.num_switches(), 216);
         assert_eq!(xp.net_degree + xp.servers_per_switch, 16);
         assert!(xp.num_servers() >= ft.num_servers());
-        let ratio = switch_port_cost(xp.num_switches(), 16)
-            / switch_port_cost(ft.num_switches(), 16);
+        let ratio =
+            switch_port_cost(xp.num_switches(), 16) / switch_port_cost(ft.num_switches(), 16);
         assert!((ratio - 0.675).abs() < 0.01, "cost ratio {ratio}");
     }
 

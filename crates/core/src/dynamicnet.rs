@@ -26,7 +26,11 @@ impl UnrestrictedDynamic {
     /// network ports per ToR: the dynamic design affords only
     /// `static_ports / δ` flexible ports (§4: δ = 1.5 at the low estimate).
     pub fn equal_cost(static_ports: f64, servers: f64, delta: f64) -> Self {
-        UnrestrictedDynamic { net_ports: static_ports / delta, servers, duty_cycle: 1.0 }
+        UnrestrictedDynamic {
+            net_ports: static_ports / delta,
+            servers,
+            duty_cycle: 1.0,
+        }
     }
 
     /// Per-server throughput — independent of the TM and of how many racks
@@ -46,7 +50,10 @@ pub struct RestrictedDynamic {
 
 impl RestrictedDynamic {
     pub fn equal_cost(static_ports: f64, servers: usize, delta: f64) -> Self {
-        RestrictedDynamic { net_ports: (static_ports / delta).floor() as usize, servers }
+        RestrictedDynamic {
+            net_ports: (static_ports / delta).floor() as usize,
+            servers,
+        }
     }
 
     /// Throughput upper bound when `active_racks` racks participate.
@@ -79,14 +86,21 @@ mod tests {
 
     #[test]
     fn duty_cycle_scales_throughput() {
-        let d = UnrestrictedDynamic { net_ports: 8.0, servers: 8.0, duty_cycle: 0.9 };
+        let d = UnrestrictedDynamic {
+            net_ports: 8.0,
+            servers: 8.0,
+            duty_cycle: 0.9,
+        };
         assert!((d.throughput() - 0.9).abs() < 1e-12);
     }
 
     #[test]
     fn restricted_toy_example() {
         // §4.1: 9 racks, 6 ports, 6 servers → 80%.
-        let r = RestrictedDynamic { net_ports: 6, servers: 6 };
+        let r = RestrictedDynamic {
+            net_ports: 6,
+            servers: 6,
+        };
         assert!((r.throughput_bound(9) - 0.8).abs() < 1e-12);
     }
 
@@ -97,6 +111,9 @@ mod tests {
         let few = r.throughput_bound(20);
         let many = r.throughput_bound(500);
         assert!(many < few);
-        assert!(many < 0.5, "restricted bound should be low at scale: {many}");
+        assert!(
+            many < 0.5,
+            "restricted bound should be low at scale: {many}"
+        );
     }
 }

@@ -3,12 +3,11 @@
 //! one-call FCT experiment runner.
 
 use dcn_routing::{KspSelector, PathSelector, RoutingSuite, PAPER_Q_BYTES};
-use dcn_sim::{compute_metrics, Metrics, Ns, SimConfig, Simulator, SEC};
+use dcn_sim::{compute_metrics, FaultPlan, Metrics, Ns, SimConfig, Simulator, SEC};
 use dcn_topology::fattree::FatTree;
 use dcn_topology::xpander::Xpander;
 use dcn_topology::Topology;
 use dcn_workloads::FlowEvent;
-use serde::Serialize;
 
 /// Experiment scale: `Paper` is the configuration reported in the paper;
 /// the smaller scales preserve oversubscription ratios and protocol
@@ -83,7 +82,9 @@ impl Routing {
     pub const PAPER_HYB: Routing = Routing::Hyb(PAPER_Q_BYTES);
 
     pub fn selector(&self, t: &Topology) -> Box<dyn PathSelector> {
-        if let Routing::Ksp(k) = *self { return Box::new(KspSelector::new(t, k)) }
+        if let Routing::Ksp(k) = *self {
+            return Box::new(KspSelector::new(t, k));
+        }
         let suite = RoutingSuite::new(t);
         match *self {
             Routing::Ecmp => Box::new(suite.ecmp()),
@@ -105,12 +106,22 @@ impl Routing {
     }
 }
 
-/// Extra outcome counters alongside the FCT metrics.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+/// Extra outcome counters alongside the FCT metrics. Drops are split by
+/// cause: `congestion_drops` are queue tail drops, `fault_drops` are
+/// losses on failed or gray links (plus no-route drops at the source).
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimCounters {
-    pub drops: u64,
+    pub congestion_drops: u64,
+    pub fault_drops: u64,
     pub ecn_marks: u64,
     pub events: u64,
+}
+
+impl SimCounters {
+    /// All drops regardless of cause.
+    pub fn drops(&self) -> u64 {
+        self.congestion_drops + self.fault_drops
+    }
 }
 
 /// Runs one packet-level FCT experiment: injects `flows`, measures over
@@ -125,13 +136,33 @@ pub fn run_fct_experiment(
     window: (Ns, Ns),
     max_time: Ns,
 ) -> (Metrics, SimCounters) {
+    run_fct_experiment_with_faults(topology, routing, cfg, flows, window, max_time, None)
+}
+
+/// [`run_fct_experiment`] with an optional fault plan injected before the
+/// run — the robustness experiments' entry point. With faults the
+/// completion guarantee weakens to "every window flow is completed or
+/// failed" (disconnected pairs are failed, not hung).
+pub fn run_fct_experiment_with_faults(
+    topology: &Topology,
+    routing: Routing,
+    cfg: SimConfig,
+    flows: &[FlowEvent],
+    window: (Ns, Ns),
+    max_time: Ns,
+    faults: Option<&FaultPlan>,
+) -> (Metrics, SimCounters) {
     let mut sim = Simulator::new(topology, routing.selector(topology), cfg);
     sim.set_window(window.0, window.1);
     sim.inject(flows);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
     let records = sim.run(max_time);
     let metrics = compute_metrics(&records, window.0, window.1);
     let counters = SimCounters {
-        drops: sim.total_drops(),
+        congestion_drops: sim.total_congestion_drops(),
+        fault_drops: sim.total_fault_drops(),
         ecn_marks: sim.total_marks(),
         events: sim.events_processed(),
     };
@@ -142,9 +173,9 @@ pub fn run_fct_experiment(
 /// [0.5 s, 1.5 s) at `Paper` scale and shrinking with it.
 pub fn default_window(scale: Scale) -> (Ns, Ns) {
     match scale {
-        Scale::Tiny => (SEC / 100, SEC / 20),            // [10 ms, 50 ms)
-        Scale::Small => (SEC / 20, 3 * SEC / 20),        // [50 ms, 150 ms)
-        Scale::Paper => (SEC / 2, 3 * SEC / 2),          // [0.5 s, 1.5 s)
+        Scale::Tiny => (SEC / 100, SEC / 20),     // [10 ms, 50 ms)
+        Scale::Small => (SEC / 20, 3 * SEC / 20), // [50 ms, 150 ms)
+        Scale::Paper => (SEC / 2, 3 * SEC / 2),   // [0.5 s, 1.5 s)
     }
 }
 
@@ -233,6 +264,26 @@ mod tests {
             );
             assert_eq!(m.completed, m.flows, "{routing:?}");
         }
+    }
+
+    #[test]
+    fn fault_experiment_accounts_every_flow() {
+        let p = paper_networks(Scale::Tiny, 1);
+        let pattern = AllToAll::new(&p.xpander, p.xpander.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(100_000), 1500.0, 0.02, 7);
+        let plan = FaultPlan::random_link_outages(&p.xpander, 3, 2 * MS, Some(10 * MS), 5);
+        let (m, c) = run_fct_experiment_with_faults(
+            &p.xpander,
+            Routing::PAPER_HYB,
+            SimConfig::default(),
+            &flows,
+            (0, 15 * MS),
+            60 * SEC,
+            Some(&plan),
+        );
+        assert!(m.flows > 0);
+        assert_eq!(m.completed + m.failed, m.flows, "flow in limbo");
+        assert_eq!(c.drops(), c.congestion_drops + c.fault_drops);
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct FlexCurve {
 
 impl FlexCurve {
     pub fn new(label: impl Into<String>) -> Self {
-        FlexCurve { label: label.into(), points: Vec::new() }
+        FlexCurve {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: f64, throughput: f64) {
@@ -48,10 +51,17 @@ impl FlexCurve {
             .iter()
             .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
             .expect("empty curve");
-        assert!((x_max - 1.0).abs() < 1e-9, "TP reference needs a sample at x=1");
+        assert!(
+            (x_max - 1.0).abs() < 1e-9,
+            "TP reference needs a sample at x=1"
+        );
         FlexCurve {
             label: format!("TP (α={alpha:.3})"),
-            points: self.points.iter().map(|&(x, _)| (x, tp_throughput(alpha, x))).collect(),
+            points: self
+                .points
+                .iter()
+                .map(|&(x, _)| (x, tp_throughput(alpha, x)))
+                .collect(),
         }
     }
 

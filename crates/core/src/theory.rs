@@ -5,12 +5,10 @@
 
 use dcn_maxflow::concurrent::{max_concurrent_flow, per_server_throughput, Commodity, GkOptions};
 use dcn_maxflow::network::FlowNetwork;
+use dcn_rng::{Rng, SliceRandom};
 use dcn_topology::fattree::{edge_switches_by_pod, FatTree};
 use dcn_topology::Topology;
 use dcn_workloads::fluid::FluidTm;
-use rand::seq::SliceRandom;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Concurrent throughput of a rack-level fluid TM (per unit of its
 /// demands; with hose-normalized TMs this is per-server throughput).
@@ -19,7 +17,11 @@ pub fn fluid_throughput(t: &Topology, tm: &FluidTm, opts: GkOptions) -> (f64, f6
     let commodities: Vec<Commodity> = tm
         .commodities
         .iter()
-        .map(|&(s, d, dem)| Commodity { src: s, dst: d, demand: dem })
+        .map(|&(s, d, dem)| Commodity {
+            src: s,
+            dst: d,
+            demand: dem,
+        })
         .collect();
     let net = FlowNetwork::from_topology(t);
     let r = max_concurrent_flow(&net, &commodities, opts);
@@ -39,7 +41,14 @@ pub fn observation1_throughput(k: u32, core_per_group: u32) -> f64 {
         .zip(&pods[1])
         .flat_map(|(&a, &b)| [(a, b), (b, a)])
         .collect();
-    per_server_throughput(&t, &pairs, GkOptions { epsilon: 0.03, ..Default::default() })
+    per_server_throughput(
+        &t,
+        &pairs,
+        GkOptions {
+            epsilon: 0.03,
+            ..Default::default()
+        },
+    )
 }
 
 /// The fraction of servers Observation 1's traffic matrix involves: 2/k.
@@ -54,8 +63,13 @@ pub fn observation1_fraction(k: u32) -> f64 {
 /// `t_full ≳ x · t_frac` (up to sampling and FPTAS slack).
 pub fn permutation_scaling(t: &Topology, x: f64, trials: u32, seed: u64) -> (f64, f64) {
     let racks = t.tors_with_servers();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let opts = GkOptions { epsilon: 0.05, target: None, gap: 0.03, max_phases: 2_000_000 };
+    let mut rng = Rng::seed_from_u64(seed);
+    let opts = GkOptions {
+        epsilon: 0.05,
+        target: None,
+        gap: 0.03,
+        max_phases: 2_000_000,
+    };
     let mut worst_full: f64 = 1.0;
     let mut worst_frac: f64 = 1.0;
     for _ in 0..trials {
@@ -70,8 +84,7 @@ pub fn permutation_scaling(t: &Topology, x: f64, trials: u32, seed: u64) -> (f64
         let mut sub = racks.clone();
         sub.shuffle(&mut rng);
         sub.truncate(k);
-        let pairs: Vec<(u32, u32)> =
-            (0..k).map(|i| (sub[i], sub[(i + 1) % k])).collect();
+        let pairs: Vec<(u32, u32)> = (0..k).map(|i| (sub[i], sub[(i + 1) % k])).collect();
         worst_frac = worst_frac.min(per_server_throughput(t, &pairs, opts).min(1.0));
     }
     (worst_full, worst_frac)
@@ -86,11 +99,16 @@ pub fn tm_family_scaling(t: &Topology, x: f64, seed: u64) -> Vec<(f64, f64)> {
     use dcn_workloads::fluid;
     let racks = t.tors_with_servers();
     let k = ((racks.len() as f64 * x).round() as usize).clamp(2, racks.len());
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut sub = racks.clone();
     sub.shuffle(&mut rng);
     sub.truncate(k);
-    let opts = GkOptions { epsilon: 0.07, target: Some(1.0), gap: 0.05, max_phases: 1_000_000 };
+    let opts = GkOptions {
+        epsilon: 0.07,
+        target: Some(1.0),
+        gap: 0.05,
+        max_phases: 1_000_000,
+    };
 
     let eval = |tm: &FluidTm| fluid_throughput(t, tm, opts).0;
     vec![
@@ -144,7 +162,12 @@ mod tests {
         let (lo, hi) = fluid_throughput(
             &t,
             &tm,
-            GkOptions { epsilon: 0.05, target: None, gap: 0.03, max_phases: 1_000_000 },
+            GkOptions {
+                epsilon: 0.05,
+                target: None,
+                gap: 0.03,
+                max_phases: 1_000_000,
+            },
         );
         assert!(lo > 0.0 && lo <= hi + 1e-9);
     }

@@ -45,7 +45,10 @@ pub struct FlowSimConfig {
 
 impl Default for FlowSimConfig {
     fn default() -> Self {
-        FlowSimConfig { link_gbps: 10.0, server_link_gbps: 10.0 }
+        FlowSimConfig {
+            link_gbps: 10.0,
+            server_link_gbps: 10.0,
+        }
     }
 }
 
@@ -119,7 +122,10 @@ impl FlowSim {
         for e in events {
             let sb = self.rack_base[e.src.rack as usize];
             let db = self.rack_base[e.dst.rack as usize];
-            assert!(sb != u32::MAX && db != u32::MAX, "endpoint rack has no servers");
+            assert!(
+                sb != u32::MAX && db != u32::MAX,
+                "endpoint rack has no servers"
+            );
             self.pending.push(PendingFlow {
                 start_s: e.start_s,
                 src_rack: e.src.rack,
@@ -196,8 +202,7 @@ impl FlowSim {
                 if frozen[i] {
                     continue;
                 }
-                let saturated =
-                    active[i].path.iter().any(|&c| residual[c as usize] <= 1e-9);
+                let saturated = active[i].path.iter().any(|&c| residual[c as usize] <= 1e-9);
                 if saturated {
                     frozen[i] = true;
                     remaining -= 1;
@@ -216,11 +221,7 @@ impl FlowSim {
         let n = pending.len();
         self.records = pending
             .iter()
-            .map(|p| FlowRecord {
-                start_ns: (p.start_s * 1e9) as u64,
-                size_bytes: p.bytes,
-                fct_ns: None,
-            })
+            .map(|p| FlowRecord::basic((p.start_s * 1e9) as u64, p.bytes, None))
             .collect();
         let mut active: Vec<ActiveFlow> = Vec::new();
         let mut next_arrival = 0usize;
@@ -267,8 +268,7 @@ impl FlowSim {
                     if active[i].remaining_bits <= 1e-6 {
                         let id = active[i].id;
                         self.records[id].fct_ns = Some(
-                            ((now - self.records[id].start_ns as f64 / 1e9) * 1e9).round()
-                                as u64,
+                            ((now - self.records[id].start_ns as f64 / 1e9) * 1e9).round() as u64,
                         );
                         active.swap_remove(i);
                     } else {
@@ -295,8 +295,14 @@ mod tests {
     fn flow(start_s: f64, src: (u32, u32), dst: (u32, u32), bytes: u64) -> FlowEvent {
         FlowEvent {
             start_s,
-            src: Endpoint { rack: src.0, server: src.1 },
-            dst: Endpoint { rack: dst.0, server: dst.1 },
+            src: Endpoint {
+                rack: src.0,
+                server: src.1,
+            },
+            dst: Endpoint {
+                rack: dst.0,
+                server: dst.1,
+            },
             bytes,
         }
     }
@@ -359,7 +365,7 @@ mod tests {
         let f_short = rec[0].fct_ns.unwrap() as f64 / 1e6;
         let f_long = rec[1].fct_ns.unwrap() as f64 / 1e6;
         assert!((f_short - 1.6).abs() < 0.01, "short {f_short} ms"); // 1MB at 5G
-        // Long: 1.6 ms at 5 G (1 MB done) + remaining 4 MB at 10 G = 4.8 ms.
+                                                                     // Long: 1.6 ms at 5 G (1 MB done) + remaining 4 MB at 10 G = 4.8 ms.
         assert!((f_long - 4.8).abs() < 0.01, "long {f_long} ms");
     }
 

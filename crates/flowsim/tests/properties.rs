@@ -1,23 +1,29 @@
-//! Property-based tests for the flow-level simulator: max-min fairness
-//! invariants over random workloads.
+//! Property-style tests for the flow-level simulator: max-min fairness
+//! invariants over random workloads. Seeded sweeps stand in for proptest.
 
 use dcn_flowsim::{FlowSim, FlowSimConfig};
+use dcn_rng::Rng;
 use dcn_routing::RoutingSuite;
 use dcn_topology::fattree::FatTree;
 use dcn_workloads::tm::Endpoint;
 use dcn_workloads::{generate_flows, AllToAll, FixedSize, FlowEvent};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every flow finishes, never faster than its line-rate floor.
-    #[test]
-    fn fct_floor_holds(bytes in 10_000u64..5_000_000, lambda in 100.0f64..2000.0, seed in 0u64..50) {
-        let t = FatTree::full(4).build();
+/// Every flow finishes, never faster than its line-rate floor.
+#[test]
+fn fct_floor_holds() {
+    let mut meta = Rng::seed_from_u64(0xF10);
+    let t = FatTree::full(4).build();
+    let mut cases = 0;
+    while cases < 12 {
+        let bytes = meta.gen_range(10_000u64..5_000_000);
+        let lambda = 100.0 + meta.gen_range(0.0..1900.0);
+        let seed = meta.gen_range(0u64..50);
         let pattern = AllToAll::new(&t, t.tors_with_servers());
         let flows = generate_flows(&pattern, &FixedSize(bytes), lambda, 0.01, seed);
-        prop_assume!(!flows.is_empty());
+        if flows.is_empty() {
+            continue;
+        }
+        cases += 1;
         let suite = RoutingSuite::new(&t);
         let mut sim = FlowSim::new(&t, Box::new(suite.ecmp()), FlowSimConfig::default());
         sim.inject(&flows);
@@ -25,15 +31,20 @@ proptest! {
         let floor = (bytes as f64 * 0.8) as u64; // bytes*8/10Gbps in ns
         for r in &rec {
             let fct = r.fct_ns.expect("unfinished");
-            prop_assert!(fct + 1000 >= floor, "fct {fct} under floor {floor}");
+            assert!(fct + 1000 >= floor, "fct {fct} under floor {floor}");
         }
     }
+}
 
-    /// N equal flows into one server each get exactly rate/N (fluid
-    /// fairness is exact, not approximate).
-    #[test]
-    fn equal_flows_split_exactly(n in 2u32..6, mb in 1u64..6) {
-        let t = FatTree::full(8).build();
+/// N equal flows into one server each get exactly rate/N (fluid
+/// fairness is exact, not approximate).
+#[test]
+fn equal_flows_split_exactly() {
+    let mut meta = Rng::seed_from_u64(0x3917);
+    let t = FatTree::full(8).build();
+    for _ in 0..12 {
+        let n = meta.gen_range(2u32..6);
+        let mb = meta.gen_range(1u64..6);
         let suite = RoutingSuite::new(&t);
         let mut sim = FlowSim::new(&t, Box::new(suite.ecmp()), FlowSimConfig::default());
         let bytes = mb * 1_000_000;
@@ -41,8 +52,14 @@ proptest! {
         let flows: Vec<FlowEvent> = (0..n)
             .map(|i| FlowEvent {
                 start_s: 0.0,
-                src: Endpoint { rack: racks[1 + i as usize], server: 0 },
-                dst: Endpoint { rack: racks[0], server: 0 },
+                src: Endpoint {
+                    rack: racks[1 + i as usize],
+                    server: 0,
+                },
+                dst: Endpoint {
+                    rack: racks[0],
+                    server: 0,
+                },
                 bytes,
             })
             .collect();
@@ -51,15 +68,22 @@ proptest! {
         let expect_ns = bytes as f64 * 8.0 / (10.0 / n as f64);
         for r in &rec {
             let fct = r.fct_ns.unwrap() as f64;
-            prop_assert!((fct - expect_ns).abs() < expect_ns * 0.01,
-                "fct {fct} vs expected {expect_ns}");
+            assert!(
+                (fct - expect_ns).abs() < expect_ns * 0.01,
+                "fct {fct} vs expected {expect_ns}"
+            );
         }
     }
+}
 
-    /// Determinism across runs and routing schemes.
-    #[test]
-    fn deterministic(mode in 0u8..3, seed in 0u64..20) {
-        let t = FatTree::full(4).build();
+/// Determinism across runs and routing schemes.
+#[test]
+fn deterministic() {
+    let mut meta = Rng::seed_from_u64(0xDF5);
+    let t = FatTree::full(4).build();
+    for _ in 0..9 {
+        let mode = meta.gen_range(0u8..3);
+        let seed = meta.gen_range(0u64..20);
         let run = || {
             let suite = RoutingSuite::new(&t);
             let sel: Box<dyn dcn_routing::PathSelector> = match mode {
@@ -73,6 +97,6 @@ proptest! {
             sim.inject(&flows);
             sim.run(1000.0).iter().map(|r| r.fct_ns).collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

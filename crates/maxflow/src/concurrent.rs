@@ -39,7 +39,12 @@ pub struct GkOptions {
 
 impl Default for GkOptions {
     fn default() -> Self {
-        GkOptions { epsilon: 0.05, target: Some(1.0), gap: 0.05, max_phases: 2_000_000 }
+        GkOptions {
+            epsilon: 0.05,
+            target: Some(1.0),
+            gap: 0.05,
+            max_phases: 2_000_000,
+        }
     }
 }
 
@@ -67,7 +72,11 @@ pub fn max_concurrent_flow(
 ) -> GkResult {
     assert!(!commodities.is_empty(), "no commodities");
     for c in commodities {
-        assert!(c.src != c.dst, "commodity with identical endpoints {}", c.src);
+        assert!(
+            c.src != c.dst,
+            "commodity with identical endpoints {}",
+            c.src
+        );
         assert!(c.demand > 0.0, "non-positive demand");
     }
     let eps = opts.epsilon;
@@ -139,7 +148,12 @@ pub fn max_concurrent_flow(
             .max(min_demand_ratio(&routed, commodities) / congestion);
         if let Some(target) = opts.target {
             if lower >= target {
-                return GkResult { throughput: lower, upper_bound, phases, dijkstra_calls };
+                return GkResult {
+                    throughput: lower,
+                    upper_bound,
+                    phases,
+                    dijkstra_calls,
+                };
             }
         }
         // Dual bound: for any positive lengths, OPT ≤ D(l) / Σ_j d_j·dist_j.
@@ -154,7 +168,12 @@ pub fn max_concurrent_flow(
             upper_bound = upper_bound.min(d_val / weighted_dist);
         }
         if opts.gap > 0.0 && lower >= (1.0 - opts.gap) * upper_bound {
-            return GkResult { throughput: lower, upper_bound, phases, dijkstra_calls };
+            return GkResult {
+                throughput: lower,
+                upper_bound,
+                phases,
+                dijkstra_calls,
+            };
         }
     }
 
@@ -197,9 +216,15 @@ pub fn per_server_throughput(
     let net = FlowNetwork::from_topology(t);
     let commodities: Vec<Commodity> = pairs
         .iter()
-        .map(|&(a, b)| Commodity { src: a, dst: b, demand: t.servers_at(a) as f64 })
+        .map(|&(a, b)| Commodity {
+            src: a,
+            dst: b,
+            demand: t.servers_at(a) as f64,
+        })
         .collect();
-    max_concurrent_flow(&net, &commodities, opts).throughput.min(1.0)
+    max_concurrent_flow(&net, &commodities, opts)
+        .throughput
+        .min(1.0)
 }
 
 #[cfg(test)]
@@ -209,32 +234,71 @@ mod tests {
     use dcn_topology::{fattree::FatTree, NodeKind, Topology};
 
     fn opts(eps: f64) -> GkOptions {
-        GkOptions { epsilon: eps, target: None, gap: 0.0, max_phases: 2_000_000 }
+        GkOptions {
+            epsilon: eps,
+            target: None,
+            gap: 0.0,
+            max_phases: 2_000_000,
+        }
     }
 
     #[test]
     fn single_edge_single_commodity() {
-        let net = FlowNetwork::from_arcs(2, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let net = FlowNetwork::from_arcs(
+            2,
+            vec![Arc {
+                from: 0,
+                to: 1,
+                capacity: 1.0,
+            }],
+        );
         let r = max_concurrent_flow(
             &net,
-            &[Commodity { src: 0, dst: 1, demand: 1.0 }],
+            &[Commodity {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            }],
             opts(0.03),
         );
-        assert!((r.throughput - 1.0).abs() < 0.12, "throughput {}", r.throughput);
+        assert!(
+            (r.throughput - 1.0).abs() < 0.12,
+            "throughput {}",
+            r.throughput
+        );
     }
 
     #[test]
     fn two_commodities_share_edge() {
-        let net = FlowNetwork::from_arcs(2, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let net = FlowNetwork::from_arcs(
+            2,
+            vec![Arc {
+                from: 0,
+                to: 1,
+                capacity: 1.0,
+            }],
+        );
         let r = max_concurrent_flow(
             &net,
             &[
-                Commodity { src: 0, dst: 1, demand: 1.0 },
-                Commodity { src: 0, dst: 1, demand: 1.0 },
+                Commodity {
+                    src: 0,
+                    dst: 1,
+                    demand: 1.0,
+                },
+                Commodity {
+                    src: 0,
+                    dst: 1,
+                    demand: 1.0,
+                },
             ],
             opts(0.03),
         );
-        assert!((r.throughput - 0.5).abs() < 0.06, "throughput {}", r.throughput);
+        assert!(
+            (r.throughput - 0.5).abs() < 0.06,
+            "throughput {}",
+            r.throughput
+        );
     }
 
     #[test]
@@ -250,10 +314,18 @@ mod tests {
         let net = FlowNetwork::from_topology(&t);
         let r = max_concurrent_flow(
             &net,
-            &[Commodity { src: 0, dst: 3, demand: 2.0 }],
+            &[Commodity {
+                src: 0,
+                dst: 3,
+                demand: 2.0,
+            }],
             opts(0.03),
         );
-        assert!((r.throughput - 1.0).abs() < 0.12, "throughput {}", r.throughput);
+        assert!(
+            (r.throughput - 1.0).abs() < 0.12,
+            "throughput {}",
+            r.throughput
+        );
     }
 
     #[test]
@@ -264,7 +336,11 @@ mod tests {
         let net = FlowNetwork::from_topology(&t);
         let r = max_concurrent_flow(
             &net,
-            &[Commodity { src: 0, dst: 2, demand: 1.0 }],
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            }],
             opts(0.03),
         );
         assert!(
@@ -279,7 +355,16 @@ mod tests {
         // Full-bandwidth fat-tree: any rack permutation gets throughput 1.
         let t = FatTree::full(4).build();
         // ToRs are nodes {0,1}, {4,5}, {8,9}, {12,13} per pod.
-        let pairs = vec![(0u32, 4u32), (4, 8), (8, 12), (12, 0), (1, 5), (5, 9), (9, 13), (13, 1)];
+        let pairs = vec![
+            (0u32, 4u32),
+            (4, 8),
+            (8, 12),
+            (12, 0),
+            (1, 5),
+            (5, 9),
+            (9, 13),
+            (13, 1),
+        ];
         let lam = per_server_throughput(&t, &pairs, GkOptions::default());
         assert!(lam >= 0.95, "per-server throughput {lam}");
     }
@@ -288,8 +373,24 @@ mod tests {
     fn oversubscribed_fat_tree_halves_permutation_throughput() {
         // Observation 1: at 50% core, cross-pod permutations get ~0.5.
         let t = FatTree::oversubscribed_core(4, 1).build();
-        let pairs = vec![(0u32, 4u32), (1, 5), (4, 8), (5, 9), (8, 12), (9, 13), (12, 0), (13, 1)];
-        let lam = per_server_throughput(&t, &pairs, GkOptions { target: None, ..Default::default() });
+        let pairs = vec![
+            (0u32, 4u32),
+            (1, 5),
+            (4, 8),
+            (5, 9),
+            (8, 12),
+            (9, 13),
+            (12, 0),
+            (13, 1),
+        ];
+        let lam = per_server_throughput(
+            &t,
+            &pairs,
+            GkOptions {
+                target: None,
+                ..Default::default()
+            },
+        );
         assert!(
             (lam - 0.5).abs() < 0.07,
             "per-server throughput {lam}, expected ~0.5"
@@ -303,13 +404,31 @@ mod tests {
         let t = FatTree::full(4).build();
         let pairs = vec![(0u32, 4u32)];
         let lam = per_server_throughput(&t, &pairs, GkOptions::default());
-        assert!((0.857..=1.0 + 1e-9).contains(&lam), "clamped throughput {lam}");
+        assert!(
+            (0.857..=1.0 + 1e-9).contains(&lam),
+            "clamped throughput {lam}"
+        );
     }
 
     #[test]
     #[should_panic]
     fn disconnected_commodity_panics() {
-        let net = FlowNetwork::from_arcs(3, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
-        max_concurrent_flow(&net, &[Commodity { src: 0, dst: 2, demand: 1.0 }], opts(0.1));
+        let net = FlowNetwork::from_arcs(
+            3,
+            vec![Arc {
+                from: 0,
+                to: 1,
+                capacity: 1.0,
+            }],
+        );
+        max_concurrent_flow(
+            &net,
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            }],
+            opts(0.1),
+        );
     }
 }

@@ -22,7 +22,10 @@ pub enum Sense {
 #[derive(Clone, Debug)]
 pub enum LpResult {
     /// Optimal objective value and primal solution.
-    Optimal { objective: f64, x: Vec<f64> },
+    Optimal {
+        objective: f64,
+        x: Vec<f64>,
+    },
     Infeasible,
     Unbounded,
 }
@@ -31,12 +34,7 @@ const TOL: f64 = 1e-9;
 
 /// Maximizes `c·x` subject to `rows[i]·x (sense[i]) b[i]`, `x ≥ 0`.
 /// All right-hand sides must be non-negative.
-pub fn simplex_max(
-    rows: &[Vec<f64>],
-    senses: &[Sense],
-    b: &[f64],
-    c: &[f64],
-) -> LpResult {
+pub fn simplex_max(rows: &[Vec<f64>], senses: &[Sense], b: &[f64], c: &[f64]) -> LpResult {
     let m = rows.len();
     let n = c.len();
     assert_eq!(senses.len(), m);
@@ -127,7 +125,10 @@ pub fn simplex_max(
             x[basis[i]] = t[i][ncols];
         }
     }
-    LpResult::Optimal { objective: -cost2[ncols], x }
+    LpResult::Optimal {
+        objective: -cost2[ncols],
+        x,
+    }
 }
 
 /// Runs simplex pivots until optimal (`true`) or unbounded (`false`).
@@ -153,8 +154,7 @@ fn pivot_loop(
             if t[i][enter] > TOL {
                 let ratio = t[i][ncols] / t[i][enter];
                 if ratio < best - TOL
-                    || (ratio < best + TOL
-                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                    || (ratio < best + TOL && leave.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -258,11 +258,7 @@ mod tests {
     #[test]
     fn textbook_lp() {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
-        let rows = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![3.0, 2.0],
-        ];
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]];
         let senses = vec![Sense::Le; 3];
         let b = vec![4.0, 12.0, 18.0];
         let c = vec![3.0, 5.0];
@@ -309,8 +305,22 @@ mod tests {
 
     #[test]
     fn lp_single_edge_concurrent_flow() {
-        let net = FlowNetwork::from_arcs(2, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
-        let t = exact_concurrent_flow(&net, &[Commodity { src: 0, dst: 1, demand: 2.0 }]);
+        let net = FlowNetwork::from_arcs(
+            2,
+            vec![Arc {
+                from: 0,
+                to: 1,
+                capacity: 1.0,
+            }],
+        );
+        let t = exact_concurrent_flow(
+            &net,
+            &[Commodity {
+                src: 0,
+                dst: 1,
+                demand: 2.0,
+            }],
+        );
         assert!((t - 0.5).abs() < 1e-6);
     }
 
@@ -326,14 +336,27 @@ mod tests {
         top.add_link(2, 3);
         let net = FlowNetwork::from_topology(&top);
         let coms = [
-            Commodity { src: 0, dst: 3, demand: 1.0 },
-            Commodity { src: 1, dst: 2, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 3,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 2,
+                demand: 1.0,
+            },
         ];
         let exact = exact_concurrent_flow(&net, &coms);
         let approx = max_concurrent_flow(
             &net,
             &coms,
-            GkOptions { epsilon: 0.03, target: None, gap: 0.01, max_phases: 2_000_000 },
+            GkOptions {
+                epsilon: 0.03,
+                target: None,
+                gap: 0.01,
+                max_phases: 2_000_000,
+            },
         )
         .throughput;
         assert!(
@@ -354,13 +377,22 @@ mod tests {
         }
         let net = FlowNetwork::from_topology(&top);
         let coms: Vec<Commodity> = (0..5)
-            .map(|i| Commodity { src: i, dst: (i + 2) % 5, demand: 1.0 })
+            .map(|i| Commodity {
+                src: i,
+                dst: (i + 2) % 5,
+                demand: 1.0,
+            })
             .collect();
         let exact = exact_concurrent_flow(&net, &coms);
         let approx = max_concurrent_flow(
             &net,
             &coms,
-            GkOptions { epsilon: 0.03, target: None, gap: 0.01, max_phases: 2_000_000 },
+            GkOptions {
+                epsilon: 0.03,
+                target: None,
+                gap: 0.01,
+                max_phases: 2_000_000,
+            },
         )
         .throughput;
         assert!(

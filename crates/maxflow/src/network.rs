@@ -31,8 +31,16 @@ impl FlowNetwork {
     pub fn from_topology(t: &Topology) -> Self {
         let mut arcs = Vec::with_capacity(t.num_links() * 2);
         for l in t.links() {
-            arcs.push(Arc { from: l.a, to: l.b, capacity: l.capacity });
-            arcs.push(Arc { from: l.b, to: l.a, capacity: l.capacity });
+            arcs.push(Arc {
+                from: l.a,
+                to: l.b,
+                capacity: l.capacity,
+            });
+            arcs.push(Arc {
+                from: l.b,
+                to: l.a,
+                capacity: l.capacity,
+            });
         }
         Self::from_arcs(t.num_nodes(), arcs)
     }
@@ -55,7 +63,12 @@ impl FlowNetwork {
             out_arcs[cursor[a.from as usize] as usize] = i as u32;
             cursor[a.from as usize] += 1;
         }
-        FlowNetwork { num_nodes, arcs, out_start, out_arcs }
+        FlowNetwork {
+            num_nodes,
+            arcs,
+            out_start,
+            out_arcs,
+        }
     }
 
     pub fn num_arcs(&self) -> usize {
@@ -293,7 +306,14 @@ mod tests {
 
     #[test]
     fn unreachable_is_infinite() {
-        let net = FlowNetwork::from_arcs(3, vec![Arc { from: 0, to: 1, capacity: 1.0 }]);
+        let net = FlowNetwork::from_arcs(
+            3,
+            vec![Arc {
+                from: 0,
+                to: 1,
+                capacity: 1.0,
+            }],
+        );
         let (dist, parent) = net.dijkstra(0, &[1.0]);
         assert!(dist[2].is_infinite());
         assert!(net.path_from_parents(0, 2, &parent).is_none());

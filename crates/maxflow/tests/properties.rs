@@ -1,60 +1,96 @@
-//! Property-based tests for the flow solvers: primal/dual sandwiching,
-//! agreement with exact algorithms, bound consistency.
+//! Property-style tests for the flow solvers: primal/dual sandwiching,
+//! agreement with exact algorithms, bound consistency. Seeded sweeps
+//! stand in for proptest.
 
 use dcn_maxflow::bound::{capacity_path_bound, moore_avg_distance, restricted_dynamic_bound};
 use dcn_maxflow::concurrent::{max_concurrent_flow, Commodity, GkOptions};
 use dcn_maxflow::dinic::{topology_max_flow, Dinic};
 use dcn_maxflow::lp::exact_concurrent_flow;
 use dcn_maxflow::network::FlowNetwork;
+use dcn_rng::Rng;
 use dcn_topology::jellyfish::Jellyfish;
 use dcn_topology::{NodeKind, Topology};
-use proptest::prelude::*;
 
 fn random_topology(n: u32, d: u32, seed: u64) -> Topology {
     Jellyfish::new(n, d, 2, seed).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// GK's primal is feasible (≤ dual certificate) and within the FPTAS
-    /// guarantee of it once the gap rule fires.
-    #[test]
-    fn gk_sandwich(n in 10u32..30, seed in 0u64..100) {
-        prop_assume!((n * 4) % 2 == 0);
+/// GK's primal is feasible (≤ dual certificate) and within the FPTAS
+/// guarantee of it once the gap rule fires.
+#[test]
+fn gk_sandwich() {
+    let mut meta = Rng::seed_from_u64(0x65C);
+    for _ in 0..10 {
+        let n = meta.gen_range(10u32..30);
+        let seed = meta.gen_range(0u64..100);
         let t = random_topology(n, 4, seed);
         let coms: Vec<Commodity> = (0..n)
-            .map(|i| Commodity { src: i, dst: (i + n / 2) % n, demand: 2.0 })
+            .map(|i| Commodity {
+                src: i,
+                dst: (i + n / 2) % n,
+                demand: 2.0,
+            })
             .collect();
         let net = FlowNetwork::from_topology(&t);
         let r = max_concurrent_flow(
             &net,
             &coms,
-            GkOptions { epsilon: 0.08, target: None, gap: 0.05, max_phases: 500_000 },
+            GkOptions {
+                epsilon: 0.08,
+                target: None,
+                gap: 0.05,
+                max_phases: 500_000,
+            },
         );
-        prop_assert!(r.throughput > 0.0);
-        prop_assert!(r.throughput <= r.upper_bound + 1e-9);
-        prop_assert!(r.throughput >= r.upper_bound * 0.6, "gap too wide");
+        assert!(r.throughput > 0.0);
+        assert!(r.throughput <= r.upper_bound + 1e-9);
+        assert!(r.throughput >= r.upper_bound * 0.6, "gap too wide");
     }
+}
 
-    /// Single-commodity concurrent flow equals max flow (scaled by demand).
-    #[test]
-    fn gk_matches_dinic_single_commodity(n in 8u32..20, seed in 0u64..100) {
+/// Single-commodity concurrent flow equals max flow (scaled by demand).
+#[test]
+fn gk_matches_dinic_single_commodity() {
+    let mut meta = Rng::seed_from_u64(0x6D1);
+    for _ in 0..10 {
+        let n = meta.gen_range(8u32..20);
+        let seed = meta.gen_range(0u64..100);
         let t = random_topology(n, 4, seed);
         let exact = topology_max_flow(&t, 0, n - 1);
         let net = FlowNetwork::from_topology(&t);
         let r = max_concurrent_flow(
             &net,
-            &[Commodity { src: 0, dst: n - 1, demand: 1.0 }],
-            GkOptions { epsilon: 0.05, target: None, gap: 0.02, max_phases: 500_000 },
+            &[Commodity {
+                src: 0,
+                dst: n - 1,
+                demand: 1.0,
+            }],
+            GkOptions {
+                epsilon: 0.05,
+                target: None,
+                gap: 0.02,
+                max_phases: 500_000,
+            },
         );
-        prop_assert!(r.throughput <= exact * 1.01, "gk {} > dinic {}", r.throughput, exact);
-        prop_assert!(r.throughput >= exact * 0.8, "gk {} << dinic {}", r.throughput, exact);
+        assert!(
+            r.throughput <= exact * 1.01,
+            "gk {} > dinic {}",
+            r.throughput,
+            exact
+        );
+        assert!(
+            r.throughput >= exact * 0.8,
+            "gk {} << dinic {}",
+            r.throughput,
+            exact
+        );
     }
+}
 
-    /// GK never beats the exact LP on small instances.
-    #[test]
-    fn gk_below_lp(seed in 0u64..30) {
+/// GK never beats the exact LP on small instances.
+#[test]
+fn gk_below_lp() {
+    for seed in 0u64..10 {
         let mut t = Topology::new("small");
         for _ in 0..6 {
             t.add_node(NodeKind::Tor, 1);
@@ -66,38 +102,73 @@ proptest! {
         t.add_link(seed as u32 % 6, (seed as u32 % 6 + 3) % 6);
         let net = FlowNetwork::from_topology(&t);
         let coms = [
-            Commodity { src: 0, dst: 3, demand: 1.0 },
-            Commodity { src: 1, dst: 4, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 3,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 4,
+                demand: 1.0,
+            },
         ];
         let lp = exact_concurrent_flow(&net, &coms);
         let gk = max_concurrent_flow(
             &net,
             &coms,
-            GkOptions { epsilon: 0.05, target: None, gap: 0.02, max_phases: 500_000 },
+            GkOptions {
+                epsilon: 0.05,
+                target: None,
+                gap: 0.02,
+                max_phases: 500_000,
+            },
         );
-        prop_assert!(gk.throughput <= lp + 1e-6, "gk {} > lp {}", gk.throughput, lp);
-        prop_assert!(gk.upper_bound >= lp - 1e-6, "dual {} < lp {}", gk.upper_bound, lp);
+        assert!(
+            gk.throughput <= lp + 1e-6,
+            "gk {} > lp {}",
+            gk.throughput,
+            lp
+        );
+        assert!(
+            gk.upper_bound >= lp - 1e-6,
+            "dual {} < lp {}",
+            gk.upper_bound,
+            lp
+        );
     }
+}
 
-    /// Max flow is symmetric on undirected graphs and bounded by the
-    /// smaller endpoint degree.
-    #[test]
-    fn dinic_symmetric_and_degree_bounded(n in 8u32..24, seed in 0u64..50) {
+/// Max flow is symmetric on undirected graphs and bounded by the
+/// smaller endpoint degree.
+#[test]
+fn dinic_symmetric_and_degree_bounded() {
+    let mut meta = Rng::seed_from_u64(0xD151);
+    for _ in 0..12 {
+        let n = meta.gen_range(8u32..24);
+        let seed = meta.gen_range(0u64..50);
         let t = random_topology(n, 4, seed);
         let f_ab = topology_max_flow(&t, 0, n - 1);
         let f_ba = topology_max_flow(&t, n - 1, 0);
-        prop_assert!((f_ab - f_ba).abs() < 1e-9);
+        assert!((f_ab - f_ba).abs() < 1e-9);
         let cap = t.degree(0).min(t.degree(n - 1)) as f64;
-        prop_assert!(f_ab <= cap + 1e-9);
+        assert!(f_ab <= cap + 1e-9);
     }
+}
 
-    /// Dinic conservation: flow value equals net flow across any cut we
-    /// can cheaply audit — here, the source's incident capacity change.
-    #[test]
-    fn dinic_respects_capacity(edges in prop::collection::vec((0u32..8, 0u32..8, 0.1f64..5.0), 5..30)) {
+/// Dinic conservation: flow value is bounded by the source's outgoing
+/// capacity on random small graphs.
+#[test]
+fn dinic_respects_capacity() {
+    let mut meta = Rng::seed_from_u64(0xD1C);
+    for _ in 0..20 {
+        let m = meta.gen_range(5usize..30);
         let mut d = Dinic::new(8);
         let mut out_cap = 0.0;
-        for &(a, b, c) in &edges {
+        for _ in 0..m {
+            let a = meta.gen_range(0u32..8);
+            let b = meta.gen_range(0u32..8);
+            let c = 0.1 + meta.gen_range(0.0..4.9);
             if a != b {
                 d.add_edge(a, b, c);
                 if a == 0 {
@@ -106,39 +177,54 @@ proptest! {
             }
         }
         let f = d.max_flow(0, 7);
-        prop_assert!(f <= out_cap + 1e-9);
-        prop_assert!(f >= 0.0);
+        assert!(f <= out_cap + 1e-9);
+        assert!(f >= 0.0);
     }
+}
 
-    /// Moore-bound distance decreases in degree, increases in node count.
-    #[test]
-    fn moore_monotonicity(n in 4usize..200, d in 2usize..10) {
+/// Moore-bound distance decreases in degree, increases in node count.
+#[test]
+fn moore_monotonicity() {
+    let mut meta = Rng::seed_from_u64(0x300E);
+    for _ in 0..40 {
+        let n = meta.gen_range(4usize..200);
+        let d = meta.gen_range(2usize..10);
         let base = moore_avg_distance(n, d);
-        prop_assert!(moore_avg_distance(n, d + 1) <= base + 1e-12);
-        prop_assert!(moore_avg_distance(n + 1, d) >= base - 1e-12);
-        prop_assert!(base >= 1.0);
+        assert!(moore_avg_distance(n, d + 1) <= base + 1e-12);
+        assert!(moore_avg_distance(n + 1, d) >= base - 1e-12);
+        assert!(base >= 1.0);
     }
+}
 
-    /// The restricted-dynamic bound lies in (0, 1] and shrinks with scale.
-    #[test]
-    fn restricted_bound_sane(n in 2usize..500, r in 2usize..30, s in 1usize..30) {
+/// The restricted-dynamic bound lies in (0, 1] and shrinks with scale.
+#[test]
+fn restricted_bound_sane() {
+    let mut meta = Rng::seed_from_u64(0x2E5);
+    for _ in 0..40 {
+        let n = meta.gen_range(2usize..500);
+        let r = meta.gen_range(2usize..30);
+        let s = meta.gen_range(1usize..30);
         let b = restricted_dynamic_bound(n, r, s);
-        prop_assert!(b > 0.0 && b <= 1.0);
-        prop_assert!(restricted_dynamic_bound(n + 10, r, s) <= b + 1e-12);
+        assert!(b > 0.0 && b <= 1.0);
+        assert!(restricted_dynamic_bound(n + 10, r, s) <= b + 1e-12);
     }
+}
 
-    /// The capacity/path bound is ≤ 1 after clamping and scales inversely
-    /// with demand.
-    #[test]
-    fn capacity_bound_scaling(n in 8u32..20, seed in 0u64..50, dem in 0.5f64..4.0) {
+/// The capacity/path bound is ≤ 1 after clamping and scales inversely
+/// with demand.
+#[test]
+fn capacity_bound_scaling() {
+    let mut meta = Rng::seed_from_u64(0xCA9);
+    for _ in 0..12 {
+        let n = meta.gen_range(8u32..20);
+        let seed = meta.gen_range(0u64..50);
+        let dem = 0.5 + meta.gen_range(0.0..3.5);
         let t = random_topology(n, 4, seed);
-        let flows: Vec<(u32, u32, f64)> =
-            (0..n).map(|i| (i, (i + 1) % n, dem)).collect();
+        let flows: Vec<(u32, u32, f64)> = (0..n).map(|i| (i, (i + 1) % n, dem)).collect();
         let b = capacity_path_bound(&t, &flows);
-        prop_assert!(b > 0.0 && b <= 1.0);
-        let flows2: Vec<(u32, u32, f64)> =
-            flows.iter().map(|&(a, b, d)| (a, b, d * 2.0)).collect();
+        assert!(b > 0.0 && b <= 1.0);
+        let flows2: Vec<(u32, u32, f64)> = flows.iter().map(|&(a, b, d)| (a, b, d * 2.0)).collect();
         let b2 = capacity_path_bound(&t, &flows2);
-        prop_assert!(b2 <= b + 1e-12);
+        assert!(b2 <= b + 1e-12);
     }
 }

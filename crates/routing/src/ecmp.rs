@@ -52,12 +52,13 @@ impl EcmpTable {
 
     /// Walks the per-hop hash-selected shortest path from `src` to `dst`.
     /// `key` identifies the flow(let); every switch hashes `(key, node)`
-    /// independently, like real ECMP. Returns the traversed links.
+    /// independently, like real ECMP. Returns the traversed links, or an
+    /// empty vector when `dst` is unreachable (a partitioned survivor
+    /// topology) — callers treat that as "no route", not "zero hops".
     pub fn path(&self, src: NodeId, dst: NodeId, key: u64) -> Vec<LinkId> {
-        assert!(
-            self.dist[dst as usize][src as usize] != u32::MAX,
-            "no route {src} -> {dst}"
-        );
+        if src != dst && self.dist[dst as usize][src as usize] == u32::MAX {
+            return Vec::new();
+        }
         let mut links = Vec::with_capacity(self.distance(src, dst) as usize);
         let mut u = src;
         while u != dst {
@@ -164,6 +165,20 @@ mod tests {
         assert_eq!(table.distance(0, 0), 0);
         assert_eq!(table.distance(0, 1), 2); // same pod via agg
         assert_eq!(table.distance(0, 12), 4); // cross pod
+    }
+
+    #[test]
+    fn unreachable_pair_yields_empty_path() {
+        use dcn_topology::{NodeKind, Topology};
+        let mut t = Topology::new("islands");
+        let a = t.add_node(NodeKind::Tor, 1);
+        let b = t.add_node(NodeKind::Tor, 1);
+        t.add_node(NodeKind::Tor, 1);
+        t.add_link(a, b);
+        let table = EcmpTable::new(&t);
+        assert!(table.path(0, 2, 5).is_empty());
+        assert_eq!(table.distance(0, 2), u32::MAX);
+        assert!(!table.path(0, 1, 5).is_empty());
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub trait PathSelector: Send + Sync {
         self.select(src, dst, key, bytes_sent)
     }
 
+    /// Recomputes this selector's routing state against a (possibly
+    /// degraded) view of the topology — the control-plane reconvergence
+    /// step after link or switch failures. Link ids in the returned
+    /// selector's paths refer to `topo`'s numbering, so callers that
+    /// renumber links (survivor topologies) must translate.
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector>;
+
     fn name(&self) -> &'static str;
 }
 
@@ -43,6 +50,9 @@ pub struct EcmpSelector {
 impl PathSelector for EcmpSelector {
     fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
         self.table.path(src, dst, key)
+    }
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector> {
+        Box::new(RoutingSuite::new(topo).ecmp())
     }
     fn name(&self) -> &'static str {
         "ECMP"
@@ -58,6 +68,9 @@ pub struct VlbSelector {
 impl PathSelector for VlbSelector {
     fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
         self.vlb.path(&self.table, src, dst, key)
+    }
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector> {
+        Box::new(RoutingSuite::new(topo).vlb())
     }
     fn name(&self) -> &'static str {
         "VLB"
@@ -82,6 +95,9 @@ impl PathSelector for HybSelector {
         } else {
             self.vlb.path(&self.table, src, dst, key)
         }
+    }
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector> {
+        Box::new(RoutingSuite::new(topo).hyb(self.q_bytes))
     }
     fn name(&self) -> &'static str {
         "HYB"
@@ -122,6 +138,10 @@ impl PathSelector for AdaptiveHybSelector {
         }
     }
 
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector> {
+        Box::new(RoutingSuite::new(topo).adaptive_hyb(self.mark_threshold))
+    }
+
     fn name(&self) -> &'static str {
         "HYB-adaptive"
     }
@@ -135,23 +155,39 @@ pub struct RoutingSuite {
 
 impl RoutingSuite {
     pub fn new(t: &Topology) -> Self {
-        RoutingSuite { table: Arc::new(EcmpTable::new(t)), topology_nodes: t.num_nodes() }
+        RoutingSuite {
+            table: Arc::new(EcmpTable::new(t)),
+            topology_nodes: t.num_nodes(),
+        }
     }
 
     pub fn ecmp(&self) -> EcmpSelector {
-        EcmpSelector { table: self.table.clone() }
+        EcmpSelector {
+            table: self.table.clone(),
+        }
     }
 
     pub fn vlb(&self) -> VlbSelector {
-        VlbSelector { table: self.table.clone(), vlb: self.vlb_core() }
+        VlbSelector {
+            table: self.table.clone(),
+            vlb: self.vlb_core(),
+        }
     }
 
     pub fn hyb(&self, q_bytes: u64) -> HybSelector {
-        HybSelector { table: self.table.clone(), vlb: self.vlb_core(), q_bytes }
+        HybSelector {
+            table: self.table.clone(),
+            vlb: self.vlb_core(),
+            q_bytes,
+        }
     }
 
     pub fn adaptive_hyb(&self, mark_threshold: u64) -> AdaptiveHybSelector {
-        AdaptiveHybSelector { table: self.table.clone(), vlb: self.vlb_core(), mark_threshold }
+        AdaptiveHybSelector {
+            table: self.table.clone(),
+            vlb: self.vlb_core(),
+            mark_threshold,
+        }
     }
 
     fn vlb_core(&self) -> Vlb {

@@ -80,10 +80,7 @@ fn bfs_restricted(
             return Some(path);
         }
         for &(v, _) in t.neighbors(u) {
-            if seen[v as usize]
-                || banned_nodes.contains(&v)
-                || banned_edges.contains(&(u, v))
-            {
+            if seen[v as usize] || banned_nodes.contains(&v) || banned_edges.contains(&(u, v)) {
                 continue;
             }
             seen[v as usize] = true;

@@ -7,9 +7,8 @@ use crate::ecmp::hash3;
 use crate::hyb::PathSelector;
 use crate::ksp::k_shortest_paths;
 use dcn_topology::{LinkId, NodeId, Topology};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// The k link-paths cached for one (src, dst) pair.
 type PathSet = Arc<Vec<Vec<LinkId>>>;
@@ -24,15 +23,20 @@ pub struct KspSelector {
 impl KspSelector {
     pub fn new(topology: &Topology, k: usize) -> Self {
         assert!(k >= 1);
-        KspSelector { topology: topology.clone(), k, cache: RwLock::new(HashMap::new()) }
+        KspSelector {
+            topology: topology.clone(),
+            k,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     fn paths(&self, src: NodeId, dst: NodeId) -> PathSet {
-        if let Some(p) = self.cache.read().get(&(src, dst)) {
+        if let Some(p) = self.cache.read().unwrap().get(&(src, dst)) {
             return p.clone();
         }
+        // An unreachable pair caches an empty set; select() turns that
+        // into an empty "no route" path like the other selectors.
         let node_paths = k_shortest_paths(&self.topology, src, dst, self.k);
-        assert!(!node_paths.is_empty(), "no route {src} -> {dst}");
         let link_paths: Vec<Vec<LinkId>> = node_paths
             .iter()
             .map(|p| {
@@ -49,13 +53,13 @@ impl KspSelector {
             })
             .collect();
         let arc = Arc::new(link_paths);
-        self.cache.write().insert((src, dst), arc.clone());
+        self.cache.write().unwrap().insert((src, dst), arc.clone());
         arc
     }
 
     /// Number of cached (src, dst) entries — for tests and diagnostics.
     pub fn cached_pairs(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().unwrap().len()
     }
 
     /// All k cached link-paths for a pair (computing them on first use) —
@@ -68,8 +72,15 @@ impl KspSelector {
 impl PathSelector for KspSelector {
     fn select(&self, src: NodeId, dst: NodeId, key: u64, _bytes_sent: u64) -> Vec<LinkId> {
         let paths = self.paths(src, dst);
+        if paths.is_empty() {
+            return Vec::new();
+        }
         let pick = (hash3(key, src as u64, dst as u64) % paths.len() as u64) as usize;
         paths[pick].clone()
+    }
+
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector> {
+        Box::new(KspSelector::new(topo, self.k))
     }
 
     fn name(&self) -> &'static str {

@@ -39,12 +39,21 @@ impl Vlb {
 
     /// Full VLB path: ECMP to the intermediate, then ECMP to the
     /// destination. The two legs use distinct hash keys so their per-hop
-    /// choices are independent.
+    /// choices are independent. On a partitioned survivor topology an
+    /// unreachable intermediate is rehashed a bounded number of times,
+    /// then VLB degrades to direct ECMP (empty when `dst` itself is cut).
     pub fn path(&self, table: &EcmpTable, src: NodeId, dst: NodeId, key: u64) -> Vec<LinkId> {
-        let via = self.intermediate(src, dst, key);
-        let mut p = table.path(src, via, hash3(key, 1, via as u64));
-        p.extend(table.path(via, dst, hash3(key, 2, via as u64)));
-        p
+        let mut h = key;
+        for _ in 0..16 {
+            let via = self.intermediate(src, dst, h);
+            if table.distance(src, via) != u32::MAX && table.distance(via, dst) != u32::MAX {
+                let mut p = table.path(src, via, hash3(key, 1, via as u64));
+                p.extend(table.path(via, dst, hash3(key, 2, via as u64)));
+                return p;
+            }
+            h = hash3(h, 0x0DD_5EED, key);
+        }
+        table.path(src, dst, key)
     }
 }
 

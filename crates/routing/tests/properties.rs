@@ -1,13 +1,14 @@
-//! Property-based tests for routing: path validity, shortest-path
-//! optimality of ECMP, VLB leg structure, HYB threshold semantics.
+//! Property-style tests for routing: path validity, shortest-path
+//! optimality of ECMP, VLB leg structure, HYB threshold semantics, and
+//! rebuild-after-failure equivalence. Seeded sweeps stand in for proptest.
 
+use dcn_rng::Rng;
 use dcn_routing::ecmp::EcmpTable;
 use dcn_routing::hyb::PathSelector;
 use dcn_routing::ksp::k_shortest_paths;
 use dcn_routing::RoutingSuite;
 use dcn_topology::jellyfish::Jellyfish;
 use dcn_topology::{NodeId, Topology};
-use proptest::prelude::*;
 
 fn net(n: u32, d: u32, seed: u64) -> Topology {
     Jellyfish::new(n, d, 2, seed).build()
@@ -22,79 +23,144 @@ fn walk(t: &Topology, src: NodeId, links: &[u32]) -> NodeId {
     u
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// ECMP paths land at the destination and have exactly BFS length.
-    #[test]
-    fn ecmp_paths_shortest(n in 10u32..40, seed in 0u64..200, key in 0u64..1000) {
-        prop_assume!((n * 4) % 2 == 0);
+/// ECMP paths land at the destination and have exactly BFS length.
+#[test]
+fn ecmp_paths_shortest() {
+    let mut meta = Rng::seed_from_u64(0xEC3);
+    for _ in 0..24 {
+        let n = meta.gen_range(10u32..40);
+        let seed = meta.gen_range(0u64..200);
+        let key = meta.gen_range(0u64..1000);
         let t = net(n, 4, seed);
         let table = EcmpTable::new(&t);
         let apsp = t.apsp();
         let (src, dst) = (0u32, n - 1);
         let p = table.path(src, dst, key);
-        prop_assert_eq!(p.len() as u32, apsp[src as usize][dst as usize]);
-        prop_assert_eq!(walk(&t, src, &p), dst);
+        assert_eq!(p.len() as u32, apsp[src as usize][dst as usize]);
+        assert_eq!(walk(&t, src, &p), dst);
     }
+}
 
-    /// VLB paths reach the destination and are at most the two ECMP legs
-    /// long; HYB respects its byte threshold exactly.
-    #[test]
-    fn vlb_and_hyb_valid(n in 10u32..40, seed in 0u64..100, key in 0u64..500, q in 1u64..1_000_000) {
-        prop_assume!((n * 4) % 2 == 0);
+/// VLB paths reach the destination and are at most the two ECMP legs
+/// long; HYB respects its byte threshold exactly.
+#[test]
+fn vlb_and_hyb_valid() {
+    let mut meta = Rng::seed_from_u64(0x71B);
+    for _ in 0..24 {
+        let n = meta.gen_range(10u32..40);
+        let seed = meta.gen_range(0u64..100);
+        let key = meta.gen_range(0u64..500);
+        let q = meta.gen_range(1u64..1_000_000);
         let t = net(n, 4, seed);
         let suite = RoutingSuite::new(&t);
         let (src, dst) = (1u32, n - 2);
-        prop_assume!(src != dst);
+        if src == dst {
+            continue;
+        }
 
         let vlb = suite.vlb();
         let pv = vlb.select(src, dst, key, 0);
-        prop_assert_eq!(walk(&t, src, &pv), dst);
+        assert_eq!(walk(&t, src, &pv), dst);
 
         let hyb = suite.hyb(q);
         let below = hyb.select(src, dst, key, q - 1);
         let at = hyb.select(src, dst, key, q);
         let ecmp = suite.ecmp().select(src, dst, key, 0);
-        prop_assert_eq!(below, ecmp);
-        prop_assert_eq!(at, pv);
+        assert_eq!(below, ecmp);
+        assert_eq!(at, pv);
     }
+}
 
-    /// Yen's paths are loopless, sorted by length, pairwise distinct, and
-    /// the first equals the BFS distance.
-    #[test]
-    fn ksp_properties(n in 10u32..30, seed in 0u64..100, k in 2usize..6) {
-        prop_assume!((n * 4) % 2 == 0);
+/// Yen's paths are loopless, sorted by length, pairwise distinct, and
+/// the first equals the BFS distance.
+#[test]
+fn ksp_properties() {
+    let mut meta = Rng::seed_from_u64(0x4B5);
+    for _ in 0..24 {
+        let n = meta.gen_range(10u32..30);
+        let seed = meta.gen_range(0u64..100);
+        let k = meta.gen_range(2usize..6);
         let t = net(n, 4, seed);
         let apsp = t.apsp();
         let paths = k_shortest_paths(&t, 0, n - 1, k);
-        prop_assert!(!paths.is_empty());
-        prop_assert_eq!(paths[0].len() as u32 - 1, apsp[0][(n - 1) as usize]);
+        assert!(!paths.is_empty());
+        assert_eq!(paths[0].len() as u32 - 1, apsp[0][(n - 1) as usize]);
         let mut last = 0;
         for (i, p) in paths.iter().enumerate() {
-            prop_assert!(p.len() >= last);
+            assert!(p.len() >= last);
             last = p.len();
             let set: std::collections::HashSet<_> = p.iter().collect();
-            prop_assert_eq!(set.len(), p.len(), "loop in path");
+            assert_eq!(set.len(), p.len(), "loop in path");
             for other in paths.iter().skip(i + 1) {
-                prop_assert_ne!(p, other);
+                assert_ne!(p, other);
             }
         }
     }
+}
 
-    /// ECMP spreads different keys across all equal-cost first hops.
-    #[test]
-    fn ecmp_covers_all_choices(n in 12u32..30, seed in 0u64..50) {
-        prop_assume!((n * 4) % 2 == 0);
+/// ECMP spreads different keys across all equal-cost first hops.
+#[test]
+fn ecmp_covers_all_choices() {
+    let mut meta = Rng::seed_from_u64(0xC0F);
+    let mut cases = 0;
+    while cases < 24 {
+        let n = meta.gen_range(12u32..30);
+        let seed = meta.gen_range(0u64..50);
         let t = net(n, 4, seed);
         let table = EcmpTable::new(&t);
         let (src, dst) = (0u32, n - 1);
         let choices = table.choices(src, dst).len();
-        prop_assume!(choices >= 2);
+        if choices < 2 {
+            continue;
+        }
+        cases += 1;
         let mut seen = std::collections::HashSet::new();
         for key in 0..400u64 {
             seen.insert(table.path(src, dst, key)[0]);
         }
-        prop_assert_eq!(seen.len(), choices, "hash misses some equal-cost links");
+        assert_eq!(seen.len(), choices, "hash misses some equal-cost links");
+    }
+}
+
+/// Control-plane reconvergence: rebuilding a selector on the same
+/// topology is behavior-preserving, and rebuilding on a degraded view
+/// then again on the full view restores the original path set exactly
+/// (the LinkUp-recovery invariant the simulator relies on).
+#[test]
+fn rebuild_restores_paths_after_link_up() {
+    let mut meta = Rng::seed_from_u64(0x4EB1);
+    for _ in 0..8 {
+        let n = 2 * meta.gen_range(8u32..16);
+        let seed = meta.gen_range(0u64..100);
+        let t = net(n, 4, seed);
+        let suite = RoutingSuite::new(&t);
+        let selectors: Vec<Box<dyn PathSelector>> = vec![
+            Box::new(suite.ecmp()),
+            Box::new(suite.vlb()),
+            Box::new(suite.hyb(100_000)),
+            Box::new(dcn_routing::kspsel::KspSelector::new(&t, 4)),
+        ];
+        let degraded = t.with_random_failures(0.2, seed ^ 0xF411);
+        for sel in &selectors {
+            let down = sel.rebuild(&degraded);
+            let up = down.rebuild(&t);
+            assert_eq!(up.name(), sel.name());
+            for key in 0..50u64 {
+                for &(src, dst) in &[(0u32, n - 1), (1, n / 2)] {
+                    let before = sel.select(src, dst, key, 0);
+                    let after = up.select(src, dst, key, 0);
+                    assert_eq!(
+                        before,
+                        after,
+                        "{}: path set changed across down/up rebuild",
+                        sel.name()
+                    );
+                    // The degraded selector still routes (the sampler keeps
+                    // the survivor connected) and its paths are valid there.
+                    let p = down.select(src, dst, key, 0);
+                    assert_eq!(walk(&degraded, src, &p), dst, "{}", sel.name());
+                }
+            }
+        }
     }
 }

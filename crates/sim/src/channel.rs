@@ -23,10 +23,20 @@ pub struct Channel {
     ecn_threshold_bytes: u64,
     /// A packet is currently being serialized.
     pub busy: bool,
-    /// Drop counter (tail drops), for stats and tests.
+    /// Drop counter (congestion tail drops), for stats and tests.
     pub drops: u64,
     /// ECN marks applied.
     pub marks: u64,
+    /// Fault state: a hard-failed channel delivers nothing. The simulator
+    /// flips this (never the channel itself) and drops packets at the
+    /// offer and delivery points, so queued packets drain onto the dead
+    /// wire and are lost — "in-flight packets are lost on failure".
+    pub up: bool,
+    /// Gray-failure per-packet drop probability (0.0 = healthy). The
+    /// simulator draws from its seeded RNG; the channel just holds state.
+    pub loss_prob: f64,
+    /// Packets lost to hard or gray faults on this channel.
+    pub fault_drops: u64,
 }
 
 /// Result of offering a packet to a channel.
@@ -54,6 +64,9 @@ impl Channel {
             busy: false,
             drops: 0,
             marks: 0,
+            up: true,
+            loss_prob: 0.0,
+            fault_drops: 0,
         }
     }
 

@@ -1,0 +1,322 @@
+//! Fault injection: deterministic, seeded schedules of link and switch
+//! failures (and recoveries) consumed by the [`crate::Simulator`] event
+//! loop.
+//!
+//! Two failure flavors are modeled:
+//!
+//! - **Hard failures** ([`FaultKind::LinkDown`] / [`FaultKind::SwitchDown`]):
+//!   the channel stops delivering. In-flight and queued packets are lost
+//!   (counted as *fault drops*, separate from congestion tail drops) and
+//!   new offers are discarded. The control plane notices and rebuilds the
+//!   routing tables after a configurable reconvergence delay; until then
+//!   selectors keep emitting dead paths and only end-host retransmission
+//!   (RTO + flowlet re-pinning) keeps flows alive.
+//! - **Gray failures** ([`FaultKind::LinkGray`]): the link stays up but
+//!   drops each packet with probability `p`. These are *not* visible to
+//!   the control plane (no reconvergence) — exactly the silent-packet-loss
+//!   pathology operators fear.
+//!
+//! Plans are plain data: build one with the chainable constructors or the
+//! seeded [`FaultPlan::random_link_outages`] helper, hand it to
+//! [`crate::Simulator::set_fault_plan`], and the same plan + same seed
+//! reproduces the identical simulation.
+
+use crate::types::Ns;
+use dcn_routing::PathSelector;
+use dcn_topology::{LinkId, NodeId, Topology};
+
+/// What happens at a fault event's fire time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Hard-fail an undirected link (both directed channels).
+    LinkDown(LinkId),
+    /// Restore a hard-failed link.
+    LinkUp(LinkId),
+    /// Hard-fail a switch: every incident link channel plus the host
+    /// channels of the servers in its rack.
+    SwitchDown(NodeId),
+    /// Restore a hard-failed switch.
+    SwitchUp(NodeId),
+    /// Gray failure: the link keeps forwarding but drops each packet with
+    /// the given probability. Invisible to the control plane.
+    LinkGray(LinkId, f64),
+    /// Clear a gray failure.
+    LinkClear(LinkId),
+}
+
+/// A timed fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    pub at_ns: Ns,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the simulator's per-packet gray-loss draws. Two runs with
+    /// the same plan (same seed) make identical drop decisions.
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the gray-loss RNG seed (chainable).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn link_down(mut self, at_ns: Ns, link: LinkId) -> Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::LinkDown(link),
+        });
+        self
+    }
+
+    pub fn link_up(mut self, at_ns: Ns, link: LinkId) -> Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::LinkUp(link),
+        });
+        self
+    }
+
+    pub fn switch_down(mut self, at_ns: Ns, node: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::SwitchDown(node),
+        });
+        self
+    }
+
+    pub fn switch_up(mut self, at_ns: Ns, node: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::SwitchUp(node),
+        });
+        self
+    }
+
+    /// Marks a link gray: forwards but drops each packet with probability
+    /// `loss_prob` until [`FaultPlan::link_clear`].
+    pub fn link_gray(mut self, at_ns: Ns, link: LinkId, loss_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss probability {loss_prob} out of range"
+        );
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::LinkGray(link, loss_prob),
+        });
+        self
+    }
+
+    pub fn link_clear(mut self, at_ns: Ns, link: LinkId) -> Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::LinkClear(link),
+        });
+        self
+    }
+
+    /// Seeded random outage: `count` distinct links go down at `down_ns`
+    /// and come back at `up_ns` (pass `up_ns = None` for permanent
+    /// failures). Link choice is uniform without replacement — the plan
+    /// may disconnect the network; the simulator fails the affected flows
+    /// rather than hanging.
+    pub fn random_link_outages(
+        topo: &Topology,
+        count: usize,
+        down_ns: Ns,
+        up_ns: Option<Ns>,
+        seed: u64,
+    ) -> Self {
+        use dcn_rng::{Rng, SliceRandom};
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut ids: Vec<LinkId> = (0..topo.num_links() as LinkId).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(count.min(topo.num_links()));
+        let mut plan = FaultPlan::new().with_seed(seed);
+        for &l in &ids {
+            plan = plan.link_down(down_ns, l);
+            if let Some(up) = up_ns {
+                assert!(up > down_ns, "recovery must come after the outage");
+                plan = plan.link_up(up, l);
+            }
+        }
+        plan
+    }
+
+    /// The scheduled events, in insertion order (the simulator's event
+    /// heap orders them by time).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Panics if any event references a link or node outside `topo` —
+    /// called by the simulator before scheduling.
+    pub fn validate(&self, topo: &Topology) {
+        for e in &self.events {
+            match e.kind {
+                FaultKind::LinkDown(l)
+                | FaultKind::LinkUp(l)
+                | FaultKind::LinkGray(l, _)
+                | FaultKind::LinkClear(l) => {
+                    assert!(
+                        (l as usize) < topo.num_links(),
+                        "fault references unknown link {l}"
+                    )
+                }
+                FaultKind::SwitchDown(n) | FaultKind::SwitchUp(n) => {
+                    assert!(
+                        (n as usize) < topo.num_nodes(),
+                        "fault references unknown switch {n}"
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// A selector rebuilt against a survivor topology, translating its link
+/// ids back to the original topology's numbering so the simulator's
+/// link→channel mapping keeps working. Produced by the simulator's
+/// reconvergence step.
+pub struct RemappedSelector {
+    inner: Box<dyn PathSelector>,
+    /// `to_original[survivor link id] = original link id`.
+    to_original: Vec<LinkId>,
+}
+
+impl RemappedSelector {
+    pub fn new(inner: Box<dyn PathSelector>, to_original: Vec<LinkId>) -> Self {
+        RemappedSelector { inner, to_original }
+    }
+
+    fn map(&self, links: Vec<LinkId>) -> Vec<LinkId> {
+        links
+            .into_iter()
+            .map(|l| self.to_original[l as usize])
+            .collect()
+    }
+}
+
+impl PathSelector for RemappedSelector {
+    fn select(&self, src: NodeId, dst: NodeId, key: u64, bytes_sent: u64) -> Vec<LinkId> {
+        self.map(self.inner.select(src, dst, key, bytes_sent))
+    }
+
+    fn select_with_feedback(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        key: u64,
+        bytes_sent: u64,
+        ecn_marks: u64,
+    ) -> Vec<LinkId> {
+        self.map(
+            self.inner
+                .select_with_feedback(src, dst, key, bytes_sent, ecn_marks),
+        )
+    }
+
+    fn rebuild(&self, topo: &Topology) -> Box<dyn PathSelector> {
+        // Rebuilding against a new topology discards the old mapping; the
+        // caller wraps the result in a fresh RemappedSelector for it.
+        self.inner.rebuild(topo)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::xpander::Xpander;
+
+    #[test]
+    fn builder_collects_events_in_order() {
+        let p = FaultPlan::new()
+            .with_seed(9)
+            .link_down(100, 3)
+            .link_gray(200, 4, 0.1)
+            .link_up(300, 3)
+            .link_clear(400, 4)
+            .switch_down(500, 1)
+            .switch_up(600, 1);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.events().len(), 6);
+        assert_eq!(p.events()[0].kind, FaultKind::LinkDown(3));
+        assert_eq!(
+            p.events()[2],
+            FaultEvent {
+                at_ns: 300,
+                kind: FaultKind::LinkUp(3)
+            }
+        );
+    }
+
+    #[test]
+    fn random_outages_deterministic_and_paired() {
+        let t = Xpander::new(5, 6, 2, 1).build();
+        let a = FaultPlan::random_link_outages(&t, 4, 1000, Some(5000), 7);
+        let b = FaultPlan::random_link_outages(&t, 4, 1000, Some(5000), 7);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 8); // 4 downs + 4 ups
+        let downs: Vec<_> = a
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDown(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        let ups: Vec<_> = a
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkUp(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(downs, ups, "every down has a matching up");
+        let distinct: std::collections::HashSet<_> = downs.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            downs.len(),
+            "links chosen without replacement"
+        );
+    }
+
+    #[test]
+    fn random_outages_count_capped_by_links() {
+        let t = Xpander::new(3, 2, 1, 1).build();
+        let p = FaultPlan::random_link_outages(&t, 10_000, 0, None, 1);
+        assert_eq!(p.events().len(), t.num_links());
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_unknown_link() {
+        let t = Xpander::new(3, 2, 1, 1).build();
+        FaultPlan::new().link_down(0, 9999).validate(&t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gray_rejects_bad_probability() {
+        let _ = FaultPlan::new().link_gray(0, 0, 1.5);
+    }
+}

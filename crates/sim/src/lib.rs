@@ -26,10 +26,12 @@
 //! ```
 
 pub mod channel;
+pub mod fault;
 pub mod net;
 pub mod stats;
 pub mod types;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use net::Simulator;
 pub use stats::{compute_metrics, percentile, FlowRecord, Metrics, SHORT_FLOW_BYTES};
 pub use types::{Ns, Packet, SimConfig, Transport, MS, SEC, US};

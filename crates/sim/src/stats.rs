@@ -14,6 +14,27 @@ pub struct FlowRecord {
     pub size_bytes: u64,
     /// `None` if the flow had not completed when the simulation ended.
     pub fct_ns: Option<Ns>,
+    /// The flow was terminated by the simulator: its endpoints were
+    /// permanently disconnected by faults, or the run ended first.
+    /// Mutually exclusive with a `Some` fct.
+    pub failed: bool,
+    /// For flows that lost packets to an injected fault and then made
+    /// progress again: time from the first fault-induced loss to the
+    /// first new cumulative ACK afterwards (end-host recovery latency).
+    pub recovery_ns: Option<Ns>,
+}
+
+impl FlowRecord {
+    /// A pre-fault-era record: completed or simply unfinished.
+    pub fn basic(start_ns: Ns, size_bytes: u64, fct_ns: Option<Ns>) -> Self {
+        FlowRecord {
+            start_ns,
+            size_bytes,
+            fct_ns,
+            failed: false,
+            recovery_ns: None,
+        }
+    }
 }
 
 /// Aggregated metrics over a measurement window.
@@ -30,6 +51,13 @@ pub struct Metrics {
     pub avg_long_tput_gbps: f64,
     pub short_flows: usize,
     pub long_flows: usize,
+    /// Window flows the simulator terminated as failed (disconnected
+    /// endpoints or unfinished at shutdown).
+    pub failed: usize,
+    /// Window flows that lost packets to a fault and then resumed.
+    pub recovered_flows: usize,
+    /// Mean end-host recovery latency over `recovered_flows`, in ms.
+    pub avg_recovery_ms: f64,
 }
 
 /// Computes the paper's three headline metrics over flows starting in
@@ -42,17 +70,28 @@ pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metric
         .iter()
         .filter(|r| r.start_ns >= w_start && r.start_ns < w_end)
         .collect();
-    let mut m = Metrics { flows: window.len(), ..Default::default() };
+    let mut m = Metrics {
+        flows: window.len(),
+        ..Default::default()
+    };
 
     let mut fcts: Vec<f64> = Vec::new();
     let mut short_fcts: Vec<f64> = Vec::new();
     let mut long_tputs: Vec<f64> = Vec::new();
+    let mut recovery_sum_ms = 0.0;
     for r in &window {
         let short = r.size_bytes < SHORT_FLOW_BYTES;
         if short {
             m.short_flows += 1;
         } else {
             m.long_flows += 1;
+        }
+        if r.failed {
+            m.failed += 1;
+        }
+        if let Some(rec) = r.recovery_ns {
+            m.recovered_flows += 1;
+            recovery_sum_ms += rec as f64 / 1e6;
         }
         let Some(fct) = r.fct_ns else {
             continue;
@@ -74,6 +113,9 @@ pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metric
     if !long_tputs.is_empty() {
         m.avg_long_tput_gbps = long_tputs.iter().sum::<f64>() / long_tputs.len() as f64;
     }
+    if m.recovered_flows > 0 {
+        m.avg_recovery_ms = recovery_sum_ms / m.recovered_flows as f64;
+    }
     m
 }
 
@@ -93,11 +135,7 @@ mod tests {
     use crate::types::MS;
 
     fn rec(start_ms: u64, size: u64, fct_ms: Option<u64>) -> FlowRecord {
-        FlowRecord {
-            start_ns: start_ms * MS,
-            size_bytes: size,
-            fct_ns: fct_ms.map(|f| f * MS),
-        }
+        FlowRecord::basic(start_ms * MS, size, fct_ms.map(|f| f * MS))
     }
 
     #[test]
@@ -118,8 +156,8 @@ mod tests {
     #[test]
     fn avg_fct_and_long_throughput() {
         let records = vec![
-            rec(1, 10_000, Some(2)),     // short, 2 ms
-            rec(1, 1_000_000, Some(4)),  // long, 1 MB in 4 ms = 2 Gbps
+            rec(1, 10_000, Some(2)),    // short, 2 ms
+            rec(1, 1_000_000, Some(4)), // long, 1 MB in 4 ms = 2 Gbps
         ];
         let m = compute_metrics(&records, 0, 10 * MS);
         assert!((m.avg_fct_ms - 3.0).abs() < 1e-9);
@@ -128,11 +166,14 @@ mod tests {
 
     #[test]
     fn p99_short_only_uses_short_flows() {
-        let mut records: Vec<FlowRecord> =
-            (0..100).map(|i| rec(1, 10_000, Some(i + 1))).collect();
+        let mut records: Vec<FlowRecord> = (0..100).map(|i| rec(1, 10_000, Some(i + 1))).collect();
         records.push(rec(1, 10_000_000, Some(10_000))); // long straggler
         let m = compute_metrics(&records, 0, 10 * MS);
-        assert!((m.p99_short_fct_ms - 99.0).abs() < 1e-9, "{}", m.p99_short_fct_ms);
+        assert!(
+            (m.p99_short_fct_ms - 99.0).abs() < 1e-9,
+            "{}",
+            m.p99_short_fct_ms
+        );
     }
 
     #[test]
@@ -142,6 +183,23 @@ mod tests {
         assert_eq!(m.flows, 2);
         assert_eq!(m.completed, 1);
         assert!((m.avg_fct_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_and_recovered_accounting() {
+        let mut failed = rec(1, 10_000, None);
+        failed.failed = true;
+        let mut recovered = rec(1, 10_000, Some(8));
+        recovered.recovery_ns = Some(3 * MS);
+        let mut recovered2 = rec(2, 200_000, Some(9));
+        recovered2.recovery_ns = Some(MS);
+        let records = vec![failed, recovered, recovered2, rec(3, 10_000, Some(1))];
+        let m = compute_metrics(&records, 0, 10 * MS);
+        assert_eq!(m.flows, 4);
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.recovered_flows, 2);
+        assert!((m.avg_recovery_ms - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub struct SimConfig {
     pub host_queue_pkts: u32,
     /// Congestion control; the paper evaluates DCTCP.
     pub transport: Transport,
+    /// Control-plane reconvergence delay: time between a hard fault
+    /// (link/switch down or up) and the routing tables being rebuilt on
+    /// the survivor topology. Until it elapses selectors keep handing out
+    /// dead paths and only end-host retransmission makes progress.
+    pub reconverge_delay_ns: Ns,
+    /// Watchdog: panic if a run processes more than this many events
+    /// (0 disables). Guards against fault scenarios that would otherwise
+    /// spin forever instead of failing loudly.
+    pub max_events: u64,
 }
 
 impl Default for SimConfig {
@@ -96,6 +105,8 @@ impl Default for SimConfig {
             dctcp_g: 1.0 / 16.0,
             host_queue_pkts: 256,
             transport: Transport::Dctcp,
+            reconverge_delay_ns: MS,
+            max_events: 0,
         }
     }
 }

@@ -1,29 +1,32 @@
-//! Property-based tests for the packet simulator: conservation-style
-//! invariants that must survive any workload in the valid range.
+//! Property-style tests for the packet simulator: conservation
+//! invariants, determinism, and fault-injection termination guarantees.
+//! Seeded sweeps stand in for proptest.
 
+use dcn_rng::Rng;
 use dcn_routing::RoutingSuite;
-use dcn_sim::{SimConfig, Simulator, MS, SEC};
+use dcn_sim::{FaultPlan, SimConfig, Simulator, MS, SEC};
 use dcn_topology::fattree::FatTree;
 use dcn_topology::xpander::Xpander;
 use dcn_workloads::tm::Endpoint;
 use dcn_workloads::{generate_flows, AllToAll, FixedSize, FlowEvent};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every injected flow completes on an idle-enough network, and FCT
-    /// is at least the serialization floor and at most the run horizon.
-    #[test]
-    fn flows_complete_with_sane_fcts(
-        lambda in 100.0f64..1500.0,
-        bytes in 1_000u64..500_000,
-        seed in 0u64..50,
-    ) {
-        let t = FatTree::full(4).build();
+/// Every injected flow completes on an idle-enough network, and FCT is
+/// at least the serialization floor and at most the run horizon.
+#[test]
+fn flows_complete_with_sane_fcts() {
+    let mut meta = Rng::seed_from_u64(0x51F1);
+    let t = FatTree::full(4).build();
+    let mut cases = 0;
+    while cases < 8 {
+        let lambda = 100.0 + meta.gen_range(0.0..1400.0);
+        let bytes = meta.gen_range(1_000u64..500_000);
+        let seed = meta.gen_range(0u64..50);
         let pattern = AllToAll::new(&t, t.tors_with_servers());
         let flows = generate_flows(&pattern, &FixedSize(bytes), lambda, 0.01, seed);
-        prop_assume!(!flows.is_empty());
+        if flows.is_empty() {
+            continue;
+        }
+        cases += 1;
         let suite = RoutingSuite::new(&t);
         let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
         sim.set_window(0, 10 * MS);
@@ -32,37 +35,49 @@ proptest! {
         let floor = (bytes as f64 * 8.0 / 10.0) as u64;
         for r in &rec {
             let fct = r.fct_ns.expect("unfinished flow");
-            prop_assert!(fct >= floor);
-            prop_assert!(fct < 120 * SEC);
+            assert!(fct >= floor);
+            assert!(fct < 120 * SEC);
         }
     }
+}
 
-    /// Byte conservation: with zero drops, ECN marks or not, the receiver
-    /// saw exactly the flow's bytes — FCT times goodput equals size.
-    #[test]
-    fn goodput_consistent(bytes in 100_000u64..5_000_000) {
-        let t = FatTree::full(4).build();
+/// Byte conservation: with zero drops, the receiver saw exactly the
+/// flow's bytes — FCT times goodput equals size.
+#[test]
+fn goodput_consistent() {
+    let mut meta = Rng::seed_from_u64(0x600D);
+    let t = FatTree::full(4).build();
+    for _ in 0..8 {
+        let bytes = meta.gen_range(100_000u64..5_000_000);
         let suite = RoutingSuite::new(&t);
         let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
         sim.set_window(0, MS);
         sim.inject(&[FlowEvent {
             start_s: 0.0,
             src: Endpoint { rack: 0, server: 0 },
-            dst: Endpoint { rack: 12, server: 1 },
+            dst: Endpoint {
+                rack: 12,
+                server: 1,
+            },
             bytes,
         }]);
         let rec = sim.run(60 * SEC);
         let fct = rec[0].fct_ns.unwrap() as f64;
         let goodput_gbps = bytes as f64 * 8.0 / fct;
-        prop_assert!(goodput_gbps <= 10.0 + 1e-9, "goodput above line rate");
-        prop_assert!(goodput_gbps > 1.0, "goodput {goodput_gbps} implausibly low");
-        prop_assert_eq!(sim.total_drops(), 0);
+        assert!(goodput_gbps <= 10.0 + 1e-9, "goodput above line rate");
+        assert!(goodput_gbps > 1.0, "goodput {goodput_gbps} implausibly low");
+        assert_eq!(sim.total_drops(), 0);
     }
+}
 
-    /// Determinism under every routing scheme.
-    #[test]
-    fn deterministic_under_all_routings(mode in 0u8..3, seed in 0u64..20) {
-        let t = Xpander::new(4, 6, 2, 3).build();
+/// Determinism under every routing scheme.
+#[test]
+fn deterministic_under_all_routings() {
+    let mut meta = Rng::seed_from_u64(0xDE7);
+    let t = Xpander::new(4, 6, 2, 3).build();
+    for _ in 0..6 {
+        let mode = meta.gen_range(0u8..3);
+        let seed = meta.gen_range(0u64..20);
         let run = || {
             let suite = RoutingSuite::new(&t);
             let sel: Box<dyn dcn_routing::PathSelector> = match mode {
@@ -75,15 +90,24 @@ proptest! {
             let mut sim = Simulator::new(&t, sel, SimConfig::default());
             sim.set_window(0, 5 * MS);
             sim.inject(&flows);
-            sim.run(60 * SEC).iter().map(|r| r.fct_ns).collect::<Vec<_>>()
+            sim.run(60 * SEC)
+                .iter()
+                .map(|r| r.fct_ns)
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Shrinking queues can only add drops, never remove completions.
-    #[test]
-    fn small_queues_still_deliver(queue in 5u32..100, seed in 0u64..20) {
-        let t = FatTree::full(4).build();
+/// Shrinking queues can only add drops, never remove completions.
+#[test]
+fn small_queues_still_deliver() {
+    let mut meta = Rng::seed_from_u64(0x5311);
+    let t = FatTree::full(4).build();
+    let mut cases = 0;
+    while cases < 6 {
+        let queue = meta.gen_range(5u32..100);
+        let seed = meta.gen_range(0u64..20);
         let suite = RoutingSuite::new(&t);
         let cfg = SimConfig {
             queue_pkts: queue,
@@ -93,12 +117,102 @@ proptest! {
         let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
         let pattern = AllToAll::new(&t, t.tors_with_servers());
         let flows = generate_flows(&pattern, &FixedSize(200_000), 2_000.0, 0.005, seed);
-        prop_assume!(!flows.is_empty());
+        if flows.is_empty() {
+            continue;
+        }
+        cases += 1;
         sim.set_window(0, 5 * MS);
         sim.inject(&flows);
         let rec = sim.run(120 * SEC);
         for r in &rec {
-            prop_assert!(r.fct_ns.is_some(), "flow lost despite retransmission");
+            assert!(r.fct_ns.is_some(), "flow lost despite retransmission");
         }
     }
+}
+
+/// Fault termination invariant: whatever a seeded fault plan does —
+/// transient outages, permanent cuts, switch kills — the run ends and
+/// every injected flow is either completed or failed, never limbo.
+#[test]
+fn faulted_runs_terminate_with_full_accounting() {
+    let mut meta = Rng::seed_from_u64(0xFA17);
+    let t = Xpander::new(4, 6, 2, 3).build();
+    for case in 0..8 {
+        let seed = meta.gen_range(0u64..1000);
+        let outages = meta.gen_range(1usize..6);
+        // Mix transient (recovering) and permanent outages across cases.
+        let up = if case % 2 == 0 { Some(8 * MS) } else { None };
+        let plan = FaultPlan::random_link_outages(&t, outages, 2 * MS, up, seed);
+        let suite = RoutingSuite::new(&t);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(150_000), 1_000.0, 0.01, seed);
+        if flows.is_empty() {
+            continue;
+        }
+        let mut sim = Simulator::new(&t, Box::new(suite.hyb(100_000)), SimConfig::default());
+        sim.set_window(0, 10 * MS);
+        sim.inject(&flows);
+        sim.set_fault_plan(&plan);
+        let rec = sim.run(120 * SEC);
+        let completed = rec.iter().filter(|r| r.fct_ns.is_some()).count();
+        let failed = rec.iter().filter(|r| r.failed).count();
+        assert_eq!(completed + failed, rec.len(), "flow in limbo (case {case})");
+        for r in &rec {
+            assert!(
+                !(r.failed && r.fct_ns.is_some()),
+                "flow both completed and failed"
+            );
+        }
+    }
+}
+
+/// Fault determinism: the same workload + the same fault plan (same
+/// seed) reproduce identical per-flow outcomes, including gray losses.
+#[test]
+fn faulted_runs_deterministic() {
+    let t = Xpander::new(4, 6, 2, 3).build();
+    let run = || {
+        let suite = RoutingSuite::new(&t);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(120_000), 1_200.0, 0.01, 11);
+        let plan = FaultPlan::random_link_outages(&t, 3, MS, Some(6 * MS), 42)
+            .link_gray(MS, 0, 0.05)
+            .link_clear(5 * MS, 0);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.set_window(0, 8 * MS);
+        sim.inject(&flows);
+        sim.set_fault_plan(&plan);
+        let rec = sim.run(120 * SEC);
+        let drops = (sim.total_fault_drops(), sim.total_congestion_drops());
+        (
+            rec.iter()
+                .map(|r| (r.fct_ns, r.failed, r.recovery_ns))
+                .collect::<Vec<_>>(),
+            drops,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// A fault-free run is byte-identical whether or not an empty fault plan
+/// is installed — the fault machinery is pay-for-what-you-use.
+#[test]
+fn empty_fault_plan_is_identity() {
+    let t = FatTree::full(4).build();
+    let run = |with_plan: bool| {
+        let suite = RoutingSuite::new(&t);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(100_000), 1_000.0, 0.01, 3);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.set_window(0, 10 * MS);
+        sim.inject(&flows);
+        if with_plan {
+            sim.set_fault_plan(&FaultPlan::new().with_seed(99));
+        }
+        sim.run(120 * SEC)
+            .iter()
+            .map(|r| r.fct_ns)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(false), run(true));
 }

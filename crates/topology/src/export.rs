@@ -9,7 +9,11 @@ use std::fmt::Write;
 pub fn to_dot(t: &Topology) -> String {
     let mut out = String::new();
     writeln!(out, "graph \"{}\" {{", t.name().replace('"', "'")).unwrap();
-    writeln!(out, "  layout=neato; overlap=false; node [shape=box, style=filled];").unwrap();
+    writeln!(
+        out,
+        "  layout=neato; overlap=false; node [shape=box, style=filled];"
+    )
+    .unwrap();
 
     // Group nodes into clusters when groups exist.
     let mut groups: std::collections::BTreeMap<u32, Vec<NodeId>> = Default::default();
@@ -61,17 +65,15 @@ pub fn to_dot(t: &Topology) -> String {
 /// footnote 1 cautions that bisection can be a log factor away from
 /// throughput — this estimator exists to let users check that themselves.
 pub fn bisection_estimate(t: &Topology, samples: u32, seed: u64) -> f64 {
-    use rand::seq::SliceRandom;
-    use rand_chacha::rand_core::SeedableRng;
+    use dcn_rng::SliceRandom;
     let n = t.num_nodes();
     assert!(n >= 2);
     let mut best = f64::INFINITY;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = dcn_rng::Rng::seed_from_u64(seed);
     let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
     for _ in 0..samples.max(1) {
         ids.shuffle(&mut rng);
-        let left: std::collections::HashSet<NodeId> =
-            ids[..n / 2].iter().copied().collect();
+        let left: std::collections::HashSet<NodeId> = ids[..n / 2].iter().copied().collect();
         let cut: f64 = t
             .links()
             .iter()
@@ -127,7 +129,10 @@ mod tests {
     fn expander_bisection_scales_with_degree() {
         let small = bisection_estimate(&Xpander::new(4, 8, 1, 1).build(), 100, 2);
         let large = bisection_estimate(&Xpander::new(8, 8, 1, 1).build(), 100, 2);
-        assert!(large > small, "degree-8 expander should cut wider than degree-4");
+        assert!(
+            large > small,
+            "degree-8 expander should cut wider than degree-4"
+        );
     }
 
     #[test]

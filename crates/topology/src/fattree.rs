@@ -29,8 +29,16 @@ pub struct FatTree {
 impl FatTree {
     /// Full-bandwidth fat-tree with parameter `k`.
     pub fn full(k: u32) -> Self {
-        assert!(k >= 4 && k.is_multiple_of(2), "fat-tree requires even k >= 4, got {k}");
-        FatTree { k, core_per_group: k / 2, servers_per_edge: k / 2, aggs_per_pod: k / 2 }
+        assert!(
+            k >= 4 && k.is_multiple_of(2),
+            "fat-tree requires even k >= 4, got {k}"
+        );
+        FatTree {
+            k,
+            core_per_group: k / 2,
+            servers_per_edge: k / 2,
+            aggs_per_pod: k / 2,
+        }
     }
 
     /// Fat-tree oversubscribed at the core: each aggregation group keeps
@@ -73,7 +81,8 @@ impl FatTree {
                 }
             }
         }
-        best.expect("no fat-tree configuration under the cost target").1
+        best.expect("no fat-tree configuration under the cost target")
+            .1
     }
 
     /// Number of switches this configuration instantiates.
@@ -281,8 +290,11 @@ mod tests {
         let t = FatTree::full(6).build();
         for n in 0..t.num_nodes() as u32 {
             if t.kind(n) == NodeKind::Core {
-                let mut pods: Vec<_> =
-                    t.neighbors(n).iter().map(|&(v, _)| t.group(v).unwrap()).collect();
+                let mut pods: Vec<_> = t
+                    .neighbors(n)
+                    .iter()
+                    .map(|&(v, _)| t.group(v).unwrap())
+                    .collect();
                 pods.sort_unstable();
                 assert_eq!(pods, (0..6).collect::<Vec<_>>());
             }

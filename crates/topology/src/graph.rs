@@ -4,7 +4,6 @@
 //! matching the paper's rack-granularity traffic matrices). Parallel edges
 //! are allowed — oversubscribed fat-trees and small expanders use them.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Index of a switch in a [`Topology`].
@@ -15,7 +14,7 @@ pub type LinkId = u32;
 
 /// Role a switch plays in the network, used by routing and workloads to
 /// decide where servers live and by fat-tree construction audits.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// Top-of-rack switch: has servers attached.
     Tor,
@@ -27,7 +26,7 @@ pub enum NodeKind {
 
 /// An undirected link between two switches with a capacity in line-rate
 /// units (1.0 = one standard link, e.g. 10 Gbps in the paper's experiments).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Link {
     pub a: NodeId,
     pub b: NodeId,
@@ -50,7 +49,7 @@ impl Link {
 ///
 /// Construction is append-only: add nodes, then links. Adjacency is kept as
 /// `(neighbor, link)` pairs so parallel links stay distinguishable.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     name: String,
     kinds: Vec<NodeKind>,
@@ -229,14 +228,78 @@ impl Topology {
 
     /// Number of parallel links between `a` and `b`.
     pub fn multiplicity(&self, a: NodeId, b: NodeId) -> usize {
-        self.adj[a as usize].iter().filter(|&&(v, _)| v == b).count()
+        self.adj[a as usize]
+            .iter()
+            .filter(|&&(v, _)| v == b)
+            .count()
     }
 
     /// Returns a copy of this topology with the given links removed
     /// (failure injection). Link ids are re-assigned densely; node ids and
-    /// server placement are preserved. Panics if the survivor is
-    /// disconnected — callers model partitions explicitly if they want them.
-    pub fn without_links(&self, failed: &[LinkId]) -> Topology {
+    /// server placement are preserved. Returns `Err` (naming a cut pair)
+    /// if the survivor is disconnected — callers model partitions
+    /// explicitly if they want them, via [`Topology::without_links_largest_component`].
+    pub fn without_links(&self, failed: &[LinkId]) -> Result<Topology, DisconnectedError> {
+        let t = self.strip_links(failed);
+        if let Some(unreachable) = t.bfs_distances(0).iter().position(|&d| d == u32::MAX) {
+            return Err(DisconnectedError {
+                removed: failed.len(),
+                example_cut: (0, unreachable as NodeId),
+            });
+        }
+        Ok(t)
+    }
+
+    /// Like [`Topology::without_links`], but tolerates partitions: nodes
+    /// outside the largest surviving component keep their ids but lose all
+    /// links and servers, so routing and traffic treat them as dead.
+    pub fn without_links_largest_component(&self, failed: &[LinkId]) -> Topology {
+        let t = self.strip_links(failed);
+        // Label components; keep the one with the most servers (ties: most
+        // nodes, then lowest root id — deterministic).
+        let mut comp = vec![u32::MAX; t.num_nodes()];
+        let mut best: Option<(u64, usize, u32)> = None;
+        for root in 0..t.num_nodes() as NodeId {
+            if comp[root as usize] != u32::MAX {
+                continue;
+            }
+            let mut servers = 0u64;
+            let mut size = 0usize;
+            let mut q = VecDeque::from([root]);
+            comp[root as usize] = root;
+            while let Some(u) = q.pop_front() {
+                servers += t.servers_at(u) as u64;
+                size += 1;
+                for &(v, _) in t.neighbors(u) {
+                    if comp[v as usize] == u32::MAX {
+                        comp[v as usize] = root;
+                        q.push_back(v);
+                    }
+                }
+            }
+            let key = (servers, size, u32::MAX - root);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        let keep = best.map_or(0, |(_, _, inv)| u32::MAX - inv);
+        let mut out = Topology::new(t.name.clone());
+        for n in 0..t.num_nodes() as NodeId {
+            let alive = comp[n as usize] == keep;
+            out.add_node(t.kind(n), if alive { t.servers_at(n) } else { 0 });
+            if let Some(g) = t.group(n) {
+                out.set_group(n, g);
+            }
+        }
+        for l in &t.links {
+            if comp[l.a as usize] == keep {
+                out.add_link_cap(l.a, l.b, l.capacity);
+            }
+        }
+        out
+    }
+
+    fn strip_links(&self, failed: &[LinkId]) -> Topology {
         let failed: std::collections::HashSet<LinkId> = failed.iter().copied().collect();
         let mut t = Topology::new(format!("{} (-{} links)", self.name, failed.len()));
         for n in 0..self.num_nodes() as NodeId {
@@ -250,46 +313,199 @@ impl Topology {
                 t.add_link_cap(l.a, l.b, l.capacity);
             }
         }
-        assert!(t.is_connected(), "link failures disconnected the topology");
         t
     }
 
-    /// Fails a random `fraction` of links (deterministic per seed),
-    /// retrying other samples if a draw disconnects the network. Used for
-    /// the graceful-degradation experiments.
+    /// Fails a random `fraction` of links, deterministically per seed and
+    /// without ever panicking: candidate links are visited in a seeded
+    /// random order and a removal that would disconnect the network is
+    /// skipped (resampled), so bridges survive. If the graph has fewer
+    /// than `k` removable links the result simply loses fewer links.
     pub fn with_random_failures(&self, fraction: f64, seed: u64) -> Topology {
-        use rand::seq::SliceRandom;
-        use rand_chacha::rand_core::SeedableRng;
+        use dcn_rng::{Rng, SliceRandom};
         assert!((0.0..1.0).contains(&fraction));
         let k = (self.num_links() as f64 * fraction).round() as usize;
         if k == 0 {
             return self.clone();
         }
-        for attempt in 0..64u64 {
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
-                seed.wrapping_add(attempt * 0x9E37_79B9),
-            );
-            let mut ids: Vec<LinkId> = (0..self.num_links() as LinkId).collect();
-            ids.shuffle(&mut rng);
-            ids.truncate(k);
-            // Cheap connectivity pre-check before committing to the copy.
-            let failed: std::collections::HashSet<LinkId> = ids.iter().copied().collect();
-            let mut probe = Topology::new(String::new());
-            for n in 0..self.num_nodes() as NodeId {
-                probe.add_node(self.kind(n), 0);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut order: Vec<LinkId> = (0..self.num_links() as LinkId).collect();
+        order.shuffle(&mut rng);
+        let mut removed: Vec<LinkId> = Vec::with_capacity(k);
+        let removed_set = &mut vec![false; self.num_links()];
+        for &cand in &order {
+            if removed.len() == k {
+                break;
             }
-            for (i, l) in self.links.iter().enumerate() {
-                if !failed.contains(&(i as LinkId)) {
-                    probe.add_link(l.a, l.b);
-                }
-            }
-            if probe.is_connected() {
-                return self.without_links(&ids);
+            removed_set[cand as usize] = true;
+            if self.connected_without(removed_set) {
+                removed.push(cand);
+            } else {
+                removed_set[cand as usize] = false; // a bridge — resample
             }
         }
-        panic!("could not fail {fraction} of links without disconnecting");
+        self.without_links(&removed)
+            .expect("greedy sampling kept the survivor connected")
+    }
+
+    /// Connectivity check with a link mask, allocation-light (used by the
+    /// failure sampler's inner loop).
+    fn connected_without(&self, removed: &[bool]) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes()];
+        let mut q = VecDeque::from([0 as NodeId]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = q.pop_front() {
+            for &(v, l) in &self.adj[u as usize] {
+                if !removed[l as usize] && !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        count == self.num_nodes()
+    }
+
+    /// Serializes to the JSON shape `dcnsim`'s `{"kind": "file"}` topology
+    /// config loads: name, kinds, servers, links, groups.
+    pub fn to_json(&self) -> dcn_json::Json {
+        use dcn_json::Json;
+        let kind_str = |k: NodeKind| match k {
+            NodeKind::Tor => "Tor",
+            NodeKind::Aggregation => "Aggregation",
+            NodeKind::Core => "Core",
+        };
+        Json::obj(vec![
+            ("name", Json::from(self.name.clone())),
+            (
+                "kinds",
+                Json::Arr(
+                    self.kinds
+                        .iter()
+                        .map(|&k| Json::from(kind_str(k)))
+                        .collect(),
+                ),
+            ),
+            (
+                "servers",
+                Json::Arr(self.servers.iter().map(|&s| Json::from(s)).collect()),
+            ),
+            (
+                "links",
+                Json::Arr(
+                    self.links
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("a", Json::from(l.a)),
+                                ("b", Json::from(l.b)),
+                                ("capacity", Json::from(l.capacity)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "groups",
+                Json::Arr(
+                    self.groups
+                        .iter()
+                        .map(|&g| {
+                            if g == u32::MAX {
+                                dcn_json::Json::Null
+                            } else {
+                                Json::from(g)
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`Topology::to_json`]. The `groups` field is optional.
+    pub fn from_json(v: &dcn_json::Json) -> Result<Topology, String> {
+        let name = v.get("name").and_then(|n| n.as_str()).unwrap_or("loaded");
+        let mut t = Topology::new(name);
+        let kinds = v
+            .get("kinds")
+            .and_then(|k| k.as_array())
+            .ok_or("missing 'kinds'")?;
+        let servers = v
+            .get("servers")
+            .and_then(|s| s.as_array())
+            .ok_or("missing 'servers'")?;
+        if kinds.len() != servers.len() {
+            return Err(format!(
+                "kinds ({}) vs servers ({}) mismatch",
+                kinds.len(),
+                servers.len()
+            ));
+        }
+        for (k, s) in kinds.iter().zip(servers) {
+            let kind = match k.as_str() {
+                Some("Tor") => NodeKind::Tor,
+                Some("Aggregation") => NodeKind::Aggregation,
+                Some("Core") => NodeKind::Core,
+                other => return Err(format!("bad node kind {other:?}")),
+            };
+            let n = s.as_u64().ok_or("bad server count")? as u32;
+            t.add_node(kind, n);
+        }
+        let links = v
+            .get("links")
+            .and_then(|l| l.as_array())
+            .ok_or("missing 'links'")?;
+        for l in links {
+            let a = l
+                .get("a")
+                .and_then(|x| x.as_u64())
+                .ok_or("link missing 'a'")? as NodeId;
+            let b = l
+                .get("b")
+                .and_then(|x| x.as_u64())
+                .ok_or("link missing 'b'")? as NodeId;
+            let cap = l.get("capacity").and_then(|x| x.as_f64()).unwrap_or(1.0);
+            if a as usize >= t.num_nodes() || b as usize >= t.num_nodes() {
+                return Err(format!("link {a}-{b} references unknown node"));
+            }
+            t.add_link_cap(a, b, cap);
+        }
+        if let Some(groups) = v.get("groups").and_then(|g| g.as_array()) {
+            for (n, g) in groups.iter().enumerate() {
+                if let Some(g) = g.as_u64() {
+                    t.set_group(n as NodeId, g as u32);
+                }
+            }
+        }
+        Ok(t)
     }
 }
+
+/// Removing a link set disconnected the topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DisconnectedError {
+    /// How many links the caller removed.
+    pub removed: usize,
+    /// One (src, dst) pair with no surviving path.
+    pub example_cut: (NodeId, NodeId),
+}
+
+impl std::fmt::Display for DisconnectedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "removing {} links disconnected the topology (no path {} -> {})",
+            self.removed, self.example_cut.0, self.example_cut.1
+        )
+    }
+}
+
+impl std::error::Error for DisconnectedError {}
 
 #[cfg(test)]
 mod tests {
@@ -386,7 +602,7 @@ mod tests {
     fn without_links_preserves_nodes() {
         let mut t = triangle();
         t.set_group(1, 3);
-        let survivor = t.without_links(&[0]);
+        let survivor = t.without_links(&[0]).unwrap();
         assert_eq!(survivor.num_nodes(), 3);
         assert_eq!(survivor.num_links(), 2);
         assert_eq!(survivor.num_servers(), 6);
@@ -395,13 +611,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn without_links_rejects_disconnection() {
+    fn without_links_reports_disconnection() {
         let mut t = Topology::new("path2");
         let a = t.add_node(NodeKind::Tor, 1);
         let b = t.add_node(NodeKind::Tor, 1);
         t.add_link(a, b);
-        t.without_links(&[0]);
+        let err = t.without_links(&[0]).unwrap_err();
+        assert_eq!(err.removed, 1);
+        assert_eq!(err.example_cut, (0, 1));
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn largest_component_keeps_heavier_side() {
+        // 0-1-2 (3 servers) and 3-4 (2 servers), then cut nothing vs cut all.
+        let mut t = Topology::new("split");
+        for _ in 0..5 {
+            t.add_node(NodeKind::Tor, 1);
+        }
+        t.add_link(0, 1);
+        t.add_link(1, 2);
+        t.add_link(3, 4);
+        let kept = t.without_links_largest_component(&[]);
+        assert_eq!(kept.num_nodes(), 5);
+        assert_eq!(kept.num_servers(), 3); // 3-4 side zeroed out
+        assert_eq!(kept.num_links(), 2); // 3-4 link dropped
+        assert_eq!(kept.servers_at(3), 0);
     }
 
     #[test]
@@ -430,6 +665,32 @@ mod tests {
         let t = triangle();
         let f = t.with_random_failures(0.0, 1);
         assert_eq!(f.num_links(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = triangle();
+        t.set_group(0, 4);
+        let j = t.to_json();
+        let back = Topology::from_json(&dcn_json::Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.num_nodes(), t.num_nodes());
+        assert_eq!(back.num_links(), t.num_links());
+        assert_eq!(back.num_servers(), t.num_servers());
+        assert_eq!(back.group(0), Some(4));
+        assert_eq!(back.group(1), None);
+        let e1: Vec<_> = t.links().iter().map(|l| (l.a, l.b)).collect();
+        let e2: Vec<_> = back.links().iter().map(|l| (l.a, l.b)).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_links() {
+        let j = dcn_json::Json::parse(
+            r#"{"name":"x","kinds":["Tor","Tor"],"servers":[1,1],"links":[{"a":0,"b":9}]}"#,
+        )
+        .unwrap();
+        assert!(Topology::from_json(&j).is_err());
     }
 
     #[test]

@@ -3,10 +3,7 @@
 //! construction plus the rewiring step that absorbs leftover free ports.
 
 use crate::graph::{NodeId, NodeKind, Topology};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use dcn_rng::{Rng, SliceRandom};
 
 /// Configuration of a Jellyfish network.
 #[derive(Clone, Copy, Debug)]
@@ -23,12 +20,20 @@ pub struct Jellyfish {
 
 impl Jellyfish {
     pub fn new(switches: u32, net_degree: u32, servers_per_switch: u32, seed: u64) -> Self {
-        assert!(switches as u64 > net_degree as u64, "need more switches than degree");
+        assert!(
+            switches as u64 > net_degree as u64,
+            "need more switches than degree"
+        );
         assert!(
             (switches as u64 * net_degree as u64).is_multiple_of(2),
             "switches * degree must be even"
         );
-        Jellyfish { switches, net_degree, servers_per_switch, seed }
+        Jellyfish {
+            switches,
+            net_degree,
+            servers_per_switch,
+            seed,
+        }
     }
 
     /// Builds the random regular graph. Guaranteed simple (no parallel
@@ -49,7 +54,7 @@ impl Jellyfish {
     fn try_build(&self, seed: u64) -> Option<Topology> {
         let n = self.switches;
         let d = self.net_degree;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut t = Topology::new(format!(
             "jellyfish(n={n}, d={d}, s={}, seed={})",
             self.servers_per_switch, self.seed
@@ -88,7 +93,11 @@ impl Jellyfish {
         let mut guard = 0usize;
         loop {
             pool = (0..n).filter(|&x| free[x as usize] > 0).collect();
-            let two_free: Vec<NodeId> = pool.iter().copied().filter(|&x| free[x as usize] >= 2).collect();
+            let two_free: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .filter(|&x| free[x as usize] >= 2)
+                .collect();
             if two_free.is_empty() {
                 break;
             }
@@ -99,8 +108,7 @@ impl Jellyfish {
             let &w = two_free.choose(&mut rng).unwrap();
             // Rebuild is easier than in-place deletion: collect edges, drop
             // one not incident to w, reconstruct.
-            let mut edges: Vec<(NodeId, NodeId)> =
-                t.links().iter().map(|l| (l.a, l.b)).collect();
+            let mut edges: Vec<(NodeId, NodeId)> = t.links().iter().map(|l| (l.a, l.b)).collect();
             let candidates: Vec<usize> = edges
                 .iter()
                 .enumerate()

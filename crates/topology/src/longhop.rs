@@ -24,7 +24,11 @@ pub struct Longhop {
 impl Longhop {
     /// Plain m-dimensional hypercube.
     pub fn hypercube(m: u32, servers_per_switch: u32) -> Self {
-        Longhop { m, generators: (0..m).map(|i| 1 << i).collect(), servers_per_switch }
+        Longhop {
+            m,
+            generators: (0..m).map(|i| 1 << i).collect(),
+            servers_per_switch,
+        }
     }
 
     /// Folded hypercube: hypercube plus the all-ones long hop.
@@ -55,7 +59,11 @@ impl Longhop {
             }
             gens.push(best.expect("no candidate generator").1);
         }
-        Longhop { m, generators: gens, servers_per_switch }
+        Longhop {
+            m,
+            generators: gens,
+            servers_per_switch,
+        }
     }
 
     /// The paper's Fig 5b instance: 512 ToRs, 10 network ports, 8 servers.
@@ -70,7 +78,11 @@ impl Longhop {
     pub fn build(&self) -> Topology {
         let n = 1u32 << self.m;
         for &g in &self.generators {
-            assert!(g != 0 && g < n, "generator {g:#x} out of range for m={}", self.m);
+            assert!(
+                g != 0 && g < n,
+                "generator {g:#x} out of range for m={}",
+                self.m
+            );
         }
         let mut t = Topology::new(format!(
             "longhop(m={}, d={}, s={})",
@@ -157,7 +169,10 @@ mod tests {
         let hyper = cayley_avg_path(5, &Longhop::hypercube(5, 1).generators);
         let greedy = Longhop::greedy(5, 7, 1);
         let better = cayley_avg_path(5, &greedy.generators);
-        assert!(better < hyper, "greedy {better} not below hypercube {hyper}");
+        assert!(
+            better < hyper,
+            "greedy {better} not below hypercube {hyper}"
+        );
         assert_eq!(greedy.generators.len(), 7);
     }
 

@@ -108,7 +108,10 @@ pub fn xpander_floor_plan(
     pods: usize,
     usable_units: usize,
 ) -> FloorPlan {
-    assert!(meta_nodes.is_multiple_of(pods), "{meta_nodes} meta-nodes not divisible into {pods} pods");
+    assert!(
+        meta_nodes.is_multiple_of(pods),
+        "{meta_nodes} meta-nodes not divisible into {pods} pods"
+    );
     let switches = t.num_nodes() / meta_nodes;
     let servers = t.num_servers() / meta_nodes;
     let units = switches + servers;

@@ -17,8 +17,14 @@ pub struct SlimFly {
 impl SlimFly {
     pub fn new(q: u32, servers_per_switch: u32) -> Self {
         assert!(is_prime(q), "q = {q} must be prime");
-        assert!(q % 4 == 1, "this construction requires q ≡ 1 (mod 4), got {q}");
-        SlimFly { q, servers_per_switch }
+        assert!(
+            q % 4 == 1,
+            "this construction requires q ≡ 1 (mod 4), got {q}"
+        );
+        SlimFly {
+            q,
+            servers_per_switch,
+        }
     }
 
     /// The paper's Fig 5a instance: q=17 ⇒ 578 ToRs, 25 network ports,

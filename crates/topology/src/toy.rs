@@ -51,7 +51,10 @@ impl ToyFig4 {
         for (i, &sock) in sockets.iter().enumerate() {
             t.add_link(active[i % 9], sock);
         }
-        ToyNetwork { topology: t, active_tors: active }
+        ToyNetwork {
+            topology: t,
+            active_tors: active,
+        }
     }
 
     /// The best *static* topology over only the 9 active racks using their
@@ -67,7 +70,10 @@ impl ToyFig4 {
                 t.add_link(tors[i as usize], tors[j as usize]);
             }
         }
-        ToyNetwork { topology: t, active_tors: tors }
+        ToyNetwork {
+            topology: t,
+            active_tors: tors,
+        }
     }
 }
 

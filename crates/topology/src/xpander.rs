@@ -8,9 +8,7 @@
 //! matchings per seed and keeps the lift with the best spectral gap.
 
 use crate::graph::{NodeId, NodeKind, Topology};
-use rand::seq::SliceRandom;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use dcn_rng::{Rng, SliceRandom};
 
 /// Configuration of an Xpander network.
 #[derive(Clone, Copy, Debug)]
@@ -31,12 +29,23 @@ pub struct Xpander {
 impl Xpander {
     pub fn new(net_degree: u32, lift: u32, servers_per_switch: u32, seed: u64) -> Self {
         assert!(net_degree >= 2 && lift >= 1);
-        Xpander { net_degree, lift, servers_per_switch, seed, candidates: 4 }
+        Xpander {
+            net_degree,
+            lift,
+            servers_per_switch,
+            seed,
+            candidates: 4,
+        }
     }
 
     /// Chooses the lift order so the network has exactly `switches`
     /// switches; `switches` must be a multiple of `net_degree + 1`.
-    pub fn for_switches(net_degree: u32, switches: u32, servers_per_switch: u32, seed: u64) -> Self {
+    pub fn for_switches(
+        net_degree: u32,
+        switches: u32,
+        servers_per_switch: u32,
+        seed: u64,
+    ) -> Self {
         let meta = net_degree + 1;
         assert!(
             switches.is_multiple_of(meta),
@@ -103,7 +112,7 @@ impl Xpander {
         let d = self.net_degree;
         let k = self.lift;
         let meta = d + 1;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut t = Topology::new(format!(
             "xpander(d={d}, lift={k}, s={}, seed={})",
             self.servers_per_switch, self.seed

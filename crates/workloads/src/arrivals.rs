@@ -4,8 +4,7 @@
 
 use crate::fsize::FlowSizeDist;
 use crate::tm::{Endpoint, TrafficPattern};
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use dcn_rng::Rng;
 
 /// One flow to be injected into a simulator.
 #[derive(Clone, Copy, Debug)]
@@ -29,7 +28,7 @@ pub fn generate_flows(
     seed: u64,
 ) -> Vec<FlowEvent> {
     assert!(lambda > 0.0 && horizon_s > 0.0);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut t = 0.0f64;
     let mut out = Vec::with_capacity((lambda * horizon_s * 1.1) as usize + 16);
     loop {
@@ -39,13 +38,17 @@ pub fn generate_flows(
         }
         let (src, dst) = pattern.sample(&mut rng);
         let bytes = sizes.sample(&mut rng).max(1);
-        out.push(FlowEvent { start_s: t, src, dst, bytes });
+        out.push(FlowEvent {
+            start_s: t,
+            src,
+            dst,
+            bytes,
+        });
     }
     out
 }
 
-fn exponential(rng: &mut ChaCha8Rng, rate: f64) -> f64 {
-    use rand::Rng;
+fn exponential(rng: &mut Rng, rate: f64) -> f64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     -u.ln() / rate
 }
@@ -63,7 +66,10 @@ mod tests {
         let pat = AllToAll::new(&t, t.tors_with_servers());
         let flows = generate_flows(&pat, &FixedSize(1000), 5_000.0, 2.0, 1);
         let n = flows.len() as f64;
-        assert!((n - 10_000.0).abs() < 400.0, "{n} arrivals for expectation 10000");
+        assert!(
+            (n - 10_000.0).abs() < 400.0,
+            "{n} arrivals for expectation 10000"
+        );
         // Sorted in time, all within horizon.
         for w in flows.windows(2) {
             assert!(w[0].start_s <= w[1].start_s);
@@ -90,7 +96,10 @@ mod tests {
         let t = FatTree::full(4).build();
         let pat = AllToAll::new(&t, t.tors_with_servers());
         let flows = generate_flows(&pat, &FixedSize(1), 1_000.0, 20.0, 3);
-        let gaps: Vec<f64> = flows.windows(2).map(|w| w[1].start_s - w[0].start_s).collect();
+        let gaps: Vec<f64> = flows
+            .windows(2)
+            .map(|w| w[1].start_s - w[0].start_s)
+            .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         assert!((mean - 1e-3).abs() < 1e-4, "mean gap {mean}");
         // Coefficient of variation of an exponential is 1.

@@ -9,10 +9,8 @@
 //! hose model of §2.2).
 #![allow(clippy::needless_range_loop)] // matrix math reads best indexed
 
+use dcn_rng::Rng;
 use dcn_topology::{NodeId, Topology};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// A rack-level fluid traffic matrix.
 #[derive(Clone, Debug)]
@@ -44,7 +42,10 @@ impl FluidTm {
             if cap > 0.0 {
                 worst = worst.max(out[r] / cap).max(inn[r] / cap);
             } else {
-                assert!(out[r] == 0.0 && inn[r] == 0.0, "demand at serverless rack {r}");
+                assert!(
+                    out[r] == 0.0 && inn[r] == 0.0,
+                    "demand at serverless rack {r}"
+                );
             }
         }
         worst
@@ -64,16 +65,19 @@ pub fn all_to_all(t: &Topology, racks: &[NodeId]) -> FluidTm {
             }
         }
     }
-    FluidTm { name: format!("all-to-all({} racks)", racks.len()), commodities }
+    FluidTm {
+        name: format!("all-to-all({} racks)", racks.len()),
+        commodities,
+    }
 }
 
 /// Rack-level permutation: rack i sends its full capacity to its cycle
 /// successor.
 pub fn permutation(t: &Topology, racks: &[NodeId], seed: u64) -> FluidTm {
-    use rand::seq::SliceRandom;
+    use dcn_rng::SliceRandom;
     assert!(racks.len() >= 2);
     let mut order = racks.to_vec();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     order.shuffle(&mut rng);
     let commodities = (0..order.len())
         .map(|i| {
@@ -81,7 +85,10 @@ pub fn permutation(t: &Topology, racks: &[NodeId], seed: u64) -> FluidTm {
             (s, order[(i + 1) % order.len()], t.servers_at(s) as f64)
         })
         .collect();
-    FluidTm { name: format!("permutation({} racks)", racks.len()), commodities }
+    FluidTm {
+        name: format!("permutation({} racks)", racks.len()),
+        commodities,
+    }
 }
 
 /// Many-to-one: every source sends an equal share of the sink's ingress
@@ -91,7 +98,10 @@ pub fn many_to_one(t: &Topology, sources: &[NodeId], sink: NodeId) -> FluidTm {
     assert!(!sources.contains(&sink));
     let share = t.servers_at(sink) as f64 / sources.len() as f64;
     let commodities = sources.iter().map(|&s| (s, sink, share)).collect();
-    FluidTm { name: format!("many-to-one({} sources)", sources.len()), commodities }
+    FluidTm {
+        name: format!("many-to-one({} sources)", sources.len()),
+        commodities,
+    }
 }
 
 /// One-to-many: the source spreads its egress capacity over the sinks.
@@ -100,7 +110,10 @@ pub fn one_to_many(t: &Topology, source: NodeId, sinks: &[NodeId]) -> FluidTm {
     assert!(!sinks.contains(&source));
     let share = t.servers_at(source) as f64 / sinks.len() as f64;
     let commodities = sinks.iter().map(|&d| (source, d, share)).collect();
-    FluidTm { name: format!("one-to-many({} sinks)", sinks.len()), commodities }
+    FluidTm {
+        name: format!("one-to-many({} sinks)", sinks.len()),
+        commodities,
+    }
 }
 
 /// A random hose-compliant TM: random positive demands, then scaled rows
@@ -109,7 +122,7 @@ pub fn one_to_many(t: &Topology, source: NodeId, sinks: &[NodeId]) -> FluidTm {
 pub fn random_hose(t: &Topology, racks: &[NodeId], seed: u64) -> FluidTm {
     assert!(racks.len() >= 2);
     let n = racks.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut m = vec![vec![0.0f64; n]; n];
     for i in 0..n {
         for j in 0..n {
@@ -148,7 +161,10 @@ pub fn random_hose(t: &Topology, racks: &[NodeId], seed: u64) -> FluidTm {
             }
         }
     }
-    FluidTm { name: format!("random-hose({n} racks, seed {seed})"), commodities }
+    FluidTm {
+        name: format!("random-hose({n} racks, seed {seed})"),
+        commodities,
+    }
 }
 
 #[cfg(test)]

@@ -5,12 +5,11 @@
 //! and HULL's bounded-Pareto distribution (mean ≈ 100 KB, 90th
 //! percentile below 100 KB).
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use dcn_rng::Rng;
 
 /// A sampleable distribution over flow sizes in bytes.
 pub trait FlowSizeDist {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> u64;
+    fn sample(&self, rng: &mut Rng) -> u64;
     /// Analytic or empirical mean in bytes.
     fn mean(&self) -> f64;
     fn name(&self) -> &'static str;
@@ -56,7 +55,7 @@ impl PFabricWebSearch {
 }
 
 impl FlowSizeDist for PFabricWebSearch {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+    fn sample(&self, rng: &mut Rng) -> u64 {
         let u: f64 = rng.gen_range(0.0..1.0);
         // Inverse-CDF with linear interpolation between points.
         for w in self.points.windows(2) {
@@ -115,7 +114,11 @@ impl Default for ParetoHull {
         // With the 1 GB tail cap, a minimum of ≈10.9 KB makes the bounded
         // Pareto's mean exactly 100 KB, with CDF(100 KB) ≈ 0.90 — both
         // properties Fig 8 quotes.
-        ParetoHull { alpha: 1.05, min_bytes: 10_944.0, max_bytes: 1e9 }
+        ParetoHull {
+            alpha: 1.05,
+            min_bytes: 10_944.0,
+            max_bytes: 1e9,
+        }
     }
 }
 
@@ -126,7 +129,7 @@ impl ParetoHull {
 }
 
 impl FlowSizeDist for ParetoHull {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+    fn sample(&self, rng: &mut Rng) -> u64 {
         // Inverse CDF of the bounded Pareto on [L, H].
         let (l, h, a) = (self.min_bytes, self.max_bytes, self.alpha);
         let u: f64 = rng.gen_range(0.0..1.0);
@@ -162,7 +165,7 @@ impl FlowSizeDist for ParetoHull {
 pub struct FixedSize(pub u64);
 
 impl FlowSizeDist for FixedSize {
-    fn sample(&self, _rng: &mut ChaCha8Rng) -> u64 {
+    fn sample(&self, _rng: &mut Rng) -> u64 {
         self.0
     }
     fn mean(&self) -> f64 {
@@ -183,10 +186,9 @@ impl FlowSizeDist for FixedSize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand_chacha::rand_core::SeedableRng;
 
     fn empirical_mean(d: &dyn FlowSizeDist, n: usize) -> f64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64
     }
 
@@ -215,7 +217,15 @@ mod tests {
     fn pfabric_cdf_monotone() {
         let d = PFabricWebSearch::new();
         let mut last = -1.0;
-        for b in [0u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000] {
+        for b in [
+            0u64,
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+        ] {
             let v = d.cdf(b);
             assert!(v >= last && (0.0..=1.0).contains(&v));
             last = v;
@@ -238,17 +248,15 @@ mod tests {
         // Fig 8: 90th percentile below 100 KB.
         let d = ParetoHull::new();
         assert!(d.cdf(100_000) > 0.9, "CDF(100 KB) = {}", d.cdf(100_000));
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let short = (0..50_000)
-            .filter(|_| d.sample(&mut rng) < 100_000)
-            .count();
+        let mut rng = Rng::seed_from_u64(2);
+        let short = (0..50_000).filter(|_| d.sample(&mut rng) < 100_000).count();
         assert!(short as f64 / 50_000.0 > 0.9);
     }
 
     #[test]
     fn pareto_respects_bounds() {
         let d = ParetoHull::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..10_000 {
             let s = d.sample(&mut rng);
             assert!(s as f64 >= d.min_bytes && s as f64 <= d.max_bytes);
@@ -258,8 +266,8 @@ mod tests {
     #[test]
     fn samples_deterministic_per_seed() {
         let d = PFabricWebSearch::new();
-        let mut a = ChaCha8Rng::seed_from_u64(9);
-        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
         for _ in 0..100 {
             assert_eq!(d.sample(&mut a), d.sample(&mut b));
         }
@@ -268,7 +276,7 @@ mod tests {
     #[test]
     fn fixed_size_trivial() {
         let d = FixedSize(1234);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         assert_eq!(d.sample(&mut rng), 1234);
         assert_eq!(d.cdf(1233), 0.0);
         assert_eq!(d.cdf(1234), 1.0);

@@ -25,6 +25,5 @@ pub use arrivals::{generate_flows, FlowEvent};
 pub use fsize::{FixedSize, FlowSizeDist, PFabricWebSearch, ParetoHull};
 pub use tm::{
     active_fraction, active_racks_for_servers, longest_matching, AllToAll, Endpoint,
-    ExplicitServers, PairSkew,
-    Permutation, Skew, TrafficPattern,
+    ExplicitServers, PairSkew, Permutation, Skew, TrafficPattern,
 };

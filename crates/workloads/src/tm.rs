@@ -1,11 +1,9 @@
 //! Traffic patterns (paper §6.4 and §6.7) and the longest-matching traffic
 //! matrices of the fluid-flow evaluation (§5, following topobench [20]).
 
+use dcn_rng::Rng;
+use dcn_rng::SliceRandom;
 use dcn_topology::{NodeId, Topology};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// A traffic endpoint: a server slot within a rack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -17,13 +15,13 @@ pub struct Endpoint {
 
 /// A sampleable distribution over (source, destination) server pairs.
 pub trait TrafficPattern {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> (Endpoint, Endpoint);
+    fn sample(&self, rng: &mut Rng) -> (Endpoint, Endpoint);
     fn name(&self) -> String;
     /// Racks that can appear in samples (for active-server accounting).
     fn active_racks(&self) -> &[NodeId];
 }
 
-fn pick_server(rng: &mut ChaCha8Rng, servers: u32) -> u32 {
+fn pick_server(rng: &mut Rng, servers: u32) -> u32 {
     assert!(servers > 0, "rack without servers used as endpoint");
     rng.gen_range(0..servers)
 }
@@ -43,25 +41,36 @@ impl AllToAll {
     pub fn new(t: &Topology, active: Vec<NodeId>) -> Self {
         assert!(!active.is_empty());
         let servers: Vec<u32> = active.iter().map(|&r| t.servers_at(r)).collect();
-        assert!(servers.iter().all(|&s| s > 0), "active rack without servers");
+        assert!(
+            servers.iter().all(|&s| s > 0),
+            "active rack without servers"
+        );
         let mut cum = Vec::with_capacity(servers.len());
         let mut total = 0u64;
         for &s in &servers {
             total += s as u64;
             cum.push(total);
         }
-        AllToAll { active, servers, cum, total }
+        AllToAll {
+            active,
+            servers,
+            cum,
+            total,
+        }
     }
 
     fn slot(&self, idx: u64) -> Endpoint {
         let i = self.cum.partition_point(|&c| c <= idx);
         let before = if i == 0 { 0 } else { self.cum[i - 1] };
-        Endpoint { rack: self.active[i], server: (idx - before) as u32 }
+        Endpoint {
+            rack: self.active[i],
+            server: (idx - before) as u32,
+        }
     }
 }
 
 impl TrafficPattern for AllToAll {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> (Endpoint, Endpoint) {
+    fn sample(&self, rng: &mut Rng) -> (Endpoint, Endpoint) {
         let a = rng.gen_range(0..self.total);
         let mut b = rng.gen_range(0..self.total - 1);
         if b >= a {
@@ -105,7 +114,7 @@ impl Permutation {
     /// has exactly one destination and one source, with no fixed points.
     pub fn new(t: &Topology, active: Vec<NodeId>, seed: u64) -> Self {
         assert!(active.len() >= 2, "permutation needs ≥ 2 racks");
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..active.len()).collect();
         order.shuffle(&mut rng);
         let mut partner = vec![0usize; active.len()];
@@ -113,7 +122,11 @@ impl Permutation {
             partner[order[w]] = order[(w + 1) % order.len()];
         }
         let servers = active.iter().map(|&r| t.servers_at(r)).collect();
-        Permutation { active, partner, servers }
+        Permutation {
+            active,
+            partner,
+            servers,
+        }
     }
 
     /// The rack-level pairs (src, dst) of the permutation.
@@ -127,12 +140,18 @@ impl Permutation {
 }
 
 impl TrafficPattern for Permutation {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> (Endpoint, Endpoint) {
+    fn sample(&self, rng: &mut Rng) -> (Endpoint, Endpoint) {
         let i = rng.gen_range(0..self.active.len());
         let j = self.partner[i];
         (
-            Endpoint { rack: self.active[i], server: pick_server(rng, self.servers[i]) },
-            Endpoint { rack: self.active[j], server: pick_server(rng, self.servers[j]) },
+            Endpoint {
+                rack: self.active[i],
+                server: pick_server(rng, self.servers[i]),
+            },
+            Endpoint {
+                rack: self.active[j],
+                server: pick_server(rng, self.servers[j]),
+            },
         )
     }
 
@@ -163,7 +182,7 @@ impl Skew {
     pub fn new(t: &Topology, racks: Vec<NodeId>, theta: f64, phi: f64, seed: u64) -> Self {
         assert!(racks.len() >= 2);
         assert!((0.0..=1.0).contains(&theta) && (0.0..=1.0).contains(&phi));
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut shuffled = racks.clone();
         shuffled.shuffle(&mut rng);
         let n_hot = ((racks.len() as f64 * theta).round() as usize).clamp(1, racks.len());
@@ -183,7 +202,14 @@ impl Skew {
             })
             .collect();
         let servers = racks.iter().map(|&r| t.servers_at(r)).collect();
-        Skew { racks, weights, servers, hot, theta, phi }
+        Skew {
+            racks,
+            weights,
+            servers,
+            hot,
+            theta,
+            phi,
+        }
     }
 
     /// The ProjecToR-like workload the paper uses in §6.6/§6.7.
@@ -195,7 +221,7 @@ impl Skew {
         &self.hot
     }
 
-    fn sample_rack(&self, rng: &mut ChaCha8Rng) -> usize {
+    fn sample_rack(&self, rng: &mut Rng) -> usize {
         let total: f64 = self.weights.iter().sum();
         let mut u = rng.gen_range(0.0..total);
         for (i, &w) in self.weights.iter().enumerate() {
@@ -209,7 +235,7 @@ impl Skew {
 }
 
 impl TrafficPattern for Skew {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> (Endpoint, Endpoint) {
+    fn sample(&self, rng: &mut Rng) -> (Endpoint, Endpoint) {
         let i = self.sample_rack(rng);
         let j = loop {
             let j = self.sample_rack(rng);
@@ -218,8 +244,14 @@ impl TrafficPattern for Skew {
             }
         };
         (
-            Endpoint { rack: self.racks[i], server: pick_server(rng, self.servers[i]) },
-            Endpoint { rack: self.racks[j], server: pick_server(rng, self.servers[j]) },
+            Endpoint {
+                rack: self.racks[i],
+                server: pick_server(rng, self.servers[i]),
+            },
+            Endpoint {
+                rack: self.racks[j],
+                server: pick_server(rng, self.servers[j]),
+            },
         )
     }
 
@@ -239,7 +271,7 @@ pub fn active_fraction(racks: &[NodeId], fraction: f64, random: bool, seed: u64)
     assert!((0.0..=1.0).contains(&fraction));
     let k = ((racks.len() as f64 * fraction).round() as usize).clamp(1, racks.len());
     if random {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut v = racks.to_vec();
         v.shuffle(&mut rng);
         v.truncate(k);
@@ -270,7 +302,10 @@ impl ExplicitServers {
     pub fn first_on_racks(t: &Topology, racks: &[NodeId], per_rack: u32) -> Self {
         let mut slots = Vec::new();
         for &r in racks {
-            assert!(t.servers_at(r) >= per_rack, "rack {r} lacks {per_rack} servers");
+            assert!(
+                t.servers_at(r) >= per_rack,
+                "rack {r} lacks {per_rack} servers"
+            );
             for i in 0..per_rack {
                 slots.push(Endpoint { rack: r, server: i });
             }
@@ -280,7 +315,7 @@ impl ExplicitServers {
 }
 
 impl TrafficPattern for ExplicitServers {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> (Endpoint, Endpoint) {
+    fn sample(&self, rng: &mut Rng) -> (Endpoint, Endpoint) {
         let a = rng.gen_range(0..self.slots.len());
         let mut b = rng.gen_range(0..self.slots.len() - 1);
         if b >= a {
@@ -310,7 +345,7 @@ pub fn active_racks_for_servers(
     seed: u64,
 ) -> Vec<NodeId> {
     let order: Vec<NodeId> = if random {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut v = racks.to_vec();
         v.shuffle(&mut rng);
         v
@@ -326,7 +361,10 @@ pub fn active_racks_for_servers(
         have += t.servers_at(r);
         out.push(r);
     }
-    assert!(have >= n_servers, "network has only {have} servers, need {n_servers}");
+    assert!(
+        have >= n_servers,
+        "network has only {have} servers, need {n_servers}"
+    );
     out
 }
 
@@ -355,11 +393,10 @@ impl PairSkew {
     ) -> Self {
         assert!(racks.len() >= 2);
         assert!((0.0..=1.0).contains(&hot_pair_frac) && (0.0..=1.0).contains(&hot_traffic));
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let n = racks.len();
         let all_pairs = n * (n - 1);
-        let hot_pairs = ((all_pairs as f64 * hot_pair_frac).round() as usize)
-            .clamp(1, all_pairs);
+        let hot_pairs = ((all_pairs as f64 * hot_pair_frac).round() as usize).clamp(1, all_pairs);
         // Hot pairs live among the hottest racks: the smallest rack subset
         // whose ordered pairs can host them (at least 20% of racks), which
         // reproduces the trace's rack-level concentration.
@@ -372,12 +409,16 @@ impl PairSkew {
         let hot_racks = &order[..hot_rack_count];
         let mut hot_set: Vec<(usize, usize)> = hot_racks
             .iter()
-            .flat_map(|&i| hot_racks.iter().filter(move |&&j| j != i).map(move |&j| (i, j)))
+            .flat_map(|&i| {
+                hot_racks
+                    .iter()
+                    .filter(move |&&j| j != i)
+                    .map(move |&j| (i, j))
+            })
             .collect();
         hot_set.shuffle(&mut rng);
         hot_set.truncate(hot_pairs);
-        let in_hot: std::collections::HashSet<(usize, usize)> =
-            hot_set.iter().copied().collect();
+        let in_hot: std::collections::HashSet<(usize, usize)> = hot_set.iter().copied().collect();
         let mut pairs: Vec<(usize, usize)> = hot_set;
         for i in 0..n {
             for j in 0..n {
@@ -398,7 +439,13 @@ impl PairSkew {
             cum.push(acc);
         }
         let servers = racks.iter().map(|&r| t.servers_at(r)).collect();
-        PairSkew { pairs, cum, racks, servers, hot_pairs }
+        PairSkew {
+            pairs,
+            cum,
+            racks,
+            servers,
+            hot_pairs,
+        }
     }
 
     /// The ProjecToR-trace stand-in: Skew over 4% of pairs carrying 77%.
@@ -412,14 +459,23 @@ impl PairSkew {
 }
 
 impl TrafficPattern for PairSkew {
-    fn sample(&self, rng: &mut ChaCha8Rng) -> (Endpoint, Endpoint) {
+    fn sample(&self, rng: &mut Rng) -> (Endpoint, Endpoint) {
         let total = *self.cum.last().unwrap();
         let u = rng.gen_range(0.0..total);
-        let idx = self.cum.partition_point(|&c| c <= u).min(self.pairs.len() - 1);
+        let idx = self
+            .cum
+            .partition_point(|&c| c <= u)
+            .min(self.pairs.len() - 1);
         let (i, j) = self.pairs[idx];
         (
-            Endpoint { rack: self.racks[i], server: pick_server(rng, self.servers[i]) },
-            Endpoint { rack: self.racks[j], server: pick_server(rng, self.servers[j]) },
+            Endpoint {
+                rack: self.racks[i],
+                server: pick_server(rng, self.servers[i]),
+            },
+            Endpoint {
+                rack: self.racks[j],
+                server: pick_server(rng, self.servers[j]),
+            },
         )
     }
 
@@ -457,7 +513,7 @@ pub fn longest_matching(
     }
     // Shuffle first so ties break randomly but deterministically, then
     // stable-sort by distance descending.
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     pairs.shuffle(&mut rng);
     pairs.sort_by_key(|p| std::cmp::Reverse(p.0));
 
@@ -483,8 +539,8 @@ mod tests {
     use dcn_topology::fattree::FatTree;
     use dcn_topology::jellyfish::Jellyfish;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(7)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(7)
     }
 
     #[test]
@@ -650,8 +706,8 @@ mod tests {
         let racks = t.tors_with_servers();
         let pairs = longest_matching(&t, &racks, 1.0, 1);
         assert_eq!(pairs.len(), racks.len()); // both directions
-        // In a fat-tree, the longest matching should be cross-pod (hop
-        // distance 4) for every pair.
+                                              // In a fat-tree, the longest matching should be cross-pod (hop
+                                              // distance 4) for every pair.
         for &(a, b) in &pairs {
             assert_ne!(t.group(a), t.group(b), "intra-pod pair in longest matching");
         }
@@ -663,7 +719,7 @@ mod tests {
         let racks = t.tors_with_servers(); // 32 racks
         let pairs = longest_matching(&t, &racks, 0.5, 1);
         assert_eq!(pairs.len(), 16); // 8 matches × 2 directions
-        // Endpoints are disjoint.
+                                     // Endpoints are disjoint.
         let mut seen = std::collections::HashSet::new();
         for &(a, _) in &pairs {
             assert!(seen.insert(a));

@@ -1,96 +1,125 @@
-//! Property-based tests for workload generation: every sample must be a
+//! Property-style tests for workload generation: every sample must be a
 //! valid endpoint pair, distributions must hit their documented moments.
+//! Parameter sweeps are driven by a seeded dcn-rng loop.
 
+use dcn_rng::Rng;
 use dcn_topology::jellyfish::Jellyfish;
 use dcn_workloads::fsize::{FlowSizeDist, PFabricWebSearch, ParetoHull};
+use dcn_workloads::generate_flows;
 use dcn_workloads::tm::{
     active_fraction, longest_matching, AllToAll, PairSkew, Permutation, Skew, TrafficPattern,
 };
-use dcn_workloads::generate_flows;
-use proptest::prelude::*;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn topo(seed: u64) -> dcn_topology::Topology {
     Jellyfish::new(30, 5, 3, seed).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// All patterns produce endpoints on active racks with valid server
-    /// slots and never a self-pair.
-    #[test]
-    fn patterns_produce_valid_endpoints(seed in 0u64..100, frac in 0.2f64..1.0) {
+/// All patterns produce endpoints on active racks with valid server
+/// slots and never a self-pair.
+#[test]
+fn patterns_produce_valid_endpoints() {
+    let mut meta = Rng::seed_from_u64(0xE0D);
+    let mut cases = 0;
+    while cases < 24 {
+        let seed = meta.gen_range(0u64..100);
+        let frac = meta.gen_range(0.2f64..1.0);
         let t = topo(seed);
         let racks = active_fraction(&t.tors_with_servers(), frac, true, seed);
-        prop_assume!(racks.len() >= 2);
+        if racks.len() < 2 {
+            continue;
+        }
+        cases += 1;
         let patterns: Vec<Box<dyn TrafficPattern>> = vec![
             Box::new(AllToAll::new(&t, racks.clone())),
             Box::new(Permutation::new(&t, racks.clone(), seed)),
             Box::new(Skew::new(&t, racks.clone(), 0.1, 0.8, seed)),
             Box::new(PairSkew::new(&t, racks.clone(), 0.05, 0.8, seed)),
         ];
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbeef);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xbeef);
         for p in &patterns {
             for _ in 0..50 {
                 let (a, b) = p.sample(&mut rng);
-                prop_assert!(racks.contains(&a.rack), "{}: bad src", p.name());
-                prop_assert!(racks.contains(&b.rack), "{}: bad dst", p.name());
-                prop_assert!(a.server < t.servers_at(a.rack));
-                prop_assert!(b.server < t.servers_at(b.rack));
-                prop_assert!(a != b, "{}: self pair", p.name());
+                assert!(racks.contains(&a.rack), "{}: bad src", p.name());
+                assert!(racks.contains(&b.rack), "{}: bad dst", p.name());
+                assert!(a.server < t.servers_at(a.rack));
+                assert!(b.server < t.servers_at(b.rack));
+                assert!(a != b, "{}: self pair", p.name());
             }
         }
     }
+}
 
-    /// Flow size samples respect distribution supports; empirical CDF
-    /// tracks the analytic one.
-    #[test]
-    fn size_distributions_consistent(seed in 0u64..50, probe in 10_000u64..10_000_000) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        for d in [&PFabricWebSearch::new() as &dyn FlowSizeDist, &ParetoHull::new()] {
+/// Flow size samples respect distribution supports; empirical CDF
+/// tracks the analytic one.
+#[test]
+fn size_distributions_consistent() {
+    let mut meta = Rng::seed_from_u64(0x512E);
+    for _ in 0..24 {
+        let seed = meta.gen_range(0u64..50);
+        let probe = meta.gen_range(10_000u64..10_000_000);
+        let mut rng = Rng::seed_from_u64(seed);
+        for d in [
+            &PFabricWebSearch::new() as &dyn FlowSizeDist,
+            &ParetoHull::new(),
+        ] {
             let n = 20_000;
             let below = (0..n).filter(|_| d.sample(&mut rng) <= probe).count();
             let emp = below as f64 / n as f64;
             let ana = d.cdf(probe);
-            prop_assert!((emp - ana).abs() < 0.03, "{}: cdf({probe}) emp {emp} vs {ana}", d.name());
+            assert!(
+                (emp - ana).abs() < 0.03,
+                "{}: cdf({probe}) emp {emp} vs {ana}",
+                d.name()
+            );
         }
     }
+}
 
-    /// Poisson arrivals: count concentrates around λ·T; times sorted and
-    /// within the horizon.
-    #[test]
-    fn poisson_counts(lambda in 500.0f64..5000.0, seed in 0u64..50) {
+/// Poisson arrivals: count concentrates around λ·T; times sorted and
+/// within the horizon.
+#[test]
+fn poisson_counts() {
+    let mut meta = Rng::seed_from_u64(0xA22);
+    for _ in 0..24 {
+        let lambda = meta.gen_range(500.0f64..5000.0);
+        let seed = meta.gen_range(0u64..50);
         let t = topo(1);
         let pat = AllToAll::new(&t, t.tors_with_servers());
         let horizon = 1.0;
         let flows = generate_flows(&pat, &PFabricWebSearch::new(), lambda, horizon, seed);
         let expect = lambda * horizon;
         let sd = expect.sqrt();
-        prop_assert!((flows.len() as f64 - expect).abs() < 6.0 * sd,
-            "{} arrivals for expectation {expect}", flows.len());
+        assert!(
+            (flows.len() as f64 - expect).abs() < 6.0 * sd,
+            "{} arrivals for expectation {expect}",
+            flows.len()
+        );
         for w in flows.windows(2) {
-            prop_assert!(w[0].start_s <= w[1].start_s);
+            assert!(w[0].start_s <= w[1].start_s);
         }
-        prop_assert!(flows.last().unwrap().start_s < horizon);
+        assert!(flows.last().unwrap().start_s < horizon);
     }
+}
 
-    /// Longest matching: a true matching (disjoint endpoints), both
-    /// directions present, sized by the fraction.
-    #[test]
-    fn longest_matching_is_matching(seed in 0u64..100, frac in 0.2f64..1.0) {
+/// Longest matching: a true matching (disjoint endpoints), both
+/// directions present, sized by the fraction.
+#[test]
+fn longest_matching_is_matching() {
+    let mut meta = Rng::seed_from_u64(0x3A7C);
+    for _ in 0..24 {
+        let seed = meta.gen_range(0u64..100);
+        let frac = meta.gen_range(0.2f64..1.0);
         let t = topo(seed);
         let racks = t.tors_with_servers();
         let pairs = longest_matching(&t, &racks, frac, seed);
-        prop_assert!(pairs.len().is_multiple_of(2));
+        assert!(pairs.len().is_multiple_of(2));
         let mut sources = std::collections::HashSet::new();
         for &(a, b) in &pairs {
-            prop_assert!(a != b);
-            prop_assert!(sources.insert(a), "rack {a} matched twice");
-            prop_assert!(pairs.contains(&(b, a)), "missing reverse of ({a},{b})");
+            assert!(a != b);
+            assert!(sources.insert(a), "rack {a} matched twice");
+            assert!(pairs.contains(&(b, a)), "missing reverse of ({a},{b})");
         }
         let want = ((racks.len() as f64 * frac / 2.0).round() as usize).max(1) * 2;
-        prop_assert!(pairs.len() <= want);
+        assert!(pairs.len() <= want);
     }
 }

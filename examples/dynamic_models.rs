@@ -33,7 +33,11 @@ fn main() {
         let pairs = longest_matching(&t, &racks, x, 1);
         let commodities: Vec<Commodity> = pairs
             .iter()
-            .map(|&(a, b)| Commodity { src: a, dst: b, demand: servers })
+            .map(|&(a, b)| Commodity {
+                src: a,
+                dst: b,
+                demand: servers,
+            })
             .collect();
         let lam = max_concurrent_flow(&net, &commodities, GkOptions::default())
             .throughput

@@ -13,7 +13,11 @@ fn throughput(t: &Topology, seed: u64) -> f64 {
     let pairs = longest_matching(t, &racks, 1.0, seed);
     let commodities: Vec<Commodity> = pairs
         .iter()
-        .map(|&(a, b)| Commodity { src: a, dst: b, demand: t.servers_at(a) as f64 })
+        .map(|&(a, b)| Commodity {
+            src: a,
+            dst: b,
+            demand: t.servers_at(a) as f64,
+        })
         .collect();
     let net = FlowNetwork::from_topology(t);
     max_concurrent_flow(&net, &commodities, GkOptions::default())

@@ -32,13 +32,22 @@ fn main() {
         // Skewed traffic: 77% of bytes between 4% of rack pairs.
         let pattern = Skew::projector_like(topo, topo.tors_with_servers(), 7);
         let flows = generate_flows(&pattern, &sizes, lambda, 0.05, 7);
-        let (m, c) =
-            run_fct_experiment(topo, routing, SimConfig::default(), &flows, window, 10 * SEC);
+        let (m, c) = run_fct_experiment(
+            topo,
+            routing,
+            SimConfig::default(),
+            &flows,
+            window,
+            10 * SEC,
+        );
         println!(
             "{name}: {} flows | avg FCT {:.3} ms | p99 short FCT {:.3} ms | long-flow tput {:.2} Gbps | drops {}",
-            m.flows, m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps, c.drops
+            m.flows, m.avg_fct_ms, m.p99_short_fct_ms, m.avg_long_tput_gbps, c.drops()
         );
     }
-    println!("\nThe Xpander uses ~2/3 of the fat-tree's switches ({} vs {}).",
-        pair.xpander.num_nodes(), pair.fat_tree.num_nodes());
+    println!(
+        "\nThe Xpander uses ~2/3 of the fat-tree's switches ({} vs {}).",
+        pair.xpander.num_nodes(),
+        pair.fat_tree.num_nodes()
+    );
 }

@@ -8,8 +8,14 @@ use beyond_fattrees::prelude::*;
 
 fn run(topo: &Topology, routing: Routing, pattern: &dyn TrafficPattern, lambda: f64) -> Metrics {
     let flows = generate_flows(pattern, &PFabricWebSearch::new(), lambda, 0.06, 3);
-    let (m, _) =
-        run_fct_experiment(topo, routing, SimConfig::default(), &flows, (10 * MS, 50 * MS), 20 * SEC);
+    let (m, _) = run_fct_experiment(
+        topo,
+        routing,
+        SimConfig::default(),
+        &flows,
+        (10 * MS, 50 * MS),
+        20 * SEC,
+    );
     m
 }
 
@@ -22,10 +28,21 @@ fn main() {
     // Scenario B (Fig 7c): uniform all-to-all over every server.
     let uniform = AllToAll::new(&xp, xp.tors_with_servers());
 
-    println!("{:<28} {:>10} {:>10} {:>10}", "scenario", "ECMP", "VLB", "HYB");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "scenario", "ECMP", "VLB", "HYB"
+    );
     for (name, pattern, lambda) in [
-        ("adjacent racks (skewed)", &neighbors as &dyn TrafficPattern, 6000.0),
-        ("all-to-all (uniform)", &uniform as &dyn TrafficPattern, 160.0 * 162.0),
+        (
+            "adjacent racks (skewed)",
+            &neighbors as &dyn TrafficPattern,
+            6000.0,
+        ),
+        (
+            "all-to-all (uniform)",
+            &uniform as &dyn TrafficPattern,
+            160.0 * 162.0,
+        ),
     ] {
         let mut row = Vec::new();
         for routing in [Routing::Ecmp, Routing::Vlb, Routing::PAPER_HYB] {

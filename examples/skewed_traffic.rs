@@ -4,15 +4,19 @@
 //!
 //! Run with: `cargo run --release --example skewed_traffic`
 
-use beyond_fattrees::prelude::*;
 use beyond_fattrees::maxflow::FlowNetwork;
+use beyond_fattrees::prelude::*;
 
 fn throughput_at(t: &Topology, x: f64) -> f64 {
     let racks = t.tors_with_servers();
     let pairs = longest_matching(t, &racks, x, 1);
     let commodities: Vec<Commodity> = pairs
         .iter()
-        .map(|&(a, b)| Commodity { src: a, dst: b, demand: t.servers_at(a) as f64 })
+        .map(|&(a, b)| Commodity {
+            src: a,
+            dst: b,
+            demand: t.servers_at(a) as f64,
+        })
         .collect();
     let net = FlowNetwork::from_topology(t);
     max_concurrent_flow(&net, &commodities, GkOptions::default())

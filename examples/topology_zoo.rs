@@ -12,11 +12,27 @@ use beyond_fattrees::topology::xpander::second_eigenvalue;
 fn main() {
     let nets: Vec<(&str, Topology, Option<u32>)> = vec![
         ("fat-tree k=8", FatTree::full(8).build(), None),
-        ("fat-tree k=8 @77% cost", FatTree::at_cost_fraction(8, 0.78).build(), None),
-        ("xpander d=5 (54 sw)", Xpander::for_switches(5, 54, 3, 1).build(), Some(5)),
-        ("jellyfish d=5 (54 sw)", Jellyfish::new(54, 5, 3, 1).build(), Some(5)),
+        (
+            "fat-tree k=8 @77% cost",
+            FatTree::at_cost_fraction(8, 0.78).build(),
+            None,
+        ),
+        (
+            "xpander d=5 (54 sw)",
+            Xpander::for_switches(5, 54, 3, 1).build(),
+            Some(5),
+        ),
+        (
+            "jellyfish d=5 (54 sw)",
+            Jellyfish::new(54, 5, 3, 1).build(),
+            Some(5),
+        ),
         ("slimfly q=5", SlimFly::new(5, 4).build(), Some(7)),
-        ("longhop folded 5-cube", Longhop::folded_hypercube(5, 4).build(), Some(6)),
+        (
+            "longhop folded 5-cube",
+            Longhop::folded_hypercube(5, 4).build(),
+            Some(6),
+        ),
     ];
 
     println!(

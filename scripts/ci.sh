@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Hermetic CI for the workspace: formatting, lints as errors, full tests.
+# No network access required — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -7,172 +7,170 @@
 //! ```
 //!
 //! The config selects a topology, routing scheme, workload, arrival rate,
-//! and simulator constants; the tool prints the paper's three headline
-//! metrics (and a full JSON report to stdout with `--json`).
+//! simulator constants, and (optionally) a fault plan; the tool prints the
+//! paper's three headline metrics (and a full JSON report to stdout with
+//! `--json`).
 
 use beyond_fattrees::prelude::*;
-use serde::Deserialize;
+use dcn_json::Json;
 
-#[derive(Deserialize, Debug)]
-#[serde(deny_unknown_fields)]
-struct Config {
-    topology: TopologyCfg,
-    routing: RoutingCfg,
-    workload: WorkloadCfg,
-    /// Aggregate flow arrivals per second.
-    lambda: f64,
-    /// Measurement window in milliseconds [start, end).
-    #[serde(default = "default_window_ms")]
-    window_ms: (u64, u64),
-    #[serde(default = "default_seed")]
-    seed: u64,
-    #[serde(default)]
-    sim: SimCfg,
+/// Field access helpers: every getter names the offending key on error so
+/// config mistakes are self-explanatory.
+fn need<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("config: missing field \"{key}\""))
 }
 
-fn default_window_ms() -> (u64, u64) {
-    (50, 150)
-}
-fn default_seed() -> u64 {
-    1
-}
-
-#[derive(Deserialize, Debug)]
-#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
-enum TopologyCfg {
-    FatTree { k: u32, #[serde(default)] cost_fraction: Option<f64> },
-    Xpander { net_degree: u32, switches: u32, servers_per_switch: u32 },
-    Jellyfish { switches: u32, net_degree: u32, servers_per_switch: u32 },
-    SlimFly { q: u32, servers_per_switch: u32 },
-    LonghopFolded { m: u32, servers_per_switch: u32 },
-    Dragonfly { h: u32 },
-    /// Load a serialized [`Topology`] (JSON, as produced by serde) from disk.
-    File { path: String },
+fn need_f64(v: &Json, key: &str) -> f64 {
+    need(v, key)
+        .as_f64()
+        .unwrap_or_else(|| panic!("config: \"{key}\" must be a number"))
 }
 
-impl TopologyCfg {
-    fn build(&self, seed: u64) -> Topology {
-        match *self {
-            TopologyCfg::FatTree { k, cost_fraction } => match cost_fraction {
+fn need_u64(v: &Json, key: &str) -> u64 {
+    need(v, key)
+        .as_u64()
+        .unwrap_or_else(|| panic!("config: \"{key}\" must be a non-negative integer"))
+}
+
+fn need_u32(v: &Json, key: &str) -> u32 {
+    u32::try_from(need_u64(v, key)).unwrap_or_else(|_| panic!("config: \"{key}\" too large"))
+}
+
+fn need_str<'a>(v: &'a Json, key: &str) -> &'a str {
+    need(v, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("config: \"{key}\" must be a string"))
+}
+
+fn opt_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).map(|x| {
+        x.as_f64()
+            .unwrap_or_else(|| panic!("config: \"{key}\" must be a number"))
+    })
+}
+
+fn opt_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(|x| {
+        if *x == Json::Null {
+            None
+        } else {
+            Some(
+                x.as_u64()
+                    .unwrap_or_else(|| panic!("config: \"{key}\" must be an integer")),
+            )
+        }
+    })
+}
+
+fn kind<'a>(v: &'a Json, what: &str) -> &'a str {
+    v.get("kind")
+        .and_then(|k| k.as_str())
+        .unwrap_or_else(|| panic!("config: {what} needs a \"kind\" field"))
+}
+
+fn build_topology(cfg: &Json, seed: u64) -> Topology {
+    match kind(cfg, "topology") {
+        "fat_tree" => {
+            let k = need_u32(cfg, "k");
+            match opt_f64(cfg, "cost_fraction") {
                 Some(f) => FatTree::at_cost_fraction(k, f).build(),
                 None => FatTree::full(k).build(),
-            },
-            TopologyCfg::Xpander { net_degree, switches, servers_per_switch } => {
-                Xpander::for_switches(net_degree, switches, servers_per_switch, seed).build()
-            }
-            TopologyCfg::Jellyfish { switches, net_degree, servers_per_switch } => {
-                Jellyfish::new(switches, net_degree, servers_per_switch, seed).build()
-            }
-            TopologyCfg::SlimFly { q, servers_per_switch } => {
-                SlimFly::new(q, servers_per_switch).build()
-            }
-            TopologyCfg::LonghopFolded { m, servers_per_switch } => {
-                Longhop::folded_hypercube(m, servers_per_switch).build()
-            }
-            TopologyCfg::Dragonfly { h } => {
-                beyond_fattrees::topology::dragonfly::Dragonfly::balanced(h).build()
-            }
-            TopologyCfg::File { ref path } => {
-                let body = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("read topology {path}: {e}"));
-                let t: Topology = serde_json::from_str(&body)
-                    .unwrap_or_else(|e| panic!("parse topology {path}: {e}"));
-                assert!(t.is_connected(), "loaded topology is disconnected");
-                t
             }
         }
+        "xpander" => Xpander::for_switches(
+            need_u32(cfg, "net_degree"),
+            need_u32(cfg, "switches"),
+            need_u32(cfg, "servers_per_switch"),
+            seed,
+        )
+        .build(),
+        "jellyfish" => Jellyfish::new(
+            need_u32(cfg, "switches"),
+            need_u32(cfg, "net_degree"),
+            need_u32(cfg, "servers_per_switch"),
+            seed,
+        )
+        .build(),
+        "slim_fly" => SlimFly::new(need_u32(cfg, "q"), need_u32(cfg, "servers_per_switch")).build(),
+        "longhop_folded" => {
+            Longhop::folded_hypercube(need_u32(cfg, "m"), need_u32(cfg, "servers_per_switch"))
+                .build()
+        }
+        "dragonfly" => {
+            beyond_fattrees::topology::dragonfly::Dragonfly::balanced(need_u32(cfg, "h")).build()
+        }
+        "file" => {
+            let path = need_str(cfg, "path");
+            let body = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read topology {path}: {e}"));
+            let v = Json::parse(&body).unwrap_or_else(|e| panic!("parse topology {path}: {e}"));
+            let t =
+                Topology::from_json(&v).unwrap_or_else(|e| panic!("invalid topology {path}: {e}"));
+            assert!(t.is_connected(), "loaded topology is disconnected");
+            t
+        }
+        other => panic!("config: unknown topology kind \"{other}\""),
     }
 }
 
-#[derive(Deserialize, Debug)]
-#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
-enum RoutingCfg {
-    Ecmp,
-    Vlb,
-    Hyb { #[serde(default = "default_q")] q_bytes: u64 },
-    AdaptiveHyb { ecn_marks: u64 },
-    Ksp { k: usize },
-}
-
-fn default_q() -> u64 {
-    PAPER_Q_BYTES
-}
-
-impl RoutingCfg {
-    fn to_routing(&self) -> Routing {
-        match *self {
-            RoutingCfg::Ecmp => Routing::Ecmp,
-            RoutingCfg::Vlb => Routing::Vlb,
-            RoutingCfg::Hyb { q_bytes } => Routing::Hyb(q_bytes),
-            RoutingCfg::AdaptiveHyb { ecn_marks } => Routing::AdaptiveHyb(ecn_marks),
-            RoutingCfg::Ksp { k } => Routing::Ksp(k),
-        }
+fn parse_routing(cfg: &Json) -> Routing {
+    match kind(cfg, "routing") {
+        "ecmp" => Routing::Ecmp,
+        "vlb" => Routing::Vlb,
+        "hyb" => Routing::Hyb(opt_u64(cfg, "q_bytes").unwrap_or(PAPER_Q_BYTES)),
+        "adaptive_hyb" => Routing::AdaptiveHyb(need_u64(cfg, "ecn_marks")),
+        "ksp" => Routing::Ksp(need_u64(cfg, "k") as usize),
+        other => panic!("config: unknown routing kind \"{other}\""),
     }
 }
 
-#[derive(Deserialize, Debug)]
-#[serde(deny_unknown_fields)]
-struct WorkloadCfg {
-    pattern: PatternCfg,
-    #[serde(default)]
-    sizes: SizeCfg,
+fn parse_sim(cfg: Option<&Json>) -> SimConfig {
+    let mut c = SimConfig::default();
+    let Some(cfg) = cfg else { return c };
+    if let Some(v) = opt_f64(cfg, "link_gbps") {
+        c.link_gbps = v;
+    }
+    if let Some(v) = opt_f64(cfg, "server_link_gbps") {
+        c.server_link_gbps = v;
+    }
+    if let Some(v) = opt_u64(cfg, "queue_pkts") {
+        c.queue_pkts = v as u32;
+    }
+    if let Some(v) = opt_u64(cfg, "ecn_k_pkts") {
+        c.ecn_k_pkts = v as u32;
+    }
+    if let Some(v) = opt_u64(cfg, "flowlet_gap_us") {
+        c.flowlet_gap_ns = v * US;
+    }
+    if let Some(v) = opt_u64(cfg, "reconverge_delay_us") {
+        c.reconverge_delay_ns = v * US;
+    }
+    if cfg.get("newreno").and_then(|v| v.as_bool()) == Some(true) {
+        c = c.with_newreno();
+    }
+    c
 }
 
-#[derive(Deserialize, Debug)]
-#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
-enum PatternCfg {
-    AllToAll { #[serde(default = "one")] fraction: f64 },
-    Permute { #[serde(default = "one")] fraction: f64 },
-    Skew { theta: f64, phi: f64 },
-    ProjectorTrace,
-}
-
-fn one() -> f64 {
-    1.0
-}
-
-#[derive(Deserialize, Debug, Default)]
-#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
-enum SizeCfg {
-    #[default]
-    PfabricWebSearch,
-    ParetoHull,
-    Fixed { bytes: u64 },
-}
-
-#[derive(Deserialize, Debug, Default)]
-#[serde(deny_unknown_fields)]
-struct SimCfg {
-    link_gbps: Option<f64>,
-    server_link_gbps: Option<f64>,
-    queue_pkts: Option<u32>,
-    ecn_k_pkts: Option<u32>,
-    flowlet_gap_us: Option<u64>,
-    newreno: Option<bool>,
-}
-
-impl SimCfg {
-    fn to_config(&self) -> SimConfig {
-        let mut c = SimConfig::default();
-        if let Some(v) = self.link_gbps {
-            c.link_gbps = v;
+/// Optional `faults` section: seeded random outages injected mid-run.
+///
+/// ```json
+/// "faults": { "kind": "random_link_outages", "count": 3,
+///             "down_ms": 60, "up_ms": 90, "seed": 1 }
+/// ```
+///
+/// `up_ms` may be omitted (or `null`) for permanent failures.
+fn parse_faults(cfg: Option<&Json>, topo: &Topology) -> Option<FaultPlan> {
+    let cfg = cfg?;
+    match kind(cfg, "faults") {
+        "random_link_outages" => {
+            let count = need_u64(cfg, "count") as usize;
+            let down = need_u64(cfg, "down_ms") * MS;
+            let up = opt_u64(cfg, "up_ms").map(|v| v * MS);
+            let seed = opt_u64(cfg, "seed").unwrap_or(1);
+            Some(FaultPlan::random_link_outages(topo, count, down, up, seed))
         }
-        if let Some(v) = self.server_link_gbps {
-            c.server_link_gbps = v;
-        }
-        if let Some(v) = self.queue_pkts {
-            c.queue_pkts = v;
-        }
-        if let Some(v) = self.ecn_k_pkts {
-            c.ecn_k_pkts = v;
-        }
-        if let Some(v) = self.flowlet_gap_us {
-            c.flowlet_gap_ns = v * US;
-        }
-        if self.newreno == Some(true) {
-            c = c.with_newreno();
-        }
-        c
+        other => panic!("config: unknown faults kind \"{other}\""),
     }
 }
 
@@ -186,7 +184,8 @@ const EXAMPLE: &str = r#"{
   "lambda": 10000.0,
   "window_ms": [50, 150],
   "seed": 1,
-  "sim": { "ecn_k_pkts": 20, "flowlet_gap_us": 50 }
+  "sim": { "ecn_k_pkts": 20, "flowlet_gap_us": 50 },
+  "faults": { "kind": "random_link_outages", "count": 2, "down_ms": 60, "up_ms": 90, "seed": 1 }
 }"#;
 
 fn main() {
@@ -207,12 +206,13 @@ fn main() {
         }
         i += 1;
     }
-    let path =
-        path.expect("usage: dcnsim <config.json> [--json] [--dot out.dot] | dcnsim --print-example");
+    let path = path
+        .expect("usage: dcnsim <config.json> [--json] [--dot out.dot] | dcnsim --print-example");
     let body = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    let cfg: Config = serde_json::from_str(&body).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let cfg = Json::parse(&body).unwrap_or_else(|e| panic!("parse {path}: {e}"));
 
-    let topo = cfg.topology.build(cfg.seed);
+    let seed = opt_u64(&cfg, "seed").unwrap_or(1);
+    let topo = build_topology(need(&cfg, "topology"), seed);
     eprintln!(
         "topology: {} ({} switches, {} servers)",
         topo.name(),
@@ -227,64 +227,110 @@ fn main() {
     }
 
     let racks = topo.tors_with_servers();
-    let pattern: Box<dyn TrafficPattern> = match cfg.workload.pattern {
-        PatternCfg::AllToAll { fraction } => Box::new(AllToAll::new(
-            &topo,
-            active_fraction(&racks, fraction, true, cfg.seed),
-        )),
-        PatternCfg::Permute { fraction } => Box::new(Permutation::new(
-            &topo,
-            active_fraction(&racks, fraction, true, cfg.seed),
-            cfg.seed,
-        )),
-        PatternCfg::Skew { theta, phi } => {
-            Box::new(Skew::new(&topo, racks.clone(), theta, phi, cfg.seed))
+    let workload = need(&cfg, "workload");
+    let pattern_cfg = need(workload, "pattern");
+    let pattern: Box<dyn TrafficPattern> = match kind(pattern_cfg, "workload pattern") {
+        "all_to_all" => {
+            let fraction = opt_f64(pattern_cfg, "fraction").unwrap_or(1.0);
+            Box::new(AllToAll::new(
+                &topo,
+                active_fraction(&racks, fraction, true, seed),
+            ))
         }
-        PatternCfg::ProjectorTrace => {
-            Box::new(PairSkew::projector_trace(&topo, racks.clone(), cfg.seed))
+        "permute" => {
+            let fraction = opt_f64(pattern_cfg, "fraction").unwrap_or(1.0);
+            Box::new(Permutation::new(
+                &topo,
+                active_fraction(&racks, fraction, true, seed),
+                seed,
+            ))
         }
+        "skew" => Box::new(Skew::new(
+            &topo,
+            racks.clone(),
+            need_f64(pattern_cfg, "theta"),
+            need_f64(pattern_cfg, "phi"),
+            seed,
+        )),
+        "projector_trace" => Box::new(PairSkew::projector_trace(&topo, racks.clone(), seed)),
+        other => panic!("config: unknown pattern kind \"{other}\""),
     };
-    let sizes: Box<dyn FlowSizeDist> = match cfg.workload.sizes {
-        SizeCfg::PfabricWebSearch => Box::new(PFabricWebSearch::new()),
-        SizeCfg::ParetoHull => Box::new(ParetoHull::new()),
-        SizeCfg::Fixed { bytes } => Box::new(FixedSize(bytes)),
+    let sizes: Box<dyn FlowSizeDist> = match workload.get("sizes") {
+        None => Box::new(PFabricWebSearch::new()),
+        Some(s) => match kind(s, "workload sizes") {
+            "pfabric_web_search" => Box::new(PFabricWebSearch::new()),
+            "pareto_hull" => Box::new(ParetoHull::new()),
+            "fixed" => Box::new(FixedSize(need_u64(s, "bytes"))),
+            other => panic!("config: unknown sizes kind \"{other}\""),
+        },
     };
 
-    let window = (cfg.window_ms.0 * MS, cfg.window_ms.1 * MS);
+    let window = match cfg.get("window_ms").map(|w| {
+        w.as_array()
+            .filter(|a| a.len() == 2)
+            .and_then(|a| Some((a[0].as_u64()?, a[1].as_u64()?)))
+            .unwrap_or_else(|| panic!("config: \"window_ms\" must be [start, end]"))
+    }) {
+        Some((a, b)) => (a * MS, b * MS),
+        None => (50 * MS, 150 * MS),
+    };
+    let lambda = need_f64(&cfg, "lambda");
     let horizon_s = window.1 as f64 / 1e9 * 1.3;
-    let flows = generate_flows(pattern.as_ref(), sizes.as_ref(), cfg.lambda, horizon_s, cfg.seed);
-    eprintln!("workload: {} flows at λ = {}", flows.len(), cfg.lambda);
+    let flows = generate_flows(pattern.as_ref(), sizes.as_ref(), lambda, horizon_s, seed);
+    eprintln!("workload: {} flows at λ = {}", flows.len(), lambda);
 
-    let (m, counters) = run_fct_experiment(
+    let faults = parse_faults(cfg.get("faults"), &topo);
+    if let Some(plan) = &faults {
+        eprintln!("faults: {} scheduled events", plan.events().len());
+    }
+    let (m, counters) = run_fct_experiment_with_faults(
         &topo,
-        cfg.routing.to_routing(),
-        cfg.sim.to_config(),
+        parse_routing(need(&cfg, "routing")),
+        parse_sim(cfg.get("sim")),
         &flows,
         window,
         window.1.saturating_mul(40),
+        faults.as_ref(),
     );
 
     if json_out {
-        let report = serde_json::json!({
-            "topology": topo.name(),
-            "switches": topo.num_nodes(),
-            "servers": topo.num_servers(),
-            "flows_measured": m.flows,
-            "completed": m.completed,
-            "avg_fct_ms": m.avg_fct_ms,
-            "p99_short_fct_ms": m.p99_short_fct_ms,
-            "avg_long_tput_gbps": m.avg_long_tput_gbps,
-            "drops": counters.drops,
-            "ecn_marks": counters.ecn_marks,
-            "events": counters.events,
-        });
-        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        let report = Json::obj(vec![
+            ("topology", Json::from(topo.name())),
+            ("switches", Json::from(topo.num_nodes())),
+            ("servers", Json::from(topo.num_servers())),
+            ("flows_measured", Json::from(m.flows)),
+            ("completed", Json::from(m.completed)),
+            ("failed", Json::from(m.failed)),
+            ("avg_fct_ms", Json::from(m.avg_fct_ms)),
+            ("p99_short_fct_ms", Json::from(m.p99_short_fct_ms)),
+            ("avg_long_tput_gbps", Json::from(m.avg_long_tput_gbps)),
+            ("congestion_drops", Json::from(counters.congestion_drops)),
+            ("fault_drops", Json::from(counters.fault_drops)),
+            ("recovered_flows", Json::from(m.recovered_flows)),
+            ("avg_recovery_ms", Json::from(m.avg_recovery_ms)),
+            ("ecn_marks", Json::from(counters.ecn_marks)),
+            ("events", Json::from(counters.events)),
+        ]);
+        println!("{}", report.pretty());
     } else {
         println!("flows measured      {}", m.flows);
         println!("completed           {}", m.completed);
+        if m.failed > 0 {
+            println!("failed              {}", m.failed);
+        }
         println!("avg FCT             {:.3} ms", m.avg_fct_ms);
         println!("p99 short-flow FCT  {:.3} ms", m.p99_short_fct_ms);
         println!("long-flow goodput   {:.2} Gbps", m.avg_long_tput_gbps);
-        println!("drops / ECN marks   {} / {}", counters.drops, counters.ecn_marks);
+        println!(
+            "drops (cong/fault)  {} / {}",
+            counters.congestion_drops, counters.fault_drops
+        );
+        println!("ECN marks           {}", counters.ecn_marks);
+        if m.recovered_flows > 0 {
+            println!(
+                "recovery            {} flows, avg {:.3} ms",
+                m.recovered_flows, m.avg_recovery_ms
+            );
+        }
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_adaptive-17c43321f953bc3f.d: crates/bench/src/bin/ablate_adaptive.rs
+
+/root/repo/target/debug/deps/ablate_adaptive-17c43321f953bc3f: crates/bench/src/bin/ablate_adaptive.rs
+
+crates/bench/src/bin/ablate_adaptive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_adaptive-1f22ad3d69876633.d: crates/bench/src/bin/ablate_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_adaptive-1f22ad3d69876633.rmeta: crates/bench/src/bin/ablate_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablate_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_adaptive-940a9e89f080cfc0.d: crates/bench/src/bin/ablate_adaptive.rs
+
+/root/repo/target/debug/deps/ablate_adaptive-940a9e89f080cfc0: crates/bench/src/bin/ablate_adaptive.rs
+
+crates/bench/src/bin/ablate_adaptive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_adaptive-d6cdc6c293fb6eef.d: crates/bench/src/bin/ablate_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_adaptive-d6cdc6c293fb6eef.rmeta: crates/bench/src/bin/ablate_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablate_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

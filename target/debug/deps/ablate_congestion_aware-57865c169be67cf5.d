@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_congestion_aware-57865c169be67cf5.d: crates/bench/src/bin/ablate_congestion_aware.rs
+
+/root/repo/target/debug/deps/ablate_congestion_aware-57865c169be67cf5: crates/bench/src/bin/ablate_congestion_aware.rs
+
+crates/bench/src/bin/ablate_congestion_aware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_congestion_aware-7c2e77efadf09c2b.d: crates/bench/src/bin/ablate_congestion_aware.rs
+
+/root/repo/target/debug/deps/ablate_congestion_aware-7c2e77efadf09c2b: crates/bench/src/bin/ablate_congestion_aware.rs
+
+crates/bench/src/bin/ablate_congestion_aware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ecn-eb53310dfaf6e830.d: crates/bench/src/bin/ablate_ecn.rs
+
+/root/repo/target/debug/deps/ablate_ecn-eb53310dfaf6e830: crates/bench/src/bin/ablate_ecn.rs
+
+crates/bench/src/bin/ablate_ecn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ecn-fbb6c8ebdccb3e31.d: crates/bench/src/bin/ablate_ecn.rs
+
+/root/repo/target/debug/deps/ablate_ecn-fbb6c8ebdccb3e31: crates/bench/src/bin/ablate_ecn.rs
+
+crates/bench/src/bin/ablate_ecn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_failures-271a76df785aa858.d: crates/bench/src/bin/ablate_failures.rs
+
+/root/repo/target/debug/deps/ablate_failures-271a76df785aa858: crates/bench/src/bin/ablate_failures.rs
+
+crates/bench/src/bin/ablate_failures.rs:

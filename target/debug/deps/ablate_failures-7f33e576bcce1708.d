@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_failures-7f33e576bcce1708.d: crates/bench/src/bin/ablate_failures.rs
+
+/root/repo/target/debug/deps/ablate_failures-7f33e576bcce1708: crates/bench/src/bin/ablate_failures.rs
+
+crates/bench/src/bin/ablate_failures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_failures-a93ce07a0e285ed8.d: crates/bench/src/bin/ablate_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_failures-a93ce07a0e285ed8.rmeta: crates/bench/src/bin/ablate_failures.rs Cargo.toml
+
+crates/bench/src/bin/ablate_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_flowlet-59d7fbb50c1610ff.d: crates/bench/src/bin/ablate_flowlet.rs
+
+/root/repo/target/debug/deps/ablate_flowlet-59d7fbb50c1610ff: crates/bench/src/bin/ablate_flowlet.rs
+
+crates/bench/src/bin/ablate_flowlet.rs:

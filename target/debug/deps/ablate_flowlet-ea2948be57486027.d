@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_flowlet-ea2948be57486027.d: crates/bench/src/bin/ablate_flowlet.rs
+
+/root/repo/target/debug/deps/ablate_flowlet-ea2948be57486027: crates/bench/src/bin/ablate_flowlet.rs
+
+crates/bench/src/bin/ablate_flowlet.rs:

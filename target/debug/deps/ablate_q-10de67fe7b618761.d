@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_q-10de67fe7b618761.d: crates/bench/src/bin/ablate_q.rs
+
+/root/repo/target/debug/deps/ablate_q-10de67fe7b618761: crates/bench/src/bin/ablate_q.rs
+
+crates/bench/src/bin/ablate_q.rs:

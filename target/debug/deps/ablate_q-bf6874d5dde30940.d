@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_q-bf6874d5dde30940.d: crates/bench/src/bin/ablate_q.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_q-bf6874d5dde30940.rmeta: crates/bench/src/bin/ablate_q.rs Cargo.toml
+
+crates/bench/src/bin/ablate_q.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_q-d05a0e087e79e08a.d: crates/bench/src/bin/ablate_q.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_q-d05a0e087e79e08a.rmeta: crates/bench/src/bin/ablate_q.rs Cargo.toml
+
+crates/bench/src/bin/ablate_q.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

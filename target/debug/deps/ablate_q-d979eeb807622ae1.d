@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_q-d979eeb807622ae1.d: crates/bench/src/bin/ablate_q.rs
+
+/root/repo/target/debug/deps/ablate_q-d979eeb807622ae1: crates/bench/src/bin/ablate_q.rs
+
+crates/bench/src/bin/ablate_q.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_transport-0c1dc488e9bc6d70.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/debug/deps/ablate_transport-0c1dc488e9bc6d70: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

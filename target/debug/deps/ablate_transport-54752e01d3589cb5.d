@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_transport-54752e01d3589cb5.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/debug/deps/ablate_transport-54752e01d3589cb5: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

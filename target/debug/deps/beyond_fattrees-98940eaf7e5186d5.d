@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beyond_fattrees-98940eaf7e5186d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/beyond_fattrees-98940eaf7e5186d5: src/lib.rs
+
+src/lib.rs:

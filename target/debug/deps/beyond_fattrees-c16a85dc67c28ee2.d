@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/beyond_fattrees-c16a85dc67c28ee2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeyond_fattrees-c16a85dc67c28ee2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

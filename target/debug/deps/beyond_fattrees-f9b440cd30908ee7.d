@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/beyond_fattrees-f9b440cd30908ee7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbeyond_fattrees-f9b440cd30908ee7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbeyond_fattrees-f9b440cd30908ee7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjecture24_search-16cb485c0ecbd965.d: crates/bench/src/bin/conjecture24_search.rs
+
+/root/repo/target/debug/deps/conjecture24_search-16cb485c0ecbd965: crates/bench/src/bin/conjecture24_search.rs
+
+crates/bench/src/bin/conjecture24_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjecture24_search-1f1a68177c0ef601.d: crates/bench/src/bin/conjecture24_search.rs
+
+/root/repo/target/debug/deps/conjecture24_search-1f1a68177c0ef601: crates/bench/src/bin/conjecture24_search.rs
+
+crates/bench/src/bin/conjecture24_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conjecture24_search-d6c044530ca6c60d.d: crates/bench/src/bin/conjecture24_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconjecture24_search-d6c044530ca6c60d.rmeta: crates/bench/src/bin/conjecture24_search.rs Cargo.toml
+
+crates/bench/src/bin/conjecture24_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

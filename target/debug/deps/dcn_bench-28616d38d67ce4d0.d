@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_bench-28616d38d67ce4d0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dcn_bench-28616d38d67ce4d0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

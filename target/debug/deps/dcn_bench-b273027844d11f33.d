@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_bench-b273027844d11f33.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_bench-b273027844d11f33.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_bench-b273027844d11f33.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

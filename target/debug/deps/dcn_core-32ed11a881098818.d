@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_core-32ed11a881098818.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdcn_core-32ed11a881098818.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdcn_core-32ed11a881098818.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/dynamicnet.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flex.rs:
+crates/core/src/theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_flowsim-4d31eb5c7440796e.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/dcn_flowsim-4d31eb5c7440796e: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_flowsim-898496e00a4f5aed.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_flowsim-898496e00a4f5aed.rlib: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_flowsim-898496e00a4f5aed.rmeta: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_json-0f091b75a47c650c.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/dcn_json-0f091b75a47c650c: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

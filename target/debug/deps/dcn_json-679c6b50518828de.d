@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_json-679c6b50518828de.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_json-679c6b50518828de.rlib: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_json-679c6b50518828de.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_json-6f75a2f58b7acd6b.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_json-6f75a2f58b7acd6b.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_maxflow-7ef36209b1b77331.d: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_maxflow-7ef36209b1b77331.rmeta: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs Cargo.toml
+
+crates/maxflow/src/lib.rs:
+crates/maxflow/src/bound.rs:
+crates/maxflow/src/concurrent.rs:
+crates/maxflow/src/dinic.rs:
+crates/maxflow/src/lp.rs:
+crates/maxflow/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_maxflow-868a26826d73a79a.d: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+/root/repo/target/debug/deps/libdcn_maxflow-868a26826d73a79a.rlib: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+/root/repo/target/debug/deps/libdcn_maxflow-868a26826d73a79a.rmeta: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+crates/maxflow/src/lib.rs:
+crates/maxflow/src/bound.rs:
+crates/maxflow/src/concurrent.rs:
+crates/maxflow/src/dinic.rs:
+crates/maxflow/src/lp.rs:
+crates/maxflow/src/network.rs:

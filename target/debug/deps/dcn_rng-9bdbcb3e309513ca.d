@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_rng-9bdbcb3e309513ca.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_rng-9bdbcb3e309513ca.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_rng-9bdbcb3e309513ca.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

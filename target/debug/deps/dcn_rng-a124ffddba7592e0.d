@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_rng-a124ffddba7592e0.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_rng-a124ffddba7592e0.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

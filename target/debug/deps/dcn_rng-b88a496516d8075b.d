@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_rng-b88a496516d8075b.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/dcn_rng-b88a496516d8075b: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_routing-1f101183a5102a15.d: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_routing-1f101183a5102a15.rmeta: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs Cargo.toml
+
+crates/routing/src/lib.rs:
+crates/routing/src/ecmp.rs:
+crates/routing/src/hyb.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/kspsel.rs:
+crates/routing/src/vlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

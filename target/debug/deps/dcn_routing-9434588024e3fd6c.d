@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_routing-9434588024e3fd6c.d: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+/root/repo/target/debug/deps/libdcn_routing-9434588024e3fd6c.rlib: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+/root/repo/target/debug/deps/libdcn_routing-9434588024e3fd6c.rmeta: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/ecmp.rs:
+crates/routing/src/hyb.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/kspsel.rs:
+crates/routing/src/vlb.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcn_topology-4115e30f7831394d.d: crates/topology/src/lib.rs crates/topology/src/dragonfly.rs crates/topology/src/export.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/jellyfish.rs crates/topology/src/longhop.rs crates/topology/src/metrics.rs crates/topology/src/slimfly.rs crates/topology/src/toy.rs crates/topology/src/xpander.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_topology-4115e30f7831394d.rmeta: crates/topology/src/lib.rs crates/topology/src/dragonfly.rs crates/topology/src/export.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/jellyfish.rs crates/topology/src/longhop.rs crates/topology/src/metrics.rs crates/topology/src/slimfly.rs crates/topology/src/toy.rs crates/topology/src/xpander.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/dragonfly.rs:
+crates/topology/src/export.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/jellyfish.rs:
+crates/topology/src/longhop.rs:
+crates/topology/src/metrics.rs:
+crates/topology/src/slimfly.rs:
+crates/topology/src/toy.rs:
+crates/topology/src/xpander.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

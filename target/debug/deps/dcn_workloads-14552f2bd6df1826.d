@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_workloads-14552f2bd6df1826.d: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+/root/repo/target/debug/deps/dcn_workloads-14552f2bd6df1826: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/fluid.rs:
+crates/workloads/src/fsize.rs:
+crates/workloads/src/tm.rs:

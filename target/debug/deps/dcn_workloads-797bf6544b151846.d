@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcn_workloads-797bf6544b151846.d: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_workloads-797bf6544b151846.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/fluid.rs:
+crates/workloads/src/fsize.rs:
+crates/workloads/src/tm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

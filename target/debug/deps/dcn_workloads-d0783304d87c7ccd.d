@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_workloads-d0783304d87c7ccd.d: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+/root/repo/target/debug/deps/libdcn_workloads-d0783304d87c7ccd.rlib: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+/root/repo/target/debug/deps/libdcn_workloads-d0783304d87c7ccd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/fluid.rs:
+crates/workloads/src/fsize.rs:
+crates/workloads/src/tm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnsim-19c126940666b971.d: src/bin/dcnsim.rs
+
+/root/repo/target/debug/deps/dcnsim-19c126940666b971: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnsim-d576b18d474d4ff3.d: src/bin/dcnsim.rs
+
+/root/repo/target/debug/deps/dcnsim-d576b18d474d4ff3: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-31a9e0db99a7d51e.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-31a9e0db99a7d51e.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

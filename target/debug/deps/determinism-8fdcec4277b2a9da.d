@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8fdcec4277b2a9da.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8fdcec4277b2a9da: tests/determinism.rs
+
+tests/determinism.rs:

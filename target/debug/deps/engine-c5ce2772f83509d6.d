@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-c5ce2772f83509d6.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-c5ce2772f83509d6: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equal_cost_comparison-f10d65275522018d.d: tests/equal_cost_comparison.rs
+
+/root/repo/target/debug/deps/equal_cost_comparison-f10d65275522018d: tests/equal_cost_comparison.rs
+
+tests/equal_cost_comparison.rs:

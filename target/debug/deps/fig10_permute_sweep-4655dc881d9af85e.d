@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_permute_sweep-4655dc881d9af85e.d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+/root/repo/target/debug/deps/fig10_permute_sweep-4655dc881d9af85e: crates/bench/src/bin/fig10_permute_sweep.rs
+
+crates/bench/src/bin/fig10_permute_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_permute_sweep-c3c900bfb3e27b99.d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+/root/repo/target/debug/deps/fig10_permute_sweep-c3c900bfb3e27b99: crates/bench/src/bin/fig10_permute_sweep.rs
+
+crates/bench/src/bin/fig10_permute_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_permute_load-1f26e198501df20f.d: crates/bench/src/bin/fig11_permute_load.rs
+
+/root/repo/target/debug/deps/fig11_permute_load-1f26e198501df20f: crates/bench/src/bin/fig11_permute_load.rs
+
+crates/bench/src/bin/fig11_permute_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_permute_load-a5f51614c851a7bd.d: crates/bench/src/bin/fig11_permute_load.rs
+
+/root/repo/target/debug/deps/fig11_permute_load-a5f51614c851a7bd: crates/bench/src/bin/fig11_permute_load.rs
+
+crates/bench/src/bin/fig11_permute_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pareto_hull-00cb47af25fb6a11.d: crates/bench/src/bin/fig12_pareto_hull.rs
+
+/root/repo/target/debug/deps/fig12_pareto_hull-00cb47af25fb6a11: crates/bench/src/bin/fig12_pareto_hull.rs
+
+crates/bench/src/bin/fig12_pareto_hull.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pareto_hull-d107d599c2c2f44a.d: crates/bench/src/bin/fig12_pareto_hull.rs
+
+/root/repo/target/debug/deps/fig12_pareto_hull-d107d599c2c2f44a: crates/bench/src/bin/fig12_pareto_hull.rs
+
+crates/bench/src/bin/fig12_pareto_hull.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_projector-9eb62a2ecdcdf12b.d: crates/bench/src/bin/fig13_projector.rs
+
+/root/repo/target/debug/deps/fig13_projector-9eb62a2ecdcdf12b: crates/bench/src/bin/fig13_projector.rs
+
+crates/bench/src/bin/fig13_projector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_skew-a43a33fcd8d9a58a.d: crates/bench/src/bin/fig14_skew.rs
+
+/root/repo/target/debug/deps/fig14_skew-a43a33fcd8d9a58a: crates/bench/src/bin/fig14_skew.rs
+
+crates/bench/src/bin/fig14_skew.rs:

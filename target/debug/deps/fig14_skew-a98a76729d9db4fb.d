@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_skew-a98a76729d9db4fb.d: crates/bench/src/bin/fig14_skew.rs
+
+/root/repo/target/debug/deps/fig14_skew-a98a76729d9db4fb: crates/bench/src/bin/fig14_skew.rs
+
+crates/bench/src/bin/fig14_skew.rs:

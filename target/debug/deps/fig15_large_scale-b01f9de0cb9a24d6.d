@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_large_scale-b01f9de0cb9a24d6.d: crates/bench/src/bin/fig15_large_scale.rs
+
+/root/repo/target/debug/deps/fig15_large_scale-b01f9de0cb9a24d6: crates/bench/src/bin/fig15_large_scale.rs
+
+crates/bench/src/bin/fig15_large_scale.rs:

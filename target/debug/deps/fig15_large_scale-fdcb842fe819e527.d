@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_large_scale-fdcb842fe819e527.d: crates/bench/src/bin/fig15_large_scale.rs
+
+/root/repo/target/debug/deps/fig15_large_scale-fdcb842fe819e527: crates/bench/src/bin/fig15_large_scale.rs
+
+crates/bench/src/bin/fig15_large_scale.rs:

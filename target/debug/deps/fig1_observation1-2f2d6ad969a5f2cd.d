@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_observation1-2f2d6ad969a5f2cd.d: crates/bench/src/bin/fig1_observation1.rs
+
+/root/repo/target/debug/deps/fig1_observation1-2f2d6ad969a5f2cd: crates/bench/src/bin/fig1_observation1.rs
+
+crates/bench/src/bin/fig1_observation1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_observation1-53922e47a92c9269.d: crates/bench/src/bin/fig1_observation1.rs
+
+/root/repo/target/debug/deps/fig1_observation1-53922e47a92c9269: crates/bench/src/bin/fig1_observation1.rs
+
+crates/bench/src/bin/fig1_observation1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tp_curve-10496fa3988e4979.d: crates/bench/src/bin/fig2_tp_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tp_curve-10496fa3988e4979.rmeta: crates/bench/src/bin/fig2_tp_curve.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tp_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tp_curve-891f3efa727d19b5.d: crates/bench/src/bin/fig2_tp_curve.rs
+
+/root/repo/target/debug/deps/fig2_tp_curve-891f3efa727d19b5: crates/bench/src/bin/fig2_tp_curve.rs
+
+crates/bench/src/bin/fig2_tp_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_xpander_floorplan-8c883a8c6852809c.d: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+/root/repo/target/debug/deps/fig3_xpander_floorplan-8c883a8c6852809c: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_xpander_floorplan-a90925ba54a3a631.d: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+/root/repo/target/debug/deps/fig3_xpander_floorplan-a90925ba54a3a631: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:

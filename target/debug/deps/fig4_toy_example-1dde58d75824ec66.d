@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_toy_example-1dde58d75824ec66.d: crates/bench/src/bin/fig4_toy_example.rs
+
+/root/repo/target/debug/deps/fig4_toy_example-1dde58d75824ec66: crates/bench/src/bin/fig4_toy_example.rs
+
+crates/bench/src/bin/fig4_toy_example.rs:

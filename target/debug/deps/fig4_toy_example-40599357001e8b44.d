@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_toy_example-40599357001e8b44.d: crates/bench/src/bin/fig4_toy_example.rs
+
+/root/repo/target/debug/deps/fig4_toy_example-40599357001e8b44: crates/bench/src/bin/fig4_toy_example.rs
+
+crates/bench/src/bin/fig4_toy_example.rs:

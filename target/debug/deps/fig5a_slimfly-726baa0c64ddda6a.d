@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_slimfly-726baa0c64ddda6a.d: crates/bench/src/bin/fig5a_slimfly.rs
+
+/root/repo/target/debug/deps/fig5a_slimfly-726baa0c64ddda6a: crates/bench/src/bin/fig5a_slimfly.rs
+
+crates/bench/src/bin/fig5a_slimfly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_slimfly-98a646abd8492779.d: crates/bench/src/bin/fig5a_slimfly.rs
+
+/root/repo/target/debug/deps/fig5a_slimfly-98a646abd8492779: crates/bench/src/bin/fig5a_slimfly.rs
+
+crates/bench/src/bin/fig5a_slimfly.rs:

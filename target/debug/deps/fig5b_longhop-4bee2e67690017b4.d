@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_longhop-4bee2e67690017b4.d: crates/bench/src/bin/fig5b_longhop.rs
+
+/root/repo/target/debug/deps/fig5b_longhop-4bee2e67690017b4: crates/bench/src/bin/fig5b_longhop.rs
+
+crates/bench/src/bin/fig5b_longhop.rs:

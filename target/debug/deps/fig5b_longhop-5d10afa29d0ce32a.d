@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_longhop-5d10afa29d0ce32a.d: crates/bench/src/bin/fig5b_longhop.rs
+
+/root/repo/target/debug/deps/fig5b_longhop-5d10afa29d0ce32a: crates/bench/src/bin/fig5b_longhop.rs
+
+crates/bench/src/bin/fig5b_longhop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-783298274a45ee28.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-783298274a45ee28: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-4995119c9c91f427.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-4995119c9c91f427: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:

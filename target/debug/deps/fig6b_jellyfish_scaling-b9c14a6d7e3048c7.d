@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-b9c14a6d7e3048c7.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-b9c14a6d7e3048c7: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_path_diversity-51421b4d62d9f7e7.d: crates/bench/src/bin/fig7a_path_diversity.rs
+
+/root/repo/target/debug/deps/fig7a_path_diversity-51421b4d62d9f7e7: crates/bench/src/bin/fig7a_path_diversity.rs
+
+crates/bench/src/bin/fig7a_path_diversity.rs:

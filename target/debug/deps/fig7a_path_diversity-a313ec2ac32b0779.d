@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_path_diversity-a313ec2ac32b0779.d: crates/bench/src/bin/fig7a_path_diversity.rs
+
+/root/repo/target/debug/deps/fig7a_path_diversity-a313ec2ac32b0779: crates/bench/src/bin/fig7a_path_diversity.rs
+
+crates/bench/src/bin/fig7a_path_diversity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_neighbor_racks-39999d214e7cf841.d: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+/root/repo/target/debug/deps/fig7b_neighbor_racks-39999d214e7cf841: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_neighbor_racks-a0185b6cdf3cfa9b.d: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+/root/repo/target/debug/deps/fig7b_neighbor_racks-a0185b6cdf3cfa9b: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7c_all_to_all-3ceeeb3a857d5c0b.d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+/root/repo/target/debug/deps/fig7c_all_to_all-3ceeeb3a857d5c0b: crates/bench/src/bin/fig7c_all_to_all.rs
+
+crates/bench/src/bin/fig7c_all_to_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7c_all_to_all-c1dff55123db7a8d.d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+/root/repo/target/debug/deps/fig7c_all_to_all-c1dff55123db7a8d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+crates/bench/src/bin/fig7c_all_to_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-1413144b3d9ea1dc.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-1413144b3d9ea1dc: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-a7050dce1c0090bc.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-a7050dce1c0090bc: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:

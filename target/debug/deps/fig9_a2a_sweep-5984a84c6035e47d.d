@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_a2a_sweep-5984a84c6035e47d.d: crates/bench/src/bin/fig9_a2a_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_a2a_sweep-5984a84c6035e47d.rmeta: crates/bench/src/bin/fig9_a2a_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_a2a_sweep-97bb4dca1918c67a.d: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+/root/repo/target/debug/deps/fig9_a2a_sweep-97bb4dca1918c67a: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:

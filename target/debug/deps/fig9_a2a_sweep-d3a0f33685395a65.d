@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_a2a_sweep-d3a0f33685395a65.d: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+/root/repo/target/debug/deps/fig9_a2a_sweep-d3a0f33685395a65: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:

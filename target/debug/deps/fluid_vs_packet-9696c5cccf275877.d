@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fluid_vs_packet-9696c5cccf275877.d: tests/fluid_vs_packet.rs
+
+/root/repo/target/debug/deps/fluid_vs_packet-9696c5cccf275877: tests/fluid_vs_packet.rs
+
+tests/fluid_vs_packet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gk_probe-05df50044116e83c.d: crates/bench/src/bin/gk_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgk_probe-05df50044116e83c.rmeta: crates/bench/src/bin/gk_probe.rs Cargo.toml
+
+crates/bench/src/bin/gk_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gk_probe-401a2c9967bd8ed2.d: crates/bench/src/bin/gk_probe.rs
+
+/root/repo/target/debug/deps/gk_probe-401a2c9967bd8ed2: crates/bench/src/bin/gk_probe.rs
+
+crates/bench/src/bin/gk_probe.rs:

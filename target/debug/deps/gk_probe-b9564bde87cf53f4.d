@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gk_probe-b9564bde87cf53f4.d: crates/bench/src/bin/gk_probe.rs
+
+/root/repo/target/debug/deps/gk_probe-b9564bde87cf53f4: crates/bench/src/bin/gk_probe.rs
+
+crates/bench/src/bin/gk_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3c28740133def0d7.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3c28740133def0d7.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3ebecd5ac3458626.d: crates/topology/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3ebecd5ac3458626: crates/topology/tests/properties.rs
+
+crates/topology/tests/properties.rs:

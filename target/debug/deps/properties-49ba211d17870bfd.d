@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-49ba211d17870bfd.d: crates/maxflow/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-49ba211d17870bfd.rmeta: crates/maxflow/tests/properties.rs Cargo.toml
+
+crates/maxflow/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

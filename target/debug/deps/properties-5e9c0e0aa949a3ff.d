@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5e9c0e0aa949a3ff.d: crates/routing/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5e9c0e0aa949a3ff.rmeta: crates/routing/tests/properties.rs Cargo.toml
+
+crates/routing/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-636625394cb99d49.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-636625394cb99d49: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-766c8fa0071a2c0c.d: crates/flowsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-766c8fa0071a2c0c: crates/flowsim/tests/properties.rs
+
+crates/flowsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-82e404bc154d43ea.d: crates/routing/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-82e404bc154d43ea: crates/routing/tests/properties.rs
+
+crates/routing/tests/properties.rs:

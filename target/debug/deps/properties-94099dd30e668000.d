@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-94099dd30e668000.d: crates/workloads/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-94099dd30e668000.rmeta: crates/workloads/tests/properties.rs Cargo.toml
+
+crates/workloads/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

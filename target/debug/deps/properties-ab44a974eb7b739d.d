@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ab44a974eb7b739d.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ab44a974eb7b739d: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b08ef7bfb6a10400.d: crates/maxflow/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b08ef7bfb6a10400: crates/maxflow/tests/properties.rs
+
+crates/maxflow/tests/properties.rs:

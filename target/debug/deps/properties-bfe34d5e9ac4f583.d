@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bfe34d5e9ac4f583.d: crates/topology/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bfe34d5e9ac4f583.rmeta: crates/topology/tests/properties.rs Cargo.toml
+
+crates/topology/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-83adef84829725f1.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-83adef84829725f1: tests/property_invariants.rs
+
+tests/property_invariants.rs:

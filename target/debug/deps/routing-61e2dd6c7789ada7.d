@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/routing-61e2dd6c7789ada7.d: crates/bench/benches/routing.rs
+
+/root/repo/target/debug/deps/routing-61e2dd6c7789ada7: crates/bench/benches/routing.rs
+
+crates/bench/benches/routing.rs:

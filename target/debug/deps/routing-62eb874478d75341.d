@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/routing-62eb874478d75341.d: crates/bench/benches/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouting-62eb874478d75341.rmeta: crates/bench/benches/routing.rs Cargo.toml
+
+crates/bench/benches/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-1291e1be9a6c1092.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-1291e1be9a6c1092: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

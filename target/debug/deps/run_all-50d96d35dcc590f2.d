@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-50d96d35dcc590f2.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-50d96d35dcc590f2: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-c6f1cc313daeccdb.d: crates/bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-c6f1cc313daeccdb.rmeta: crates/bench/src/bin/run_all.rs Cargo.toml
+
+crates/bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solvers-02b1df499d6591fe.d: crates/bench/benches/solvers.rs
+
+/root/repo/target/debug/deps/solvers-02b1df499d6591fe: crates/bench/benches/solvers.rs
+
+crates/bench/benches/solvers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solvers-e2e6e4f5289b37f9.d: crates/bench/benches/solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolvers-e2e6e4f5289b37f9.rmeta: crates/bench/benches/solvers.rs Cargo.toml
+
+crates/bench/benches/solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_costs-05324a8d0b14a085.d: crates/bench/src/bin/table1_costs.rs
+
+/root/repo/target/debug/deps/table1_costs-05324a8d0b14a085: crates/bench/src/bin/table1_costs.rs
+
+crates/bench/src/bin/table1_costs.rs:

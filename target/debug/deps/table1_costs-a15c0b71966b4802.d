@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_costs-a15c0b71966b4802.d: crates/bench/src/bin/table1_costs.rs
+
+/root/repo/target/debug/deps/table1_costs-a15c0b71966b4802: crates/bench/src/bin/table1_costs.rs
+
+crates/bench/src/bin/table1_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology-e2ef383ceb803ff6.d: crates/bench/benches/topology.rs
+
+/root/repo/target/debug/deps/topology-e2ef383ceb803ff6: crates/bench/benches/topology.rs
+
+crates/bench/benches/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_models-8dcba0c224ad1aba.d: examples/dynamic_models.rs
+
+/root/repo/target/debug/examples/dynamic_models-8dcba0c224ad1aba: examples/dynamic_models.rs
+
+examples/dynamic_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_resilience-3e9b5c919b26abda.d: examples/failure_resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_resilience-3e9b5c919b26abda.rmeta: examples/failure_resilience.rs Cargo.toml
+
+examples/failure_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_resilience-85afafc013968511.d: examples/failure_resilience.rs
+
+/root/repo/target/debug/examples/failure_resilience-85afafc013968511: examples/failure_resilience.rs
+
+examples/failure_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_probe-e47db5c4ab4e0c4c.d: crates/sim/examples/perf_probe.rs
+
+/root/repo/target/debug/examples/perf_probe-e47db5c4ab4e0c4c: crates/sim/examples/perf_probe.rs
+
+crates/sim/examples/perf_probe.rs:

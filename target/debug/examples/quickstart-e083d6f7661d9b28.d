@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e083d6f7661d9b28.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e083d6f7661d9b28: examples/quickstart.rs
+
+examples/quickstart.rs:

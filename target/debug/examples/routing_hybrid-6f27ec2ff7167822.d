@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/routing_hybrid-6f27ec2ff7167822.d: examples/routing_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouting_hybrid-6f27ec2ff7167822.rmeta: examples/routing_hybrid.rs Cargo.toml
+
+examples/routing_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_hybrid-71c36e2a84398931.d: examples/routing_hybrid.rs
+
+/root/repo/target/debug/examples/routing_hybrid-71c36e2a84398931: examples/routing_hybrid.rs
+
+examples/routing_hybrid.rs:

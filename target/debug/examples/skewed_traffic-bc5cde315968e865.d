@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skewed_traffic-bc5cde315968e865.d: examples/skewed_traffic.rs
+
+/root/repo/target/debug/examples/skewed_traffic-bc5cde315968e865: examples/skewed_traffic.rs
+
+examples/skewed_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_zoo-bd2c23735e477eac.d: examples/topology_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_zoo-bd2c23735e477eac.rmeta: examples/topology_zoo.rs Cargo.toml
+
+examples/topology_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_zoo-be5541a62fcd0c33.d: examples/topology_zoo.rs
+
+/root/repo/target/debug/examples/topology_zoo-be5541a62fcd0c33: examples/topology_zoo.rs
+
+examples/topology_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_adaptive-f5038a764528cc04.d: crates/bench/src/bin/ablate_adaptive.rs
+
+/root/repo/target/release/deps/ablate_adaptive-f5038a764528cc04: crates/bench/src/bin/ablate_adaptive.rs
+
+crates/bench/src/bin/ablate_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_congestion_aware-a5c88cf4d24d9d9b.d: crates/bench/src/bin/ablate_congestion_aware.rs
+
+/root/repo/target/release/deps/ablate_congestion_aware-a5c88cf4d24d9d9b: crates/bench/src/bin/ablate_congestion_aware.rs
+
+crates/bench/src/bin/ablate_congestion_aware.rs:

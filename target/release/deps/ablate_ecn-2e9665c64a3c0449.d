@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_ecn-2e9665c64a3c0449.d: crates/bench/src/bin/ablate_ecn.rs
+
+/root/repo/target/release/deps/ablate_ecn-2e9665c64a3c0449: crates/bench/src/bin/ablate_ecn.rs
+
+crates/bench/src/bin/ablate_ecn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_failures-773ecccc8c77e96c.d: crates/bench/src/bin/ablate_failures.rs
+
+/root/repo/target/release/deps/ablate_failures-773ecccc8c77e96c: crates/bench/src/bin/ablate_failures.rs
+
+crates/bench/src/bin/ablate_failures.rs:

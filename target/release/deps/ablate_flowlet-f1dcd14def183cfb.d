@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_flowlet-f1dcd14def183cfb.d: crates/bench/src/bin/ablate_flowlet.rs
+
+/root/repo/target/release/deps/ablate_flowlet-f1dcd14def183cfb: crates/bench/src/bin/ablate_flowlet.rs
+
+crates/bench/src/bin/ablate_flowlet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_q-9fd6767e68326944.d: crates/bench/src/bin/ablate_q.rs
+
+/root/repo/target/release/deps/ablate_q-9fd6767e68326944: crates/bench/src/bin/ablate_q.rs
+
+crates/bench/src/bin/ablate_q.rs:

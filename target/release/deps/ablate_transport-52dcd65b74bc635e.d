@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_transport-52dcd65b74bc635e.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/release/deps/ablate_transport-52dcd65b74bc635e: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/beyond_fattrees-2081aca244b20801.d: src/lib.rs
+
+/root/repo/target/release/deps/libbeyond_fattrees-2081aca244b20801.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbeyond_fattrees-2081aca244b20801.rmeta: src/lib.rs
+
+src/lib.rs:

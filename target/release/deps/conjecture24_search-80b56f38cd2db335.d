@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conjecture24_search-80b56f38cd2db335.d: crates/bench/src/bin/conjecture24_search.rs
+
+/root/repo/target/release/deps/conjecture24_search-80b56f38cd2db335: crates/bench/src/bin/conjecture24_search.rs
+
+crates/bench/src/bin/conjecture24_search.rs:

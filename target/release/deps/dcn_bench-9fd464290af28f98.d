@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcn_bench-9fd464290af28f98.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_bench-9fd464290af28f98.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_bench-9fd464290af28f98.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcn_flowsim-9da5504956f91ec5.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_flowsim-9da5504956f91ec5.rlib: crates/flowsim/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_flowsim-9da5504956f91ec5.rmeta: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcn_json-97b164853a898365.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_json-97b164853a898365.rlib: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_json-97b164853a898365.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

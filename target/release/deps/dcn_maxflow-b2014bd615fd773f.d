@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_maxflow-b2014bd615fd773f.d: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+/root/repo/target/release/deps/libdcn_maxflow-b2014bd615fd773f.rlib: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+/root/repo/target/release/deps/libdcn_maxflow-b2014bd615fd773f.rmeta: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+crates/maxflow/src/lib.rs:
+crates/maxflow/src/bound.rs:
+crates/maxflow/src/concurrent.rs:
+crates/maxflow/src/dinic.rs:
+crates/maxflow/src/lp.rs:
+crates/maxflow/src/network.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcn_rng-8bb0437f8b3c8e1e.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_rng-8bb0437f8b3c8e1e.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_rng-8bb0437f8b3c8e1e.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

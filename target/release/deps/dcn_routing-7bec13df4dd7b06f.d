@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_routing-7bec13df4dd7b06f.d: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+/root/repo/target/release/deps/libdcn_routing-7bec13df4dd7b06f.rlib: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+/root/repo/target/release/deps/libdcn_routing-7bec13df4dd7b06f.rmeta: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/ecmp.rs:
+crates/routing/src/hyb.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/kspsel.rs:
+crates/routing/src/vlb.rs:

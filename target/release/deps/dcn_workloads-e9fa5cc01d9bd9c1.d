@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcn_workloads-e9fa5cc01d9bd9c1.d: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+/root/repo/target/release/deps/libdcn_workloads-e9fa5cc01d9bd9c1.rlib: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+/root/repo/target/release/deps/libdcn_workloads-e9fa5cc01d9bd9c1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/fluid.rs:
+crates/workloads/src/fsize.rs:
+crates/workloads/src/tm.rs:

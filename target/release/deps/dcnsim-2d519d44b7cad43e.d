@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcnsim-2d519d44b7cad43e.d: src/bin/dcnsim.rs
+
+/root/repo/target/release/deps/dcnsim-2d519d44b7cad43e: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

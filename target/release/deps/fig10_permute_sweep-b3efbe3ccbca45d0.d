@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_permute_sweep-b3efbe3ccbca45d0.d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+/root/repo/target/release/deps/fig10_permute_sweep-b3efbe3ccbca45d0: crates/bench/src/bin/fig10_permute_sweep.rs
+
+crates/bench/src/bin/fig10_permute_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_permute_load-57dacd01bdedcc71.d: crates/bench/src/bin/fig11_permute_load.rs
+
+/root/repo/target/release/deps/fig11_permute_load-57dacd01bdedcc71: crates/bench/src/bin/fig11_permute_load.rs
+
+crates/bench/src/bin/fig11_permute_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_pareto_hull-d629804119db7e9b.d: crates/bench/src/bin/fig12_pareto_hull.rs
+
+/root/repo/target/release/deps/fig12_pareto_hull-d629804119db7e9b: crates/bench/src/bin/fig12_pareto_hull.rs
+
+crates/bench/src/bin/fig12_pareto_hull.rs:

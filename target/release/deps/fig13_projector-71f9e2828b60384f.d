@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_projector-71f9e2828b60384f.d: crates/bench/src/bin/fig13_projector.rs
+
+/root/repo/target/release/deps/fig13_projector-71f9e2828b60384f: crates/bench/src/bin/fig13_projector.rs
+
+crates/bench/src/bin/fig13_projector.rs:

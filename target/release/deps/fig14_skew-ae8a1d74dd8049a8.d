@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_skew-ae8a1d74dd8049a8.d: crates/bench/src/bin/fig14_skew.rs
+
+/root/repo/target/release/deps/fig14_skew-ae8a1d74dd8049a8: crates/bench/src/bin/fig14_skew.rs
+
+crates/bench/src/bin/fig14_skew.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_large_scale-adfa1ae1c4b930f0.d: crates/bench/src/bin/fig15_large_scale.rs
+
+/root/repo/target/release/deps/fig15_large_scale-adfa1ae1c4b930f0: crates/bench/src/bin/fig15_large_scale.rs
+
+crates/bench/src/bin/fig15_large_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_observation1-cfbdf35951a4e0d5.d: crates/bench/src/bin/fig1_observation1.rs
+
+/root/repo/target/release/deps/fig1_observation1-cfbdf35951a4e0d5: crates/bench/src/bin/fig1_observation1.rs
+
+crates/bench/src/bin/fig1_observation1.rs:

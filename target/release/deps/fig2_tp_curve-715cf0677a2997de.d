@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tp_curve-715cf0677a2997de.d: crates/bench/src/bin/fig2_tp_curve.rs
+
+/root/repo/target/release/deps/fig2_tp_curve-715cf0677a2997de: crates/bench/src/bin/fig2_tp_curve.rs
+
+crates/bench/src/bin/fig2_tp_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_xpander_floorplan-c6db332b4c1a4ced.d: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+/root/repo/target/release/deps/fig3_xpander_floorplan-c6db332b4c1a4ced: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_toy_example-5f817b7f65635274.d: crates/bench/src/bin/fig4_toy_example.rs
+
+/root/repo/target/release/deps/fig4_toy_example-5f817b7f65635274: crates/bench/src/bin/fig4_toy_example.rs
+
+crates/bench/src/bin/fig4_toy_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a_slimfly-3ef3b33162078df7.d: crates/bench/src/bin/fig5a_slimfly.rs
+
+/root/repo/target/release/deps/fig5a_slimfly-3ef3b33162078df7: crates/bench/src/bin/fig5a_slimfly.rs
+
+crates/bench/src/bin/fig5a_slimfly.rs:

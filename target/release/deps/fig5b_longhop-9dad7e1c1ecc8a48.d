@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b_longhop-9dad7e1c1ecc8a48.d: crates/bench/src/bin/fig5b_longhop.rs
+
+/root/repo/target/release/deps/fig5b_longhop-9dad7e1c1ecc8a48: crates/bench/src/bin/fig5b_longhop.rs
+
+crates/bench/src/bin/fig5b_longhop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6a_jellyfish_fraction-449aa58856d2f0b5.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+/root/repo/target/release/deps/fig6a_jellyfish_fraction-449aa58856d2f0b5: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:

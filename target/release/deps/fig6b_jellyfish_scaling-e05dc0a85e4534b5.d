@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6b_jellyfish_scaling-e05dc0a85e4534b5.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+/root/repo/target/release/deps/fig6b_jellyfish_scaling-e05dc0a85e4534b5: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:

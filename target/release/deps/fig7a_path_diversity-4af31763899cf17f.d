@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7a_path_diversity-4af31763899cf17f.d: crates/bench/src/bin/fig7a_path_diversity.rs
+
+/root/repo/target/release/deps/fig7a_path_diversity-4af31763899cf17f: crates/bench/src/bin/fig7a_path_diversity.rs
+
+crates/bench/src/bin/fig7a_path_diversity.rs:

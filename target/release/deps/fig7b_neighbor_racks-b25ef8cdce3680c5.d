@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7b_neighbor_racks-b25ef8cdce3680c5.d: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+/root/repo/target/release/deps/fig7b_neighbor_racks-b25ef8cdce3680c5: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7c_all_to_all-35c6f4bd061abba6.d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+/root/repo/target/release/deps/fig7c_all_to_all-35c6f4bd061abba6: crates/bench/src/bin/fig7c_all_to_all.rs
+
+crates/bench/src/bin/fig7c_all_to_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_flow_size_cdfs-f1d58d6f3328fd15.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+/root/repo/target/release/deps/fig8_flow_size_cdfs-f1d58d6f3328fd15: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_a2a_sweep-e7d8a1cdaefebbf2.d: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+/root/repo/target/release/deps/fig9_a2a_sweep-e7d8a1cdaefebbf2: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:

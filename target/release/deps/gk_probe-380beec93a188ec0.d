@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gk_probe-380beec93a188ec0.d: crates/bench/src/bin/gk_probe.rs
+
+/root/repo/target/release/deps/gk_probe-380beec93a188ec0: crates/bench/src/bin/gk_probe.rs
+
+crates/bench/src/bin/gk_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/routing-852fccea1bc6a132.d: crates/bench/benches/routing.rs
+
+/root/repo/target/release/deps/routing-852fccea1bc6a132: crates/bench/benches/routing.rs
+
+crates/bench/benches/routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-0b50d8fe6dd67178.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-0b50d8fe6dd67178: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_costs-3a6c461c826c345b.d: crates/bench/src/bin/table1_costs.rs
+
+/root/repo/target/release/deps/table1_costs-3a6c461c826c345b: crates/bench/src/bin/table1_costs.rs
+
+crates/bench/src/bin/table1_costs.rs:

@@ -12,8 +12,14 @@ fn packet_goodput(t: &Topology, pairs: &[(u32, u32)], bytes: u64) -> f64 {
     for (i, &(a, b)) in pairs.iter().enumerate() {
         flows.push(FlowEvent {
             start_s: 0.0,
-            src: Endpoint { rack: a, server: (i % 2) as u32 },
-            dst: Endpoint { rack: b, server: (i % 2) as u32 },
+            src: Endpoint {
+                rack: a,
+                server: (i % 2) as u32,
+            },
+            dst: Endpoint {
+                rack: b,
+                server: (i % 2) as u32,
+            },
             bytes,
         });
     }
@@ -36,13 +42,22 @@ fn fluid_optimum_bounds_packet_goodput_on_fat_tree() {
     let pairs = vec![(0u32, 4u32), (4, 8), (8, 12), (12, 0)];
     let commodities: Vec<Commodity> = pairs
         .iter()
-        .map(|&(a, b)| Commodity { src: a, dst: b, demand: 1.0 })
+        .map(|&(a, b)| Commodity {
+            src: a,
+            dst: b,
+            demand: 1.0,
+        })
         .collect();
     let net = FlowNetwork::from_topology(&t);
     let fluid = max_concurrent_flow(
         &net,
         &commodities,
-        GkOptions { epsilon: 0.03, target: None, gap: 0.02, max_phases: 2_000_000 },
+        GkOptions {
+            epsilon: 0.03,
+            target: None,
+            gap: 0.02,
+            max_phases: 2_000_000,
+        },
     );
     // One 10 Gbps-line-rate flow per pair: fluid says full rate possible.
     let fluid_gbps = (fluid.throughput * 10.0).min(10.0);
@@ -67,12 +82,20 @@ fn oversubscription_shows_up_in_both_models() {
         per_server_throughput(
             t,
             &pairs,
-            GkOptions { epsilon: 0.05, target: None, gap: 0.03, max_phases: 2_000_000 },
+            GkOptions {
+                epsilon: 0.05,
+                target: None,
+                gap: 0.03,
+                max_phases: 2_000_000,
+            },
         )
     };
     let f_full = fluid(&full);
     let f_over = fluid(&over);
-    assert!(f_over < f_full, "fluid: oversubscription must cost throughput");
+    assert!(
+        f_over < f_full,
+        "fluid: oversubscription must cost throughput"
+    );
 
     let p_full = packet_goodput(&full, &pairs, 10_000_000);
     let p_over = packet_goodput(&over, &pairs, 10_000_000);

@@ -1,71 +1,108 @@
-//! Cross-crate property-based tests: invariants that must hold for any
+//! Cross-crate property-style tests: invariants that must hold for any
 //! topology, workload, and routing configuration in their valid ranges.
+//! Seeded sweeps stand in for proptest.
 
 use beyond_fattrees::maxflow::bound::capacity_path_bound;
 use beyond_fattrees::maxflow::FlowNetwork;
 use beyond_fattrees::prelude::*;
-use proptest::prelude::*;
+use dcn_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The TP curve dominates the fat-tree flexibility curve everywhere.
-    #[test]
-    fn tp_dominates_fat_tree(alpha in 0.05f64..1.0, beta in 0.01f64..0.5, x in 0.01f64..1.0) {
-        prop_assert!(tp_throughput(alpha, x) + 1e-12 >= fat_tree_throughput(alpha, beta, x));
+/// The TP curve dominates the fat-tree flexibility curve everywhere.
+#[test]
+fn tp_dominates_fat_tree() {
+    let mut meta = Rng::seed_from_u64(0x7901);
+    for _ in 0..24 {
+        let alpha = 0.05 + meta.gen_range(0.0..0.95);
+        let beta = 0.01 + meta.gen_range(0.0..0.49);
+        let x = 0.01 + meta.gen_range(0.0..0.99);
+        assert!(
+            tp_throughput(alpha, x) + 1e-12 >= fat_tree_throughput(alpha, beta, x),
+            "alpha {alpha} beta {beta} x {x}"
+        );
     }
+}
 
-    /// Per-server throughput never exceeds the capacity/path-length bound.
-    #[test]
-    fn gk_respects_capacity_bound(
-        n in 8u32..24,
-        d in 3u32..6,
-        seed in 0u64..50,
-    ) {
-        prop_assume!(n > d && (n * d) % 2 == 0);
+/// Per-server throughput never exceeds the capacity/path-length bound.
+#[test]
+fn gk_respects_capacity_bound() {
+    let mut meta = Rng::seed_from_u64(0xCAB0);
+    let mut cases = 0;
+    while cases < 12 {
+        let n = meta.gen_range(8u32..24);
+        let d = meta.gen_range(3u32..6);
+        let seed = meta.gen_range(0u64..50);
+        if n <= d || !(n * d).is_multiple_of(2) {
+            continue;
+        }
+        cases += 1;
         let t = Jellyfish::new(n, d, 2, seed).build();
         let racks = t.tors_with_servers();
-        let pairs: Vec<(u32, u32)> =
-            (0..racks.len()).map(|i| (racks[i], racks[(i + 1) % racks.len()])).collect();
+        let pairs: Vec<(u32, u32)> = (0..racks.len())
+            .map(|i| (racks[i], racks[(i + 1) % racks.len()]))
+            .collect();
         let lam = per_server_throughput(
             &t,
             &pairs,
-            GkOptions { epsilon: 0.1, target: None, gap: 0.05, max_phases: 500_000 },
+            GkOptions {
+                epsilon: 0.1,
+                target: None,
+                gap: 0.05,
+                max_phases: 500_000,
+            },
         );
-        let flows: Vec<(u32, u32, f64)> =
-            pairs.iter().map(|&(a, b)| (a, b, t.servers_at(a) as f64)).collect();
+        let flows: Vec<(u32, u32, f64)> = pairs
+            .iter()
+            .map(|&(a, b)| (a, b, t.servers_at(a) as f64))
+            .collect();
         let bound = capacity_path_bound(&t, &flows);
-        prop_assert!(lam <= bound + 1e-9, "gk {lam} exceeds bound {bound}");
+        assert!(lam <= bound + 1e-9, "gk {lam} exceeds bound {bound}");
     }
+}
 
-    /// The GK primal never exceeds its own dual certificate.
-    #[test]
-    fn gk_primal_below_dual(seed in 0u64..30) {
+/// The GK primal never exceeds its own dual certificate.
+#[test]
+fn gk_primal_below_dual() {
+    for seed in 0u64..12 {
         let t = Xpander::for_switches(4, 15, 2, seed).build();
         let racks = t.tors_with_servers();
         let coms: Vec<Commodity> = (0..racks.len())
-            .map(|i| Commodity { src: racks[i], dst: racks[(i + 2) % racks.len()], demand: 2.0 })
+            .map(|i| Commodity {
+                src: racks[i],
+                dst: racks[(i + 2) % racks.len()],
+                demand: 2.0,
+            })
             .collect();
         let net = FlowNetwork::from_topology(&t);
         let r = max_concurrent_flow(
             &net,
             &coms,
-            GkOptions { epsilon: 0.1, target: None, gap: 0.05, max_phases: 500_000 },
+            GkOptions {
+                epsilon: 0.1,
+                target: None,
+                gap: 0.05,
+                max_phases: 500_000,
+            },
         );
-        prop_assert!(r.throughput <= r.upper_bound + 1e-9);
+        assert!(r.throughput <= r.upper_bound + 1e-9);
     }
+}
 
-    /// Every flow completes, and no FCT beats the physical lower bound
-    /// (serialization of the whole flow at line rate).
-    #[test]
-    fn packet_fct_bounded_below(
-        bytes in 2_000u64..2_000_000,
-        seed in 0u64..20,
-    ) {
-        let t = FatTree::full(4).build();
+/// Every flow completes, and no FCT beats the physical lower bound
+/// (serialization of the whole flow at line rate).
+#[test]
+fn packet_fct_bounded_below() {
+    let mut meta = Rng::seed_from_u64(0xF1007);
+    let t = FatTree::full(4).build();
+    let mut cases = 0;
+    while cases < 8 {
+        let bytes = meta.gen_range(2_000u64..2_000_000);
+        let seed = meta.gen_range(0u64..20);
         let pattern = AllToAll::new(&t, t.tors_with_servers());
         let flows = generate_flows(&pattern, &FixedSize(bytes), 300.0, 0.01, seed);
-        prop_assume!(!flows.is_empty());
+        if flows.is_empty() {
+            continue;
+        }
+        cases += 1;
         let mut sim = Simulator::new(&t, Routing::Ecmp.selector(&t), SimConfig::default());
         sim.set_window(0, 10 * MS);
         sim.inject(&flows);
@@ -74,19 +111,26 @@ proptest! {
         let floor_ns = (bytes as f64 * 8.0 / 10.0) as u64;
         for r in &rec {
             let fct = r.fct_ns.expect("flow must finish");
-            prop_assert!(fct >= floor_ns, "fct {fct} below physical floor {floor_ns}");
+            assert!(fct >= floor_ns, "fct {fct} below physical floor {floor_ns}");
         }
     }
+}
 
-    /// Flow-level and packet-level simulators agree on an uncontended
-    /// transfer to within protocol overheads.
-    #[test]
-    fn flowsim_close_to_packet_on_idle_net(bytes in 1_000_000u64..20_000_000) {
-        let t = FatTree::full(4).build();
+/// Flow-level and packet-level simulators agree on an uncontended
+/// transfer to within protocol overheads.
+#[test]
+fn flowsim_close_to_packet_on_idle_net() {
+    let mut meta = Rng::seed_from_u64(0x1D1E);
+    let t = FatTree::full(4).build();
+    for _ in 0..8 {
+        let bytes = meta.gen_range(1_000_000u64..20_000_000);
         let flow = FlowEvent {
             start_s: 0.0,
             src: Endpoint { rack: 0, server: 0 },
-            dst: Endpoint { rack: 12, server: 0 },
+            dst: Endpoint {
+                rack: 12,
+                server: 0,
+            },
             bytes,
         };
         let mut psim = Simulator::new(&t, Routing::Ecmp.selector(&t), SimConfig::default());
@@ -100,7 +144,7 @@ proptest! {
 
         // Packet-level pays headers, slow start, and store-and-forward;
         // it must be slower than fluid but within 2x on an idle network.
-        prop_assert!(p >= f * 0.99, "packet {p} faster than fluid {f}");
-        prop_assert!(p <= f * 2.0 + 1e6, "packet {p} too far above fluid {f}");
+        assert!(p >= f * 0.99, "packet {p} faster than fluid {f}");
+        assert!(p <= f * 2.0 + 1e6, "packet {p} too far above fluid {f}");
     }
 }
