@@ -1,6 +1,7 @@
 //! Ablation: DCTCP (the paper's transport) versus a loss-based NewReno
-//! baseline on the 2/3-cost Xpander with HYB — checks that the paper's
-//! routing result does not secretly depend on DCTCP's ECN reaction.
+//! baseline and the pFabric transport/queue pair on the 2/3-cost Xpander
+//! with HYB — checks that the paper's routing result does not secretly
+//! depend on DCTCP's ECN reaction or on FIFO queueing.
 
 use dcn_bench::{fct_point, packet_setup, parse_cli, Series};
 use dcn_core::{paper_networks, Routing};
@@ -29,10 +30,14 @@ fn main() {
         "transport_index",
         &["avg_fct_ms", "p99_short_fct_ms", "long_tput_gbps"],
     );
-    println!("# transport order: [dctcp, newreno]");
-    for (i, cfg) in [SimConfig::default(), SimConfig::default().with_newreno()]
-        .into_iter()
-        .enumerate()
+    println!("# transport order: [dctcp, newreno, pfabric]");
+    for (i, cfg) in [
+        SimConfig::default(),
+        SimConfig::default().with_newreno(),
+        SimConfig::default().with_pfabric(),
+    ]
+    .into_iter()
+    .enumerate()
     {
         eprintln!("transport {i}");
         let pat = AllToAll::new(&pair.xpander, racks.clone());

@@ -5,7 +5,7 @@
 //!   `min(1, duty · r/s)` regardless of the traffic matrix.
 //! - **Restricted**: direct-connection heuristics and no buffering — the
 //!   network degenerates to the best *static* degree-r graph over the
-//!   active racks, upper-bounded via the Moore-bound argument of [30].
+//!   active racks, upper-bounded via the Moore-bound argument of \[30\].
 
 use dcn_maxflow::bound::{restricted_dynamic_bound, unrestricted_dynamic_throughput};
 

@@ -159,7 +159,8 @@ pub fn run_fct_experiment_with_faults(
         sim.set_fault_plan(plan);
     }
     let records = sim.run(max_time);
-    let metrics = compute_metrics(&records, window.0, window.1);
+    let metrics =
+        compute_metrics(&records, window.0, window.1).with_transport(sim.transport_name());
     let counters = SimCounters {
         congestion_drops: sim.total_congestion_drops(),
         fault_drops: sim.total_fault_drops(),

@@ -1,5 +1,5 @@
 //! Throughput upper bounds from Singla et al., *High Throughput Data Center
-//! Topology Design* (NSDI 2014) — reference [30] of the paper. Used for the
+//! Topology Design* (NSDI 2014) — reference \[30\] of the paper. Used for the
 //! *restricted dynamic* model (§4.1, §5): an upper bound on the performance
 //! of **any** topology built with network degree `r` per ToR.
 
@@ -34,7 +34,7 @@ pub fn moore_avg_distance(n: usize, d: usize) -> f64 {
 /// Upper bound on per-server throughput for uniform (all-to-all) traffic
 /// over `n_active` racks, each with `net_ports` network ports of unit
 /// capacity and `servers` servers — for the *best possible* degree-limited
-/// topology ([30]'s capacity/path-length argument):
+/// topology (\[30\]'s capacity/path-length argument):
 ///
 /// `t ≤ net_ports / (servers · d̄_min(n_active, net_ports))`
 ///

@@ -1,15 +1,17 @@
-//! Directed channels: an output queue plus a serializing transmitter.
+//! Directed channels: a pluggable output queue plus a serializing
+//! transmitter.
 //!
 //! Every undirected topology link is two channels; every server has an
-//! up-channel (server→ToR) and a down-channel (ToR→server). Channels drop
-//! from the tail when full and mark ECN (CE) on enqueue when the queue
-//! already holds at least K packets' worth of bytes — DCTCP marking.
+//! up-channel (server→ToR) and a down-channel (ToR→server). *How* packets
+//! queue — tail-drop FIFO with ECN marking, pFabric strict priority, … —
+//! is the owned [`QueueDiscipline`]'s decision (see [`crate::switch`]);
+//! the channel itself only models the transmitter, the wire, and the
+//! fault state.
 
+use crate::switch::QueueDiscipline;
 use crate::types::{Ns, Packet};
-use std::collections::VecDeque;
 
 /// One directed channel.
-#[derive(Debug)]
 pub struct Channel {
     /// Node (switch or server, in the simulator's global id space) that
     /// packets leaving this channel arrive at.
@@ -17,13 +19,12 @@ pub struct Channel {
     /// Bytes per nanosecond.
     pub rate_bpns: f64,
     pub prop_ns: Ns,
-    queue: VecDeque<Box<Packet>>,
-    queue_bytes: u64,
-    cap_bytes: u64,
-    ecn_threshold_bytes: u64,
+    /// The output queue feeding the transmitter.
+    disc: Box<dyn QueueDiscipline>,
     /// A packet is currently being serialized.
     pub busy: bool,
-    /// Drop counter (congestion tail drops), for stats and tests.
+    /// Drop counter (congestion drops, tail or priority-evicted), for
+    /// stats and tests.
     pub drops: u64,
     /// ECN marks applied.
     pub marks: u64,
@@ -47,20 +48,17 @@ pub enum Offer {
     StartTx,
     /// Queued behind the current transmission.
     Queued,
-    /// Tail-dropped.
+    /// The offered packet was dropped by the queue discipline.
     Dropped,
 }
 
 impl Channel {
-    pub fn new(to_node: u32, gbps: f64, prop_ns: Ns, cap_bytes: u64, ecn_bytes: u64) -> Self {
+    pub fn new(to_node: u32, gbps: f64, prop_ns: Ns, disc: Box<dyn QueueDiscipline>) -> Self {
         Channel {
             to_node,
             rate_bpns: gbps / 8.0,
             prop_ns,
-            queue: VecDeque::new(),
-            queue_bytes: 0,
-            cap_bytes,
-            ecn_threshold_bytes: ecn_bytes,
+            disc,
             busy: false,
             drops: 0,
             marks: 0,
@@ -76,36 +74,32 @@ impl Channel {
     }
 
     /// Offers a packet. On `StartTx` the packet is handed back to the
-    /// caller (it owns the in-flight transmission); on `Queued` the channel
-    /// keeps it; on `Dropped` it is gone.
-    pub fn offer(&mut self, mut pkt: Box<Packet>) -> (Offer, Option<Box<Packet>>) {
+    /// caller (it owns the in-flight transmission); on `Queued` the
+    /// discipline keeps it (possibly evicting less urgent packets — those
+    /// count into [`Channel::drops`]); on `Dropped` it is gone.
+    pub fn offer(&mut self, pkt: Box<Packet>) -> (Offer, Option<Box<Packet>>) {
         if !self.busy {
             self.busy = true;
             return (Offer::StartTx, Some(pkt));
         }
-        if self.queue_bytes + pkt.bytes as u64 > self.cap_bytes {
-            self.drops += 1;
-            return (Offer::Dropped, None);
-        }
-        // DCTCP: mark on enqueue when the instantaneous queue exceeds K.
-        if self.queue_bytes >= self.ecn_threshold_bytes && !pkt.is_ack {
-            pkt.ecn_ce = true;
+        let out = self.disc.enqueue(pkt);
+        self.drops += out.dropped as u64;
+        if out.marked {
             self.marks += 1;
         }
-        self.queue_bytes += pkt.bytes as u64;
-        self.queue.push_back(pkt);
-        (Offer::Queued, None)
+        if out.accepted {
+            (Offer::Queued, None)
+        } else {
+            (Offer::Dropped, None)
+        }
     }
 
     /// Called when the in-flight transmission completes; returns the next
     /// packet to transmit, if any (caller schedules its TxFree/Deliver).
     pub fn tx_done(&mut self) -> Option<Box<Packet>> {
         debug_assert!(self.busy);
-        match self.queue.pop_front() {
-            Some(pkt) => {
-                self.queue_bytes -= pkt.bytes as u64;
-                Some(pkt)
-            }
+        match self.disc.dequeue() {
+            Some(pkt) => Some(pkt),
             None => {
                 self.busy = false;
                 None
@@ -114,17 +108,18 @@ impl Channel {
     }
 
     pub fn queue_bytes(&self) -> u64 {
-        self.queue_bytes
+        self.disc.queue_bytes()
     }
 
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.disc.queue_len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::switch::TailDropEcn;
     use std::sync::Arc;
 
     fn pkt(bytes: u32) -> Box<Packet> {
@@ -137,13 +132,19 @@ mod tests {
             ack_ecn: false,
             ts: 0,
             hop: 0,
+            prio: 0,
             path: Arc::new(vec![]),
         })
     }
 
     fn chan() -> Channel {
         // 10 Gbps, 100ns prop, 10-packet queue, ECN at 3 packets.
-        Channel::new(1, 10.0, 100, 10 * 1500, 3 * 1500)
+        Channel::new(
+            1,
+            10.0,
+            100,
+            Box::new(TailDropEcn::new(10 * 1500, 3 * 1500)),
+        )
     }
 
     #[test]
@@ -221,7 +222,23 @@ mod tests {
 
     #[test]
     fn serialization_uses_channel_rate() {
-        let c = Channel::new(0, 40.0, 0, 1, 1);
+        let c = Channel::new(0, 40.0, 0, Box::new(TailDropEcn::new(1, 1)));
         assert_eq!(c.ser_ns(1500), 300); // 4x faster than 10G
+    }
+
+    #[test]
+    fn eviction_counts_as_channel_drop() {
+        use crate::switch::PFabricQueue;
+        let mut c = Channel::new(1, 10.0, 100, Box::new(PFabricQueue::new(2 * 1500)));
+        c.offer(pkt(1500)); // in flight
+        let mut low = pkt(1500);
+        low.prio = 9;
+        c.offer(low);
+        c.offer(pkt(1500));
+        let mut urgent = pkt(1500);
+        urgent.prio = 1;
+        urgent.seq = 7;
+        assert_eq!(c.offer(urgent).0, Offer::Queued, "urgent packet must win");
+        assert_eq!(c.drops, 1, "the prio-9 victim is a congestion drop");
     }
 }

@@ -1,0 +1,1233 @@
+//! The engine layer: event heap, clock, and dispatch loop.
+//!
+//! [`Simulator`] owns the three lower layers and wires them together:
+//!
+//! - **time** — an `EventQueue` binary heap of `(t, seq)`-ordered events;
+//!   the monotonically increasing `seq` makes same-timestamp ordering (and
+//!   therefore every run) deterministic,
+//! - **hosts** — [`Flow`] state driven by a pluggable
+//!   [`Transport`] (DCTCP by default; see [`crate::host`]),
+//! - **fabric** — directed [`Channel`](crate::channel::Channel)s with
+//!   per-port [`QueueDiscipline`](crate::switch::QueueDiscipline)s (see
+//!   [`crate::switch`]), degraded by the fault layer ([`crate::fault`]).
+//!
+//! Servers are explicit endpoints attached to their ToR by a pair of host
+//! channels; switches are source-routed (the path is chosen per flowlet at
+//! the sender, which exactly reproduces per-hop ECMP hashing because the
+//! selector hashes per hop — see `dcn-routing`).
+//!
+//! The default transport is DCTCP (Alizadeh et al., SIGCOMM 2010) with the
+//! paper's constants: ECN marking at 20 full packets, flowlet gap 50 µs.
+//! Loss recovery is fast-retransmit on 3 duplicate ACKs plus a go-back-N
+//! RTO — the recovery details matter little since ECN keeps queues from
+//! overflowing at the evaluated loads. The engine owns the
+//! transport-independent halves of recovery (timer arming/backoff,
+//! sequence rewinding, flowlet re-salting); transports decide what happens
+//! to the window.
+
+use crate::channel::Offer;
+use crate::fault::{component_labels, FaultController, FaultPlan, RemappedSelector};
+use crate::host::{transport_for, ChannelPath, Flow, Transport};
+use crate::stats::FlowRecord;
+use crate::switch::{DisciplineFactory, Fabric};
+use crate::types::{Ns, Packet, SimConfig, MS};
+use dcn_routing::ecmp::hash3;
+use dcn_routing::{KspSelector, PathSelector};
+use dcn_topology::{NodeId, Topology};
+use dcn_workloads::FlowEvent;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+const HEADER_BYTES: u32 = 40;
+
+#[derive(Debug)]
+enum Ev {
+    FlowStart(u32),
+    TxFree(u32),
+    Deliver(Box<Packet>),
+    Rto(u32, u32),
+    /// A scheduled fault fires (index into the installed plan's events).
+    Fault(u32),
+    /// The control plane finishes reconverging. Tagged with an epoch so
+    /// that of several queued rebuilds only the newest takes effect.
+    Reconverge(u64),
+}
+
+struct HeapItem {
+    t: Ns,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        Reverse((self.t, self.seq)).cmp(&Reverse((other.t, other.seq)))
+    }
+}
+
+/// The event heap: earliest timestamp first, insertion order (`seq`)
+/// breaking ties, so identical schedules replay identically.
+struct EventQueue {
+    heap: BinaryHeap<HeapItem>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, t: Ns, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(HeapItem {
+            t,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn pop(&mut self) -> Option<HeapItem> {
+        self.heap.pop()
+    }
+}
+
+/// The packet-level simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    now: Ns,
+    queue: EventQueue,
+    fabric: Fabric,
+    flows: Vec<Flow>,
+    transport: Box<dyn Transport>,
+    selector: Box<dyn PathSelector>,
+    window: (Ns, Ns),
+    window_remaining: usize,
+    events_processed: u64,
+    /// Congestion-oracle routing (§7.1 exploration): when set, flowlet
+    /// paths are chosen as the least-queued of the k shortest paths,
+    /// scored against live queue occupancy — an upper bound on what
+    /// adaptive routing could achieve with perfect information.
+    oracle: Option<KspSelector>,
+    /// The full (pre-fault) topology, kept to derive survivor views.
+    topo: Topology,
+    faults: FaultController,
+    /// Bytes newly acknowledged per 1-ms bin (goodput timeline).
+    goodput_bins: Vec<u64>,
+}
+
+impl Simulator {
+    /// Builds a simulator over `topo` using `selector` for ToR-to-ToR
+    /// paths, with the transport and queue discipline named in `cfg`
+    /// ([`SimConfig::transport`] / [`SimConfig::queue_disc`]; DCTCP over
+    /// tail-drop+ECN by default). Server count and placement come from the
+    /// topology's per-switch server counts.
+    pub fn new(topo: &Topology, selector: Box<dyn PathSelector>, cfg: SimConfig) -> Self {
+        Self::with_transport(topo, selector, cfg, transport_for(cfg.transport))
+    }
+
+    /// Like [`Simulator::new`] but with a caller-supplied [`Transport`]
+    /// (external congestion-control implementations plug in here).
+    pub fn with_transport(
+        topo: &Topology,
+        selector: Box<dyn PathSelector>,
+        cfg: SimConfig,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        let kind = cfg.queue_disc;
+        Self::with_parts(topo, selector, cfg, transport, &move |cap, ecn| {
+            kind.build(cap, ecn)
+        })
+    }
+
+    /// Fully explicit constructor: caller-supplied transport *and* a
+    /// per-channel queue-discipline factory (called with each channel's
+    /// byte capacity and ECN threshold).
+    pub fn with_parts(
+        topo: &Topology,
+        selector: Box<dyn PathSelector>,
+        cfg: SimConfig,
+        transport: Box<dyn Transport>,
+        disc: DisciplineFactory,
+    ) -> Self {
+        let fabric = Fabric::build(topo, &cfg, disc);
+        Simulator {
+            cfg,
+            now: 0,
+            queue: EventQueue::new(),
+            fabric,
+            flows: Vec::new(),
+            transport,
+            selector,
+            window: (0, Ns::MAX),
+            window_remaining: 0,
+            events_processed: 0,
+            oracle: None,
+            topo: topo.clone(),
+            faults: FaultController::new(topo.num_links(), topo.num_nodes()),
+            goodput_bins: Vec::new(),
+        }
+    }
+
+    /// Installs a fault plan: every event is scheduled on the event heap
+    /// and the gray-loss RNG is reseeded from the plan, so the same plan
+    /// (and seed) reproduces the identical run. Call before
+    /// [`Simulator::run`].
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        plan.validate(&self.topo);
+        for (at_ns, idx) in self.faults.install(plan) {
+            self.schedule(at_ns, Ev::Fault(idx));
+        }
+    }
+
+    /// Switches the simulator to oracle congestion-aware routing: each
+    /// flowlet takes whichever of the `k` shortest ToR paths currently has
+    /// the least queued bytes (ties broken by the flowlet hash). This uses
+    /// global instantaneous queue state no real scheme could see — use it
+    /// as the adaptive-routing upper bound the paper's §7.1 asks about.
+    ///
+    /// The oracle scores paths on the topology it was given and is *not*
+    /// rebuilt on reconvergence — don't combine it with a fault plan.
+    pub fn enable_oracle_routing(&mut self, topo: &Topology, k: usize) {
+        self.oracle = Some(KspSelector::new(topo, k));
+    }
+
+    /// Number of servers in the simulated network.
+    pub fn num_servers(&self) -> usize {
+        self.fabric.num_servers()
+    }
+
+    /// Name of the active congestion-control transport (e.g. `"dctcp"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// Sets the measurement window `[start, end)`; flows starting inside
+    /// it gate [`Simulator::run`]'s completion condition.
+    pub fn set_window(&mut self, start: Ns, end: Ns) {
+        self.window = (start, end);
+    }
+
+    /// Injects workload flows (times in seconds are converted to ns).
+    /// Call after `set_window`.
+    pub fn inject(&mut self, events: &[FlowEvent]) {
+        for e in events {
+            let start_ns = (e.start_s * 1e9) as Ns;
+            let src = self.fabric.server_id(e.src.rack, e.src.server);
+            let dst = self.fabric.server_id(e.dst.rack, e.dst.server);
+            assert_ne!(src, dst, "flow with identical endpoints");
+            let total_pkts = e.bytes.div_ceil(self.cfg.mss as u64).max(1) as u32;
+            let in_window = start_ns >= self.window.0 && start_ns < self.window.1;
+            if in_window {
+                self.window_remaining += 1;
+            }
+            let id = self.flows.len() as u32;
+            self.flows.push(Flow::new(
+                src,
+                dst,
+                e.src.rack,
+                e.dst.rack,
+                e.bytes,
+                start_ns,
+                total_pkts,
+                self.transport.initial_cwnd(&self.cfg),
+                in_window,
+            ));
+            self.schedule(start_ns, Ev::FlowStart(id));
+        }
+    }
+
+    fn schedule(&mut self, t: Ns, ev: Ev) {
+        debug_assert!(t >= self.now);
+        self.queue.push(t, ev);
+    }
+
+    /// Runs until every measurement-window flow completes (or the heap
+    /// drains / `max_time` is hit). Returns per-flow records.
+    pub fn run(&mut self, max_time: Ns) -> Vec<FlowRecord> {
+        while let Some(item) = self.queue.pop() {
+            if item.t > max_time {
+                break;
+            }
+            self.now = item.t;
+            self.events_processed += 1;
+            match item.ev {
+                Ev::FlowStart(f) => self.on_flow_start(f),
+                Ev::TxFree(ch) => self.on_tx_free(ch),
+                Ev::Deliver(p) => self.on_deliver(p),
+                Ev::Rto(f, epoch) => self.on_rto(f, epoch),
+                Ev::Fault(i) => self.on_fault(i),
+                Ev::Reconverge(epoch) => self.on_reconverge(epoch),
+            }
+            if self.cfg.max_events != 0 && self.events_processed > self.cfg.max_events {
+                panic!(
+                    "event budget exceeded: {} events at t={} ns with {} window flows outstanding",
+                    self.events_processed, self.now, self.window_remaining
+                );
+            }
+            if self.window_remaining == 0 && !self.flows.is_empty() {
+                break;
+            }
+        }
+        // Anything still unfinished when the run stops counts as failed,
+        // so completed + failed covers every injected flow.
+        for fid in 0..self.flows.len() as u32 {
+            self.fail_flow(fid);
+        }
+        self.records()
+    }
+
+    /// Per-flow outcomes.
+    pub fn records(&self) -> Vec<FlowRecord> {
+        self.flows
+            .iter()
+            .map(|f| FlowRecord {
+                start_ns: f.start_ns,
+                size_bytes: f.size_bytes,
+                fct_ns: f.finished_ns.map(|t| t - f.start_ns),
+                failed: f.failed,
+                recovery_ns: match (f.fault_hit_ns, f.recovery_ns) {
+                    (Some(hit), Some(rec)) => Some(rec - hit),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    /// Total congestion tail drops across all channels.
+    pub fn total_congestion_drops(&self) -> u64 {
+        self.fabric.total_congestion_drops()
+    }
+
+    /// Packets lost to injected faults: dead or gray channels, plus
+    /// packets that never left the host because no route existed.
+    pub fn total_fault_drops(&self) -> u64 {
+        self.fabric.total_fault_drops() + self.faults.noroute_drops
+    }
+
+    /// All drops, congestion and fault; equals
+    /// [`Simulator::total_congestion_drops`] in fault-free runs.
+    pub fn total_drops(&self) -> u64 {
+        self.total_congestion_drops() + self.total_fault_drops()
+    }
+
+    /// Bytes newly acknowledged per 1-ms bin since t=0 — the goodput
+    /// timeline robustness plots are drawn from.
+    pub fn goodput_timeline_ms(&self) -> &[u64] {
+        &self.goodput_bins
+    }
+
+    /// Total ECN marks across all channels.
+    pub fn total_marks(&self) -> u64 {
+        self.fabric.total_marks()
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ---- event handlers ----
+
+    fn on_flow_start(&mut self, fid: u32) {
+        let f = &mut self.flows[fid as usize];
+        if f.failed {
+            return; // terminated before it began (disconnected endpoints)
+        }
+        f.rcv_bitmap = vec![0u64; (f.total_pkts as usize).div_ceil(64)];
+        f.window_end = 1;
+        self.arm_rto(fid);
+        self.pump(fid);
+    }
+
+    fn on_tx_free(&mut self, ch_id: u32) {
+        if let Some(pkt) = self.fabric.channels[ch_id as usize].tx_done() {
+            self.start_tx(ch_id, pkt);
+        }
+    }
+
+    fn start_tx(&mut self, ch_id: u32, pkt: Box<Packet>) {
+        let ch = &self.fabric.channels[ch_id as usize];
+        let ser = ch.ser_ns(pkt.bytes);
+        let prop = ch.prop_ns;
+        self.schedule(self.now + ser, Ev::TxFree(ch_id));
+        self.schedule(self.now + ser + prop, Ev::Deliver(pkt));
+    }
+
+    fn send_on(&mut self, ch_id: u32, pkt: Box<Packet>) {
+        let (up, loss) = {
+            let ch = &self.fabric.channels[ch_id as usize];
+            (ch.up, ch.loss_prob)
+        };
+        if !up || (loss > 0.0 && self.faults.gray_loses(loss)) {
+            self.fabric.channels[ch_id as usize].fault_drops += 1;
+            self.note_fault_hit(pkt.flow);
+            return;
+        }
+        if let (Offer::StartTx, Some(p)) = self.fabric.channels[ch_id as usize].offer(pkt) {
+            self.start_tx(ch_id, p)
+        }
+    }
+
+    fn on_deliver(&mut self, mut pkt: Box<Packet>) {
+        let ch = pkt.path[pkt.hop as usize];
+        if !self.fabric.channels[ch as usize].up {
+            // The wire died while this packet was in flight (or queued
+            // behind the transmitter): it is lost.
+            self.fabric.channels[ch as usize].fault_drops += 1;
+            self.note_fault_hit(pkt.flow);
+            return;
+        }
+        let node = self.fabric.channels[ch as usize].to_node;
+        pkt.hop += 1;
+        if node < self.fabric.num_switches {
+            // Switch: source-routed forward onto the next channel.
+            let next = pkt.path[pkt.hop as usize];
+            self.send_on(next, pkt);
+        } else if pkt.is_ack {
+            self.on_ack(pkt);
+        } else {
+            self.on_data(pkt);
+        }
+    }
+
+    // Packets arrive boxed from the event heap; unboxing at the dispatch
+    // site would just move the struct for no benefit.
+    #[allow(clippy::boxed_local)]
+    fn on_data(&mut self, pkt: Box<Packet>) {
+        let fid = pkt.flow;
+        if self.flows[fid as usize].failed {
+            return;
+        }
+        let f = &mut self.flows[fid as usize];
+        debug_assert_eq!(self.fabric.num_switches + f.dst_server, {
+            let last = *pkt.path.last().unwrap();
+            self.fabric.channels[last as usize].to_node
+        });
+        if f.finished_ns.is_none() {
+            f.rcv_mark(pkt.seq);
+            if f.rcv_cum == f.total_pkts {
+                f.finished_ns = Some(self.now);
+                f.rcv_bitmap = Vec::new();
+                if f.in_window {
+                    self.window_remaining -= 1;
+                }
+            }
+        }
+        // Cumulative ACK retracing the data packet's route backwards.
+        let f = &mut self.flows[fid as usize];
+        let rev = match &f.rev_cache {
+            Some((fwd, rev)) if Arc::ptr_eq(fwd, &pkt.path) => rev.clone(),
+            _ => {
+                let rev: ChannelPath = Arc::new(pkt.path.iter().rev().map(|c| c ^ 1).collect());
+                f.rev_cache = Some((pkt.path.clone(), rev.clone()));
+                rev
+            }
+        };
+        let f = &self.flows[fid as usize];
+        let ack = Box::new(Packet {
+            flow: fid,
+            seq: f.rcv_cum,
+            bytes: self.cfg.ack_bytes,
+            ecn_ce: false,
+            is_ack: true,
+            ack_ecn: pkt.ecn_ce,
+            ts: pkt.ts,
+            hop: 0,
+            prio: 0,
+            path: rev,
+        });
+        let first = ack.path[0];
+        self.send_on(first, ack);
+    }
+
+    #[allow(clippy::boxed_local)]
+    fn on_ack(&mut self, ack: Box<Packet>) {
+        let fid = ack.flow;
+        let f = &self.flows[fid as usize];
+        if f.failed || f.acked >= f.total_pkts {
+            return; // sender already done (or flow terminated)
+        }
+        let c = ack.seq;
+        if c > f.acked {
+            // Engine-side accounting of forward progress (independent of
+            // the transport's window reaction).
+            let newly = c - f.acked;
+            let mss64 = self.cfg.mss as u64;
+            // Goodput timeline: credit this ms bin with the new bytes.
+            let before = (f.acked as u64 * mss64).min(f.size_bytes);
+            let after = (c as u64 * mss64).min(f.size_bytes);
+            let bin = (self.now / MS) as usize;
+            if self.goodput_bins.len() <= bin {
+                self.goodput_bins.resize(bin + 1, 0);
+            }
+            self.goodput_bins[bin] += after - before;
+            let f = &mut self.flows[fid as usize];
+            if f.fault_hit_ns.is_some() && f.recovery_ns.is_none() {
+                // First forward progress after a fault-induced loss.
+                f.recovery_ns = Some(self.now);
+            }
+            if ack.ack_ecn {
+                // Feedback for adaptive routing is tracked regardless of
+                // the transport's reaction.
+                f.ecn_total += newly as u64;
+            }
+        }
+        let rtt_ns = self.now - ack.ts;
+        let act = self.transport.on_ack(
+            &mut self.flows[fid as usize],
+            c,
+            ack.ack_ecn,
+            rtt_ns,
+            &self.cfg,
+        );
+        if act.rearm_rto {
+            self.arm_rto(fid);
+        }
+        if let Some(seq) = act.retransmit {
+            self.send_data(fid, seq);
+        }
+        if act.pump {
+            self.pump(fid);
+        }
+    }
+
+    fn arm_rto(&mut self, fid: u32) {
+        let f = &mut self.flows[fid as usize];
+        f.rto_epoch = f.rto_epoch.wrapping_add(1);
+        let rto = ((2.0 * f.srtt) as Ns).max(self.cfg.min_rto_ns) * f.rto_backoff as Ns;
+        let epoch = f.rto_epoch;
+        self.schedule(self.now + rto, Ev::Rto(fid, epoch));
+    }
+
+    fn on_rto(&mut self, fid: u32, epoch: u32) {
+        let f = &self.flows[fid as usize];
+        if f.rto_epoch != epoch || f.acked >= f.total_pkts || f.finished_ns.is_some() || f.failed {
+            return;
+        }
+        // The transport decides the window reaction...
+        self.transport
+            .on_timeout(&mut self.flows[fid as usize], &self.cfg);
+        // ...the engine does the transport-independent go-back-N: rewind,
+        // back the timer off, force a fresh flowlet (the old path may be
+        // the congested one).
+        let f = &mut self.flows[fid as usize];
+        f.next_seq = f.acked;
+        f.in_recovery = false;
+        f.rto_backoff = (f.rto_backoff * 2).min(64);
+        f.cur_path = None;
+        // Re-pin the flowlet hash: if the loss was a failed link the old
+        // hash would keep landing on, the salt steers the retransmission
+        // onto a different equal-cost choice without control-plane help.
+        f.path_salt = f.path_salt.wrapping_add(1);
+        self.arm_rto(fid);
+        self.pump(fid);
+    }
+
+    // ---- fault machinery ----
+
+    fn on_fault(&mut self, idx: u32) {
+        if self.faults.fire(idx, &mut self.fabric) {
+            // Hard (control-plane-visible) fault: reconverge after the
+            // configured delay.
+            let epoch = self.faults.next_epoch();
+            self.schedule(
+                self.now + self.cfg.reconverge_delay_ns,
+                Ev::Reconverge(epoch),
+            );
+        }
+    }
+
+    fn on_reconverge(&mut self, epoch: u64) {
+        if epoch != self.faults.epoch() {
+            return; // a newer fault superseded this rebuild
+        }
+        let (survivor, map) = self.faults.survivor_topology(&self.topo);
+        self.selector = Box::new(RemappedSelector::new(self.selector.rebuild(&survivor), map));
+        // With no fault event still pending, connectivity is final: fail
+        // flows whose endpoints are gone or in different components
+        // instead of letting them back off until max_time.
+        if self.faults.pending() == 0 {
+            let comp = component_labels(&survivor);
+            for fid in 0..self.flows.len() as u32 {
+                let f = &self.flows[fid as usize];
+                let dead = self.faults.switch_is_down(f.src_tor)
+                    || self.faults.switch_is_down(f.dst_tor)
+                    || comp[f.src_tor as usize] != comp[f.dst_tor as usize];
+                if dead {
+                    self.fail_flow(fid);
+                }
+            }
+        }
+    }
+
+    /// Terminates an unfinished flow as failed.
+    fn fail_flow(&mut self, fid: u32) {
+        let f = &mut self.flows[fid as usize];
+        if f.finished_ns.is_some() || f.failed {
+            return;
+        }
+        f.failed = true;
+        f.rcv_bitmap = Vec::new();
+        if f.in_window {
+            self.window_remaining -= 1;
+        }
+    }
+
+    /// Records the first fault-induced loss a flow suffers, anchoring the
+    /// recovery-latency measurement.
+    fn note_fault_hit(&mut self, fid: u32) {
+        let f = &mut self.flows[fid as usize];
+        if f.finished_ns.is_none() && !f.failed && f.fault_hit_ns.is_none() {
+            f.fault_hit_ns = Some(self.now);
+        }
+    }
+
+    fn pump(&mut self, fid: u32) {
+        loop {
+            let f = &self.flows[fid as usize];
+            if f.next_seq >= f.total_pkts {
+                break;
+            }
+            let inflight = (f.next_seq - f.acked) as f64 * self.cfg.mss as f64;
+            if inflight + self.cfg.mss as f64 > f.cwnd + 0.5 {
+                break;
+            }
+            let seq = f.next_seq;
+            self.flows[fid as usize].next_seq += 1;
+            self.send_data(fid, seq);
+        }
+    }
+
+    fn send_data(&mut self, fid: u32, seq: u32) {
+        let gap = self.cfg.flowlet_gap_ns;
+        let f = &self.flows[fid as usize];
+        let needs_new = f.cur_path.is_none() || self.now - f.last_send_ns > gap;
+        if needs_new {
+            // path_salt is 0 until the first RTO, keeping fault-free runs
+            // byte-identical to the unsalted flowlet hash.
+            let key = hash3(
+                fid as u64 ^ f.path_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                f.flowlet_count,
+                0xF10_1E7,
+            );
+            let bytes_sent = f.next_seq as u64 * self.cfg.mss as u64;
+            let path = self.build_path(fid, key, bytes_sent);
+            let f = &mut self.flows[fid as usize];
+            f.flowlet_count += 1;
+            match path {
+                Some(p) => f.cur_path = Some(Arc::new(p)),
+                None => {
+                    // No route right now (selector rebuilt on a view where
+                    // the pair is disconnected): drop at the source. The
+                    // RTO rewinds and retries until a recovery restores
+                    // the route or the flow is failed.
+                    f.cur_path = None;
+                    self.faults.noroute_drops += 1;
+                    self.note_fault_hit(fid);
+                    return;
+                }
+            }
+        }
+        self.transport
+            .on_send(&mut self.flows[fid as usize], seq, &self.cfg);
+        let f = &mut self.flows[fid as usize];
+        f.last_send_ns = self.now;
+        let payload = if seq + 1 == f.total_pkts {
+            (f.size_bytes - seq as u64 * self.cfg.mss as u64) as u32
+        } else {
+            self.cfg.mss
+        };
+        let prio = self
+            .transport
+            .priority(&self.flows[fid as usize], &self.cfg);
+        let f = &self.flows[fid as usize];
+        let pkt = Box::new(Packet {
+            flow: fid,
+            seq,
+            bytes: payload + HEADER_BYTES,
+            ecn_ce: false,
+            is_ack: false,
+            ack_ecn: false,
+            ts: self.now,
+            hop: 0,
+            prio,
+            path: f.cur_path.clone().unwrap(),
+        });
+        let first = pkt.path[0];
+        self.send_on(first, pkt);
+    }
+
+    /// Oracle scoring: queued bytes along each KSP candidate, walking the
+    /// candidate's links into directed channels from `src`.
+    fn least_queued(&self, ksp: &KspSelector, src: NodeId, dst: NodeId, key: u64) -> Vec<u32> {
+        let candidates = ksp.candidate_paths(src, dst);
+        let mut best: Option<(u64, u64, &Vec<u32>)> = None;
+        for (i, links) in candidates.iter().enumerate() {
+            let mut u = src;
+            let mut queued = 0u64;
+            for &l in links {
+                let link = self.fabric.links[l as usize];
+                let ch = if link.a == u { 2 * l } else { 2 * l + 1 };
+                u = link.other(u);
+                queued += self.fabric.channels[ch as usize].queue_bytes();
+            }
+            let tie = hash3(key, i as u64, 0x07AC1E);
+            if best.is_none_or(|(q, t, _)| (queued, tie) < (q, t)) {
+                best = Some((queued, tie, links));
+            }
+        }
+        best.expect("ksp returns at least one path").2.clone()
+    }
+
+    /// Builds the channel path server→…→server for a flowlet, or `None`
+    /// when the selector has no route for the pair (post-fault view).
+    fn build_path(&self, fid: u32, key: u64, bytes_sent: u64) -> Option<Vec<u32>> {
+        let f = &self.flows[fid as usize];
+        let up = self.fabric.host_ch_base + 2 * f.src_server;
+        let down = self.fabric.host_ch_base + 2 * f.dst_server + 1;
+        let mut path = Vec::with_capacity(8);
+        path.push(up);
+        if f.src_tor != f.dst_tor {
+            let links = match &self.oracle {
+                Some(ksp) => self.least_queued(ksp, f.src_tor, f.dst_tor, key),
+                None => self.selector.select_with_feedback(
+                    f.src_tor,
+                    f.dst_tor,
+                    key,
+                    bytes_sent,
+                    f.ecn_total,
+                ),
+            };
+            if links.is_empty() {
+                return None;
+            }
+            let mut u = f.src_tor;
+            for l in links {
+                let link = self.fabric.links[l as usize];
+                if link.a == u {
+                    path.push(2 * l);
+                    u = link.b;
+                } else {
+                    debug_assert_eq!(link.b, u);
+                    path.push(2 * l + 1);
+                    u = link.a;
+                }
+            }
+            debug_assert_eq!(u, f.dst_tor);
+        }
+        path.push(down);
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::compute_metrics;
+    use crate::types::{MS, SEC, US};
+    use dcn_routing::RoutingSuite;
+    use dcn_topology::fattree::FatTree;
+    use dcn_topology::xpander::Xpander;
+    use dcn_workloads::tm::Endpoint;
+
+    fn flow(start_s: f64, src: (u32, u32), dst: (u32, u32), bytes: u64) -> FlowEvent {
+        FlowEvent {
+            start_s,
+            src: Endpoint {
+                rack: src.0,
+                server: src.1,
+            },
+            dst: Endpoint {
+                rack: dst.0,
+                server: dst.1,
+            },
+            bytes,
+        }
+    }
+
+    fn fat_tree_sim() -> Simulator {
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default())
+    }
+
+    #[test]
+    fn single_small_flow_completes_fast() {
+        let mut sim = fat_tree_sim();
+        // Rack 0 server 0 → rack 12 (other pod) server 1, 10 KB.
+        sim.inject(&[flow(0.0, (0, 0), (12, 1), 10_000)]);
+        let rec = sim.run(SEC);
+        let fct = rec[0].fct_ns.expect("flow must finish");
+        // 7 packets, cwnd 10 ⇒ one window: ~6 hops × (1.2 µs + 0.1 µs).
+        assert!(fct > 5 * US && fct < 100 * US, "fct {fct} ns");
+    }
+
+    #[test]
+    fn long_flow_achieves_near_line_rate() {
+        let mut sim = fat_tree_sim();
+        sim.inject(&[flow(0.0, (0, 0), (12, 0), 10_000_000)]);
+        let rec = sim.run(10 * SEC);
+        let fct = rec[0].fct_ns.unwrap() as f64;
+        let gbps = 10_000_000.0 * 8.0 / fct;
+        assert!(gbps > 8.0, "throughput {gbps} Gbps");
+    }
+
+    #[test]
+    fn same_rack_flow_works() {
+        let mut sim = fat_tree_sim();
+        sim.inject(&[flow(0.0, (0, 0), (0, 1), 100_000)]);
+        let rec = sim.run(SEC);
+        assert!(rec[0].fct_ns.is_some());
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_fairly() {
+        // Two senders on different racks to the same destination server:
+        // the server downlink is the bottleneck; DCTCP should split it.
+        let mut sim = fat_tree_sim();
+        sim.inject(&[
+            flow(0.0, (0, 0), (12, 0), 5_000_000),
+            flow(0.0, (4, 0), (12, 0), 5_000_000),
+        ]);
+        let rec = sim.run(30 * SEC);
+        let f0 = rec[0].fct_ns.unwrap() as f64;
+        let f1 = rec[1].fct_ns.unwrap() as f64;
+        // Each gets ≈5 Gbps ⇒ ≈8 ms; allow generous slack.
+        for f in [f0, f1] {
+            let gbps = 5_000_000.0 * 8.0 / f;
+            assert!(gbps > 3.0 && gbps < 7.5, "per-flow {gbps} Gbps");
+        }
+        assert!((f0 / f1 - 1.0).abs() < 0.5, "unfair split {f0} vs {f1}");
+    }
+
+    #[test]
+    fn ecn_prevents_drops_at_moderate_fanin() {
+        let mut sim = fat_tree_sim();
+        sim.inject(&[
+            flow(0.0, (0, 0), (12, 0), 2_000_000),
+            flow(0.0, (4, 0), (12, 0), 2_000_000),
+        ]);
+        sim.run(30 * SEC);
+        assert!(sim.total_marks() > 0, "DCTCP should be marking");
+        assert_eq!(sim.total_drops(), 0, "ECN should prevent drops");
+    }
+
+    #[test]
+    fn survives_heavy_incast_with_drops() {
+        // 8-to-1 incast into one server at tiny queues: drops happen but
+        // all flows still complete via retransmission.
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let cfg = SimConfig {
+            queue_pkts: 10,
+            ecn_k_pkts: 4,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+        let racks = [4u32, 5, 8, 9];
+        let flows: Vec<FlowEvent> = (0..8)
+            .map(|i| flow(0.0, (racks[i % 4], (i / 4) as u32), (0, 0), 500_000))
+            .collect();
+        sim.inject(&flows);
+        let rec = sim.run(60 * SEC);
+        assert!(sim.total_drops() > 0, "expected drops at queue=10");
+        for r in &rec {
+            assert!(r.fct_ns.is_some(), "flow lost to incast");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = fat_tree_sim();
+            sim.inject(&[
+                flow(0.0, (0, 0), (12, 0), 1_000_000),
+                flow(0.0001, (4, 1), (8, 1), 300_000),
+                flow(0.0002, (8, 0), (0, 1), 50_000),
+            ]);
+            sim.run(10 * SEC)
+                .iter()
+                .map(|r| r.fct_ns)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn vlb_and_hyb_complete_on_xpander() {
+        let t = Xpander::new(5, 8, 2, 3).build();
+        for mode in 0..3 {
+            let suite = RoutingSuite::new(&t);
+            let sel: Box<dyn PathSelector> = match mode {
+                0 => Box::new(suite.ecmp()),
+                1 => Box::new(suite.vlb()),
+                _ => Box::new(suite.hyb(dcn_routing::PAPER_Q_BYTES)),
+            };
+            let mut sim = Simulator::new(&t, sel, SimConfig::default());
+            sim.inject(&[
+                flow(0.0, (0, 0), (1, 0), 2_000_000),
+                flow(0.0, (2, 1), (7, 1), 50_000),
+            ]);
+            let rec = sim.run(10 * SEC);
+            assert!(
+                rec.iter().all(|r| r.fct_ns.is_some()),
+                "mode {mode} incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn newreno_fills_queues_where_dctcp_marks() {
+        // Same fan-in: DCTCP keeps queues at K via marks; NewReno runs
+        // them into tail drops instead.
+        let t = FatTree::full(4).build();
+        let mk = |cfg: SimConfig| {
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+            sim.inject(&[
+                flow(0.0, (0, 0), (12, 0), 4_000_000),
+                flow(0.0, (4, 0), (12, 0), 4_000_000),
+            ]);
+            let rec = sim.run(60 * SEC);
+            assert!(rec.iter().all(|r| r.fct_ns.is_some()));
+            (sim.total_marks(), sim.total_drops())
+        };
+        let (dctcp_marks, dctcp_drops) = mk(SimConfig::default());
+        let (_, reno_drops) = mk(SimConfig::default().with_newreno());
+        assert!(dctcp_marks > 0);
+        assert_eq!(dctcp_drops, 0, "DCTCP should avoid drops here");
+        assert!(reno_drops > 0, "NewReno should be loss-driven");
+    }
+
+    #[test]
+    fn pfabric_completes_and_never_marks() {
+        // The new transport/queue pair runs end-to-end through the same
+        // engine: fan-in traffic completes, schedules by remaining size,
+        // and produces no ECN marks (pFabric has no marking).
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(
+            &t,
+            Box::new(suite.ecmp()),
+            SimConfig::default().with_pfabric(),
+        );
+        assert_eq!(sim.transport_name(), "pfabric");
+        sim.inject(&[
+            flow(0.0, (0, 0), (12, 0), 4_000_000),
+            flow(0.0, (4, 0), (12, 0), 4_000_000),
+            flow(0.0, (8, 0), (12, 0), 50_000),
+        ]);
+        let rec = sim.run(60 * SEC);
+        assert!(rec.iter().all(|r| r.fct_ns.is_some()), "pfabric incomplete");
+        assert_eq!(sim.total_marks(), 0, "pfabric must not ECN-mark");
+        // Strict priority: the short flow finishes far ahead of the long
+        // ones it shares the destination downlink with.
+        let short = rec[2].fct_ns.unwrap();
+        let long = rec[0].fct_ns.unwrap().min(rec[1].fct_ns.unwrap());
+        assert!(
+            short * 10 < long,
+            "short flow {short} ns should preempt long {long} ns"
+        );
+    }
+
+    #[test]
+    fn pfabric_deterministic_across_runs() {
+        let run = || {
+            let t = FatTree::full(4).build();
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(
+                &t,
+                Box::new(suite.ecmp()),
+                SimConfig::default().with_pfabric(),
+            );
+            sim.inject(&[
+                flow(0.0, (0, 0), (12, 0), 1_000_000),
+                flow(0.0001, (4, 1), (8, 1), 300_000),
+            ]);
+            sim.run(10 * SEC)
+                .iter()
+                .map(|r| r.fct_ns)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oracle_routing_beats_ecmp_between_neighbors() {
+        // The Fig 7b pathology: all traffic between two adjacent racks.
+        // ECMP is stuck on the direct link; the oracle spreads flowlets
+        // over the least-queued of the k shortest paths.
+        let t = Xpander::new(5, 8, 3, 3).build();
+        let l = t.link(0);
+        let flows: Vec<FlowEvent> = (0..6)
+            .map(|i| flow(0.0, (l.a, i % 3), (l.b, (i + 1) % 3), 3_000_000))
+            .collect();
+        let run = |oracle: bool| {
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+            if oracle {
+                sim.enable_oracle_routing(&t, 8);
+            }
+            sim.inject(&flows);
+            let rec = sim.run(60 * SEC);
+            rec.iter().map(|r| r.fct_ns.unwrap()).max().unwrap()
+        };
+        let ecmp = run(false);
+        let oracle = run(true);
+        assert!(
+            (oracle as f64) < ecmp as f64 * 0.75,
+            "oracle {oracle} not clearly better than ecmp {ecmp}"
+        );
+    }
+
+    #[test]
+    fn oracle_routing_deterministic() {
+        let t = Xpander::new(4, 6, 2, 1).build();
+        let run = || {
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+            sim.enable_oracle_routing(&t, 4);
+            sim.inject(&[
+                flow(0.0, (0, 0), (9, 1), 800_000),
+                flow(0.0001, (3, 1), (12, 0), 500_000),
+            ]);
+            sim.run(30 * SEC)
+                .iter()
+                .map(|r| r.fct_ns)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn window_gating_stops_run() {
+        let mut sim = fat_tree_sim();
+        sim.set_window(0, MS);
+        sim.inject(&[
+            flow(0.0, (0, 0), (12, 0), 10_000),
+            // Outside the window; the run may stop before it finishes.
+            flow(1.0, (4, 0), (8, 0), 10_000),
+        ]);
+        let rec = sim.run(10 * SEC);
+        assert!(rec[0].fct_ns.is_some());
+        let m = compute_metrics(&rec, 0, MS);
+        assert_eq!(m.flows, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn flow_survives_link_down_then_up() {
+        // Kill the only inter-rack link mid-flow, restore it later: the
+        // flow must lose packets to the fault, stall, and still finish
+        // after recovery.
+        let t = {
+            let mut t = dcn_topology::Topology::new("two-racks");
+            let a = t.add_node(dcn_topology::NodeKind::Tor, 2);
+            let b = t.add_node(dcn_topology::NodeKind::Tor, 2);
+            t.add_link(a, b);
+            t
+        };
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow(0.0, (0, 0), (1, 0), 5_000_000)]);
+        sim.set_fault_plan(&FaultPlan::new().link_down(MS, 0).link_up(20 * MS, 0));
+        let rec = sim.run(60 * SEC);
+        assert!(sim.total_fault_drops() > 0, "no packets hit the dead link");
+        let fct = rec[0].fct_ns.expect("flow must finish after recovery");
+        assert!(!rec[0].failed);
+        // 5 MB at 10 Gbps is ~4 ms; the 19 ms outage dominates the FCT.
+        assert!(
+            fct > 19 * MS,
+            "fct {fct} ns too fast to have seen the outage"
+        );
+        let recovery = rec[0].recovery_ns.expect("flow should have recovered");
+        assert!(recovery > 0 && recovery < 40 * MS, "recovery {recovery} ns");
+    }
+
+    #[test]
+    fn fault_drops_separate_from_congestion_drops() {
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow(0.0, (0, 0), (12, 0), 2_000_000)]);
+        // Take down one of ToR 0's uplinks, which the flow may hash onto;
+        // ECMP re-salts around it via RTO, no congestion drops expected.
+        let l = t.neighbors(0)[0].1;
+        sim.set_fault_plan(&FaultPlan::new().link_down(0, l).link_up(30 * MS, l));
+        sim.run(60 * SEC);
+        assert_eq!(sim.total_congestion_drops(), 0);
+        assert_eq!(sim.total_drops(), sim.total_fault_drops());
+    }
+
+    #[test]
+    fn gray_link_drops_but_flow_completes() {
+        let t = {
+            let mut t = dcn_topology::Topology::new("two-racks");
+            let a = t.add_node(dcn_topology::NodeKind::Tor, 1);
+            let b = t.add_node(dcn_topology::NodeKind::Tor, 1);
+            t.add_link(a, b);
+            t
+        };
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow(0.0, (0, 0), (1, 0), 1_000_000)]);
+        sim.set_fault_plan(&FaultPlan::new().with_seed(7).link_gray(0, 0, 0.02));
+        let rec = sim.run(60 * SEC);
+        assert!(
+            sim.total_fault_drops() > 0,
+            "2% loss should hit ~685 packets"
+        );
+        assert_eq!(sim.total_congestion_drops(), 0);
+        assert!(rec[0].fct_ns.is_some(), "flow must survive gray loss");
+    }
+
+    #[test]
+    fn permanent_disconnection_fails_flows() {
+        // Two racks joined by one link; cutting it forever must fail the
+        // inter-rack flow (after reconvergence) while the same-rack flow
+        // completes — and the run must terminate, not hang.
+        let t = {
+            let mut t = dcn_topology::Topology::new("two-racks");
+            let a = t.add_node(dcn_topology::NodeKind::Tor, 2);
+            let b = t.add_node(dcn_topology::NodeKind::Tor, 2);
+            t.add_link(a, b);
+            t
+        };
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[
+            flow(0.0, (0, 0), (1, 0), 5_000_000),
+            flow(0.0, (0, 0), (0, 1), 100_000),
+        ]);
+        sim.set_fault_plan(&FaultPlan::new().link_down(MS, 0));
+        let rec = sim.run(60 * SEC);
+        assert!(rec[0].failed, "disconnected flow must be failed");
+        assert!(rec[0].fct_ns.is_none());
+        assert!(rec[1].fct_ns.is_some(), "same-rack flow unaffected");
+        let m = compute_metrics(&rec, 0, SEC);
+        assert_eq!(m.flows, 2);
+        assert_eq!(m.completed + m.failed, 2);
+    }
+
+    #[test]
+    fn switch_down_and_up_behaves_like_links() {
+        // Killing an aggregation switch in a k=4 fat-tree leaves 3 others;
+        // flows reroute and complete. ToR 0's rack is NOT behind it.
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow(0.0, (0, 0), (12, 0), 2_000_000)]);
+        // Node ids: ToRs come first (16), then aggs. Kill the first agg.
+        let agg = (0..t.num_nodes() as u32)
+            .find(|&n| t.kind(n) == dcn_topology::NodeKind::Aggregation)
+            .unwrap();
+        sim.set_fault_plan(
+            &FaultPlan::new()
+                .switch_down(MS, agg)
+                .switch_up(10 * MS, agg),
+        );
+        let rec = sim.run(60 * SEC);
+        assert!(rec[0].fct_ns.is_some(), "flow must survive an agg failure");
+    }
+
+    #[test]
+    fn rto_backoff_doubles_then_resets_on_ack() {
+        // Drive repeated RTOs by cutting the only link, then verify the
+        // documented backoff law on the private flow state: doubling per
+        // epoch, capped at 64, reset to 1 by the first new ACK.
+        let t = {
+            let mut t = dcn_topology::Topology::new("two-racks");
+            let a = t.add_node(dcn_topology::NodeKind::Tor, 1);
+            let b = t.add_node(dcn_topology::NodeKind::Tor, 1);
+            t.add_link(a, b);
+            t
+        };
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow(0.0, (0, 0), (1, 0), 1_000_000)]);
+        sim.set_fault_plan(&FaultPlan::new().link_down(0, 0).link_up(400 * MS, 0));
+        // Long outage ⇒ many RTO epochs: 1,2,4,...,64,64,... Run up to
+        // just before recovery and check the cap was reached.
+        sim.run(399 * MS);
+        assert_eq!(
+            sim.flows[0].rto_backoff, 64,
+            "backoff should saturate at 64"
+        );
+        assert!(
+            sim.flows[0].path_salt > 0,
+            "RTOs must re-salt the path hash"
+        );
+        // Fresh sim, same plan, run to completion: new ACKs reset backoff.
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+        sim.inject(&[flow(0.0, (0, 0), (1, 0), 1_000_000)]);
+        sim.set_fault_plan(&FaultPlan::new().link_down(0, 0).link_up(400 * MS, 0));
+        let rec = sim.run(60 * SEC);
+        assert!(rec[0].fct_ns.is_some());
+        assert_eq!(sim.flows[0].rto_backoff, 1, "ACKs must reset the backoff");
+    }
+
+    #[test]
+    fn goodput_timeline_accounts_all_bytes() {
+        let mut sim = fat_tree_sim();
+        sim.inject(&[flow(0.0, (0, 0), (12, 0), 3_000_000)]);
+        sim.run(60 * SEC);
+        let total: u64 = sim.goodput_timeline_ms().iter().sum();
+        // The run stops when the receiver finishes, so up to one window of
+        // final ACKs may never reach the sender's accounting.
+        assert!(total <= 3_000_000, "timeline over-credits: {total}");
+        assert!(total > 2_800_000, "timeline under-credits: {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exceeded")]
+    fn watchdog_trips_on_event_budget() {
+        let t = FatTree::full(4).build();
+        let suite = RoutingSuite::new(&t);
+        let cfg = SimConfig {
+            max_events: 50,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+        sim.inject(&[flow(0.0, (0, 0), (12, 0), 10_000_000)]);
+        sim.run(60 * SEC);
+    }
+
+    #[test]
+    fn unconstrained_server_links_speed_up_fanin() {
+        // With 1000 Gbps host links, two senders into one server are no
+        // longer bottlenecked at the destination downlink.
+        let t = FatTree::full(4).build();
+        let mk = |cfg: SimConfig| {
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+            sim.inject(&[
+                flow(0.0, (0, 0), (12, 0), 3_000_000),
+                flow(0.0, (4, 0), (12, 0), 3_000_000),
+            ]);
+            let rec = sim.run(30 * SEC);
+            rec.iter().map(|r| r.fct_ns.unwrap()).max().unwrap()
+        };
+        let constrained = mk(SimConfig::default());
+        let unconstrained = mk(SimConfig::default().unconstrained_servers());
+        assert!(
+            (unconstrained as f64) < constrained as f64 * 0.8,
+            "unconstrained {unconstrained} vs constrained {constrained}"
+        );
+    }
+}

@@ -21,7 +21,9 @@
 //! [`crate::Simulator::set_fault_plan`], and the same plan + same seed
 //! reproduces the identical simulation.
 
+use crate::switch::Fabric;
 use crate::types::Ns;
+use dcn_rng::Rng;
 use dcn_routing::PathSelector;
 use dcn_topology::{LinkId, NodeId, Topology};
 
@@ -186,6 +188,162 @@ impl FaultPlan {
             }
         }
     }
+}
+
+/// The fault layer's runtime state: which links/switches are currently
+/// down, the not-yet-fired schedule, the reconvergence epoch counter, and
+/// the seeded gray-loss RNG. The engine owns one and routes every fault
+/// event through it; the controller in turn degrades the [`Fabric`] — the
+/// engine never flips channel state itself.
+pub(crate) struct FaultController {
+    events: Vec<FaultEvent>,
+    /// Scheduled fault events not yet fired; when zero, the current
+    /// connectivity is final and disconnected flows can be failed.
+    pending: usize,
+    /// Bumped per hard fault so that of several queued control-plane
+    /// rebuilds only the newest takes effect.
+    epoch: u64,
+    down_links: Vec<bool>,
+    down_sw: Vec<bool>,
+    /// Seeded from the fault plan; drawn only for gray-link losses, so
+    /// fault-free runs never touch it.
+    rng: Rng,
+    /// Packets dropped at the source because the selector had no route.
+    pub(crate) noroute_drops: u64,
+}
+
+impl FaultController {
+    pub(crate) fn new(num_links: usize, num_nodes: usize) -> Self {
+        FaultController {
+            events: Vec::new(),
+            pending: 0,
+            epoch: 0,
+            down_links: vec![false; num_links],
+            down_sw: vec![false; num_nodes],
+            rng: Rng::seed_from_u64(0),
+            noroute_drops: 0,
+        }
+    }
+
+    /// Adopts a plan's events and reseeds the gray-loss RNG from it.
+    /// Returns `(fire_time, event_index)` pairs for the engine to put on
+    /// its heap — scheduling stays the engine's job.
+    pub(crate) fn install(&mut self, plan: &FaultPlan) -> Vec<(Ns, u32)> {
+        self.rng = Rng::seed_from_u64(plan.seed);
+        let mut schedule = Vec::with_capacity(plan.events().len());
+        for e in plan.events() {
+            let idx = self.events.len() as u32;
+            self.events.push(*e);
+            self.pending += 1;
+            schedule.push((e.at_ns, idx));
+        }
+        schedule
+    }
+
+    /// Fires scheduled event `idx` against the fabric. Returns `true` when
+    /// the fault is control-plane visible (hard link/switch change) and the
+    /// engine must schedule a reconvergence; gray events return `false`.
+    pub(crate) fn fire(&mut self, idx: u32, fabric: &mut Fabric) -> bool {
+        self.pending -= 1;
+        match self.events[idx as usize].kind {
+            FaultKind::LinkDown(l) => self.set_link(l, true, fabric),
+            FaultKind::LinkUp(l) => self.set_link(l, false, fabric),
+            FaultKind::SwitchDown(n) => self.set_switch(n, true, fabric),
+            FaultKind::SwitchUp(n) => self.set_switch(n, false, fabric),
+            // Gray failures are invisible to the control plane: no
+            // reconvergence, just per-packet losses in both directions.
+            FaultKind::LinkGray(l, p) => {
+                fabric.channels[2 * l as usize].loss_prob = p;
+                fabric.channels[2 * l as usize + 1].loss_prob = p;
+                return false;
+            }
+            FaultKind::LinkClear(l) => {
+                fabric.channels[2 * l as usize].loss_prob = 0.0;
+                fabric.channels[2 * l as usize + 1].loss_prob = 0.0;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn set_link(&mut self, l: LinkId, down: bool, fabric: &mut Fabric) {
+        self.down_links[l as usize] = down;
+        fabric.apply_fault_state(&self.down_links, &self.down_sw);
+    }
+
+    fn set_switch(&mut self, n: NodeId, down: bool, fabric: &mut Fabric) {
+        self.down_sw[n as usize] = down;
+        fabric.apply_fault_state(&self.down_links, &self.down_sw);
+    }
+
+    /// One per-packet gray-loss draw.
+    pub(crate) fn gray_loses(&mut self, loss_prob: f64) -> bool {
+        self.rng.gen_bool(loss_prob)
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Claims the next reconvergence epoch (stale rebuilds compare against
+    /// [`FaultController::epoch`] and bail).
+    pub(crate) fn next_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    pub(crate) fn switch_is_down(&self, n: NodeId) -> bool {
+        self.down_sw[n as usize]
+    }
+
+    /// The view the control plane reconverges on: same node ids, only the
+    /// surviving links. Also returns the survivor→original link id map.
+    pub(crate) fn survivor_topology(&self, full: &Topology) -> (Topology, Vec<LinkId>) {
+        let mut t = Topology::new(format!("{}-survivor", full.name()));
+        for n in full.nodes() {
+            t.add_node(full.kind(n), full.servers_at(n));
+        }
+        let mut map = Vec::new();
+        for (l, link) in full.links().iter().enumerate() {
+            let up = !self.down_links[l]
+                && !self.down_sw[link.a as usize]
+                && !self.down_sw[link.b as usize];
+            if up {
+                t.add_link_cap(link.a, link.b, link.capacity);
+                map.push(l as LinkId);
+            }
+        }
+        (t, map)
+    }
+}
+
+/// Connected-component label per node (BFS sweep).
+pub(crate) fn component_labels(t: &Topology) -> Vec<u32> {
+    let n = t.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in t.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
 }
 
 /// A selector rebuilt against a survivor topology, translating its link

@@ -4,10 +4,23 @@
 //! replacement for the netbench framework used by *"Beyond fat-trees
 //! without antennae, mirrors, and disco-balls"* (SIGCOMM 2017, §6).
 //!
+//! The simulator is layered (see `DESIGN.md` for the full contract):
+//!
+//! - [`engine`] — event heap, clock, and dispatch loop ([`Simulator`]);
+//! - [`host`] — per-flow state behind the pluggable [`Transport`] trait
+//!   ([`Dctcp`] by default; [`NewReno`] and [`PFabric`] ship too);
+//! - [`switch`] — per-port queues behind the [`QueueDiscipline`] trait
+//!   ([`TailDropEcn`] by default, [`PFabricQueue`] for strict priority);
+//! - [`fault`] — deterministic link/switch failure schedules.
+//!
 //! Model: output-queued switches with tail-drop queues and DCTCP-style ECN
 //! marking, full-duplex links with serialization + propagation delay,
 //! per-flow DCTCP senders, and flowlet-granularity path selection through
 //! any [`dcn_routing::PathSelector`] (ECMP / VLB / HYB).
+//!
+//! The default constructor reads the transport and queue discipline from
+//! [`SimConfig`]; [`Simulator::with_transport`] and
+//! [`Simulator::with_parts`] accept custom trait objects:
 //!
 //! ```
 //! use dcn_sim::{Simulator, SimConfig, compute_metrics, SEC};
@@ -16,22 +29,41 @@
 //! use dcn_workloads::{tm::AllToAll, fsize::FixedSize, generate_flows};
 //!
 //! let t = FatTree::full(4).build();
+//! let pattern = AllToAll::new(&t, t.tors_with_servers());
+//! let flows = generate_flows(&pattern, &FixedSize(10_000), 500.0, 0.01, 7);
+//!
+//! // DCTCP over tail-drop+ECN switches (the paper's setup) ...
 //! let suite = RoutingSuite::new(&t);
 //! let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-//! let pattern = AllToAll::new(&t, t.tors_with_servers());
-//! sim.inject(&generate_flows(&pattern, &FixedSize(10_000), 500.0, 0.01, 7));
-//! let records = sim.run(SEC);
-//! let m = compute_metrics(&records, 0, SEC);
+//! sim.inject(&flows);
+//! let m = compute_metrics(&sim.run(SEC), 0, SEC);
+//! assert_eq!(m.completed, m.flows);
+//!
+//! // ... or any transport/queue-discipline pair, e.g. pFabric:
+//! let suite = RoutingSuite::new(&t);
+//! let mut sim = Simulator::new(
+//!     &t,
+//!     Box::new(suite.ecmp()),
+//!     SimConfig::default().with_pfabric(),
+//! );
+//! assert_eq!(sim.transport_name(), "pfabric");
+//! sim.inject(&flows);
+//! let m = compute_metrics(&sim.run(SEC), 0, SEC);
 //! assert_eq!(m.completed, m.flows);
 //! ```
 
 pub mod channel;
+pub mod engine;
 pub mod fault;
+pub mod host;
 pub mod net;
 pub mod stats;
+pub mod switch;
 pub mod types;
 
+pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
-pub use net::Simulator;
+pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};
 pub use stats::{compute_metrics, percentile, FlowRecord, Metrics, SHORT_FLOW_BYTES};
-pub use types::{Ns, Packet, SimConfig, Transport, MS, SEC, US};
+pub use switch::{DisciplineFactory, EnqueueOutcome, PFabricQueue, QueueDiscipline, TailDropEcn};
+pub use types::{Ns, Packet, QueueDiscKind, SimConfig, TransportKind, MS, SEC, US};

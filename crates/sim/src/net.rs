@@ -1,1417 +1,9 @@
-//! The discrete-event engine: topology + routing + DCTCP flows.
+//! Backwards-compatibility facade for the pre-layering module layout.
 //!
-//! Servers are explicit endpoints attached to their ToR by a pair of host
-//! channels; switches are source-routed (the path is chosen per flowlet at
-//! the sender, which exactly reproduces per-hop ECMP hashing because the
-//! selector hashes per hop — see `dcn-routing`).
-//!
-//! The transport is DCTCP (Alizadeh et al., SIGCOMM 2010) with the paper's
-//! constants: ECN marking at 20 full packets, flowlet gap 50 µs. Loss
-//! recovery is fast-retransmit on 3 duplicate ACKs plus a go-back-N RTO —
-//! the recovery details matter little since ECN keeps queues from
-//! overflowing at the evaluated loads.
-
-use crate::channel::{Channel, Offer};
-use crate::fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
-use crate::stats::FlowRecord;
-use crate::types::{Ns, Packet, SimConfig, MS};
-use dcn_rng::Rng;
-use dcn_routing::ecmp::hash3;
-use dcn_routing::{KspSelector, PathSelector};
-use dcn_topology::{Link, LinkId, NodeId, Topology};
-use dcn_workloads::FlowEvent;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::Arc;
-
-const HEADER_BYTES: u32 = 40;
-
-/// A shared source-route: the channel ids a flowlet's packets traverse.
-type ChannelPath = Arc<Vec<u32>>;
-
-#[derive(Debug)]
-enum Ev {
-    FlowStart(u32),
-    TxFree(u32),
-    Deliver(Box<Packet>),
-    Rto(u32, u32),
-    /// A scheduled fault fires (index into the installed plan's events).
-    Fault(u32),
-    /// The control plane finishes reconverging. Tagged with an epoch so
-    /// that of several queued rebuilds only the newest takes effect.
-    Reconverge(u64),
-}
-
-struct HeapItem {
-    t: Ns,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for HeapItem {}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first.
-        Reverse((self.t, self.seq)).cmp(&Reverse((other.t, other.seq)))
-    }
-}
-
-/// Per-flow sender + receiver state.
-struct Flow {
-    src_server: u32,
-    dst_server: u32,
-    src_tor: NodeId,
-    dst_tor: NodeId,
-    size_bytes: u64,
-    start_ns: Ns,
-    total_pkts: u32,
-    // --- sender ---
-    next_seq: u32,
-    acked: u32,
-    cwnd: f64,
-    ssthresh: f64,
-    alpha: f64,
-    ecn_acked: u32,
-    /// Lifetime count of ECN-marked ACKs (feedback for adaptive routing).
-    ecn_total: u64,
-    window_acked: u32,
-    window_end: u32,
-    cwnd_cut_this_window: bool,
-    dupacks: u32,
-    /// NewReno-style recovery: while `acked < recover`, no further window
-    /// reductions from duplicate ACKs; partial ACKs retransmit the next
-    /// hole immediately.
-    in_recovery: bool,
-    recover: u32,
-    srtt: f64,
-    rto_backoff: u32,
-    rto_epoch: u32,
-    // --- flowlets ---
-    last_send_ns: Ns,
-    flowlet_count: u64,
-    cur_path: Option<Arc<Vec<u32>>>,
-    // --- receiver ---
-    rcv_bitmap: Vec<u64>,
-    rcv_cum: u32,
-    /// Cache: forward path pointer → its reversed channels, so per-packet
-    /// ACKs reuse one allocation per flowlet.
-    rev_cache: Option<(ChannelPath, ChannelPath)>,
-    finished_ns: Option<Ns>,
-    in_window: bool,
-    // --- faults ---
-    /// Terminated by the simulator: endpoints permanently disconnected,
-    /// or still unfinished when the run stopped.
-    failed: bool,
-    /// When this flow first lost a packet to an injected fault.
-    fault_hit_ns: Option<Ns>,
-    /// When it next made forward progress (new cumulative ACK) after that.
-    recovery_ns: Option<Ns>,
-    /// Folded into the flowlet hash; bumped on RTO so retransmissions
-    /// explore different paths (sender-side reroute around failures).
-    path_salt: u64,
-}
-
-impl Flow {
-    fn rcv_mark(&mut self, seq: u32) {
-        let (w, b) = ((seq / 64) as usize, seq % 64);
-        self.rcv_bitmap[w] |= 1 << b;
-        while self.rcv_cum < self.total_pkts {
-            let (w, b) = ((self.rcv_cum / 64) as usize, self.rcv_cum % 64);
-            if self.rcv_bitmap[w] & (1 << b) == 0 {
-                break;
-            }
-            self.rcv_cum += 1;
-        }
-    }
-}
-
-/// The packet-level simulator.
-pub struct Simulator {
-    cfg: SimConfig,
-    now: Ns,
-    heap: BinaryHeap<HeapItem>,
-    ev_seq: u64,
-    channels: Vec<Channel>,
-    links: Vec<Link>,
-    flows: Vec<Flow>,
-    selector: Box<dyn PathSelector>,
-    num_switches: u32,
-    host_ch_base: u32,
-    /// ToR of each server, indexed by global server id.
-    server_tor: Vec<NodeId>,
-    /// First global server id of each rack (`u32::MAX` for rackless nodes).
-    rack_base: Vec<u32>,
-    window: (Ns, Ns),
-    window_remaining: usize,
-    events_processed: u64,
-    /// Congestion-oracle routing (§7.1 exploration): when set, flowlet
-    /// paths are chosen as the least-queued of the k shortest paths,
-    /// scored against live queue occupancy — an upper bound on what
-    /// adaptive routing could achieve with perfect information.
-    oracle: Option<KspSelector>,
-    // --- fault injection ---
-    /// The full (pre-fault) topology, kept to derive survivor views.
-    topo: Topology,
-    down_links: Vec<bool>,
-    down_sw: Vec<bool>,
-    fault_events: Vec<FaultEvent>,
-    /// Scheduled fault events not yet fired; when zero, the current
-    /// connectivity is final and disconnected flows can be failed.
-    pending_faults: usize,
-    reconverge_epoch: u64,
-    /// Seeded from the fault plan; drawn only for gray-link losses, so
-    /// fault-free runs never touch it.
-    rng: Rng,
-    /// Packets dropped at the source because the selector had no route.
-    fault_noroute_drops: u64,
-    /// Bytes newly acknowledged per 1-ms bin (goodput timeline).
-    goodput_bins: Vec<u64>,
-}
-
-impl Simulator {
-    /// Builds a simulator over `topo` using `selector` for ToR-to-ToR
-    /// paths. Server count and placement come from the topology's
-    /// per-switch server counts.
-    pub fn new(topo: &Topology, selector: Box<dyn PathSelector>, cfg: SimConfig) -> Self {
-        let mtu = cfg.mtu as u64;
-        let link_cap = cfg.queue_pkts as u64 * mtu;
-        let ecn_at = cfg.ecn_k_pkts as u64 * mtu;
-        let mut channels = Vec::with_capacity(topo.num_links() * 2);
-        for l in topo.links() {
-            let gbps = cfg.link_gbps * l.capacity;
-            channels.push(Channel::new(l.b, gbps, cfg.prop_delay_ns, link_cap, ecn_at));
-            channels.push(Channel::new(l.a, gbps, cfg.prop_delay_ns, link_cap, ecn_at));
-        }
-        let host_ch_base = channels.len() as u32;
-        let num_switches = topo.num_nodes() as u32;
-        let mut server_tor = Vec::new();
-        let mut rack_base = vec![u32::MAX; topo.num_nodes()];
-        let host_cap = cfg.host_queue_pkts as u64 * mtu;
-        for rack in 0..topo.num_nodes() as NodeId {
-            let s = topo.servers_at(rack);
-            if s == 0 {
-                continue;
-            }
-            rack_base[rack as usize] = server_tor.len() as u32;
-            for _ in 0..s {
-                let server_node = num_switches + server_tor.len() as u32;
-                // Up: server → ToR. The NIC queue marks ECN like a switch
-                // port so DCTCP self-paces instead of overflowing the host
-                // queue (real stacks backpressure at the qdisc).
-                channels.push(Channel::new(
-                    rack,
-                    cfg.server_link_gbps,
-                    cfg.prop_delay_ns,
-                    host_cap,
-                    ecn_at,
-                ));
-                // Down: ToR → server (a real switch port: ECN + drops).
-                channels.push(Channel::new(
-                    server_node,
-                    cfg.server_link_gbps,
-                    cfg.prop_delay_ns,
-                    link_cap,
-                    ecn_at,
-                ));
-                server_tor.push(rack);
-            }
-        }
-        Simulator {
-            cfg,
-            now: 0,
-            heap: BinaryHeap::new(),
-            ev_seq: 0,
-            channels,
-            links: topo.links().to_vec(),
-            flows: Vec::new(),
-            selector,
-            num_switches,
-            host_ch_base,
-            server_tor,
-            rack_base,
-            window: (0, Ns::MAX),
-            window_remaining: 0,
-            events_processed: 0,
-            oracle: None,
-            topo: topo.clone(),
-            down_links: vec![false; topo.num_links()],
-            down_sw: vec![false; topo.num_nodes()],
-            fault_events: Vec::new(),
-            pending_faults: 0,
-            reconverge_epoch: 0,
-            rng: Rng::seed_from_u64(0),
-            fault_noroute_drops: 0,
-            goodput_bins: Vec::new(),
-        }
-    }
-
-    /// Installs a fault plan: every event is scheduled on the event heap
-    /// and the gray-loss RNG is reseeded from the plan, so the same plan
-    /// (and seed) reproduces the identical run. Call before
-    /// [`Simulator::run`].
-    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
-        plan.validate(&self.topo);
-        self.rng = Rng::seed_from_u64(plan.seed);
-        for e in plan.events() {
-            let idx = self.fault_events.len() as u32;
-            self.fault_events.push(*e);
-            self.pending_faults += 1;
-            self.schedule(e.at_ns, Ev::Fault(idx));
-        }
-    }
-
-    /// Switches the simulator to oracle congestion-aware routing: each
-    /// flowlet takes whichever of the `k` shortest ToR paths currently has
-    /// the least queued bytes (ties broken by the flowlet hash). This uses
-    /// global instantaneous queue state no real scheme could see — use it
-    /// as the adaptive-routing upper bound the paper's §7.1 asks about.
-    ///
-    /// The oracle scores paths on the topology it was given and is *not*
-    /// rebuilt on reconvergence — don't combine it with a fault plan.
-    pub fn enable_oracle_routing(&mut self, topo: &Topology, k: usize) {
-        self.oracle = Some(KspSelector::new(topo, k));
-    }
-
-    /// Number of servers in the simulated network.
-    pub fn num_servers(&self) -> usize {
-        self.server_tor.len()
-    }
-
-    /// Sets the measurement window `[start, end)`; flows starting inside
-    /// it gate [`Simulator::run`]'s completion condition.
-    pub fn set_window(&mut self, start: Ns, end: Ns) {
-        self.window = (start, end);
-    }
-
-    /// Injects workload flows (times in seconds are converted to ns).
-    /// Call after `set_window`.
-    pub fn inject(&mut self, events: &[FlowEvent]) {
-        for e in events {
-            let start_ns = (e.start_s * 1e9) as Ns;
-            let src = self.server_id(e.src.rack, e.src.server);
-            let dst = self.server_id(e.dst.rack, e.dst.server);
-            assert_ne!(src, dst, "flow with identical endpoints");
-            let total_pkts = e.bytes.div_ceil(self.cfg.mss as u64).max(1) as u32;
-            let in_window = start_ns >= self.window.0 && start_ns < self.window.1;
-            if in_window {
-                self.window_remaining += 1;
-            }
-            let id = self.flows.len() as u32;
-            self.flows.push(Flow {
-                src_server: src,
-                dst_server: dst,
-                src_tor: e.src.rack,
-                dst_tor: e.dst.rack,
-                size_bytes: e.bytes,
-                start_ns,
-                total_pkts,
-                next_seq: 0,
-                acked: 0,
-                cwnd: (self.cfg.init_cwnd_pkts * self.cfg.mss) as f64,
-                ssthresh: f64::INFINITY,
-                alpha: 0.0,
-                ecn_acked: 0,
-                ecn_total: 0,
-                window_acked: 0,
-                window_end: 0,
-                cwnd_cut_this_window: false,
-                dupacks: 0,
-                in_recovery: false,
-                recover: 0,
-                srtt: 0.0,
-                rto_backoff: 1,
-                rto_epoch: 0,
-                last_send_ns: 0,
-                flowlet_count: 0,
-                cur_path: None,
-                rcv_bitmap: Vec::new(),
-                rcv_cum: 0,
-                rev_cache: None,
-                finished_ns: None,
-                in_window,
-                failed: false,
-                fault_hit_ns: None,
-                recovery_ns: None,
-                path_salt: 0,
-            });
-            self.schedule(start_ns, Ev::FlowStart(id));
-        }
-    }
-
-    fn server_id(&self, rack: NodeId, server: u32) -> u32 {
-        let base = self.rack_base[rack as usize];
-        assert!(base != u32::MAX, "rack {rack} has no servers");
-        base + server
-    }
-
-    fn schedule(&mut self, t: Ns, ev: Ev) {
-        debug_assert!(t >= self.now);
-        self.ev_seq += 1;
-        self.heap.push(HeapItem {
-            t,
-            seq: self.ev_seq,
-            ev,
-        });
-    }
-
-    /// Runs until every measurement-window flow completes (or the heap
-    /// drains / `max_time` is hit). Returns per-flow records.
-    pub fn run(&mut self, max_time: Ns) -> Vec<FlowRecord> {
-        while let Some(item) = self.heap.pop() {
-            if item.t > max_time {
-                break;
-            }
-            self.now = item.t;
-            self.events_processed += 1;
-            match item.ev {
-                Ev::FlowStart(f) => self.on_flow_start(f),
-                Ev::TxFree(ch) => self.on_tx_free(ch),
-                Ev::Deliver(p) => self.on_deliver(p),
-                Ev::Rto(f, epoch) => self.on_rto(f, epoch),
-                Ev::Fault(i) => self.on_fault(i),
-                Ev::Reconverge(epoch) => self.on_reconverge(epoch),
-            }
-            if self.cfg.max_events != 0 && self.events_processed > self.cfg.max_events {
-                panic!(
-                    "event budget exceeded: {} events at t={} ns with {} window flows outstanding",
-                    self.events_processed, self.now, self.window_remaining
-                );
-            }
-            if self.window_remaining == 0 && !self.flows.is_empty() {
-                break;
-            }
-        }
-        // Anything still unfinished when the run stops counts as failed,
-        // so completed + failed covers every injected flow.
-        for fid in 0..self.flows.len() as u32 {
-            self.fail_flow(fid);
-        }
-        self.records()
-    }
-
-    /// Per-flow outcomes.
-    pub fn records(&self) -> Vec<FlowRecord> {
-        self.flows
-            .iter()
-            .map(|f| FlowRecord {
-                start_ns: f.start_ns,
-                size_bytes: f.size_bytes,
-                fct_ns: f.finished_ns.map(|t| t - f.start_ns),
-                failed: f.failed,
-                recovery_ns: match (f.fault_hit_ns, f.recovery_ns) {
-                    (Some(hit), Some(rec)) => Some(rec - hit),
-                    _ => None,
-                },
-            })
-            .collect()
-    }
-
-    /// Total congestion tail drops across all channels.
-    pub fn total_congestion_drops(&self) -> u64 {
-        self.channels.iter().map(|c| c.drops).sum()
-    }
-
-    /// Packets lost to injected faults: dead or gray channels, plus
-    /// packets that never left the host because no route existed.
-    pub fn total_fault_drops(&self) -> u64 {
-        self.channels.iter().map(|c| c.fault_drops).sum::<u64>() + self.fault_noroute_drops
-    }
-
-    /// All drops, congestion and fault; equals
-    /// [`Simulator::total_congestion_drops`] in fault-free runs.
-    pub fn total_drops(&self) -> u64 {
-        self.total_congestion_drops() + self.total_fault_drops()
-    }
-
-    /// Bytes newly acknowledged per 1-ms bin since t=0 — the goodput
-    /// timeline robustness plots are drawn from.
-    pub fn goodput_timeline_ms(&self) -> &[u64] {
-        &self.goodput_bins
-    }
-
-    /// Total ECN marks across all channels.
-    pub fn total_marks(&self) -> u64 {
-        self.channels.iter().map(|c| c.marks).sum()
-    }
-
-    pub fn events_processed(&self) -> u64 {
-        self.events_processed
-    }
-
-    // ---- event handlers ----
-
-    fn on_flow_start(&mut self, fid: u32) {
-        let f = &mut self.flows[fid as usize];
-        if f.failed {
-            return; // terminated before it began (disconnected endpoints)
-        }
-        f.rcv_bitmap = vec![0u64; (f.total_pkts as usize).div_ceil(64)];
-        f.window_end = 1;
-        self.arm_rto(fid);
-        self.pump(fid);
-    }
-
-    fn on_tx_free(&mut self, ch_id: u32) {
-        if let Some(pkt) = self.channels[ch_id as usize].tx_done() {
-            self.start_tx(ch_id, pkt);
-        }
-    }
-
-    fn start_tx(&mut self, ch_id: u32, pkt: Box<Packet>) {
-        let ch = &self.channels[ch_id as usize];
-        let ser = ch.ser_ns(pkt.bytes);
-        let prop = ch.prop_ns;
-        self.schedule(self.now + ser, Ev::TxFree(ch_id));
-        self.schedule(self.now + ser + prop, Ev::Deliver(pkt));
-    }
-
-    fn send_on(&mut self, ch_id: u32, pkt: Box<Packet>) {
-        let (up, loss) = {
-            let ch = &self.channels[ch_id as usize];
-            (ch.up, ch.loss_prob)
-        };
-        if !up || (loss > 0.0 && self.rng.gen_bool(loss)) {
-            self.channels[ch_id as usize].fault_drops += 1;
-            self.note_fault_hit(pkt.flow);
-            return;
-        }
-        if let (Offer::StartTx, Some(p)) = self.channels[ch_id as usize].offer(pkt) {
-            self.start_tx(ch_id, p)
-        }
-    }
-
-    fn on_deliver(&mut self, mut pkt: Box<Packet>) {
-        let ch = pkt.path[pkt.hop as usize];
-        if !self.channels[ch as usize].up {
-            // The wire died while this packet was in flight (or queued
-            // behind the transmitter): it is lost.
-            self.channels[ch as usize].fault_drops += 1;
-            self.note_fault_hit(pkt.flow);
-            return;
-        }
-        let node = self.channels[ch as usize].to_node;
-        pkt.hop += 1;
-        if node < self.num_switches {
-            // Switch: source-routed forward onto the next channel.
-            let next = pkt.path[pkt.hop as usize];
-            self.send_on(next, pkt);
-        } else if pkt.is_ack {
-            self.on_ack(pkt);
-        } else {
-            self.on_data(pkt);
-        }
-    }
-
-    // Packets arrive boxed from the event heap; unboxing at the dispatch
-    // site would just move the struct for no benefit.
-    #[allow(clippy::boxed_local)]
-    fn on_data(&mut self, pkt: Box<Packet>) {
-        let fid = pkt.flow;
-        if self.flows[fid as usize].failed {
-            return;
-        }
-        let f = &mut self.flows[fid as usize];
-        debug_assert_eq!(self.num_switches + f.dst_server, {
-            let last = *pkt.path.last().unwrap();
-            self.channels[last as usize].to_node
-        });
-        if f.finished_ns.is_none() {
-            f.rcv_mark(pkt.seq);
-            if f.rcv_cum == f.total_pkts {
-                f.finished_ns = Some(self.now);
-                f.rcv_bitmap = Vec::new();
-                if f.in_window {
-                    self.window_remaining -= 1;
-                }
-            }
-        }
-        // Cumulative ACK retracing the data packet's route backwards.
-        let f = &mut self.flows[fid as usize];
-        let rev = match &f.rev_cache {
-            Some((fwd, rev)) if Arc::ptr_eq(fwd, &pkt.path) => rev.clone(),
-            _ => {
-                let rev: ChannelPath = Arc::new(pkt.path.iter().rev().map(|c| c ^ 1).collect());
-                f.rev_cache = Some((pkt.path.clone(), rev.clone()));
-                rev
-            }
-        };
-        let f = &self.flows[fid as usize];
-        let ack = Box::new(Packet {
-            flow: fid,
-            seq: f.rcv_cum,
-            bytes: self.cfg.ack_bytes,
-            ecn_ce: false,
-            is_ack: true,
-            ack_ecn: pkt.ecn_ce,
-            ts: pkt.ts,
-            hop: 0,
-            path: rev,
-        });
-        let first = ack.path[0];
-        self.send_on(first, ack);
-    }
-
-    #[allow(clippy::boxed_local)]
-    fn on_ack(&mut self, ack: Box<Packet>) {
-        let fid = ack.flow;
-        let mss = self.cfg.mss as f64;
-        // NewReno ignores ECN echoes entirely.
-        let ecn_echo = ack.ack_ecn && self.cfg.transport == crate::types::Transport::Dctcp;
-        let f = &mut self.flows[fid as usize];
-        if f.failed || f.acked >= f.total_pkts {
-            return; // sender already done (or flow terminated)
-        }
-        let c = ack.seq;
-        if c > f.acked {
-            let newly = c - f.acked;
-            // Goodput timeline: credit this ms bin with the new bytes.
-            let mss64 = self.cfg.mss as u64;
-            let before = (f.acked as u64 * mss64).min(f.size_bytes);
-            let after = (c as u64 * mss64).min(f.size_bytes);
-            let bin = (self.now / MS) as usize;
-            if self.goodput_bins.len() <= bin {
-                self.goodput_bins.resize(bin + 1, 0);
-            }
-            self.goodput_bins[bin] += after - before;
-            if f.fault_hit_ns.is_some() && f.recovery_ns.is_none() {
-                // First forward progress after a fault-induced loss.
-                f.recovery_ns = Some(self.now);
-            }
-            f.acked = c;
-            // An RTO may have rewound next_seq below what late ACKs cover.
-            f.next_seq = f.next_seq.max(f.acked);
-            f.dupacks = 0;
-            let rtt = (self.now - ack.ts) as f64;
-            f.srtt = if f.srtt == 0.0 {
-                rtt
-            } else {
-                0.875 * f.srtt + 0.125 * rtt
-            };
-            f.rto_backoff = 1;
-            f.window_acked += newly;
-            if ack.ack_ecn {
-                // Feedback for adaptive routing is tracked regardless of
-                // the transport's reaction.
-                f.ecn_total += newly as u64;
-            }
-            if ecn_echo {
-                f.ecn_acked += newly;
-            }
-            if f.acked >= f.window_end {
-                // DCTCP α update at window boundaries.
-                if f.window_acked > 0 {
-                    let frac = f.ecn_acked as f64 / f.window_acked as f64;
-                    f.alpha = (1.0 - self.cfg.dctcp_g) * f.alpha + self.cfg.dctcp_g * frac;
-                }
-                f.ecn_acked = 0;
-                f.window_acked = 0;
-                f.window_end = f.next_seq.max(f.acked + 1);
-                f.cwnd_cut_this_window = false;
-            }
-            let mut retransmitted = None;
-            if f.in_recovery {
-                if f.acked >= f.recover {
-                    f.in_recovery = false;
-                } else {
-                    // Partial ACK: retransmit the next hole right away.
-                    retransmitted = Some(f.acked);
-                }
-            }
-            if !f.in_recovery {
-                if ecn_echo && !f.cwnd_cut_this_window {
-                    f.cwnd = (f.cwnd * (1.0 - f.alpha / 2.0)).max(mss);
-                    f.ssthresh = f.cwnd;
-                    f.cwnd_cut_this_window = true;
-                } else if !ecn_echo {
-                    if f.cwnd < f.ssthresh {
-                        f.cwnd += mss * newly as f64; // slow start
-                    } else {
-                        f.cwnd += mss * mss / f.cwnd * newly as f64; // AI
-                    }
-                }
-            }
-            if f.acked < f.total_pkts {
-                self.arm_rto(fid);
-                if let Some(seq) = retransmitted {
-                    self.send_data(fid, seq);
-                }
-                self.pump(fid);
-            }
-        } else {
-            f.dupacks += 1;
-            if f.dupacks >= 3 && !f.in_recovery {
-                // Fast retransmit: one window reduction per loss event.
-                f.in_recovery = true;
-                f.recover = f.next_seq;
-                f.ssthresh = (f.cwnd / 2.0).max(2.0 * mss);
-                f.cwnd = f.ssthresh;
-                f.dupacks = 0;
-                let seq = f.acked;
-                self.arm_rto(fid);
-                self.send_data(fid, seq);
-            }
-        }
-    }
-
-    fn arm_rto(&mut self, fid: u32) {
-        let f = &mut self.flows[fid as usize];
-        f.rto_epoch = f.rto_epoch.wrapping_add(1);
-        let rto = ((2.0 * f.srtt) as Ns).max(self.cfg.min_rto_ns) * f.rto_backoff as Ns;
-        let epoch = f.rto_epoch;
-        self.schedule(self.now + rto, Ev::Rto(fid, epoch));
-    }
-
-    fn on_rto(&mut self, fid: u32, epoch: u32) {
-        let f = &mut self.flows[fid as usize];
-        if f.rto_epoch != epoch || f.acked >= f.total_pkts || f.finished_ns.is_some() || f.failed {
-            return;
-        }
-        // Go-back-N: rewind, shrink to one packet, force a fresh flowlet
-        // (the old path may be the congested one).
-        let mss = self.cfg.mss as f64;
-        f.ssthresh = (f.cwnd / 2.0).max(2.0 * mss);
-        f.cwnd = mss;
-        f.next_seq = f.acked;
-        f.in_recovery = false;
-        f.rto_backoff = (f.rto_backoff * 2).min(64);
-        f.cur_path = None;
-        // Re-pin the flowlet hash: if the loss was a failed link the old
-        // hash would keep landing on, the salt steers the retransmission
-        // onto a different equal-cost choice without control-plane help.
-        f.path_salt = f.path_salt.wrapping_add(1);
-        self.arm_rto(fid);
-        self.pump(fid);
-    }
-
-    // ---- fault machinery ----
-
-    fn on_fault(&mut self, idx: u32) {
-        self.pending_faults -= 1;
-        match self.fault_events[idx as usize].kind {
-            FaultKind::LinkDown(l) => self.set_link_state(l, true),
-            FaultKind::LinkUp(l) => self.set_link_state(l, false),
-            FaultKind::SwitchDown(n) => self.set_switch_state(n, true),
-            FaultKind::SwitchUp(n) => self.set_switch_state(n, false),
-            // Gray failures are invisible to the control plane: no
-            // reconvergence, just per-packet losses in both directions.
-            FaultKind::LinkGray(l, p) => {
-                self.channels[2 * l as usize].loss_prob = p;
-                self.channels[2 * l as usize + 1].loss_prob = p;
-            }
-            FaultKind::LinkClear(l) => {
-                self.channels[2 * l as usize].loss_prob = 0.0;
-                self.channels[2 * l as usize + 1].loss_prob = 0.0;
-            }
-        }
-    }
-
-    fn set_link_state(&mut self, l: LinkId, down: bool) {
-        self.down_links[l as usize] = down;
-        self.apply_channel_states();
-        self.schedule_reconverge();
-    }
-
-    fn set_switch_state(&mut self, n: NodeId, down: bool) {
-        self.down_sw[n as usize] = down;
-        self.apply_channel_states();
-        self.schedule_reconverge();
-    }
-
-    fn schedule_reconverge(&mut self) {
-        self.reconverge_epoch += 1;
-        let epoch = self.reconverge_epoch;
-        self.schedule(
-            self.now + self.cfg.reconverge_delay_ns,
-            Ev::Reconverge(epoch),
-        );
-    }
-
-    /// Recomputes every channel's up flag from the link and switch fault
-    /// state. Downed channels keep serializing their queues — those
-    /// packets drain onto the dead wire and are dropped at delivery.
-    fn apply_channel_states(&mut self) {
-        for (l, link) in self.links.iter().enumerate() {
-            let up = !self.down_links[l]
-                && !self.down_sw[link.a as usize]
-                && !self.down_sw[link.b as usize];
-            self.channels[2 * l].up = up;
-            self.channels[2 * l + 1].up = up;
-        }
-        for s in 0..self.server_tor.len() {
-            let up = !self.down_sw[self.server_tor[s] as usize];
-            self.channels[self.host_ch_base as usize + 2 * s].up = up;
-            self.channels[self.host_ch_base as usize + 2 * s + 1].up = up;
-        }
-    }
-
-    /// The view the control plane reconverges on: same node ids, only the
-    /// surviving links. Also returns the survivor→original link id map.
-    fn survivor_topology(&self) -> (Topology, Vec<LinkId>) {
-        let mut t = Topology::new(format!("{}-survivor", self.topo.name()));
-        for n in self.topo.nodes() {
-            t.add_node(self.topo.kind(n), self.topo.servers_at(n));
-        }
-        let mut map = Vec::new();
-        for (l, link) in self.topo.links().iter().enumerate() {
-            if self.channels[2 * l].up {
-                t.add_link_cap(link.a, link.b, link.capacity);
-                map.push(l as LinkId);
-            }
-        }
-        (t, map)
-    }
-
-    fn on_reconverge(&mut self, epoch: u64) {
-        if epoch != self.reconverge_epoch {
-            return; // a newer fault superseded this rebuild
-        }
-        let (survivor, map) = self.survivor_topology();
-        self.selector = Box::new(RemappedSelector::new(self.selector.rebuild(&survivor), map));
-        // With no fault event still pending, connectivity is final: fail
-        // flows whose endpoints are gone or in different components
-        // instead of letting them back off until max_time.
-        if self.pending_faults == 0 {
-            let comp = component_labels(&survivor);
-            for fid in 0..self.flows.len() as u32 {
-                let f = &self.flows[fid as usize];
-                let dead = self.down_sw[f.src_tor as usize]
-                    || self.down_sw[f.dst_tor as usize]
-                    || comp[f.src_tor as usize] != comp[f.dst_tor as usize];
-                if dead {
-                    self.fail_flow(fid);
-                }
-            }
-        }
-    }
-
-    /// Terminates an unfinished flow as failed.
-    fn fail_flow(&mut self, fid: u32) {
-        let f = &mut self.flows[fid as usize];
-        if f.finished_ns.is_some() || f.failed {
-            return;
-        }
-        f.failed = true;
-        f.rcv_bitmap = Vec::new();
-        if f.in_window {
-            self.window_remaining -= 1;
-        }
-    }
-
-    /// Records the first fault-induced loss a flow suffers, anchoring the
-    /// recovery-latency measurement.
-    fn note_fault_hit(&mut self, fid: u32) {
-        let f = &mut self.flows[fid as usize];
-        if f.finished_ns.is_none() && !f.failed && f.fault_hit_ns.is_none() {
-            f.fault_hit_ns = Some(self.now);
-        }
-    }
-
-    fn pump(&mut self, fid: u32) {
-        loop {
-            let f = &self.flows[fid as usize];
-            if f.next_seq >= f.total_pkts {
-                break;
-            }
-            let inflight = (f.next_seq - f.acked) as f64 * self.cfg.mss as f64;
-            if inflight + self.cfg.mss as f64 > f.cwnd + 0.5 {
-                break;
-            }
-            let seq = f.next_seq;
-            self.flows[fid as usize].next_seq += 1;
-            self.send_data(fid, seq);
-        }
-    }
-
-    fn send_data(&mut self, fid: u32, seq: u32) {
-        let gap = self.cfg.flowlet_gap_ns;
-        let f = &self.flows[fid as usize];
-        let needs_new = f.cur_path.is_none() || self.now - f.last_send_ns > gap;
-        if needs_new {
-            // path_salt is 0 until the first RTO, keeping fault-free runs
-            // byte-identical to the unsalted flowlet hash.
-            let key = hash3(
-                fid as u64 ^ f.path_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                f.flowlet_count,
-                0xF10_1E7,
-            );
-            let bytes_sent = f.next_seq as u64 * self.cfg.mss as u64;
-            let path = self.build_path(fid, key, bytes_sent);
-            let f = &mut self.flows[fid as usize];
-            f.flowlet_count += 1;
-            match path {
-                Some(p) => f.cur_path = Some(Arc::new(p)),
-                None => {
-                    // No route right now (selector rebuilt on a view where
-                    // the pair is disconnected): drop at the source. The
-                    // RTO rewinds and retries until a recovery restores
-                    // the route or the flow is failed.
-                    f.cur_path = None;
-                    self.fault_noroute_drops += 1;
-                    self.note_fault_hit(fid);
-                    return;
-                }
-            }
-        }
-        let f = &mut self.flows[fid as usize];
-        f.last_send_ns = self.now;
-        let payload = if seq + 1 == f.total_pkts {
-            (f.size_bytes - seq as u64 * self.cfg.mss as u64) as u32
-        } else {
-            self.cfg.mss
-        };
-        let pkt = Box::new(Packet {
-            flow: fid,
-            seq,
-            bytes: payload + HEADER_BYTES,
-            ecn_ce: false,
-            is_ack: false,
-            ack_ecn: false,
-            ts: self.now,
-            hop: 0,
-            path: f.cur_path.clone().unwrap(),
-        });
-        let first = pkt.path[0];
-        self.send_on(first, pkt);
-    }
-
-    /// Oracle scoring: queued bytes along each KSP candidate, walking the
-    /// candidate's links into directed channels from `src`.
-    fn least_queued(&self, ksp: &KspSelector, src: NodeId, dst: NodeId, key: u64) -> Vec<u32> {
-        let candidates = ksp.candidate_paths(src, dst);
-        let mut best: Option<(u64, u64, &Vec<u32>)> = None;
-        for (i, links) in candidates.iter().enumerate() {
-            let mut u = src;
-            let mut queued = 0u64;
-            for &l in links {
-                let link = self.links[l as usize];
-                let ch = if link.a == u { 2 * l } else { 2 * l + 1 };
-                u = link.other(u);
-                queued += self.channels[ch as usize].queue_bytes();
-            }
-            let tie = hash3(key, i as u64, 0x07AC1E);
-            if best.is_none_or(|(q, t, _)| (queued, tie) < (q, t)) {
-                best = Some((queued, tie, links));
-            }
-        }
-        best.expect("ksp returns at least one path").2.clone()
-    }
-
-    /// Builds the channel path server→…→server for a flowlet, or `None`
-    /// when the selector has no route for the pair (post-fault view).
-    fn build_path(&self, fid: u32, key: u64, bytes_sent: u64) -> Option<Vec<u32>> {
-        let f = &self.flows[fid as usize];
-        let up = self.host_ch_base + 2 * f.src_server;
-        let down = self.host_ch_base + 2 * f.dst_server + 1;
-        let mut path = Vec::with_capacity(8);
-        path.push(up);
-        if f.src_tor != f.dst_tor {
-            let links = match &self.oracle {
-                Some(ksp) => self.least_queued(ksp, f.src_tor, f.dst_tor, key),
-                None => self.selector.select_with_feedback(
-                    f.src_tor,
-                    f.dst_tor,
-                    key,
-                    bytes_sent,
-                    f.ecn_total,
-                ),
-            };
-            if links.is_empty() {
-                return None;
-            }
-            let mut u = f.src_tor;
-            for l in links {
-                let link = self.links[l as usize];
-                if link.a == u {
-                    path.push(2 * l);
-                    u = link.b;
-                } else {
-                    debug_assert_eq!(link.b, u);
-                    path.push(2 * l + 1);
-                    u = link.a;
-                }
-            }
-            debug_assert_eq!(u, f.dst_tor);
-        }
-        path.push(down);
-        Some(path)
-    }
-}
-
-/// Connected-component label per node (BFS sweep).
-fn component_labels(t: &Topology) -> Vec<u32> {
-    let n = t.num_nodes();
-    let mut comp = vec![u32::MAX; n];
-    let mut next = 0u32;
-    let mut queue = std::collections::VecDeque::new();
-    for start in 0..n as NodeId {
-        if comp[start as usize] != u32::MAX {
-            continue;
-        }
-        comp[start as usize] = next;
-        queue.push_back(start);
-        while let Some(u) = queue.pop_front() {
-            for &(v, _) in t.neighbors(u) {
-                if comp[v as usize] == u32::MAX {
-                    comp[v as usize] = next;
-                    queue.push_back(v);
-                }
-            }
-        }
-        next += 1;
-    }
-    comp
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::stats::compute_metrics;
-    use crate::types::{MS, SEC, US};
-    use dcn_routing::RoutingSuite;
-    use dcn_topology::fattree::FatTree;
-    use dcn_topology::xpander::Xpander;
-    use dcn_workloads::tm::Endpoint;
-
-    fn flow(start_s: f64, src: (u32, u32), dst: (u32, u32), bytes: u64) -> FlowEvent {
-        FlowEvent {
-            start_s,
-            src: Endpoint {
-                rack: src.0,
-                server: src.1,
-            },
-            dst: Endpoint {
-                rack: dst.0,
-                server: dst.1,
-            },
-            bytes,
-        }
-    }
-
-    fn fat_tree_sim() -> Simulator {
-        let t = FatTree::full(4).build();
-        let suite = RoutingSuite::new(&t);
-        Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default())
-    }
-
-    #[test]
-    fn single_small_flow_completes_fast() {
-        let mut sim = fat_tree_sim();
-        // Rack 0 server 0 → rack 12 (other pod) server 1, 10 KB.
-        sim.inject(&[flow(0.0, (0, 0), (12, 1), 10_000)]);
-        let rec = sim.run(SEC);
-        let fct = rec[0].fct_ns.expect("flow must finish");
-        // 7 packets, cwnd 10 ⇒ one window: ~6 hops × (1.2 µs + 0.1 µs).
-        assert!(fct > 5 * US && fct < 100 * US, "fct {fct} ns");
-    }
-
-    #[test]
-    fn long_flow_achieves_near_line_rate() {
-        let mut sim = fat_tree_sim();
-        sim.inject(&[flow(0.0, (0, 0), (12, 0), 10_000_000)]);
-        let rec = sim.run(10 * SEC);
-        let fct = rec[0].fct_ns.unwrap() as f64;
-        let gbps = 10_000_000.0 * 8.0 / fct;
-        assert!(gbps > 8.0, "throughput {gbps} Gbps");
-    }
-
-    #[test]
-    fn same_rack_flow_works() {
-        let mut sim = fat_tree_sim();
-        sim.inject(&[flow(0.0, (0, 0), (0, 1), 100_000)]);
-        let rec = sim.run(SEC);
-        assert!(rec[0].fct_ns.is_some());
-    }
-
-    #[test]
-    fn two_flows_share_bottleneck_fairly() {
-        // Two senders on different racks to the same destination server:
-        // the server downlink is the bottleneck; DCTCP should split it.
-        let mut sim = fat_tree_sim();
-        sim.inject(&[
-            flow(0.0, (0, 0), (12, 0), 5_000_000),
-            flow(0.0, (4, 0), (12, 0), 5_000_000),
-        ]);
-        let rec = sim.run(30 * SEC);
-        let f0 = rec[0].fct_ns.unwrap() as f64;
-        let f1 = rec[1].fct_ns.unwrap() as f64;
-        // Each gets ≈5 Gbps ⇒ ≈8 ms; allow generous slack.
-        for f in [f0, f1] {
-            let gbps = 5_000_000.0 * 8.0 / f;
-            assert!(gbps > 3.0 && gbps < 7.5, "per-flow {gbps} Gbps");
-        }
-        assert!((f0 / f1 - 1.0).abs() < 0.5, "unfair split {f0} vs {f1}");
-    }
-
-    #[test]
-    fn ecn_prevents_drops_at_moderate_fanin() {
-        let mut sim = fat_tree_sim();
-        sim.inject(&[
-            flow(0.0, (0, 0), (12, 0), 2_000_000),
-            flow(0.0, (4, 0), (12, 0), 2_000_000),
-        ]);
-        sim.run(30 * SEC);
-        assert!(sim.total_marks() > 0, "DCTCP should be marking");
-        assert_eq!(sim.total_drops(), 0, "ECN should prevent drops");
-    }
-
-    #[test]
-    fn survives_heavy_incast_with_drops() {
-        // 8-to-1 incast into one server at tiny queues: drops happen but
-        // all flows still complete via retransmission.
-        let t = FatTree::full(4).build();
-        let suite = RoutingSuite::new(&t);
-        let cfg = SimConfig {
-            queue_pkts: 10,
-            ecn_k_pkts: 4,
-            ..Default::default()
-        };
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
-        let racks = [4u32, 5, 8, 9];
-        let flows: Vec<FlowEvent> = (0..8)
-            .map(|i| flow(0.0, (racks[i % 4], (i / 4) as u32), (0, 0), 500_000))
-            .collect();
-        sim.inject(&flows);
-        let rec = sim.run(60 * SEC);
-        assert!(sim.total_drops() > 0, "expected drops at queue=10");
-        for r in &rec {
-            assert!(r.fct_ns.is_some(), "flow lost to incast");
-        }
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let run = || {
-            let mut sim = fat_tree_sim();
-            sim.inject(&[
-                flow(0.0, (0, 0), (12, 0), 1_000_000),
-                flow(0.0001, (4, 1), (8, 1), 300_000),
-                flow(0.0002, (8, 0), (0, 1), 50_000),
-            ]);
-            sim.run(10 * SEC)
-                .iter()
-                .map(|r| r.fct_ns)
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn vlb_and_hyb_complete_on_xpander() {
-        let t = Xpander::new(5, 8, 2, 3).build();
-        for mode in 0..3 {
-            let suite = RoutingSuite::new(&t);
-            let sel: Box<dyn PathSelector> = match mode {
-                0 => Box::new(suite.ecmp()),
-                1 => Box::new(suite.vlb()),
-                _ => Box::new(suite.hyb(dcn_routing::PAPER_Q_BYTES)),
-            };
-            let mut sim = Simulator::new(&t, sel, SimConfig::default());
-            sim.inject(&[
-                flow(0.0, (0, 0), (1, 0), 2_000_000),
-                flow(0.0, (2, 1), (7, 1), 50_000),
-            ]);
-            let rec = sim.run(10 * SEC);
-            assert!(
-                rec.iter().all(|r| r.fct_ns.is_some()),
-                "mode {mode} incomplete"
-            );
-        }
-    }
-
-    #[test]
-    fn newreno_fills_queues_where_dctcp_marks() {
-        // Same fan-in: DCTCP keeps queues at K via marks; NewReno runs
-        // them into tail drops instead.
-        let t = FatTree::full(4).build();
-        let mk = |cfg: SimConfig| {
-            let suite = RoutingSuite::new(&t);
-            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
-            sim.inject(&[
-                flow(0.0, (0, 0), (12, 0), 4_000_000),
-                flow(0.0, (4, 0), (12, 0), 4_000_000),
-            ]);
-            let rec = sim.run(60 * SEC);
-            assert!(rec.iter().all(|r| r.fct_ns.is_some()));
-            (sim.total_marks(), sim.total_drops())
-        };
-        let (dctcp_marks, dctcp_drops) = mk(SimConfig::default());
-        let (_, reno_drops) = mk(SimConfig::default().with_newreno());
-        assert!(dctcp_marks > 0);
-        assert_eq!(dctcp_drops, 0, "DCTCP should avoid drops here");
-        assert!(reno_drops > 0, "NewReno should be loss-driven");
-    }
-
-    #[test]
-    fn oracle_routing_beats_ecmp_between_neighbors() {
-        // The Fig 7b pathology: all traffic between two adjacent racks.
-        // ECMP is stuck on the direct link; the oracle spreads flowlets
-        // over the least-queued of the k shortest paths.
-        let t = Xpander::new(5, 8, 3, 3).build();
-        let l = t.link(0);
-        let flows: Vec<FlowEvent> = (0..6)
-            .map(|i| flow(0.0, (l.a, i % 3), (l.b, (i + 1) % 3), 3_000_000))
-            .collect();
-        let run = |oracle: bool| {
-            let suite = RoutingSuite::new(&t);
-            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-            if oracle {
-                sim.enable_oracle_routing(&t, 8);
-            }
-            sim.inject(&flows);
-            let rec = sim.run(60 * SEC);
-            rec.iter().map(|r| r.fct_ns.unwrap()).max().unwrap()
-        };
-        let ecmp = run(false);
-        let oracle = run(true);
-        assert!(
-            (oracle as f64) < ecmp as f64 * 0.75,
-            "oracle {oracle} not clearly better than ecmp {ecmp}"
-        );
-    }
-
-    #[test]
-    fn oracle_routing_deterministic() {
-        let t = Xpander::new(4, 6, 2, 1).build();
-        let run = || {
-            let suite = RoutingSuite::new(&t);
-            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-            sim.enable_oracle_routing(&t, 4);
-            sim.inject(&[
-                flow(0.0, (0, 0), (9, 1), 800_000),
-                flow(0.0001, (3, 1), (12, 0), 500_000),
-            ]);
-            sim.run(30 * SEC)
-                .iter()
-                .map(|r| r.fct_ns)
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn window_gating_stops_run() {
-        let mut sim = fat_tree_sim();
-        sim.set_window(0, MS);
-        sim.inject(&[
-            flow(0.0, (0, 0), (12, 0), 10_000),
-            // Outside the window; the run may stop before it finishes.
-            flow(1.0, (4, 0), (8, 0), 10_000),
-        ]);
-        let rec = sim.run(10 * SEC);
-        assert!(rec[0].fct_ns.is_some());
-        let m = compute_metrics(&rec, 0, MS);
-        assert_eq!(m.flows, 1);
-        assert_eq!(m.completed, 1);
-    }
-
-    #[test]
-    fn flow_survives_link_down_then_up() {
-        // Kill the only inter-rack link mid-flow, restore it later: the
-        // flow must lose packets to the fault, stall, and still finish
-        // after recovery.
-        let t = {
-            let mut t = dcn_topology::Topology::new("two-racks");
-            let a = t.add_node(dcn_topology::NodeKind::Tor, 2);
-            let b = t.add_node(dcn_topology::NodeKind::Tor, 2);
-            t.add_link(a, b);
-            t
-        };
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[flow(0.0, (0, 0), (1, 0), 5_000_000)]);
-        sim.set_fault_plan(&FaultPlan::new().link_down(MS, 0).link_up(20 * MS, 0));
-        let rec = sim.run(60 * SEC);
-        assert!(sim.total_fault_drops() > 0, "no packets hit the dead link");
-        let fct = rec[0].fct_ns.expect("flow must finish after recovery");
-        assert!(!rec[0].failed);
-        // 5 MB at 10 Gbps is ~4 ms; the 19 ms outage dominates the FCT.
-        assert!(
-            fct > 19 * MS,
-            "fct {fct} ns too fast to have seen the outage"
-        );
-        let recovery = rec[0].recovery_ns.expect("flow should have recovered");
-        assert!(recovery > 0 && recovery < 40 * MS, "recovery {recovery} ns");
-    }
-
-    #[test]
-    fn fault_drops_separate_from_congestion_drops() {
-        let t = FatTree::full(4).build();
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[flow(0.0, (0, 0), (12, 0), 2_000_000)]);
-        // Take down one of ToR 0's uplinks, which the flow may hash onto;
-        // ECMP re-salts around it via RTO, no congestion drops expected.
-        let l = t.neighbors(0)[0].1;
-        sim.set_fault_plan(&FaultPlan::new().link_down(0, l).link_up(30 * MS, l));
-        sim.run(60 * SEC);
-        assert_eq!(sim.total_congestion_drops(), 0);
-        assert_eq!(sim.total_drops(), sim.total_fault_drops());
-    }
-
-    #[test]
-    fn gray_link_drops_but_flow_completes() {
-        let t = {
-            let mut t = dcn_topology::Topology::new("two-racks");
-            let a = t.add_node(dcn_topology::NodeKind::Tor, 1);
-            let b = t.add_node(dcn_topology::NodeKind::Tor, 1);
-            t.add_link(a, b);
-            t
-        };
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[flow(0.0, (0, 0), (1, 0), 1_000_000)]);
-        sim.set_fault_plan(&FaultPlan::new().with_seed(7).link_gray(0, 0, 0.02));
-        let rec = sim.run(60 * SEC);
-        assert!(
-            sim.total_fault_drops() > 0,
-            "2% loss should hit ~685 packets"
-        );
-        assert_eq!(sim.total_congestion_drops(), 0);
-        assert!(rec[0].fct_ns.is_some(), "flow must survive gray loss");
-    }
-
-    #[test]
-    fn permanent_disconnection_fails_flows() {
-        // Two racks joined by one link; cutting it forever must fail the
-        // inter-rack flow (after reconvergence) while the same-rack flow
-        // completes — and the run must terminate, not hang.
-        let t = {
-            let mut t = dcn_topology::Topology::new("two-racks");
-            let a = t.add_node(dcn_topology::NodeKind::Tor, 2);
-            let b = t.add_node(dcn_topology::NodeKind::Tor, 2);
-            t.add_link(a, b);
-            t
-        };
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[
-            flow(0.0, (0, 0), (1, 0), 5_000_000),
-            flow(0.0, (0, 0), (0, 1), 100_000),
-        ]);
-        sim.set_fault_plan(&FaultPlan::new().link_down(MS, 0));
-        let rec = sim.run(60 * SEC);
-        assert!(rec[0].failed, "disconnected flow must be failed");
-        assert!(rec[0].fct_ns.is_none());
-        assert!(rec[1].fct_ns.is_some(), "same-rack flow unaffected");
-        let m = compute_metrics(&rec, 0, SEC);
-        assert_eq!(m.flows, 2);
-        assert_eq!(m.completed + m.failed, 2);
-    }
-
-    #[test]
-    fn switch_down_and_up_behaves_like_links() {
-        // Killing an aggregation switch in a k=4 fat-tree leaves 3 others;
-        // flows reroute and complete. ToR 0's rack is NOT behind it.
-        let t = FatTree::full(4).build();
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[flow(0.0, (0, 0), (12, 0), 2_000_000)]);
-        // Node ids: ToRs come first (16), then aggs. Kill the first agg.
-        let agg = (0..t.num_nodes() as u32)
-            .find(|&n| t.kind(n) == dcn_topology::NodeKind::Aggregation)
-            .unwrap();
-        sim.set_fault_plan(
-            &FaultPlan::new()
-                .switch_down(MS, agg)
-                .switch_up(10 * MS, agg),
-        );
-        let rec = sim.run(60 * SEC);
-        assert!(rec[0].fct_ns.is_some(), "flow must survive an agg failure");
-    }
-
-    #[test]
-    fn rto_backoff_doubles_then_resets_on_ack() {
-        // Drive repeated RTOs by cutting the only link, then verify the
-        // documented backoff law on the private flow state: doubling per
-        // epoch, capped at 64, reset to 1 by the first new ACK.
-        let t = {
-            let mut t = dcn_topology::Topology::new("two-racks");
-            let a = t.add_node(dcn_topology::NodeKind::Tor, 1);
-            let b = t.add_node(dcn_topology::NodeKind::Tor, 1);
-            t.add_link(a, b);
-            t
-        };
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[flow(0.0, (0, 0), (1, 0), 1_000_000)]);
-        sim.set_fault_plan(&FaultPlan::new().link_down(0, 0).link_up(400 * MS, 0));
-        // Long outage ⇒ many RTO epochs: 1,2,4,...,64,64,... Run up to
-        // just before recovery and check the cap was reached.
-        sim.run(399 * MS);
-        assert_eq!(
-            sim.flows[0].rto_backoff, 64,
-            "backoff should saturate at 64"
-        );
-        assert!(
-            sim.flows[0].path_salt > 0,
-            "RTOs must re-salt the path hash"
-        );
-        // Fresh sim, same plan, run to completion: new ACKs reset backoff.
-        let suite = RoutingSuite::new(&t);
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-        sim.inject(&[flow(0.0, (0, 0), (1, 0), 1_000_000)]);
-        sim.set_fault_plan(&FaultPlan::new().link_down(0, 0).link_up(400 * MS, 0));
-        let rec = sim.run(60 * SEC);
-        assert!(rec[0].fct_ns.is_some());
-        assert_eq!(sim.flows[0].rto_backoff, 1, "ACKs must reset the backoff");
-    }
-
-    #[test]
-    fn goodput_timeline_accounts_all_bytes() {
-        let mut sim = fat_tree_sim();
-        sim.inject(&[flow(0.0, (0, 0), (12, 0), 3_000_000)]);
-        sim.run(60 * SEC);
-        let total: u64 = sim.goodput_timeline_ms().iter().sum();
-        // The run stops when the receiver finishes, so up to one window of
-        // final ACKs may never reach the sender's accounting.
-        assert!(total <= 3_000_000, "timeline over-credits: {total}");
-        assert!(total > 2_800_000, "timeline under-credits: {total}");
-    }
-
-    #[test]
-    #[should_panic(expected = "event budget exceeded")]
-    fn watchdog_trips_on_event_budget() {
-        let t = FatTree::full(4).build();
-        let suite = RoutingSuite::new(&t);
-        let cfg = SimConfig {
-            max_events: 50,
-            ..Default::default()
-        };
-        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
-        sim.inject(&[flow(0.0, (0, 0), (12, 0), 10_000_000)]);
-        sim.run(60 * SEC);
-    }
-
-    #[test]
-    fn unconstrained_server_links_speed_up_fanin() {
-        // With 1000 Gbps host links, two senders into one server are no
-        // longer bottlenecked at the destination downlink.
-        let t = FatTree::full(4).build();
-        let mk = |cfg: SimConfig| {
-            let suite = RoutingSuite::new(&t);
-            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
-            sim.inject(&[
-                flow(0.0, (0, 0), (12, 0), 3_000_000),
-                flow(0.0, (4, 0), (12, 0), 3_000_000),
-            ]);
-            let rec = sim.run(30 * SEC);
-            rec.iter().map(|r| r.fct_ns.unwrap()).max().unwrap()
-        };
-        let constrained = mk(SimConfig::default());
-        let unconstrained = mk(SimConfig::default().unconstrained_servers());
-        assert!(
-            (unconstrained as f64) < constrained as f64 * 0.8,
-            "unconstrained {unconstrained} vs constrained {constrained}"
-        );
-    }
-}
+//! The simulator used to live here as a single monolith; it is now split
+//! into [`crate::engine`] (event loop), [`crate::host`] (flows +
+//! transports), [`crate::switch`] (queue disciplines + fabric), and
+//! [`crate::fault`] (failure injection). Import from those modules — or
+//! the crate root — going forward.
+
+pub use crate::engine::Simulator;

@@ -7,8 +7,9 @@ use crate::types::Ns;
 /// Boundary between "short" and "long" flows (paper: 100 KB).
 pub const SHORT_FLOW_BYTES: u64 = 100_000;
 
-/// Outcome of a single flow.
-#[derive(Clone, Copy, Debug)]
+/// Outcome of a single flow. `PartialEq`/`Eq` support exact
+/// record-for-record comparison in determinism regression tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowRecord {
     pub start_ns: Ns,
     pub size_bytes: u64,
@@ -40,6 +41,10 @@ impl FlowRecord {
 /// Aggregated metrics over a measurement window.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Metrics {
+    /// Name of the transport that produced these flows (e.g. `"dctcp"`),
+    /// taken from `Simulator::transport_name()` via
+    /// [`Metrics::with_transport`]; empty when not labeled.
+    pub transport: &'static str,
     /// Flows that started inside the window.
     pub flows: usize,
     pub completed: usize,
@@ -58,6 +63,15 @@ pub struct Metrics {
     pub recovered_flows: usize,
     /// Mean end-host recovery latency over `recovered_flows`, in ms.
     pub avg_recovery_ms: f64,
+}
+
+impl Metrics {
+    /// Labels the metrics with the transport that produced them
+    /// (chainable): `compute_metrics(..).with_transport(sim.transport_name())`.
+    pub fn with_transport(mut self, name: &'static str) -> Self {
+        self.transport = name;
+        self
+    }
 }
 
 /// Computes the paper's three headline metrics over flows starting in
@@ -200,6 +214,44 @@ mod tests {
         assert_eq!(m.failed, 1);
         assert_eq!(m.recovered_flows, 2);
         assert!((m.avg_recovery_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_flow_p99_ignores_failed_and_unfinished() {
+        // The p99-short path must rank only *completed* short flows: the
+        // failed and unfinished ones below would otherwise drag the
+        // percentile to a fictitious value.
+        let mut records: Vec<FlowRecord> = (0..50).map(|i| rec(1, 10_000, Some(i + 1))).collect();
+        let mut failed_short = rec(1, 10_000, None);
+        failed_short.failed = true;
+        let mut failed_long = rec(1, 500_000, None);
+        failed_long.failed = true;
+        records.push(failed_short);
+        records.push(failed_long);
+        records.push(rec(2, 10_000, None)); // unfinished, not failed
+        records.push(rec(2, 2_000_000, Some(100))); // completed long
+        let m = compute_metrics(&records, 0, 10 * MS);
+        assert_eq!(m.flows, 54);
+        assert_eq!(m.completed, 51);
+        assert_eq!(m.failed, 2);
+        assert_eq!(m.short_flows, 52, "short counts include non-completed");
+        assert_eq!(m.long_flows, 2);
+        // p99 over the 50 completed short FCTs 1..=50 ms → rank 50.
+        assert!(
+            (m.p99_short_fct_ms - 50.0).abs() < 1e-9,
+            "{}",
+            m.p99_short_fct_ms
+        );
+        // Exactly one completed long flow: 2 MB in 100 ms = 0.16 Gbps.
+        assert!((m.avg_long_tput_gbps - 2_000_000.0 * 8.0 / 1e8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_transport_label() {
+        let m = compute_metrics(&[rec(1, 10_000, Some(2))], 0, 10 * MS).with_transport("pfabric");
+        assert_eq!(m.transport, "pfabric");
+        assert_eq!(m.completed, 1);
+        assert_eq!(Metrics::default().transport, "");
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! The switch layer: per-port queue disciplines and the fabric substrate.
+//!
+//! A switch port (and a host NIC queue) is a [`crate::channel::Channel`]:
+//! a serializing transmitter fed by a queue. What *kind* of queue — FIFO
+//! tail-drop with ECN marking, strict priority, anything else — is decided
+//! here, behind the [`QueueDiscipline`] trait. The engine never looks
+//! inside a queue; it offers packets and takes whatever the discipline
+//! hands back.
+//!
+//! Two disciplines ship with the simulator:
+//!
+//! - [`TailDropEcn`] — the paper's switch model: FIFO, tail drop when the
+//!   byte cap is exceeded, DCTCP-style CE marking on enqueue once the
+//!   queue holds at least K packets' worth of bytes.
+//! - [`PFabricQueue`] — pFabric (Alizadeh et al., SIGCOMM 2013) strict
+//!   priority: dequeue the packet with the smallest remaining flow size
+//!   first; when full, evict from the tail of the *lowest*-priority flow
+//!   (or reject the newcomer if it is itself the least urgent).
+//!
+//! [`Fabric`] bundles the directed channels, the link→channel numbering,
+//! and the server↔rack maps — the static substrate the engine routes over
+//! and the fault layer degrades.
+
+use crate::channel::Channel;
+use crate::types::{Packet, QueueDiscKind, SimConfig};
+use dcn_topology::{Link, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// What happened when a packet was offered to a queue discipline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct EnqueueOutcome {
+    /// The offered packet itself was accepted into the queue.
+    pub accepted: bool,
+    /// Packets lost in this enqueue: the offered one (if rejected) plus
+    /// any lower-priority victims evicted to make room.
+    pub dropped: u32,
+    /// An ECN CE mark was applied to the offered packet.
+    pub marked: bool,
+}
+
+/// A per-port packet queue: the switch-layer seam.
+///
+/// Implementations decide admission (drop/evict), marking (ECN), and
+/// service order (FIFO, strict priority, …). They must be deterministic —
+/// no clocks, no randomness — so simulations stay reproducible.
+pub trait QueueDiscipline: Send {
+    /// Offers a packet while the transmitter is busy. The discipline
+    /// keeps it (`accepted`), rejects it, and/or evicts queued packets;
+    /// `dropped` counts every packet lost either way.
+    fn enqueue(&mut self, pkt: Box<Packet>) -> EnqueueOutcome;
+
+    /// Next packet to serialize, or `None` if the queue is empty.
+    fn dequeue(&mut self) -> Option<Box<Packet>>;
+
+    /// Bytes currently queued (excludes the packet being serialized).
+    fn queue_bytes(&self) -> u64;
+
+    /// Packets currently queued.
+    fn queue_len(&self) -> usize;
+
+    fn name(&self) -> &'static str;
+}
+
+/// A factory producing one [`QueueDiscipline`] instance per channel;
+/// called with the channel's byte capacity and ECN threshold.
+pub type DisciplineFactory<'a> = &'a dyn Fn(u64, u64) -> Box<dyn QueueDiscipline>;
+
+impl QueueDiscKind {
+    /// Builds one queue instance of this kind for a channel with the given
+    /// byte capacity and ECN-marking threshold (ignored by disciplines
+    /// that do not mark).
+    pub fn build(self, cap_bytes: u64, ecn_bytes: u64) -> Box<dyn QueueDiscipline> {
+        match self {
+            QueueDiscKind::TailDropEcn => Box::new(TailDropEcn::new(cap_bytes, ecn_bytes)),
+            QueueDiscKind::PFabric => Box::new(PFabricQueue::new(cap_bytes)),
+        }
+    }
+}
+
+/// FIFO + tail drop + DCTCP ECN marking — the paper's §6.4 switch port.
+#[derive(Debug)]
+pub struct TailDropEcn {
+    queue: VecDeque<Box<Packet>>,
+    bytes: u64,
+    cap_bytes: u64,
+    ecn_threshold_bytes: u64,
+}
+
+impl TailDropEcn {
+    pub fn new(cap_bytes: u64, ecn_threshold_bytes: u64) -> Self {
+        TailDropEcn {
+            queue: VecDeque::new(),
+            bytes: 0,
+            cap_bytes,
+            ecn_threshold_bytes,
+        }
+    }
+}
+
+impl QueueDiscipline for TailDropEcn {
+    fn enqueue(&mut self, mut pkt: Box<Packet>) -> EnqueueOutcome {
+        if self.bytes + pkt.bytes as u64 > self.cap_bytes {
+            return EnqueueOutcome {
+                accepted: false,
+                dropped: 1,
+                marked: false,
+            };
+        }
+        // DCTCP: mark on enqueue when the instantaneous queue exceeds K.
+        let marked = self.bytes >= self.ecn_threshold_bytes && !pkt.is_ack;
+        if marked {
+            pkt.ecn_ce = true;
+        }
+        self.bytes += pkt.bytes as u64;
+        self.queue.push_back(pkt);
+        EnqueueOutcome {
+            accepted: true,
+            dropped: 0,
+            marked,
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Box<Packet>> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.bytes as u64;
+        Some(pkt)
+    }
+
+    fn queue_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "tail_drop_ecn"
+    }
+}
+
+/// pFabric strict-priority queue: serve the smallest remaining flow size
+/// first (FIFO among equals); when full, drop from the tail of the
+/// lowest-priority traffic. Never marks ECN — pFabric's fabric scheduling
+/// replaces congestion signaling.
+#[derive(Debug)]
+pub struct PFabricQueue {
+    /// Arrival order is the queue order; service order is by priority.
+    queue: VecDeque<Box<Packet>>,
+    bytes: u64,
+    cap_bytes: u64,
+}
+
+impl PFabricQueue {
+    pub fn new(cap_bytes: u64) -> Self {
+        PFabricQueue {
+            queue: VecDeque::new(),
+            bytes: 0,
+            cap_bytes,
+        }
+    }
+
+    /// Index of the worst queued packet: highest `prio` value, latest
+    /// arrival among ties (the "tail of the lowest priority").
+    fn worst(&self) -> Option<usize> {
+        let mut worst: Option<(u32, usize)> = None;
+        for (i, p) in self.queue.iter().enumerate() {
+            if worst.is_none_or(|(wp, _)| p.prio >= wp) {
+                worst = Some((p.prio, i));
+            }
+        }
+        worst.map(|(_, i)| i)
+    }
+}
+
+impl QueueDiscipline for PFabricQueue {
+    fn enqueue(&mut self, pkt: Box<Packet>) -> EnqueueOutcome {
+        let mut dropped = 0;
+        while self.bytes + pkt.bytes as u64 > self.cap_bytes {
+            match self.worst() {
+                // A strictly less urgent packet is queued: evict it. On a
+                // tie the newcomer is the tail of that priority and loses.
+                Some(w) if self.queue[w].prio > pkt.prio => {
+                    let victim = self.queue.remove(w).unwrap();
+                    self.bytes -= victim.bytes as u64;
+                    dropped += 1;
+                }
+                _ => {
+                    return EnqueueOutcome {
+                        accepted: false,
+                        dropped: dropped + 1,
+                        marked: false,
+                    };
+                }
+            }
+        }
+        self.bytes += pkt.bytes as u64;
+        self.queue.push_back(pkt);
+        EnqueueOutcome {
+            accepted: true,
+            dropped,
+            marked: false,
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Box<Packet>> {
+        // Most urgent = smallest prio; earliest arrival breaks ties.
+        let mut best: Option<(u32, usize)> = None;
+        for (i, p) in self.queue.iter().enumerate() {
+            if best.is_none_or(|(bp, _)| p.prio < bp) {
+                best = Some((p.prio, i));
+            }
+        }
+        let (_, i) = best?;
+        let pkt = self.queue.remove(i).unwrap();
+        self.bytes -= pkt.bytes as u64;
+        Some(pkt)
+    }
+
+    fn queue_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "pfabric"
+    }
+}
+
+/// The static forwarding substrate: every directed channel (two per
+/// topology link, two per server), the link list, and the server↔rack
+/// numbering. Built once per simulation; the fault layer flips channel
+/// `up` flags, the engine routes packets over it.
+pub struct Fabric {
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) links: Vec<Link>,
+    /// First channel id of the host (server) channel block.
+    pub(crate) host_ch_base: u32,
+    /// Node ids `< num_switches` are switches; servers follow.
+    pub(crate) num_switches: u32,
+    /// ToR of each server, indexed by global server id.
+    pub(crate) server_tor: Vec<NodeId>,
+    /// First global server id of each rack (`u32::MAX` for rackless nodes).
+    pub(crate) rack_base: Vec<u32>,
+}
+
+impl Fabric {
+    /// Builds the channel set for `topo` under `cfg`, one queue-discipline
+    /// instance per channel from `disc`. Channel numbering: link `l`'s
+    /// a→b direction is channel `2l`, b→a is `2l+1`; after
+    /// [`Fabric::host_ch_base`] come per-server (up, down) pairs.
+    pub(crate) fn build(topo: &Topology, cfg: &SimConfig, disc: DisciplineFactory) -> Self {
+        let mtu = cfg.mtu as u64;
+        let link_cap = cfg.queue_pkts as u64 * mtu;
+        let ecn_at = cfg.ecn_k_pkts as u64 * mtu;
+        let mut channels = Vec::with_capacity(topo.num_links() * 2);
+        for l in topo.links() {
+            let gbps = cfg.link_gbps * l.capacity;
+            channels.push(Channel::new(
+                l.b,
+                gbps,
+                cfg.prop_delay_ns,
+                disc(link_cap, ecn_at),
+            ));
+            channels.push(Channel::new(
+                l.a,
+                gbps,
+                cfg.prop_delay_ns,
+                disc(link_cap, ecn_at),
+            ));
+        }
+        let host_ch_base = channels.len() as u32;
+        let num_switches = topo.num_nodes() as u32;
+        let mut server_tor = Vec::new();
+        let mut rack_base = vec![u32::MAX; topo.num_nodes()];
+        let host_cap = cfg.host_queue_pkts as u64 * mtu;
+        for rack in 0..topo.num_nodes() as NodeId {
+            let s = topo.servers_at(rack);
+            if s == 0 {
+                continue;
+            }
+            rack_base[rack as usize] = server_tor.len() as u32;
+            for _ in 0..s {
+                let server_node = num_switches + server_tor.len() as u32;
+                // Up: server → ToR. The NIC queue marks ECN like a switch
+                // port so DCTCP self-paces instead of overflowing the host
+                // queue (real stacks backpressure at the qdisc).
+                channels.push(Channel::new(
+                    rack,
+                    cfg.server_link_gbps,
+                    cfg.prop_delay_ns,
+                    disc(host_cap, ecn_at),
+                ));
+                // Down: ToR → server (a real switch port: ECN + drops).
+                channels.push(Channel::new(
+                    server_node,
+                    cfg.server_link_gbps,
+                    cfg.prop_delay_ns,
+                    disc(link_cap, ecn_at),
+                ));
+                server_tor.push(rack);
+            }
+        }
+        Fabric {
+            channels,
+            links: topo.links().to_vec(),
+            host_ch_base,
+            num_switches,
+            server_tor,
+            rack_base,
+        }
+    }
+
+    /// Number of servers attached to the fabric.
+    pub(crate) fn num_servers(&self) -> usize {
+        self.server_tor.len()
+    }
+
+    /// Global server id for `(rack, server)`.
+    pub(crate) fn server_id(&self, rack: NodeId, server: u32) -> u32 {
+        let base = self.rack_base[rack as usize];
+        assert!(base != u32::MAX, "rack {rack} has no servers");
+        base + server
+    }
+
+    /// Recomputes every channel's up flag from the link and switch fault
+    /// state. Downed channels keep serializing their queues — those
+    /// packets drain onto the dead wire and are dropped at delivery.
+    pub(crate) fn apply_fault_state(&mut self, down_links: &[bool], down_sw: &[bool]) {
+        for (l, link) in self.links.iter().enumerate() {
+            let up = !down_links[l] && !down_sw[link.a as usize] && !down_sw[link.b as usize];
+            self.channels[2 * l].up = up;
+            self.channels[2 * l + 1].up = up;
+        }
+        for s in 0..self.server_tor.len() {
+            let up = !down_sw[self.server_tor[s] as usize];
+            self.channels[self.host_ch_base as usize + 2 * s].up = up;
+            self.channels[self.host_ch_base as usize + 2 * s + 1].up = up;
+        }
+    }
+
+    /// Total congestion tail drops across all channels.
+    pub(crate) fn total_congestion_drops(&self) -> u64 {
+        self.channels.iter().map(|c| c.drops).sum()
+    }
+
+    /// Packets lost on dead or gray channels.
+    pub(crate) fn total_fault_drops(&self) -> u64 {
+        self.channels.iter().map(|c| c.fault_drops).sum()
+    }
+
+    /// Total ECN marks across all channels.
+    pub(crate) fn total_marks(&self) -> u64 {
+        self.channels.iter().map(|c| c.marks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pkt(bytes: u32, prio: u32) -> Box<Packet> {
+        Box::new(Packet {
+            flow: 0,
+            seq: 0,
+            bytes,
+            ecn_ce: false,
+            is_ack: false,
+            ack_ecn: false,
+            ts: 0,
+            hop: 0,
+            prio,
+            path: Arc::new(vec![]),
+        })
+    }
+
+    #[test]
+    fn tail_drop_marks_above_threshold_and_drops_when_full() {
+        let mut q = TailDropEcn::new(3 * 1500, 1500);
+        assert!(q.enqueue(pkt(1500, 0)).accepted); // 0 < 1500: no mark
+        let out = q.enqueue(pkt(1500, 0)); // queue holds 1500 ≥ K
+        assert!(out.accepted && out.marked);
+        assert!(q.enqueue(pkt(1500, 0)).accepted);
+        let out = q.enqueue(pkt(1500, 0)); // 4500 + 1500 > cap
+        assert_eq!(
+            out,
+            EnqueueOutcome {
+                accepted: false,
+                dropped: 1,
+                marked: false
+            }
+        );
+        // FIFO order out, marks travel with the packets.
+        assert!(!q.dequeue().unwrap().ecn_ce);
+        assert!(q.dequeue().unwrap().ecn_ce);
+        assert!(q.dequeue().unwrap().ecn_ce);
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.queue_bytes(), 0);
+    }
+
+    #[test]
+    fn pfabric_serves_smallest_remaining_first() {
+        let mut q = PFabricQueue::new(10 * 1500);
+        q.enqueue(pkt(1500, 50));
+        q.enqueue(pkt(1500, 3));
+        q.enqueue(pkt(1500, 7));
+        assert_eq!(q.dequeue().unwrap().prio, 3);
+        assert_eq!(q.dequeue().unwrap().prio, 7);
+        assert_eq!(q.dequeue().unwrap().prio, 50);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn pfabric_fifo_among_equal_priorities() {
+        let mut q = PFabricQueue::new(10 * 1500);
+        for seq in 0..3 {
+            let mut p = pkt(1500, 5);
+            p.seq = seq;
+            q.enqueue(p);
+        }
+        assert_eq!(q.dequeue().unwrap().seq, 0);
+        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.dequeue().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn pfabric_evicts_lowest_priority_when_full() {
+        let mut q = PFabricQueue::new(3 * 1500);
+        q.enqueue(pkt(1500, 10));
+        q.enqueue(pkt(1500, 90));
+        q.enqueue(pkt(1500, 20));
+        // Full. An urgent packet evicts the prio-90 straggler...
+        let out = q.enqueue(pkt(1500, 1));
+        assert!(out.accepted);
+        assert_eq!(out.dropped, 1);
+        assert_eq!(q.queue_len(), 3);
+        // ...while a hopeless one is rejected outright.
+        let out = q.enqueue(pkt(1500, 99));
+        assert!(!out.accepted);
+        assert_eq!(out.dropped, 1);
+        // Ties lose too: the tail of the lowest priority is the newcomer.
+        let out = q.enqueue(pkt(1500, 20));
+        assert!(!out.accepted, "equal-priority newcomer must be the victim");
+        assert_eq!(
+            vec![
+                q.dequeue().unwrap().prio,
+                q.dequeue().unwrap().prio,
+                q.dequeue().unwrap().prio
+            ],
+            vec![1, 10, 20]
+        );
+    }
+
+    #[test]
+    fn pfabric_never_marks() {
+        let mut q = PFabricQueue::new(10 * 1500);
+        for _ in 0..9 {
+            assert!(!q.enqueue(pkt(1500, 1)).marked);
+        }
+        assert!(q.dequeue().is_some());
+    }
+
+    #[test]
+    fn kind_builds_matching_discipline() {
+        assert_eq!(
+            QueueDiscKind::TailDropEcn.build(1, 1).name(),
+            "tail_drop_ecn"
+        );
+        assert_eq!(QueueDiscKind::PFabric.build(1, 1).name(), "pfabric");
+    }
+}

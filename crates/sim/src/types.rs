@@ -27,18 +27,66 @@ pub struct Packet {
     pub ts: Ns,
     /// Index of the next channel to traverse in `path`.
     pub hop: u16,
+    /// Scheduling priority for priority-aware queue disciplines; lower is
+    /// more urgent. pFabric stamps the flow's remaining size in packets;
+    /// FIFO disciplines ignore it. ACKs are always priority 0.
+    pub prio: u32,
     /// Directed channel ids from source server to destination server.
     pub path: Arc<Vec<u32>>,
 }
 
-/// Congestion-control flavor.
+/// Congestion-control flavor — the built-in [`crate::host::Transport`]
+/// implementations selectable from a [`SimConfig`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Transport {
+pub enum TransportKind {
     /// DCTCP (the paper's setting): ECN-proportional window scaling.
     Dctcp,
     /// Loss-based NewReno baseline: ECN marks are ignored; the window
     /// reacts only to duplicate ACKs and timeouts.
     NewReno,
+    /// pFabric-style minimal transport: a fixed near-BDP window, no
+    /// AIMD/ECN reaction, loss recovery only. Pair it with
+    /// [`QueueDiscKind::PFabric`] so the fabric schedules by remaining
+    /// flow size.
+    PFabric,
+}
+
+impl TransportKind {
+    /// Parses a config-file name (`dctcp` / `newreno` / `pfabric`).
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "dctcp" => Some(TransportKind::Dctcp),
+            "newreno" => Some(TransportKind::NewReno),
+            "pfabric" => Some(TransportKind::PFabric),
+            _ => None,
+        }
+    }
+}
+
+/// Queue-discipline flavor — the built-in
+/// [`crate::switch::QueueDiscipline`] implementations selectable from a
+/// [`SimConfig`]. Every directed channel (switch port and host NIC queue)
+/// gets its own instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueDiscKind {
+    /// FIFO with tail drop and DCTCP-style ECN marking on enqueue — the
+    /// paper's switch model.
+    TailDropEcn,
+    /// pFabric strict priority: dequeue the smallest-remaining-size packet
+    /// first; when full, drop from the tail of the lowest-priority flow.
+    /// No ECN marking.
+    PFabric,
+}
+
+impl QueueDiscKind {
+    /// Parses a config-file name (`tail_drop_ecn` / `pfabric`).
+    pub fn parse(s: &str) -> Option<QueueDiscKind> {
+        match s {
+            "tail_drop_ecn" => Some(QueueDiscKind::TailDropEcn),
+            "pfabric" => Some(QueueDiscKind::PFabric),
+            _ => None,
+        }
+    }
 }
 
 /// Simulator configuration. Defaults reproduce the paper's §6.4 setup:
@@ -76,7 +124,13 @@ pub struct SimConfig {
     /// self-paces instead of overflowing it).
     pub host_queue_pkts: u32,
     /// Congestion control; the paper evaluates DCTCP.
-    pub transport: Transport,
+    pub transport: TransportKind,
+    /// Per-port queue discipline; the paper's switches are tail-drop FIFOs
+    /// with ECN marking.
+    pub queue_disc: QueueDiscKind,
+    /// Fixed congestion window for the pFabric transport, in packets
+    /// (pFabric hosts send at a near-BDP window and never adapt it).
+    pub pfabric_cwnd_pkts: u32,
     /// Control-plane reconvergence delay: time between a hard fault
     /// (link/switch down or up) and the routing tables being rebuilt on
     /// the survivor topology. Until it elapses selectors keep handing out
@@ -104,7 +158,9 @@ impl Default for SimConfig {
             min_rto_ns: MS,
             dctcp_g: 1.0 / 16.0,
             host_queue_pkts: 256,
-            transport: Transport::Dctcp,
+            transport: TransportKind::Dctcp,
+            queue_disc: QueueDiscKind::TailDropEcn,
+            pfabric_cwnd_pkts: 18,
             reconverge_delay_ns: MS,
             max_events: 0,
         }
@@ -121,7 +177,15 @@ impl SimConfig {
 
     /// Loss-based NewReno baseline instead of DCTCP.
     pub fn with_newreno(mut self) -> Self {
-        self.transport = Transport::NewReno;
+        self.transport = TransportKind::NewReno;
+        self
+    }
+
+    /// The pFabric pair: minimal fixed-window transport plus
+    /// strict-priority remaining-size queues at every port.
+    pub fn with_pfabric(mut self) -> Self {
+        self.transport = TransportKind::PFabric;
+        self.queue_disc = QueueDiscKind::PFabric;
         self
     }
 
@@ -155,5 +219,35 @@ mod tests {
         let c = SimConfig::default().unconstrained_servers();
         assert_eq!(c.server_link_gbps, 1000.0);
         assert_eq!(c.link_gbps, 10.0);
+    }
+
+    #[test]
+    fn pfabric_mode_sets_transport_and_queue() {
+        let c = SimConfig::default().with_pfabric();
+        assert_eq!(c.transport, TransportKind::PFabric);
+        assert_eq!(c.queue_disc, QueueDiscKind::PFabric);
+        // The default pair stays the paper's DCTCP + tail-drop/ECN.
+        let d = SimConfig::default();
+        assert_eq!(d.transport, TransportKind::Dctcp);
+        assert_eq!(d.queue_disc, QueueDiscKind::TailDropEcn);
+    }
+
+    #[test]
+    fn kind_name_parsing() {
+        assert_eq!(TransportKind::parse("dctcp"), Some(TransportKind::Dctcp));
+        assert_eq!(
+            TransportKind::parse("pfabric"),
+            Some(TransportKind::PFabric)
+        );
+        assert_eq!(TransportKind::parse("cubic"), None);
+        assert_eq!(
+            QueueDiscKind::parse("tail_drop_ecn"),
+            Some(QueueDiscKind::TailDropEcn)
+        );
+        assert_eq!(
+            QueueDiscKind::parse("pfabric"),
+            Some(QueueDiscKind::PFabric)
+        );
+        assert_eq!(QueueDiscKind::parse("red"), None);
     }
 }

@@ -1,5 +1,5 @@
 //! Traffic patterns (paper §6.4 and §6.7) and the longest-matching traffic
-//! matrices of the fluid-flow evaluation (§5, following topobench [20]).
+//! matrices of the fluid-flow evaluation (§5, following topobench \[20\]).
 
 use dcn_rng::Rng;
 use dcn_rng::SliceRandom;
@@ -369,7 +369,7 @@ pub fn active_racks_for_servers(
 }
 
 /// Pair-level skew: a stand-in for the ProjecToR Microsoft trace (§6.6),
-/// where "77% of bytes [are] transferred between 4% of the rack-pairs".
+/// where "77% of bytes \[are\] transferred between 4% of the rack-pairs".
 /// Unlike [`Skew`]'s per-rack product weights, the hot set here is a set
 /// of ordered rack *pairs* holding `hot_traffic` of the probability mass —
 /// and, as in the measured trace, those pairs concentrate on a small
@@ -488,7 +488,7 @@ impl TrafficPattern for PairSkew {
     }
 }
 
-/// Longest-matching traffic matrix (§5, topobench [20]): participating
+/// Longest-matching traffic matrix (§5, topobench \[20\]): participating
 /// racks are paired to (heuristically) maximize total pairwise distance —
 /// "flows along long paths consume resources on many edges". Returns the
 /// directed rack pairs (both directions of each match).

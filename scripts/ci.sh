@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo build --examples"
+cargo build --release --workspace --examples
+
+echo "==> examples/quickstart"
+cargo run --release --example quickstart
+
 echo "CI OK"

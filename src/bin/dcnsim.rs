@@ -149,6 +149,25 @@ fn parse_sim(cfg: Option<&Json>) -> SimConfig {
     if cfg.get("newreno").and_then(|v| v.as_bool()) == Some(true) {
         c = c.with_newreno();
     }
+    if let Some(v) = cfg.get("transport") {
+        let s = v
+            .as_str()
+            .unwrap_or_else(|| panic!("config: \"transport\" must be a string"));
+        c.transport = TransportKind::parse(s).unwrap_or_else(|| {
+            panic!("config: unknown transport \"{s}\" (expected one of: dctcp, newreno, pfabric)")
+        });
+    }
+    if let Some(v) = cfg.get("queue") {
+        let s = v
+            .as_str()
+            .unwrap_or_else(|| panic!("config: \"queue\" must be a string"));
+        c.queue_disc = QueueDiscKind::parse(s).unwrap_or_else(|| {
+            panic!("config: unknown queue \"{s}\" (expected one of: tail_drop_ecn, pfabric)")
+        });
+    }
+    if let Some(v) = opt_u64(cfg, "pfabric_cwnd_pkts") {
+        c.pfabric_cwnd_pkts = v as u32;
+    }
     c
 }
 
@@ -184,7 +203,7 @@ const EXAMPLE: &str = r#"{
   "lambda": 10000.0,
   "window_ms": [50, 150],
   "seed": 1,
-  "sim": { "ecn_k_pkts": 20, "flowlet_gap_us": 50 },
+  "sim": { "ecn_k_pkts": 20, "flowlet_gap_us": 50, "transport": "dctcp", "queue": "tail_drop_ecn" },
   "faults": { "kind": "random_link_outages", "count": 2, "down_ms": 60, "up_ms": 90, "seed": 1 }
 }"#;
 

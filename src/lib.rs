@@ -56,8 +56,8 @@ pub mod prelude {
     pub use dcn_maxflow::{max_concurrent_flow, per_server_throughput, Commodity, GkOptions};
     pub use dcn_routing::{EcmpTable, PathSelector, RoutingSuite, Vlb, PAPER_Q_BYTES};
     pub use dcn_sim::{
-        compute_metrics, FaultEvent, FaultKind, FaultPlan, Metrics, SimConfig, Simulator, MS, SEC,
-        US,
+        compute_metrics, FaultEvent, FaultKind, FaultPlan, FlowRecord, Metrics, QueueDiscKind,
+        QueueDiscipline, SimConfig, Simulator, Transport, TransportKind, MS, SEC, US,
     };
     pub use dcn_topology::{
         fattree::FatTree, jellyfish::Jellyfish, longhop::Longhop, slimfly::SlimFly, toy::ToyFig4,

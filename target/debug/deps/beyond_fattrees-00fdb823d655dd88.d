@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beyond_fattrees-00fdb823d655dd88.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbeyond_fattrees-00fdb823d655dd88.rmeta: src/lib.rs
+
+src/lib.rs:

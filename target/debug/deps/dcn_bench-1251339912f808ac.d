@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_bench-1251339912f808ac.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_bench-1251339912f808ac.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

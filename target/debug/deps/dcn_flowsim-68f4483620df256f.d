@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_flowsim-68f4483620df256f.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_flowsim-68f4483620df256f.rmeta: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

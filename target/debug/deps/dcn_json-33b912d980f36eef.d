@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_json-33b912d980f36eef.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_json-33b912d980f36eef.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_maxflow-3cbb1c73dd42e8f3.d: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+/root/repo/target/debug/deps/libdcn_maxflow-3cbb1c73dd42e8f3.rmeta: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+crates/maxflow/src/lib.rs:
+crates/maxflow/src/bound.rs:
+crates/maxflow/src/concurrent.rs:
+crates/maxflow/src/dinic.rs:
+crates/maxflow/src/lp.rs:
+crates/maxflow/src/network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_rng-10cc996606286603.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_rng-10cc996606286603.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_routing-988ec44a6b584c86.d: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+/root/repo/target/debug/deps/libdcn_routing-988ec44a6b584c86.rmeta: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/ecmp.rs:
+crates/routing/src/hyb.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/kspsel.rs:
+crates/routing/src/vlb.rs:

@@ -1,12 +1,15 @@
-/root/repo/target/debug/deps/dcn_sim-56156d173a925310.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/dcn_sim-56156d173a925310.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdcn_sim-56156d173a925310.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/libdcn_sim-56156d173a925310.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/channel.rs:
+crates/sim/src/engine.rs:
 crates/sim/src/fault.rs:
+crates/sim/src/host.rs:
 crates/sim/src/net.rs:
 crates/sim/src/stats.rs:
+crates/sim/src/switch.rs:
 crates/sim/src/types.rs:
 Cargo.toml:
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_workloads-4c72fa24360e9c3c.d: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+/root/repo/target/debug/deps/libdcn_workloads-4c72fa24360e9c3c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arrivals.rs crates/workloads/src/fluid.rs crates/workloads/src/fsize.rs crates/workloads/src/tm.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arrivals.rs:
+crates/workloads/src/fluid.rs:
+crates/workloads/src/fsize.rs:
+crates/workloads/src/tm.rs:

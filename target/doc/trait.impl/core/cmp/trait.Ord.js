@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dcn_maxflow",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dcn_maxflow/network/struct.HeapEntry.html\" title=\"struct dcn_maxflow::network::HeapEntry\">HeapEntry</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[290]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dcn_topology",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"dcn_topology/graph/struct.DisconnectedError.html\" title=\"struct dcn_topology::graph::DisconnectedError\">DisconnectedError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[323]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dcn_json",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"enum\" href=\"dcn_json/enum.Json.html\" title=\"enum dcn_json::Json\">Json</a>",0]]],["dcn_topology",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/fmt/trait.Display.html\" title=\"trait core::fmt::Display\">Display</a> for <a class=\"struct\" href=\"dcn_topology/graph/struct.DisconnectedError.html\" title=\"struct dcn_topology::graph::DisconnectedError\">DisconnectedError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[255,326]}

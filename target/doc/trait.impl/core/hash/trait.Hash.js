@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dcn_topology",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"dcn_topology/graph/enum.NodeKind.html\" title=\"enum dcn_topology::graph::NodeKind\">NodeKind</a>",0]]],["dcn_workloads",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"dcn_workloads/tm/struct.Endpoint.html\" title=\"struct dcn_workloads::tm::Endpoint\">Endpoint</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[285,289]}

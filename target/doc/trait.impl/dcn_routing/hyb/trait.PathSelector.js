@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["beyond_fattrees",[]],["dcn_routing",[]],["dcn_sim",[["impl <a class=\"trait\" href=\"dcn_routing/hyb/trait.PathSelector.html\" title=\"trait dcn_routing::hyb::PathSelector\">PathSelector</a> for <a class=\"struct\" href=\"dcn_sim/fault/struct.RemappedSelector.html\" title=\"struct dcn_sim::fault::RemappedSelector\">RemappedSelector</a>",0]]],["dcn_sim",[["impl PathSelector for <a class=\"struct\" href=\"dcn_sim/fault/struct.RemappedSelector.html\" title=\"struct dcn_sim::fault::RemappedSelector\">RemappedSelector</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[22,19,304,185]}

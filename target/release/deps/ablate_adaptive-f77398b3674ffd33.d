@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_adaptive-f77398b3674ffd33.d: crates/bench/src/bin/ablate_adaptive.rs
+
+/root/repo/target/release/deps/ablate_adaptive-f77398b3674ffd33: crates/bench/src/bin/ablate_adaptive.rs
+
+crates/bench/src/bin/ablate_adaptive.rs:

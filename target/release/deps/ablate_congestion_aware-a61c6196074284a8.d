@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_congestion_aware-a61c6196074284a8.d: crates/bench/src/bin/ablate_congestion_aware.rs
+
+/root/repo/target/release/deps/ablate_congestion_aware-a61c6196074284a8: crates/bench/src/bin/ablate_congestion_aware.rs
+
+crates/bench/src/bin/ablate_congestion_aware.rs:

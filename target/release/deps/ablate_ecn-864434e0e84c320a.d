@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_ecn-864434e0e84c320a.d: crates/bench/src/bin/ablate_ecn.rs
+
+/root/repo/target/release/deps/ablate_ecn-864434e0e84c320a: crates/bench/src/bin/ablate_ecn.rs
+
+crates/bench/src/bin/ablate_ecn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_failures-e78bdb2bb4df9282.d: crates/bench/src/bin/ablate_failures.rs
+
+/root/repo/target/release/deps/ablate_failures-e78bdb2bb4df9282: crates/bench/src/bin/ablate_failures.rs
+
+crates/bench/src/bin/ablate_failures.rs:

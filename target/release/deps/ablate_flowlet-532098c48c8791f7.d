@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_flowlet-532098c48c8791f7.d: crates/bench/src/bin/ablate_flowlet.rs
+
+/root/repo/target/release/deps/ablate_flowlet-532098c48c8791f7: crates/bench/src/bin/ablate_flowlet.rs
+
+crates/bench/src/bin/ablate_flowlet.rs:

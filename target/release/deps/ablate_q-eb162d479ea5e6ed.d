@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_q-eb162d479ea5e6ed.d: crates/bench/src/bin/ablate_q.rs
+
+/root/repo/target/release/deps/ablate_q-eb162d479ea5e6ed: crates/bench/src/bin/ablate_q.rs
+
+crates/bench/src/bin/ablate_q.rs:

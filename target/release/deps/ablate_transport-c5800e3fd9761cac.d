@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_transport-c5800e3fd9761cac.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/release/deps/ablate_transport-c5800e3fd9761cac: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/beyond_fattrees-22ec73bf386ec9be.d: src/lib.rs
+
+/root/repo/target/release/deps/beyond_fattrees-22ec73bf386ec9be: src/lib.rs
+
+src/lib.rs:

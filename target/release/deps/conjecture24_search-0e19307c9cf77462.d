@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conjecture24_search-0e19307c9cf77462.d: crates/bench/src/bin/conjecture24_search.rs
+
+/root/repo/target/release/deps/conjecture24_search-0e19307c9cf77462: crates/bench/src/bin/conjecture24_search.rs
+
+crates/bench/src/bin/conjecture24_search.rs:

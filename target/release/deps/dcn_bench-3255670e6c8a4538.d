@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcn_bench-3255670e6c8a4538.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dcn_bench-3255670e6c8a4538: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

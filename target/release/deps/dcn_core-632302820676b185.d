@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_core-632302820676b185.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/dcn_core-632302820676b185: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/dynamicnet.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flex.rs:
+crates/core/src/theory.rs:

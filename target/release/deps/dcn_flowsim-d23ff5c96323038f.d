@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcn_flowsim-d23ff5c96323038f.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/release/deps/dcn_flowsim-d23ff5c96323038f: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

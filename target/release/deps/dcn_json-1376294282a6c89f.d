@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcn_json-1376294282a6c89f.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/dcn_json-1376294282a6c89f: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_maxflow-bfc8be4867bcd283.d: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+/root/repo/target/release/deps/dcn_maxflow-bfc8be4867bcd283: crates/maxflow/src/lib.rs crates/maxflow/src/bound.rs crates/maxflow/src/concurrent.rs crates/maxflow/src/dinic.rs crates/maxflow/src/lp.rs crates/maxflow/src/network.rs
+
+crates/maxflow/src/lib.rs:
+crates/maxflow/src/bound.rs:
+crates/maxflow/src/concurrent.rs:
+crates/maxflow/src/dinic.rs:
+crates/maxflow/src/lp.rs:
+crates/maxflow/src/network.rs:

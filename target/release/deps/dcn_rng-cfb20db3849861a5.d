@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcn_rng-cfb20db3849861a5.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/dcn_rng-cfb20db3849861a5: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_routing-b1adf70e995467a5.d: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+/root/repo/target/release/deps/dcn_routing-b1adf70e995467a5: crates/routing/src/lib.rs crates/routing/src/ecmp.rs crates/routing/src/hyb.rs crates/routing/src/ksp.rs crates/routing/src/kspsel.rs crates/routing/src/vlb.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/ecmp.rs:
+crates/routing/src/hyb.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/kspsel.rs:
+crates/routing/src/vlb.rs:

@@ -1,12 +1,15 @@
-/root/repo/target/release/deps/dcn_sim-07ec12161cbad64f.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/types.rs
+/root/repo/target/release/deps/dcn_sim-07ec12161cbad64f.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs
 
-/root/repo/target/release/deps/libdcn_sim-07ec12161cbad64f.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/types.rs
+/root/repo/target/release/deps/libdcn_sim-07ec12161cbad64f.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs
 
-/root/repo/target/release/deps/libdcn_sim-07ec12161cbad64f.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/fault.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/types.rs
+/root/repo/target/release/deps/libdcn_sim-07ec12161cbad64f.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/channel.rs:
+crates/sim/src/engine.rs:
 crates/sim/src/fault.rs:
+crates/sim/src/host.rs:
 crates/sim/src/net.rs:
 crates/sim/src/stats.rs:
+crates/sim/src/switch.rs:
 crates/sim/src/types.rs:

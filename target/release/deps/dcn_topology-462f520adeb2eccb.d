@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dcn_topology-462f520adeb2eccb.d: crates/topology/src/lib.rs crates/topology/src/dragonfly.rs crates/topology/src/export.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/jellyfish.rs crates/topology/src/longhop.rs crates/topology/src/metrics.rs crates/topology/src/slimfly.rs crates/topology/src/toy.rs crates/topology/src/xpander.rs
+
+/root/repo/target/release/deps/dcn_topology-462f520adeb2eccb: crates/topology/src/lib.rs crates/topology/src/dragonfly.rs crates/topology/src/export.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/jellyfish.rs crates/topology/src/longhop.rs crates/topology/src/metrics.rs crates/topology/src/slimfly.rs crates/topology/src/toy.rs crates/topology/src/xpander.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/dragonfly.rs:
+crates/topology/src/export.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/jellyfish.rs:
+crates/topology/src/longhop.rs:
+crates/topology/src/metrics.rs:
+crates/topology/src/slimfly.rs:
+crates/topology/src/toy.rs:
+crates/topology/src/xpander.rs:

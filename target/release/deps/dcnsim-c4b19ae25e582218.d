@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcnsim-c4b19ae25e582218.d: src/bin/dcnsim.rs
+
+/root/repo/target/release/deps/dcnsim-c4b19ae25e582218: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-890317c7afc28b5b.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-890317c7afc28b5b: tests/determinism.rs
+
+tests/determinism.rs:

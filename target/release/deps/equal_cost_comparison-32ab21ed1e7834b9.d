@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equal_cost_comparison-32ab21ed1e7834b9.d: tests/equal_cost_comparison.rs
+
+/root/repo/target/release/deps/equal_cost_comparison-32ab21ed1e7834b9: tests/equal_cost_comparison.rs
+
+tests/equal_cost_comparison.rs:

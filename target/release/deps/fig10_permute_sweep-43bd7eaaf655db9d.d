@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_permute_sweep-43bd7eaaf655db9d.d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+/root/repo/target/release/deps/fig10_permute_sweep-43bd7eaaf655db9d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+crates/bench/src/bin/fig10_permute_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_permute_load-fb320a5139029fa4.d: crates/bench/src/bin/fig11_permute_load.rs
+
+/root/repo/target/release/deps/fig11_permute_load-fb320a5139029fa4: crates/bench/src/bin/fig11_permute_load.rs
+
+crates/bench/src/bin/fig11_permute_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_pareto_hull-28ef8e8982db88ec.d: crates/bench/src/bin/fig12_pareto_hull.rs
+
+/root/repo/target/release/deps/fig12_pareto_hull-28ef8e8982db88ec: crates/bench/src/bin/fig12_pareto_hull.rs
+
+crates/bench/src/bin/fig12_pareto_hull.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_projector-bc91b2ace94d9960.d: crates/bench/src/bin/fig13_projector.rs
+
+/root/repo/target/release/deps/fig13_projector-bc91b2ace94d9960: crates/bench/src/bin/fig13_projector.rs
+
+crates/bench/src/bin/fig13_projector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_skew-08a6e9f3f463ad4a.d: crates/bench/src/bin/fig14_skew.rs
+
+/root/repo/target/release/deps/fig14_skew-08a6e9f3f463ad4a: crates/bench/src/bin/fig14_skew.rs
+
+crates/bench/src/bin/fig14_skew.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_large_scale-468cb30f8dc0e876.d: crates/bench/src/bin/fig15_large_scale.rs
+
+/root/repo/target/release/deps/fig15_large_scale-468cb30f8dc0e876: crates/bench/src/bin/fig15_large_scale.rs
+
+crates/bench/src/bin/fig15_large_scale.rs:

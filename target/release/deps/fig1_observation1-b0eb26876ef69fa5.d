@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_observation1-b0eb26876ef69fa5.d: crates/bench/src/bin/fig1_observation1.rs
+
+/root/repo/target/release/deps/fig1_observation1-b0eb26876ef69fa5: crates/bench/src/bin/fig1_observation1.rs
+
+crates/bench/src/bin/fig1_observation1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tp_curve-b6acd66d624c651c.d: crates/bench/src/bin/fig2_tp_curve.rs
+
+/root/repo/target/release/deps/fig2_tp_curve-b6acd66d624c651c: crates/bench/src/bin/fig2_tp_curve.rs
+
+crates/bench/src/bin/fig2_tp_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_xpander_floorplan-c97069790d15ae68.d: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+/root/repo/target/release/deps/fig3_xpander_floorplan-c97069790d15ae68: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_toy_example-048db4d785befa28.d: crates/bench/src/bin/fig4_toy_example.rs
+
+/root/repo/target/release/deps/fig4_toy_example-048db4d785befa28: crates/bench/src/bin/fig4_toy_example.rs
+
+crates/bench/src/bin/fig4_toy_example.rs:

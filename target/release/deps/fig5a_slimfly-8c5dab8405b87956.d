@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a_slimfly-8c5dab8405b87956.d: crates/bench/src/bin/fig5a_slimfly.rs
+
+/root/repo/target/release/deps/fig5a_slimfly-8c5dab8405b87956: crates/bench/src/bin/fig5a_slimfly.rs
+
+crates/bench/src/bin/fig5a_slimfly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b_longhop-344a511fa918b387.d: crates/bench/src/bin/fig5b_longhop.rs
+
+/root/repo/target/release/deps/fig5b_longhop-344a511fa918b387: crates/bench/src/bin/fig5b_longhop.rs
+
+crates/bench/src/bin/fig5b_longhop.rs:

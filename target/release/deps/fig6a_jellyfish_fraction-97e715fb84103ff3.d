@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6a_jellyfish_fraction-97e715fb84103ff3.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+/root/repo/target/release/deps/fig6a_jellyfish_fraction-97e715fb84103ff3: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:

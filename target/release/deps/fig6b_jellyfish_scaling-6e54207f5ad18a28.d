@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6b_jellyfish_scaling-6e54207f5ad18a28.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+/root/repo/target/release/deps/fig6b_jellyfish_scaling-6e54207f5ad18a28: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:

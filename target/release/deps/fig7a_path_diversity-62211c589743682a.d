@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7a_path_diversity-62211c589743682a.d: crates/bench/src/bin/fig7a_path_diversity.rs
+
+/root/repo/target/release/deps/fig7a_path_diversity-62211c589743682a: crates/bench/src/bin/fig7a_path_diversity.rs
+
+crates/bench/src/bin/fig7a_path_diversity.rs:

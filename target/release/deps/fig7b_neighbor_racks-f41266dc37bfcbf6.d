@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7b_neighbor_racks-f41266dc37bfcbf6.d: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+/root/repo/target/release/deps/fig7b_neighbor_racks-f41266dc37bfcbf6: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7c_all_to_all-e8d49c9520290c62.d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+/root/repo/target/release/deps/fig7c_all_to_all-e8d49c9520290c62: crates/bench/src/bin/fig7c_all_to_all.rs
+
+crates/bench/src/bin/fig7c_all_to_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_flow_size_cdfs-60a411fcc5a9d9fc.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+/root/repo/target/release/deps/fig8_flow_size_cdfs-60a411fcc5a9d9fc: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:

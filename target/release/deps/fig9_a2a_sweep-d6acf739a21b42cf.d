@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_a2a_sweep-d6acf739a21b42cf.d: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+/root/repo/target/release/deps/fig9_a2a_sweep-d6acf739a21b42cf: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fluid_vs_packet-93e0f89ffa235aac.d: tests/fluid_vs_packet.rs
+
+/root/repo/target/release/deps/fluid_vs_packet-93e0f89ffa235aac: tests/fluid_vs_packet.rs
+
+tests/fluid_vs_packet.rs:

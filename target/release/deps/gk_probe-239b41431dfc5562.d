@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gk_probe-239b41431dfc5562.d: crates/bench/src/bin/gk_probe.rs
+
+/root/repo/target/release/deps/gk_probe-239b41431dfc5562: crates/bench/src/bin/gk_probe.rs
+
+crates/bench/src/bin/gk_probe.rs:

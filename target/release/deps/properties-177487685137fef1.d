@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-177487685137fef1.d: crates/routing/tests/properties.rs
+
+/root/repo/target/release/deps/properties-177487685137fef1: crates/routing/tests/properties.rs
+
+crates/routing/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a55ee831b47650e2.d: crates/flowsim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a55ee831b47650e2: crates/flowsim/tests/properties.rs
+
+crates/flowsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a9b0d4e32c4add01.d: crates/topology/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a9b0d4e32c4add01: crates/topology/tests/properties.rs
+
+crates/topology/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-c04cbd0ee87b65fb.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/release/deps/properties-c04cbd0ee87b65fb: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f13f1e548b04e6f4.d: crates/maxflow/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f13f1e548b04e6f4: crates/maxflow/tests/properties.rs
+
+crates/maxflow/tests/properties.rs:

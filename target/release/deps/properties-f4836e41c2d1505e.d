@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f4836e41c2d1505e.d: crates/sim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f4836e41c2d1505e: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_invariants-33f77f7f391a83a9.d: tests/property_invariants.rs
+
+/root/repo/target/release/deps/property_invariants-33f77f7f391a83a9: tests/property_invariants.rs
+
+tests/property_invariants.rs:

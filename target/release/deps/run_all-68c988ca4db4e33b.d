@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-68c988ca4db4e33b.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-68c988ca4db4e33b: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_costs-da75197858d81bdc.d: crates/bench/src/bin/table1_costs.rs
+
+/root/repo/target/release/deps/table1_costs-da75197858d81bdc: crates/bench/src/bin/table1_costs.rs
+
+crates/bench/src/bin/table1_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_models-f1f804bec3cf8693.d: examples/dynamic_models.rs
+
+/root/repo/target/release/examples/dynamic_models-f1f804bec3cf8693: examples/dynamic_models.rs
+
+examples/dynamic_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_resilience-32a8580441be7fec.d: examples/failure_resilience.rs
+
+/root/repo/target/release/examples/failure_resilience-32a8580441be7fec: examples/failure_resilience.rs
+
+examples/failure_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_probe-f2f150d7c615879f.d: crates/sim/examples/perf_probe.rs
+
+/root/repo/target/release/examples/perf_probe-f2f150d7c615879f: crates/sim/examples/perf_probe.rs
+
+crates/sim/examples/perf_probe.rs:

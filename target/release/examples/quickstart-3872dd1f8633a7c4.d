@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3872dd1f8633a7c4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3872dd1f8633a7c4: examples/quickstart.rs
+
+examples/quickstart.rs:

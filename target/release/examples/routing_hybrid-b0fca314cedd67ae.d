@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/routing_hybrid-b0fca314cedd67ae.d: examples/routing_hybrid.rs
+
+/root/repo/target/release/examples/routing_hybrid-b0fca314cedd67ae: examples/routing_hybrid.rs
+
+examples/routing_hybrid.rs:

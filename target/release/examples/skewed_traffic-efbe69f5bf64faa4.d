@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/skewed_traffic-efbe69f5bf64faa4.d: examples/skewed_traffic.rs
+
+/root/repo/target/release/examples/skewed_traffic-efbe69f5bf64faa4: examples/skewed_traffic.rs
+
+examples/skewed_traffic.rs:

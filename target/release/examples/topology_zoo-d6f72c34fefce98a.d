@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topology_zoo-d6f72c34fefce98a.d: examples/topology_zoo.rs
+
+/root/repo/target/release/examples/topology_zoo-d6f72c34fefce98a: examples/topology_zoo.rs
+
+examples/topology_zoo.rs:

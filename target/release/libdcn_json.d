@@ -1,0 +1,1 @@
+/root/repo/target/release/libdcn_json.rlib: /root/repo/crates/json/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libdcn_rng.rlib: /root/repo/crates/rng/src/lib.rs

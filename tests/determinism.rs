@@ -38,3 +38,48 @@ fn different_seed_different_workload() {
     let b = pipeline(2);
     assert_ne!(a.1, b.1, "different seeds produced identical workloads");
 }
+
+/// Full pipeline with an *active* fault plan — link flaps, a switch
+/// outage, and a seeded gray (probabilistic-loss) failure — run twice
+/// with the same seed. Every field of every [`FlowRecord`] must match:
+/// the fault controller's RNG, reconvergence epochs, and recovery
+/// timestamps are all part of the deterministic replay contract.
+#[test]
+fn same_seed_same_everything_under_faults() {
+    fn faulted_run(seed: u64, with_faults: bool) -> Vec<FlowRecord> {
+        let xp = Xpander::for_switches(5, 24, 2, seed).build();
+        let pattern = Skew::new(&xp, xp.tors_with_servers(), 0.1, 0.7, seed);
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 2000.0, 0.01, seed);
+
+        // Gray-fail every inter-switch link for a stretch (so the plan is
+        // guaranteed to intersect flow paths and exercise the seeded loss
+        // RNG), plus hard link/switch flaps for reconvergence epochs.
+        let mut plan = FaultPlan::new()
+            .with_seed(seed)
+            .link_down(MS, 3)
+            .switch_down(3 * MS, 1)
+            .link_up(5 * MS, 3)
+            .switch_up(6 * MS, 1);
+        for l in 0..xp.links().len() as u32 {
+            plan = plan.link_gray(2 * MS, l, 0.05).link_clear(7 * MS, l);
+        }
+
+        let mut sim = Simulator::new(&xp, Routing::PAPER_HYB.selector(&xp), SimConfig::default());
+        sim.set_window(0, 10 * MS);
+        sim.inject(&flows);
+        if with_faults {
+            sim.set_fault_plan(&plan);
+        }
+        sim.run(20 * SEC)
+    }
+
+    let a = faulted_run(99, true);
+    let b = faulted_run(99, true);
+    assert_eq!(a, b, "fault-injected runs diverged for the same seed");
+    assert!(!a.is_empty(), "fault run produced no flow records");
+    let clean = faulted_run(99, false);
+    assert_ne!(
+        a, clean,
+        "fault plan had no observable effect on any flow record"
+    );
+}
