@@ -3,7 +3,7 @@
 //! with HYB — checks that the paper's routing result does not secretly
 //! depend on DCTCP's ECN reaction or on FIFO queueing.
 
-use dcn_bench::{fct_point, packet_setup, parse_cli, Series};
+use dcn_bench::{fct_point_traced, packet_setup, parse_cli, Series};
 use dcn_core::{paper_networks, Routing};
 use dcn_sim::SimConfig;
 use dcn_workloads::{active_racks_for_servers, AllToAll, PFabricWebSearch};
@@ -31,17 +31,17 @@ fn main() {
         &["avg_fct_ms", "p99_short_fct_ms", "long_tput_gbps"],
     );
     println!("# transport order: [dctcp, newreno, pfabric]");
-    for (i, cfg) in [
-        SimConfig::default(),
-        SimConfig::default().with_newreno(),
-        SimConfig::default().with_pfabric(),
+    for (i, (name, cfg)) in [
+        ("dctcp", SimConfig::default()),
+        ("newreno", SimConfig::default().with_newreno()),
+        ("pfabric", SimConfig::default().with_pfabric()),
     ]
     .into_iter()
     .enumerate()
     {
-        eprintln!("transport {i}");
+        eprintln!("transport {i} ({name})");
         let pat = AllToAll::new(&pair.xpander, racks.clone());
-        let m = fct_point(
+        let m = fct_point_traced(
             &pair.xpander,
             Routing::PAPER_HYB,
             cfg,
@@ -50,6 +50,7 @@ fn main() {
             lambda,
             setup,
             cli.seed,
+            cli.trace_path(name).as_deref(),
         );
         s.push(
             i as f64,

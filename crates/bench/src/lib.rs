@@ -7,7 +7,9 @@
 //! also writes `results/<name>.json` when `--out <dir>` is given.
 //!
 //! Common flags: `--scale tiny|small|paper` (default `small`) selects the
-//! experiment size (DESIGN.md §4, substitution 4), `--seed N` the RNG seed.
+//! experiment size (DESIGN.md §4, substitution 4), `--seed N` the RNG
+//! seed, `--trace <path>` streams structured simulator events as JSONL
+//! (binaries that run several experiments suffix the path per run).
 
 use dcn_json::Json;
 use std::io::Write;
@@ -18,6 +20,10 @@ pub struct Cli {
     pub scale: dcn_core::Scale,
     pub seed: u64,
     pub out_dir: Option<String>,
+    /// `--trace <path>`: JSONL event-trace destination. Binaries that run
+    /// more than one experiment derive per-run paths from it (see
+    /// [`Cli::trace_path`]).
+    pub trace: Option<String>,
     /// Boolean switches beyond the shared set (e.g. `--dynamic` for the
     /// failure ablation); binaries check them with [`Cli::has_flag`].
     pub flags: Vec<String>,
@@ -29,6 +35,7 @@ impl Default for Cli {
             scale: dcn_core::Scale::Small,
             seed: 1,
             out_dir: None,
+            trace: None,
             flags: Vec::new(),
         }
     }
@@ -39,6 +46,17 @@ impl Cli {
     /// passed.
     pub fn has_flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The `--trace` destination for one named run: `events.jsonl` +
+    /// `"dctcp"` → `events.dctcp.jsonl` (the suffix lands before a final
+    /// extension, if any). `None` when tracing is off.
+    pub fn trace_path(&self, run: &str) -> Option<String> {
+        let base = self.trace.as_deref()?;
+        Some(match base.rsplit_once('.') {
+            Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{run}.{ext}"),
+            _ => format!("{base}.{run}"),
+        })
     }
 }
 
@@ -63,6 +81,10 @@ pub fn parse_cli() -> Cli {
             "--out" => {
                 i += 1;
                 cli.out_dir = Some(args[i].clone());
+            }
+            "--trace" => {
+                i += 1;
+                cli.trace = Some(args[i].clone());
             }
             other if other.starts_with("--") => {
                 cli.flags.push(other.trim_start_matches("--").to_string());
@@ -225,6 +247,16 @@ mod tests {
     }
 
     #[test]
+    fn trace_path_suffixes_before_extension() {
+        let mut cli = Cli::default();
+        assert_eq!(cli.trace_path("dctcp"), None);
+        cli.trace = Some("events.jsonl".to_string());
+        assert_eq!(cli.trace_path("dctcp"), Some("events.dctcp.jsonl".into()));
+        cli.trace = Some("trace".to_string());
+        assert_eq!(cli.trace_path("pfabric"), Some("trace.pfabric".into()));
+    }
+
+    #[test]
     fn sweeps() {
         assert_eq!(fraction_sweep(10).len(), 10);
         assert_eq!(fraction_sweep(10)[9], 1.0);
@@ -338,9 +370,42 @@ pub fn fct_point(
     setup: PacketSetup,
     seed: u64,
 ) -> dcn_sim::Metrics {
+    fct_point_traced(
+        topology, routing, cfg, pattern, sizes, lambda, setup, seed, None,
+    )
+}
+
+/// [`fct_point`] with an optional JSONL trace destination: when `Some`,
+/// every simulator event of the run streams to that file (created or
+/// truncated). Binaries wire this to `--trace` via [`Cli::trace_path`].
+#[allow(clippy::too_many_arguments)]
+pub fn fct_point_traced(
+    topology: &dcn_topology::Topology,
+    routing: dcn_core::Routing,
+    cfg: dcn_sim::SimConfig,
+    pattern: &dyn dcn_workloads::TrafficPattern,
+    sizes: &dyn dcn_workloads::FlowSizeDist,
+    lambda: f64,
+    setup: PacketSetup,
+    seed: u64,
+    trace: Option<&str>,
+) -> dcn_sim::Metrics {
     let flows = dcn_workloads::generate_flows(pattern, sizes, lambda, setup.horizon_s, seed);
-    let (m, _) =
-        dcn_core::run_fct_experiment(topology, routing, cfg, &flows, setup.window, setup.max_time);
+    let tracer: Option<Box<dyn dcn_sim::Tracer>> = trace.map(|p| {
+        eprintln!("tracing events to {p}");
+        Box::new(dcn_sim::JsonlTracer::create(p).unwrap_or_else(|e| panic!("open trace {p}: {e}")))
+            as Box<dyn dcn_sim::Tracer>
+    });
+    let (m, _) = dcn_core::run_fct_experiment_traced(
+        topology,
+        routing,
+        cfg,
+        &flows,
+        setup.window,
+        setup.max_time,
+        None,
+        tracer,
+    );
     if m.completed < m.flows {
         eprintln!(
             "warning: {}/{} window flows unfinished at max_time ({} {:?} λ={lambda})",

@@ -3,7 +3,7 @@
 //! one-call FCT experiment runner.
 
 use dcn_routing::{KspSelector, PathSelector, RoutingSuite, PAPER_Q_BYTES};
-use dcn_sim::{compute_metrics, FaultPlan, Metrics, Ns, SimConfig, Simulator, SEC};
+use dcn_sim::{compute_metrics, FaultPlan, Metrics, Ns, SimConfig, Simulator, Tracer, SEC};
 use dcn_topology::fattree::FatTree;
 use dcn_topology::xpander::Xpander;
 use dcn_topology::Topology;
@@ -152,11 +152,35 @@ pub fn run_fct_experiment_with_faults(
     max_time: Ns,
     faults: Option<&FaultPlan>,
 ) -> (Metrics, SimCounters) {
+    run_fct_experiment_traced(
+        topology, routing, cfg, flows, window, max_time, faults, None,
+    )
+}
+
+/// [`run_fct_experiment_with_faults`] with an optional [`Tracer`] attached
+/// to the simulator for the duration of the run — the observability
+/// entry point used by `--trace` on the harness binaries and by the
+/// trace-regression and conservation tests. `None` keeps the default
+/// [`dcn_sim::NopTracer`] (zero overhead, byte-identical outputs).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fct_experiment_traced(
+    topology: &Topology,
+    routing: Routing,
+    cfg: SimConfig,
+    flows: &[FlowEvent],
+    window: (Ns, Ns),
+    max_time: Ns,
+    faults: Option<&FaultPlan>,
+    tracer: Option<Box<dyn Tracer>>,
+) -> (Metrics, SimCounters) {
     let mut sim = Simulator::new(topology, routing.selector(topology), cfg);
     sim.set_window(window.0, window.1);
     sim.inject(flows);
     if let Some(plan) = faults {
         sim.set_fault_plan(plan);
+    }
+    if let Some(tr) = tracer {
+        sim.set_tracer(tr);
     }
     let records = sim.run(max_time);
     let metrics =

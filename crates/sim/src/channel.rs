@@ -8,7 +8,7 @@
 //! the channel itself only models the transmitter, the wire, and the
 //! fault state.
 
-use crate::switch::QueueDiscipline;
+use crate::switch::{EnqueueOutcome, QueueDiscipline};
 use crate::types::{Ns, Packet};
 
 /// One directed channel.
@@ -38,10 +38,14 @@ pub struct Channel {
     pub loss_prob: f64,
     /// Packets lost to hard or gray faults on this channel.
     pub fault_drops: u64,
+    /// Queued packets evicted by the discipline to admit more urgent
+    /// ones — a subset of [`Channel::drops`], split out so drops can be
+    /// reported by cause.
+    pub evictions: u64,
 }
 
 /// Result of offering a packet to a channel.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Offer {
     /// Channel idle: caller must schedule TxFree(now + ser) and
     /// Deliver(now + ser + prop).
@@ -65,6 +69,7 @@ impl Channel {
             up: true,
             loss_prob: 0.0,
             fault_drops: 0,
+            evictions: 0,
         }
     }
 
@@ -76,21 +81,28 @@ impl Channel {
     /// Offers a packet. On `StartTx` the packet is handed back to the
     /// caller (it owns the in-flight transmission); on `Queued` the
     /// discipline keeps it (possibly evicting less urgent packets — those
-    /// count into [`Channel::drops`]); on `Dropped` it is gone.
-    pub fn offer(&mut self, pkt: Box<Packet>) -> (Offer, Option<Box<Packet>>) {
+    /// count into [`Channel::drops`]); on `Dropped` it is gone. The
+    /// returned [`EnqueueOutcome`] carries the mark flag and eviction
+    /// victims for the observability layer.
+    pub fn offer(&mut self, pkt: Box<Packet>) -> (Offer, Option<Box<Packet>>, EnqueueOutcome) {
         if !self.busy {
             self.busy = true;
-            return (Offer::StartTx, Some(pkt));
+            let out = EnqueueOutcome {
+                accepted: true,
+                ..Default::default()
+            };
+            return (Offer::StartTx, Some(pkt), out);
         }
         let out = self.disc.enqueue(pkt);
         self.drops += out.dropped as u64;
+        self.evictions += out.evicted.len() as u64;
         if out.marked {
             self.marks += 1;
         }
         if out.accepted {
-            (Offer::Queued, None)
+            (Offer::Queued, None, out)
         } else {
-            (Offer::Dropped, None)
+            (Offer::Dropped, None, out)
         }
     }
 
@@ -150,7 +162,7 @@ mod tests {
     #[test]
     fn idle_channel_starts_tx() {
         let mut c = chan();
-        let (o, p) = c.offer(pkt(1500));
+        let (o, p, _) = c.offer(pkt(1500));
         assert_eq!(o, Offer::StartTx);
         assert!(p.is_some());
         assert!(c.busy);
@@ -238,7 +250,10 @@ mod tests {
         let mut urgent = pkt(1500);
         urgent.prio = 1;
         urgent.seq = 7;
-        assert_eq!(c.offer(urgent).0, Offer::Queued, "urgent packet must win");
+        let (o, _, out) = c.offer(urgent);
+        assert_eq!(o, Offer::Queued, "urgent packet must win");
         assert_eq!(c.drops, 1, "the prio-9 victim is a congestion drop");
+        assert_eq!(c.evictions, 1, "and is attributed to eviction");
+        assert_eq!(out.evicted.len(), 1);
     }
 }

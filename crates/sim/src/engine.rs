@@ -28,8 +28,9 @@
 use crate::channel::Offer;
 use crate::fault::{component_labels, FaultController, FaultPlan, RemappedSelector};
 use crate::host::{transport_for, ChannelPath, Flow, Transport};
-use crate::stats::FlowRecord;
+use crate::stats::{DropCounters, FlowRecord, TraceCounters};
 use crate::switch::{DisciplineFactory, Fabric};
+use crate::trace::{NopTracer, TraceEvent, Tracer};
 use crate::types::{Ns, Packet, SimConfig, MS};
 use dcn_routing::ecmp::hash3;
 use dcn_routing::{KspSelector, PathSelector};
@@ -129,6 +130,12 @@ pub struct Simulator {
     faults: FaultController,
     /// Bytes newly acknowledged per 1-ms bin (goodput timeline).
     goodput_bins: Vec<u64>,
+    /// The observability sink ([`crate::trace`]); [`NopTracer`] by
+    /// default.
+    tracer: Box<dyn Tracer>,
+    /// Cached `tracer.enabled()`: every emission site guards on this one
+    /// bool so untraced runs skip event construction entirely.
+    trace_on: bool,
 }
 
 impl Simulator {
@@ -181,7 +188,27 @@ impl Simulator {
             topo: topo.clone(),
             faults: FaultController::new(topo.num_links(), topo.num_nodes()),
             goodput_bins: Vec::new(),
+            tracer: Box::new(NopTracer),
+            trace_on: false,
         }
+    }
+
+    /// Installs a [`Tracer`]; call before [`Simulator::run`]. The default
+    /// is [`NopTracer`], which disables event construction altogether.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.trace_on = tracer.enabled();
+        self.tracer = tracer;
+    }
+
+    /// The folded counters of the installed tracer, when it keeps any
+    /// (a [`crate::trace::CountingTracer`] does).
+    pub fn trace_counters(&self) -> Option<&TraceCounters> {
+        self.tracer.counters()
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.tracer.event(self.now, &ev);
     }
 
     /// Installs a fault plan: every event is scheduled on the event heap
@@ -289,6 +316,7 @@ impl Simulator {
         for fid in 0..self.flows.len() as u32 {
             self.fail_flow(fid);
         }
+        self.tracer.finish();
         self.records()
     }
 
@@ -326,6 +354,37 @@ impl Simulator {
         self.total_congestion_drops() + self.total_fault_drops()
     }
 
+    /// Drops split by cause, from the fabric's own counters (no tracer
+    /// required). `total()` equals [`Simulator::total_drops`].
+    pub fn drop_breakdown(&self) -> DropCounters {
+        let eviction = self.fabric.total_evictions();
+        DropCounters {
+            congestion: self.fabric.total_congestion_drops() - eviction,
+            eviction,
+            fault: self.fabric.total_fault_drops(),
+            noroute: self.faults.noroute_drops,
+        }
+    }
+
+    /// Packets currently queued at channels or on the wire (scheduled for
+    /// delivery) — the in-flight term of the conservation identity when a
+    /// run stops at its horizon.
+    pub fn packets_in_flight(&self) -> u64 {
+        let queued: u64 = self
+            .fabric
+            .channels
+            .iter()
+            .map(|c| c.queue_len() as u64)
+            .sum();
+        let on_wire = self
+            .queue
+            .heap
+            .iter()
+            .filter(|i| matches!(i.ev, Ev::Deliver(_)))
+            .count() as u64;
+        queued + on_wire
+    }
+
     /// Bytes newly acknowledged per 1-ms bin since t=0 — the goodput
     /// timeline robustness plots are drawn from.
     pub fn goodput_timeline_ms(&self) -> &[u64] {
@@ -350,6 +409,17 @@ impl Simulator {
         }
         f.rcv_bitmap = vec![0u64; (f.total_pkts as usize).div_ceil(64)];
         f.window_end = 1;
+        if self.trace_on {
+            let f = &self.flows[fid as usize];
+            let ev = TraceEvent::FlowStart {
+                flow: fid,
+                src: f.src_server,
+                dst: f.dst_server,
+                bytes: f.size_bytes,
+                pkts: f.total_pkts,
+            };
+            self.trace(ev);
+        }
         self.arm_rto(fid);
         self.pump(fid);
     }
@@ -361,6 +431,15 @@ impl Simulator {
     }
 
     fn start_tx(&mut self, ch_id: u32, pkt: Box<Packet>) {
+        if self.trace_on {
+            let ev = TraceEvent::Dequeue {
+                ch: ch_id,
+                flow: pkt.flow,
+                seq: pkt.seq,
+                is_ack: pkt.is_ack,
+            };
+            self.trace(ev);
+        }
         let ch = &self.fabric.channels[ch_id as usize];
         let ser = ch.ser_ns(pkt.bytes);
         let prop = ch.prop_ns;
@@ -375,10 +454,57 @@ impl Simulator {
         };
         if !up || (loss > 0.0 && self.faults.gray_loses(loss)) {
             self.fabric.channels[ch_id as usize].fault_drops += 1;
+            if self.trace_on {
+                self.trace(TraceEvent::DropFault {
+                    ch: ch_id,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    is_ack: pkt.is_ack,
+                });
+            }
             self.note_fault_hit(pkt.flow);
             return;
         }
-        if let (Offer::StartTx, Some(p)) = self.fabric.channels[ch_id as usize].offer(pkt) {
+        let (flow, seq, is_ack) = (pkt.flow, pkt.seq, pkt.is_ack);
+        let (offer, handed, out) = self.fabric.channels[ch_id as usize].offer(pkt);
+        if self.trace_on {
+            match offer {
+                Offer::Queued => {
+                    let ch = &self.fabric.channels[ch_id as usize];
+                    let (qlen, qbytes) = (ch.queue_len() as u32, ch.queue_bytes());
+                    self.trace(TraceEvent::Enqueue {
+                        ch: ch_id,
+                        flow,
+                        seq,
+                        is_ack,
+                        qlen,
+                        qbytes,
+                    });
+                }
+                Offer::Dropped => self.trace(TraceEvent::DropCongestion {
+                    ch: ch_id,
+                    flow,
+                    seq,
+                    is_ack,
+                }),
+                Offer::StartTx => {}
+            }
+            if out.marked {
+                self.trace(TraceEvent::EcnMark {
+                    ch: ch_id,
+                    flow,
+                    seq,
+                });
+            }
+            for &(vf, vs) in &out.evicted {
+                self.trace(TraceEvent::DropEviction {
+                    ch: ch_id,
+                    flow: vf,
+                    seq: vs,
+                });
+            }
+        }
+        if let (Offer::StartTx, Some(p)) = (offer, handed) {
             self.start_tx(ch_id, p)
         }
     }
@@ -389,6 +515,14 @@ impl Simulator {
             // The wire died while this packet was in flight (or queued
             // behind the transmitter): it is lost.
             self.fabric.channels[ch as usize].fault_drops += 1;
+            if self.trace_on {
+                self.trace(TraceEvent::DropFault {
+                    ch,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    is_ack: pkt.is_ack,
+                });
+            }
             self.note_fault_hit(pkt.flow);
             return;
         }
@@ -398,10 +532,19 @@ impl Simulator {
             // Switch: source-routed forward onto the next channel.
             let next = pkt.path[pkt.hop as usize];
             self.send_on(next, pkt);
-        } else if pkt.is_ack {
-            self.on_ack(pkt);
         } else {
-            self.on_data(pkt);
+            if self.trace_on {
+                self.trace(TraceEvent::Deliver {
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    is_ack: pkt.is_ack,
+                });
+            }
+            if pkt.is_ack {
+                self.on_ack(pkt);
+            } else {
+                self.on_data(pkt);
+            }
         }
     }
 
@@ -423,8 +566,12 @@ impl Simulator {
             if f.rcv_cum == f.total_pkts {
                 f.finished_ns = Some(self.now);
                 f.rcv_bitmap = Vec::new();
+                let fct_ns = self.now - f.start_ns;
                 if f.in_window {
                     self.window_remaining -= 1;
+                }
+                if self.trace_on {
+                    self.trace(TraceEvent::FlowFinish { flow: fid, fct_ns });
                 }
             }
         }
@@ -452,6 +599,14 @@ impl Simulator {
             path: rev,
         });
         let first = ack.path[0];
+        if self.trace_on {
+            self.trace(TraceEvent::Send {
+                flow: fid,
+                seq: ack.seq,
+                is_ack: true,
+                bytes: ack.bytes,
+            });
+        }
         self.send_on(first, ack);
     }
 
@@ -495,6 +650,17 @@ impl Simulator {
             rtt_ns,
             &self.cfg,
         );
+        if self.trace_on {
+            // The window value is reported after the transport's reaction.
+            let cwnd_bytes = self.flows[fid as usize].cwnd as u64;
+            self.trace(TraceEvent::Ack {
+                flow: fid,
+                cum: c,
+                ecn: ack.ack_ecn,
+                rtt_ns,
+                cwnd_bytes,
+            });
+        }
         if act.rearm_rto {
             self.arm_rto(fid);
         }
@@ -534,6 +700,12 @@ impl Simulator {
         // hash would keep landing on, the salt steers the retransmission
         // onto a different equal-cost choice without control-plane help.
         f.path_salt = f.path_salt.wrapping_add(1);
+        if self.trace_on {
+            let f = &self.flows[fid as usize];
+            let (backoff, salt) = (f.rto_backoff, f.path_salt);
+            self.trace(TraceEvent::Rto { flow: fid, backoff });
+            self.trace(TraceEvent::PathReselect { flow: fid, salt });
+        }
         self.arm_rto(fid);
         self.pump(fid);
     }
@@ -541,6 +713,14 @@ impl Simulator {
     // ---- fault machinery ----
 
     fn on_fault(&mut self, idx: u32) {
+        if self.trace_on {
+            let k = self.faults.kind(idx);
+            self.trace(TraceEvent::Fault {
+                kind: k.label(),
+                id: k.target(),
+                loss_ppm: k.loss_ppm(),
+            });
+        }
         if self.faults.fire(idx, &mut self.fabric) {
             // Hard (control-plane-visible) fault: reconverge after the
             // configured delay.
@@ -555,6 +735,9 @@ impl Simulator {
     fn on_reconverge(&mut self, epoch: u64) {
         if epoch != self.faults.epoch() {
             return; // a newer fault superseded this rebuild
+        }
+        if self.trace_on {
+            self.trace(TraceEvent::Reconverge { epoch });
         }
         let (survivor, map) = self.faults.survivor_topology(&self.topo);
         self.selector = Box::new(RemappedSelector::new(self.selector.rebuild(&survivor), map));
@@ -585,6 +768,9 @@ impl Simulator {
         f.rcv_bitmap = Vec::new();
         if f.in_window {
             self.window_remaining -= 1;
+        }
+        if self.trace_on {
+            self.trace(TraceEvent::FlowFail { flow: fid });
         }
     }
 
@@ -629,15 +815,29 @@ impl Simulator {
             let path = self.build_path(fid, key, bytes_sent);
             let f = &mut self.flows[fid as usize];
             f.flowlet_count += 1;
+            let flowlet = f.flowlet_count;
             match path {
-                Some(p) => f.cur_path = Some(Arc::new(p)),
+                Some(p) => {
+                    let hops = p.len() as u32;
+                    self.flows[fid as usize].cur_path = Some(Arc::new(p));
+                    if self.trace_on {
+                        self.trace(TraceEvent::FlowletSwitch {
+                            flow: fid,
+                            flowlet,
+                            hops,
+                        });
+                    }
+                }
                 None => {
                     // No route right now (selector rebuilt on a view where
                     // the pair is disconnected): drop at the source. The
                     // RTO rewinds and retries until a recovery restores
                     // the route or the flow is failed.
-                    f.cur_path = None;
+                    self.flows[fid as usize].cur_path = None;
                     self.faults.noroute_drops += 1;
+                    if self.trace_on {
+                        self.trace(TraceEvent::DropNoRoute { flow: fid });
+                    }
                     self.note_fault_hit(fid);
                     return;
                 }
@@ -669,6 +869,14 @@ impl Simulator {
             path: f.cur_path.clone().unwrap(),
         });
         let first = pkt.path[0];
+        if self.trace_on {
+            self.trace(TraceEvent::Send {
+                flow: fid,
+                seq,
+                is_ack: false,
+                bytes: pkt.bytes,
+            });
+        }
         self.send_on(first, pkt);
     }
 

@@ -46,6 +46,40 @@ pub enum FaultKind {
     LinkClear(LinkId),
 }
 
+impl FaultKind {
+    /// The `"kind"` tag used by fault-transition trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown(_) => "link_down",
+            FaultKind::LinkUp(_) => "link_up",
+            FaultKind::SwitchDown(_) => "switch_down",
+            FaultKind::SwitchUp(_) => "switch_up",
+            FaultKind::LinkGray(..) => "link_gray",
+            FaultKind::LinkClear(_) => "link_clear",
+        }
+    }
+
+    /// The link or switch the fault targets.
+    pub fn target(&self) -> u32 {
+        match *self {
+            FaultKind::LinkDown(l)
+            | FaultKind::LinkUp(l)
+            | FaultKind::LinkGray(l, _)
+            | FaultKind::LinkClear(l) => l,
+            FaultKind::SwitchDown(n) | FaultKind::SwitchUp(n) => n,
+        }
+    }
+
+    /// Gray-loss probability in parts per million (0 for hard faults),
+    /// the integer form trace events carry so renderings stay byte-stable.
+    pub fn loss_ppm(&self) -> u32 {
+        match *self {
+            FaultKind::LinkGray(_, p) => (p * 1e6).round() as u32,
+            _ => 0,
+        }
+    }
+}
+
 /// A timed fault.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {
@@ -238,6 +272,11 @@ impl FaultController {
             schedule.push((e.at_ns, idx));
         }
         schedule
+    }
+
+    /// The kind of scheduled event `idx`, for trace reporting.
+    pub(crate) fn kind(&self, idx: u32) -> FaultKind {
+        self.events[idx as usize].kind
     }
 
     /// Fires scheduled event `idx` against the fabric. Returns `true` when
@@ -463,6 +502,16 @@ mod tests {
         let t = Xpander::new(3, 2, 1, 1).build();
         let p = FaultPlan::random_link_outages(&t, 10_000, 0, None, 1);
         assert_eq!(p.events().len(), t.num_links());
+    }
+
+    #[test]
+    fn kind_trace_labels() {
+        assert_eq!(FaultKind::LinkDown(3).label(), "link_down");
+        assert_eq!(FaultKind::LinkDown(3).target(), 3);
+        assert_eq!(FaultKind::SwitchUp(7).label(), "switch_up");
+        assert_eq!(FaultKind::SwitchUp(7).target(), 7);
+        assert_eq!(FaultKind::LinkGray(1, 0.02).loss_ppm(), 20_000);
+        assert_eq!(FaultKind::LinkClear(1).loss_ppm(), 0);
     }
 
     #[test]

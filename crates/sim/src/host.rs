@@ -146,6 +146,13 @@ impl Flow {
         }
     }
 
+    /// Sender-side view of the packets not yet cumulatively acked — the
+    /// remaining size pFabric stamps as its scheduling priority and the
+    /// trace layer reports in flow summaries.
+    pub fn remaining_pkts(&self) -> u32 {
+        self.total_pkts - self.acked
+    }
+
     /// Receiver: record `seq` and advance the cumulative-ACK point.
     pub(crate) fn rcv_mark(&mut self, seq: u32) {
         let (w, b) = ((seq / 64) as usize, seq % 64);
@@ -429,7 +436,7 @@ impl Transport for PFabric {
 
     fn priority(&self, f: &Flow, _cfg: &SimConfig) -> u32 {
         // Remaining flow size in packets — pFabric's ideal priority.
-        f.total_pkts - f.acked
+        f.remaining_pkts()
     }
 }
 
@@ -576,6 +583,7 @@ mod tests {
         let mut f = test_flow(40);
         assert_eq!(PFabric.priority(&f, &cfg), 40);
         f.acked = 25;
+        assert_eq!(f.remaining_pkts(), 15);
         assert_eq!(PFabric.priority(&f, &cfg), 15);
         assert_eq!(Dctcp.priority(&f, &cfg), 0, "FIFO transports don't rank");
     }

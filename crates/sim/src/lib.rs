@@ -11,7 +11,10 @@
 //!   ([`Dctcp`] by default; [`NewReno`] and [`PFabric`] ship too);
 //! - [`switch`] — per-port queues behind the [`QueueDiscipline`] trait
 //!   ([`TailDropEcn`] by default, [`PFabricQueue`] for strict priority);
-//! - [`fault`] — deterministic link/switch failure schedules.
+//! - [`fault`] — deterministic link/switch failure schedules;
+//! - [`trace`] — the observability layer: structured event tracing
+//!   ([`Tracer`]; [`NopTracer`]/[`CountingTracer`]/[`JsonlTracer`]),
+//!   per-channel counters, and the packet-conservation checker.
 //!
 //! Model: output-queued switches with tail-drop queues and DCTCP-style ECN
 //! marking, full-duplex links with serialization + propagation delay,
@@ -59,11 +62,19 @@ pub mod host;
 pub mod net;
 pub mod stats;
 pub mod switch;
+pub mod trace;
 pub mod types;
 
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};
-pub use stats::{compute_metrics, percentile, FlowRecord, Metrics, SHORT_FLOW_BYTES};
+pub use stats::{
+    compute_metrics, percentile, ChannelCounters, DropCounters, FlowRecord, Metrics, TraceCounters,
+    SHORT_FLOW_BYTES,
+};
 pub use switch::{DisciplineFactory, EnqueueOutcome, PFabricQueue, QueueDiscipline, TailDropEcn};
+pub use trace::{
+    check_conservation, Conservation, CountingTracer, JsonlTracer, NopTracer, SharedBuf,
+    TraceEvent, Tracer,
+};
 pub use types::{Ns, Packet, QueueDiscKind, SimConfig, TransportKind, MS, SEC, US};

@@ -1,7 +1,10 @@
 //! Flow-completion statistics, following §6.4: "average FCT for all flows,
 //! 99th percentile FCT for short flows (<100 KB), and average throughput
-//! for the rest", over flows started within a measurement window.
+//! for the rest", over flows started within a measurement window — plus
+//! the per-channel and by-cause counters the observability layer
+//! ([`crate::trace`]) folds trace events into.
 
+use crate::trace::TraceEvent;
 use crate::types::Ns;
 
 /// Boundary between "short" and "long" flows (paper: 100 KB).
@@ -133,6 +136,146 @@ pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metric
     m
 }
 
+/// Packet drops split by cause. `congestion` + `eviction` equals the
+/// fabric's tail-drop count; `fault` + `noroute` equals its fault-drop
+/// count, so the split refines (never disagrees with) the aggregate
+/// counters reported through `SimCounters`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    /// The offered packet was rejected by a full queue (tail drop).
+    pub congestion: u64,
+    /// A queued packet was evicted for a more urgent one (pFabric).
+    pub eviction: u64,
+    /// Lost on a dead or gray channel.
+    pub fault: u64,
+    /// Refused at the source because the selector had no route.
+    pub noroute: u64,
+}
+
+impl DropCounters {
+    /// All drops regardless of cause.
+    pub fn total(&self) -> u64 {
+        self.congestion + self.eviction + self.fault + self.noroute
+    }
+}
+
+/// Per-channel occupancy and loss accounting, folded from trace events.
+/// Indexed by the fabric's channel numbering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelCounters {
+    /// Packets that joined this channel's queue (excludes packets that
+    /// started serializing immediately on an idle channel).
+    pub enqueues: u64,
+    /// Packets that began serializing.
+    pub dequeues: u64,
+    /// Occupancy high-water mark in packets, sampled after each enqueue.
+    pub hwm_pkts: u32,
+    /// Occupancy high-water mark in bytes.
+    pub hwm_bytes: u64,
+    /// ECN CE marks applied here.
+    pub marks: u64,
+    /// Tail drops of offered packets.
+    pub drops_congestion: u64,
+    /// Evictions of queued packets.
+    pub drops_eviction: u64,
+    /// Losses to dead or gray channel state.
+    pub drops_fault: u64,
+}
+
+/// Whole-run counters maintained by
+/// [`CountingTracer`](crate::trace::CountingTracer): global packet
+/// accounting (the conservation identity's terms), drops by cause, and
+/// per-channel detail.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCounters {
+    /// Data packets created at senders.
+    pub sent_data: u64,
+    /// ACK packets created at receivers.
+    pub sent_acks: u64,
+    /// Data packets that reached the destination host.
+    pub delivered_data: u64,
+    /// ACKs that reached the sender.
+    pub delivered_acks: u64,
+    pub drops: DropCounters,
+    /// ECN marks across all channels.
+    pub marks: u64,
+    pub rtos: u64,
+    pub flowlet_switches: u64,
+    pub path_reselects: u64,
+    pub fault_transitions: u64,
+    pub flows_started: u64,
+    pub flows_finished: u64,
+    pub flows_failed: u64,
+    /// Per-channel counters, grown on demand (channels that never saw a
+    /// traced event may be absent from the tail).
+    pub per_channel: Vec<ChannelCounters>,
+}
+
+impl TraceCounters {
+    fn channel(&mut self, ch: u32) -> &mut ChannelCounters {
+        let i = ch as usize;
+        if self.per_channel.len() <= i {
+            self.per_channel.resize(i + 1, ChannelCounters::default());
+        }
+        &mut self.per_channel[i]
+    }
+
+    /// Folds one event into the counters.
+    pub fn record(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::FlowStart { .. } => self.flows_started += 1,
+            TraceEvent::FlowFinish { .. } => self.flows_finished += 1,
+            TraceEvent::FlowFail { .. } => self.flows_failed += 1,
+            TraceEvent::Send { is_ack, .. } => {
+                if is_ack {
+                    self.sent_acks += 1;
+                } else {
+                    self.sent_data += 1;
+                }
+            }
+            TraceEvent::Enqueue {
+                ch, qlen, qbytes, ..
+            } => {
+                let c = self.channel(ch);
+                c.enqueues += 1;
+                c.hwm_pkts = c.hwm_pkts.max(qlen);
+                c.hwm_bytes = c.hwm_bytes.max(qbytes);
+            }
+            TraceEvent::Dequeue { ch, .. } => self.channel(ch).dequeues += 1,
+            TraceEvent::Deliver { is_ack, .. } => {
+                if is_ack {
+                    self.delivered_acks += 1;
+                } else {
+                    self.delivered_data += 1;
+                }
+            }
+            TraceEvent::EcnMark { ch, .. } => {
+                self.marks += 1;
+                self.channel(ch).marks += 1;
+            }
+            TraceEvent::DropCongestion { ch, .. } => {
+                self.drops.congestion += 1;
+                self.channel(ch).drops_congestion += 1;
+            }
+            TraceEvent::DropEviction { ch, .. } => {
+                self.drops.eviction += 1;
+                self.channel(ch).drops_eviction += 1;
+            }
+            TraceEvent::DropFault { ch, .. } => {
+                self.drops.fault += 1;
+                self.channel(ch).drops_fault += 1;
+            }
+            TraceEvent::DropNoRoute { .. } => self.drops.noroute += 1,
+            TraceEvent::Ack { .. } => {}
+            TraceEvent::Rto { .. } => self.rtos += 1,
+            TraceEvent::PathReselect { .. } => self.path_reselects += 1,
+            TraceEvent::FlowletSwitch { .. } => self.flowlet_switches += 1,
+            TraceEvent::Fault { .. } => self.fault_transitions += 1,
+            TraceEvent::Reconverge { .. } => {}
+        }
+    }
+}
+
 /// Nearest-rank percentile; 0.0 for an empty sample.
 pub fn percentile(values: &mut [f64], p: f64) -> f64 {
     if values.is_empty() {
@@ -261,5 +404,102 @@ mod tests {
         let mut v = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&mut v, 0.5), 2.0);
         assert_eq!(percentile(&mut v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_extreme_ranks() {
+        // p=0 clamps to the first rank rather than indexing out of range;
+        // a single sample answers every percentile with itself.
+        let mut v = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 1e-9), 1.0);
+        assert_eq!(percentile(&mut [7.5], 0.0), 7.5);
+        assert_eq!(percentile(&mut [7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn all_failed_flows_yield_zeroed_averages() {
+        // Every window flow failed: counts are tracked but no average is
+        // fabricated from an empty completed set.
+        let records: Vec<FlowRecord> = (0..4)
+            .map(|i| {
+                let mut r = rec(1, if i % 2 == 0 { 10_000 } else { 500_000 }, None);
+                r.failed = true;
+                r
+            })
+            .collect();
+        let m = compute_metrics(&records, 0, 10 * MS);
+        assert_eq!(m.flows, 4);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.failed, 4);
+        assert_eq!(m.avg_fct_ms, 0.0);
+        assert_eq!(m.p99_short_fct_ms, 0.0);
+        assert_eq!(m.avg_long_tput_gbps, 0.0);
+        assert_eq!(m.avg_recovery_ms, 0.0);
+    }
+
+    #[test]
+    fn drop_counters_total_sums_causes() {
+        let d = DropCounters {
+            congestion: 5,
+            eviction: 2,
+            fault: 3,
+            noroute: 1,
+        };
+        assert_eq!(d.total(), 11);
+        assert_eq!(DropCounters::default().total(), 0);
+    }
+
+    #[test]
+    fn trace_counters_fold_by_cause_and_channel() {
+        let mut c = TraceCounters::default();
+        for _ in 0..3 {
+            c.record(&TraceEvent::DropCongestion {
+                ch: 2,
+                flow: 0,
+                seq: 0,
+                is_ack: false,
+            });
+        }
+        c.record(&TraceEvent::DropEviction {
+            ch: 2,
+            flow: 1,
+            seq: 4,
+        });
+        c.record(&TraceEvent::DropFault {
+            ch: 5,
+            flow: 1,
+            seq: 4,
+            is_ack: true,
+        });
+        c.record(&TraceEvent::DropNoRoute { flow: 9 });
+        assert_eq!(c.drops.congestion, 3);
+        assert_eq!(c.drops.eviction, 1);
+        assert_eq!(c.drops.fault, 1);
+        assert_eq!(c.drops.noroute, 1);
+        assert_eq!(c.drops.total(), 6);
+        assert_eq!(c.per_channel[2].drops_congestion, 3);
+        assert_eq!(c.per_channel[2].drops_eviction, 1);
+        assert_eq!(c.per_channel[5].drops_fault, 1);
+        // Channels between the touched ones exist but are zeroed.
+        assert_eq!(c.per_channel[3], ChannelCounters::default());
+    }
+
+    #[test]
+    fn high_water_mark_is_monotone() {
+        let mut c = TraceCounters::default();
+        for (qlen, qbytes) in [(1u32, 1500u64), (4, 6000), (2, 3000)] {
+            c.record(&TraceEvent::Enqueue {
+                ch: 0,
+                flow: 0,
+                seq: 0,
+                is_ack: false,
+                qlen,
+                qbytes,
+            });
+        }
+        assert_eq!(c.per_channel[0].hwm_pkts, 4);
+        assert_eq!(c.per_channel[0].hwm_bytes, 6000);
+        assert_eq!(c.per_channel[0].enqueues, 3);
     }
 }

@@ -36,6 +36,11 @@ pub struct EnqueueOutcome {
     pub dropped: u32,
     /// An ECN CE mark was applied to the offered packet.
     pub marked: bool,
+    /// `(flow, seq)` of each queued packet evicted to make room for the
+    /// offered one (excludes the offered packet itself when rejected).
+    /// Empty for disciplines that never evict, so the common path
+    /// allocates nothing.
+    pub evicted: Vec<(u32, u32)>,
 }
 
 /// A per-port packet queue: the switch-layer seam.
@@ -103,7 +108,7 @@ impl QueueDiscipline for TailDropEcn {
             return EnqueueOutcome {
                 accepted: false,
                 dropped: 1,
-                marked: false,
+                ..Default::default()
             };
         }
         // DCTCP: mark on enqueue when the instantaneous queue exceeds K.
@@ -115,8 +120,8 @@ impl QueueDiscipline for TailDropEcn {
         self.queue.push_back(pkt);
         EnqueueOutcome {
             accepted: true,
-            dropped: 0,
             marked,
+            ..Default::default()
         }
     }
 
@@ -175,7 +180,7 @@ impl PFabricQueue {
 
 impl QueueDiscipline for PFabricQueue {
     fn enqueue(&mut self, pkt: Box<Packet>) -> EnqueueOutcome {
-        let mut dropped = 0;
+        let mut evicted = Vec::new();
         while self.bytes + pkt.bytes as u64 > self.cap_bytes {
             match self.worst() {
                 // A strictly less urgent packet is queued: evict it. On a
@@ -183,13 +188,14 @@ impl QueueDiscipline for PFabricQueue {
                 Some(w) if self.queue[w].prio > pkt.prio => {
                     let victim = self.queue.remove(w).unwrap();
                     self.bytes -= victim.bytes as u64;
-                    dropped += 1;
+                    evicted.push((victim.flow, victim.seq));
                 }
                 _ => {
                     return EnqueueOutcome {
                         accepted: false,
-                        dropped: dropped + 1,
+                        dropped: evicted.len() as u32 + 1,
                         marked: false,
+                        evicted,
                     };
                 }
             }
@@ -198,8 +204,9 @@ impl QueueDiscipline for PFabricQueue {
         self.queue.push_back(pkt);
         EnqueueOutcome {
             accepted: true,
-            dropped,
+            dropped: evicted.len() as u32,
             marked: false,
+            evicted,
         }
     }
 
@@ -342,9 +349,16 @@ impl Fabric {
         }
     }
 
-    /// Total congestion tail drops across all channels.
+    /// Total congestion tail drops across all channels (includes
+    /// priority evictions).
     pub(crate) fn total_congestion_drops(&self) -> u64 {
         self.channels.iter().map(|c| c.drops).sum()
+    }
+
+    /// Queued packets evicted by priority disciplines (a subset of
+    /// [`Fabric::total_congestion_drops`]).
+    pub(crate) fn total_evictions(&self) -> u64 {
+        self.channels.iter().map(|c| c.evictions).sum()
     }
 
     /// Packets lost on dead or gray channels.
@@ -391,7 +405,8 @@ mod tests {
             EnqueueOutcome {
                 accepted: false,
                 dropped: 1,
-                marked: false
+                marked: false,
+                evicted: vec![],
             }
         );
         // FIFO order out, marks travel with the packets.
@@ -431,17 +446,22 @@ mod tests {
     fn pfabric_evicts_lowest_priority_when_full() {
         let mut q = PFabricQueue::new(3 * 1500);
         q.enqueue(pkt(1500, 10));
-        q.enqueue(pkt(1500, 90));
+        let mut straggler = pkt(1500, 90);
+        straggler.flow = 4;
+        straggler.seq = 2;
+        q.enqueue(straggler);
         q.enqueue(pkt(1500, 20));
         // Full. An urgent packet evicts the prio-90 straggler...
         let out = q.enqueue(pkt(1500, 1));
         assert!(out.accepted);
         assert_eq!(out.dropped, 1);
+        assert_eq!(out.evicted, vec![(4, 2)], "victim identity reported");
         assert_eq!(q.queue_len(), 3);
         // ...while a hopeless one is rejected outright.
         let out = q.enqueue(pkt(1500, 99));
         assert!(!out.accepted);
         assert_eq!(out.dropped, 1);
+        assert!(out.evicted.is_empty(), "rejection evicts nothing");
         // Ties lose too: the tail of the lowest priority is the newcomer.
         let out = q.enqueue(pkt(1500, 20));
         assert!(!out.accepted, "equal-priority newcomer must be the victim");

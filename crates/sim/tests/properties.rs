@@ -4,11 +4,11 @@
 
 use dcn_rng::Rng;
 use dcn_routing::RoutingSuite;
-use dcn_sim::{FaultPlan, SimConfig, Simulator, MS, SEC};
+use dcn_sim::{CountingTracer, FaultPlan, SimConfig, Simulator, MS, SEC};
 use dcn_topology::fattree::FatTree;
 use dcn_topology::xpander::Xpander;
 use dcn_workloads::tm::Endpoint;
-use dcn_workloads::{generate_flows, AllToAll, FixedSize, FlowEvent};
+use dcn_workloads::{generate_flows, AllToAll, FixedSize, FlowEvent, PFabricWebSearch};
 
 /// Every injected flow completes on an idle-enough network, and FCT is
 /// at least the serialization floor and at most the run horizon.
@@ -192,6 +192,200 @@ fn faulted_runs_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// Byte capacity of fabric channel `ch`: inter-switch channels come
+/// first (two per link), then per-server (up, down) pairs — the up
+/// direction is the deep NIC queue, the down direction a switch port.
+fn channel_cap(ch: u32, link_channels: u32, link_cap: u64, host_cap: u64) -> u64 {
+    if ch < link_channels || (ch - link_channels) % 2 == 1 {
+        link_cap
+    } else {
+        host_cap
+    }
+}
+
+/// Tail-drop + ECN discipline invariants, observed through the trace
+/// counters of full runs: no queue ever holds more bytes than its
+/// configured capacity, channels that marked packets must have crossed
+/// the ECN threshold, and tail-drop never evicts.
+#[test]
+fn taildrop_occupancy_and_marks_respect_config() {
+    let mut meta = Rng::seed_from_u64(0x0b5e);
+    let t = FatTree::full(4).build();
+    let link_channels = t.num_links() as u32 * 2;
+    for _ in 0..6 {
+        let queue = meta.gen_range(6u32..40);
+        let ecn_k = 1 + meta.gen_range(0u32..queue / 2);
+        let seed = meta.gen_range(0u64..50);
+        let cfg = SimConfig {
+            queue_pkts: queue,
+            ecn_k_pkts: ecn_k,
+            ..Default::default()
+        };
+        let mtu = cfg.mtu as u64;
+        let (link_cap, host_cap) = (queue as u64 * mtu, cfg.host_queue_pkts as u64 * mtu);
+        let ecn_at = ecn_k as u64 * mtu;
+
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &FixedSize(150_000), 2_500.0, 0.005, seed);
+        sim.set_window(0, 5 * MS);
+        sim.inject(&flows);
+        sim.set_tracer(Box::new(CountingTracer::new()));
+        sim.run(120 * SEC);
+
+        let c = sim.trace_counters().expect("counting tracer");
+        let mut marks = 0;
+        for (ch, cc) in c.per_channel.iter().enumerate() {
+            let cap = channel_cap(ch as u32, link_channels, link_cap, host_cap);
+            assert!(
+                cc.hwm_bytes <= cap,
+                "ch {ch}: occupancy {} exceeded capacity {cap}",
+                cc.hwm_bytes
+            );
+            if cc.marks > 0 {
+                assert!(
+                    cc.hwm_bytes >= ecn_at,
+                    "ch {ch}: marked below the ECN threshold ({} < {ecn_at})",
+                    cc.hwm_bytes
+                );
+            }
+            assert_eq!(cc.drops_eviction, 0, "tail-drop evicted on ch {ch}");
+            marks += cc.marks;
+        }
+        assert_eq!(marks, sim.total_marks(), "tracer and fabric disagree");
+    }
+}
+
+/// pFabric discipline invariants through the trace counters: a channel
+/// only evicts when its queue was actually full (occupancy within one
+/// MTU of capacity), and the strict-priority queue never ECN-marks.
+#[test]
+fn pfabric_evicts_only_when_full() {
+    let mut meta = Rng::seed_from_u64(0xFAB0);
+    let t = FatTree::full(4).build();
+    let link_channels = t.num_links() as u32 * 2;
+    let mut saw_eviction = false;
+    for _ in 0..6 {
+        let queue = 4 + meta.gen_range(0u32..6);
+        let seed = meta.gen_range(0u64..50);
+        let cfg = SimConfig {
+            queue_pkts: queue,
+            ..SimConfig::default().with_pfabric()
+        };
+        let mtu = cfg.mtu as u64;
+        let (link_cap, host_cap) = (queue as u64 * mtu, cfg.host_queue_pkts as u64 * mtu);
+
+        let suite = RoutingSuite::new(&t);
+        let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), cfg);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 3_000.0, 0.005, seed);
+        sim.set_window(0, 5 * MS);
+        sim.inject(&flows);
+        sim.set_tracer(Box::new(CountingTracer::new()));
+        sim.run(120 * SEC);
+
+        let c = sim.trace_counters().expect("counting tracer");
+        assert_eq!(c.marks, 0, "pFabric queues must never mark");
+        for (ch, cc) in c.per_channel.iter().enumerate() {
+            if cc.drops_eviction == 0 {
+                continue;
+            }
+            saw_eviction = true;
+            let cap = channel_cap(ch as u32, link_channels, link_cap, host_cap);
+            assert!(
+                cc.hwm_bytes + mtu > cap,
+                "ch {ch}: evicted while queue held only {} of {cap} bytes",
+                cc.hwm_bytes
+            );
+        }
+    }
+    assert!(saw_eviction, "sweep never exercised an eviction");
+}
+
+/// Model-based check of the pFabric queue against a naive reference:
+/// random enqueue/dequeue sequences must always serve the smallest
+/// priority (earliest arrival among ties) and only evict strictly less
+/// urgent packets, and only when full.
+#[test]
+fn pfabric_queue_matches_srpt_model() {
+    use dcn_sim::{PFabricQueue, Packet, QueueDiscipline};
+    use std::sync::Arc;
+
+    let mk = |prio: u32, seq: u32| {
+        Box::new(Packet {
+            flow: prio,
+            seq,
+            bytes: 1500,
+            ecn_ce: false,
+            is_ack: false,
+            ack_ecn: false,
+            ts: 0,
+            hop: 0,
+            prio,
+            path: Arc::new(vec![]),
+        })
+    };
+
+    let mut meta = Rng::seed_from_u64(0x512F);
+    for _ in 0..20 {
+        let cap_pkts = 2 + meta.gen_range(0u64..8);
+        let mut q = PFabricQueue::new(cap_pkts * 1500);
+        // Reference queue: (prio, arrival id) in arrival order.
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        let mut arrivals = 0u32;
+        for _ in 0..300 {
+            if meta.gen_range(0.0..1.0) < 0.55 {
+                let prio = meta.gen_range(0u32..6);
+                let seq = arrivals;
+                arrivals += 1;
+                let out = q.enqueue(mk(prio, seq));
+                // Reference: evict the worst (max prio, latest arrival)
+                // while full, but only if strictly less urgent.
+                let mut expect_evicted = Vec::new();
+                let accepted = loop {
+                    if model.len() < cap_pkts as usize {
+                        break true;
+                    }
+                    let worst = (0..model.len()).max_by_key(|&i| (model[i].0, i)).unwrap();
+                    if model[worst].0 > prio {
+                        expect_evicted.push(model.remove(worst));
+                    } else {
+                        break false;
+                    }
+                };
+                assert_eq!(out.accepted, accepted);
+                assert_eq!(out.evicted, expect_evicted, "wrong victims");
+                assert!(
+                    out.evicted.is_empty() || accepted,
+                    "evicted without admitting the newcomer"
+                );
+                if accepted {
+                    model.push((prio, seq));
+                }
+            } else {
+                let expect = (0..model.len()).min_by_key(|&i| (model[i].0, i));
+                match (q.dequeue(), expect) {
+                    (Some(p), Some(i)) => {
+                        let (prio, seq) = model.remove(i);
+                        assert_eq!(
+                            (p.prio, p.seq),
+                            (prio, seq),
+                            "dequeue is not smallest-priority-first"
+                        );
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        panic!("dequeue disagreed with model: {got:?} vs {want:?}")
+                    }
+                }
+            }
+            assert_eq!(q.queue_len(), model.len());
+            assert!(q.queue_bytes() <= cap_pkts * 1500);
+        }
+    }
 }
 
 /// A fault-free run is byte-identical whether or not an empty fault plan

@@ -13,6 +13,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> golden trace regression"
+cargo test --release -q --test trace_regression
+
+echo "==> traced dcnsim run + JSONL schema check"
+trace_out="$(mktemp -d)/trace_tiny.jsonl"
+cargo run --release --bin dcnsim -- examples/configs/trace_tiny.json \
+  --trace "$trace_out" > /dev/null
+test -s "$trace_out"
+# Every line is a flat JSON object led by integer time and event tag.
+if grep -qvE '^\{"t": [0-9]+, "ev": "[a-z_]+"' "$trace_out"; then
+  echo "malformed trace line:"; grep -vE '^\{"t": [0-9]+, "ev": "[a-z_]+"' "$trace_out" | head -3
+  exit 1
+fi
+grep -q '"ev": "enqueue"' "$trace_out"
+grep -q '"ev": "fault"' "$trace_out"
+rm -rf "$(dirname "$trace_out")"
+
+echo "==> tracing overhead gate (NopTracer must stay free)"
+cargo run --release -p dcn-bench --bin trace_overhead -- --check > /dev/null
+
 echo "==> cargo build --examples"
 cargo build --release --workspace --examples
 

@@ -9,7 +9,11 @@
 //! The config selects a topology, routing scheme, workload, arrival rate,
 //! simulator constants, and (optionally) a fault plan; the tool prints the
 //! paper's three headline metrics (and a full JSON report to stdout with
-//! `--json`).
+//! `--json`). Pass `--trace events.jsonl` (or set `"trace":
+//! "events.jsonl"` in the config) to stream every simulator event —
+//! enqueues, ECN marks, drops by cause, ACKs, RTOs, fault transitions —
+//! as one JSON object per line (see DESIGN.md §Observability for the
+//! schema).
 
 use beyond_fattrees::prelude::*;
 use dcn_json::Json;
@@ -214,19 +218,21 @@ fn main() {
         return;
     }
     let json_out = args.iter().any(|a| a == "--json");
-    // First positional argument, skipping flag values (--dot takes one).
+    // First positional argument, skipping flag values (--dot/--trace take one).
     let mut path: Option<&String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--dot" => i += 1, // skip its value
+            "--dot" | "--trace" => i += 1, // skip its value
             a if !a.starts_with("--") && path.is_none() => path = Some(&args[i]),
             _ => {}
         }
         i += 1;
     }
-    let path = path
-        .expect("usage: dcnsim <config.json> [--json] [--dot out.dot] | dcnsim --print-example");
+    let path = path.expect(
+        "usage: dcnsim <config.json> [--json] [--dot out.dot] [--trace out.jsonl] \
+         | dcnsim --print-example",
+    );
     let body = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let cfg = Json::parse(&body).unwrap_or_else(|e| panic!("parse {path}: {e}"));
 
@@ -302,7 +308,28 @@ fn main() {
     if let Some(plan) = &faults {
         eprintln!("faults: {} scheduled events", plan.events().len());
     }
-    let (m, counters) = run_fct_experiment_with_faults(
+    // Trace destination: `--trace <path>` wins over the config's "trace" key.
+    let trace_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--trace takes a file path")
+                .to_string()
+        })
+        .or_else(|| {
+            cfg.get("trace").map(|v| {
+                v.as_str()
+                    .unwrap_or_else(|| panic!("config: \"trace\" must be a string path"))
+                    .to_string()
+            })
+        });
+    let tracer: Option<Box<dyn Tracer>> = trace_path.as_deref().map(|p| {
+        eprintln!("tracing events to {p}");
+        Box::new(JsonlTracer::create(p).unwrap_or_else(|e| panic!("open trace {p}: {e}")))
+            as Box<dyn Tracer>
+    });
+    let (m, counters) = run_fct_experiment_traced(
         &topo,
         parse_routing(need(&cfg, "routing")),
         parse_sim(cfg.get("sim")),
@@ -310,6 +337,7 @@ fn main() {
         window,
         window.1.saturating_mul(40),
         faults.as_ref(),
+        tracer,
     );
 
     if json_out {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_adaptive-9220f2446c5aa46b.d: crates/bench/src/bin/ablate_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_adaptive-9220f2446c5aa46b.rmeta: crates/bench/src/bin/ablate_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablate_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_adaptive-c8c39576d912eb55.d: crates/bench/src/bin/ablate_adaptive.rs
+
+/root/repo/target/debug/deps/ablate_adaptive-c8c39576d912eb55: crates/bench/src/bin/ablate_adaptive.rs
+
+crates/bench/src/bin/ablate_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_adaptive-eb6c16877f0f6757.d: crates/bench/src/bin/ablate_adaptive.rs
+
+/root/repo/target/debug/deps/ablate_adaptive-eb6c16877f0f6757: crates/bench/src/bin/ablate_adaptive.rs
+
+crates/bench/src/bin/ablate_adaptive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_congestion_aware-0037a08ca1837bd2.d: crates/bench/src/bin/ablate_congestion_aware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_congestion_aware-0037a08ca1837bd2.rmeta: crates/bench/src/bin/ablate_congestion_aware.rs Cargo.toml
+
+crates/bench/src/bin/ablate_congestion_aware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_congestion_aware-124683e86cf67ab8.d: crates/bench/src/bin/ablate_congestion_aware.rs
+
+/root/repo/target/debug/deps/ablate_congestion_aware-124683e86cf67ab8: crates/bench/src/bin/ablate_congestion_aware.rs
+
+crates/bench/src/bin/ablate_congestion_aware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_congestion_aware-ed2972d33f54b227.d: crates/bench/src/bin/ablate_congestion_aware.rs
+
+/root/repo/target/debug/deps/ablate_congestion_aware-ed2972d33f54b227: crates/bench/src/bin/ablate_congestion_aware.rs
+
+crates/bench/src/bin/ablate_congestion_aware.rs:

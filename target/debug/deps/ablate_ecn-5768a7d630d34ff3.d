@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_ecn-5768a7d630d34ff3.d: crates/bench/src/bin/ablate_ecn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_ecn-5768a7d630d34ff3.rmeta: crates/bench/src/bin/ablate_ecn.rs Cargo.toml
+
+crates/bench/src/bin/ablate_ecn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

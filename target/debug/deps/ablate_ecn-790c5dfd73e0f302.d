@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ecn-790c5dfd73e0f302.d: crates/bench/src/bin/ablate_ecn.rs
+
+/root/repo/target/debug/deps/ablate_ecn-790c5dfd73e0f302: crates/bench/src/bin/ablate_ecn.rs
+
+crates/bench/src/bin/ablate_ecn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ecn-a23565b5c35e7766.d: crates/bench/src/bin/ablate_ecn.rs
+
+/root/repo/target/debug/deps/ablate_ecn-a23565b5c35e7766: crates/bench/src/bin/ablate_ecn.rs
+
+crates/bench/src/bin/ablate_ecn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_ecn-e5f3c18432fc1713.d: crates/bench/src/bin/ablate_ecn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_ecn-e5f3c18432fc1713.rmeta: crates/bench/src/bin/ablate_ecn.rs Cargo.toml
+
+crates/bench/src/bin/ablate_ecn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

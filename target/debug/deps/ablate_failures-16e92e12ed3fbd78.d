@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_failures-16e92e12ed3fbd78.d: crates/bench/src/bin/ablate_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_failures-16e92e12ed3fbd78.rmeta: crates/bench/src/bin/ablate_failures.rs Cargo.toml
+
+crates/bench/src/bin/ablate_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

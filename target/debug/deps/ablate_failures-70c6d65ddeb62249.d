@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_failures-70c6d65ddeb62249.d: crates/bench/src/bin/ablate_failures.rs
+
+/root/repo/target/debug/deps/ablate_failures-70c6d65ddeb62249: crates/bench/src/bin/ablate_failures.rs
+
+crates/bench/src/bin/ablate_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_failures-dd2451593221bdd7.d: crates/bench/src/bin/ablate_failures.rs
+
+/root/repo/target/debug/deps/ablate_failures-dd2451593221bdd7: crates/bench/src/bin/ablate_failures.rs
+
+crates/bench/src/bin/ablate_failures.rs:

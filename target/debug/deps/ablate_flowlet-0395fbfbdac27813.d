@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_flowlet-0395fbfbdac27813.d: crates/bench/src/bin/ablate_flowlet.rs
+
+/root/repo/target/debug/deps/ablate_flowlet-0395fbfbdac27813: crates/bench/src/bin/ablate_flowlet.rs
+
+crates/bench/src/bin/ablate_flowlet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_flowlet-3a36568f1b53a0af.d: crates/bench/src/bin/ablate_flowlet.rs
+
+/root/repo/target/debug/deps/ablate_flowlet-3a36568f1b53a0af: crates/bench/src/bin/ablate_flowlet.rs
+
+crates/bench/src/bin/ablate_flowlet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_flowlet-a4c207d1bcbaeb20.d: crates/bench/src/bin/ablate_flowlet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_flowlet-a4c207d1bcbaeb20.rmeta: crates/bench/src/bin/ablate_flowlet.rs Cargo.toml
+
+crates/bench/src/bin/ablate_flowlet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_q-250497ca2279a36a.d: crates/bench/src/bin/ablate_q.rs
+
+/root/repo/target/debug/deps/ablate_q-250497ca2279a36a: crates/bench/src/bin/ablate_q.rs
+
+crates/bench/src/bin/ablate_q.rs:

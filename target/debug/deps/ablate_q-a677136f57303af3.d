@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_q-a677136f57303af3.d: crates/bench/src/bin/ablate_q.rs
+
+/root/repo/target/debug/deps/ablate_q-a677136f57303af3: crates/bench/src/bin/ablate_q.rs
+
+crates/bench/src/bin/ablate_q.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_q-b5786bb242086a3a.d: crates/bench/src/bin/ablate_q.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_q-b5786bb242086a3a.rmeta: crates/bench/src/bin/ablate_q.rs Cargo.toml
+
+crates/bench/src/bin/ablate_q.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

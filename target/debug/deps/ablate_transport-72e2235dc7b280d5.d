@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_transport-72e2235dc7b280d5.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/debug/deps/ablate_transport-72e2235dc7b280d5: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

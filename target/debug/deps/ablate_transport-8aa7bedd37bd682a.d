@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_transport-8aa7bedd37bd682a.d: crates/bench/src/bin/ablate_transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_transport-8aa7bedd37bd682a.rmeta: crates/bench/src/bin/ablate_transport.rs Cargo.toml
+
+crates/bench/src/bin/ablate_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

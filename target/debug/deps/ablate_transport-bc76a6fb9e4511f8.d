@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_transport-bc76a6fb9e4511f8.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/debug/deps/ablate_transport-bc76a6fb9e4511f8: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

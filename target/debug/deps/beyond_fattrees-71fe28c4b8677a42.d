@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beyond_fattrees-71fe28c4b8677a42.d: src/lib.rs
+
+/root/repo/target/debug/deps/beyond_fattrees-71fe28c4b8677a42: src/lib.rs
+
+src/lib.rs:

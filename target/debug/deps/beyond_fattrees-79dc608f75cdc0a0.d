@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/beyond_fattrees-79dc608f75cdc0a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbeyond_fattrees-79dc608f75cdc0a0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbeyond_fattrees-79dc608f75cdc0a0.rmeta: src/lib.rs
+
+src/lib.rs:

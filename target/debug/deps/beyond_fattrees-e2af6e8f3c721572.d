@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/beyond_fattrees-e2af6e8f3c721572.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeyond_fattrees-e2af6e8f3c721572.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjecture24_search-3244a44e9f9b78bf.d: crates/bench/src/bin/conjecture24_search.rs
+
+/root/repo/target/debug/deps/conjecture24_search-3244a44e9f9b78bf: crates/bench/src/bin/conjecture24_search.rs
+
+crates/bench/src/bin/conjecture24_search.rs:

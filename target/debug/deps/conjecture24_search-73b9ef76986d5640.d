@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conjecture24_search-73b9ef76986d5640.d: crates/bench/src/bin/conjecture24_search.rs
+
+/root/repo/target/debug/deps/conjecture24_search-73b9ef76986d5640: crates/bench/src/bin/conjecture24_search.rs
+
+crates/bench/src/bin/conjecture24_search.rs:

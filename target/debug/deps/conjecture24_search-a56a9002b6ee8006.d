@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conjecture24_search-a56a9002b6ee8006.d: crates/bench/src/bin/conjecture24_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconjecture24_search-a56a9002b6ee8006.rmeta: crates/bench/src/bin/conjecture24_search.rs Cargo.toml
+
+crates/bench/src/bin/conjecture24_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-8a92f721ad57a42b.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-8a92f721ad57a42b: tests/conservation.rs
+
+tests/conservation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conservation-bea3e66d21fd166d.d: tests/conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservation-bea3e66d21fd166d.rmeta: tests/conservation.rs Cargo.toml
+
+tests/conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_bench-24b526c38345d052.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dcn_bench-24b526c38345d052: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_bench-5dffcf52c16edd7e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_bench-5dffcf52c16edd7e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_bench-5dffcf52c16edd7e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

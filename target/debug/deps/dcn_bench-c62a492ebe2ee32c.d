@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_bench-c62a492ebe2ee32c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_bench-c62a492ebe2ee32c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

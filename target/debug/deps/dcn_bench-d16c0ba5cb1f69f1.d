@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_bench-d16c0ba5cb1f69f1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_bench-d16c0ba5cb1f69f1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

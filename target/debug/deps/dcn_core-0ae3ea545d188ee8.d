@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_core-0ae3ea545d188ee8.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_core-0ae3ea545d188ee8.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/dynamicnet.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flex.rs:
+crates/core/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_core-d42182c80a341cc7.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdcn_core-d42182c80a341cc7.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdcn_core-d42182c80a341cc7.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/dynamicnet.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flex.rs:
+crates/core/src/theory.rs:

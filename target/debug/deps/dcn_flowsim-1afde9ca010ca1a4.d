@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcn_flowsim-1afde9ca010ca1a4.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/dcn_flowsim-1afde9ca010ca1a4: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_flowsim-9e473576a693cd29.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_flowsim-9e473576a693cd29.rlib: crates/flowsim/src/lib.rs
+
+/root/repo/target/debug/deps/libdcn_flowsim-9e473576a693cd29.rmeta: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

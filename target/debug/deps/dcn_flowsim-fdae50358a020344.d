@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_flowsim-fdae50358a020344.d: crates/flowsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_flowsim-fdae50358a020344.rmeta: crates/flowsim/src/lib.rs Cargo.toml
+
+crates/flowsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

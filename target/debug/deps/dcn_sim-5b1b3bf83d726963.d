@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/dcn_sim-5b1b3bf83d726963.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs
+/root/repo/target/debug/deps/dcn_sim-5b1b3bf83d726963.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
 
-/root/repo/target/debug/deps/libdcn_sim-5b1b3bf83d726963.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs
+/root/repo/target/debug/deps/libdcn_sim-5b1b3bf83d726963.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
 
-/root/repo/target/debug/deps/libdcn_sim-5b1b3bf83d726963.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/types.rs
+/root/repo/target/debug/deps/libdcn_sim-5b1b3bf83d726963.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/channel.rs:
@@ -12,4 +12,5 @@ crates/sim/src/host.rs:
 crates/sim/src/net.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/switch.rs:
+crates/sim/src/trace.rs:
 crates/sim/src/types.rs:

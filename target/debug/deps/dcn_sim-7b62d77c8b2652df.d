@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dcn_sim-7b62d77c8b2652df.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_sim-7b62d77c8b2652df.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/host.rs:
+crates/sim/src/net.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/switch.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

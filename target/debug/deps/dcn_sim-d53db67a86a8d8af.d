@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_sim-d53db67a86a8d8af.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
+
+/root/repo/target/debug/deps/dcn_sim-d53db67a86a8d8af: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/host.rs:
+crates/sim/src/net.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/switch.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/types.rs:

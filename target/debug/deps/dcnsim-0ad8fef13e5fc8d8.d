@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnsim-0ad8fef13e5fc8d8.d: src/bin/dcnsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnsim-0ad8fef13e5fc8d8.rmeta: src/bin/dcnsim.rs Cargo.toml
+
+src/bin/dcnsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnsim-e548804c84982d62.d: src/bin/dcnsim.rs
+
+/root/repo/target/debug/deps/dcnsim-e548804c84982d62: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnsim-f90bd97ad1ef21c5.d: src/bin/dcnsim.rs
+
+/root/repo/target/debug/deps/dcnsim-f90bd97ad1ef21c5: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnsim-fce673398e40cb6a.d: src/bin/dcnsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnsim-fce673398e40cb6a.rmeta: src/bin/dcnsim.rs Cargo.toml
+
+src/bin/dcnsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-4a75f87f4d6ad76e.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-4a75f87f4d6ad76e.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-79996d59b9972bfe.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-79996d59b9972bfe: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equal_cost_comparison-69f8c1bb72be2154.d: tests/equal_cost_comparison.rs
+
+/root/repo/target/debug/deps/equal_cost_comparison-69f8c1bb72be2154: tests/equal_cost_comparison.rs
+
+tests/equal_cost_comparison.rs:

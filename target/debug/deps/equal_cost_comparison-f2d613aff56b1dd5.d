@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equal_cost_comparison-f2d613aff56b1dd5.d: tests/equal_cost_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequal_cost_comparison-f2d613aff56b1dd5.rmeta: tests/equal_cost_comparison.rs Cargo.toml
+
+tests/equal_cost_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

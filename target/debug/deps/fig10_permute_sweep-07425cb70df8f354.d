@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_permute_sweep-07425cb70df8f354.d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+/root/repo/target/debug/deps/fig10_permute_sweep-07425cb70df8f354: crates/bench/src/bin/fig10_permute_sweep.rs
+
+crates/bench/src/bin/fig10_permute_sweep.rs:

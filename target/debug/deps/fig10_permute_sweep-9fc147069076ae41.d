@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_permute_sweep-9fc147069076ae41.d: crates/bench/src/bin/fig10_permute_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_permute_sweep-9fc147069076ae41.rmeta: crates/bench/src/bin/fig10_permute_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig10_permute_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

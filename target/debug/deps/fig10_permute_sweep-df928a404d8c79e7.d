@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_permute_sweep-df928a404d8c79e7.d: crates/bench/src/bin/fig10_permute_sweep.rs
+
+/root/repo/target/debug/deps/fig10_permute_sweep-df928a404d8c79e7: crates/bench/src/bin/fig10_permute_sweep.rs
+
+crates/bench/src/bin/fig10_permute_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_permute_load-543aa45138ad6fb0.d: crates/bench/src/bin/fig11_permute_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_permute_load-543aa45138ad6fb0.rmeta: crates/bench/src/bin/fig11_permute_load.rs Cargo.toml
+
+crates/bench/src/bin/fig11_permute_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

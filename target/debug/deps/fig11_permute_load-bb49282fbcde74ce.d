@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_permute_load-bb49282fbcde74ce.d: crates/bench/src/bin/fig11_permute_load.rs
+
+/root/repo/target/debug/deps/fig11_permute_load-bb49282fbcde74ce: crates/bench/src/bin/fig11_permute_load.rs
+
+crates/bench/src/bin/fig11_permute_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_permute_load-dfaa943e30869788.d: crates/bench/src/bin/fig11_permute_load.rs
+
+/root/repo/target/debug/deps/fig11_permute_load-dfaa943e30869788: crates/bench/src/bin/fig11_permute_load.rs
+
+crates/bench/src/bin/fig11_permute_load.rs:

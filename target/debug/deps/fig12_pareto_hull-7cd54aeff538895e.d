@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_pareto_hull-7cd54aeff538895e.d: crates/bench/src/bin/fig12_pareto_hull.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_pareto_hull-7cd54aeff538895e.rmeta: crates/bench/src/bin/fig12_pareto_hull.rs Cargo.toml
+
+crates/bench/src/bin/fig12_pareto_hull.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pareto_hull-acad788611a7a639.d: crates/bench/src/bin/fig12_pareto_hull.rs
+
+/root/repo/target/debug/deps/fig12_pareto_hull-acad788611a7a639: crates/bench/src/bin/fig12_pareto_hull.rs
+
+crates/bench/src/bin/fig12_pareto_hull.rs:

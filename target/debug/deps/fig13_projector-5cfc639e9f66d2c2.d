@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_projector-5cfc639e9f66d2c2.d: crates/bench/src/bin/fig13_projector.rs
+
+/root/repo/target/debug/deps/fig13_projector-5cfc639e9f66d2c2: crates/bench/src/bin/fig13_projector.rs
+
+crates/bench/src/bin/fig13_projector.rs:

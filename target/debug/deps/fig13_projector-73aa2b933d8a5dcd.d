@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_projector-73aa2b933d8a5dcd.d: crates/bench/src/bin/fig13_projector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_projector-73aa2b933d8a5dcd.rmeta: crates/bench/src/bin/fig13_projector.rs Cargo.toml
+
+crates/bench/src/bin/fig13_projector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_projector-84e4e12102965121.d: crates/bench/src/bin/fig13_projector.rs
+
+/root/repo/target/debug/deps/fig13_projector-84e4e12102965121: crates/bench/src/bin/fig13_projector.rs
+
+crates/bench/src/bin/fig13_projector.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_projector-c3edda49e6eab962.d: crates/bench/src/bin/fig13_projector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_projector-c3edda49e6eab962.rmeta: crates/bench/src/bin/fig13_projector.rs Cargo.toml
+
+crates/bench/src/bin/fig13_projector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_skew-59cdeac80dfc9016.d: crates/bench/src/bin/fig14_skew.rs
+
+/root/repo/target/debug/deps/fig14_skew-59cdeac80dfc9016: crates/bench/src/bin/fig14_skew.rs
+
+crates/bench/src/bin/fig14_skew.rs:

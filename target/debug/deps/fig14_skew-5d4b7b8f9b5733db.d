@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_skew-5d4b7b8f9b5733db.d: crates/bench/src/bin/fig14_skew.rs
+
+/root/repo/target/debug/deps/fig14_skew-5d4b7b8f9b5733db: crates/bench/src/bin/fig14_skew.rs
+
+crates/bench/src/bin/fig14_skew.rs:

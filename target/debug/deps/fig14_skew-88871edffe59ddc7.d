@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_skew-88871edffe59ddc7.d: crates/bench/src/bin/fig14_skew.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_skew-88871edffe59ddc7.rmeta: crates/bench/src/bin/fig14_skew.rs Cargo.toml
+
+crates/bench/src/bin/fig14_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_skew-b920c86795240814.d: crates/bench/src/bin/fig14_skew.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_skew-b920c86795240814.rmeta: crates/bench/src/bin/fig14_skew.rs Cargo.toml
+
+crates/bench/src/bin/fig14_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_large_scale-65a874b4f5d7a2c1.d: crates/bench/src/bin/fig15_large_scale.rs
+
+/root/repo/target/debug/deps/fig15_large_scale-65a874b4f5d7a2c1: crates/bench/src/bin/fig15_large_scale.rs
+
+crates/bench/src/bin/fig15_large_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_large_scale-843a2e8f63ecad3b.d: crates/bench/src/bin/fig15_large_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_large_scale-843a2e8f63ecad3b.rmeta: crates/bench/src/bin/fig15_large_scale.rs Cargo.toml
+
+crates/bench/src/bin/fig15_large_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_large_scale-abaf4fbf80204c4c.d: crates/bench/src/bin/fig15_large_scale.rs
+
+/root/repo/target/debug/deps/fig15_large_scale-abaf4fbf80204c4c: crates/bench/src/bin/fig15_large_scale.rs
+
+crates/bench/src/bin/fig15_large_scale.rs:

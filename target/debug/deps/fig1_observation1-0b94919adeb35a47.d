@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_observation1-0b94919adeb35a47.d: crates/bench/src/bin/fig1_observation1.rs
+
+/root/repo/target/debug/deps/fig1_observation1-0b94919adeb35a47: crates/bench/src/bin/fig1_observation1.rs
+
+crates/bench/src/bin/fig1_observation1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_observation1-60c704251a8cc5fc.d: crates/bench/src/bin/fig1_observation1.rs
+
+/root/repo/target/debug/deps/fig1_observation1-60c704251a8cc5fc: crates/bench/src/bin/fig1_observation1.rs
+
+crates/bench/src/bin/fig1_observation1.rs:

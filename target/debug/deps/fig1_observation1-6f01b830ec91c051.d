@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_observation1-6f01b830ec91c051.d: crates/bench/src/bin/fig1_observation1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_observation1-6f01b830ec91c051.rmeta: crates/bench/src/bin/fig1_observation1.rs Cargo.toml
+
+crates/bench/src/bin/fig1_observation1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

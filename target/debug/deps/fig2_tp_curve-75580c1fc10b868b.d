@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tp_curve-75580c1fc10b868b.d: crates/bench/src/bin/fig2_tp_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tp_curve-75580c1fc10b868b.rmeta: crates/bench/src/bin/fig2_tp_curve.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tp_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tp_curve-cf60bdbe38faa9af.d: crates/bench/src/bin/fig2_tp_curve.rs
+
+/root/repo/target/debug/deps/fig2_tp_curve-cf60bdbe38faa9af: crates/bench/src/bin/fig2_tp_curve.rs
+
+crates/bench/src/bin/fig2_tp_curve.rs:

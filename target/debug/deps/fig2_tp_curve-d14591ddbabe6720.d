@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tp_curve-d14591ddbabe6720.d: crates/bench/src/bin/fig2_tp_curve.rs
+
+/root/repo/target/debug/deps/fig2_tp_curve-d14591ddbabe6720: crates/bench/src/bin/fig2_tp_curve.rs
+
+crates/bench/src/bin/fig2_tp_curve.rs:

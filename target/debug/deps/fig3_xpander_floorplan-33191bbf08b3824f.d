@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_xpander_floorplan-33191bbf08b3824f.d: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+/root/repo/target/debug/deps/fig3_xpander_floorplan-33191bbf08b3824f: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_xpander_floorplan-757c047496699d8c.d: crates/bench/src/bin/fig3_xpander_floorplan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_xpander_floorplan-757c047496699d8c.rmeta: crates/bench/src/bin/fig3_xpander_floorplan.rs Cargo.toml
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_xpander_floorplan-f9cfb69d8a7d9e54.d: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+/root/repo/target/debug/deps/fig3_xpander_floorplan-f9cfb69d8a7d9e54: crates/bench/src/bin/fig3_xpander_floorplan.rs
+
+crates/bench/src/bin/fig3_xpander_floorplan.rs:

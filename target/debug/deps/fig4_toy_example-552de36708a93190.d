@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_toy_example-552de36708a93190.d: crates/bench/src/bin/fig4_toy_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_toy_example-552de36708a93190.rmeta: crates/bench/src/bin/fig4_toy_example.rs Cargo.toml
+
+crates/bench/src/bin/fig4_toy_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_toy_example-73da82350f1f6e87.d: crates/bench/src/bin/fig4_toy_example.rs
+
+/root/repo/target/debug/deps/fig4_toy_example-73da82350f1f6e87: crates/bench/src/bin/fig4_toy_example.rs
+
+crates/bench/src/bin/fig4_toy_example.rs:

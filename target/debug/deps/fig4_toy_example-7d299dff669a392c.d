@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_toy_example-7d299dff669a392c.d: crates/bench/src/bin/fig4_toy_example.rs
+
+/root/repo/target/debug/deps/fig4_toy_example-7d299dff669a392c: crates/bench/src/bin/fig4_toy_example.rs
+
+crates/bench/src/bin/fig4_toy_example.rs:

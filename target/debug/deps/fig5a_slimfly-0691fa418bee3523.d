@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5a_slimfly-0691fa418bee3523.d: crates/bench/src/bin/fig5a_slimfly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5a_slimfly-0691fa418bee3523.rmeta: crates/bench/src/bin/fig5a_slimfly.rs Cargo.toml
+
+crates/bench/src/bin/fig5a_slimfly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

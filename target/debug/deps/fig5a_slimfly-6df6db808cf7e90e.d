@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_slimfly-6df6db808cf7e90e.d: crates/bench/src/bin/fig5a_slimfly.rs
+
+/root/repo/target/debug/deps/fig5a_slimfly-6df6db808cf7e90e: crates/bench/src/bin/fig5a_slimfly.rs
+
+crates/bench/src/bin/fig5a_slimfly.rs:

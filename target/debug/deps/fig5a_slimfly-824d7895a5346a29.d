@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_slimfly-824d7895a5346a29.d: crates/bench/src/bin/fig5a_slimfly.rs
+
+/root/repo/target/debug/deps/fig5a_slimfly-824d7895a5346a29: crates/bench/src/bin/fig5a_slimfly.rs
+
+crates/bench/src/bin/fig5a_slimfly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_longhop-2caa22dc5c30196b.d: crates/bench/src/bin/fig5b_longhop.rs
+
+/root/repo/target/debug/deps/fig5b_longhop-2caa22dc5c30196b: crates/bench/src/bin/fig5b_longhop.rs
+
+crates/bench/src/bin/fig5b_longhop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b_longhop-3bcaa092bfe9fea2.d: crates/bench/src/bin/fig5b_longhop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b_longhop-3bcaa092bfe9fea2.rmeta: crates/bench/src/bin/fig5b_longhop.rs Cargo.toml
+
+crates/bench/src/bin/fig5b_longhop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

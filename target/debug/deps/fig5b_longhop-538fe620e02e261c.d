@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_longhop-538fe620e02e261c.d: crates/bench/src/bin/fig5b_longhop.rs
+
+/root/repo/target/debug/deps/fig5b_longhop-538fe620e02e261c: crates/bench/src/bin/fig5b_longhop.rs
+
+crates/bench/src/bin/fig5b_longhop.rs:

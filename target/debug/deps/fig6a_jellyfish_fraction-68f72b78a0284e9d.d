@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-68f72b78a0284e9d.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a_jellyfish_fraction-68f72b78a0284e9d.rmeta: crates/bench/src/bin/fig6a_jellyfish_fraction.rs Cargo.toml
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

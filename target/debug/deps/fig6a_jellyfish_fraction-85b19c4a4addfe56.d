@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-85b19c4a4addfe56.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-85b19c4a4addfe56: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-df0ab6d35e7df2dd.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-df0ab6d35e7df2dd: crates/bench/src/bin/fig6a_jellyfish_fraction.rs
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a_jellyfish_fraction-e419dd3f2c92c4fe.d: crates/bench/src/bin/fig6a_jellyfish_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a_jellyfish_fraction-e419dd3f2c92c4fe.rmeta: crates/bench/src/bin/fig6a_jellyfish_fraction.rs Cargo.toml
+
+crates/bench/src/bin/fig6a_jellyfish_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

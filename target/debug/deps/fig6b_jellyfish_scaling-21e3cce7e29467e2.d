@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-21e3cce7e29467e2.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-21e3cce7e29467e2: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-384465f49a1f290e.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-384465f49a1f290e: crates/bench/src/bin/fig6b_jellyfish_scaling.rs
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6b_jellyfish_scaling-5ad9ed24e21183c9.d: crates/bench/src/bin/fig6b_jellyfish_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6b_jellyfish_scaling-5ad9ed24e21183c9.rmeta: crates/bench/src/bin/fig6b_jellyfish_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig6b_jellyfish_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

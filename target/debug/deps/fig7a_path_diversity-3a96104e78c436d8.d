@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a_path_diversity-3a96104e78c436d8.d: crates/bench/src/bin/fig7a_path_diversity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a_path_diversity-3a96104e78c436d8.rmeta: crates/bench/src/bin/fig7a_path_diversity.rs Cargo.toml
+
+crates/bench/src/bin/fig7a_path_diversity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

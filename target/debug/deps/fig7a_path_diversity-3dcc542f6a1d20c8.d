@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_path_diversity-3dcc542f6a1d20c8.d: crates/bench/src/bin/fig7a_path_diversity.rs
+
+/root/repo/target/debug/deps/fig7a_path_diversity-3dcc542f6a1d20c8: crates/bench/src/bin/fig7a_path_diversity.rs
+
+crates/bench/src/bin/fig7a_path_diversity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a_path_diversity-9e6eb9aa4d66eadf.d: crates/bench/src/bin/fig7a_path_diversity.rs
+
+/root/repo/target/debug/deps/fig7a_path_diversity-9e6eb9aa4d66eadf: crates/bench/src/bin/fig7a_path_diversity.rs
+
+crates/bench/src/bin/fig7a_path_diversity.rs:

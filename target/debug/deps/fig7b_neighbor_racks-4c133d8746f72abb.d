@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7b_neighbor_racks-4c133d8746f72abb.d: crates/bench/src/bin/fig7b_neighbor_racks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b_neighbor_racks-4c133d8746f72abb.rmeta: crates/bench/src/bin/fig7b_neighbor_racks.rs Cargo.toml
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_neighbor_racks-56b73f7ed5e91259.d: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+/root/repo/target/debug/deps/fig7b_neighbor_racks-56b73f7ed5e91259: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:

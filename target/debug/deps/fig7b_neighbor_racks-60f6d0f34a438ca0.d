@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b_neighbor_racks-60f6d0f34a438ca0.d: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+/root/repo/target/debug/deps/fig7b_neighbor_racks-60f6d0f34a438ca0: crates/bench/src/bin/fig7b_neighbor_racks.rs
+
+crates/bench/src/bin/fig7b_neighbor_racks.rs:

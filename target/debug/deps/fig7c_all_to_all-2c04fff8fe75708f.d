@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7c_all_to_all-2c04fff8fe75708f.d: crates/bench/src/bin/fig7c_all_to_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7c_all_to_all-2c04fff8fe75708f.rmeta: crates/bench/src/bin/fig7c_all_to_all.rs Cargo.toml
+
+crates/bench/src/bin/fig7c_all_to_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

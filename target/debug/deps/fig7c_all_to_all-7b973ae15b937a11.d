@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7c_all_to_all-7b973ae15b937a11.d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+/root/repo/target/debug/deps/fig7c_all_to_all-7b973ae15b937a11: crates/bench/src/bin/fig7c_all_to_all.rs
+
+crates/bench/src/bin/fig7c_all_to_all.rs:

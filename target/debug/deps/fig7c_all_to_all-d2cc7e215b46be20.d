@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7c_all_to_all-d2cc7e215b46be20.d: crates/bench/src/bin/fig7c_all_to_all.rs
+
+/root/repo/target/debug/deps/fig7c_all_to_all-d2cc7e215b46be20: crates/bench/src/bin/fig7c_all_to_all.rs
+
+crates/bench/src/bin/fig7c_all_to_all.rs:

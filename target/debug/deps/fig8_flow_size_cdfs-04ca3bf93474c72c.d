@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-04ca3bf93474c72c.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-04ca3bf93474c72c: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-68a10a01f4c3a516.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-68a10a01f4c3a516: crates/bench/src/bin/fig8_flow_size_cdfs.rs
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:

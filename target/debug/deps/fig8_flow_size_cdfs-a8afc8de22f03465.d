@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_flow_size_cdfs-a8afc8de22f03465.d: crates/bench/src/bin/fig8_flow_size_cdfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_flow_size_cdfs-a8afc8de22f03465.rmeta: crates/bench/src/bin/fig8_flow_size_cdfs.rs Cargo.toml
+
+crates/bench/src/bin/fig8_flow_size_cdfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

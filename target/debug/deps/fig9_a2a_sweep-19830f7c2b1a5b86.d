@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_a2a_sweep-19830f7c2b1a5b86.d: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+/root/repo/target/debug/deps/fig9_a2a_sweep-19830f7c2b1a5b86: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:

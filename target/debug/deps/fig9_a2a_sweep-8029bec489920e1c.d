@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_a2a_sweep-8029bec489920e1c.d: crates/bench/src/bin/fig9_a2a_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_a2a_sweep-8029bec489920e1c.rmeta: crates/bench/src/bin/fig9_a2a_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_a2a_sweep-c090b94469f92f74.d: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+/root/repo/target/debug/deps/fig9_a2a_sweep-c090b94469f92f74: crates/bench/src/bin/fig9_a2a_sweep.rs
+
+crates/bench/src/bin/fig9_a2a_sweep.rs:

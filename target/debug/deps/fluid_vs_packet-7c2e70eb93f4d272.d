@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fluid_vs_packet-7c2e70eb93f4d272.d: tests/fluid_vs_packet.rs
+
+/root/repo/target/debug/deps/fluid_vs_packet-7c2e70eb93f4d272: tests/fluid_vs_packet.rs
+
+tests/fluid_vs_packet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fluid_vs_packet-7c68102d6471ac54.d: tests/fluid_vs_packet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfluid_vs_packet-7c68102d6471ac54.rmeta: tests/fluid_vs_packet.rs Cargo.toml
+
+tests/fluid_vs_packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gk_probe-0c6505171ffa0657.d: crates/bench/src/bin/gk_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgk_probe-0c6505171ffa0657.rmeta: crates/bench/src/bin/gk_probe.rs Cargo.toml
+
+crates/bench/src/bin/gk_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

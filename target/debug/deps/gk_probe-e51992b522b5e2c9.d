@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gk_probe-e51992b522b5e2c9.d: crates/bench/src/bin/gk_probe.rs
+
+/root/repo/target/debug/deps/gk_probe-e51992b522b5e2c9: crates/bench/src/bin/gk_probe.rs
+
+crates/bench/src/bin/gk_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gk_probe-ed5fa9d29420b5bd.d: crates/bench/src/bin/gk_probe.rs
+
+/root/repo/target/debug/deps/gk_probe-ed5fa9d29420b5bd: crates/bench/src/bin/gk_probe.rs
+
+crates/bench/src/bin/gk_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5f31a3582419a115.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5f31a3582419a115: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bc3647d02e2cf0da.d: crates/flowsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bc3647d02e2cf0da: crates/flowsim/tests/properties.rs
+
+crates/flowsim/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-eb70991035a0b3c0.d: crates/flowsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-eb70991035a0b3c0.rmeta: crates/flowsim/tests/properties.rs Cargo.toml
+
+crates/flowsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

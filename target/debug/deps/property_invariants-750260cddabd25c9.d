@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_invariants-750260cddabd25c9.d: tests/property_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_invariants-750260cddabd25c9.rmeta: tests/property_invariants.rs Cargo.toml
+
+tests/property_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

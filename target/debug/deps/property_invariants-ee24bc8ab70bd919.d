@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-ee24bc8ab70bd919.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-ee24bc8ab70bd919: tests/property_invariants.rs
+
+tests/property_invariants.rs:

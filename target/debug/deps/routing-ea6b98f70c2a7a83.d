@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/routing-ea6b98f70c2a7a83.d: crates/bench/benches/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouting-ea6b98f70c2a7a83.rmeta: crates/bench/benches/routing.rs Cargo.toml
+
+crates/bench/benches/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-18a3c48d65649267.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-18a3c48d65649267: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_all-23d656d924db5139.d: crates/bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_all-23d656d924db5139.rmeta: crates/bench/src/bin/run_all.rs Cargo.toml
+
+crates/bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

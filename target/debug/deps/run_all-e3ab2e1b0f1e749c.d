@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-e3ab2e1b0f1e749c.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-e3ab2e1b0f1e749c: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solvers-87df25eca6b587d0.d: crates/bench/benches/solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolvers-87df25eca6b587d0.rmeta: crates/bench/benches/solvers.rs Cargo.toml
+
+crates/bench/benches/solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

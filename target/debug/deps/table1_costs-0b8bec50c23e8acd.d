@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_costs-0b8bec50c23e8acd.d: crates/bench/src/bin/table1_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_costs-0b8bec50c23e8acd.rmeta: crates/bench/src/bin/table1_costs.rs Cargo.toml
+
+crates/bench/src/bin/table1_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

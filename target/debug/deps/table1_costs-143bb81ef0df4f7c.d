@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_costs-143bb81ef0df4f7c.d: crates/bench/src/bin/table1_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_costs-143bb81ef0df4f7c.rmeta: crates/bench/src/bin/table1_costs.rs Cargo.toml
+
+crates/bench/src/bin/table1_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

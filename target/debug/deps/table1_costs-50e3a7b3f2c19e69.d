@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_costs-50e3a7b3f2c19e69.d: crates/bench/src/bin/table1_costs.rs
+
+/root/repo/target/debug/deps/table1_costs-50e3a7b3f2c19e69: crates/bench/src/bin/table1_costs.rs
+
+crates/bench/src/bin/table1_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_costs-6d3ef859763e94bf.d: crates/bench/src/bin/table1_costs.rs
+
+/root/repo/target/debug/deps/table1_costs-6d3ef859763e94bf: crates/bench/src/bin/table1_costs.rs
+
+crates/bench/src/bin/table1_costs.rs:

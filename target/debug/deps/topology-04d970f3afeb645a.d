@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology-04d970f3afeb645a.d: crates/bench/benches/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology-04d970f3afeb645a.rmeta: crates/bench/benches/topology.rs Cargo.toml
+
+crates/bench/benches/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

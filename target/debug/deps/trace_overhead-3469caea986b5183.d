@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_overhead-3469caea986b5183.d: crates/bench/src/bin/trace_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_overhead-3469caea986b5183.rmeta: crates/bench/src/bin/trace_overhead.rs Cargo.toml
+
+crates/bench/src/bin/trace_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

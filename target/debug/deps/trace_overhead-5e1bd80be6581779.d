@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_overhead-5e1bd80be6581779.d: crates/bench/src/bin/trace_overhead.rs
+
+/root/repo/target/debug/deps/trace_overhead-5e1bd80be6581779: crates/bench/src/bin/trace_overhead.rs
+
+crates/bench/src/bin/trace_overhead.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trace_regression-a64773cf3ca4a188.d: tests/trace_regression.rs
+
+/root/repo/target/debug/deps/trace_regression-a64773cf3ca4a188: tests/trace_regression.rs
+
+tests/trace_regression.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

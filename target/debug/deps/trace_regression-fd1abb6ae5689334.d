@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/trace_regression-fd1abb6ae5689334.d: tests/trace_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_regression-fd1abb6ae5689334.rmeta: tests/trace_regression.rs Cargo.toml
+
+tests/trace_regression.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

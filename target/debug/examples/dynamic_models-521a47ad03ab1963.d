@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_models-521a47ad03ab1963.d: examples/dynamic_models.rs
+
+/root/repo/target/debug/examples/dynamic_models-521a47ad03ab1963: examples/dynamic_models.rs
+
+examples/dynamic_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_models-eb7832a5c9200358.d: examples/dynamic_models.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_models-eb7832a5c9200358.rmeta: examples/dynamic_models.rs Cargo.toml
+
+examples/dynamic_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

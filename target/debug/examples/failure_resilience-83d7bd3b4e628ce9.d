@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_resilience-83d7bd3b4e628ce9.d: examples/failure_resilience.rs
+
+/root/repo/target/debug/examples/failure_resilience-83d7bd3b4e628ce9: examples/failure_resilience.rs
+
+examples/failure_resilience.rs:

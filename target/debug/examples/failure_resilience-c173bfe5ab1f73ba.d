@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_resilience-c173bfe5ab1f73ba.d: examples/failure_resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_resilience-c173bfe5ab1f73ba.rmeta: examples/failure_resilience.rs Cargo.toml
+
+examples/failure_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_probe-a15218fe43d9ab07.d: crates/sim/examples/perf_probe.rs
+
+/root/repo/target/debug/examples/perf_probe-a15218fe43d9ab07: crates/sim/examples/perf_probe.rs
+
+crates/sim/examples/perf_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_probe-c7e8bbeff4ce13ea.d: crates/sim/examples/perf_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_probe-c7e8bbeff4ce13ea.rmeta: crates/sim/examples/perf_probe.rs Cargo.toml
+
+crates/sim/examples/perf_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-25976b62d5034435.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-25976b62d5034435: examples/quickstart.rs
+
+examples/quickstart.rs:

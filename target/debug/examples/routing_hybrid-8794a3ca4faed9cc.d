@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/routing_hybrid-8794a3ca4faed9cc.d: examples/routing_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouting_hybrid-8794a3ca4faed9cc.rmeta: examples/routing_hybrid.rs Cargo.toml
+
+examples/routing_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

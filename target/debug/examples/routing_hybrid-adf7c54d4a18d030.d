@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_hybrid-adf7c54d4a18d030.d: examples/routing_hybrid.rs
+
+/root/repo/target/debug/examples/routing_hybrid-adf7c54d4a18d030: examples/routing_hybrid.rs
+
+examples/routing_hybrid.rs:

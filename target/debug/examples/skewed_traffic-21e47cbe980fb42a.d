@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skewed_traffic-21e47cbe980fb42a.d: examples/skewed_traffic.rs
+
+/root/repo/target/debug/examples/skewed_traffic-21e47cbe980fb42a: examples/skewed_traffic.rs
+
+examples/skewed_traffic.rs:

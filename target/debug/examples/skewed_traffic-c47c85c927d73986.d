@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/skewed_traffic-c47c85c927d73986.d: examples/skewed_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libskewed_traffic-c47c85c927d73986.rmeta: examples/skewed_traffic.rs Cargo.toml
+
+examples/skewed_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

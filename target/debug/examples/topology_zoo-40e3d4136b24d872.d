@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_zoo-40e3d4136b24d872.d: examples/topology_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_zoo-40e3d4136b24d872.rmeta: examples/topology_zoo.rs Cargo.toml
+
+examples/topology_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_zoo-a16763ddee549df9.d: examples/topology_zoo.rs
+
+/root/repo/target/debug/examples/topology_zoo-a16763ddee549df9: examples/topology_zoo.rs
+
+examples/topology_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_transport-14c32424d66f20b6.d: crates/bench/src/bin/ablate_transport.rs
+
+/root/repo/target/release/deps/ablate_transport-14c32424d66f20b6: crates/bench/src/bin/ablate_transport.rs
+
+crates/bench/src/bin/ablate_transport.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/beyond_fattrees-d3c0bbe66d494921.d: src/lib.rs
+
+/root/repo/target/release/deps/libbeyond_fattrees-d3c0bbe66d494921.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbeyond_fattrees-d3c0bbe66d494921.rmeta: src/lib.rs
+
+src/lib.rs:

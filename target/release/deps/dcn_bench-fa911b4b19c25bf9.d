@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcn_bench-fa911b4b19c25bf9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_bench-fa911b4b19c25bf9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_bench-fa911b4b19c25bf9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

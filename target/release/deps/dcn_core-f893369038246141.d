@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_core-f893369038246141.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/libdcn_core-f893369038246141.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/libdcn_core-f893369038246141.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/dynamicnet.rs crates/core/src/experiment.rs crates/core/src/flex.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/dynamicnet.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flex.rs:
+crates/core/src/theory.rs:

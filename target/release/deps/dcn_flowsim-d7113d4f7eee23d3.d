@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcn_flowsim-d7113d4f7eee23d3.d: crates/flowsim/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_flowsim-d7113d4f7eee23d3.rlib: crates/flowsim/src/lib.rs
+
+/root/repo/target/release/deps/libdcn_flowsim-d7113d4f7eee23d3.rmeta: crates/flowsim/src/lib.rs
+
+crates/flowsim/src/lib.rs:

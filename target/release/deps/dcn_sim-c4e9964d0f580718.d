@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dcn_sim-c4e9964d0f580718.d: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
+
+/root/repo/target/release/deps/libdcn_sim-c4e9964d0f580718.rlib: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
+
+/root/repo/target/release/deps/libdcn_sim-c4e9964d0f580718.rmeta: crates/sim/src/lib.rs crates/sim/src/channel.rs crates/sim/src/engine.rs crates/sim/src/fault.rs crates/sim/src/host.rs crates/sim/src/net.rs crates/sim/src/stats.rs crates/sim/src/switch.rs crates/sim/src/trace.rs crates/sim/src/types.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/channel.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/host.rs:
+crates/sim/src/net.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/switch.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcnsim-fbfb7fedb0d75c14.d: src/bin/dcnsim.rs
+
+/root/repo/target/release/deps/dcnsim-fbfb7fedb0d75c14: src/bin/dcnsim.rs
+
+src/bin/dcnsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overhead-c364770bbfc142f0.d: crates/bench/src/bin/trace_overhead.rs
+
+/root/repo/target/release/deps/trace_overhead-c364770bbfc142f0: crates/bench/src/bin/trace_overhead.rs
+
+crates/bench/src/bin/trace_overhead.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trace_regression-00d9ce03cf52466d.d: tests/trace_regression.rs
+
+/root/repo/target/release/deps/trace_regression-00d9ce03cf52466d: tests/trace_regression.rs
+
+tests/trace_regression.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_models-7df7ec58135f4c3a.d: examples/dynamic_models.rs
+
+/root/repo/target/release/examples/dynamic_models-7df7ec58135f4c3a: examples/dynamic_models.rs
+
+examples/dynamic_models.rs:

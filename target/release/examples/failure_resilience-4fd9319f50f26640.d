@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_resilience-4fd9319f50f26640.d: examples/failure_resilience.rs
+
+/root/repo/target/release/examples/failure_resilience-4fd9319f50f26640: examples/failure_resilience.rs
+
+examples/failure_resilience.rs:

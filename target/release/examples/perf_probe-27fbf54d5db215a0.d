@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_probe-27fbf54d5db215a0.d: crates/sim/examples/perf_probe.rs
+
+/root/repo/target/release/examples/perf_probe-27fbf54d5db215a0: crates/sim/examples/perf_probe.rs
+
+crates/sim/examples/perf_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aaa5fa31b2d2108c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aaa5fa31b2d2108c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/routing_hybrid-b4efcc02641627c8.d: examples/routing_hybrid.rs
+
+/root/repo/target/release/examples/routing_hybrid-b4efcc02641627c8: examples/routing_hybrid.rs
+
+examples/routing_hybrid.rs:

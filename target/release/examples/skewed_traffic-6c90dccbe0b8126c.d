@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/skewed_traffic-6c90dccbe0b8126c.d: examples/skewed_traffic.rs
+
+/root/repo/target/release/examples/skewed_traffic-6c90dccbe0b8126c: examples/skewed_traffic.rs
+
+examples/skewed_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topology_zoo-abb09e1d70abe832.d: examples/topology_zoo.rs
+
+/root/repo/target/release/examples/topology_zoo-abb09e1d70abe832: examples/topology_zoo.rs
+
+examples/topology_zoo.rs:

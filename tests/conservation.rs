@@ -1,0 +1,118 @@
+//! Packet-conservation integration tests: for every transport, with and
+//! without an active fault plan, every packet the hosts create is
+//! delivered, dropped with a recorded cause, or still in flight when the
+//! run stops — and the tracer's per-cause counters agree with the
+//! fabric's own drop/mark accounting.
+
+use beyond_fattrees::prelude::*;
+
+fn build_plan(t: &Topology, seed: u64) -> FaultPlan {
+    // Hard flaps + blanket gray loss, as in the determinism suite: this
+    // guarantees fault drops, no-route drops, and reconvergence epochs
+    // all show up in the accounting.
+    let mut plan = FaultPlan::new()
+        .with_seed(seed)
+        .link_down(MS, 3)
+        .switch_down(3 * MS, 1)
+        .link_up(5 * MS, 3)
+        .switch_up(6 * MS, 1);
+    for l in 0..t.links().len() as u32 {
+        plan = plan.link_gray(2 * MS, l, 0.05).link_clear(7 * MS, l);
+    }
+    plan
+}
+
+fn checked_run(cfg: SimConfig, with_faults: bool, seed: u64) -> Conservation {
+    let xp = Xpander::for_switches(5, 24, 2, seed).build();
+    let pattern = Skew::new(&xp, xp.tors_with_servers(), 0.1, 0.7, seed);
+    let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 2000.0, 0.01, seed);
+    assert!(!flows.is_empty());
+
+    let mut sim = Simulator::new(&xp, Routing::PAPER_HYB.selector(&xp), cfg);
+    sim.set_window(0, 10 * MS);
+    sim.inject(&flows);
+    if with_faults {
+        sim.set_fault_plan(&build_plan(&xp, seed));
+    }
+    sim.set_tracer(Box::new(CountingTracer::new()));
+    sim.run(20 * SEC);
+
+    let summary = check_conservation(&sim)
+        .unwrap_or_else(|e| panic!("{} faults={with_faults}: {e}", sim.transport_name()));
+    assert!(summary.sent > 0, "no packets created");
+    assert!(summary.delivered > 0, "nothing delivered");
+    summary
+}
+
+#[test]
+fn conservation_holds_per_transport_without_faults() {
+    for cfg in [
+        SimConfig::default(),
+        SimConfig::default().with_newreno(),
+        SimConfig::default().with_pfabric(),
+    ] {
+        let s = checked_run(cfg, false, 42);
+        // The run stops once every window flow is done (receiver-side),
+        // so at most a tail of returning ACKs is still in flight — never
+        // a meaningful fraction of the traffic.
+        assert!(
+            s.in_flight * 100 <= s.sent,
+            "{} packets stranded out of {} sent",
+            s.in_flight,
+            s.sent
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_per_transport_under_faults() {
+    let mut any_drops = 0;
+    for cfg in [
+        SimConfig::default(),
+        SimConfig::default().with_newreno(),
+        SimConfig::default().with_pfabric(),
+    ] {
+        let s = checked_run(cfg, true, 42);
+        any_drops += s.dropped;
+    }
+    assert!(any_drops > 0, "fault plan never dropped a packet");
+}
+
+/// The tracer's flow lifecycle counters agree with the flow records: the
+/// fault-plan run from `ablate_failures` accounts every started flow as
+/// finished or failed.
+#[test]
+fn traced_fault_run_accounts_every_flow() {
+    let xp = Xpander::for_switches(5, 24, 2, 7).build();
+    let pattern = Skew::new(&xp, xp.tors_with_servers(), 0.1, 0.7, 7);
+    let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 1500.0, 0.01, 7);
+    let plan = FaultPlan::random_link_outages(&xp, 3, 2 * MS, Some(10 * MS), 5);
+
+    let mut sim = Simulator::new(&xp, Routing::PAPER_HYB.selector(&xp), SimConfig::default());
+    sim.set_window(0, 10 * MS);
+    sim.inject(&flows);
+    sim.set_fault_plan(&plan);
+    sim.set_tracer(Box::new(CountingTracer::new()));
+    let rec = sim.run(60 * SEC);
+
+    check_conservation(&sim).expect("conservation");
+    let c = sim.trace_counters().expect("counting tracer");
+    assert_eq!(
+        c.flows_started as usize,
+        rec.len(),
+        "start events vs records"
+    );
+    assert_eq!(
+        c.flows_finished + c.flows_failed,
+        c.flows_started,
+        "flow in limbo"
+    );
+    assert_eq!(
+        c.flows_finished as usize,
+        rec.iter().filter(|r| r.fct_ns.is_some()).count()
+    );
+    // The run may stop before late fault events fire, but every
+    // transition that did fire was traced.
+    assert!(c.fault_transitions > 0, "no fault transition traced");
+    assert!(c.fault_transitions as usize <= plan.events().len());
+}

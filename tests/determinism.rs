@@ -83,3 +83,42 @@ fn same_seed_same_everything_under_faults() {
         "fault plan had no observable effect on any flow record"
     );
 }
+
+/// The strongest form of the replay contract: not just identical flow
+/// records, but an identical *event-by-event* JSONL trace — every
+/// enqueue, mark, drop, RTO, and fault transition in the same order with
+/// the same timestamps — for the same seed, even with an active fault
+/// plan drawing from the gray-loss RNG.
+#[test]
+fn same_seed_same_event_trace_under_faults() {
+    fn traced_run(seed: u64) -> Vec<u8> {
+        let xp = Xpander::for_switches(5, 24, 2, seed).build();
+        let pattern = Skew::new(&xp, xp.tors_with_servers(), 0.1, 0.7, seed);
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 2000.0, 0.01, seed);
+        let mut plan = FaultPlan::new()
+            .with_seed(seed)
+            .link_down(MS, 3)
+            .link_up(5 * MS, 3);
+        for l in 0..xp.links().len() as u32 {
+            plan = plan.link_gray(2 * MS, l, 0.05).link_clear(7 * MS, l);
+        }
+        let mut sim = Simulator::new(&xp, Routing::PAPER_HYB.selector(&xp), SimConfig::default());
+        sim.set_window(0, 10 * MS);
+        sim.inject(&flows);
+        sim.set_fault_plan(&plan);
+        let buf = SharedBuf::new();
+        sim.set_tracer(Box::new(JsonlTracer::new(buf.clone())));
+        sim.run(20 * SEC);
+        buf.contents()
+    }
+
+    let a = traced_run(1234);
+    let b = traced_run(1234);
+    assert!(!a.is_empty(), "trace is empty");
+    assert_eq!(a, b, "same seed produced different event traces");
+    assert_ne!(
+        a,
+        traced_run(4321),
+        "different seeds produced identical traces"
+    );
+}
