@@ -3,7 +3,7 @@
 //! Emits three blocks: (a) average FCT, (b) 99th-percentile FCT of short
 //! flows, (c) average throughput of long flows.
 
-use dcn_bench::{fct_point, fraction_sweep, packet_setup, parse_cli, Series};
+use dcn_bench::{fct_point_run, fraction_sweep, packet_setup, parse_cli, Series};
 use dcn_core::{paper_networks, Routing};
 use dcn_sim::SimConfig;
 use dcn_workloads::{active_racks_for_servers, AllToAll, PFabricWebSearch};
@@ -53,7 +53,10 @@ fn main() {
         let ft_pat = AllToAll::new(&pair.fat_tree, ft_racks);
         let xp_pat = AllToAll::new(&pair.xpander, xp_racks);
 
-        let ft = fct_point(
+        let pct = (x * 100.0).round() as u32;
+        let ft = fct_point_run(
+            &cli,
+            &format!("ft_p{pct:03}"),
             &pair.fat_tree,
             Routing::Ecmp,
             SimConfig::default(),
@@ -61,9 +64,10 @@ fn main() {
             &sizes,
             lambda,
             setup,
-            cli.seed,
         );
-        let ecmp = fct_point(
+        let ecmp = fct_point_run(
+            &cli,
+            &format!("xp_ecmp_p{pct:03}"),
             &pair.xpander,
             Routing::Ecmp,
             SimConfig::default(),
@@ -71,9 +75,10 @@ fn main() {
             &sizes,
             lambda,
             setup,
-            cli.seed,
         );
-        let hyb = fct_point(
+        let hyb = fct_point_run(
+            &cli,
+            &format!("xp_hyb_p{pct:03}"),
             &pair.xpander,
             Routing::PAPER_HYB,
             SimConfig::default(),
@@ -81,7 +86,6 @@ fn main() {
             &sizes,
             lambda,
             setup,
-            cli.seed,
         );
 
         a.push(x, vec![ft.avg_fct_ms, ecmp.avg_fct_ms, hyb.avg_fct_ms]);

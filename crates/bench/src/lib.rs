@@ -8,8 +8,10 @@
 //!
 //! Common flags: `--scale tiny|small|paper` (default `small`) selects the
 //! experiment size (DESIGN.md §4, substitution 4), `--seed N` the RNG
-//! seed, `--trace <path>` streams structured simulator events as JSONL
-//! (binaries that run several experiments suffix the path per run).
+//! seed, `--trace <path>` streams structured simulator events as JSONL,
+//! `--telemetry <path>` samples time-series fabric state, and
+//! `--manifest <path>` writes a run manifest (binaries that run several
+//! experiments suffix each path per run).
 
 use dcn_json::Json;
 use std::io::Write;
@@ -24,6 +26,12 @@ pub struct Cli {
     /// more than one experiment derive per-run paths from it (see
     /// [`Cli::trace_path`]).
     pub trace: Option<String>,
+    /// `--telemetry <path>`: time-series telemetry JSONL destination,
+    /// per-run derived like `--trace`.
+    pub telemetry: Option<String>,
+    /// `--manifest <path>`: run-manifest JSON destination, per-run derived
+    /// like `--trace`.
+    pub manifest: Option<String>,
     /// Boolean switches beyond the shared set (e.g. `--dynamic` for the
     /// failure ablation); binaries check them with [`Cli::has_flag`].
     pub flags: Vec<String>,
@@ -36,6 +44,8 @@ impl Default for Cli {
             seed: 1,
             out_dir: None,
             trace: None,
+            telemetry: None,
+            manifest: None,
             flags: Vec::new(),
         }
     }
@@ -52,11 +62,28 @@ impl Cli {
     /// `"dctcp"` → `events.dctcp.jsonl` (the suffix lands before a final
     /// extension, if any). `None` when tracing is off.
     pub fn trace_path(&self, run: &str) -> Option<String> {
-        let base = self.trace.as_deref()?;
-        Some(match base.rsplit_once('.') {
-            Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{run}.{ext}"),
-            _ => format!("{base}.{run}"),
-        })
+        self.trace.as_deref().map(|b| derive_run_path(b, run))
+    }
+
+    /// The `--telemetry` destination for one named run (same derivation as
+    /// [`Cli::trace_path`]).
+    pub fn telemetry_path(&self, run: &str) -> Option<String> {
+        self.telemetry.as_deref().map(|b| derive_run_path(b, run))
+    }
+
+    /// The `--manifest` destination for one named run (same derivation as
+    /// [`Cli::trace_path`]).
+    pub fn manifest_path(&self, run: &str) -> Option<String> {
+        self.manifest.as_deref().map(|b| derive_run_path(b, run))
+    }
+}
+
+/// Inserts a run label before the final extension: `events.jsonl` +
+/// `"dctcp"` → `events.dctcp.jsonl`.
+fn derive_run_path(base: &str, run: &str) -> String {
+    match base.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{run}.{ext}"),
+        _ => format!("{base}.{run}"),
     }
 }
 
@@ -85,6 +112,14 @@ pub fn parse_cli() -> Cli {
             "--trace" => {
                 i += 1;
                 cli.trace = Some(args[i].clone());
+            }
+            "--telemetry" => {
+                i += 1;
+                cli.telemetry = Some(args[i].clone());
+            }
+            "--manifest" => {
+                i += 1;
+                cli.manifest = Some(args[i].clone());
             }
             other if other.starts_with("--") => {
                 cli.flags.push(other.trim_start_matches("--").to_string());
@@ -257,6 +292,17 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_and_manifest_paths_derive_like_trace() {
+        let mut cli = Cli::default();
+        assert_eq!(cli.telemetry_path("ft"), None);
+        assert_eq!(cli.manifest_path("ft"), None);
+        cli.telemetry = Some("ts.jsonl".to_string());
+        cli.manifest = Some("results/run.json".to_string());
+        assert_eq!(cli.telemetry_path("ft"), Some("ts.ft.jsonl".into()));
+        assert_eq!(cli.manifest_path("ft"), Some("results/run.ft.json".into()));
+    }
+
+    #[test]
     fn sweeps() {
         assert_eq!(fraction_sweep(10).len(), 10);
         assert_eq!(fraction_sweep(10)[9], 1.0);
@@ -406,6 +452,69 @@ pub fn fct_point_traced(
         None,
         tracer,
     );
+    if m.completed < m.flows {
+        eprintln!(
+            "warning: {}/{} window flows unfinished at max_time ({} {:?} λ={lambda})",
+            m.flows - m.completed,
+            m.flows,
+            topology.name(),
+            routing
+        );
+    }
+    m
+}
+
+/// [`fct_point`] with the full observability wiring: per-run `--trace`,
+/// `--telemetry`, and `--manifest` destinations derived from `cli` under
+/// the `run` label. Identical to [`fct_point`] when none of the three
+/// flags are set.
+#[allow(clippy::too_many_arguments)]
+pub fn fct_point_run(
+    cli: &Cli,
+    run: &str,
+    topology: &dcn_topology::Topology,
+    routing: dcn_core::Routing,
+    cfg: dcn_sim::SimConfig,
+    pattern: &dyn dcn_workloads::TrafficPattern,
+    sizes: &dyn dcn_workloads::FlowSizeDist,
+    lambda: f64,
+    setup: PacketSetup,
+) -> dcn_sim::Metrics {
+    let flows = dcn_workloads::generate_flows(pattern, sizes, lambda, setup.horizon_s, cli.seed);
+    let trace_path = cli.trace_path(run);
+    let tracer: Option<Box<dyn dcn_sim::Tracer>> = trace_path.as_deref().map(|p| {
+        eprintln!("tracing events to {p}");
+        Box::new(dcn_sim::JsonlTracer::create(p).unwrap_or_else(|e| panic!("open trace {p}: {e}")))
+            as Box<dyn dcn_sim::Tracer>
+    });
+    let telemetry = cli.telemetry_path(run).map(|p| {
+        eprintln!("sampling telemetry to {p}");
+        dcn_sim::Telemetry::to_file(&p, dcn_sim::DEFAULT_SAMPLE_EVERY_NS)
+            .unwrap_or_else(|e| panic!("open telemetry {p}: {e}"))
+    });
+    let manifest_path = cli.manifest_path(run);
+    let spec = manifest_path.as_ref().map(|_| {
+        let mut s = dcn_core::ManifestSpec::new(run, cli.seed);
+        s.trace_path = trace_path.clone();
+        s
+    });
+    let (m, _, manifest) = dcn_core::run_fct_experiment_instrumented(
+        topology,
+        routing,
+        cfg,
+        &flows,
+        setup.window,
+        setup.max_time,
+        None,
+        tracer,
+        telemetry,
+        spec.as_ref(),
+    );
+    if let (Some(p), Some(man)) = (manifest_path, manifest) {
+        man.write(&p)
+            .unwrap_or_else(|e| panic!("write manifest {p}: {e}"));
+        eprintln!("wrote {p}");
+    }
     if m.completed < m.flows {
         eprintln!(
             "warning: {}/{} window flows unfinished at max_time ({} {:?} λ={lambda})",

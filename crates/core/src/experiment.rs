@@ -2,8 +2,12 @@
 //! equal-cost network pairs of §6.4, routing-scheme selection, and a
 //! one-call FCT experiment runner.
 
+use crate::manifest::{ManifestInputs, ManifestSpec, RunManifest};
 use dcn_routing::{KspSelector, PathSelector, RoutingSuite, PAPER_Q_BYTES};
-use dcn_sim::{compute_metrics, FaultPlan, Metrics, Ns, SimConfig, Simulator, Tracer, SEC};
+use dcn_sim::{
+    compute_metrics_with_dists, FaultPlan, Metrics, Ns, SimConfig, Simulator, Telemetry, Tracer,
+    SEC,
+};
 use dcn_topology::fattree::FatTree;
 use dcn_topology::xpander::Xpander;
 use dcn_topology::Topology;
@@ -173,6 +177,30 @@ pub fn run_fct_experiment_traced(
     faults: Option<&FaultPlan>,
     tracer: Option<Box<dyn Tracer>>,
 ) -> (Metrics, SimCounters) {
+    let (metrics, counters, _) = run_fct_experiment_instrumented(
+        topology, routing, cfg, flows, window, max_time, faults, tracer, None, None,
+    );
+    (metrics, counters)
+}
+
+/// The fully instrumented experiment entry point every other `run_fct_*`
+/// variant delegates to: optional [`Tracer`], optional time-series
+/// [`Telemetry`], and an optional [`ManifestSpec`] that makes the run
+/// return a provenance-complete [`RunManifest`] (the caller decides where
+/// to write it).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fct_experiment_instrumented(
+    topology: &Topology,
+    routing: Routing,
+    cfg: SimConfig,
+    flows: &[FlowEvent],
+    window: (Ns, Ns),
+    max_time: Ns,
+    faults: Option<&FaultPlan>,
+    tracer: Option<Box<dyn Tracer>>,
+    telemetry: Option<Telemetry>,
+    manifest: Option<&ManifestSpec>,
+) -> (Metrics, SimCounters, Option<RunManifest>) {
     let mut sim = Simulator::new(topology, routing.selector(topology), cfg);
     sim.set_window(window.0, window.1);
     sim.inject(flows);
@@ -182,16 +210,41 @@ pub fn run_fct_experiment_traced(
     if let Some(tr) = tracer {
         sim.set_tracer(tr);
     }
+    if let Some(tel) = telemetry {
+        sim.set_telemetry(tel);
+    }
+    let start = std::time::Instant::now();
     let records = sim.run(max_time);
-    let metrics =
-        compute_metrics(&records, window.0, window.1).with_transport(sim.transport_name());
+    let wall = start.elapsed();
+    let (metrics, dists) = compute_metrics_with_dists(&records, window.0, window.1);
+    let metrics = metrics.with_transport(sim.transport_name());
     let counters = SimCounters {
         congestion_drops: sim.total_congestion_drops(),
         fault_drops: sim.total_fault_drops(),
         ecn_marks: sim.total_marks(),
         events: sim.events_processed(),
     };
-    (metrics, counters)
+    let manifest = manifest.map(|spec| {
+        RunManifest::build(&ManifestInputs {
+            spec,
+            topology,
+            routing_label: routing.label(),
+            cfg: &cfg,
+            window,
+            faults,
+            injected: flows.len(),
+            metrics: &metrics,
+            dists: &dists,
+            counters: &counters,
+            conservation: sim.conservation(),
+            peak_heap: sim.heap_peak(),
+            wall,
+            telemetry: sim
+                .telemetry()
+                .map(|t| (t.samples(), t.every_ns(), t.path().map(str::to_string))),
+        })
+    });
+    (metrics, counters, manifest)
 }
 
 /// Default measurement window per scale, mirroring the paper's

@@ -25,12 +25,15 @@ pub mod cost;
 pub mod dynamicnet;
 pub mod experiment;
 pub mod flex;
+pub mod manifest;
 pub mod theory;
 
 pub use cost::{delta_lowest, equal_cost_xpander, table1};
 pub use dynamicnet::{RestrictedDynamic, UnrestrictedDynamic};
 pub use experiment::{
-    default_window, paper_networks, run_fct_experiment, run_fct_experiment_traced,
-    run_fct_experiment_with_faults, NetworkPair, Routing, Scale, SimCounters,
+    default_window, paper_networks, run_fct_experiment, run_fct_experiment_instrumented,
+    run_fct_experiment_traced, run_fct_experiment_with_faults, NetworkPair, Routing, Scale,
+    SimCounters,
 };
 pub use flex::{fat_tree_throughput, tp_throughput, FlexCurve};
+pub use manifest::{ManifestSpec, RunManifest, WALL_CLOCK_FIELDS};

@@ -30,7 +30,8 @@ use crate::fault::{component_labels, FaultController, FaultPlan, RemappedSelecto
 use crate::host::{transport_for, ChannelPath, Flow, Transport};
 use crate::stats::{DropCounters, FlowRecord, TraceCounters};
 use crate::switch::{DisciplineFactory, Fabric};
-use crate::trace::{NopTracer, TraceEvent, Tracer};
+use crate::telemetry::{Sample, Telemetry};
+use crate::trace::{Conservation, NopTracer, TraceEvent, Tracer};
 use crate::types::{Ns, Packet, SimConfig, MS};
 use dcn_routing::ecmp::hash3;
 use dcn_routing::{KspSelector, PathSelector};
@@ -84,6 +85,9 @@ impl Ord for HeapItem {
 struct EventQueue {
     heap: BinaryHeap<HeapItem>,
     seq: u64,
+    /// High-water mark of `heap.len()` — a memory-footprint proxy that
+    /// run manifests report.
+    peak: usize,
 }
 
 impl EventQueue {
@@ -91,6 +95,7 @@ impl EventQueue {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            peak: 0,
         }
     }
 
@@ -101,6 +106,7 @@ impl EventQueue {
             seq: self.seq,
             ev,
         });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     fn pop(&mut self) -> Option<HeapItem> {
@@ -136,6 +142,17 @@ pub struct Simulator {
     /// Cached `tracer.enabled()`: every emission site guards on this one
     /// bool so untraced runs skip event construction entirely.
     trace_on: bool,
+    /// The time-series sampler ([`crate::telemetry`]); `None` by default.
+    telemetry: Option<Box<Telemetry>>,
+    /// Cached next sample deadline (`u64::MAX` when telemetry is off), so
+    /// the hot loop pays one integer compare per event.
+    telemetry_next: Ns,
+    /// Packets created (data + ACKs) — intrinsic conservation accounting,
+    /// kept regardless of tracer so manifests never need a
+    /// [`crate::trace::CountingTracer`].
+    pkts_sent: u64,
+    /// Packets that reached their end host.
+    pkts_delivered: u64,
 }
 
 impl Simulator {
@@ -190,6 +207,10 @@ impl Simulator {
             goodput_bins: Vec::new(),
             tracer: Box::new(NopTracer),
             trace_on: false,
+            telemetry: None,
+            telemetry_next: Ns::MAX,
+            pkts_sent: 0,
+            pkts_delivered: 0,
         }
     }
 
@@ -204,6 +225,88 @@ impl Simulator {
     /// (a [`crate::trace::CountingTracer`] does).
     pub fn trace_counters(&self) -> Option<&TraceCounters> {
         self.tracer.counters()
+    }
+
+    /// Installs a time-series [`Telemetry`] sampler; call before
+    /// [`Simulator::run`]. The first sample lands on the first cadence
+    /// boundary the simulation clock crosses.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry_next = telemetry.every_ns();
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// The installed telemetry sampler, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Snapshots fabric-wide state for the cadence boundary at or before
+    /// `t`, writes one sample line, and re-arms the deadline (skipping any
+    /// boundaries the event gap jumped over).
+    fn telemetry_sample(&mut self, t: Ns) {
+        let Some(tel) = self.telemetry.as_mut() else {
+            return;
+        };
+        let every = tel.every_ns();
+        let boundary = (t / every) * every;
+        let mut queued_pkts = 0u64;
+        let mut queued_bytes = 0u64;
+        let mut channels = Vec::new();
+        for (id, ch) in self.fabric.channels.iter().enumerate() {
+            let qlen = ch.queue_len() as u32;
+            let qbytes = ch.queue_bytes();
+            let tx = tel.interval_tx(id as u32);
+            queued_pkts += qlen as u64;
+            queued_bytes += qbytes;
+            if qlen > 0 || tx > 0 {
+                channels.push((id as u32, qlen, qbytes, tx));
+            }
+        }
+        let mut flows_active = 0u64;
+        let mut inflight_bytes = 0u64;
+        for f in &self.flows {
+            if f.is_active(t) {
+                flows_active += 1;
+                inflight_bytes += f.inflight_bytes(self.cfg.mss);
+            }
+        }
+        let sample = Sample {
+            t: boundary,
+            events: self.events_processed,
+            heap: self.queue.heap.len() as u64,
+            flows_active,
+            inflight_bytes,
+            queued_pkts,
+            queued_bytes,
+            tx_bytes: tel.interval_tx_total(),
+            sent: self.pkts_sent,
+            delivered: self.pkts_delivered,
+            marks: self.fabric.total_marks(),
+            drops_congestion: self.fabric.total_congestion_drops(),
+            drops_fault: self.fabric.total_fault_drops(),
+            channels,
+        };
+        tel.write_sample(&sample)
+            .expect("telemetry sink write failed");
+        self.telemetry_next = boundary + every;
+    }
+
+    /// The conservation identity from the engine's own counters — no
+    /// tracer required. `dropped` covers congestion (tail + eviction) and
+    /// fault losses; no-route refusals are excluded because those packets
+    /// are never created (see [`Simulator::drop_breakdown`]).
+    pub fn conservation(&self) -> Conservation {
+        Conservation {
+            sent: self.pkts_sent,
+            delivered: self.pkts_delivered,
+            dropped: self.fabric.total_congestion_drops() + self.fabric.total_fault_drops(),
+            in_flight: self.packets_in_flight(),
+        }
+    }
+
+    /// High-water mark of the event heap over the run so far.
+    pub fn heap_peak(&self) -> usize {
+        self.queue.peak
     }
 
     #[inline]
@@ -293,6 +396,9 @@ impl Simulator {
             }
             self.now = item.t;
             self.events_processed += 1;
+            if item.t >= self.telemetry_next {
+                self.telemetry_sample(item.t);
+            }
             match item.ev {
                 Ev::FlowStart(f) => self.on_flow_start(f),
                 Ev::TxFree(ch) => self.on_tx_free(ch),
@@ -317,6 +423,9 @@ impl Simulator {
             self.fail_flow(fid);
         }
         self.tracer.finish();
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.finish().expect("telemetry sink flush failed");
+        }
         self.records()
     }
 
@@ -443,6 +552,9 @@ impl Simulator {
         let ch = &self.fabric.channels[ch_id as usize];
         let ser = ch.ser_ns(pkt.bytes);
         let prop = ch.prop_ns;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.on_tx(ch_id, pkt.bytes);
+        }
         self.schedule(self.now + ser, Ev::TxFree(ch_id));
         self.schedule(self.now + ser + prop, Ev::Deliver(pkt));
     }
@@ -533,6 +645,7 @@ impl Simulator {
             let next = pkt.path[pkt.hop as usize];
             self.send_on(next, pkt);
         } else {
+            self.pkts_delivered += 1;
             if self.trace_on {
                 self.trace(TraceEvent::Deliver {
                     flow: pkt.flow,
@@ -599,6 +712,7 @@ impl Simulator {
             path: rev,
         });
         let first = ack.path[0];
+        self.pkts_sent += 1;
         if self.trace_on {
             self.trace(TraceEvent::Send {
                 flow: fid,
@@ -869,6 +983,7 @@ impl Simulator {
             path: f.cur_path.clone().unwrap(),
         });
         let first = pkt.path[0];
+        self.pkts_sent += 1;
         if self.trace_on {
             self.trace(TraceEvent::Send {
                 flow: fid,

@@ -199,6 +199,26 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// Order-sensitive FNV-1a digest over the seed and every scheduled
+    /// event — the fault-plan provenance field in run manifests. Two plans
+    /// with the same digest schedule the identical failure sequence.
+    pub fn digest(&self) -> u64 {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        mix(&mut h, &self.seed.to_le_bytes());
+        for e in &self.events {
+            mix(&mut h, &e.at_ns.to_le_bytes());
+            mix(&mut h, e.kind.label().as_bytes());
+            mix(&mut h, &(e.kind.target() as u64).to_le_bytes());
+            mix(&mut h, &(e.kind.loss_ppm() as u64).to_le_bytes());
+        }
+        h
+    }
+
     /// Panics if any event references a link or node outside `topo` —
     /// called by the simulator before scheduling.
     pub fn validate(&self, topo: &Topology) {

@@ -153,6 +153,20 @@ impl Flow {
         self.total_pkts - self.acked
     }
 
+    /// Whether the flow is live at `now`: started, not finished, not
+    /// terminated — the population the telemetry sampler counts.
+    pub fn is_active(&self, now: Ns) -> bool {
+        !self.failed && self.finished_ns.is_none() && self.start_ns <= now
+    }
+
+    /// Sender-side bytes sent but not yet cumulatively acked (payload
+    /// only, capped at the flow size for the short final packet).
+    pub fn inflight_bytes(&self, mss: u32) -> u64 {
+        let sent = (self.next_seq as u64 * mss as u64).min(self.size_bytes);
+        let acked = (self.acked as u64 * mss as u64).min(self.size_bytes);
+        sent - acked
+    }
+
     /// Receiver: record `seq` and advance the cumulative-ACK point.
     pub(crate) fn rcv_mark(&mut self, seq: u32) {
         let (w, b) = ((seq / 64) as usize, seq % 64);

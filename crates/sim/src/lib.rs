@@ -62,6 +62,7 @@ pub mod host;
 pub mod net;
 pub mod stats;
 pub mod switch;
+pub mod telemetry;
 pub mod trace;
 pub mod types;
 
@@ -69,10 +70,11 @@ pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};
 pub use stats::{
-    compute_metrics, percentile, ChannelCounters, DropCounters, FlowRecord, Metrics, TraceCounters,
-    SHORT_FLOW_BYTES,
+    compute_metrics, compute_metrics_with_dists, percentile, ChannelCounters, DropCounters,
+    FctDistributions, FlowRecord, Metrics, StreamingHistogram, TraceCounters, SHORT_FLOW_BYTES,
 };
 pub use switch::{DisciplineFactory, EnqueueOutcome, PFabricQueue, QueueDiscipline, TailDropEcn};
+pub use telemetry::{Sample, Telemetry, DEFAULT_SAMPLE_EVERY_NS};
 pub use trace::{
     check_conservation, Conservation, CountingTracer, JsonlTracer, NopTracer, SharedBuf,
     TraceEvent, Tracer,

@@ -83,6 +83,18 @@ impl Metrics {
 /// the run otherwise, as the paper's methodology requires all window flows
 /// to finish).
 pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metrics {
+    compute_metrics_with_dists(records, w_start, w_end).0
+}
+
+/// [`compute_metrics`] plus streaming FCT distributions, from the same
+/// single pass. The [`Metrics`] half is bit-identical to what
+/// [`compute_metrics`] returns; the [`FctDistributions`] half feeds run
+/// manifests and `dcnstat` with full-percentile detail at fixed memory.
+pub fn compute_metrics_with_dists(
+    records: &[FlowRecord],
+    w_start: Ns,
+    w_end: Ns,
+) -> (Metrics, FctDistributions) {
     let window: Vec<&FlowRecord> = records
         .iter()
         .filter(|r| r.start_ns >= w_start && r.start_ns < w_end)
@@ -91,6 +103,7 @@ pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metric
         flows: window.len(),
         ..Default::default()
     };
+    let mut d = FctDistributions::default();
 
     let mut fcts: Vec<f64> = Vec::new();
     let mut short_fcts: Vec<f64> = Vec::new();
@@ -114,26 +127,39 @@ pub fn compute_metrics(records: &[FlowRecord], w_start: Ns, w_end: Ns) -> Metric
             continue;
         };
         m.completed += 1;
+        d.all.record(fct);
         let fct_ms = fct as f64 / 1e6;
         fcts.push(fct_ms);
         if short {
             short_fcts.push(fct_ms);
+            d.short.record(fct);
         } else {
             // bits / ns = Gbps.
             long_tputs.push(r.size_bytes as f64 * 8.0 / fct as f64);
+            d.long.record(fct);
         }
     }
     if !fcts.is_empty() {
         m.avg_fct_ms = fcts.iter().sum::<f64>() / fcts.len() as f64;
     }
-    m.p99_short_fct_ms = percentile(&mut short_fcts, 0.99);
+    m.p99_short_fct_ms = percentile(&short_fcts, 0.99);
     if !long_tputs.is_empty() {
         m.avg_long_tput_gbps = long_tputs.iter().sum::<f64>() / long_tputs.len() as f64;
     }
     if m.recovered_flows > 0 {
         m.avg_recovery_ms = recovery_sum_ms / m.recovered_flows as f64;
     }
-    m
+    (m, d)
+}
+
+/// Streaming FCT distributions over one measurement window, in integer
+/// nanoseconds: all completed flows, the short (<100 KB) subset, and the
+/// long rest.
+#[derive(Clone, Debug, Default)]
+pub struct FctDistributions {
+    pub all: StreamingHistogram,
+    pub short: StreamingHistogram,
+    pub long: StreamingHistogram,
 }
 
 /// Packet drops split by cause. `congestion` + `eviction` equals the
@@ -277,13 +303,165 @@ impl TraceCounters {
 }
 
 /// Nearest-rank percentile; 0.0 for an empty sample.
-pub fn percentile(values: &mut [f64], p: f64) -> f64 {
+///
+/// Works on an internal scratch copy with `select_nth_unstable_by` — O(n)
+/// instead of a full sort, and callers keep their slice untouched.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
-    values[rank - 1]
+    let mut scratch = values.to_vec();
+    let (_, nth, _) = scratch.select_nth_unstable_by(rank - 1, |a, b| a.partial_cmp(b).unwrap());
+    *nth
+}
+
+/// Sub-bucket resolution of [`StreamingHistogram`]: each power-of-two range
+/// is split into `2^SUB_BITS` linear sub-buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` (≈1.6%).
+const SUB_BITS: u32 = 6;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// HDR-style log-bucketed streaming histogram over `u64` values
+/// (nanoseconds, bytes, ...): O(1) record, fixed memory, mergeable.
+///
+/// Values below `2^SUB_BITS` land in exact unit-width buckets; above that,
+/// each power-of-two range is split into [`SUB_BUCKETS`] linear sub-buckets,
+/// so reported quantiles are within a `1/64` relative error of the exact
+/// nearest-rank answer while the whole `u64` range fits in < 4 K buckets.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl StreamingHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for `v`; monotone in `v`.
+    fn bucket(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS here
+        let shift = msb - SUB_BITS;
+        // Buckets [0, SUB_BUCKETS) hold the exact small values; each
+        // power-of-two range [2^msb, 2^(msb+1)) then contributes
+        // SUB_BUCKETS buckets of width 2^(msb-SUB_BITS).
+        (((shift + 1) as usize) << SUB_BITS) + ((v >> shift) as usize - SUB_BUCKETS)
+    }
+
+    /// Largest value mapping to bucket `i` (the bucket's inclusive high edge).
+    fn bucket_high(i: usize) -> u64 {
+        if i < SUB_BUCKETS {
+            return i as u64;
+        }
+        let shift = (i >> SUB_BITS) as u32 - 1;
+        let base = (i & (SUB_BUCKETS - 1)) as u64 + SUB_BUCKETS as u64;
+        ((base + 1) << shift) - 1
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.sum = self.sum.saturating_add(v);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+    }
+
+    /// Folds `other` into `self`; equivalent to having recorded the union.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Minimum recorded value; 0 for an empty histogram.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum recorded value; 0 for an empty histogram.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the recorded values (exact, from the running sum); 0.0 when
+    /// empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate (bucket upper edge, clamped to the
+    /// observed `[min, max]`); 0 for an empty histogram. Exact for values
+    /// below `2^SUB_BITS`, within `1/2^SUB_BITS` relative error above.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -399,22 +577,177 @@ mod tests {
 
     #[test]
     fn percentile_edge_cases() {
-        assert_eq!(percentile(&mut [], 0.99), 0.0);
-        assert_eq!(percentile(&mut [5.0], 0.99), 5.0);
-        let mut v = vec![1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&mut v, 0.5), 2.0);
-        assert_eq!(percentile(&mut v, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[5.0], 0.99), 5.0);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
     }
 
     #[test]
     fn percentile_extreme_ranks() {
         // p=0 clamps to the first rank rather than indexing out of range;
         // a single sample answers every percentile with itself.
-        let mut v = vec![3.0, 1.0, 2.0];
-        assert_eq!(percentile(&mut v, 0.0), 1.0);
-        assert_eq!(percentile(&mut v, 1e-9), 1.0);
-        assert_eq!(percentile(&mut [7.5], 0.0), 7.5);
-        assert_eq!(percentile(&mut [7.5], 1.0), 7.5);
+        let v = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1e-9), 1.0);
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_leaves_input_untouched() {
+        let v = vec![9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 0.5), 5.0);
+        assert_eq!(v, vec![9.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        // Mirrors percentile_edge_cases: empty and single-value histograms.
+        let h = StreamingHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_percentile(0.99), 0);
+
+        let mut h = StreamingHistogram::new();
+        h.record(5);
+        assert_eq!(h.count(), 1);
+        assert_eq!((h.min(), h.max(), h.sum()), (5, 5, 5));
+        assert_eq!(h.mean(), 5.0);
+        for p in [0.0, 1e-9, 0.5, 0.99, 1.0] {
+            assert_eq!(h.value_at_percentile(p), 5);
+        }
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        // Values below 2^SUB_BITS get unit-width buckets, so every
+        // percentile matches the exact nearest-rank answer.
+        let mut h = StreamingHistogram::new();
+        let vals = [1u64, 2, 3, 4];
+        for v in vals {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_percentile(0.5), 2);
+        assert_eq!(h.value_at_percentile(1.0), 4);
+        assert_eq!(h.value_at_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn histogram_percentile_error_bound() {
+        // Random samples spanning several orders of magnitude: every
+        // reported quantile stays within the 1/2^SUB_BITS relative error
+        // bound of the exact nearest-rank value.
+        let mut rng = dcn_rng::Rng::seed_from_u64(42);
+        let mut h = StreamingHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            let v = rng.next_u64() % 1_000_000_000;
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for p in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((p * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let want = exact[rank - 1];
+            let got = h.value_at_percentile(p);
+            // Bucket high edge: got >= want, and within 1/64 relative.
+            assert!(got >= want, "p{p}: got {got} < exact {want}");
+            let err = (got - want) as f64 / (want.max(1)) as f64;
+            assert!(
+                err <= 1.0 / 64.0,
+                "p{p}: err {err} (got {got}, want {want})"
+            );
+        }
+        assert_eq!(h.count(), exact.len() as u64);
+        assert_eq!(h.min(), exact[0]);
+        assert_eq!(h.max(), *exact.last().unwrap());
+        assert_eq!(h.sum(), exact.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn histogram_merge_equals_union() {
+        // merge(a, b) must be indistinguishable from recording a ∪ b.
+        let mut rng = dcn_rng::Rng::seed_from_u64(7);
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut union = StreamingHistogram::new();
+        for i in 0..5_000 {
+            let v = rng.next_u64() % 10_000_000;
+            union.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.sum(), union.sum());
+        assert_eq!(a.min(), union.min());
+        assert_eq!(a.max(), union.max());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.value_at_percentile(p), union.value_at_percentile(p));
+        }
+        // Merging into an empty histogram adopts the other side verbatim.
+        let mut empty = StreamingHistogram::new();
+        empty.merge(&union);
+        assert_eq!(empty.count(), union.count());
+        assert_eq!(empty.min(), union.min());
+        assert_eq!(empty.max(), union.max());
+        // Merging an empty histogram is a no-op.
+        let before = union.count();
+        union.merge(&StreamingHistogram::new());
+        assert_eq!(union.count(), before);
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip() {
+        // bucket() is monotone and bucket_high() is the true inclusive
+        // upper edge: v always lands at or below its bucket's high edge,
+        // and the next bucket's high edge is strictly larger.
+        let mut vals: Vec<u64> = Vec::new();
+        for exp in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                vals.push((1u64 << exp).saturating_add(off << exp.saturating_sub(3)));
+            }
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        let mut last = 0usize;
+        for v in vals {
+            let b = StreamingHistogram::bucket(v);
+            assert!(b >= last, "bucket not monotone at v={v}");
+            last = b;
+            assert!(StreamingHistogram::bucket_high(b) >= v);
+            if b > 0 {
+                assert!(StreamingHistogram::bucket_high(b - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_with_dists_match_plain_metrics() {
+        let records = vec![
+            rec(1, 10_000, Some(2)),
+            rec(2, 10_000, Some(4)),
+            rec(3, 500_000, Some(20)),
+            rec(4, 500_000, None),
+        ];
+        let plain = compute_metrics(&records, 0, 10 * MS);
+        let (m, d) = compute_metrics_with_dists(&records, 0, 10 * MS);
+        assert_eq!(plain.avg_fct_ms, m.avg_fct_ms);
+        assert_eq!(plain.p99_short_fct_ms, m.p99_short_fct_ms);
+        assert_eq!(plain.avg_long_tput_gbps, m.avg_long_tput_gbps);
+        assert_eq!(d.all.count(), 3);
+        assert_eq!(d.short.count(), 2);
+        assert_eq!(d.long.count(), 1);
+        assert_eq!(d.all.max(), 20 * MS);
+        assert_eq!(d.short.min(), 2 * MS);
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Periodic time-series telemetry: the aggregate-dynamics companion to the
+//! per-event tracing in [`crate::trace`].
+//!
+//! A [`Telemetry`] sink, installed via `Simulator::set_telemetry`, makes
+//! the engine snapshot fabric-wide state on a fixed simulated-time cadence
+//! (`sample_every_ns`): per-channel queue depth and occupancy, interval
+//! transmit bytes (link utilization), cumulative mark/drop counters, active
+//! flows, in-flight bytes, and event-heap size. Each snapshot is one JSONL
+//! line with **integer-only** fields, so a same-seed run reproduces the
+//! stream byte for byte — the property `dcnstat diff` and CI lean on.
+//!
+//! Like tracing, telemetry is strictly pay-for-what-you-use: the engine
+//! holds `Option<Box<Telemetry>>` plus a cached next-sample deadline
+//! (`u64::MAX` when disabled), so a disabled run costs one integer compare
+//! per event and allocates nothing.
+//!
+//! Schema (one object per line, cumulative counters unless noted):
+//!
+//! ```json
+//! {"t": 200000, "ev": "sample", "events": 4811, "heap": 27,
+//!  "flows_active": 9, "inflight_bytes": 61440, "queued_pkts": 12,
+//!  "queued_bytes": 18360, "tx_bytes": 91800, "sent": 2410,
+//!  "delivered": 2371, "marks": 14, "drops_congestion": 2,
+//!  "drops_fault": 0, "ch": [[3, 4, 6120, 30600], [9, 0, 0, 15300]]}
+//! ```
+//!
+//! `t` is the sample boundary (a multiple of the cadence), `tx_bytes` and
+//! the per-channel `ch` rows `[id, qlen, qbytes, tx_bytes]` are deltas over
+//! the elapsed interval, and `ch` is sparse: only channels with a non-empty
+//! queue or interval traffic appear.
+
+use std::io::{self, BufWriter, Write};
+
+use crate::types::Ns;
+use dcn_json::Json;
+
+/// Default sampling cadence: 100 µs of simulated time.
+pub const DEFAULT_SAMPLE_EVERY_NS: Ns = 100_000;
+
+/// Fabric-wide snapshot handed to [`Telemetry::write_sample`] by the
+/// engine; field meanings match the module-level schema.
+#[derive(Clone, Debug, Default)]
+pub struct Sample {
+    /// Sample boundary (multiple of the cadence), in simulated ns.
+    pub t: Ns,
+    /// Events processed so far.
+    pub events: u64,
+    /// Event-heap size at the sample point.
+    pub heap: u64,
+    /// Flows started but neither finished nor failed.
+    pub flows_active: u64,
+    /// Sender-side unacknowledged bytes across active flows.
+    pub inflight_bytes: u64,
+    /// Packets queued across all channels.
+    pub queued_pkts: u64,
+    /// Bytes queued across all channels.
+    pub queued_bytes: u64,
+    /// Bytes begun transmitting since the previous sample (all channels).
+    pub tx_bytes: u64,
+    /// Cumulative packets created (data + ACKs).
+    pub sent: u64,
+    /// Cumulative packets delivered to end hosts.
+    pub delivered: u64,
+    /// Cumulative ECN marks.
+    pub marks: u64,
+    /// Cumulative congestion drops (tail + eviction).
+    pub drops_congestion: u64,
+    /// Cumulative fault drops (dead/gray channels).
+    pub drops_fault: u64,
+    /// Sparse per-channel rows `(id, queue_pkts, queue_bytes,
+    /// interval_tx_bytes)` for channels with queue or traffic.
+    pub channels: Vec<(u32, u32, u64, u64)>,
+}
+
+impl Sample {
+    /// The sample as a JSONL object (integer fields only, insertion
+    /// order fixed) — the byte-stable wire format.
+    pub fn to_json(&self) -> Json {
+        let ch = self
+            .channels
+            .iter()
+            .map(|&(id, qlen, qbytes, tx)| {
+                Json::Arr(vec![
+                    Json::from(id),
+                    Json::from(qlen),
+                    Json::from(qbytes),
+                    Json::from(tx),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("t", Json::from(self.t)),
+            ("ev", Json::from("sample")),
+            ("events", Json::from(self.events)),
+            ("heap", Json::from(self.heap)),
+            ("flows_active", Json::from(self.flows_active)),
+            ("inflight_bytes", Json::from(self.inflight_bytes)),
+            ("queued_pkts", Json::from(self.queued_pkts)),
+            ("queued_bytes", Json::from(self.queued_bytes)),
+            ("tx_bytes", Json::from(self.tx_bytes)),
+            ("sent", Json::from(self.sent)),
+            ("delivered", Json::from(self.delivered)),
+            ("marks", Json::from(self.marks)),
+            ("drops_congestion", Json::from(self.drops_congestion)),
+            ("drops_fault", Json::from(self.drops_fault)),
+            ("ch", Json::Arr(ch)),
+        ])
+    }
+}
+
+/// A telemetry sink: owns the output stream, the sampling cadence, and the
+/// per-channel interval transmit accumulators.
+pub struct Telemetry {
+    every_ns: Ns,
+    out: BufWriter<Box<dyn Write + Send>>,
+    path: Option<String>,
+    samples: u64,
+    /// Bytes begun transmitting per channel since the last sample.
+    tx_bytes: Vec<u64>,
+    tx_total: u64,
+}
+
+impl Telemetry {
+    /// Telemetry over an arbitrary sink (tests use
+    /// [`crate::trace::SharedBuf`]); `every_ns` is clamped to ≥ 1.
+    pub fn new(sink: Box<dyn Write + Send>, every_ns: Ns) -> Self {
+        Telemetry {
+            every_ns: every_ns.max(1),
+            out: BufWriter::new(sink),
+            path: None,
+            samples: 0,
+            tx_bytes: Vec::new(),
+            tx_total: 0,
+        }
+    }
+
+    /// Telemetry writing JSONL to `path`.
+    pub fn to_file(path: &str, every_ns: Ns) -> io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        let mut t = Self::new(Box::new(f), every_ns);
+        t.path = Some(path.to_string());
+        Ok(t)
+    }
+
+    pub fn every_ns(&self) -> Ns {
+        self.every_ns
+    }
+
+    /// Sampling-output path, when writing to a file.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+
+    /// Samples written so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Credits `bytes` to channel `ch` for the current interval (called by
+    /// the engine when a transmission starts).
+    pub fn on_tx(&mut self, ch: u32, bytes: u32) {
+        let i = ch as usize;
+        if self.tx_bytes.len() <= i {
+            self.tx_bytes.resize(i + 1, 0);
+        }
+        self.tx_bytes[i] += bytes as u64;
+        self.tx_total += bytes as u64;
+    }
+
+    /// Interval transmit bytes for channel `ch` (0 if never seen).
+    pub fn interval_tx(&self, ch: u32) -> u64 {
+        self.tx_bytes.get(ch as usize).copied().unwrap_or(0)
+    }
+
+    /// Total interval transmit bytes across channels.
+    pub fn interval_tx_total(&self) -> u64 {
+        self.tx_total
+    }
+
+    /// Writes one sample line and resets the interval accumulators.
+    pub fn write_sample(&mut self, s: &Sample) -> io::Result<()> {
+        writeln!(self.out, "{}", s.to_json())?;
+        self.samples += 1;
+        self.tx_bytes.iter_mut().for_each(|b| *b = 0);
+        self.tx_total = 0;
+        Ok(())
+    }
+
+    /// Flushes the sink; the engine calls this when a run ends.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SharedBuf;
+
+    #[test]
+    fn sample_json_is_integer_only_and_ordered() {
+        let s = Sample {
+            t: 200_000,
+            events: 10,
+            heap: 3,
+            flows_active: 2,
+            inflight_bytes: 3000,
+            queued_pkts: 1,
+            queued_bytes: 1540,
+            tx_bytes: 4620,
+            sent: 5,
+            delivered: 4,
+            marks: 1,
+            drops_congestion: 0,
+            drops_fault: 0,
+            channels: vec![(3, 1, 1540, 3080), (9, 0, 0, 1540)],
+        };
+        let line = s.to_json().to_string();
+        assert!(line.starts_with("{\"t\": 200000, \"ev\": \"sample\""));
+        assert!(line.contains("\"ch\": [[3, 1, 1540, 3080], [9, 0, 0, 1540]]"));
+        // Integer-only: no floats may sneak into the byte-stable stream.
+        assert!(!line.contains('.'), "float leaked into telemetry: {line}");
+    }
+
+    #[test]
+    fn tx_accumulators_reset_per_sample() {
+        let buf = SharedBuf::default();
+        let mut tel = Telemetry::new(Box::new(buf.clone()), 100);
+        tel.on_tx(2, 1500);
+        tel.on_tx(2, 1500);
+        tel.on_tx(5, 40);
+        assert_eq!(tel.interval_tx(2), 3000);
+        assert_eq!(tel.interval_tx(5), 40);
+        assert_eq!(tel.interval_tx(100), 0);
+        assert_eq!(tel.interval_tx_total(), 3040);
+        tel.write_sample(&Sample::default()).unwrap();
+        assert_eq!(tel.interval_tx(2), 0);
+        assert_eq!(tel.interval_tx_total(), 0);
+        assert_eq!(tel.samples(), 1);
+        tel.finish().unwrap();
+        let text = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -457,6 +457,16 @@ pub fn check_conservation(sim: &Simulator) -> Result<Conservation, String> {
             sum.sent, sum.delivered, sum.dropped, sum.in_flight
         ));
     }
+    // The engine keeps its own sent/delivered counters (for manifests and
+    // telemetry, which must work without a tracer); they must agree with
+    // the tracer's event-derived view.
+    let own = sim.conservation();
+    if (own.sent, own.delivered) != (sum.sent, sum.delivered) {
+        return Err(format!(
+            "intrinsic-counter mismatch: engine sent/delivered {}/{} vs tracer {}/{}",
+            own.sent, own.delivered, sum.sent, sum.delivered
+        ));
+    }
     Ok(sum)
 }
 

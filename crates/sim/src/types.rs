@@ -61,6 +61,15 @@ impl TransportKind {
             _ => None,
         }
     }
+
+    /// The config-file name ([`TransportKind::parse`]'s inverse).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Dctcp => "dctcp",
+            TransportKind::NewReno => "newreno",
+            TransportKind::PFabric => "pfabric",
+        }
+    }
 }
 
 /// Queue-discipline flavor — the built-in
@@ -85,6 +94,14 @@ impl QueueDiscKind {
             "tail_drop_ecn" => Some(QueueDiscKind::TailDropEcn),
             "pfabric" => Some(QueueDiscKind::PFabric),
             _ => None,
+        }
+    }
+
+    /// The config-file name ([`QueueDiscKind::parse`]'s inverse).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueDiscKind::TailDropEcn => "tail_drop_ecn",
+            QueueDiscKind::PFabric => "pfabric",
         }
     }
 }

@@ -186,6 +186,38 @@ impl Topology {
         self.links.iter().map(|l| l.capacity).sum()
     }
 
+    /// Order-sensitive FNV-1a fingerprint over the full structure — name,
+    /// node kinds, per-node server counts, groups, and links (endpoints +
+    /// capacity bits). Run manifests record it so two result files can be
+    /// checked for having simulated the same fabric.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        mix(&mut h, self.name.as_bytes());
+        mix(&mut h, &(self.kinds.len() as u64).to_le_bytes());
+        for (i, k) in self.kinds.iter().enumerate() {
+            let tag: u64 = match k {
+                NodeKind::Tor => 1,
+                NodeKind::Aggregation => 2,
+                NodeKind::Core => 3,
+            };
+            mix(&mut h, &tag.to_le_bytes());
+            mix(&mut h, &(self.servers[i] as u64).to_le_bytes());
+            mix(&mut h, &(self.groups[i] as u64).to_le_bytes());
+        }
+        mix(&mut h, &(self.links.len() as u64).to_le_bytes());
+        for l in &self.links {
+            mix(&mut h, &(l.a as u64).to_le_bytes());
+            mix(&mut h, &(l.b as u64).to_le_bytes());
+            mix(&mut h, &l.capacity.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Unweighted BFS hop distances from `src` (`u32::MAX` = unreachable).
     pub fn bfs_distances(&self, src: NodeId) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.num_nodes()];

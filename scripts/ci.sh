@@ -30,6 +30,52 @@ grep -q '"ev": "enqueue"' "$trace_out"
 grep -q '"ev": "fault"' "$trace_out"
 rm -rf "$(dirname "$trace_out")"
 
+echo "==> telemetry smoke: same-seed runs, schema, manifest, zero drift"
+obs_dir="$(mktemp -d)"
+for run in a b; do
+  cargo run --release --bin dcnsim -- examples/configs/trace_tiny.json \
+    --telemetry "$obs_dir/ts_$run.jsonl" --manifest "$obs_dir/man_$run.json" \
+    > /dev/null
+done
+test -s "$obs_dir/ts_a.jsonl"
+test -s "$obs_dir/man_a.json"
+# Same seed ⇒ byte-identical telemetry time series.
+cmp "$obs_dir/ts_a.jsonl" "$obs_dir/ts_b.jsonl"
+# Every telemetry line is a sample on the cadence grid, integer-only.
+if grep -qvE '^\{"t": [0-9]+, "ev": "sample", ' "$obs_dir/ts_a.jsonl"; then
+  echo "malformed telemetry line:"
+  grep -vE '^\{"t": [0-9]+, "ev": "sample", ' "$obs_dir/ts_a.jsonl" | head -3
+  exit 1
+fi
+if grep -q '\.' "$obs_dir/ts_a.jsonl"; then
+  echo "float leaked into telemetry JSONL:"
+  grep '\.' "$obs_dir/ts_a.jsonl" | head -3
+  exit 1
+fi
+# The manifest carries the schema tag, fingerprint, and conservation block.
+for key in '"schema"' '"fingerprint"' '"conservation"' '"telemetry"'; do
+  grep -q "$key" "$obs_dir/man_a.json"
+done
+# Two same-seed manifests must agree on every simulated field.
+cargo run --release --bin dcnstat -- diff "$obs_dir/man_a.json" "$obs_dir/man_b.json"
+# Analysis subcommands run over the artifacts they just produced.
+cargo run --release --bin dcnstat -- queues "$obs_dir/ts_a.jsonl" > "$obs_dir/queues.tsv"
+test -s "$obs_dir/queues.tsv"
+cargo run --release --bin dcnstat -- util "$obs_dir/ts_a.jsonl" > "$obs_dir/util.tsv"
+test -s "$obs_dir/util.tsv"
+rm -rf "$obs_dir"
+
+echo "==> dcnsim error handling (clean failure, no panic)"
+set +e
+err_out="$(cargo run --release --bin dcnsim -- /nonexistent_config.json 2>&1 >/dev/null)"
+err_rc=$?
+set -e
+test "$err_rc" -ne 0
+echo "$err_out" | grep -q '^dcnsim: error:'
+if echo "$err_out" | grep -q 'panicked'; then
+  echo "dcnsim panicked instead of failing cleanly"; exit 1
+fi
+
 echo "==> tracing overhead gate (NopTracer must stay free)"
 cargo run --release -p dcn-bench --bin trace_overhead -- --check > /dev/null
 

@@ -9,48 +9,65 @@
 //! The config selects a topology, routing scheme, workload, arrival rate,
 //! simulator constants, and (optionally) a fault plan; the tool prints the
 //! paper's three headline metrics (and a full JSON report to stdout with
-//! `--json`). Pass `--trace events.jsonl` (or set `"trace":
-//! "events.jsonl"` in the config) to stream every simulator event —
-//! enqueues, ECN marks, drops by cause, ACKs, RTOs, fault transitions —
-//! as one JSON object per line (see DESIGN.md §Observability for the
-//! schema).
+//! `--json`). Observability side-channels:
+//!
+//! - `--trace events.jsonl` (or `"trace"` in the config): every simulator
+//!   event — enqueues, ECN marks, drops by cause, ACKs, RTOs, fault
+//!   transitions — one JSON object per line;
+//! - `--telemetry ts.jsonl` (or `"telemetry"`): periodic fabric-wide
+//!   samples on a `"telemetry_every_us"` cadence (default 100 µs);
+//! - `--manifest manifest.json` (or `"manifest"`): a provenance manifest
+//!   with config echo, topology fingerprint, fault digest, FCT histogram
+//!   summary, and packet-conservation counters.
+//!
+//! See DESIGN.md §Observability for the schemas; `dcnstat` post-processes
+//! the trace/telemetry/manifest files. Config mistakes (missing file,
+//! unknown key, wrong type) exit with a one-line `dcnsim: error: ...`.
 
 use beyond_fattrees::prelude::*;
 use dcn_json::Json;
+
+/// One-line fatal error: `dcnsim: error: <msg>`, exit code 1 — config and
+/// I/O mistakes are user errors, not panics.
+fn fail(msg: &str) -> ! {
+    eprintln!("dcnsim: error: {msg}");
+    std::process::exit(1)
+}
 
 /// Field access helpers: every getter names the offending key on error so
 /// config mistakes are self-explanatory.
 fn need<'a>(v: &'a Json, key: &str) -> &'a Json {
     v.get(key)
-        .unwrap_or_else(|| panic!("config: missing field \"{key}\""))
+        .unwrap_or_else(|| fail(&format!("config: missing field \"{key}\"")))
 }
 
 fn need_f64(v: &Json, key: &str) -> f64 {
     need(v, key)
         .as_f64()
-        .unwrap_or_else(|| panic!("config: \"{key}\" must be a number"))
+        .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a number")))
 }
 
 fn need_u64(v: &Json, key: &str) -> u64 {
     need(v, key)
         .as_u64()
-        .unwrap_or_else(|| panic!("config: \"{key}\" must be a non-negative integer"))
+        .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a non-negative integer")))
 }
 
 fn need_u32(v: &Json, key: &str) -> u32 {
-    u32::try_from(need_u64(v, key)).unwrap_or_else(|_| panic!("config: \"{key}\" too large"))
+    u32::try_from(need_u64(v, key))
+        .unwrap_or_else(|_| fail(&format!("config: \"{key}\" too large")))
 }
 
 fn need_str<'a>(v: &'a Json, key: &str) -> &'a str {
     need(v, key)
         .as_str()
-        .unwrap_or_else(|| panic!("config: \"{key}\" must be a string"))
+        .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a string")))
 }
 
 fn opt_f64(v: &Json, key: &str) -> Option<f64> {
     v.get(key).map(|x| {
         x.as_f64()
-            .unwrap_or_else(|| panic!("config: \"{key}\" must be a number"))
+            .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a number")))
     })
 }
 
@@ -61,16 +78,84 @@ fn opt_u64(v: &Json, key: &str) -> Option<u64> {
         } else {
             Some(
                 x.as_u64()
-                    .unwrap_or_else(|| panic!("config: \"{key}\" must be an integer")),
+                    .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be an integer"))),
             )
         }
+    })
+}
+
+fn opt_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).map(|x| {
+        x.as_str()
+            .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a string path")))
+            .to_string()
     })
 }
 
 fn kind<'a>(v: &'a Json, what: &str) -> &'a str {
     v.get("kind")
         .and_then(|k| k.as_str())
-        .unwrap_or_else(|| panic!("config: {what} needs a \"kind\" field"))
+        .unwrap_or_else(|| fail(&format!("config: {what} needs a \"kind\" field")))
+}
+
+/// Allowed top-level config keys.
+const TOP_KEYS: &[&str] = &[
+    "topology",
+    "routing",
+    "workload",
+    "lambda",
+    "window_ms",
+    "seed",
+    "sim",
+    "faults",
+    "trace",
+    "telemetry",
+    "telemetry_every_us",
+    "manifest",
+];
+
+/// Allowed keys inside the `sim` section.
+const SIM_KEYS: &[&str] = &[
+    "link_gbps",
+    "server_link_gbps",
+    "queue_pkts",
+    "ecn_k_pkts",
+    "flowlet_gap_us",
+    "reconverge_delay_us",
+    "newreno",
+    "transport",
+    "queue",
+    "pfabric_cwnd_pkts",
+];
+
+/// Rejects unknown keys at the top level and in the `sim` section, so a
+/// typoed knob fails loudly instead of silently running the defaults.
+fn validate_keys(cfg: &Json) -> Result<(), String> {
+    let Some(fields) = cfg.as_object() else {
+        return Err("config root must be a JSON object".to_string());
+    };
+    for (k, _) in fields {
+        if !TOP_KEYS.contains(&k.as_str()) {
+            return Err(format!(
+                "config: unknown key \"{k}\" (expected one of: {})",
+                TOP_KEYS.join(", ")
+            ));
+        }
+    }
+    if let Some(sim) = cfg.get("sim") {
+        let Some(fields) = sim.as_object() else {
+            return Err("config: \"sim\" must be an object".to_string());
+        };
+        for (k, _) in fields {
+            if !SIM_KEYS.contains(&k.as_str()) {
+                return Err(format!(
+                    "config: unknown sim key \"{k}\" (expected one of: {})",
+                    SIM_KEYS.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn build_topology(cfg: &Json, seed: u64) -> Topology {
@@ -107,14 +192,17 @@ fn build_topology(cfg: &Json, seed: u64) -> Topology {
         "file" => {
             let path = need_str(cfg, "path");
             let body = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("read topology {path}: {e}"));
-            let v = Json::parse(&body).unwrap_or_else(|e| panic!("parse topology {path}: {e}"));
-            let t =
-                Topology::from_json(&v).unwrap_or_else(|e| panic!("invalid topology {path}: {e}"));
-            assert!(t.is_connected(), "loaded topology is disconnected");
+                .unwrap_or_else(|e| fail(&format!("read topology {path}: {e}")));
+            let v =
+                Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse topology {path}: {e}")));
+            let t = Topology::from_json(&v)
+                .unwrap_or_else(|e| fail(&format!("invalid topology {path}: {e}")));
+            if !t.is_connected() {
+                fail("loaded topology is disconnected");
+            }
             t
         }
-        other => panic!("config: unknown topology kind \"{other}\""),
+        other => fail(&format!("config: unknown topology kind \"{other}\"")),
     }
 }
 
@@ -125,7 +213,7 @@ fn parse_routing(cfg: &Json) -> Routing {
         "hyb" => Routing::Hyb(opt_u64(cfg, "q_bytes").unwrap_or(PAPER_Q_BYTES)),
         "adaptive_hyb" => Routing::AdaptiveHyb(need_u64(cfg, "ecn_marks")),
         "ksp" => Routing::Ksp(need_u64(cfg, "k") as usize),
-        other => panic!("config: unknown routing kind \"{other}\""),
+        other => fail(&format!("config: unknown routing kind \"{other}\"")),
     }
 }
 
@@ -156,17 +244,21 @@ fn parse_sim(cfg: Option<&Json>) -> SimConfig {
     if let Some(v) = cfg.get("transport") {
         let s = v
             .as_str()
-            .unwrap_or_else(|| panic!("config: \"transport\" must be a string"));
+            .unwrap_or_else(|| fail("config: \"transport\" must be a string"));
         c.transport = TransportKind::parse(s).unwrap_or_else(|| {
-            panic!("config: unknown transport \"{s}\" (expected one of: dctcp, newreno, pfabric)")
+            fail(&format!(
+                "config: unknown transport \"{s}\" (expected one of: dctcp, newreno, pfabric)"
+            ))
         });
     }
     if let Some(v) = cfg.get("queue") {
         let s = v
             .as_str()
-            .unwrap_or_else(|| panic!("config: \"queue\" must be a string"));
+            .unwrap_or_else(|| fail("config: \"queue\" must be a string"));
         c.queue_disc = QueueDiscKind::parse(s).unwrap_or_else(|| {
-            panic!("config: unknown queue \"{s}\" (expected one of: tail_drop_ecn, pfabric)")
+            fail(&format!(
+                "config: unknown queue \"{s}\" (expected one of: tail_drop_ecn, pfabric)"
+            ))
         });
     }
     if let Some(v) = opt_u64(cfg, "pfabric_cwnd_pkts") {
@@ -193,8 +285,18 @@ fn parse_faults(cfg: Option<&Json>, topo: &Topology) -> Option<FaultPlan> {
             let seed = opt_u64(cfg, "seed").unwrap_or(1);
             Some(FaultPlan::random_link_outages(topo, count, down, up, seed))
         }
-        other => panic!("config: unknown faults kind \"{other}\""),
+        other => fail(&format!("config: unknown faults kind \"{other}\"")),
     }
+}
+
+/// `--flag <value>` from the argument list (the flag's value wins over the
+/// config file's same-named key).
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| fail(&format!("{flag} takes a file path")))
+            .to_string()
+    })
 }
 
 const EXAMPLE: &str = r#"{
@@ -211,6 +313,9 @@ const EXAMPLE: &str = r#"{
   "faults": { "kind": "random_link_outages", "count": 2, "down_ms": 60, "up_ms": 90, "seed": 1 }
 }"#;
 
+const USAGE: &str = "usage: dcnsim <config.json> [--json] [--dot out.dot] [--trace out.jsonl] \
+     [--telemetry out.jsonl] [--manifest out.json] | dcnsim --print-example";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--print-example") {
@@ -218,23 +323,23 @@ fn main() {
         return;
     }
     let json_out = args.iter().any(|a| a == "--json");
-    // First positional argument, skipping flag values (--dot/--trace take one).
+    // First positional argument, skipping flags that take one value.
     let mut path: Option<&String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--dot" | "--trace" => i += 1, // skip its value
+            "--dot" | "--trace" | "--telemetry" | "--manifest" => i += 1, // skip its value
             a if !a.starts_with("--") && path.is_none() => path = Some(&args[i]),
             _ => {}
         }
         i += 1;
     }
-    let path = path.expect(
-        "usage: dcnsim <config.json> [--json] [--dot out.dot] [--trace out.jsonl] \
-         | dcnsim --print-example",
-    );
-    let body = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    let cfg = Json::parse(&body).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let Some(path) = path else { fail(USAGE) };
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let cfg = Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+    if let Err(e) = validate_keys(&cfg) {
+        fail(&e);
+    }
 
     let seed = opt_u64(&cfg, "seed").unwrap_or(1);
     let topo = build_topology(need(&cfg, "topology"), seed);
@@ -244,10 +349,9 @@ fn main() {
         topo.num_nodes(),
         topo.num_servers()
     );
-    if let Some(i) = args.iter().position(|a| a == "--dot") {
-        let out = args.get(i + 1).expect("--dot takes a file path");
-        std::fs::write(out, beyond_fattrees::topology::export::to_dot(&topo))
-            .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    if let Some(out) = flag_value(&args, "--dot") {
+        std::fs::write(&out, beyond_fattrees::topology::export::to_dot(&topo))
+            .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
         eprintln!("wrote {out}");
     }
 
@@ -278,7 +382,7 @@ fn main() {
             seed,
         )),
         "projector_trace" => Box::new(PairSkew::projector_trace(&topo, racks.clone(), seed)),
-        other => panic!("config: unknown pattern kind \"{other}\""),
+        other => fail(&format!("config: unknown pattern kind \"{other}\"")),
     };
     let sizes: Box<dyn FlowSizeDist> = match workload.get("sizes") {
         None => Box::new(PFabricWebSearch::new()),
@@ -286,7 +390,7 @@ fn main() {
             "pfabric_web_search" => Box::new(PFabricWebSearch::new()),
             "pareto_hull" => Box::new(ParetoHull::new()),
             "fixed" => Box::new(FixedSize(need_u64(s, "bytes"))),
-            other => panic!("config: unknown sizes kind \"{other}\""),
+            other => fail(&format!("config: unknown sizes kind \"{other}\"")),
         },
     };
 
@@ -294,7 +398,7 @@ fn main() {
         w.as_array()
             .filter(|a| a.len() == 2)
             .and_then(|a| Some((a[0].as_u64()?, a[1].as_u64()?)))
-            .unwrap_or_else(|| panic!("config: \"window_ms\" must be [start, end]"))
+            .unwrap_or_else(|| fail("config: \"window_ms\" must be [start, end]"))
     }) {
         Some((a, b)) => (a * MS, b * MS),
         None => (50 * MS, 150 * MS),
@@ -308,28 +412,29 @@ fn main() {
     if let Some(plan) = &faults {
         eprintln!("faults: {} scheduled events", plan.events().len());
     }
-    // Trace destination: `--trace <path>` wins over the config's "trace" key.
-    let trace_path: Option<String> = args
-        .iter()
-        .position(|a| a == "--trace")
-        .map(|i| {
-            args.get(i + 1)
-                .expect("--trace takes a file path")
-                .to_string()
-        })
-        .or_else(|| {
-            cfg.get("trace").map(|v| {
-                v.as_str()
-                    .unwrap_or_else(|| panic!("config: \"trace\" must be a string path"))
-                    .to_string()
-            })
-        });
+    // Observability destinations: flags win over the config's keys.
+    let trace_path = flag_value(&args, "--trace").or_else(|| opt_str(&cfg, "trace"));
     let tracer: Option<Box<dyn Tracer>> = trace_path.as_deref().map(|p| {
         eprintln!("tracing events to {p}");
-        Box::new(JsonlTracer::create(p).unwrap_or_else(|e| panic!("open trace {p}: {e}")))
+        Box::new(JsonlTracer::create(p).unwrap_or_else(|e| fail(&format!("open trace {p}: {e}"))))
             as Box<dyn Tracer>
     });
-    let (m, counters) = run_fct_experiment_traced(
+    let telemetry_path = flag_value(&args, "--telemetry").or_else(|| opt_str(&cfg, "telemetry"));
+    let telemetry = telemetry_path.as_deref().map(|p| {
+        let every = opt_u64(&cfg, "telemetry_every_us")
+            .map(|us| us * US)
+            .unwrap_or(DEFAULT_SAMPLE_EVERY_NS);
+        eprintln!("telemetry to {p} every {} ns", every);
+        Telemetry::to_file(p, every).unwrap_or_else(|e| fail(&format!("open telemetry {p}: {e}")))
+    });
+    let manifest_path = flag_value(&args, "--manifest").or_else(|| opt_str(&cfg, "manifest"));
+    let spec = manifest_path.as_ref().map(|_| {
+        let mut s = ManifestSpec::new("dcnsim", seed);
+        s.trace_path = trace_path.clone();
+        s
+    });
+
+    let (m, counters, manifest) = run_fct_experiment_instrumented(
         &topo,
         parse_routing(need(&cfg, "routing")),
         parse_sim(cfg.get("sim")),
@@ -338,7 +443,14 @@ fn main() {
         window.1.saturating_mul(40),
         faults.as_ref(),
         tracer,
+        telemetry,
+        spec.as_ref(),
     );
+    if let (Some(p), Some(man)) = (&manifest_path, &manifest) {
+        man.write(p)
+            .unwrap_or_else(|e| fail(&format!("write manifest {p}: {e}")));
+        eprintln!("wrote {p}");
+    }
 
     if json_out {
         let report = Json::obj(vec![
@@ -379,5 +491,46 @@ fn main() {
                 m.recovered_flows, m.avg_recovery_ms
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_the_example() {
+        let cfg = Json::parse(EXAMPLE).unwrap();
+        assert!(validate_keys(&cfg).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_top_level_key() {
+        let cfg = Json::parse(r#"{"topology": {}, "lambda_typo": 1.0}"#).unwrap();
+        let err = validate_keys(&cfg).unwrap_err();
+        assert!(err.contains("unknown key \"lambda_typo\""), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_sim_key() {
+        let cfg = Json::parse(r#"{"sim": {"ecn_pkts": 4}}"#).unwrap();
+        let err = validate_keys(&cfg).unwrap_err();
+        assert!(err.contains("unknown sim key \"ecn_pkts\""), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_non_object_root() {
+        let cfg = Json::parse("[1, 2]").unwrap();
+        assert!(validate_keys(&cfg).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_observability_keys() {
+        let cfg = Json::parse(
+            r#"{"trace": "t.jsonl", "telemetry": "ts.jsonl",
+                "telemetry_every_us": 50, "manifest": "m.json"}"#,
+        )
+        .unwrap();
+        assert!(validate_keys(&cfg).is_ok());
     }
 }

@@ -49,18 +49,21 @@ pub use dcn_workloads as workloads;
 pub mod prelude {
     pub use dcn_core::{
         default_window, delta_lowest, equal_cost_xpander, fat_tree_throughput, paper_networks,
-        run_fct_experiment, run_fct_experiment_traced, run_fct_experiment_with_faults,
-        tp_throughput, FlexCurve, NetworkPair, RestrictedDynamic, Routing, Scale, SimCounters,
-        UnrestrictedDynamic,
+        run_fct_experiment, run_fct_experiment_instrumented, run_fct_experiment_traced,
+        run_fct_experiment_with_faults, tp_throughput, FlexCurve, ManifestSpec, NetworkPair,
+        RestrictedDynamic, Routing, RunManifest, Scale, SimCounters, UnrestrictedDynamic,
+        WALL_CLOCK_FIELDS,
     };
     pub use dcn_flowsim::{FlowSim, FlowSimConfig};
     pub use dcn_maxflow::{max_concurrent_flow, per_server_throughput, Commodity, GkOptions};
     pub use dcn_routing::{EcmpTable, PathSelector, RoutingSuite, Vlb, PAPER_Q_BYTES};
     pub use dcn_sim::{
-        check_conservation, compute_metrics, ChannelCounters, Conservation, CountingTracer,
-        DropCounters, FaultEvent, FaultKind, FaultPlan, FlowRecord, JsonlTracer, Metrics,
-        NopTracer, QueueDiscKind, QueueDiscipline, SharedBuf, SimConfig, Simulator, TraceCounters,
-        TraceEvent, Tracer, Transport, TransportKind, MS, SEC, US,
+        check_conservation, compute_metrics, compute_metrics_with_dists, ChannelCounters,
+        Conservation, CountingTracer, DropCounters, FaultEvent, FaultKind, FaultPlan,
+        FctDistributions, FlowRecord, JsonlTracer, Metrics, NopTracer, QueueDiscKind,
+        QueueDiscipline, Sample, SharedBuf, SimConfig, Simulator, StreamingHistogram, Telemetry,
+        TraceCounters, TraceEvent, Tracer, Transport, TransportKind, DEFAULT_SAMPLE_EVERY_NS, MS,
+        SEC, US,
     };
     pub use dcn_topology::{
         fattree::FatTree, jellyfish::Jellyfish, longhop::Longhop, slimfly::SlimFly, toy::ToyFig4,
