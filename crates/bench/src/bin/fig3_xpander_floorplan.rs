@@ -51,7 +51,11 @@ fn main() {
             ("lambda2", Json::from(lam2)),
             ("ramanujan_bound", Json::from(ramanujan)),
         ]);
-        std::fs::write(format!("{dir}/fig3_xpander_floorplan.json"), body.pretty()).expect("write");
+        dcn_core::write_atomic(
+            format!("{dir}/fig3_xpander_floorplan.json"),
+            body.pretty().as_bytes(),
+        )
+        .expect("write");
         eprintln!("wrote {dir}/fig3_xpander_floorplan.json");
     }
 }

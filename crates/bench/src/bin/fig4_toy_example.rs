@@ -71,7 +71,11 @@ fn main() {
             ),
             ("unrestricted_projector_duty", Json::from(duty.throughput())),
         ]);
-        std::fs::write(format!("{dir}/fig4_toy_example.json"), body.pretty()).expect("write");
+        dcn_core::write_atomic(
+            format!("{dir}/fig4_toy_example.json"),
+            body.pretty().as_bytes(),
+        )
+        .expect("write");
         eprintln!("wrote {dir}/fig4_toy_example.json");
     }
 }

@@ -48,7 +48,8 @@ fn main() {
             ("table", Json::Arr(rows)),
             ("delta_lowest", Json::from(delta_lowest())),
         ]);
-        std::fs::write(format!("{dir}/table1_costs.json"), body.pretty()).expect("write");
+        dcn_core::write_atomic(format!("{dir}/table1_costs.json"), body.pretty().as_bytes())
+            .expect("write");
         eprintln!("wrote {dir}/table1_costs.json");
     }
 }

@@ -92,7 +92,7 @@ fn main() {
             ),
             ("jsonl_events_per_sec", Json::from(jsonl.round() as u64)),
         ]);
-        std::fs::write(&path, report.pretty()).expect("write baseline");
+        dcn_core::write_atomic(&path, report.pretty().as_bytes()).expect("write baseline");
         eprintln!("blessed {path}");
     } else if cli.has_flag("check") {
         let body = std::fs::read_to_string(&path)

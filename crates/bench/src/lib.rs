@@ -13,8 +13,9 @@
 //! `--manifest <path>` writes a run manifest (binaries that run several
 //! experiments suffix each path per run).
 
+pub mod supervise;
+
 use dcn_json::Json;
-use std::io::Write;
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
@@ -213,13 +214,11 @@ impl Series {
         ])
     }
 
-    /// Writes `<out_dir>/<figure>.json`.
+    /// Writes `<out_dir>/<figure>.json` atomically (temporary + rename).
     pub fn write_json(&self, out_dir: &str) {
         std::fs::create_dir_all(out_dir).expect("create out dir");
         let path = format!("{out_dir}/{}.json", self.figure);
-        let mut f = std::fs::File::create(&path).expect("create json");
-        f.write_all(self.to_json().pretty().as_bytes())
-            .expect("write json");
+        dcn_core::write_atomic(&path, self.to_json().pretty().as_bytes()).expect("write json");
         eprintln!("wrote {path}");
     }
 

@@ -1,0 +1,240 @@
+//! Child-process supervision primitives for the `dcnrun` harness: a
+//! wall-clock watchdog around one attempt, an exponential retry backoff,
+//! and the exit-code taxonomy shared between the supervisor and its
+//! workers.
+//!
+//! The supervisor/worker split exists so a crash — OOM kill, panic,
+//! `SIGKILL` — loses at most one checkpoint interval of work: the
+//! supervisor stays alive, notices the child's fate via [`run_attempt`],
+//! and relaunches it with [`retry`] resuming from the last good
+//! checkpoint. A *hung* child (live-locked, or stuck on I/O) is handled by
+//! the same path: the watchdog kills it after `timeout` and reports
+//! [`Attempt::TimedOut`].
+
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// Exit-code taxonomy. Workers exit with these; the supervisor's own exit
+/// code is the worst outcome across its batch.
+pub const EXIT_OK: i32 = 0;
+/// The config is invalid — retrying cannot help.
+pub const EXIT_CONFIG: i32 = 1;
+/// The worker died (panic, signal, OOM): retry from the last checkpoint.
+pub const EXIT_CRASH: i32 = 2;
+/// The watchdog killed a hung worker.
+pub const EXIT_TIMEOUT: i32 = 3;
+/// A checkpoint failed to load (corrupt or mismatched) — the resume chain
+/// is broken.
+pub const EXIT_CKPT_CORRUPT: i32 = 4;
+
+/// What happened to one supervised attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Attempt {
+    /// The child exited on its own with this code.
+    Exited(i32),
+    /// The child was killed by a signal (no exit code).
+    Signaled,
+    /// The watchdog killed the child at the wall-clock deadline.
+    TimedOut,
+}
+
+impl Attempt {
+    /// Whether another attempt could change the outcome: crashes and
+    /// timeouts are retryable, success and config/checkpoint errors are
+    /// final.
+    pub fn retryable(self) -> bool {
+        match self {
+            Attempt::Exited(EXIT_OK)
+            | Attempt::Exited(EXIT_CONFIG)
+            | Attempt::Exited(EXIT_CKPT_CORRUPT) => false,
+            Attempt::Exited(_) | Attempt::Signaled | Attempt::TimedOut => true,
+        }
+    }
+
+    /// The supervisor-side exit code this attempt maps to.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Attempt::Exited(c @ (EXIT_OK | EXIT_CONFIG | EXIT_CKPT_CORRUPT)) => c,
+            Attempt::Exited(_) | Attempt::Signaled => EXIT_CRASH,
+            Attempt::TimedOut => EXIT_TIMEOUT,
+        }
+    }
+}
+
+/// Outcome of a full supervised job: the final attempt plus how much
+/// supervision it took to get there.
+#[derive(Clone, Copy, Debug)]
+pub struct JobOutcome {
+    pub last: Attempt,
+    /// Attempts launched (≥ 1).
+    pub attempts: u32,
+    pub wall: Duration,
+}
+
+impl JobOutcome {
+    pub fn exit_code(&self) -> i32 {
+        self.last.exit_code()
+    }
+}
+
+/// Exponential backoff before retry `attempt` (0-based): `base · 2^attempt`,
+/// capped at 10 s so a flaky long batch keeps making progress.
+pub fn backoff(attempt: u32, base: Duration) -> Duration {
+    let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+    base.saturating_mul(factor).min(Duration::from_secs(10))
+}
+
+/// Polling cadence for the watchdog loop. Coarse enough to cost nothing,
+/// fine enough that a timeout lands within ~25 ms of the deadline.
+const POLL: Duration = Duration::from_millis(25);
+
+fn wait_outcome(child: &mut Child, timeout: Option<Duration>) -> std::io::Result<Attempt> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(match status.code() {
+                Some(c) => Attempt::Exited(c),
+                None => Attempt::Signaled,
+            });
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            child.kill()?;
+            child.wait()?;
+            return Ok(Attempt::TimedOut);
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+/// Launches `cmd` and supervises it to completion: returns how the child
+/// ended, killing it first if it outlives `timeout` (the hung-job
+/// watchdog). `None` means no deadline.
+pub fn run_attempt(cmd: &mut Command, timeout: Option<Duration>) -> std::io::Result<Attempt> {
+    let mut child = cmd.spawn()?;
+    wait_outcome(&mut child, timeout)
+}
+
+/// Full retry loop: launches the command built by `make_cmd(attempt)` up
+/// to `1 + max_retries` times, backing off exponentially between
+/// attempts, until an attempt is non-retryable (success, config error,
+/// corrupt checkpoint) or the budget is spent. The builder sees the
+/// attempt index so retries can add resume flags.
+pub fn retry(
+    mut make_cmd: impl FnMut(u32) -> Command,
+    timeout: Option<Duration>,
+    max_retries: u32,
+    base_backoff: Duration,
+) -> std::io::Result<JobOutcome> {
+    let t0 = Instant::now();
+    let mut attempt = 0;
+    loop {
+        let last = run_attempt(&mut make_cmd(attempt), timeout)?;
+        attempt += 1;
+        if !last.retryable() || attempt > max_retries {
+            return Ok(JobOutcome {
+                last,
+                attempts: attempt,
+                wall: t0.elapsed(),
+            });
+        }
+        std::thread::sleep(backoff(attempt - 1, base_backoff));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> Command {
+        let mut c = Command::new("sh");
+        c.arg("-c").arg(script);
+        c
+    }
+
+    #[test]
+    fn clean_exit_is_reported() {
+        let a = run_attempt(&mut sh("exit 0"), None).unwrap();
+        assert_eq!(a, Attempt::Exited(0));
+        assert_eq!(a.exit_code(), EXIT_OK);
+        assert!(!a.retryable());
+    }
+
+    #[test]
+    fn crash_codes_map_to_crash() {
+        let a = run_attempt(&mut sh("exit 7"), None).unwrap();
+        assert_eq!(a, Attempt::Exited(7));
+        assert_eq!(a.exit_code(), EXIT_CRASH);
+        assert!(a.retryable());
+    }
+
+    #[test]
+    fn config_and_checkpoint_errors_are_final() {
+        assert!(!Attempt::Exited(EXIT_CONFIG).retryable());
+        assert_eq!(Attempt::Exited(EXIT_CONFIG).exit_code(), EXIT_CONFIG);
+        assert!(!Attempt::Exited(EXIT_CKPT_CORRUPT).retryable());
+        assert_eq!(
+            Attempt::Exited(EXIT_CKPT_CORRUPT).exit_code(),
+            EXIT_CKPT_CORRUPT
+        );
+    }
+
+    #[test]
+    fn watchdog_kills_a_hung_child() {
+        let t0 = Instant::now();
+        let a = run_attempt(&mut sh("sleep 30"), Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(a, Attempt::TimedOut);
+        assert_eq!(a.exit_code(), EXIT_TIMEOUT);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "watchdog did not fire"
+        );
+    }
+
+    #[test]
+    fn sigkilled_child_is_a_crash() {
+        // The shell kills itself with SIGKILL: no exit code.
+        let a = run_attempt(&mut sh("kill -9 $$"), None).unwrap();
+        assert_eq!(a, Attempt::Signaled);
+        assert_eq!(a.exit_code(), EXIT_CRASH);
+        assert!(a.retryable());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(100);
+        assert_eq!(backoff(0, base), Duration::from_millis(100));
+        assert_eq!(backoff(1, base), Duration::from_millis(200));
+        assert_eq!(backoff(3, base), Duration::from_millis(800));
+        assert_eq!(backoff(30, base), Duration::from_secs(10));
+        assert_eq!(backoff(u32::MAX, base), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn retry_recovers_from_a_crash() {
+        let marker = std::env::temp_dir().join(format!("supervise_retry_{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let script = format!(
+            "test -f {m} && exit 0; touch {m}; exit 9",
+            m = marker.display()
+        );
+        let out = retry(|_| sh(&script), None, 3, Duration::from_millis(1)).unwrap();
+        assert_eq!(out.last, Attempt::Exited(0));
+        assert_eq!(out.attempts, 2, "first attempt crashes, second succeeds");
+        assert_eq!(out.exit_code(), EXIT_OK);
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn retry_budget_is_finite() {
+        let out = retry(|_| sh("exit 9"), None, 2, Duration::from_millis(1)).unwrap();
+        assert_eq!(out.attempts, 3, "initial + 2 retries");
+        assert_eq!(out.exit_code(), EXIT_CRASH);
+    }
+
+    #[test]
+    fn retry_stops_at_config_errors() {
+        let out = retry(|_| sh("exit 1"), None, 5, Duration::from_millis(1)).unwrap();
+        assert_eq!(out.attempts, 1, "config errors must not be retried");
+        assert_eq!(out.exit_code(), EXIT_CONFIG);
+    }
+}

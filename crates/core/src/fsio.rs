@@ -1,0 +1,59 @@
+//! Crash-safe file output.
+//!
+//! Every artifact the harnesses persist — run manifests, figure JSON,
+//! supervisor reports — goes through [`write_atomic`]: the bytes stream
+//! into a sibling `<path>.tmp`, are flushed and fsync'd, and only then
+//! renamed over the final path. A crash mid-write can leave a stale
+//! temporary behind, but never a truncated or interleaved file at the
+//! advertised location — the invariant `dcnrun`'s salvage step and any
+//! downstream tooling rely on.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: temporary + flush + fsync +
+/// rename. The temporary lives next to the target (`<path>.tmp`) so the
+/// rename stays within one filesystem.
+pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.flush()?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn writes_bytes_and_removes_temporary() {
+        let p = tmp("fsio_roundtrip.json");
+        write_atomic(&p, b"{\"ok\": true}\n").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"{\"ok\": true}\n");
+        assert!(!p.with_extension("json.tmp").exists());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn replaces_existing_content_whole() {
+        let p = tmp("fsio_replace.json");
+        write_atomic(&p, b"a much longer first version of the file").unwrap();
+        write_atomic(&p, b"short").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"short");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_parent_directory_errors() {
+        let p = tmp("no_such_dir_fsio").join("out.json");
+        assert!(write_atomic(&p, b"x").is_err());
+    }
+}

@@ -25,6 +25,7 @@ pub mod cost;
 pub mod dynamicnet;
 pub mod experiment;
 pub mod flex;
+pub mod fsio;
 pub mod manifest;
 pub mod theory;
 
@@ -36,4 +37,5 @@ pub use experiment::{
     SimCounters,
 };
 pub use flex::{fat_tree_throughput, tp_throughput, FlexCurve};
+pub use fsio::write_atomic;
 pub use manifest::{ManifestSpec, RunManifest, WALL_CLOCK_FIELDS};

@@ -247,9 +247,10 @@ impl RunManifest {
         s
     }
 
-    /// Writes the manifest to `path`.
+    /// Writes the manifest to `path` atomically (temporary + rename), so
+    /// a crash mid-write never leaves a truncated manifest behind.
     pub fn write(&self, path: &str) -> io::Result<()> {
-        std::fs::write(path, self.render())
+        crate::fsio::write_atomic(path, self.render().as_bytes())
     }
 }
 

@@ -80,6 +80,17 @@ impl Rng {
     pub fn gen_bool(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
+
+    /// The raw 256-bit generator state, for checkpointing. Restoring it
+    /// with [`Rng::from_state`] resumes the exact stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Rng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
 }
 
 /// Unbiased uniform integer in `[0, span)` via Lemire's multiply-shift
@@ -266,6 +277,18 @@ mod tests {
         assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01, "{hits}");
         assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
         assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = Rng::seed_from_u64(11);
+        for _ in 0..37 {
+            a.next_u64();
+        }
+        let mut b = Rng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

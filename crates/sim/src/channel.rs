@@ -20,7 +20,7 @@ pub struct Channel {
     pub rate_bpns: f64,
     pub prop_ns: Ns,
     /// The output queue feeding the transmitter.
-    disc: Box<dyn QueueDiscipline>,
+    pub(crate) disc: Box<dyn QueueDiscipline>,
     /// A packet is currently being serialized.
     pub busy: bool,
     /// Drop counter (congestion drops, tail or priority-evicted), for

@@ -44,7 +44,7 @@ use std::sync::Arc;
 const HEADER_BYTES: u32 = 40;
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     FlowStart(u32),
     TxFree(u32),
     Deliver(Box<Packet>),
@@ -56,10 +56,10 @@ enum Ev {
     Reconverge(u64),
 }
 
-struct HeapItem {
-    t: Ns,
-    seq: u64,
-    ev: Ev,
+pub(crate) struct HeapItem {
+    pub(crate) t: Ns,
+    pub(crate) seq: u64,
+    pub(crate) ev: Ev,
 }
 
 impl PartialEq for HeapItem {
@@ -82,12 +82,12 @@ impl Ord for HeapItem {
 
 /// The event heap: earliest timestamp first, insertion order (`seq`)
 /// breaking ties, so identical schedules replay identically.
-struct EventQueue {
-    heap: BinaryHeap<HeapItem>,
-    seq: u64,
+pub(crate) struct EventQueue {
+    pub(crate) heap: BinaryHeap<HeapItem>,
+    pub(crate) seq: u64,
     /// High-water mark of `heap.len()` — a memory-footprint proxy that
     /// run manifests report.
-    peak: usize,
+    pub(crate) peak: usize,
 }
 
 impl EventQueue {
@@ -116,43 +116,48 @@ impl EventQueue {
 
 /// The packet-level simulator.
 pub struct Simulator {
-    cfg: SimConfig,
-    now: Ns,
-    queue: EventQueue,
-    fabric: Fabric,
-    flows: Vec<Flow>,
-    transport: Box<dyn Transport>,
-    selector: Box<dyn PathSelector>,
-    window: (Ns, Ns),
-    window_remaining: usize,
-    events_processed: u64,
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: Ns,
+    pub(crate) queue: EventQueue,
+    pub(crate) fabric: Fabric,
+    pub(crate) flows: Vec<Flow>,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) selector: Box<dyn PathSelector>,
+    pub(crate) window: (Ns, Ns),
+    pub(crate) window_remaining: usize,
+    pub(crate) events_processed: u64,
     /// Congestion-oracle routing (§7.1 exploration): when set, flowlet
     /// paths are chosen as the least-queued of the k shortest paths,
     /// scored against live queue occupancy — an upper bound on what
     /// adaptive routing could achieve with perfect information.
-    oracle: Option<KspSelector>,
+    pub(crate) oracle: Option<KspSelector>,
     /// The full (pre-fault) topology, kept to derive survivor views.
-    topo: Topology,
-    faults: FaultController,
+    pub(crate) topo: Topology,
+    pub(crate) faults: FaultController,
     /// Bytes newly acknowledged per 1-ms bin (goodput timeline).
-    goodput_bins: Vec<u64>,
+    pub(crate) goodput_bins: Vec<u64>,
     /// The observability sink ([`crate::trace`]); [`NopTracer`] by
     /// default.
-    tracer: Box<dyn Tracer>,
+    pub(crate) tracer: Box<dyn Tracer>,
     /// Cached `tracer.enabled()`: every emission site guards on this one
     /// bool so untraced runs skip event construction entirely.
-    trace_on: bool,
+    pub(crate) trace_on: bool,
     /// The time-series sampler ([`crate::telemetry`]); `None` by default.
-    telemetry: Option<Box<Telemetry>>,
+    pub(crate) telemetry: Option<Box<Telemetry>>,
     /// Cached next sample deadline (`u64::MAX` when telemetry is off), so
     /// the hot loop pays one integer compare per event.
-    telemetry_next: Ns,
+    pub(crate) telemetry_next: Ns,
     /// Packets created (data + ACKs) — intrinsic conservation accounting,
     /// kept regardless of tracer so manifests never need a
     /// [`crate::trace::CountingTracer`].
-    pkts_sent: u64,
+    pub(crate) pkts_sent: u64,
     /// Packets that reached their end host.
-    pkts_delivered: u64,
+    pub(crate) pkts_delivered: u64,
+    /// The down-link / down-switch vectors behind the selector's last
+    /// reconvergence rebuild (`None` while routing still sees the full
+    /// topology). Checkpoints persist this so a restore can rebuild the
+    /// identical survivor view.
+    pub(crate) routing_down: Option<(Vec<bool>, Vec<bool>)>,
 }
 
 impl Simulator {
@@ -211,6 +216,7 @@ impl Simulator {
             telemetry_next: Ns::MAX,
             pkts_sent: 0,
             pkts_delivered: 0,
+            routing_down: None,
         }
     }
 
@@ -225,6 +231,13 @@ impl Simulator {
     /// (a [`crate::trace::CountingTracer`] does).
     pub fn trace_counters(&self) -> Option<&TraceCounters> {
         self.tracer.counters()
+    }
+
+    /// Monotone-clock violations the installed tracer has observed, when
+    /// it tracks them (a [`crate::trace::CountingTracer`] does; 0 on
+    /// every well-behaved run).
+    pub fn trace_time_regressions(&self) -> Option<u64> {
+        self.tracer.time_regressions()
     }
 
     /// Installs a time-series [`Telemetry`] sampler; call before
@@ -387,6 +400,31 @@ impl Simulator {
         self.queue.push(t, ev);
     }
 
+    /// Processes one popped event; returns `true` when every
+    /// measurement-window flow has completed (the run's natural end).
+    fn step(&mut self, item: HeapItem) -> bool {
+        self.now = item.t;
+        self.events_processed += 1;
+        if item.t >= self.telemetry_next {
+            self.telemetry_sample(item.t);
+        }
+        match item.ev {
+            Ev::FlowStart(f) => self.on_flow_start(f),
+            Ev::TxFree(ch) => self.on_tx_free(ch),
+            Ev::Deliver(p) => self.on_deliver(p),
+            Ev::Rto(f, epoch) => self.on_rto(f, epoch),
+            Ev::Fault(i) => self.on_fault(i),
+            Ev::Reconverge(epoch) => self.on_reconverge(epoch),
+        }
+        if self.cfg.max_events != 0 && self.events_processed > self.cfg.max_events {
+            panic!(
+                "event budget exceeded: {} events at t={} ns with {} window flows outstanding",
+                self.events_processed, self.now, self.window_remaining
+            );
+        }
+        self.window_remaining == 0 && !self.flows.is_empty()
+    }
+
     /// Runs until every measurement-window flow completes (or the heap
     /// drains / `max_time` is hit). Returns per-flow records.
     pub fn run(&mut self, max_time: Ns) -> Vec<FlowRecord> {
@@ -394,29 +432,38 @@ impl Simulator {
             if item.t > max_time {
                 break;
             }
-            self.now = item.t;
-            self.events_processed += 1;
-            if item.t >= self.telemetry_next {
-                self.telemetry_sample(item.t);
-            }
-            match item.ev {
-                Ev::FlowStart(f) => self.on_flow_start(f),
-                Ev::TxFree(ch) => self.on_tx_free(ch),
-                Ev::Deliver(p) => self.on_deliver(p),
-                Ev::Rto(f, epoch) => self.on_rto(f, epoch),
-                Ev::Fault(i) => self.on_fault(i),
-                Ev::Reconverge(epoch) => self.on_reconverge(epoch),
-            }
-            if self.cfg.max_events != 0 && self.events_processed > self.cfg.max_events {
-                panic!(
-                    "event budget exceeded: {} events at t={} ns with {} window flows outstanding",
-                    self.events_processed, self.now, self.window_remaining
-                );
-            }
-            if self.window_remaining == 0 && !self.flows.is_empty() {
+            if self.step(item) {
                 break;
             }
         }
+        self.finish()
+    }
+
+    /// Runs until the simulated clock would pass `t_stop`, leaving every
+    /// event after `t_stop` on the heap (unlike [`Simulator::run`], which
+    /// discards the first past-horizon event it pops). Returns `true` if
+    /// the run completed — window drained or heap empty — and `false` if
+    /// it merely paused at the stop time; a paused simulator can be
+    /// checkpointed and later driven on with `run` or `run_until`.
+    pub fn run_until(&mut self, t_stop: Ns) -> bool {
+        loop {
+            match self.queue.heap.peek() {
+                None => return true,
+                Some(item) if item.t > t_stop => return false,
+                Some(_) => {}
+            }
+            let item = self.queue.pop().expect("peeked item must pop");
+            if self.step(item) {
+                return true;
+            }
+        }
+    }
+
+    /// Ends the run: fails unfinished flows, flushes the observability
+    /// sinks, and returns per-flow records. [`Simulator::run`] calls this
+    /// itself; callers pausing via [`Simulator::run_until`] call it once
+    /// after the final segment.
+    pub fn finish(&mut self) -> Vec<FlowRecord> {
         // Anything still unfinished when the run stops counts as failed,
         // so completed + failed covers every injected flow.
         for fid in 0..self.flows.len() as u32 {
@@ -507,6 +554,12 @@ impl Simulator {
 
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Current simulated time in ns (the timestamp of the last processed
+    /// event).
+    pub fn now(&self) -> Ns {
+        self.now
     }
 
     // ---- event handlers ----
@@ -854,6 +907,7 @@ impl Simulator {
             self.trace(TraceEvent::Reconverge { epoch });
         }
         let (survivor, map) = self.faults.survivor_topology(&self.topo);
+        self.routing_down = Some(self.faults.down_state());
         self.selector = Box::new(RemappedSelector::new(self.selector.rebuild(&survivor), map));
         // With no fault event still pending, connectivity is final: fail
         // flows whose endpoints are gone or in different components

@@ -219,6 +219,140 @@ impl FaultPlan {
         h
     }
 
+    /// Checks the schedule against a simulation horizon and for coherent
+    /// down/up (and gray/clear) sequencing, returning a one-line error
+    /// instead of panicking — the CLI-facing counterpart to
+    /// [`FaultPlan::validate`]. Events are examined in fire order (time,
+    /// then insertion order — exactly how the simulator's event heap
+    /// breaks ties). Rejected: events past `horizon_ns`, restoring a link
+    /// or switch that is not down, downing one that is already down, and
+    /// clearing a link that is not gray. Re-graying an already-gray link
+    /// is allowed (it changes the loss level).
+    pub fn validate_schedule(&self, topo: &Topology, horizon_ns: Ns) -> Result<(), String> {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| (self.events[i].at_ns, i));
+        let mut link_down = vec![false; topo.num_links()];
+        let mut link_gray = vec![false; topo.num_links()];
+        let mut sw_down = vec![false; topo.num_nodes()];
+        for i in order {
+            let e = &self.events[i];
+            let (label, target) = (e.kind.label(), e.kind.target());
+            if e.at_ns > horizon_ns {
+                return Err(format!(
+                    "fault {label} on {target} at {} ns is past the simulation horizon ({horizon_ns} ns)",
+                    e.at_ns
+                ));
+            }
+            let bad_link = |l: LinkId| (l as usize) >= topo.num_links();
+            let bad_node = |n: NodeId| (n as usize) >= topo.num_nodes();
+            match e.kind {
+                FaultKind::LinkDown(l) if bad_link(l) => {
+                    return Err(format!("fault references unknown link {l}"));
+                }
+                FaultKind::LinkUp(l) | FaultKind::LinkGray(l, _) | FaultKind::LinkClear(l)
+                    if bad_link(l) =>
+                {
+                    return Err(format!("fault references unknown link {l}"));
+                }
+                FaultKind::SwitchDown(n) | FaultKind::SwitchUp(n) if bad_node(n) => {
+                    return Err(format!("fault references unknown switch {n}"));
+                }
+                FaultKind::LinkDown(l) => {
+                    if link_down[l as usize] {
+                        return Err(format!(
+                            "link {l} downed at {} ns while already down (inverted or duplicate schedule)",
+                            e.at_ns
+                        ));
+                    }
+                    link_down[l as usize] = true;
+                }
+                FaultKind::LinkUp(l) => {
+                    if !link_down[l as usize] {
+                        return Err(format!(
+                            "link {l} restored at {} ns but was never down (inverted schedule)",
+                            e.at_ns
+                        ));
+                    }
+                    link_down[l as usize] = false;
+                }
+                FaultKind::SwitchDown(n) => {
+                    if sw_down[n as usize] {
+                        return Err(format!(
+                            "switch {n} downed at {} ns while already down (inverted or duplicate schedule)",
+                            e.at_ns
+                        ));
+                    }
+                    sw_down[n as usize] = true;
+                }
+                FaultKind::SwitchUp(n) => {
+                    if !sw_down[n as usize] {
+                        return Err(format!(
+                            "switch {n} restored at {} ns but was never down (inverted schedule)",
+                            e.at_ns
+                        ));
+                    }
+                    sw_down[n as usize] = false;
+                }
+                FaultKind::LinkGray(l, _) => link_gray[l as usize] = true,
+                FaultKind::LinkClear(l) => {
+                    if !link_gray[l as usize] {
+                        return Err(format!(
+                            "link {l} gray-cleared at {} ns but was never gray (inverted schedule)",
+                            e.at_ns
+                        ));
+                    }
+                    link_gray[l as usize] = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeded adversarial fault plan for chaos fuzzing: random link
+    /// down/up cycles (some permanent), gray periods, and switch outages,
+    /// all inside `[0, horizon_ns]`. Each link or switch is targeted at
+    /// most once, so the generated schedule always passes
+    /// [`FaultPlan::validate_schedule`]. Same `(topo, horizon, seed)` ⇒
+    /// identical plan.
+    pub fn chaos(topo: &Topology, horizon_ns: Ns, seed: u64) -> Self {
+        use dcn_rng::SliceRandom;
+        let mut rng = Rng::seed_from_u64(seed ^ 0xC4A0_5CAF_F01D_BEEF);
+        let horizon = horizon_ns.max(2);
+        let mut links: Vec<LinkId> = (0..topo.num_links() as LinkId).collect();
+        links.shuffle(&mut rng);
+        let mut plan = FaultPlan::new().with_seed(seed);
+        // 1..=4 hard link outages; roughly a third are permanent.
+        let hard = rng.gen_range(1..5usize).min(links.len());
+        for _ in 0..hard {
+            let l = links.pop().unwrap();
+            let down = rng.gen_range(0..horizon - 1);
+            plan = plan.link_down(down, l);
+            if !rng.gen_bool(0.33) {
+                plan = plan.link_up(rng.gen_range(down + 1..horizon + 1), l);
+            }
+        }
+        // 0..=2 gray periods on links not already used for hard faults.
+        let gray = rng.gen_range(0..3usize).min(links.len());
+        for _ in 0..gray {
+            let l = links.pop().unwrap();
+            let at = rng.gen_range(0..horizon - 1);
+            plan = plan.link_gray(at, l, rng.gen_range(0.001..0.2));
+            if rng.gen_bool(0.7) {
+                plan = plan.link_clear(rng.gen_range(at + 1..horizon + 1), l);
+            }
+        }
+        // 0..=1 switch outage.
+        if topo.num_nodes() > 0 && rng.gen_bool(0.5) {
+            let n = rng.gen_range(0..topo.num_nodes() as NodeId);
+            let down = rng.gen_range(0..horizon - 1);
+            plan = plan.switch_down(down, n);
+            if !rng.gen_bool(0.33) {
+                plan = plan.switch_up(rng.gen_range(down + 1..horizon + 1), n);
+            }
+        }
+        plan
+    }
+
     /// Panics if any event references a link or node outside `topo` —
     /// called by the simulator before scheduling.
     pub fn validate(&self, topo: &Topology) {
@@ -250,18 +384,18 @@ impl FaultPlan {
 /// event through it; the controller in turn degrades the [`Fabric`] — the
 /// engine never flips channel state itself.
 pub(crate) struct FaultController {
-    events: Vec<FaultEvent>,
+    pub(crate) events: Vec<FaultEvent>,
     /// Scheduled fault events not yet fired; when zero, the current
     /// connectivity is final and disconnected flows can be failed.
-    pending: usize,
+    pub(crate) pending: usize,
     /// Bumped per hard fault so that of several queued control-plane
     /// rebuilds only the newest takes effect.
-    epoch: u64,
-    down_links: Vec<bool>,
-    down_sw: Vec<bool>,
+    pub(crate) epoch: u64,
+    pub(crate) down_links: Vec<bool>,
+    pub(crate) down_sw: Vec<bool>,
     /// Seeded from the fault plan; drawn only for gray-link losses, so
     /// fault-free runs never touch it.
-    rng: Rng,
+    pub(crate) rng: Rng,
     /// Packets dropped at the source because the selector had no route.
     pub(crate) noroute_drops: u64,
 }
@@ -362,22 +496,36 @@ impl FaultController {
     /// The view the control plane reconverges on: same node ids, only the
     /// surviving links. Also returns the survivor→original link id map.
     pub(crate) fn survivor_topology(&self, full: &Topology) -> (Topology, Vec<LinkId>) {
-        let mut t = Topology::new(format!("{}-survivor", full.name()));
-        for n in full.nodes() {
-            t.add_node(full.kind(n), full.servers_at(n));
-        }
-        let mut map = Vec::new();
-        for (l, link) in full.links().iter().enumerate() {
-            let up = !self.down_links[l]
-                && !self.down_sw[link.a as usize]
-                && !self.down_sw[link.b as usize];
-            if up {
-                t.add_link_cap(link.a, link.b, link.capacity);
-                map.push(l as LinkId);
-            }
-        }
-        (t, map)
+        survivor_topology_from(full, &self.down_links, &self.down_sw)
     }
+
+    /// Clones the current down-link / down-switch vectors (the routing
+    /// view a checkpoint persists).
+    pub(crate) fn down_state(&self) -> (Vec<bool>, Vec<bool>) {
+        (self.down_links.clone(), self.down_sw.clone())
+    }
+}
+
+/// Survivor view for explicit down vectors — the restore path rebuilds a
+/// checkpointed routing state through this without a live controller.
+pub(crate) fn survivor_topology_from(
+    full: &Topology,
+    down_links: &[bool],
+    down_sw: &[bool],
+) -> (Topology, Vec<LinkId>) {
+    let mut t = Topology::new(format!("{}-survivor", full.name()));
+    for n in full.nodes() {
+        t.add_node(full.kind(n), full.servers_at(n));
+    }
+    let mut map = Vec::new();
+    for (l, link) in full.links().iter().enumerate() {
+        let up = !down_links[l] && !down_sw[link.a as usize] && !down_sw[link.b as usize];
+        if up {
+            t.add_link_cap(link.a, link.b, link.capacity);
+            map.push(l as LinkId);
+        }
+    }
+    (t, map)
 }
 
 /// Connected-component label per node (BFS sweep).
@@ -545,5 +693,86 @@ mod tests {
     #[should_panic]
     fn gray_rejects_bad_probability() {
         let _ = FaultPlan::new().link_gray(0, 0, 1.5);
+    }
+
+    #[test]
+    fn schedule_validation_accepts_coherent_plans() {
+        let t = Xpander::new(5, 6, 2, 1).build();
+        let p = FaultPlan::new()
+            .link_down(100, 0)
+            .link_up(200, 0)
+            .link_gray(50, 1, 0.1)
+            .link_gray(60, 1, 0.2) // re-gray: loss-level change, allowed
+            .link_clear(300, 1)
+            .switch_down(150, 2)
+            .switch_up(400, 2);
+        assert!(p.validate_schedule(&t, 1000).is_ok());
+    }
+
+    #[test]
+    fn schedule_validation_rejects_past_horizon() {
+        let t = Xpander::new(5, 6, 2, 1).build();
+        let p = FaultPlan::new().link_down(5000, 0);
+        let err = p.validate_schedule(&t, 1000).unwrap_err();
+        assert!(err.contains("past the simulation horizon"), "{err}");
+    }
+
+    #[test]
+    fn schedule_validation_rejects_inverted_link_cycle() {
+        let t = Xpander::new(5, 6, 2, 1).build();
+        // Up before down — an inverted schedule.
+        let p = FaultPlan::new().link_up(100, 0).link_down(200, 0);
+        let err = p.validate_schedule(&t, 1000).unwrap_err();
+        assert!(err.contains("never down"), "{err}");
+        // Double down on the same link.
+        let p = FaultPlan::new().link_down(100, 0).link_down(200, 0);
+        let err = p.validate_schedule(&t, 1000).unwrap_err();
+        assert!(err.contains("already down"), "{err}");
+        // Clear without gray.
+        let p = FaultPlan::new().link_clear(100, 0);
+        let err = p.validate_schedule(&t, 1000).unwrap_err();
+        assert!(err.contains("never gray"), "{err}");
+        // Switch restored before failing.
+        let p = FaultPlan::new().switch_up(100, 0);
+        assert!(p.validate_schedule(&t, 1000).is_err());
+    }
+
+    #[test]
+    fn schedule_validation_orders_by_time_not_insertion() {
+        let t = Xpander::new(5, 6, 2, 1).build();
+        // Inserted up-first but timed down-first: valid in fire order.
+        let p = FaultPlan::new().link_up(200, 0).link_down(100, 0);
+        assert!(p.validate_schedule(&t, 1000).is_ok());
+    }
+
+    #[test]
+    fn schedule_validation_rejects_unknown_targets() {
+        let t = Xpander::new(3, 2, 1, 1).build();
+        assert!(FaultPlan::new()
+            .link_down(0, 9999)
+            .validate_schedule(&t, 1000)
+            .is_err());
+        assert!(FaultPlan::new()
+            .switch_down(0, 9999)
+            .validate_schedule(&t, 1000)
+            .is_err());
+    }
+
+    #[test]
+    fn chaos_plans_deterministic_and_always_valid() {
+        let t = Xpander::new(5, 8, 2, 3).build();
+        for seed in 0..50 {
+            let a = FaultPlan::chaos(&t, 1_000_000, seed);
+            let b = FaultPlan::chaos(&t, 1_000_000, seed);
+            assert_eq!(a.events(), b.events(), "seed {seed} not deterministic");
+            assert!(!a.is_empty(), "seed {seed} generated an empty plan");
+            a.validate_schedule(&t, 1_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed} generated invalid plan: {e}"));
+        }
+        assert_ne!(
+            FaultPlan::chaos(&t, 1_000_000, 1).events(),
+            FaultPlan::chaos(&t, 1_000_000, 2).events(),
+            "different seeds should differ"
+        );
     }
 }

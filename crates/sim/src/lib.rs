@@ -56,6 +56,7 @@
 //! ```
 
 pub mod channel;
+pub mod checkpoint;
 pub mod engine;
 pub mod fault;
 pub mod host;
@@ -66,6 +67,7 @@ pub mod telemetry;
 pub mod trace;
 pub mod types;
 
+pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointMeta};
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};
@@ -74,9 +76,9 @@ pub use stats::{
     FctDistributions, FlowRecord, Metrics, StreamingHistogram, TraceCounters, SHORT_FLOW_BYTES,
 };
 pub use switch::{DisciplineFactory, EnqueueOutcome, PFabricQueue, QueueDiscipline, TailDropEcn};
-pub use telemetry::{Sample, Telemetry, DEFAULT_SAMPLE_EVERY_NS};
+pub use telemetry::{Sample, Telemetry, TelemetrySnapshot, DEFAULT_SAMPLE_EVERY_NS};
 pub use trace::{
     check_conservation, Conservation, CountingTracer, JsonlTracer, NopTracer, SharedBuf,
-    TraceEvent, Tracer,
+    TraceEvent, Tracer, TracerSnapshot,
 };
 pub use types::{Ns, Packet, QueueDiscKind, SimConfig, TransportKind, MS, SEC, US};

@@ -64,6 +64,26 @@ pub trait QueueDiscipline: Send {
     fn queue_len(&self) -> usize;
 
     fn name(&self) -> &'static str;
+
+    /// Checkpoint support: clones of the queued packets in internal
+    /// (arrival) order, or `None` when the discipline cannot be
+    /// snapshotted — [`crate::Simulator::checkpoint`] then fails cleanly
+    /// instead of silently losing queue state.
+    fn snapshot_queue(&self) -> Option<Vec<Packet>> {
+        None
+    }
+
+    /// Reinstates packets captured by [`QueueDiscipline::snapshot_queue`]
+    /// in the same order, bypassing admission entirely (no marking, drops,
+    /// or evictions — the packets already carry their marks). Disciplines
+    /// returning `Some` from the snapshot hook must implement this.
+    fn restore_queue(&mut self, pkts: Vec<Box<Packet>>) {
+        assert!(
+            pkts.is_empty(),
+            "{} does not support queue restoration",
+            self.name()
+        );
+    }
 }
 
 /// A factory producing one [`QueueDiscipline`] instance per channel;
@@ -141,6 +161,17 @@ impl QueueDiscipline for TailDropEcn {
 
     fn name(&self) -> &'static str {
         "tail_drop_ecn"
+    }
+
+    fn snapshot_queue(&self) -> Option<Vec<Packet>> {
+        Some(self.queue.iter().map(|p| (**p).clone()).collect())
+    }
+
+    fn restore_queue(&mut self, pkts: Vec<Box<Packet>>) {
+        for pkt in pkts {
+            self.bytes += pkt.bytes as u64;
+            self.queue.push_back(pkt);
+        }
     }
 }
 
@@ -234,6 +265,17 @@ impl QueueDiscipline for PFabricQueue {
 
     fn name(&self) -> &'static str {
         "pfabric"
+    }
+
+    fn snapshot_queue(&self) -> Option<Vec<Packet>> {
+        Some(self.queue.iter().map(|p| (**p).clone()).collect())
+    }
+
+    fn restore_queue(&mut self, pkts: Vec<Box<Packet>>) {
+        for pkt in pkts {
+            self.bytes += pkt.bytes as u64;
+            self.queue.push_back(pkt);
+        }
     }
 }
 

@@ -110,14 +110,33 @@ impl Sample {
 
 /// A telemetry sink: owns the output stream, the sampling cadence, and the
 /// per-channel interval transmit accumulators.
+///
+/// File-backed sinks ([`Telemetry::to_file`] / [`Telemetry::resume_file`])
+/// are crash-safe: samples stream into `<path>.tmp` and are atomically
+/// renamed to the final path by [`Telemetry::finish`], so interrupted runs
+/// never leave a truncated stream at the advertised location.
 pub struct Telemetry {
     every_ns: Ns,
     out: BufWriter<Box<dyn Write + Send>>,
     path: Option<String>,
     samples: u64,
+    /// Bytes written (rendered lines + newlines) — the resume cursor.
+    bytes: u64,
     /// Bytes begun transmitting per channel since the last sample.
     tx_bytes: Vec<u64>,
     tx_total: u64,
+}
+
+/// Resumable [`Telemetry`] state persisted in checkpoints: the cadence,
+/// output cursors, and the mid-interval transmit accumulators.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    pub every_ns: Ns,
+    pub path: String,
+    pub samples: u64,
+    pub bytes: u64,
+    pub tx_bytes: Vec<u64>,
+    pub tx_total: u64,
 }
 
 impl Telemetry {
@@ -129,17 +148,50 @@ impl Telemetry {
             out: BufWriter::new(sink),
             path: None,
             samples: 0,
+            bytes: 0,
             tx_bytes: Vec::new(),
             tx_total: 0,
         }
     }
 
-    /// Telemetry writing JSONL to `path`.
+    /// Telemetry writing JSONL toward `path`, streaming through
+    /// `<path>.tmp` until [`Telemetry::finish`] renames it into place.
     pub fn to_file(path: &str, every_ns: Ns) -> io::Result<Self> {
-        let f = std::fs::File::create(path)?;
+        let f = std::fs::File::create(format!("{path}.tmp"))?;
         let mut t = Self::new(Box::new(f), every_ns);
         t.path = Some(path.to_string());
         Ok(t)
+    }
+
+    /// Reopens the in-progress temporary captured in `snap`, truncates it
+    /// back to the checkpointed byte cursor, and continues from there.
+    pub fn resume_file(snap: &TelemetrySnapshot) -> io::Result<Self> {
+        use std::io::Seek;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(format!("{}.tmp", snap.path))?;
+        f.set_len(snap.bytes)?;
+        f.seek(io::SeekFrom::End(0))?;
+        let mut t = Self::new(Box::new(f), snap.every_ns);
+        t.path = Some(snap.path.clone());
+        t.samples = snap.samples;
+        t.bytes = snap.bytes;
+        t.tx_bytes = snap.tx_bytes.clone();
+        t.tx_total = snap.tx_total;
+        Ok(t)
+    }
+
+    /// Resumable state, or `None` when the sink is not a file (such
+    /// telemetry cannot be checkpointed).
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.path.as_ref().map(|p| TelemetrySnapshot {
+            every_ns: self.every_ns,
+            path: p.clone(),
+            samples: self.samples,
+            bytes: self.bytes,
+            tx_bytes: self.tx_bytes.clone(),
+            tx_total: self.tx_total,
+        })
     }
 
     pub fn every_ns(&self) -> Ns {
@@ -179,16 +231,31 @@ impl Telemetry {
 
     /// Writes one sample line and resets the interval accumulators.
     pub fn write_sample(&mut self, s: &Sample) -> io::Result<()> {
-        writeln!(self.out, "{}", s.to_json())?;
+        let line = s.to_json().to_string();
+        self.bytes += line.len() as u64 + 1;
+        writeln!(self.out, "{line}")?;
         self.samples += 1;
         self.tx_bytes.iter_mut().for_each(|b| *b = 0);
         self.tx_total = 0;
         Ok(())
     }
 
-    /// Flushes the sink; the engine calls this when a run ends.
-    pub fn finish(&mut self) -> io::Result<()> {
+    /// Flushes buffered samples to the sink without renaming — checkpoint
+    /// support, so the on-disk temporary always covers the byte cursor a
+    /// concurrent [`Telemetry::snapshot`] reports.
+    pub fn flush(&mut self) -> io::Result<()> {
         self.out.flush()
+    }
+
+    /// Flushes the sink and, for file-backed telemetry, renames the
+    /// temporary into its final path; the engine calls this when a run
+    /// ends.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        if let Some(path) = &self.path {
+            std::fs::rename(format!("{path}.tmp"), path)?;
+        }
+        Ok(())
     }
 }
 

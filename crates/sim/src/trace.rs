@@ -169,8 +169,50 @@ pub trait Tracer: Send {
         None
     }
 
+    /// Monotone-clock violations seen so far, for tracers that watch for
+    /// them ([`CountingTracer`]); `None` means not tracked.
+    fn time_regressions(&self) -> Option<u64> {
+        None
+    }
+
     /// Called once when the run ends (flush buffers, close streams).
     fn finish(&mut self) {}
+
+    /// Checkpoint support: the tracer's resumable state, or `None` when
+    /// this tracer cannot be checkpointed (e.g. it streams to an
+    /// arbitrary in-memory sink) — [`crate::Simulator::checkpoint`] then
+    /// fails cleanly.
+    fn snapshot(&self) -> Option<TracerSnapshot> {
+        None
+    }
+
+    /// Checkpoint support: pushes buffered output to the underlying sink
+    /// *without* ending the run, so the bytes on disk always cover the
+    /// cursor a concurrent [`Tracer::snapshot`] reports.
+    fn flush_output(&mut self) {}
+}
+
+/// Resumable tracer state captured by [`Tracer::snapshot`] and persisted
+/// in checkpoints; [`crate::checkpoint`] rebuilds the matching tracer
+/// from it on restore.
+#[derive(Clone, Debug)]
+pub enum TracerSnapshot {
+    /// The disabled default tracer.
+    Nop,
+    /// A [`CountingTracer`]'s folded counters and clock-monotonicity
+    /// state.
+    Counting {
+        counters: TraceCounters,
+        last_t: Ns,
+        time_regressions: u64,
+    },
+    /// A file-backed [`JsonlTracer`]: final output path plus the byte and
+    /// line cursors into its in-progress temporary file.
+    JsonlFile {
+        path: String,
+        bytes: u64,
+        lines: u64,
+    },
 }
 
 /// The default tracer: drops everything, reports itself disabled.
@@ -183,41 +225,108 @@ impl Tracer for NopTracer {
     fn enabled(&self) -> bool {
         false
     }
+
+    fn snapshot(&self) -> Option<TracerSnapshot> {
+        Some(TracerSnapshot::Nop)
+    }
 }
 
-/// Folds events into [`TraceCounters`] without storing the stream.
+/// Folds events into [`TraceCounters`] without storing the stream. Also
+/// tracks clock monotonicity: event timestamps must never run backwards,
+/// and the chaos-fuzz harness asserts
+/// [`CountingTracer::time_regressions`] stays zero.
 #[derive(Debug, Default)]
 pub struct CountingTracer {
-    counters: TraceCounters,
+    pub(crate) counters: TraceCounters,
+    /// Timestamp of the latest event seen.
+    pub(crate) last_t: Ns,
+    /// Events whose timestamp was earlier than a previously seen one.
+    pub(crate) time_regressions: u64,
 }
 
 impl CountingTracer {
     pub fn new() -> Self {
         CountingTracer::default()
     }
+
+    /// Events observed with a timestamp earlier than an already-seen one
+    /// (0 on every well-behaved run — the monotone-clock invariant).
+    pub fn time_regressions(&self) -> u64 {
+        self.time_regressions
+    }
 }
 
 impl Tracer for CountingTracer {
-    fn event(&mut self, _t: Ns, ev: &TraceEvent) {
+    fn event(&mut self, t: Ns, ev: &TraceEvent) {
+        if t < self.last_t {
+            self.time_regressions += 1;
+        } else {
+            self.last_t = t;
+        }
         self.counters.record(ev);
     }
 
     fn counters(&self) -> Option<&TraceCounters> {
         Some(&self.counters)
     }
+
+    fn time_regressions(&self) -> Option<u64> {
+        Some(self.time_regressions)
+    }
+
+    fn snapshot(&self) -> Option<TracerSnapshot> {
+        Some(TracerSnapshot::Counting {
+            counters: self.counters.clone(),
+            last_t: self.last_t,
+            time_regressions: self.time_regressions,
+        })
+    }
 }
 
 /// Streams events as JSON Lines: one compact object per event. All
 /// numeric fields are integers so traces are byte-stable across runs.
+///
+/// File-backed tracers ([`JsonlTracer::create`] / [`JsonlTracer::resume`])
+/// are crash-safe: they stream into `<path>.tmp` and atomically rename to
+/// the final path in [`Tracer::finish`], so an interrupted run never
+/// leaves a truncated trace at the advertised location — and a resumed run
+/// can truncate the temporary back to the checkpointed byte cursor and
+/// continue it.
 pub struct JsonlTracer<W: Write + Send> {
     out: io::BufWriter<W>,
     lines: u64,
+    /// Bytes written (rendered lines + newlines) — the resume cursor.
+    bytes: u64,
+    /// Final output path for file-backed tracers (`None` for plain
+    /// sinks); when set, data lives at `<path>.tmp` until `finish`.
+    path: Option<String>,
 }
 
 impl JsonlTracer<std::fs::File> {
-    /// Creates (truncates) `path` and streams events to it.
+    /// Streams events toward `path`, writing through `<path>.tmp` until
+    /// the run finishes (then renames into place).
     pub fn create(path: &str) -> io::Result<Self> {
-        Ok(JsonlTracer::new(std::fs::File::create(path)?))
+        let f = std::fs::File::create(format!("{path}.tmp"))?;
+        let mut t = JsonlTracer::new(f);
+        t.path = Some(path.to_string());
+        Ok(t)
+    }
+
+    /// Reopens the in-progress temporary for `path`, truncates it back to
+    /// `bytes` (discarding lines written after the checkpoint), and
+    /// continues appending from there.
+    pub fn resume(path: &str, bytes: u64, lines: u64) -> io::Result<Self> {
+        use std::io::Seek;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(format!("{path}.tmp"))?;
+        f.set_len(bytes)?;
+        f.seek(io::SeekFrom::End(0))?;
+        let mut t = JsonlTracer::new(f);
+        t.path = Some(path.to_string());
+        t.bytes = bytes;
+        t.lines = lines;
+        Ok(t)
     }
 }
 
@@ -226,6 +335,8 @@ impl<W: Write + Send> JsonlTracer<W> {
         JsonlTracer {
             out: io::BufWriter::new(sink),
             lines: 0,
+            bytes: 0,
+            path: None,
         }
     }
 
@@ -233,15 +344,37 @@ impl<W: Write + Send> JsonlTracer<W> {
     pub fn lines(&self) -> u64 {
         self.lines
     }
+
+    /// Bytes written so far (the checkpoint resume cursor).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
 }
 
 impl<W: Write + Send> Tracer for JsonlTracer<W> {
     fn event(&mut self, t: Ns, ev: &TraceEvent) {
         self.lines += 1;
-        writeln!(self.out, "{}", event_json(t, ev)).expect("trace sink write failed");
+        let line = event_json(t, ev).to_string();
+        self.bytes += line.len() as u64 + 1;
+        writeln!(self.out, "{line}").expect("trace sink write failed");
     }
 
     fn finish(&mut self) {
+        self.out.flush().expect("trace sink flush failed");
+        if let Some(path) = &self.path {
+            std::fs::rename(format!("{path}.tmp"), path).expect("trace file rename failed");
+        }
+    }
+
+    fn snapshot(&self) -> Option<TracerSnapshot> {
+        self.path.as_ref().map(|p| TracerSnapshot::JsonlFile {
+            path: p.clone(),
+            bytes: self.bytes,
+            lines: self.lines,
+        })
+    }
+
+    fn flush_output(&mut self) {
         self.out.flush().expect("trace sink flush failed");
     }
 }

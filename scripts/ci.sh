@@ -76,6 +76,52 @@ if echo "$err_out" | grep -q 'panicked'; then
   echo "dcnsim panicked instead of failing cleanly"; exit 1
 fi
 
+echo "==> checkpoint equivalence gate (resume must be byte-exact)"
+cargo test --release -q --test checkpoint_resume
+
+echo "==> dcnrun crash/hang supervision gates"
+run_dir="$(mktemp -d)"
+cat > "$run_dir/job.json" <<'EOF'
+{
+  "topology": { "kind": "fat_tree", "k": 4 },
+  "routing": { "kind": "ecmp" },
+  "workload": { "pattern": { "kind": "all_to_all" } },
+  "lambda": 800.0,
+  "window_ms": [0, 8],
+  "seed": 5,
+  "faults": { "kind": "random_link_outages", "count": 2, "down_ms": 2, "up_ms": 5, "seed": 3 }
+}
+EOF
+dcnrun() { cargo run --release --quiet --bin dcnrun -- "$@"; }
+# Uninterrupted supervised run.
+dcnrun run "$run_dir/job.json" --out-dir "$run_dir/straight" --checkpoint-every-ms 0
+# Worker SIGKILLs itself after the 2nd checkpoint; the retry resumes from
+# it and the final result must be byte-identical.
+dcnrun run "$run_dir/job.json" --out-dir "$run_dir/crashed" \
+  --checkpoint-every-ms 0 --die-after-checkpoints 2
+cmp "$run_dir/straight/job.result.json" "$run_dir/crashed/job.result.json"
+# Hung worker with no retry budget: the watchdog must kill it, the exit
+# code must say timeout (3), and the report must salvage the checkpoint.
+set +e
+dcnrun run "$run_dir/job.json" --out-dir "$run_dir/hung" \
+  --checkpoint-every-ms 0 --stall-after-checkpoints 1 --timeout-s 2 --retries 0
+hung_rc=$?
+set -e
+test "$hung_rc" -eq 3
+grep -q '"status": "timeout"' "$run_dir/hung/job.report.json"
+grep -q '"checkpoint":' "$run_dir/hung/job.report.json"
+# Invalid configs are classified (exit 1), never retried.
+echo '{"lambda_typo": 1}' > "$run_dir/bad.json"
+set +e
+dcnrun run "$run_dir/bad.json" --out-dir "$run_dir/bad" 2> /dev/null
+bad_rc=$?
+set -e
+test "$bad_rc" -eq 1
+rm -rf "$run_dir"
+
+echo "==> chaos soak (20 seeded fault plans x 3 transports, zero violations)"
+cargo run --release --quiet --bin dcnrun -- chaos --plans 20 --seed 1
+
 echo "==> tracing overhead gate (NopTracer must stay free)"
 cargo run --release -p dcn-bench --bin trace_overhead -- --check > /dev/null
 

@@ -1,0 +1,459 @@
+//! `dcnrun` — a crash-safe supervisor for simulation runs.
+//!
+//! `dcnsim` runs one experiment in one process: a crash, OOM kill, or
+//! live-lock loses everything. `dcnrun` splits the work across a
+//! supervisor and per-job worker processes so long batches survive all
+//! three:
+//!
+//! ```text
+//! dcnrun run  experiment.json                  # one supervised job
+//! dcnrun batch a.json b.json c.json --out-dir runs
+//! dcnrun chaos --plans 20 --seed 1             # fuzz fault plans
+//! ```
+//!
+//! Each worker periodically checkpoints full simulator state (see
+//! `dcn_sim::checkpoint`) into `<out-dir>/<job>.ckpt`. If the worker dies,
+//! the supervisor relaunches it with exponential backoff and the worker
+//! resumes from the last good checkpoint — results are byte-identical to
+//! an uninterrupted run. A *hung* worker is killed by the wall-clock
+//! watchdog (`--timeout-s`). Whatever happens, the supervisor writes a
+//! `<job>.report.json` (attempts, outcome, salvaged-checkpoint info) and
+//! workers write `<job>.result.json` — both atomically (temporary +
+//! rename), so no crash leaves a truncated file.
+//!
+//! Exit codes (worst across a batch): 0 ok, 1 invalid config, 2 worker
+//! crash, 3 watchdog timeout, 4 corrupt/unloadable checkpoint.
+//!
+//! `dcnrun chaos` fuzzes the fault layer in-process: seeded adversarial
+//! fault plans (`FaultPlan::chaos`) run against every transport, asserting
+//! packet conservation by drop cause, a monotone event clock, bounded
+//! event counts (no deadlock/livelock), and `completed + failed == flows`
+//! for every plan.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use beyond_fattrees::config::load_experiment;
+use beyond_fattrees::prelude::*;
+use dcn_bench::supervise::{
+    self, Attempt, EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_CRASH, EXIT_OK, EXIT_TIMEOUT,
+};
+use dcn_core::write_atomic;
+use dcn_json::Json;
+
+const USAGE: &str = "usage: dcnrun run <config.json> [options]
+       dcnrun batch <config.json>... [options]
+       dcnrun chaos [--plans N] [--seed N] [--transport dctcp|newreno|pfabric|all]
+
+options:
+  --out-dir DIR             result/checkpoint/report directory (default: runs)
+  --timeout-s N             wall-clock watchdog per attempt (default: none)
+  --retries N               relaunch budget per job (default: 2)
+  --backoff-ms N            base retry backoff, doubles per attempt (default: 200)
+  --checkpoint-every-ms N   worker auto-checkpoint cadence; 0 = every chunk (default: 1000)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dcnrun: error: {msg}");
+    std::process::exit(EXIT_CONFIG)
+}
+
+/// `--flag <value>` anywhere in `args`.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| fail(&format!("{flag} takes a value")))
+            .to_string()
+    })
+}
+
+fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
+    flag_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("{flag} takes an integer, got \"{v}\"")))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") | Some("batch") => supervisor(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
+        Some("worker") => worker(&args[1..]),
+        _ => fail(USAGE),
+    };
+    std::process::exit(code)
+}
+
+// ---------------------------------------------------------------- worker
+
+/// Kills the current process without running destructors or exit
+/// handlers — the crash-injection test hook (`--die-after-checkpoints`),
+/// so resume is exercised against a genuinely unclean death.
+fn die_uncleanly() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("kill").args(["-9", &pid]).status();
+    std::process::abort() // no `kill` binary: SIGABRT is unclean enough
+}
+
+/// Hidden subcommand: runs one experiment, checkpointing as it goes.
+/// Resumes automatically if the checkpoint file exists (the supervisor
+/// removes stale ones before the first attempt).
+fn worker(args: &[String]) -> i32 {
+    let Some(cfg_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        fail("worker needs a config path");
+    };
+    let result_path = flag_value(args, "--result").unwrap_or_else(|| fail("worker needs --result"));
+    let ckpt_path = flag_value(args, "--ckpt").unwrap_or_else(|| fail("worker needs --ckpt"));
+    let every_ms = flag_u64(args, "--checkpoint-every-ms").unwrap_or(1000);
+    let die_after = flag_u64(args, "--die-after-checkpoints");
+    let stall_after = flag_u64(args, "--stall-after-checkpoints");
+
+    let exp = match load_experiment(cfg_path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("dcnrun: error: {e}");
+            return EXIT_CONFIG;
+        }
+    };
+
+    let mut sim = if std::fs::metadata(&ckpt_path).is_ok() {
+        let ckpt = match Checkpoint::load(&ckpt_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("dcnrun: error: load checkpoint {ckpt_path}: {e}");
+                return EXIT_CKPT_CORRUPT;
+            }
+        };
+        match Simulator::restore(&exp.topo, exp.routing.selector(&exp.topo), exp.sim, &ckpt) {
+            Ok(s) => {
+                eprintln!(
+                    "dcnrun: resumed {cfg_path} from {ckpt_path} at t={} ns ({} events)",
+                    s.now(),
+                    s.events_processed()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("dcnrun: error: restore {ckpt_path}: {e}");
+                return EXIT_CKPT_CORRUPT;
+            }
+        }
+    } else {
+        let mut s = Simulator::new(&exp.topo, exp.routing.selector(&exp.topo), exp.sim);
+        s.set_window(exp.window.0, exp.window.1);
+        s.inject(&exp.flows);
+        if let Some(plan) = &exp.faults {
+            s.set_fault_plan(plan);
+        }
+        if let Some(p) = &exp.trace {
+            match JsonlTracer::create(p) {
+                Ok(t) => s.set_tracer(Box::new(t)),
+                Err(e) => fail(&format!("open trace {p}: {e}")),
+            }
+        }
+        if let Some(p) = &exp.telemetry {
+            match Telemetry::to_file(p, exp.telemetry_every_ns) {
+                Ok(t) => s.set_telemetry(t),
+                Err(e) => fail(&format!("open telemetry {p}: {e}")),
+            }
+        }
+        s
+    };
+
+    // Drive in simulated-time chunks; between chunks, checkpoint on the
+    // wall-clock cadence (0 = every chunk, the deterministic test mode).
+    let chunk = (exp.max_time / 200).max(1);
+    let mut written = 0u64;
+    let mut last_ckpt = Instant::now();
+    let mut done = false;
+    // First chunk boundary strictly ahead of the clock (resume lands
+    // exactly on one).
+    let mut stop = (sim.now() / chunk + 1) * chunk;
+    while stop < exp.max_time {
+        done = sim.run_until(stop);
+        stop += chunk;
+        if done {
+            break;
+        }
+        if every_ms == 0 || last_ckpt.elapsed() >= Duration::from_millis(every_ms) {
+            let ckpt = match sim.checkpoint() {
+                Ok(c) => c,
+                Err(e) => fail(&format!("checkpoint: {e}")),
+            };
+            if let Err(e) = ckpt.save(&ckpt_path) {
+                eprintln!("dcnrun: error: save checkpoint {ckpt_path}: {e}");
+                return EXIT_CRASH;
+            }
+            written += 1;
+            last_ckpt = Instant::now();
+            if die_after == Some(written) {
+                die_uncleanly();
+            }
+            if stall_after == Some(written) {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600)); // hang forever
+                }
+            }
+        }
+    }
+    if !done {
+        sim.run_until(exp.max_time);
+    }
+    let records = sim.finish();
+    let m = compute_metrics(&records, exp.window.0, exp.window.1);
+    let drops = sim.drop_breakdown();
+
+    // The result is derived from simulator state only, so a crashed-and-
+    // resumed job writes byte-identical bytes to an uninterrupted one.
+    let report = Json::obj(vec![
+        ("seed", Json::from(exp.seed)),
+        ("topology", Json::from(exp.topo.name())),
+        ("flows_measured", Json::from(m.flows)),
+        ("completed", Json::from(m.completed)),
+        ("failed", Json::from(m.failed)),
+        ("avg_fct_ms", Json::from(m.avg_fct_ms)),
+        ("p99_short_fct_ms", Json::from(m.p99_short_fct_ms)),
+        ("avg_long_tput_gbps", Json::from(m.avg_long_tput_gbps)),
+        (
+            "congestion_drops",
+            Json::from(drops.congestion + drops.eviction),
+        ),
+        ("fault_drops", Json::from(drops.fault + drops.noroute)),
+        ("ecn_marks", Json::from(sim.total_marks())),
+        ("events", Json::from(sim.events_processed())),
+    ]);
+    let mut body = report.pretty();
+    body.push('\n');
+    if let Err(e) = write_atomic(&result_path, body.as_bytes()) {
+        eprintln!("dcnrun: error: write result {result_path}: {e}");
+        return EXIT_CRASH;
+    }
+    let _ = std::fs::remove_file(&ckpt_path); // job done; nothing to resume
+    EXIT_OK
+}
+
+// ------------------------------------------------------------ supervisor
+
+fn status_label(a: Attempt) -> &'static str {
+    match a.exit_code() {
+        EXIT_OK => "ok",
+        EXIT_CONFIG => "config_error",
+        EXIT_TIMEOUT => "timeout",
+        EXIT_CKPT_CORRUPT => "checkpoint_corrupt",
+        _ => "crash",
+    }
+}
+
+fn supervisor(args: &[String]) -> i32 {
+    let configs: Vec<&String> = {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--out-dir"
+                | "--timeout-s"
+                | "--retries"
+                | "--backoff-ms"
+                | "--checkpoint-every-ms"
+                | "--die-after-checkpoints"
+                | "--stall-after-checkpoints" => i += 1,
+                a if !a.starts_with("--") => out.push(&args[i]),
+                other => fail(&format!("unknown option {other}\n{USAGE}")),
+            }
+            i += 1;
+        }
+        out
+    };
+    if configs.is_empty() {
+        fail(USAGE);
+    }
+    let out_dir = flag_value(args, "--out-dir").unwrap_or_else(|| "runs".to_string());
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(&format!("create {out_dir}: {e}")));
+    let timeout = flag_u64(args, "--timeout-s").map(Duration::from_secs);
+    let retries = flag_u64(args, "--retries").unwrap_or(2) as u32;
+    let backoff = Duration::from_millis(flag_u64(args, "--backoff-ms").unwrap_or(200));
+    let every_ms = flag_u64(args, "--checkpoint-every-ms").unwrap_or(1000);
+    let die_after = flag_u64(args, "--die-after-checkpoints");
+    let stall_after = flag_u64(args, "--stall-after-checkpoints");
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+
+    let mut worst = EXIT_OK;
+    for cfg_path in configs {
+        let stem = std::path::Path::new(cfg_path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "job".to_string());
+        let result = format!("{out_dir}/{stem}.result.json");
+        let ckpt = format!("{out_dir}/{stem}.ckpt");
+        let report_path = format!("{out_dir}/{stem}.report.json");
+        // A fresh supervision run starts clean: stale checkpoints or
+        // results from an earlier batch must not leak into this one.
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&result);
+
+        let outcome = supervise::retry(
+            |attempt| {
+                let mut c = Command::new(&exe);
+                c.arg("worker")
+                    .arg(cfg_path)
+                    .arg("--result")
+                    .arg(&result)
+                    .arg("--ckpt")
+                    .arg(&ckpt)
+                    .arg("--checkpoint-every-ms")
+                    .arg(every_ms.to_string());
+                if attempt == 0 {
+                    // Failure-injection hooks fire on the first attempt
+                    // only, so the relaunch path is what gets tested.
+                    if let Some(n) = die_after {
+                        c.arg("--die-after-checkpoints").arg(n.to_string());
+                    }
+                    if let Some(n) = stall_after {
+                        c.arg("--stall-after-checkpoints").arg(n.to_string());
+                    }
+                }
+                c
+            },
+            timeout,
+            retries,
+            backoff,
+        );
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => fail(&format!("spawn worker for {cfg_path}: {e}")),
+        };
+
+        let mut fields = vec![
+            ("job", Json::from(stem.as_str())),
+            ("config", Json::from(cfg_path.as_str())),
+            ("status", Json::from(status_label(outcome.last))),
+            ("exit_code", Json::from(outcome.exit_code() as u64)),
+            ("attempts", Json::from(outcome.attempts as u64)),
+            ("wall_ms", Json::from(outcome.wall.as_millis() as u64)),
+        ];
+        if outcome.exit_code() == EXIT_OK {
+            fields.push(("result", Json::from(result.as_str())));
+        } else {
+            // Partial-result salvage: report how far the last good
+            // checkpoint got, so the work is resumable/attributable.
+            let salvage = match Checkpoint::load(&ckpt) {
+                Ok(c) => {
+                    let meta = c.meta();
+                    Json::obj(vec![
+                        ("checkpoint", Json::from(ckpt.as_str())),
+                        ("t_ns", Json::from(meta.now)),
+                        ("events", Json::from(meta.events_processed)),
+                    ])
+                }
+                Err(e) => Json::from(format!("no usable checkpoint: {e}").as_str()),
+            };
+            fields.push(("salvage", salvage));
+        }
+        let mut body = Json::obj(fields).pretty();
+        body.push('\n');
+        write_atomic(&report_path, body.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("write report {report_path}: {e}")));
+        eprintln!(
+            "dcnrun: {stem}: {} (attempts {}, {:.1}s) -> {report_path}",
+            status_label(outcome.last),
+            outcome.attempts,
+            outcome.wall.as_secs_f64()
+        );
+        worst = worst.max(outcome.exit_code());
+    }
+    worst
+}
+
+// ----------------------------------------------------------------- chaos
+
+/// One chaos case: a seeded adversarial fault plan driven to completion
+/// under one transport, with every run-level invariant checked. Returns
+/// the violations found (empty = clean).
+fn chaos_case(topo: &Topology, plan: &FaultPlan, cfg: SimConfig, seed: u64) -> Vec<String> {
+    let window = (0, 4 * MS);
+    let max_time = 40 * MS;
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let pattern = AllToAll::new(topo, topo.tors_with_servers());
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 400.0, 0.0052, seed);
+        let mut sim = Simulator::new(topo, Routing::Ecmp.selector(topo), cfg);
+        sim.set_window(window.0, window.1);
+        sim.inject(&flows);
+        sim.set_fault_plan(plan);
+        sim.set_tracer(Box::new(CountingTracer::new()));
+        let records = sim.run(max_time);
+        let conservation = check_conservation(&sim).map(|_| ());
+        let regressions = sim.trace_time_regressions().unwrap_or(0);
+        let m = compute_metrics(&records, window.0, window.1);
+        (conservation, regressions, m.flows, m.completed, m.failed)
+    }));
+    let mut violations = Vec::new();
+    match run {
+        Err(_) => violations.push("simulator panicked (deadlock watchdog or invariant)".into()),
+        Ok((conservation, regressions, flows, completed, failed)) => {
+            if let Err(e) = conservation {
+                violations.push(format!("conservation: {e}"));
+            }
+            if regressions > 0 {
+                violations.push(format!("monotone clock: {regressions} regressions"));
+            }
+            if completed + failed != flows {
+                violations.push(format!(
+                    "accounting: completed {completed} + failed {failed} != flows {flows}"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn chaos(args: &[String]) -> i32 {
+    let plans = flag_u64(args, "--plans").unwrap_or(20);
+    let seed0 = flag_u64(args, "--seed").unwrap_or(1);
+    let which = flag_value(args, "--transport").unwrap_or_else(|| "all".to_string());
+    let transports: Vec<(&str, SimConfig)> = match which.as_str() {
+        "dctcp" => vec![("dctcp", SimConfig::default())],
+        "newreno" => vec![("newreno", SimConfig::default().with_newreno())],
+        "pfabric" => vec![("pfabric", SimConfig::default().with_pfabric())],
+        "all" => vec![
+            ("dctcp", SimConfig::default()),
+            ("newreno", SimConfig::default().with_newreno()),
+            ("pfabric", SimConfig::default().with_pfabric()),
+        ],
+        other => fail(&format!("unknown transport \"{other}\"")),
+    };
+
+    let topo = FatTree::full(4).build();
+    let max_time = 40 * MS;
+    let mut bad = 0u64;
+    let mut cases = 0u64;
+    for p in 0..plans {
+        let seed = seed0.wrapping_add(p);
+        let plan = FaultPlan::chaos(&topo, 4 * MS, seed);
+        if let Err(e) = plan.validate_schedule(&topo, max_time) {
+            eprintln!("dcnrun: chaos seed {seed}: generated plan invalid: {e}");
+            bad += 1;
+            continue;
+        }
+        for (name, base) in &transports {
+            cases += 1;
+            let mut cfg = *base;
+            // Runaway watchdog: an adversarial schedule must never make a
+            // small run process unbounded events (livelock).
+            cfg.max_events = 50_000_000;
+            for v in chaos_case(&topo, &plan, cfg, seed) {
+                eprintln!("dcnrun: chaos seed {seed} transport {name}: VIOLATION: {v}");
+                bad += 1;
+            }
+        }
+    }
+    println!(
+        "chaos: {plans} plans x {} transports = {cases} runs, {bad} violations",
+        transports.len()
+    );
+    if bad == 0 {
+        EXIT_OK
+    } else {
+        EXIT_CRASH
+    }
+}

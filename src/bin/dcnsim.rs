@@ -9,7 +9,9 @@
 //! The config selects a topology, routing scheme, workload, arrival rate,
 //! simulator constants, and (optionally) a fault plan; the tool prints the
 //! paper's three headline metrics (and a full JSON report to stdout with
-//! `--json`). Observability side-channels:
+//! `--json`). Parsing, workload generation, and fault-schedule validation
+//! live in [`beyond_fattrees::config`] — shared with the `dcnrun`
+//! supervisor. Observability side-channels:
 //!
 //! - `--trace events.jsonl` (or `"trace"` in the config): every simulator
 //!   event — enqueues, ECN marks, drops by cause, ACKs, RTOs, fault
@@ -22,8 +24,10 @@
 //!
 //! See DESIGN.md §Observability for the schemas; `dcnstat` post-processes
 //! the trace/telemetry/manifest files. Config mistakes (missing file,
-//! unknown key, wrong type) exit with a one-line `dcnsim: error: ...`.
+//! unknown key, wrong type, fault event past the horizon) exit with a
+//! one-line `dcnsim: error: ...`.
 
+use beyond_fattrees::config::{load_experiment, EXAMPLE};
 use beyond_fattrees::prelude::*;
 use dcn_json::Json;
 
@@ -32,261 +36,6 @@ use dcn_json::Json;
 fn fail(msg: &str) -> ! {
     eprintln!("dcnsim: error: {msg}");
     std::process::exit(1)
-}
-
-/// Field access helpers: every getter names the offending key on error so
-/// config mistakes are self-explanatory.
-fn need<'a>(v: &'a Json, key: &str) -> &'a Json {
-    v.get(key)
-        .unwrap_or_else(|| fail(&format!("config: missing field \"{key}\"")))
-}
-
-fn need_f64(v: &Json, key: &str) -> f64 {
-    need(v, key)
-        .as_f64()
-        .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a number")))
-}
-
-fn need_u64(v: &Json, key: &str) -> u64 {
-    need(v, key)
-        .as_u64()
-        .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a non-negative integer")))
-}
-
-fn need_u32(v: &Json, key: &str) -> u32 {
-    u32::try_from(need_u64(v, key))
-        .unwrap_or_else(|_| fail(&format!("config: \"{key}\" too large")))
-}
-
-fn need_str<'a>(v: &'a Json, key: &str) -> &'a str {
-    need(v, key)
-        .as_str()
-        .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a string")))
-}
-
-fn opt_f64(v: &Json, key: &str) -> Option<f64> {
-    v.get(key).map(|x| {
-        x.as_f64()
-            .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a number")))
-    })
-}
-
-fn opt_u64(v: &Json, key: &str) -> Option<u64> {
-    v.get(key).and_then(|x| {
-        if *x == Json::Null {
-            None
-        } else {
-            Some(
-                x.as_u64()
-                    .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be an integer"))),
-            )
-        }
-    })
-}
-
-fn opt_str(v: &Json, key: &str) -> Option<String> {
-    v.get(key).map(|x| {
-        x.as_str()
-            .unwrap_or_else(|| fail(&format!("config: \"{key}\" must be a string path")))
-            .to_string()
-    })
-}
-
-fn kind<'a>(v: &'a Json, what: &str) -> &'a str {
-    v.get("kind")
-        .and_then(|k| k.as_str())
-        .unwrap_or_else(|| fail(&format!("config: {what} needs a \"kind\" field")))
-}
-
-/// Allowed top-level config keys.
-const TOP_KEYS: &[&str] = &[
-    "topology",
-    "routing",
-    "workload",
-    "lambda",
-    "window_ms",
-    "seed",
-    "sim",
-    "faults",
-    "trace",
-    "telemetry",
-    "telemetry_every_us",
-    "manifest",
-];
-
-/// Allowed keys inside the `sim` section.
-const SIM_KEYS: &[&str] = &[
-    "link_gbps",
-    "server_link_gbps",
-    "queue_pkts",
-    "ecn_k_pkts",
-    "flowlet_gap_us",
-    "reconverge_delay_us",
-    "newreno",
-    "transport",
-    "queue",
-    "pfabric_cwnd_pkts",
-];
-
-/// Rejects unknown keys at the top level and in the `sim` section, so a
-/// typoed knob fails loudly instead of silently running the defaults.
-fn validate_keys(cfg: &Json) -> Result<(), String> {
-    let Some(fields) = cfg.as_object() else {
-        return Err("config root must be a JSON object".to_string());
-    };
-    for (k, _) in fields {
-        if !TOP_KEYS.contains(&k.as_str()) {
-            return Err(format!(
-                "config: unknown key \"{k}\" (expected one of: {})",
-                TOP_KEYS.join(", ")
-            ));
-        }
-    }
-    if let Some(sim) = cfg.get("sim") {
-        let Some(fields) = sim.as_object() else {
-            return Err("config: \"sim\" must be an object".to_string());
-        };
-        for (k, _) in fields {
-            if !SIM_KEYS.contains(&k.as_str()) {
-                return Err(format!(
-                    "config: unknown sim key \"{k}\" (expected one of: {})",
-                    SIM_KEYS.join(", ")
-                ));
-            }
-        }
-    }
-    Ok(())
-}
-
-fn build_topology(cfg: &Json, seed: u64) -> Topology {
-    match kind(cfg, "topology") {
-        "fat_tree" => {
-            let k = need_u32(cfg, "k");
-            match opt_f64(cfg, "cost_fraction") {
-                Some(f) => FatTree::at_cost_fraction(k, f).build(),
-                None => FatTree::full(k).build(),
-            }
-        }
-        "xpander" => Xpander::for_switches(
-            need_u32(cfg, "net_degree"),
-            need_u32(cfg, "switches"),
-            need_u32(cfg, "servers_per_switch"),
-            seed,
-        )
-        .build(),
-        "jellyfish" => Jellyfish::new(
-            need_u32(cfg, "switches"),
-            need_u32(cfg, "net_degree"),
-            need_u32(cfg, "servers_per_switch"),
-            seed,
-        )
-        .build(),
-        "slim_fly" => SlimFly::new(need_u32(cfg, "q"), need_u32(cfg, "servers_per_switch")).build(),
-        "longhop_folded" => {
-            Longhop::folded_hypercube(need_u32(cfg, "m"), need_u32(cfg, "servers_per_switch"))
-                .build()
-        }
-        "dragonfly" => {
-            beyond_fattrees::topology::dragonfly::Dragonfly::balanced(need_u32(cfg, "h")).build()
-        }
-        "file" => {
-            let path = need_str(cfg, "path");
-            let body = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| fail(&format!("read topology {path}: {e}")));
-            let v =
-                Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse topology {path}: {e}")));
-            let t = Topology::from_json(&v)
-                .unwrap_or_else(|e| fail(&format!("invalid topology {path}: {e}")));
-            if !t.is_connected() {
-                fail("loaded topology is disconnected");
-            }
-            t
-        }
-        other => fail(&format!("config: unknown topology kind \"{other}\"")),
-    }
-}
-
-fn parse_routing(cfg: &Json) -> Routing {
-    match kind(cfg, "routing") {
-        "ecmp" => Routing::Ecmp,
-        "vlb" => Routing::Vlb,
-        "hyb" => Routing::Hyb(opt_u64(cfg, "q_bytes").unwrap_or(PAPER_Q_BYTES)),
-        "adaptive_hyb" => Routing::AdaptiveHyb(need_u64(cfg, "ecn_marks")),
-        "ksp" => Routing::Ksp(need_u64(cfg, "k") as usize),
-        other => fail(&format!("config: unknown routing kind \"{other}\"")),
-    }
-}
-
-fn parse_sim(cfg: Option<&Json>) -> SimConfig {
-    let mut c = SimConfig::default();
-    let Some(cfg) = cfg else { return c };
-    if let Some(v) = opt_f64(cfg, "link_gbps") {
-        c.link_gbps = v;
-    }
-    if let Some(v) = opt_f64(cfg, "server_link_gbps") {
-        c.server_link_gbps = v;
-    }
-    if let Some(v) = opt_u64(cfg, "queue_pkts") {
-        c.queue_pkts = v as u32;
-    }
-    if let Some(v) = opt_u64(cfg, "ecn_k_pkts") {
-        c.ecn_k_pkts = v as u32;
-    }
-    if let Some(v) = opt_u64(cfg, "flowlet_gap_us") {
-        c.flowlet_gap_ns = v * US;
-    }
-    if let Some(v) = opt_u64(cfg, "reconverge_delay_us") {
-        c.reconverge_delay_ns = v * US;
-    }
-    if cfg.get("newreno").and_then(|v| v.as_bool()) == Some(true) {
-        c = c.with_newreno();
-    }
-    if let Some(v) = cfg.get("transport") {
-        let s = v
-            .as_str()
-            .unwrap_or_else(|| fail("config: \"transport\" must be a string"));
-        c.transport = TransportKind::parse(s).unwrap_or_else(|| {
-            fail(&format!(
-                "config: unknown transport \"{s}\" (expected one of: dctcp, newreno, pfabric)"
-            ))
-        });
-    }
-    if let Some(v) = cfg.get("queue") {
-        let s = v
-            .as_str()
-            .unwrap_or_else(|| fail("config: \"queue\" must be a string"));
-        c.queue_disc = QueueDiscKind::parse(s).unwrap_or_else(|| {
-            fail(&format!(
-                "config: unknown queue \"{s}\" (expected one of: tail_drop_ecn, pfabric)"
-            ))
-        });
-    }
-    if let Some(v) = opt_u64(cfg, "pfabric_cwnd_pkts") {
-        c.pfabric_cwnd_pkts = v as u32;
-    }
-    c
-}
-
-/// Optional `faults` section: seeded random outages injected mid-run.
-///
-/// ```json
-/// "faults": { "kind": "random_link_outages", "count": 3,
-///             "down_ms": 60, "up_ms": 90, "seed": 1 }
-/// ```
-///
-/// `up_ms` may be omitted (or `null`) for permanent failures.
-fn parse_faults(cfg: Option<&Json>, topo: &Topology) -> Option<FaultPlan> {
-    let cfg = cfg?;
-    match kind(cfg, "faults") {
-        "random_link_outages" => {
-            let count = need_u64(cfg, "count") as usize;
-            let down = need_u64(cfg, "down_ms") * MS;
-            let up = opt_u64(cfg, "up_ms").map(|v| v * MS);
-            let seed = opt_u64(cfg, "seed").unwrap_or(1);
-            Some(FaultPlan::random_link_outages(topo, count, down, up, seed))
-        }
-        other => fail(&format!("config: unknown faults kind \"{other}\"")),
-    }
 }
 
 /// `--flag <value>` from the argument list (the flag's value wins over the
@@ -298,20 +47,6 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
             .to_string()
     })
 }
-
-const EXAMPLE: &str = r#"{
-  "topology": { "kind": "xpander", "net_degree": 5, "switches": 54, "servers_per_switch": 3 },
-  "routing": { "kind": "hyb", "q_bytes": 100000 },
-  "workload": {
-    "pattern": { "kind": "skew", "theta": 0.04, "phi": 0.77 },
-    "sizes": { "kind": "pfabric_web_search" }
-  },
-  "lambda": 10000.0,
-  "window_ms": [50, 150],
-  "seed": 1,
-  "sim": { "ecn_k_pkts": 20, "flowlet_gap_us": 50, "transport": "dctcp", "queue": "tail_drop_ecn" },
-  "faults": { "kind": "random_link_outages", "count": 2, "down_ms": 60, "up_ms": 90, "seed": 1 }
-}"#;
 
 const USAGE: &str = "usage: dcnsim <config.json> [--json] [--dot out.dot] [--trace out.jsonl] \
      [--telemetry out.jsonl] [--manifest out.json] | dcnsim --print-example";
@@ -335,113 +70,55 @@ fn main() {
         i += 1;
     }
     let Some(path) = path else { fail(USAGE) };
-    let body = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
-    let cfg = Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
-    if let Err(e) = validate_keys(&cfg) {
-        fail(&e);
-    }
+    let exp = load_experiment(path).unwrap_or_else(|e| fail(&e));
 
-    let seed = opt_u64(&cfg, "seed").unwrap_or(1);
-    let topo = build_topology(need(&cfg, "topology"), seed);
     eprintln!(
         "topology: {} ({} switches, {} servers)",
-        topo.name(),
-        topo.num_nodes(),
-        topo.num_servers()
+        exp.topo.name(),
+        exp.topo.num_nodes(),
+        exp.topo.num_servers()
     );
     if let Some(out) = flag_value(&args, "--dot") {
-        std::fs::write(&out, beyond_fattrees::topology::export::to_dot(&topo))
-            .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+        beyond_fattrees::core::write_atomic(
+            &out,
+            beyond_fattrees::topology::export::to_dot(&exp.topo).as_bytes(),
+        )
+        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
         eprintln!("wrote {out}");
     }
-
-    let racks = topo.tors_with_servers();
-    let workload = need(&cfg, "workload");
-    let pattern_cfg = need(workload, "pattern");
-    let pattern: Box<dyn TrafficPattern> = match kind(pattern_cfg, "workload pattern") {
-        "all_to_all" => {
-            let fraction = opt_f64(pattern_cfg, "fraction").unwrap_or(1.0);
-            Box::new(AllToAll::new(
-                &topo,
-                active_fraction(&racks, fraction, true, seed),
-            ))
-        }
-        "permute" => {
-            let fraction = opt_f64(pattern_cfg, "fraction").unwrap_or(1.0);
-            Box::new(Permutation::new(
-                &topo,
-                active_fraction(&racks, fraction, true, seed),
-                seed,
-            ))
-        }
-        "skew" => Box::new(Skew::new(
-            &topo,
-            racks.clone(),
-            need_f64(pattern_cfg, "theta"),
-            need_f64(pattern_cfg, "phi"),
-            seed,
-        )),
-        "projector_trace" => Box::new(PairSkew::projector_trace(&topo, racks.clone(), seed)),
-        other => fail(&format!("config: unknown pattern kind \"{other}\"")),
-    };
-    let sizes: Box<dyn FlowSizeDist> = match workload.get("sizes") {
-        None => Box::new(PFabricWebSearch::new()),
-        Some(s) => match kind(s, "workload sizes") {
-            "pfabric_web_search" => Box::new(PFabricWebSearch::new()),
-            "pareto_hull" => Box::new(ParetoHull::new()),
-            "fixed" => Box::new(FixedSize(need_u64(s, "bytes"))),
-            other => fail(&format!("config: unknown sizes kind \"{other}\"")),
-        },
-    };
-
-    let window = match cfg.get("window_ms").map(|w| {
-        w.as_array()
-            .filter(|a| a.len() == 2)
-            .and_then(|a| Some((a[0].as_u64()?, a[1].as_u64()?)))
-            .unwrap_or_else(|| fail("config: \"window_ms\" must be [start, end]"))
-    }) {
-        Some((a, b)) => (a * MS, b * MS),
-        None => (50 * MS, 150 * MS),
-    };
-    let lambda = need_f64(&cfg, "lambda");
-    let horizon_s = window.1 as f64 / 1e9 * 1.3;
-    let flows = generate_flows(pattern.as_ref(), sizes.as_ref(), lambda, horizon_s, seed);
-    eprintln!("workload: {} flows at λ = {}", flows.len(), lambda);
-
-    let faults = parse_faults(cfg.get("faults"), &topo);
-    if let Some(plan) = &faults {
+    eprintln!("workload: {} flows at λ = {}", exp.flows.len(), exp.lambda);
+    if let Some(plan) = &exp.faults {
         eprintln!("faults: {} scheduled events", plan.events().len());
     }
+
     // Observability destinations: flags win over the config's keys.
-    let trace_path = flag_value(&args, "--trace").or_else(|| opt_str(&cfg, "trace"));
+    let trace_path = flag_value(&args, "--trace").or_else(|| exp.trace.clone());
     let tracer: Option<Box<dyn Tracer>> = trace_path.as_deref().map(|p| {
         eprintln!("tracing events to {p}");
         Box::new(JsonlTracer::create(p).unwrap_or_else(|e| fail(&format!("open trace {p}: {e}"))))
             as Box<dyn Tracer>
     });
-    let telemetry_path = flag_value(&args, "--telemetry").or_else(|| opt_str(&cfg, "telemetry"));
+    let telemetry_path = flag_value(&args, "--telemetry").or_else(|| exp.telemetry.clone());
     let telemetry = telemetry_path.as_deref().map(|p| {
-        let every = opt_u64(&cfg, "telemetry_every_us")
-            .map(|us| us * US)
-            .unwrap_or(DEFAULT_SAMPLE_EVERY_NS);
-        eprintln!("telemetry to {p} every {} ns", every);
-        Telemetry::to_file(p, every).unwrap_or_else(|e| fail(&format!("open telemetry {p}: {e}")))
+        eprintln!("telemetry to {p} every {} ns", exp.telemetry_every_ns);
+        Telemetry::to_file(p, exp.telemetry_every_ns)
+            .unwrap_or_else(|e| fail(&format!("open telemetry {p}: {e}")))
     });
-    let manifest_path = flag_value(&args, "--manifest").or_else(|| opt_str(&cfg, "manifest"));
+    let manifest_path = flag_value(&args, "--manifest").or_else(|| exp.manifest.clone());
     let spec = manifest_path.as_ref().map(|_| {
-        let mut s = ManifestSpec::new("dcnsim", seed);
+        let mut s = ManifestSpec::new("dcnsim", exp.seed);
         s.trace_path = trace_path.clone();
         s
     });
 
     let (m, counters, manifest) = run_fct_experiment_instrumented(
-        &topo,
-        parse_routing(need(&cfg, "routing")),
-        parse_sim(cfg.get("sim")),
-        &flows,
-        window,
-        window.1.saturating_mul(40),
-        faults.as_ref(),
+        &exp.topo,
+        exp.routing,
+        exp.sim,
+        &exp.flows,
+        exp.window,
+        exp.max_time,
+        exp.faults.as_ref(),
         tracer,
         telemetry,
         spec.as_ref(),
@@ -454,9 +131,9 @@ fn main() {
 
     if json_out {
         let report = Json::obj(vec![
-            ("topology", Json::from(topo.name())),
-            ("switches", Json::from(topo.num_nodes())),
-            ("servers", Json::from(topo.num_servers())),
+            ("topology", Json::from(exp.topo.name())),
+            ("switches", Json::from(exp.topo.num_nodes())),
+            ("servers", Json::from(exp.topo.num_servers())),
             ("flows_measured", Json::from(m.flows)),
             ("completed", Json::from(m.completed)),
             ("failed", Json::from(m.failed)),
@@ -491,46 +168,5 @@ fn main() {
                 m.recovered_flows, m.avg_recovery_ms
             );
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn validate_accepts_the_example() {
-        let cfg = Json::parse(EXAMPLE).unwrap();
-        assert!(validate_keys(&cfg).is_ok());
-    }
-
-    #[test]
-    fn validate_rejects_unknown_top_level_key() {
-        let cfg = Json::parse(r#"{"topology": {}, "lambda_typo": 1.0}"#).unwrap();
-        let err = validate_keys(&cfg).unwrap_err();
-        assert!(err.contains("unknown key \"lambda_typo\""), "{err}");
-    }
-
-    #[test]
-    fn validate_rejects_unknown_sim_key() {
-        let cfg = Json::parse(r#"{"sim": {"ecn_pkts": 4}}"#).unwrap();
-        let err = validate_keys(&cfg).unwrap_err();
-        assert!(err.contains("unknown sim key \"ecn_pkts\""), "{err}");
-    }
-
-    #[test]
-    fn validate_rejects_non_object_root() {
-        let cfg = Json::parse("[1, 2]").unwrap();
-        assert!(validate_keys(&cfg).is_err());
-    }
-
-    #[test]
-    fn validate_accepts_observability_keys() {
-        let cfg = Json::parse(
-            r#"{"trace": "t.jsonl", "telemetry": "ts.jsonl",
-                "telemetry_every_us": 50, "manifest": "m.json"}"#,
-        )
-        .unwrap();
-        assert!(validate_keys(&cfg).is_ok());
     }
 }

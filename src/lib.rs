@@ -37,6 +37,8 @@
 //! assert_eq!(metrics.completed, metrics.flows);
 //! ```
 
+pub mod config;
+
 pub use dcn_core as core;
 pub use dcn_flowsim as flowsim;
 pub use dcn_maxflow as maxflow;
@@ -58,12 +60,12 @@ pub mod prelude {
     pub use dcn_maxflow::{max_concurrent_flow, per_server_throughput, Commodity, GkOptions};
     pub use dcn_routing::{EcmpTable, PathSelector, RoutingSuite, Vlb, PAPER_Q_BYTES};
     pub use dcn_sim::{
-        check_conservation, compute_metrics, compute_metrics_with_dists, ChannelCounters,
-        Conservation, CountingTracer, DropCounters, FaultEvent, FaultKind, FaultPlan,
-        FctDistributions, FlowRecord, JsonlTracer, Metrics, NopTracer, QueueDiscKind,
-        QueueDiscipline, Sample, SharedBuf, SimConfig, Simulator, StreamingHistogram, Telemetry,
-        TraceCounters, TraceEvent, Tracer, Transport, TransportKind, DEFAULT_SAMPLE_EVERY_NS, MS,
-        SEC, US,
+        check_conservation, compute_metrics, compute_metrics_with_dists, config_fingerprint,
+        ChannelCounters, Checkpoint, CheckpointMeta, Conservation, CountingTracer, DropCounters,
+        FaultEvent, FaultKind, FaultPlan, FctDistributions, FlowRecord, JsonlTracer, Metrics,
+        NopTracer, QueueDiscKind, QueueDiscipline, Sample, SharedBuf, SimConfig, Simulator,
+        StreamingHistogram, Telemetry, TraceCounters, TraceEvent, Tracer, Transport, TransportKind,
+        DEFAULT_SAMPLE_EVERY_NS, MS, SEC, US,
     };
     pub use dcn_topology::{
         fattree::FatTree, jellyfish::Jellyfish, longhop::Longhop, slimfly::SlimFly, toy::ToyFig4,

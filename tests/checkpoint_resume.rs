@@ -1,0 +1,117 @@
+//! Integration: checkpoint/resume equivalence for the full observability
+//! pipeline. For every transport, a run that is paused mid-flight,
+//! checkpointed to disk, reloaded, and driven to the end must produce the
+//! same flow records, the byte-identical JSONL event trace, and the
+//! byte-identical telemetry stream as the same run left uninterrupted —
+//! with an active fault plan (a link outage plus a gray link) in both legs.
+
+use beyond_fattrees::prelude::*;
+
+fn topo() -> Topology {
+    FatTree::full(4).build()
+}
+
+fn workload(t: &Topology) -> Vec<FlowEvent> {
+    let pattern = AllToAll::new(t, t.tors_with_servers());
+    let mut flows = generate_flows(&pattern, &PFabricWebSearch::new(), 1500.0, 0.004, 23);
+    // One long flow so the pause at PAUSE_NS is guaranteed mid-flight.
+    if let Some(f) = flows.first_mut() {
+        f.bytes = 8_000_000;
+    }
+    flows
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_seed(11)
+        .link_down(MS, 2)
+        .link_gray(2 * MS, 5, 0.02)
+        .link_up(4 * MS, 2)
+}
+
+const PAUSE_NS: u64 = 3 * MS;
+const MAX_TIME: u64 = 40 * MS;
+
+fn tmp_path(tag: &str, leg: &str, kind: &str) -> String {
+    let dir = std::env::temp_dir();
+    dir.join(format!("ckpt_resume_{tag}_{leg}.{kind}.jsonl"))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Builds a fully instrumented simulator writing trace + telemetry toward
+/// the given paths.
+fn build(t: &Topology, cfg: SimConfig, trace: &str, tel: &str) -> Simulator {
+    let mut sim = Simulator::new(t, Routing::Ecmp.selector(t), cfg);
+    sim.set_window(0, 10 * MS);
+    sim.inject(&workload(t));
+    sim.set_fault_plan(&plan());
+    sim.set_tracer(Box::new(JsonlTracer::create(trace).expect("open trace")));
+    sim.set_telemetry(Telemetry::to_file(tel, DEFAULT_SAMPLE_EVERY_NS).expect("open telemetry"));
+    sim
+}
+
+fn roundtrip(tag: &str, cfg: SimConfig) {
+    let t = topo();
+
+    // Leg A: uninterrupted.
+    let trace_a = tmp_path(tag, "straight", "trace");
+    let tel_a = tmp_path(tag, "straight", "tel");
+    let mut sim = build(&t, cfg, &trace_a, &tel_a);
+    let rec_a = sim.run(MAX_TIME);
+
+    // Leg B: pause mid-flight, checkpoint to disk, reload, resume.
+    let trace_b = tmp_path(tag, "resumed", "trace");
+    let tel_b = tmp_path(tag, "resumed", "tel");
+    let mut sim = build(&t, cfg, &trace_b, &tel_b);
+    let done = sim.run_until(PAUSE_NS);
+    assert!(!done, "{tag}: run must pause mid-flight at {PAUSE_NS} ns");
+    let ckpt = sim.checkpoint().expect("checkpoint");
+    drop(sim); // simulate the original process dying after the snapshot
+
+    let ckpt_path = tmp_path(tag, "resumed", "ckpt");
+    ckpt.save(&ckpt_path).expect("save checkpoint");
+    let loaded = Checkpoint::load(&ckpt_path).expect("load checkpoint");
+    assert_eq!(loaded.meta().now, PAUSE_NS.min(loaded.meta().now));
+
+    let mut resumed =
+        Simulator::restore(&t, Routing::Ecmp.selector(&t), cfg, &loaded).expect("restore");
+    let rec_b = resumed.run(MAX_TIME);
+
+    assert_eq!(rec_a, rec_b, "{tag}: flow records diverge after resume");
+    assert!(
+        rec_a.iter().any(|r| r.fct_ns.is_some()),
+        "{tag}: degenerate run, nothing completed"
+    );
+    let (ta, tb) = (
+        std::fs::read(&trace_a).expect("read straight trace"),
+        std::fs::read(&trace_b).expect("read resumed trace"),
+    );
+    assert!(!ta.is_empty(), "{tag}: empty trace");
+    assert_eq!(ta, tb, "{tag}: event traces diverge after resume");
+    let (sa, sb) = (
+        std::fs::read(&tel_a).expect("read straight telemetry"),
+        std::fs::read(&tel_b).expect("read resumed telemetry"),
+    );
+    assert!(!sa.is_empty(), "{tag}: empty telemetry");
+    assert_eq!(sa, sb, "{tag}: telemetry streams diverge after resume");
+
+    for p in [trace_a, tel_a, trace_b, tel_b, ckpt_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn dctcp_resume_is_byte_identical() {
+    roundtrip("dctcp", SimConfig::default());
+}
+
+#[test]
+fn newreno_resume_is_byte_identical() {
+    roundtrip("newreno", SimConfig::default().with_newreno());
+}
+
+#[test]
+fn pfabric_resume_is_byte_identical() {
+    roundtrip("pfabric", SimConfig::default().with_pfabric());
+}

@@ -148,3 +148,99 @@ fn flowsim_close_to_packet_on_idle_net() {
         assert!(p <= f * 2.0 + 1e6, "packet {p} too far above fluid {f}");
     }
 }
+
+/// Chaos fuzzing of the fault layer: for any seeded adversarial fault
+/// plan ([`FaultPlan::chaos`] — random outages, gray periods, switch
+/// flaps), the packet-conservation ledger balances by drop cause, the
+/// traced event clock never runs backwards, and every window flow is
+/// accounted for as completed or failed.
+#[test]
+fn chaos_fault_plans_conserve_packets() {
+    let t = FatTree::full(4).build();
+    for seed in 0u64..10 {
+        let plan = FaultPlan::chaos(&t, 4 * MS, seed);
+        plan.validate_schedule(&t, 160 * MS)
+            .expect("generated chaos plans must always validate");
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 400.0, 0.0052, seed);
+        let mut sim = Simulator::new(&t, Routing::Ecmp.selector(&t), SimConfig::default());
+        sim.set_window(0, 4 * MS);
+        sim.inject(&flows);
+        sim.set_fault_plan(&plan);
+        sim.set_tracer(Box::new(CountingTracer::new()));
+        let rec = sim.run(160 * MS);
+        check_conservation(&sim).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            sim.trace_time_regressions(),
+            Some(0),
+            "seed {seed}: event clock ran backwards"
+        );
+        let m = compute_metrics(&rec, 0, 4 * MS);
+        assert_eq!(
+            m.completed + m.failed,
+            m.flows,
+            "seed {seed}: flow accounting leak"
+        );
+    }
+}
+
+/// A chaos run is a pure function of its seed: the same seed reproduces
+/// every flow record exactly, even through the fault controller's RNG
+/// (gray-loss sampling) and reconvergence epochs.
+#[test]
+fn chaos_runs_are_seed_deterministic() {
+    fn run(seed: u64) -> Vec<FlowRecord> {
+        let t = FatTree::full(4).build();
+        let plan = FaultPlan::chaos(&t, 4 * MS, seed);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 400.0, 0.0052, seed);
+        let mut sim = Simulator::new(&t, Routing::Ecmp.selector(&t), SimConfig::default());
+        sim.set_window(0, 4 * MS);
+        sim.inject(&flows);
+        sim.set_fault_plan(&plan);
+        sim.run(160 * MS)
+    }
+    for seed in [3u64, 17] {
+        assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
+    }
+}
+
+/// Checkpoint/restore commutes with chaos: pausing mid-plan, snapshotting,
+/// and resuming in a fresh simulator yields the records of the
+/// uninterrupted run, for any seeded adversarial schedule.
+#[test]
+fn chaos_runs_survive_checkpoint_resume() {
+    let t = FatTree::full(4).build();
+    for seed in 0u64..4 {
+        let plan = FaultPlan::chaos(&t, 4 * MS, seed);
+        let pattern = AllToAll::new(&t, t.tors_with_servers());
+        let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 400.0, 0.0052, seed);
+        let build = || {
+            let mut sim = Simulator::new(&t, Routing::Ecmp.selector(&t), SimConfig::default());
+            sim.set_window(0, 4 * MS);
+            sim.inject(&flows);
+            sim.set_fault_plan(&plan);
+            sim
+        };
+        let straight = build().run(160 * MS);
+        let mut paused = build();
+        if paused.run_until(2 * MS) {
+            // Plan + workload drained before the pause point: nothing to
+            // resume, records must already match.
+            assert_eq!(paused.finish(), straight, "seed {seed}");
+            continue;
+        }
+        let ckpt = paused
+            .checkpoint()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        drop(paused);
+        let mut resumed =
+            Simulator::restore(&t, Routing::Ecmp.selector(&t), SimConfig::default(), &ckpt)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            resumed.run(160 * MS),
+            straight,
+            "seed {seed}: resume diverged"
+        );
+    }
+}
