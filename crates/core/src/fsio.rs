@@ -12,8 +12,8 @@ use std::io::{self, Write};
 use std::path::Path;
 
 /// Writes `bytes` to `path` atomically: temporary + flush + fsync +
-/// rename. The temporary lives next to the target (`<path>.tmp`) so the
-/// rename stays within one filesystem.
+/// rename + parent-directory fsync. The temporary lives next to the
+/// target (`<path>.tmp`) so the rename stays within one filesystem.
 pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
@@ -22,7 +22,30 @@ pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
     f.write_all(bytes)?;
     f.flush()?;
     f.sync_all()?;
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    // The rename itself lives in the parent directory's entries; without
+    // fsyncing those, a power loss can forget the rename and the file
+    // "vanishes" even though its bytes were durable.
+    fsync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path` so a just-renamed entry
+/// survives power loss. A path with no parent component ("bare.json")
+/// syncs the current directory. Platforms where directories cannot be
+/// opened for fsync (non-unix) skip silently — the rename is still
+/// atomic, just not durably ordered.
+pub fn fsync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -55,5 +78,31 @@ mod tests {
     fn missing_parent_directory_errors() {
         let p = tmp("no_such_dir_fsio").join("out.json");
         assert!(write_atomic(&p, b"x").is_err());
+    }
+
+    #[test]
+    fn renamed_file_parent_directory_is_synced() {
+        // The durability path: a rename into a freshly created directory
+        // must be followed by an fsync of that directory, and the write
+        // must still succeed end to end.
+        let dir = tmp("fsio_parent_sync_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("artifact.json");
+        write_atomic(&p, b"durable").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"durable");
+        assert!(!dir.join("artifact.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_parent_handles_bare_and_nested_paths() {
+        // A bare filename has parent "" — must map to "." and succeed.
+        assert!(fsync_parent_dir(Path::new("bare.json")).is_ok());
+        let dir = tmp("fsio_fsync_parent");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(fsync_parent_dir(&dir.join("x")).is_ok());
+        // A parent that does not exist is an error, not a silent skip.
+        assert!(fsync_parent_dir(&tmp("no_such_fsio_parent").join("x")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -37,5 +37,5 @@ pub use experiment::{
     SimCounters,
 };
 pub use flex::{fat_tree_throughput, tp_throughput, FlexCurve};
-pub use fsio::write_atomic;
+pub use fsio::{fsync_parent_dir, write_atomic};
 pub use manifest::{ManifestSpec, RunManifest, WALL_CLOCK_FIELDS};

@@ -79,6 +79,9 @@ fi
 echo "==> checkpoint equivalence gate (resume must be byte-exact)"
 cargo test --release -q --test checkpoint_resume
 
+echo "==> checkpoint corruption gate (damage is final, never restored)"
+cargo test --release -q --test checkpoint_corruption
+
 echo "==> dcnrun crash/hang supervision gates"
 run_dir="$(mktemp -d)"
 cat > "$run_dir/job.json" <<'EOF'
@@ -118,6 +121,93 @@ bad_rc=$?
 set -e
 test "$bad_rc" -eq 1
 rm -rf "$run_dir"
+
+echo "==> dcnrun batch gates (abort-by-default vs --keep-going summary)"
+batch_dir="$(mktemp -d)"
+cat > "$batch_dir/ok1.json" <<'EOF'
+{
+  "topology": { "kind": "fat_tree", "k": 4 },
+  "routing": { "kind": "ecmp" },
+  "workload": { "pattern": { "kind": "all_to_all" } },
+  "lambda": 300.0,
+  "window_ms": [0, 2],
+  "seed": 5
+}
+EOF
+echo '{"lambda_typo": 1}' > "$batch_dir/bad.json"
+sed 's/"seed": 5/"seed": 6/' "$batch_dir/ok1.json" > "$batch_dir/ok2.json"
+# Default: the batch aborts at the first failure; the job after the bad
+# one is recorded as skipped, and the exit code is the worst seen.
+set +e
+dcnrun batch "$batch_dir/ok1.json" "$batch_dir/bad.json" "$batch_dir/ok2.json" \
+  --out-dir "$batch_dir/abort" 2> /dev/null
+abort_rc=$?
+set -e
+test "$abort_rc" -ne 0
+grep -q '"keep_going": false' "$batch_dir/abort/batch.summary.json"
+grep -q '"status": "skipped"' "$batch_dir/abort/batch.summary.json"
+test ! -e "$batch_dir/abort/ok2.result.json"
+# --keep-going: every job runs, the summary counts the failure, and the
+# exit code is still nonzero because one job failed.
+set +e
+dcnrun batch "$batch_dir/ok1.json" "$batch_dir/bad.json" "$batch_dir/ok2.json" \
+  --out-dir "$batch_dir/keep" --keep-going 2> /dev/null
+keep_rc=$?
+set -e
+test "$keep_rc" -ne 0
+grep -q '"keep_going": true' "$batch_dir/keep/batch.summary.json"
+grep -q '"ok": 2' "$batch_dir/keep/batch.summary.json"
+grep -q '"failed": 1' "$batch_dir/keep/batch.summary.json"
+test -s "$batch_dir/keep/ok2.result.json"
+rm -rf "$batch_dir"
+
+echo "==> dcnserve gates (soak, cache equivalence, corruption heal, drain)"
+cargo build --release --quiet --bin dcnserve
+cargo test --release -q --test serve_soak
+serve_dir="$(mktemp -d)"
+cat > "$serve_dir/job.json" <<'EOF'
+{
+  "topology": { "kind": "fat_tree", "k": 4 },
+  "routing": { "kind": "ecmp" },
+  "workload": { "pattern": { "kind": "all_to_all" } },
+  "lambda": 300.0,
+  "window_ms": [0, 2],
+  "seed": 7
+}
+EOF
+# Daemon with chaos injection: every job's first worker attempt SIGKILLs
+# itself after one checkpoint, so even the CI path exercises resume.
+./target/release/dcnserve serve --tcp 127.0.0.1:0 \
+  --addr-file "$serve_dir/addr" --state-dir "$serve_dir/state" \
+  --checkpoint-every-ms 0 --inject-worker-crash --backoff-ms 50 \
+  2> "$serve_dir/daemon.log" &
+serve_pid=$!
+trap 'kill -9 "$serve_pid" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do test -s "$serve_dir/addr" && break; sleep 0.1; done
+serve_addr="$(head -n 1 "$serve_dir/addr")"
+dcnserve() { ./target/release/dcnserve "$@"; }
+# Cold (computed through a crash + resume) vs warm (served from cache)
+# must be byte-identical.
+dcnserve request "$serve_dir/job.json" --tcp "$serve_addr" > "$serve_dir/cold.json" 2> /dev/null
+dcnserve request "$serve_dir/job.json" --tcp "$serve_addr" > "$serve_dir/warm.json" 2> /dev/null
+test -s "$serve_dir/cold.json"
+cmp "$serve_dir/cold.json" "$serve_dir/warm.json"
+# Corrupt the cache entry on disk: the daemon must quarantine it and
+# recompute the same bytes, never serve the rot.
+truncate -s -2 "$serve_dir/state/cache/"*.res
+dcnserve request "$serve_dir/job.json" --tcp "$serve_addr" > "$serve_dir/healed.json" 2> /dev/null
+cmp "$serve_dir/cold.json" "$serve_dir/healed.json"
+ls "$serve_dir/state/cache/quarantine/" | grep -q '.res'
+dcnserve ping --tcp "$serve_addr" > /dev/null
+# SIGTERM must drain cleanly: exit 0, taxonomy's "ok".
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+drain_rc=$?
+set -e
+trap - EXIT
+test "$drain_rc" -eq 0
+rm -rf "$serve_dir"
 
 echo "==> chaos soak (20 seeded fault plans x 3 transports, zero violations)"
 cargo run --release --quiet --bin dcnrun -- chaos --plans 20 --seed 1

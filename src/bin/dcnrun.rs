@@ -21,6 +21,11 @@
 //! workers write `<job>.result.json` — both atomically (temporary +
 //! rename), so no crash leaves a truncated file.
 //!
+//! A batch stops at the first failed job by default; `--keep-going` runs
+//! every job regardless and reports the failures at the end. Either way
+//! `batch` writes a `<out-dir>/batch.summary.json` (per-job status,
+//! ok/failed/skipped counts) and exits nonzero iff any job failed.
+//!
 //! Exit codes (worst across a batch): 0 ok, 1 invalid config, 2 worker
 //! crash, 3 watchdog timeout, 4 corrupt/unloadable checkpoint.
 //!
@@ -32,9 +37,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use beyond_fattrees::config::load_experiment;
+use beyond_fattrees::jobs::{self, CrashHooks};
 use beyond_fattrees::prelude::*;
 use dcn_bench::supervise::{
     self, Attempt, EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_CRASH, EXIT_OK, EXIT_TIMEOUT,
@@ -51,7 +56,8 @@ options:
   --timeout-s N             wall-clock watchdog per attempt (default: none)
   --retries N               relaunch budget per job (default: 2)
   --backoff-ms N            base retry backoff, doubles per attempt (default: 200)
-  --checkpoint-every-ms N   worker auto-checkpoint cadence; 0 = every chunk (default: 1000)";
+  --checkpoint-every-ms N   worker auto-checkpoint cadence; 0 = every chunk (default: 1000)
+  --keep-going              batch: run every job even after failures (default: stop at first)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("dcnrun: error: {msg}");
@@ -77,7 +83,8 @@ fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("run") | Some("batch") => supervisor(&args[1..]),
+        Some("run") => supervisor(&args[1..], false),
+        Some("batch") => supervisor(&args[1..], true),
         Some("chaos") => chaos(&args[1..]),
         Some("worker") => worker(&args[1..]),
         _ => fail(USAGE),
@@ -87,18 +94,10 @@ fn main() {
 
 // ---------------------------------------------------------------- worker
 
-/// Kills the current process without running destructors or exit
-/// handlers — the crash-injection test hook (`--die-after-checkpoints`),
-/// so resume is exercised against a genuinely unclean death.
-fn die_uncleanly() -> ! {
-    let pid = std::process::id().to_string();
-    let _ = Command::new("kill").args(["-9", &pid]).status();
-    std::process::abort() // no `kill` binary: SIGABRT is unclean enough
-}
-
 /// Hidden subcommand: runs one experiment, checkpointing as it goes.
 /// Resumes automatically if the checkpoint file exists (the supervisor
-/// removes stale ones before the first attempt).
+/// removes stale ones before the first attempt). The body lives in
+/// `beyond_fattrees::jobs`, shared with the `dcnserve` daemon's workers.
 fn worker(args: &[String]) -> i32 {
     let Some(cfg_path) = args.first().filter(|a| !a.starts_with("--")) else {
         fail("worker needs a config path");
@@ -106,131 +105,18 @@ fn worker(args: &[String]) -> i32 {
     let result_path = flag_value(args, "--result").unwrap_or_else(|| fail("worker needs --result"));
     let ckpt_path = flag_value(args, "--ckpt").unwrap_or_else(|| fail("worker needs --ckpt"));
     let every_ms = flag_u64(args, "--checkpoint-every-ms").unwrap_or(1000);
-    let die_after = flag_u64(args, "--die-after-checkpoints");
-    let stall_after = flag_u64(args, "--stall-after-checkpoints");
-
-    let exp = match load_experiment(cfg_path) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("dcnrun: error: {e}");
-            return EXIT_CONFIG;
-        }
+    let hooks = CrashHooks {
+        die_after_checkpoints: flag_u64(args, "--die-after-checkpoints"),
+        stall_after_checkpoints: flag_u64(args, "--stall-after-checkpoints"),
     };
-
-    let mut sim = if std::fs::metadata(&ckpt_path).is_ok() {
-        let ckpt = match Checkpoint::load(&ckpt_path) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("dcnrun: error: load checkpoint {ckpt_path}: {e}");
-                return EXIT_CKPT_CORRUPT;
-            }
-        };
-        match Simulator::restore(&exp.topo, exp.routing.selector(&exp.topo), exp.sim, &ckpt) {
-            Ok(s) => {
-                eprintln!(
-                    "dcnrun: resumed {cfg_path} from {ckpt_path} at t={} ns ({} events)",
-                    s.now(),
-                    s.events_processed()
-                );
-                s
-            }
-            Err(e) => {
-                eprintln!("dcnrun: error: restore {ckpt_path}: {e}");
-                return EXIT_CKPT_CORRUPT;
-            }
-        }
-    } else {
-        let mut s = Simulator::new(&exp.topo, exp.routing.selector(&exp.topo), exp.sim);
-        s.set_window(exp.window.0, exp.window.1);
-        s.inject(&exp.flows);
-        if let Some(plan) = &exp.faults {
-            s.set_fault_plan(plan);
-        }
-        if let Some(p) = &exp.trace {
-            match JsonlTracer::create(p) {
-                Ok(t) => s.set_tracer(Box::new(t)),
-                Err(e) => fail(&format!("open trace {p}: {e}")),
-            }
-        }
-        if let Some(p) = &exp.telemetry {
-            match Telemetry::to_file(p, exp.telemetry_every_ns) {
-                Ok(t) => s.set_telemetry(t),
-                Err(e) => fail(&format!("open telemetry {p}: {e}")),
-            }
-        }
-        s
-    };
-
-    // Drive in simulated-time chunks; between chunks, checkpoint on the
-    // wall-clock cadence (0 = every chunk, the deterministic test mode).
-    let chunk = (exp.max_time / 200).max(1);
-    let mut written = 0u64;
-    let mut last_ckpt = Instant::now();
-    let mut done = false;
-    // First chunk boundary strictly ahead of the clock (resume lands
-    // exactly on one).
-    let mut stop = (sim.now() / chunk + 1) * chunk;
-    while stop < exp.max_time {
-        done = sim.run_until(stop);
-        stop += chunk;
-        if done {
-            break;
-        }
-        if every_ms == 0 || last_ckpt.elapsed() >= Duration::from_millis(every_ms) {
-            let ckpt = match sim.checkpoint() {
-                Ok(c) => c,
-                Err(e) => fail(&format!("checkpoint: {e}")),
-            };
-            if let Err(e) = ckpt.save(&ckpt_path) {
-                eprintln!("dcnrun: error: save checkpoint {ckpt_path}: {e}");
-                return EXIT_CRASH;
-            }
-            written += 1;
-            last_ckpt = Instant::now();
-            if die_after == Some(written) {
-                die_uncleanly();
-            }
-            if stall_after == Some(written) {
-                loop {
-                    std::thread::sleep(Duration::from_secs(3600)); // hang forever
-                }
-            }
-        }
-    }
-    if !done {
-        sim.run_until(exp.max_time);
-    }
-    let records = sim.finish();
-    let m = compute_metrics(&records, exp.window.0, exp.window.1);
-    let drops = sim.drop_breakdown();
-
-    // The result is derived from simulator state only, so a crashed-and-
-    // resumed job writes byte-identical bytes to an uninterrupted one.
-    let report = Json::obj(vec![
-        ("seed", Json::from(exp.seed)),
-        ("topology", Json::from(exp.topo.name())),
-        ("flows_measured", Json::from(m.flows)),
-        ("completed", Json::from(m.completed)),
-        ("failed", Json::from(m.failed)),
-        ("avg_fct_ms", Json::from(m.avg_fct_ms)),
-        ("p99_short_fct_ms", Json::from(m.p99_short_fct_ms)),
-        ("avg_long_tput_gbps", Json::from(m.avg_long_tput_gbps)),
-        (
-            "congestion_drops",
-            Json::from(drops.congestion + drops.eviction),
-        ),
-        ("fault_drops", Json::from(drops.fault + drops.noroute)),
-        ("ecn_marks", Json::from(sim.total_marks())),
-        ("events", Json::from(sim.events_processed())),
-    ]);
-    let mut body = report.pretty();
-    body.push('\n');
-    if let Err(e) = write_atomic(&result_path, body.as_bytes()) {
-        eprintln!("dcnrun: error: write result {result_path}: {e}");
-        return EXIT_CRASH;
-    }
-    let _ = std::fs::remove_file(&ckpt_path); // job done; nothing to resume
-    EXIT_OK
+    jobs::worker_main(
+        "dcnrun",
+        cfg_path,
+        &result_path,
+        &ckpt_path,
+        every_ms,
+        hooks,
+    )
 }
 
 // ------------------------------------------------------------ supervisor
@@ -245,7 +131,7 @@ fn status_label(a: Attempt) -> &'static str {
     }
 }
 
-fn supervisor(args: &[String]) -> i32 {
+fn supervisor(args: &[String], batch: bool) -> i32 {
     let configs: Vec<&String> = {
         let mut out = Vec::new();
         let mut i = 0;
@@ -258,6 +144,7 @@ fn supervisor(args: &[String]) -> i32 {
                 | "--checkpoint-every-ms"
                 | "--die-after-checkpoints"
                 | "--stall-after-checkpoints" => i += 1,
+                "--keep-going" => {}
                 a if !a.starts_with("--") => out.push(&args[i]),
                 other => fail(&format!("unknown option {other}\n{USAGE}")),
             }
@@ -268,6 +155,7 @@ fn supervisor(args: &[String]) -> i32 {
     if configs.is_empty() {
         fail(USAGE);
     }
+    let keep_going = args.iter().any(|a| a == "--keep-going");
     let out_dir = flag_value(args, "--out-dir").unwrap_or_else(|| "runs".to_string());
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(&format!("create {out_dir}: {e}")));
     let timeout = flag_u64(args, "--timeout-s").map(Duration::from_secs);
@@ -279,7 +167,10 @@ fn supervisor(args: &[String]) -> i32 {
     let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
 
     let mut worst = EXIT_OK;
-    for cfg_path in configs {
+    let mut per_job: Vec<Json> = Vec::new();
+    let mut counts = (0u64, 0u64); // (ok, failed)
+    let mut aborted_at: Option<usize> = None;
+    for (idx, cfg_path) in configs.iter().enumerate() {
         let stem = std::path::Path::new(cfg_path)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
@@ -361,6 +252,69 @@ fn supervisor(args: &[String]) -> i32 {
             outcome.wall.as_secs_f64()
         );
         worst = worst.max(outcome.exit_code());
+        per_job.push(Json::obj(vec![
+            ("job", Json::from(stem.as_str())),
+            ("config", Json::from(cfg_path.as_str())),
+            ("status", Json::from(status_label(outcome.last))),
+            ("exit_code", Json::from(outcome.exit_code() as u64)),
+            ("attempts", Json::from(outcome.attempts as u64)),
+        ]));
+        if outcome.exit_code() == EXIT_OK {
+            counts.0 += 1;
+        } else {
+            counts.1 += 1;
+            if !keep_going {
+                aborted_at = Some(idx + 1);
+                break;
+            }
+        }
+    }
+
+    // The per-batch summary: every job's fate in one artifact, including
+    // the ones a fail-fast abort never launched.
+    if batch {
+        let skipped: Vec<&String> = match aborted_at {
+            Some(from) => configs[from..].to_vec(),
+            None => Vec::new(),
+        };
+        for cfg_path in &skipped {
+            let stem = std::path::Path::new(cfg_path.as_str())
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "job".to_string());
+            per_job.push(Json::obj(vec![
+                ("job", Json::from(stem.as_str())),
+                ("config", Json::from(cfg_path.as_str())),
+                ("status", Json::from("skipped")),
+            ]));
+        }
+        if aborted_at.is_some() {
+            eprintln!(
+                "dcnrun: batch aborted after first failure; {} job(s) skipped \
+                 (use --keep-going to run them all)",
+                skipped.len()
+            );
+        }
+        let summary = Json::obj(vec![
+            ("jobs", Json::from(configs.len() as u64)),
+            ("ok", Json::from(counts.0)),
+            ("failed", Json::from(counts.1)),
+            ("skipped", Json::from(skipped.len() as u64)),
+            ("keep_going", Json::from(keep_going)),
+            ("worst_exit", Json::from(worst as u64)),
+            ("per_job", Json::Arr(per_job)),
+        ]);
+        let mut body = summary.pretty();
+        body.push('\n');
+        let summary_path = format!("{out_dir}/batch.summary.json");
+        write_atomic(&summary_path, body.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("write summary {summary_path}: {e}")));
+        eprintln!(
+            "dcnrun: batch: {} ok, {} failed, {} skipped -> {summary_path}",
+            counts.0,
+            counts.1,
+            skipped.len()
+        );
     }
     worst
 }

@@ -1,0 +1,263 @@
+//! `dcnserve` — a crash-tolerant experiment service.
+//!
+//! The long-running front door to the simulation stack: clients submit
+//! experiment configs (the same JSON `dcnsim`/`dcnrun` read) over a TCP
+//! or unix socket, the daemon executes them in supervised, checkpointed
+//! worker processes, and results land in a checksummed content-addressed
+//! cache so repeated requests are served in microseconds — byte-identical
+//! to a fresh computation.
+//!
+//! ```text
+//! dcnserve serve --tcp 127.0.0.1:7440 --state-dir serve-state
+//! dcnserve request experiment.json --tcp 127.0.0.1:7440   # result JSON on stdout
+//! dcnserve ping --tcp 127.0.0.1:7440
+//! dcnserve stats --tcp 127.0.0.1:7440
+//! ```
+//!
+//! Robustness guarantees (see `beyond_fattrees::serve` for the details):
+//! workers that crash or are SIGKILLed resume from their last checkpoint;
+//! hung workers are killed by the deadline watchdog; overload answers
+//! `overloaded` immediately instead of queueing unboundedly; corrupt
+//! cache entries are quarantined and recomputed, never served; slow and
+//! idle clients are timed out; SIGTERM drains gracefully.
+//!
+//! Exit codes extend `dcnrun`'s taxonomy: 0 ok (clean drain), 1 bad
+//! config/CLI, 2 crash, 3 timeout, 4 corrupt checkpoint, 5 socket
+//! bind/listen failure, 6 drain timeout.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use beyond_fattrees::jobs::{self, CrashHooks};
+use beyond_fattrees::serve::protocol::{read_frame, write_frame, Request};
+use beyond_fattrees::serve::server::{serve, ServeOptions};
+use dcn_json::Json;
+
+const USAGE: &str = "usage: dcnserve serve   [--tcp ADDR] [--unix PATH] [--state-dir DIR] [options]
+       dcnserve request <config.json> (--tcp ADDR | --unix PATH) [--deadline-ms N] [--no-cache]
+       dcnserve ping    (--tcp ADDR | --unix PATH)
+       dcnserve stats   (--tcp ADDR | --unix PATH)
+
+serve options:
+  --tcp ADDR                listen address, port 0 picks a free port (default: 127.0.0.1:7440)
+  --unix PATH               also/instead listen on a unix socket
+  --state-dir DIR           cache + job spool root (default: dcnserve-state)
+  --addr-file PATH          write the bound address(es) here once listening
+  --max-workers N           concurrent worker processes (default: #cores)
+  --max-queue N             queued requests beyond the pool before shedding (default: 16)
+  --deadline-ms N           default per-request deadline (default: 120000)
+  --idle-timeout-ms N       reap idle connections (default: 30000)
+  --write-timeout-ms N      slow-client write guard (default: 5000)
+  --drain-timeout-ms N      SIGTERM drain budget (default: 30000)
+  --checkpoint-every-ms N   worker checkpoint cadence, 0 = every chunk (default: 1000)
+  --retries N               worker relaunch budget per request (default: 2)
+  --backoff-ms N            base retry backoff (default: 200)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dcnserve: error: {msg}");
+    std::process::exit(1)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| fail(&format!("{flag} takes a value")))
+            .to_string()
+    })
+}
+
+fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
+    flag_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("{flag} takes an integer, got \"{v}\"")))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("request") => client_cmd(&args[1..], ClientOp::Request),
+        Some("ping") => client_cmd(&args[1..], ClientOp::Ping),
+        Some("stats") => client_cmd(&args[1..], ClientOp::Stats),
+        Some("worker") => worker_cmd(&args[1..]),
+        _ => fail(USAGE),
+    };
+    std::process::exit(code)
+}
+
+// ----------------------------------------------------------------- serve
+
+fn serve_cmd(args: &[String]) -> i32 {
+    let mut opts = ServeOptions {
+        tcp: flag_value(args, "--tcp"),
+        unix: flag_value(args, "--unix"),
+        ..ServeOptions::default()
+    };
+    if opts.tcp.is_none() && opts.unix.is_none() {
+        opts.tcp = Some("127.0.0.1:7440".to_string());
+    }
+    if let Some(d) = flag_value(args, "--state-dir") {
+        opts.state_dir = d;
+    }
+    opts.addr_file = flag_value(args, "--addr-file");
+    if let Some(n) = flag_u64(args, "--max-workers") {
+        opts.max_workers = n.max(1) as usize;
+    }
+    if let Some(n) = flag_u64(args, "--max-queue") {
+        opts.max_queue = n as usize;
+    }
+    if let Some(n) = flag_u64(args, "--deadline-ms") {
+        opts.default_deadline_ms = n;
+    }
+    if let Some(n) = flag_u64(args, "--idle-timeout-ms") {
+        opts.idle_timeout_ms = n;
+    }
+    if let Some(n) = flag_u64(args, "--write-timeout-ms") {
+        opts.write_timeout_ms = n;
+    }
+    if let Some(n) = flag_u64(args, "--drain-timeout-ms") {
+        opts.drain_timeout_ms = n;
+    }
+    if let Some(n) = flag_u64(args, "--checkpoint-every-ms") {
+        opts.checkpoint_every_ms = n;
+    }
+    if let Some(n) = flag_u64(args, "--retries") {
+        opts.retries = n as u32;
+    }
+    if let Some(n) = flag_u64(args, "--backoff-ms") {
+        opts.backoff_ms = n;
+    }
+    // Hidden chaos hook for the soak tests: every job's first worker
+    // attempt SIGKILLs itself after one checkpoint.
+    opts.inject_worker_crash = args.iter().any(|a| a == "--inject-worker-crash");
+    serve(opts)
+}
+
+// ---------------------------------------------------------------- worker
+
+/// Hidden subcommand: one supervised job, same CLI shape as `dcnrun
+/// worker`, body shared via `beyond_fattrees::jobs`.
+fn worker_cmd(args: &[String]) -> i32 {
+    let Some(cfg_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        fail("worker needs a config path");
+    };
+    let result = flag_value(args, "--result").unwrap_or_else(|| fail("worker needs --result"));
+    let ckpt = flag_value(args, "--ckpt").unwrap_or_else(|| fail("worker needs --ckpt"));
+    let every_ms = flag_u64(args, "--checkpoint-every-ms").unwrap_or(1000);
+    let hooks = CrashHooks {
+        die_after_checkpoints: flag_u64(args, "--die-after-checkpoints"),
+        stall_after_checkpoints: flag_u64(args, "--stall-after-checkpoints"),
+    };
+    jobs::worker_main("dcnserve", cfg_path, &result, &ckpt, every_ms, hooks)
+}
+
+// ---------------------------------------------------------------- client
+
+enum ClientOp {
+    Request,
+    Ping,
+    Stats,
+}
+
+enum ClientConn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for ClientConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientConn::Tcp(s) => s.read(buf),
+            ClientConn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientConn::Tcp(s) => s.write(buf),
+            ClientConn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientConn::Tcp(s) => s.flush(),
+            ClientConn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn connect(args: &[String]) -> ClientConn {
+    if let Some(addr) = flag_value(args, "--tcp") {
+        let s = TcpStream::connect(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+        let _ = s.set_read_timeout(Some(Duration::from_secs(600)));
+        let _ = s.set_write_timeout(Some(Duration::from_secs(30)));
+        ClientConn::Tcp(s)
+    } else if let Some(path) = flag_value(args, "--unix") {
+        let s =
+            UnixStream::connect(&path).unwrap_or_else(|e| fail(&format!("connect {path}: {e}")));
+        let _ = s.set_read_timeout(Some(Duration::from_secs(600)));
+        let _ = s.set_write_timeout(Some(Duration::from_secs(30)));
+        ClientConn::Unix(s)
+    } else {
+        fail("need --tcp ADDR or --unix PATH")
+    }
+}
+
+/// Sends one request, prints the result payload (for `request`) or the
+/// envelope (for `ping`/`stats`) on stdout. Exit code 0 only for an `ok`
+/// status.
+fn client_cmd(args: &[String], op: ClientOp) -> i32 {
+    let frame = match &op {
+        ClientOp::Ping => br#"{"op": "ping"}"#.to_vec(),
+        ClientOp::Stats => br#"{"op": "stats"}"#.to_vec(),
+        ClientOp::Request => {
+            let Some(cfg_path) = args.first().filter(|a| !a.starts_with("--")) else {
+                fail("request needs a config path");
+            };
+            let body = std::fs::read_to_string(cfg_path)
+                .unwrap_or_else(|e| fail(&format!("read {cfg_path}: {e}")));
+            let cfg =
+                Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse {cfg_path}: {e}")));
+            Request::run_frame(
+                cfg,
+                flag_u64(args, "--deadline-ms"),
+                args.iter().any(|a| a == "--no-cache"),
+            )
+        }
+    };
+    let mut conn = connect(args);
+    write_frame(&mut conn, &frame).unwrap_or_else(|e| fail(&format!("send request: {e}")));
+    let envelope_bytes =
+        read_frame(&mut conn).unwrap_or_else(|e| fail(&format!("read response: {e}")));
+    let envelope = String::from_utf8_lossy(&envelope_bytes).into_owned();
+    let status = Json::parse(&envelope)
+        .ok()
+        .and_then(|v| v.get("status").and_then(|s| s.as_str().map(str::to_string)))
+        .unwrap_or_else(|| "malformed".to_string());
+
+    match op {
+        ClientOp::Request if status == "ok" => {
+            eprintln!("dcnserve: {}", envelope.replace('\n', " "));
+            let payload =
+                read_frame(&mut conn).unwrap_or_else(|e| fail(&format!("read result: {e}")));
+            std::io::stdout()
+                .write_all(&payload)
+                .unwrap_or_else(|e| fail(&format!("stdout: {e}")));
+            0
+        }
+        ClientOp::Request => {
+            eprintln!("dcnserve: request failed:\n{envelope}");
+            1
+        }
+        ClientOp::Ping | ClientOp::Stats => {
+            println!("{envelope}");
+            i32::from(status != "ok")
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The supervised-worker job runner shared by `dcnrun` and `dcnserve`.
+//!
+//! Both binaries execute experiments in disposable worker processes so a
+//! crash, OOM kill, or live-lock loses at most one checkpoint interval.
+//! This module is the worker's body: drive a materialized
+//! [`Experiment`](crate::config::Experiment) in simulated-time chunks,
+//! checkpoint full simulator state on a wall-clock cadence, resume
+//! automatically from an existing checkpoint, and render the final result
+//! as deterministic JSON bytes — a crashed-and-resumed job produces bytes
+//! identical to an uninterrupted one, which is what lets `dcnserve` cache
+//! results and serve them interchangeably with fresh computations.
+//!
+//! Failures carry the `dcn_bench::supervise` exit-code taxonomy so the
+//! supervising parent (either binary) classifies them without parsing
+//! stderr: config problems are final, crashes are retryable, corrupt
+//! checkpoints break the resume chain and are final.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use crate::config::Experiment;
+use crate::prelude::*;
+use dcn_bench::supervise::{EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_CRASH};
+
+/// Failure-injection hooks threaded from hidden CLI flags; they make the
+/// supervision paths testable against genuinely unclean deaths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrashHooks {
+    /// SIGKILL the process right after writing the Nth checkpoint.
+    pub die_after_checkpoints: Option<u64>,
+    /// Hang forever right after writing the Nth checkpoint.
+    pub stall_after_checkpoints: Option<u64>,
+}
+
+/// Why a job could not produce result bytes, carrying the exit code the
+/// worker process should die with.
+#[derive(Debug)]
+pub struct JobFailure {
+    pub exit_code: i32,
+    pub message: String,
+}
+
+impl JobFailure {
+    fn config(message: String) -> Self {
+        JobFailure {
+            exit_code: EXIT_CONFIG,
+            message,
+        }
+    }
+
+    fn crash(message: String) -> Self {
+        JobFailure {
+            exit_code: EXIT_CRASH,
+            message,
+        }
+    }
+
+    fn corrupt(message: String) -> Self {
+        JobFailure {
+            exit_code: EXIT_CKPT_CORRUPT,
+            message,
+        }
+    }
+}
+
+/// Kills the current process without running destructors or exit
+/// handlers — the crash-injection hook, so resume is exercised against a
+/// genuinely unclean death.
+fn die_uncleanly() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("kill").args(["-9", &pid]).status();
+    std::process::abort() // no `kill` binary: SIGABRT is unclean enough
+}
+
+/// Builds a fresh (non-resumed) simulator for `exp`, with the config's
+/// observability destinations attached.
+fn fresh_simulator(exp: &Experiment) -> Result<Simulator, JobFailure> {
+    let mut s = Simulator::new(&exp.topo, exp.routing.selector(&exp.topo), exp.sim);
+    s.set_window(exp.window.0, exp.window.1);
+    s.inject(&exp.flows);
+    if let Some(plan) = &exp.faults {
+        s.set_fault_plan(plan);
+    }
+    if let Some(p) = &exp.trace {
+        match JsonlTracer::create(p) {
+            Ok(t) => s.set_tracer(Box::new(t)),
+            Err(e) => return Err(JobFailure::config(format!("open trace {p}: {e}"))),
+        }
+    }
+    if let Some(p) = &exp.telemetry {
+        match Telemetry::to_file(p, exp.telemetry_every_ns) {
+            Ok(t) => s.set_telemetry(t),
+            Err(e) => return Err(JobFailure::config(format!("open telemetry {p}: {e}"))),
+        }
+    }
+    Ok(s)
+}
+
+/// Runs `exp` to completion with periodic checkpoints and returns the
+/// result JSON bytes. If `ckpt_path` already holds a checkpoint, the run
+/// resumes from it (the supervisor removes stale ones before a fresh
+/// job); `every_ms` is the wall-clock checkpoint cadence, 0 meaning every
+/// simulated-time chunk (the deterministic test mode).
+///
+/// The result is derived from simulator state only, so a crashed-and-
+/// resumed job returns byte-identical bytes to an uninterrupted one.
+pub fn run_job(
+    tool: &str,
+    exp: &Experiment,
+    ckpt_path: &str,
+    every_ms: u64,
+    hooks: CrashHooks,
+) -> Result<Vec<u8>, JobFailure> {
+    let mut sim = if std::fs::metadata(ckpt_path).is_ok() {
+        let ckpt = Checkpoint::load(ckpt_path)
+            .map_err(|e| JobFailure::corrupt(format!("load checkpoint {ckpt_path}: {e}")))?;
+        let s = Simulator::restore(&exp.topo, exp.routing.selector(&exp.topo), exp.sim, &ckpt)
+            .map_err(|e| JobFailure::corrupt(format!("restore {ckpt_path}: {e}")))?;
+        eprintln!(
+            "{tool}: resumed from {ckpt_path} at t={} ns ({} events)",
+            s.now(),
+            s.events_processed()
+        );
+        s
+    } else {
+        fresh_simulator(exp)?
+    };
+
+    // Drive in simulated-time chunks; between chunks, checkpoint on the
+    // wall-clock cadence (0 = every chunk, the deterministic test mode).
+    let chunk = (exp.max_time / 200).max(1);
+    let mut written = 0u64;
+    let mut last_ckpt = Instant::now();
+    let mut done = false;
+    // First chunk boundary strictly ahead of the clock (resume lands
+    // exactly on one).
+    let mut stop = (sim.now() / chunk + 1) * chunk;
+    while stop < exp.max_time {
+        done = sim.run_until(stop);
+        stop += chunk;
+        if done {
+            break;
+        }
+        if every_ms == 0 || last_ckpt.elapsed() >= Duration::from_millis(every_ms) {
+            let ckpt = sim
+                .checkpoint()
+                .map_err(|e| JobFailure::config(format!("checkpoint: {e}")))?;
+            ckpt.save(ckpt_path)
+                .map_err(|e| JobFailure::crash(format!("save checkpoint {ckpt_path}: {e}")))?;
+            written += 1;
+            last_ckpt = Instant::now();
+            if hooks.die_after_checkpoints == Some(written) {
+                die_uncleanly();
+            }
+            if hooks.stall_after_checkpoints == Some(written) {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600)); // hang forever
+                }
+            }
+        }
+    }
+    if !done {
+        sim.run_until(exp.max_time);
+    }
+    let records = sim.finish();
+    let m = compute_metrics(&records, exp.window.0, exp.window.1);
+    let drops = sim.drop_breakdown();
+
+    let report = dcn_json::Json::obj(vec![
+        ("seed", dcn_json::Json::from(exp.seed)),
+        ("topology", dcn_json::Json::from(exp.topo.name())),
+        ("flows_measured", dcn_json::Json::from(m.flows)),
+        ("completed", dcn_json::Json::from(m.completed)),
+        ("failed", dcn_json::Json::from(m.failed)),
+        ("avg_fct_ms", dcn_json::Json::from(m.avg_fct_ms)),
+        ("p99_short_fct_ms", dcn_json::Json::from(m.p99_short_fct_ms)),
+        (
+            "avg_long_tput_gbps",
+            dcn_json::Json::from(m.avg_long_tput_gbps),
+        ),
+        (
+            "congestion_drops",
+            dcn_json::Json::from(drops.congestion + drops.eviction),
+        ),
+        (
+            "fault_drops",
+            dcn_json::Json::from(drops.fault + drops.noroute),
+        ),
+        ("ecn_marks", dcn_json::Json::from(sim.total_marks())),
+        ("events", dcn_json::Json::from(sim.events_processed())),
+    ]);
+    let mut body = report.pretty();
+    body.push('\n');
+    Ok(body.into_bytes())
+}
+
+/// The full hidden-`worker`-subcommand body shared by `dcnrun` and
+/// `dcnserve`: load the config, run the job (resuming if a checkpoint
+/// exists), write the result atomically, clean up the checkpoint, and
+/// return the process exit code from the supervise taxonomy.
+pub fn worker_main(
+    tool: &str,
+    cfg_path: &str,
+    result_path: &str,
+    ckpt_path: &str,
+    every_ms: u64,
+    hooks: CrashHooks,
+) -> i32 {
+    let exp = match crate::config::load_experiment(cfg_path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{tool}: error: {e}");
+            return EXIT_CONFIG;
+        }
+    };
+    let bytes = match run_job(tool, &exp, ckpt_path, every_ms, hooks) {
+        Ok(b) => b,
+        Err(f) => {
+            eprintln!("{tool}: error: {}", f.message);
+            return f.exit_code;
+        }
+    };
+    if let Err(e) = dcn_core::write_atomic(result_path, &bytes) {
+        eprintln!("{tool}: error: write result {result_path}: {e}");
+        return EXIT_CRASH;
+    }
+    let _ = std::fs::remove_file(ckpt_path); // job done; nothing to resume
+    dcn_bench::supervise::EXIT_OK
+}

@@ -38,6 +38,8 @@
 //! ```
 
 pub mod config;
+pub mod jobs;
+pub mod serve;
 
 pub use dcn_core as core;
 pub use dcn_flowsim as flowsim;

@@ -1,0 +1,181 @@
+//! Admission control for `dcnserve`: a fixed worker pool fronted by a
+//! bounded wait queue.
+//!
+//! The overload policy is *shed, never stall*: when all worker slots are
+//! busy a request may wait in the queue, but once the queue is full new
+//! requests are rejected immediately with an explicit `overloaded`
+//! response. A queued request waits no longer than its own deadline —
+//! there is no path on which a client blocks indefinitely, so a traffic
+//! spike degrades into fast rejections instead of a pile of hung
+//! connections (which is how daemons wedge).
+//!
+//! Implementation is a hand-rolled counting semaphore (`Mutex` +
+//! `Condvar`, hermetic workspace) whose permits release on drop, so a
+//! panicking connection thread can never leak a worker slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How an admission attempt ended.
+#[derive(Debug)]
+pub enum Admit {
+    /// A worker slot is held until the [`Permit`] drops.
+    Granted(Permit),
+    /// Worker pool busy *and* queue full: shed the request now.
+    Overloaded,
+    /// Queued, but the request's deadline passed before a slot freed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug, Default)]
+struct Counts {
+    running: usize,
+    queued: usize,
+}
+
+/// The gate itself. Clone the [`Arc`] freely; all connection threads
+/// share one.
+#[derive(Debug)]
+pub struct Admission {
+    counts: Mutex<Counts>,
+    freed: Condvar,
+    max_workers: usize,
+    max_queue: usize,
+    /// Total requests shed with `Overloaded` (stats visibility).
+    pub shed: AtomicU64,
+}
+
+impl Admission {
+    pub fn new(max_workers: usize, max_queue: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            counts: Mutex::new(Counts::default()),
+            freed: Condvar::new(),
+            max_workers: max_workers.max(1),
+            max_queue,
+            shed: AtomicU64::new(0),
+        })
+    }
+
+    /// Tries to take a worker slot, waiting in the bounded queue until
+    /// `deadline` if the pool is busy.
+    pub fn acquire(self: &Arc<Self>, deadline: Instant) -> Admit {
+        let mut counts = self.counts.lock().unwrap();
+        if counts.running < self.max_workers {
+            counts.running += 1;
+            return Admit::Granted(Permit {
+                gate: Arc::clone(self),
+            });
+        }
+        if counts.queued >= self.max_queue {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Admit::Overloaded;
+        }
+        counts.queued += 1;
+        loop {
+            let now = Instant::now();
+            if counts.running < self.max_workers {
+                counts.queued -= 1;
+                counts.running += 1;
+                return Admit::Granted(Permit {
+                    gate: Arc::clone(self),
+                });
+            }
+            if now >= deadline {
+                counts.queued -= 1;
+                return Admit::DeadlineExceeded;
+            }
+            let (c, _timed_out) = self
+                .freed
+                .wait_timeout(counts, deadline.duration_since(now))
+                .unwrap();
+            counts = c;
+        }
+    }
+
+    /// Snapshot of (running, queued) — stats visibility.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let c = self.counts.lock().unwrap();
+        (c.running, c.queued)
+    }
+}
+
+/// A held worker slot; releasing is infallible and automatic.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<Admission>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut counts = self.gate.counts.lock().unwrap();
+        counts.running -= 1;
+        drop(counts);
+        self.gate.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn soon(ms: u64) -> Instant {
+        Instant::now() + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn grants_up_to_capacity_then_sheds() {
+        let gate = Admission::new(2, 0);
+        let a = gate.acquire(soon(10));
+        let b = gate.acquire(soon(10));
+        assert!(matches!(a, Admit::Granted(_)));
+        assert!(matches!(b, Admit::Granted(_)));
+        // Pool full, queue of 0: immediate shed, no waiting.
+        let t0 = Instant::now();
+        assert!(matches!(gate.acquire(soon(5_000)), Admit::Overloaded));
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "shed must not stall"
+        );
+        assert_eq!(gate.shed.load(Ordering::Relaxed), 1);
+        drop(a);
+        assert!(matches!(gate.acquire(soon(10)), Admit::Granted(_)));
+    }
+
+    #[test]
+    fn queued_request_wakes_when_slot_frees() {
+        let gate = Admission::new(1, 1);
+        let held = gate.acquire(soon(10));
+        assert!(matches!(held, Admit::Granted(_)));
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || g2.acquire(soon(5_000)));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(gate.occupancy(), (1, 1));
+        drop(held);
+        assert!(matches!(waiter.join().unwrap(), Admit::Granted(_)));
+    }
+
+    #[test]
+    fn queued_request_times_out_at_deadline() {
+        let gate = Admission::new(1, 4);
+        let _held = gate.acquire(soon(10));
+        let t0 = Instant::now();
+        assert!(matches!(gate.acquire(soon(100)), Admit::DeadlineExceeded));
+        assert!(t0.elapsed() >= Duration::from_millis(100));
+        assert_eq!(gate.occupancy(), (1, 0), "timed-out waiter left the queue");
+    }
+
+    #[test]
+    fn permit_drop_is_panic_safe() {
+        let gate = Admission::new(1, 0);
+        let g2 = Arc::clone(&gate);
+        let _ = std::thread::spawn(move || {
+            let _p = g2.acquire(soon(10));
+            panic!("connection thread dies");
+        })
+        .join();
+        // The slot must have been released by the unwinding drop.
+        assert!(matches!(gate.acquire(soon(10)), Admit::Granted(_)));
+    }
+}

@@ -1,0 +1,330 @@
+//! The self-healing content-addressed artifact cache behind `dcnserve`.
+//!
+//! Results are keyed by what they *are*, not when they were computed: a
+//! [`CacheKey`] combines the topology fingerprint (FNV-1a over the full
+//! structure), the simulator-config fingerprint, the fault-plan digest —
+//! the same provenance fields run manifests record — and an FNV-1a digest
+//! of the canonicalized request config (covering workload, seed, λ,
+//! window: everything the other three don't). Two requests with the same
+//! key would simulate the identical experiment, so one result serves
+//! both.
+//!
+//! Entries are **checksummed on every read** and written atomically via
+//! [`dcn_core::write_atomic`]. The on-disk format is
+//!
+//! ```text
+//! magic "DCNCACHE1" | payload len u64 LE | payload | FNV-1a of all prior bytes
+//! ```
+//!
+//! A truncated, bit-flipped, or otherwise damaged entry is *quarantined*
+//! — moved into `quarantine/` for post-mortem, never deleted silently,
+//! never served — and the lookup reports a miss so the daemon
+//! transparently recomputes. Corruption is an availability event, not a
+//! correctness one.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: &[u8; 9] = b"DCNCACHE1";
+/// magic + payload length.
+const HEADER_LEN: usize = 9 + 8;
+
+/// FNV-1a over a byte string — the workspace's standard content hash
+/// (topology fingerprints and checkpoint checksums use the same one).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The identity of one experiment result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Topology::fingerprint`](dcn_topology::Topology::fingerprint).
+    pub topo: u64,
+    /// [`config_fingerprint`](dcn_sim::config_fingerprint) of the `SimConfig`.
+    pub sim_cfg: u64,
+    /// [`FaultPlan::digest`](dcn_sim::FaultPlan::digest), 0 when faultless.
+    pub faults: u64,
+    /// FNV-1a of the canonicalized request config JSON.
+    pub request: u64,
+}
+
+impl CacheKey {
+    /// The entry's file stem: 16 hex digits of the combined hash.
+    pub fn hex(&self) -> String {
+        let mut buf = [0u8; 32];
+        buf[..8].copy_from_slice(&self.topo.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.sim_cfg.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.faults.to_le_bytes());
+        buf[24..].copy_from_slice(&self.request.to_le_bytes());
+        format!("{:016x}", fnv1a(&buf))
+    }
+}
+
+/// Outcome of a cache read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// A verified entry: these bytes are exactly what was stored.
+    Hit(Vec<u8>),
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but failed verification; it has been moved to
+    /// quarantine and the caller must recompute.
+    Quarantined(String),
+}
+
+/// Read-side counters, exported through the daemon's `stats` op.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub stores: AtomicU64,
+    pub quarantined: AtomicU64,
+}
+
+/// A directory of checksummed result artifacts.
+pub struct ArtifactCache {
+    dir: PathBuf,
+    pub stats: CacheStats,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) the cache directory and its
+    /// `quarantine/` sibling.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join("quarantine"))?;
+        Ok(ArtifactCache {
+            dir,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Path of the entry for `key`.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.res", key.hex()))
+    }
+
+    /// Where a corrupt entry for `key` ends up.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Verifies and decodes one entry image.
+    fn decode(data: &[u8]) -> Result<Vec<u8>, String> {
+        if data.len() < HEADER_LEN + 8 {
+            return Err("entry truncated: shorter than header".into());
+        }
+        if &data[..9] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let len = u64::from_le_bytes(data[9..17].try_into().unwrap()) as usize;
+        let want_total = HEADER_LEN + len + 8;
+        if data.len() != want_total {
+            return Err(format!(
+                "entry length mismatch: header says {want_total} bytes, file has {}",
+                data.len()
+            ));
+        }
+        let body = &data[..data.len() - 8];
+        let want = u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap());
+        if fnv1a(body) != want {
+            return Err("checksum mismatch".into());
+        }
+        Ok(data[HEADER_LEN..HEADER_LEN + len].to_vec())
+    }
+
+    /// Looks `key` up, verifying the checksum before trusting a byte. A
+    /// damaged entry is renamed into `quarantine/` (a unique name, so
+    /// repeated corruption never overwrites evidence) and reported as
+    /// [`Lookup::Quarantined`].
+    pub fn load(&self, key: &CacheKey) -> Lookup {
+        let path = self.entry_path(key);
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss;
+            }
+            Err(e) => {
+                // Unreadable is as good as corrupt: fail toward recompute.
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Quarantined(format!("read {}: {e}", path.display()));
+            }
+        };
+        match Self::decode(&data) {
+            Ok(bytes) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(bytes)
+            }
+            Err(why) => {
+                let n = self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                let dest = self
+                    .quarantine_dir()
+                    .join(format!("{}.{}.res", key.hex(), n));
+                let moved = std::fs::rename(&path, &dest);
+                let note = match moved {
+                    Ok(()) => format!("{why}; quarantined to {}", dest.display()),
+                    Err(e) => {
+                        // Cannot move it aside: remove so it is never
+                        // re-read as truth.
+                        let _ = std::fs::remove_file(&path);
+                        format!("{why}; quarantine rename failed ({e}), entry removed")
+                    }
+                };
+                Lookup::Quarantined(note)
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, atomically (temporary + fsync +
+    /// rename + parent fsync), so a crash mid-store leaves either the old
+    /// entry or the new one — never a torn file.
+    pub fn store(&self, key: &CacheKey, payload: &[u8]) -> io::Result<()> {
+        let mut image = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+        image.extend_from_slice(MAGIC);
+        image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        image.extend_from_slice(payload);
+        let sum = fnv1a(&image);
+        image.extend_from_slice(&sum.to_le_bytes());
+        dcn_core::write_atomic(self.entry_path(key), &image)?;
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of quarantined files on disk (test/debug visibility).
+    pub fn quarantined_on_disk(&self) -> usize {
+        std::fs::read_dir(self.quarantine_dir())
+            .map(|it| it.count())
+            .unwrap_or(0)
+    }
+}
+
+/// `Path`-taking convenience used by tests and the CI gate.
+pub fn entry_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|it| {
+            it.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "res"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            topo: n,
+            sim_cfg: n ^ 1,
+            faults: 0,
+            request: n.wrapping_mul(7),
+        }
+    }
+
+    fn fresh(name: &str) -> ArtifactCache {
+        let dir =
+            std::env::temp_dir().join(format!("dcnserve_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let c = fresh("roundtrip");
+        let k = key(1);
+        assert_eq!(c.load(&k), Lookup::Miss);
+        c.store(&k, b"{\"avg_fct_ms\": 1.5}\n").unwrap();
+        assert_eq!(c.load(&k), Lookup::Hit(b"{\"avg_fct_ms\": 1.5}\n".to_vec()));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let c = fresh("keys");
+        c.store(&key(1), b"one").unwrap();
+        c.store(&key(2), b"two").unwrap();
+        assert_eq!(c.load(&key(1)), Lookup::Hit(b"one".to_vec()));
+        assert_eq!(c.load(&key(2)), Lookup::Hit(b"two".to_vec()));
+        // Any single component changing changes the key.
+        let base = key(1);
+        for k in [
+            CacheKey { topo: 99, ..base },
+            CacheKey {
+                sim_cfg: 99,
+                ..base
+            },
+            CacheKey { faults: 99, ..base },
+            CacheKey {
+                request: 99,
+                ..base
+            },
+        ] {
+            assert_ne!(k.hex(), base.hex());
+        }
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn bit_flip_quarantines_and_recovers() {
+        let c = fresh("bitflip");
+        let k = key(3);
+        c.store(&k, b"the truth").unwrap();
+        let path = c.entry_path(&k);
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+
+        match c.load(&k) {
+            Lookup::Quarantined(why) => assert!(why.contains("quarantined"), "{why}"),
+            other => panic!("corrupt entry served: {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt entry must leave the serving path");
+        assert_eq!(c.quarantined_on_disk(), 1);
+        // Self-healing: the recomputed result stores and serves again.
+        c.store(&k, b"the truth").unwrap();
+        assert_eq!(c.load(&k), Lookup::Hit(b"the truth".to_vec()));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_quarantine() {
+        let c = fresh("trunc");
+        let k = key(4);
+        c.store(&k, b"0123456789").unwrap();
+        let path = c.entry_path(&k);
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
+
+        c.store(&k, b"0123456789").unwrap();
+        let mut data = std::fs::read(c.entry_path(&k)).unwrap();
+        data[0] = b'X';
+        std::fs::write(c.entry_path(&k), &data).unwrap();
+        assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
+        assert_eq!(c.quarantined_on_disk(), 2, "evidence never overwritten");
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn empty_and_header_only_files_quarantine() {
+        let c = fresh("tiny");
+        let k = key(5);
+        std::fs::write(c.entry_path(&k), b"").unwrap();
+        assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
+        std::fs::write(c.entry_path(&k), MAGIC).unwrap();
+        assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+}

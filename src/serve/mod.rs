@@ -1,0 +1,21 @@
+//! `dcnserve`: a crash-tolerant, long-running experiment service.
+//!
+//! This module tree is the system *around* runs — PR 5 made individual
+//! runs crash-safe (checkpoints, supervision); this layer keeps serving
+//! correct results through worker crashes, hung jobs, corrupt cache
+//! entries, slow clients, and overload:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`protocol`] | length-prefixed JSON frames, request/response shapes |
+//! | [`cache`] | checksummed content-addressed artifact cache with quarantine |
+//! | [`admission`] | bounded-queue admission control (shed, never stall) |
+//! | [`server`] | accept loop, coalescing, worker supervision, drain |
+//!
+//! The binary lives in `src/bin/dcnserve.rs`; job execution is shared
+//! with `dcnrun` through [`crate::jobs`].
+
+pub mod admission;
+pub mod cache;
+pub mod protocol;
+pub mod server;

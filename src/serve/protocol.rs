@@ -1,0 +1,291 @@
+//! Wire protocol for `dcnserve`: length-prefixed JSON frames.
+//!
+//! Every message is one *frame*: a little-endian `u32` byte length
+//! followed by that many bytes of UTF-8 JSON. Frames are capped at
+//! [`MAX_FRAME`] so a malicious or corrupted length prefix cannot make
+//! the server allocate unbounded memory.
+//!
+//! A conversation is: the client sends one request frame, the server
+//! answers with one *envelope* frame (`{"status": ...}`), and — only when
+//! the status is `"ok"` for a `run` request — one *payload* frame holding
+//! the raw result bytes exactly as the worker wrote them. Shipping the
+//! payload as opaque bytes (not re-parsed JSON) is what makes the
+//! cold-run / warm-cache / recomputed-after-corruption responses provably
+//! byte-identical.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op": "run", "config": {...}, "deadline_ms": 30000, "no_cache": false}
+//! {"op": "ping"}
+//! {"op": "stats"}
+//! ```
+//!
+//! Envelope statuses: `ok`, `overloaded`, `draining`, `deadline_exceeded`,
+//! and `error` (with `kind` ∈ `config` / `crash` / `checkpoint_corrupt` /
+//! `internal` and a human `message`).
+
+use std::io::{self, Read, Write};
+
+use dcn_json::Json;
+
+/// Hard cap on a single frame, requests and responses alike.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// How reading a frame can end short of a complete message. Timeouts are
+/// split from other I/O errors because the server treats them as *policy*
+/// (idle reaping, drain polling), not failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer disconnected mid-frame — a truncated message.
+    Truncated,
+    /// The read timed out (the stream has a read timeout installed).
+    TimedOut,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "peer disconnected mid-frame"),
+            FrameError::TimedOut => write!(f, "read timed out"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            FrameError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+fn classify(e: io::Error, started: bool) -> FrameError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+        io::ErrorKind::UnexpectedEof if started => FrameError::Truncated,
+        io::ErrorKind::UnexpectedEof => FrameError::Closed,
+        _ => FrameError::Io(e.to_string()),
+    }
+}
+
+/// Reads exactly one frame. `Closed` means the peer finished the
+/// conversation cleanly (EOF on a frame boundary); any mid-frame EOF is
+/// `Truncated` — the caller must not treat partial bytes as a message.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(classify(e, got > 0)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(classify(e, true)),
+        }
+    }
+    Ok(body)
+}
+
+/// Writes one frame and flushes. The caller installs write timeouts on
+/// the stream; a slow client surfaces here as an error, never a stall.
+pub fn write_frame(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds cap {MAX_FRAME}", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    Run {
+        config: Json,
+        /// Wall-clock budget for the whole request, ms.
+        deadline_ms: Option<u64>,
+        /// Skip the cache read (the result is still stored).
+        no_cache: bool,
+    },
+    Ping,
+    Stats,
+}
+
+impl Request {
+    /// Parses a request frame; errors are one-line human messages the
+    /// server echoes back in a `config`-kind error envelope.
+    pub fn parse(bytes: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "request is not UTF-8".to_string())?;
+        let v = Json::parse(text).map_err(|e| format!("request is not JSON: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(|o| o.as_str())
+            .ok_or("request needs an \"op\" string")?;
+        Ok(match op {
+            "ping" => Request::Ping,
+            "stats" => Request::Stats,
+            "run" => Request::Run {
+                config: v.get("config").cloned().ok_or("run needs a \"config\"")?,
+                deadline_ms: match v.get("deadline_ms") {
+                    None => None,
+                    Some(d) => Some(d.as_u64().ok_or("\"deadline_ms\" must be an integer")?),
+                },
+                no_cache: v.get("no_cache").and_then(|b| b.as_bool()).unwrap_or(false),
+            },
+            other => return Err(format!("unknown op \"{other}\"")),
+        })
+    }
+
+    /// Serializes a `run` request body (the client side of [`parse`]).
+    pub fn run_frame(config: Json, deadline_ms: Option<u64>, no_cache: bool) -> Vec<u8> {
+        let mut fields = vec![("op", Json::from("run")), ("config", config)];
+        if let Some(d) = deadline_ms {
+            fields.push(("deadline_ms", Json::from(d)));
+        }
+        if no_cache {
+            fields.push(("no_cache", Json::from(true)));
+        }
+        Json::obj(fields).pretty().into_bytes()
+    }
+}
+
+/// Envelope builders — one place so the status vocabulary stays closed.
+pub mod envelope {
+    use super::Json;
+
+    pub fn ok_run(cached: bool, key: &str, attempts: u32) -> Vec<u8> {
+        Json::obj(vec![
+            ("status", Json::from("ok")),
+            ("cached", Json::from(cached)),
+            ("key", Json::from(key)),
+            ("attempts", Json::from(attempts as u64)),
+        ])
+        .pretty()
+        .into_bytes()
+    }
+
+    pub fn ok_fields(fields: Vec<(&str, Json)>) -> Vec<u8> {
+        let mut all = vec![("status", Json::from("ok"))];
+        all.extend(fields);
+        Json::obj(all).pretty().into_bytes()
+    }
+
+    pub fn status(s: &str) -> Vec<u8> {
+        Json::obj(vec![("status", Json::from(s))])
+            .pretty()
+            .into_bytes()
+    }
+
+    pub fn error(kind: &str, message: &str) -> Vec<u8> {
+        Json::obj(vec![
+            ("status", Json::from("error")),
+            ("kind", Json::from(kind)),
+            ("message", Json::from(message)),
+        ])
+        .pretty()
+        .into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_frames_are_not_messages() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        // Cut mid-payload and mid-length-prefix.
+        let mut r = &buf[..7];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        let mut r = &buf[..2];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(b"junk");
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn requests_parse() {
+        let f = Request::run_frame(
+            Json::obj(vec![("lambda", Json::from(1.0))]),
+            Some(500),
+            true,
+        );
+        match Request::parse(&f).unwrap() {
+            Request::Run {
+                config,
+                deadline_ms,
+                no_cache,
+            } => {
+                assert!(config.get("lambda").is_some());
+                assert_eq!(deadline_ms, Some(500));
+                assert!(no_cache);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(
+            Request::parse(br#"{"op": "ping"}"#).unwrap(),
+            Request::Ping
+        ));
+        assert!(matches!(
+            Request::parse(br#"{"op": "stats"}"#).unwrap(),
+            Request::Stats
+        ));
+    }
+
+    #[test]
+    fn bad_requests_are_one_line_errors() {
+        assert!(Request::parse(b"\xff\xfe").unwrap_err().contains("UTF-8"));
+        assert!(Request::parse(b"{").unwrap_err().contains("JSON"));
+        assert!(Request::parse(b"{}").unwrap_err().contains("\"op\""));
+        assert!(Request::parse(br#"{"op": "dance"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::parse(br#"{"op": "run"}"#)
+            .unwrap_err()
+            .contains("config"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Integration: chaos soak against a live `dcnserve` daemon. A fleet of
+//! concurrent clients hammers the service while every job's first worker
+//! attempt is SIGKILLed mid-run, cache entries are bit-flipped on disk,
+//! and misbehaving clients send garbage or vanish mid-stream — and every
+//! *completed* response must still be byte-identical to a direct
+//! in-process run of the same experiment. Then SIGTERM must drain the
+//! daemon cleanly (exit 0).
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use beyond_fattrees::jobs::{self, CrashHooks};
+use beyond_fattrees::serve::protocol::{read_frame, write_frame, Request};
+use dcn_json::Json;
+
+fn config_json(seed: u64, lambda: u64, window_hi_ms: u64) -> String {
+    format!(
+        r#"{{
+  "topology": {{ "kind": "fat_tree", "k": 4 }},
+  "routing": {{ "kind": "ecmp" }},
+  "workload": {{ "pattern": {{ "kind": "all_to_all" }} }},
+  "lambda": {lambda}.0,
+  "window_ms": [0, {window_hi_ms}],
+  "seed": {seed}
+}}
+"#
+    )
+}
+
+/// Computes the ground truth the daemon must reproduce: the same job run
+/// directly in-process, uninterrupted, no checkpoints.
+fn expected_bytes(cfg: &str, tag: &str) -> Vec<u8> {
+    let dir = std::env::temp_dir();
+    let cfg_path = dir.join(format!("serve_soak_{tag}_{}.json", std::process::id()));
+    std::fs::write(&cfg_path, cfg).expect("write config");
+    let exp = beyond_fattrees::config::load_experiment(cfg_path.to_str().unwrap())
+        .expect("load experiment");
+    let ckpt = dir.join(format!("serve_soak_{tag}_{}.ckpt", std::process::id()));
+    let bytes = jobs::run_job(
+        "soak",
+        &exp,
+        ckpt.to_str().unwrap(),
+        3_600_000, // cadence far beyond the run: no checkpoints taken
+        CrashHooks::default(),
+    )
+    .expect("direct run");
+    let _ = std::fs::remove_file(&cfg_path);
+    let _ = std::fs::remove_file(&ckpt);
+    bytes
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    state_dir: std::path::PathBuf,
+}
+
+impl Daemon {
+    /// Spawns a daemon on an ephemeral port and waits for its addr file.
+    fn spawn(tag: &str, extra: &[&str]) -> Daemon {
+        let root = std::env::temp_dir().join(format!("serve_soak_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let addr_file = root.join("addr");
+        let state_dir = root.join("state");
+        let mut args = vec![
+            "serve".to_string(),
+            "--tcp".into(),
+            "127.0.0.1:0".into(),
+            "--addr-file".into(),
+            addr_file.to_string_lossy().into_owned(),
+            "--state-dir".into(),
+            state_dir.to_string_lossy().into_owned(),
+            "--checkpoint-every-ms".into(),
+            "0".into(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let child = Command::new(env!("CARGO_BIN_EXE_dcnserve"))
+            .args(&args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dcnserve");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                if let Some(line) = s.lines().next().filter(|l| !l.is_empty()) {
+                    break line.to_string();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never wrote its addr file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Daemon {
+            child,
+            addr,
+            state_dir,
+        }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let s = TcpStream::connect(&self.addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        s.set_write_timeout(Some(Duration::from_secs(30))).unwrap();
+        s
+    }
+
+    /// Sends one run request; returns (status, payload-if-ok).
+    fn request(&self, cfg: &str, deadline_ms: Option<u64>, no_cache: bool) -> (String, Vec<u8>) {
+        let mut conn = self.connect();
+        let frame = Request::run_frame(Json::parse(cfg).expect("parse cfg"), deadline_ms, no_cache);
+        write_frame(&mut conn, &frame).expect("send");
+        let envelope = read_frame(&mut conn).expect("read envelope");
+        let env = Json::parse(&String::from_utf8_lossy(&envelope)).expect("parse envelope");
+        let status = env
+            .get("status")
+            .and_then(|s| s.as_str().map(str::to_string))
+            .unwrap_or_default();
+        if status == "ok" {
+            (status, read_frame(&mut conn).expect("read payload"))
+        } else {
+            (status, Vec::new())
+        }
+    }
+
+    /// SIGTERM, then the exit code.
+    fn terminate(mut self) -> i32 {
+        let pid = self.child.id().to_string();
+        let _ = Command::new("kill").args(["-TERM", &pid]).status();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(st) = self.child.try_wait().expect("wait daemon") {
+                let _ = std::fs::remove_dir_all(self.state_dir.parent().unwrap());
+                return st.code().unwrap_or(-1);
+            }
+            assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill(); // safety net if an assert fired first
+        let _ = self.child.wait();
+    }
+}
+
+/// The headline chaos soak: crash-injected workers + concurrent clients +
+/// cache corruption + protocol abuse, with byte-identical results and a
+/// clean drain at the end.
+#[test]
+fn soak_survives_worker_kills_cache_rot_and_bad_clients() {
+    let cfg_a = config_json(7, 300, 2);
+    let cfg_b = config_json(8, 300, 2);
+    let want_a = Arc::new(expected_bytes(&cfg_a, "a"));
+    let want_b = Arc::new(expected_bytes(&cfg_b, "b"));
+    assert_ne!(
+        *want_a, *want_b,
+        "configs must differ for the test to mean anything"
+    );
+
+    // Every job's first worker attempt SIGKILLs itself after one
+    // checkpoint; the supervisor must resume it to the same bytes.
+    let d = Arc::new(Daemon::spawn(
+        "chaos",
+        &[
+            "--inject-worker-crash",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "50",
+        ],
+    ));
+
+    // Client fleet: 6 threads × 3 requests, alternating configs.
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let (d, cfg_a, cfg_b) = (Arc::clone(&d), cfg_a.clone(), cfg_b.clone());
+        let (want_a, want_b) = (Arc::clone(&want_a), Arc::clone(&want_b));
+        handles.push(std::thread::spawn(move || {
+            for i in 0..3u64 {
+                let (cfg, want) = if (t + i) % 2 == 0 {
+                    (&cfg_a, &want_a)
+                } else {
+                    (&cfg_b, &want_b)
+                };
+                let (status, payload) = d.request(cfg, None, false);
+                assert_eq!(status, "ok", "fleet request must complete");
+                assert_eq!(
+                    payload, **want,
+                    "thread {t} iter {i}: response diverges from a direct run"
+                );
+            }
+        }));
+    }
+
+    // Chaos alongside the fleet: protocol abuse and vanishing clients.
+    {
+        // Garbage frame: daemon answers a config error, stays up.
+        let mut conn = d.connect();
+        write_frame(&mut conn, b"this is not json").expect("send garbage");
+        let env = read_frame(&mut conn).expect("garbage still gets an answer");
+        assert!(String::from_utf8_lossy(&env).contains("error"));
+    }
+    {
+        // Oversized frame header: connection is dropped, daemon stays up.
+        let mut conn = d.connect();
+        let _ = conn.write_all(&(u32::MAX).to_le_bytes());
+    }
+    {
+        // Valid request, client vanishes before reading the response.
+        let mut conn = d.connect();
+        let frame = Request::run_frame(Json::parse(&cfg_a).unwrap(), None, false);
+        write_frame(&mut conn, &frame).expect("send then vanish");
+        drop(conn);
+    }
+    // Bit-flip whatever cache entries exist mid-soak; later requests must
+    // quarantine them and recompute, never serve rot. A distinct offset
+    // per round, so repeat flips of a recomputed entry never cancel out.
+    let cache_dir = d.state_dir.join("cache");
+    let flip = |offset: usize| {
+        if let Ok(entries) = std::fs::read_dir(&cache_dir) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "res") {
+                    if let Ok(mut bytes) = std::fs::read(&p) {
+                        if let Some(b) = bytes.get_mut(offset) {
+                            *b ^= 0xff;
+                            let _ = std::fs::write(&p, &bytes);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    for round in 0..10 {
+        std::thread::sleep(Duration::from_millis(100));
+        flip(20 + round);
+    }
+
+    for h in handles {
+        h.join().expect("fleet thread panicked");
+    }
+
+    // With the fleet quiet, rot both entries deterministically: the next
+    // requests must quarantine and recompute, never serve the rot.
+    flip(19);
+    // The rotted entries must heal: request both configs once more.
+    let (status, payload) = d.request(&cfg_a, None, false);
+    assert_eq!(status, "ok");
+    assert_eq!(payload, *want_a, "post-corruption response diverges");
+    let (status, payload) = d.request(&cfg_b, None, false);
+    assert_eq!(status, "ok");
+    assert_eq!(payload, *want_b, "post-corruption response diverges");
+
+    // Stats must confirm the chaos actually happened.
+    let mut conn = d.connect();
+    write_frame(&mut conn, br#"{"op": "stats"}"#).expect("send stats");
+    let stats = Json::parse(&String::from_utf8_lossy(
+        &read_frame(&mut conn).expect("stats"),
+    ))
+    .expect("parse stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    assert!(n("run_ok") >= 2, "at least both cold runs completed");
+    assert!(n("served_cached") >= 1, "the fleet must have hit the cache");
+    drop(conn);
+
+    // Quarantine holds the rotted entries; nothing was served from them.
+    let quarantined = std::fs::read_dir(d.state_dir.join("cache/quarantine"))
+        .map(|it| it.count())
+        .unwrap_or(0);
+    assert!(quarantined >= 1, "bit-flipped entries must be quarantined");
+
+    // SIGTERM: drain cleanly.
+    let d = Arc::try_unwrap(d).unwrap_or_else(|_| panic!("fleet still holds the daemon"));
+    assert_eq!(d.terminate(), 0, "drain must exit 0");
+}
+
+/// Backpressure: a single-worker, zero-queue daemon answers `overloaded`
+/// immediately instead of stalling when the pool is saturated.
+#[test]
+fn overload_sheds_instead_of_stalling() {
+    let cfg = config_json(9, 300, 2);
+    let want = Arc::new(expected_bytes(&cfg, "ovl"));
+    let d = Arc::new(Daemon::spawn(
+        "overload",
+        &["--max-workers", "1", "--max-queue", "0"],
+    ));
+
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let (d, cfg, want) = (Arc::clone(&d), cfg.clone(), Arc::clone(&want));
+        handles.push(std::thread::spawn(move || {
+            // no_cache so every request needs the (single) worker slot.
+            let started = Instant::now();
+            let (status, payload) = d.request(&cfg, None, true);
+            assert!(
+                status == "ok" || status == "overloaded",
+                "unexpected status {status:?}"
+            );
+            if status == "ok" {
+                assert_eq!(
+                    payload, *want,
+                    "overload survivor diverges from a direct run"
+                );
+            } else {
+                // Shedding must be immediate, not a stall-then-refuse.
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "overloaded answer took {:?}",
+                    started.elapsed()
+                );
+            }
+            status
+        }));
+    }
+    let statuses: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    assert!(
+        statuses.iter().any(|s| s == "ok"),
+        "someone must get through: {statuses:?}"
+    );
+    assert!(
+        statuses.iter().any(|s| s == "overloaded"),
+        "6 concurrent uncacheable requests vs 1 worker + 0 queue must shed: {statuses:?}"
+    );
+
+    let d = Arc::try_unwrap(d).unwrap_or_else(|_| panic!("clients still hold the daemon"));
+    assert_eq!(d.terminate(), 0);
+}
+
+/// Deadlines: an impossible per-request deadline answers
+/// `deadline_exceeded` — the watchdog kills the worker, nothing wedges.
+#[test]
+fn impossible_deadline_is_refused_not_hung() {
+    // A job measured at ~500 ms in a release build — an order of
+    // magnitude past the supervise watchdog's 25 ms poll interval, so a
+    // 1 ms deadline can never be beaten by a fast worker. (It is always
+    // killed at the first poll; its full cost is never paid.)
+    let big_cfg = config_json(10, 2000, 40);
+    let d = Daemon::spawn("deadline", &[]);
+    let started = Instant::now();
+    let (status, _) = d.request(&big_cfg, Some(1), true);
+    assert_eq!(status, "deadline_exceeded");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "deadline refusal took {:?}",
+        started.elapsed()
+    );
+    // The daemon is still healthy after the watchdog kill: a reasonable
+    // request completes fine.
+    let (status, payload) = d.request(&config_json(10, 300, 2), None, false);
+    assert_eq!(status, "ok", "daemon wedged after a deadline kill");
+    assert!(!payload.is_empty());
+    assert_eq!(d.terminate(), 0);
+}
