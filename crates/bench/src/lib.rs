@@ -13,6 +13,7 @@
 //! `--manifest <path>` writes a run manifest (binaries that run several
 //! experiments suffix each path per run).
 
+pub mod perf;
 pub mod supervise;
 
 use dcn_json::Json;

@@ -1,48 +1,24 @@
-//! Directed channels: a pluggable output queue plus a serializing
-//! transmitter.
+//! Directed channels: pluggable output queues plus serializing
+//! transmitters, stored struct-of-arrays.
 //!
 //! Every undirected topology link is two channels; every server has an
 //! up-channel (server→ToR) and a down-channel (ToR→server). *How* packets
 //! queue — tail-drop FIFO with ECN marking, pFabric strict priority, … —
 //! is the owned [`QueueDiscipline`]'s decision (see [`crate::switch`]);
-//! the channel itself only models the transmitter, the wire, and the
-//! fault state.
+//! the channel layer itself only models the transmitter, the wire, and
+//! the fault state.
+//!
+//! [`Channels`] keeps each per-channel field in its own dense `Vec`
+//! indexed by channel id, so the hot path (up/loss check → offer →
+//! serialize) touches a handful of contiguous words instead of pulling a
+//! whole per-channel struct through the cache. Serialization times for
+//! the two wire sizes that dominate every run (full MTU data packets and
+//! ACKs) are precomputed per channel, removing the float divide from the
+//! common case.
 
+use crate::slab::{PacketArena, PktId};
 use crate::switch::{EnqueueOutcome, QueueDiscipline};
-use crate::types::{Ns, Packet};
-
-/// One directed channel.
-pub struct Channel {
-    /// Node (switch or server, in the simulator's global id space) that
-    /// packets leaving this channel arrive at.
-    pub to_node: u32,
-    /// Bytes per nanosecond.
-    pub rate_bpns: f64,
-    pub prop_ns: Ns,
-    /// The output queue feeding the transmitter.
-    pub(crate) disc: Box<dyn QueueDiscipline>,
-    /// A packet is currently being serialized.
-    pub busy: bool,
-    /// Drop counter (congestion drops, tail or priority-evicted), for
-    /// stats and tests.
-    pub drops: u64,
-    /// ECN marks applied.
-    pub marks: u64,
-    /// Fault state: a hard-failed channel delivers nothing. The simulator
-    /// flips this (never the channel itself) and drops packets at the
-    /// offer and delivery points, so queued packets drain onto the dead
-    /// wire and are lost — "in-flight packets are lost on failure".
-    pub up: bool,
-    /// Gray-failure per-packet drop probability (0.0 = healthy). The
-    /// simulator draws from its seeded RNG; the channel just holds state.
-    pub loss_prob: f64,
-    /// Packets lost to hard or gray faults on this channel.
-    pub fault_drops: u64,
-    /// Queued packets evicted by the discipline to admit more urgent
-    /// ones — a subset of [`Channel::drops`], split out so drops can be
-    /// reported by cause.
-    pub evictions: u64,
-}
+use crate::types::Ns;
 
 /// Result of offering a packet to a channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,79 +28,202 @@ pub enum Offer {
     StartTx,
     /// Queued behind the current transmission.
     Queued,
-    /// The offered packet was dropped by the queue discipline.
+    /// The offered packet was dropped by the queue discipline (and its
+    /// arena slot freed).
     Dropped,
 }
 
-impl Channel {
-    pub fn new(to_node: u32, gbps: f64, prop_ns: Ns, disc: Box<dyn QueueDiscipline>) -> Self {
-        Channel {
-            to_node,
-            rate_bpns: gbps / 8.0,
-            prop_ns,
-            disc,
-            busy: false,
-            drops: 0,
-            marks: 0,
-            up: true,
-            loss_prob: 0.0,
-            fault_drops: 0,
-            evictions: 0,
+/// All directed channels of a fabric, struct-of-arrays: index `i` of
+/// every `Vec` is channel `i`'s field.
+pub struct Channels {
+    /// Node (switch or server, in the simulator's global id space) that
+    /// packets leaving the channel arrive at.
+    pub(crate) to_node: Vec<u32>,
+    /// Bytes per nanosecond.
+    pub(crate) rate_bpns: Vec<f64>,
+    pub(crate) prop_ns: Vec<Ns>,
+    /// Precomputed [`Channels::ser_ns`] for a full-MTU packet.
+    ser_mtu_ns: Vec<Ns>,
+    /// Precomputed [`Channels::ser_ns`] for an ACK.
+    ser_ack_ns: Vec<Ns>,
+    /// A packet is currently being serialized.
+    pub(crate) busy: Vec<bool>,
+    /// Fault state: a hard-failed channel delivers nothing. The simulator
+    /// flips this (never the channel layer itself) and drops packets at
+    /// the offer and delivery points, so queued packets drain onto the
+    /// dead wire and are lost — "in-flight packets are lost on failure".
+    pub(crate) up: Vec<bool>,
+    /// Gray-failure per-packet drop probability (0.0 = healthy). The
+    /// simulator draws from its seeded RNG; the channel just holds state.
+    pub(crate) loss_prob: Vec<f64>,
+    /// Congestion drops (tail or priority-evicted), for stats and tests.
+    pub(crate) drops: Vec<u64>,
+    /// ECN marks applied.
+    pub(crate) marks: Vec<u64>,
+    /// Packets lost to hard or gray faults on the channel.
+    pub(crate) fault_drops: Vec<u64>,
+    /// Queued packets evicted by the discipline to admit more urgent
+    /// ones — a subset of `drops`, split out so drops can be reported by
+    /// cause.
+    pub(crate) evictions: Vec<u64>,
+    /// The output queue feeding each transmitter.
+    pub(crate) disc: Vec<Box<dyn QueueDiscipline>>,
+    /// Cached `disc[i].queue_len()`, kept dense so the per-event path
+    /// (and telemetry scans) can check for an empty queue without
+    /// dereferencing the discipline's `Box<dyn>`.
+    qlen: Vec<u32>,
+    mtu_bytes: u32,
+    ack_bytes: u32,
+}
+
+impl Channels {
+    /// An empty table; `mtu_bytes`/`ack_bytes` are the two wire sizes the
+    /// serialization-time cache covers.
+    pub(crate) fn new(mtu_bytes: u32, ack_bytes: u32) -> Self {
+        Channels {
+            to_node: Vec::new(),
+            rate_bpns: Vec::new(),
+            prop_ns: Vec::new(),
+            ser_mtu_ns: Vec::new(),
+            ser_ack_ns: Vec::new(),
+            busy: Vec::new(),
+            up: Vec::new(),
+            loss_prob: Vec::new(),
+            drops: Vec::new(),
+            marks: Vec::new(),
+            fault_drops: Vec::new(),
+            evictions: Vec::new(),
+            disc: Vec::new(),
+            qlen: Vec::new(),
+            mtu_bytes,
+            ack_bytes,
         }
     }
 
-    /// Serialization time for `bytes` on this channel.
-    pub fn ser_ns(&self, bytes: u32) -> Ns {
-        (bytes as f64 / self.rate_bpns).ceil() as Ns
+    /// Appends one channel and returns its id.
+    pub(crate) fn push(
+        &mut self,
+        to_node: u32,
+        gbps: f64,
+        prop_ns: Ns,
+        disc: Box<dyn QueueDiscipline>,
+    ) -> u32 {
+        let id = self.to_node.len() as u32;
+        let rate_bpns = gbps / 8.0;
+        self.to_node.push(to_node);
+        self.rate_bpns.push(rate_bpns);
+        self.prop_ns.push(prop_ns);
+        self.ser_mtu_ns
+            .push((self.mtu_bytes as f64 / rate_bpns).ceil() as Ns);
+        self.ser_ack_ns
+            .push((self.ack_bytes as f64 / rate_bpns).ceil() as Ns);
+        self.busy.push(false);
+        self.up.push(true);
+        self.loss_prob.push(0.0);
+        self.drops.push(0);
+        self.marks.push(0);
+        self.fault_drops.push(0);
+        self.evictions.push(0);
+        self.disc.push(disc);
+        self.qlen.push(0);
+        id
     }
 
-    /// Offers a packet. On `StartTx` the packet is handed back to the
-    /// caller (it owns the in-flight transmission); on `Queued` the
-    /// discipline keeps it (possibly evicting less urgent packets — those
-    /// count into [`Channel::drops`]); on `Dropped` it is gone. The
-    /// returned [`EnqueueOutcome`] carries the mark flag and eviction
-    /// victims for the observability layer.
-    pub fn offer(&mut self, pkt: Box<Packet>) -> (Offer, Option<Box<Packet>>, EnqueueOutcome) {
-        if !self.busy {
-            self.busy = true;
+    pub(crate) fn len(&self) -> usize {
+        self.to_node.len()
+    }
+
+    /// Serialization time for `bytes` on channel `ch`. MTU-sized packets
+    /// and ACKs hit the precomputed cache; odd sizes (a flow's final
+    /// packet) fall back to the same float expression the cache was
+    /// filled from, so timing is bit-identical either way.
+    #[inline]
+    pub(crate) fn ser_ns(&self, ch: u32, bytes: u32) -> Ns {
+        if bytes == self.mtu_bytes {
+            self.ser_mtu_ns[ch as usize]
+        } else if bytes == self.ack_bytes {
+            self.ser_ack_ns[ch as usize]
+        } else {
+            (bytes as f64 / self.rate_bpns[ch as usize]).ceil() as Ns
+        }
+    }
+
+    /// Offers packet `id` to channel `ch`. On [`Offer::StartTx`] the
+    /// caller owns the in-flight transmission (the id stays live); on
+    /// [`Offer::Queued`] the discipline holds it (possibly evicting less
+    /// urgent packets — those count into `drops` and are freed); on
+    /// [`Offer::Dropped`] the id has been freed. The returned
+    /// [`EnqueueOutcome`] carries the mark flag and eviction victims for
+    /// the observability layer.
+    pub(crate) fn offer(
+        &mut self,
+        ch: u32,
+        id: PktId,
+        pool: &mut PacketArena,
+    ) -> (Offer, EnqueueOutcome) {
+        let i = ch as usize;
+        if !self.busy[i] {
+            self.busy[i] = true;
             let out = EnqueueOutcome {
                 accepted: true,
                 ..Default::default()
             };
-            return (Offer::StartTx, Some(pkt), out);
+            return (Offer::StartTx, out);
         }
-        let out = self.disc.enqueue(pkt);
-        self.drops += out.dropped as u64;
-        self.evictions += out.evicted.len() as u64;
+        let out = self.disc[i].enqueue(id, pool);
+        self.qlen[i] = self.qlen[i] + out.accepted as u32 - out.evicted.len() as u32;
+        self.drops[i] += out.dropped as u64;
+        self.evictions[i] += out.evicted.len() as u64;
         if out.marked {
-            self.marks += 1;
+            self.marks[i] += 1;
         }
         if out.accepted {
-            (Offer::Queued, None, out)
+            (Offer::Queued, out)
         } else {
-            (Offer::Dropped, None, out)
+            pool.free(id);
+            (Offer::Dropped, out)
         }
     }
 
-    /// Called when the in-flight transmission completes; returns the next
-    /// packet to transmit, if any (caller schedules its TxFree/Deliver).
-    pub fn tx_done(&mut self) -> Option<Box<Packet>> {
-        debug_assert!(self.busy);
-        match self.disc.dequeue() {
-            Some(pkt) => Some(pkt),
-            None => {
-                self.busy = false;
-                None
-            }
+    /// Called when channel `ch`'s in-flight transmission completes;
+    /// returns the next packet to transmit, if any (caller schedules its
+    /// TxFree/Deliver).
+    pub(crate) fn tx_done(&mut self, ch: u32) -> Option<PktId> {
+        let i = ch as usize;
+        debug_assert!(self.busy[i]);
+        if self.qlen[i] == 0 {
+            self.busy[i] = false;
+            return None;
         }
+        self.qlen[i] -= 1;
+        let id = self.disc[i].dequeue();
+        debug_assert!(id.is_some(), "qlen said non-empty but dequeue had nothing");
+        id
     }
 
-    pub fn queue_bytes(&self) -> u64 {
-        self.disc.queue_bytes()
+    pub(crate) fn queue_bytes(&self, ch: u32) -> u64 {
+        self.disc[ch as usize].queue_bytes()
     }
 
-    pub fn queue_len(&self) -> usize {
-        self.disc.queue_len()
+    pub(crate) fn queue_len(&self, ch: u32) -> usize {
+        debug_assert_eq!(
+            self.qlen[ch as usize] as usize,
+            self.disc[ch as usize].queue_len()
+        );
+        self.qlen[ch as usize] as usize
+    }
+
+    /// Reinstates a checkpointed queue on channel `ch`, keeping the dense
+    /// length cache in sync with the discipline.
+    pub(crate) fn restore_queue(
+        &mut self,
+        ch: u32,
+        pkts: Vec<crate::types::Packet>,
+        pool: &mut PacketArena,
+    ) {
+        let i = ch as usize;
+        self.qlen[i] = pkts.len() as u32;
+        self.disc[i].restore_queue(pkts, pool);
     }
 }
 
@@ -132,10 +231,11 @@ impl Channel {
 mod tests {
     use super::*;
     use crate::switch::TailDropEcn;
+    use crate::types::Packet;
     use std::sync::Arc;
 
-    fn pkt(bytes: u32) -> Box<Packet> {
-        Box::new(Packet {
+    fn pkt(a: &mut PacketArena, bytes: u32) -> PktId {
+        a.alloc(Packet {
             flow: 0,
             seq: 0,
             bytes,
@@ -149,111 +249,131 @@ mod tests {
         })
     }
 
-    fn chan() -> Channel {
+    fn chan() -> Channels {
         // 10 Gbps, 100ns prop, 10-packet queue, ECN at 3 packets.
-        Channel::new(
+        let mut c = Channels::new(1500, 40);
+        c.push(
             1,
             10.0,
             100,
             Box::new(TailDropEcn::new(10 * 1500, 3 * 1500)),
-        )
+        );
+        c
     }
 
     #[test]
     fn idle_channel_starts_tx() {
+        let mut a = PacketArena::new();
         let mut c = chan();
-        let (o, p, _) = c.offer(pkt(1500));
+        let p = pkt(&mut a, 1500);
+        let (o, _) = c.offer(0, p, &mut a);
         assert_eq!(o, Offer::StartTx);
-        assert!(p.is_some());
-        assert!(c.busy);
+        assert!(c.busy[0]);
+        assert_eq!(a.live_count(), 1, "StartTx leaves the id live");
     }
 
     #[test]
     fn busy_channel_queues_then_drains_fifo() {
+        let mut a = PacketArena::new();
         let mut c = chan();
-        c.offer(pkt(1500));
-        let mut q1 = pkt(100);
-        q1.seq = 1;
-        let mut q2 = pkt(100);
-        q2.seq = 2;
-        assert_eq!(c.offer(q1).0, Offer::Queued);
-        assert_eq!(c.offer(q2).0, Offer::Queued);
-        assert_eq!(c.queue_len(), 2);
-        let n1 = c.tx_done().unwrap();
-        assert_eq!(n1.seq, 1);
-        let n2 = c.tx_done().unwrap();
-        assert_eq!(n2.seq, 2);
-        assert!(c.tx_done().is_none());
-        assert!(!c.busy);
+        let head = pkt(&mut a, 1500);
+        c.offer(0, head, &mut a);
+        let q1 = pkt(&mut a, 100);
+        a.get_mut(q1).seq = 1;
+        let q2 = pkt(&mut a, 100);
+        a.get_mut(q2).seq = 2;
+        assert_eq!(c.offer(0, q1, &mut a).0, Offer::Queued);
+        assert_eq!(c.offer(0, q2, &mut a).0, Offer::Queued);
+        assert_eq!(c.queue_len(0), 2);
+        let n1 = c.tx_done(0).unwrap();
+        assert_eq!(a.get(n1).seq, 1);
+        let n2 = c.tx_done(0).unwrap();
+        assert_eq!(a.get(n2).seq, 2);
+        assert!(c.tx_done(0).is_none());
+        assert!(!c.busy[0]);
     }
 
     #[test]
-    fn tail_drop_when_full() {
+    fn tail_drop_when_full_frees_the_id() {
+        let mut a = PacketArena::new();
         let mut c = chan();
-        c.offer(pkt(1500)); // in flight
+        c.offer(0, pkt(&mut a, 1500), &mut a); // in flight
         for _ in 0..10 {
-            assert_eq!(c.offer(pkt(1500)).0, Offer::Queued);
+            let p = pkt(&mut a, 1500);
+            assert_eq!(c.offer(0, p, &mut a).0, Offer::Queued);
         }
-        assert_eq!(c.offer(pkt(1500)).0, Offer::Dropped);
-        assert_eq!(c.drops, 1);
+        let live = a.live_count();
+        let p = pkt(&mut a, 1500);
+        assert_eq!(c.offer(0, p, &mut a).0, Offer::Dropped);
+        assert_eq!(c.drops[0], 1);
+        assert_eq!(a.live_count(), live, "dropped packet must be freed");
     }
 
     #[test]
     fn ecn_marks_above_threshold() {
+        let mut a = PacketArena::new();
         let mut c = chan();
-        c.offer(pkt(1500)); // in flight, queue empty
-        c.offer(pkt(1500)); // queue -> 1500
-        c.offer(pkt(1500)); // queue -> 3000
-        c.offer(pkt(1500)); // queue -> 4500 (enqueued at 3000 < 4500 thresh)
-        assert_eq!(c.marks, 0);
-        c.offer(pkt(1500)); // enqueued seeing 4500 >= 4500 → marked
-        assert_eq!(c.marks, 1);
+        c.offer(0, pkt(&mut a, 1500), &mut a); // in flight, queue empty
+        c.offer(0, pkt(&mut a, 1500), &mut a); // queue -> 1500
+        c.offer(0, pkt(&mut a, 1500), &mut a); // queue -> 3000
+        c.offer(0, pkt(&mut a, 1500), &mut a); // queue -> 4500 (at 3000 < 4500 thresh)
+        assert_eq!(c.marks[0], 0);
+        c.offer(0, pkt(&mut a, 1500), &mut a); // enqueued seeing 4500 >= 4500 → marked
+        assert_eq!(c.marks[0], 1);
         // Drain: the marked packet is the last one.
-        c.tx_done();
-        c.tx_done();
-        c.tx_done();
-        let marked = c.tx_done().unwrap();
-        assert!(marked.ecn_ce);
+        c.tx_done(0);
+        c.tx_done(0);
+        c.tx_done(0);
+        let marked = c.tx_done(0).unwrap();
+        assert!(a.get(marked).ecn_ce);
     }
 
     #[test]
     fn acks_never_marked() {
+        let mut a = PacketArena::new();
         let mut c = chan();
-        c.offer(pkt(1500)); // in flight
+        c.offer(0, pkt(&mut a, 1500), &mut a); // in flight
         for _ in 0..3 {
-            c.offer(pkt(1500)); // queue reaches exactly the 4500 B threshold
+            c.offer(0, pkt(&mut a, 1500), &mut a); // queue reaches the 4500 B threshold
         }
-        assert_eq!(c.marks, 0);
-        let mut ack = pkt(40);
-        ack.is_ack = true;
-        c.offer(ack); // sees queue ≥ threshold but is an ACK
-        assert_eq!(c.marks, 0);
-        c.offer(pkt(1500)); // a data packet here *is* marked
-        assert_eq!(c.marks, 1);
+        assert_eq!(c.marks[0], 0);
+        let ack = pkt(&mut a, 40);
+        a.get_mut(ack).is_ack = true;
+        c.offer(0, ack, &mut a); // sees queue ≥ threshold but is an ACK
+        assert_eq!(c.marks[0], 0);
+        c.offer(0, pkt(&mut a, 1500), &mut a); // a data packet here *is* marked
+        assert_eq!(c.marks[0], 1);
     }
 
     #[test]
-    fn serialization_uses_channel_rate() {
-        let c = Channel::new(0, 40.0, 0, Box::new(TailDropEcn::new(1, 1)));
-        assert_eq!(c.ser_ns(1500), 300); // 4x faster than 10G
+    fn serialization_uses_channel_rate_and_cache() {
+        let mut c = Channels::new(1500, 40);
+        c.push(0, 40.0, 0, Box::new(TailDropEcn::new(1, 1)));
+        assert_eq!(c.ser_ns(0, 1500), 300); // cached MTU path, 4x faster than 10G
+        assert_eq!(c.ser_ns(0, 40), 8); // cached ACK path
+        assert_eq!(c.ser_ns(0, 777), 156); // uncached fallback: ceil(777/5)
     }
 
     #[test]
     fn eviction_counts_as_channel_drop() {
         use crate::switch::PFabricQueue;
-        let mut c = Channel::new(1, 10.0, 100, Box::new(PFabricQueue::new(2 * 1500)));
-        c.offer(pkt(1500)); // in flight
-        let mut low = pkt(1500);
-        low.prio = 9;
-        c.offer(low);
-        c.offer(pkt(1500));
-        let mut urgent = pkt(1500);
-        urgent.prio = 1;
-        urgent.seq = 7;
-        let (o, _, out) = c.offer(urgent);
+        let mut a = PacketArena::new();
+        let mut c = Channels::new(1500, 40);
+        c.push(1, 10.0, 100, Box::new(PFabricQueue::new(2 * 1500)));
+        c.offer(0, pkt(&mut a, 1500), &mut a); // in flight
+        let low = pkt(&mut a, 1500);
+        a.get_mut(low).prio = 9;
+        c.offer(0, low, &mut a);
+        c.offer(0, pkt(&mut a, 1500), &mut a);
+        let urgent = pkt(&mut a, 1500);
+        a.get_mut(urgent).prio = 1;
+        a.get_mut(urgent).seq = 7;
+        let live = a.live_count();
+        let (o, out) = c.offer(0, urgent, &mut a);
         assert_eq!(o, Offer::Queued, "urgent packet must win");
-        assert_eq!(c.drops, 1, "the prio-9 victim is a congestion drop");
-        assert_eq!(c.evictions, 1, "and is attributed to eviction");
+        assert_eq!(c.drops[0], 1, "the prio-9 victim is a congestion drop");
+        assert_eq!(c.evictions[0], 1, "and is attributed to eviction");
         assert_eq!(out.evicted.len(), 1);
+        assert_eq!(a.live_count(), live - 1, "the victim's id must be freed");
     }
 }

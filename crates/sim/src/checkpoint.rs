@@ -1,7 +1,7 @@
 //! Versioned, fingerprinted snapshots of complete simulator state.
 //!
 //! [`Simulator::checkpoint`] captures everything the run depends on — the
-//! event heap, per-flow transport state, switch queues, fault-controller
+//! event queue, per-flow transport state, switch queues, fault-controller
 //! state (including the gray-loss RNG stream), observability cursors, and
 //! the intrinsic counters — into a self-validating byte image.
 //! [`Simulator::restore`] rebuilds a simulator from it that continues the
@@ -31,9 +31,11 @@
 //! disciplines that do not implement
 //! [`QueueDiscipline::snapshot_queue`](crate::switch::QueueDiscipline).
 
-use crate::engine::{Ev, EventQueue, HeapItem, Simulator};
+use crate::calendar::{CalEntry, CalendarQueue};
+use crate::engine::{Ev, Simulator};
 use crate::fault::{survivor_topology_from, FaultEvent, FaultKind, RemappedSelector};
 use crate::host::Flow;
+use crate::slab::PacketArena;
 use crate::stats::{ChannelCounters, DropCounters, TraceCounters};
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::trace::{CountingTracer, JsonlTracer, NopTracer, TracerSnapshot};
@@ -41,7 +43,6 @@ use crate::types::{Ns, Packet, SimConfig};
 use dcn_rng::Rng;
 use dcn_routing::PathSelector;
 use dcn_topology::Topology;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"DCNCKPT1";
@@ -272,7 +273,7 @@ fn dec_packet(d: &mut Dec) -> Result<Packet, String> {
     })
 }
 
-fn enc_ev(e: &mut Enc, ev: &Ev) {
+fn enc_ev(e: &mut Enc, ev: &Ev, pkts: &PacketArena) {
     match ev {
         Ev::FlowStart(f) => {
             e.u8(0);
@@ -282,9 +283,12 @@ fn enc_ev(e: &mut Enc, ev: &Ev) {
             e.u8(1);
             e.u32(*ch);
         }
-        Ev::Deliver(p) => {
+        // In-flight packets are serialized by value — the wire format
+        // carries packets, not arena ids, so images are independent of the
+        // arena's slot layout.
+        Ev::Deliver(id) => {
             e.u8(2);
-            enc_packet(e, p);
+            enc_packet(e, pkts.get(*id));
         }
         Ev::Rto(f, epoch) => {
             e.u8(3);
@@ -302,11 +306,11 @@ fn enc_ev(e: &mut Enc, ev: &Ev) {
     }
 }
 
-fn dec_ev(d: &mut Dec) -> Result<Ev, String> {
+fn dec_ev(d: &mut Dec, pkts: &mut PacketArena) -> Result<Ev, String> {
     Ok(match d.u8()? {
         0 => Ev::FlowStart(d.u32()?),
         1 => Ev::TxFree(d.u32()?),
-        2 => Ev::Deliver(Box::new(dec_packet(d)?)),
+        2 => Ev::Deliver(pkts.alloc(dec_packet(d)?)),
         3 => Ev::Rto(d.u32()?, d.u32()?),
         4 => Ev::Fault(d.u32()?),
         5 => Ev::Reconverge(d.u64()?),
@@ -647,17 +651,16 @@ impl Simulator {
         e.u64(self.pkts_delivered);
         e.u64(self.telemetry_next);
 
-        // Event heap: `into_sorted_vec` would consume it, so walk a
-        // drained copy is avoided — iterate and re-sort on restore is
-        // unnecessary since heap pop order is determined by the element
-        // set, not the internal layout.
+        // Event queue, in arbitrary internal order: pop order is
+        // determined by the (t, seq) element set alone, so restore is free
+        // to re-file entries into a differently sized calendar.
         e.u64(self.queue.seq);
         e.u64(self.queue.peak as u64);
-        e.u64(self.queue.heap.len() as u64);
-        for item in self.queue.heap.iter() {
+        e.u64(self.queue.len() as u64);
+        for item in self.queue.iter() {
             e.u64(item.t);
             e.u64(item.seq);
-            enc_ev(&mut e, &item.ev);
+            enc_ev(&mut e, &item.ev, &self.pkts);
         }
 
         // Flows.
@@ -667,16 +670,17 @@ impl Simulator {
         }
 
         // Channels.
-        e.u64(self.fabric.channels.len() as u64);
-        for ch in &self.fabric.channels {
-            e.bool(ch.busy);
-            e.u64(ch.drops);
-            e.u64(ch.marks);
-            e.bool(ch.up);
-            e.f64(ch.loss_prob);
-            e.u64(ch.fault_drops);
-            e.u64(ch.evictions);
-            let q = ch.disc.snapshot_queue().ok_or_else(|| {
+        let chs = &self.fabric.channels;
+        e.u64(chs.len() as u64);
+        for i in 0..chs.len() {
+            e.bool(chs.busy[i]);
+            e.u64(chs.drops[i]);
+            e.u64(chs.marks[i]);
+            e.bool(chs.up[i]);
+            e.f64(chs.loss_prob[i]);
+            e.u64(chs.fault_drops[i]);
+            e.u64(chs.evictions[i]);
+            let q = chs.disc[i].snapshot_queue(&self.pkts).ok_or_else(|| {
                 "a channel's queue discipline does not support checkpointing".to_string()
             })?;
             e.u64(q.len() as u64);
@@ -792,12 +796,13 @@ impl Simulator {
         let queue_seq = d.u64()?;
         let queue_peak = d.u64()? as usize;
         let n_items = d.len()?;
+        let mut pkts = PacketArena::new();
         let mut items = Vec::with_capacity(n_items);
         for _ in 0..n_items {
             let t = d.u64()?;
             let seq = d.u64()?;
-            let ev = dec_ev(&mut d)?;
-            items.push(HeapItem { t, seq, ev });
+            let ev = dec_ev(&mut d, &mut pkts)?;
+            items.push(CalEntry { t, seq, ev });
         }
 
         let n_flows = d.len()?;
@@ -814,10 +819,7 @@ impl Simulator {
             loss_prob: f64,
             fault_drops: u64,
             evictions: u64,
-            // Boxed to match `QueueDiscipline::restore_queue`, which takes
-            // ownership of the heap allocations the live queue will hold.
-            #[allow(clippy::vec_box)]
-            queue: Vec<Box<Packet>>,
+            queue: Vec<Packet>,
         }
         let n_channels = d.len()?;
         let mut chans = Vec::with_capacity(n_channels);
@@ -832,7 +834,7 @@ impl Simulator {
             let n_q = d.len()?;
             let mut queue = Vec::with_capacity(n_q);
             for _ in 0..n_q {
-                queue.push(Box::new(dec_packet(&mut d)?));
+                queue.push(dec_packet(&mut d)?);
             }
             chans.push(ChanState {
                 busy,
@@ -924,27 +926,27 @@ impl Simulator {
         sim.goodput_bins = goodput_bins;
         sim.flows = flows;
 
-        // The heap is rebuilt from the serialized element set; pop order
-        // depends only on (t, seq), so the internal layout is free to
-        // differ from the original's.
-        sim.queue = EventQueue {
-            heap: items.into_iter().collect::<BinaryHeap<_>>(),
-            seq: queue_seq,
-            peak: queue_peak,
-        };
+        // The calendar is rebuilt from the serialized element set; pop
+        // order depends only on (t, seq), so the ring is free to be sized
+        // to the checkpointed population rather than the original's
+        // default (a snapshot of a huge event set restores into a
+        // proportionally larger ring instead of degrading).
+        sim.pkts = pkts;
+        sim.queue = CalendarQueue::from_items(queue_seq, queue_peak, items, meta.now);
 
         if sim.fabric.channels.len() != chans.len() {
             return Err("checkpoint corrupt: channel count mismatch".into());
         }
-        for (ch, st) in sim.fabric.channels.iter_mut().zip(chans) {
-            ch.busy = st.busy;
-            ch.drops = st.drops;
-            ch.marks = st.marks;
-            ch.up = st.up;
-            ch.loss_prob = st.loss_prob;
-            ch.fault_drops = st.fault_drops;
-            ch.evictions = st.evictions;
-            ch.disc.restore_queue(st.queue);
+        let chs = &mut sim.fabric.channels;
+        for (i, st) in chans.into_iter().enumerate() {
+            chs.busy[i] = st.busy;
+            chs.drops[i] = st.drops;
+            chs.marks[i] = st.marks;
+            chs.up[i] = st.up;
+            chs.loss_prob[i] = st.loss_prob;
+            chs.fault_drops[i] = st.fault_drops;
+            chs.evictions[i] = st.evictions;
+            chs.restore_queue(i as u32, st.queue, &mut sim.pkts);
         }
 
         if sim.faults.down_links.len() != down_links.len()
@@ -1125,6 +1127,53 @@ mod tests {
         sim.run_until(0);
         let err = sim.checkpoint().unwrap_err();
         assert!(err.contains("oracle"), "{err}");
+    }
+
+    #[test]
+    fn restore_resizes_calendar_for_large_heaps() {
+        // A checkpoint whose event population dwarfs the default calendar
+        // sizing must restore into a proportionally larger ring (not
+        // degrade into an overloaded 1024-slot one) and still continue
+        // byte-identically.
+        let t = FatTree::full(4).build();
+        let racks = t.tors_with_servers();
+        let mk = || {
+            let suite = RoutingSuite::new(&t);
+            let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
+            // ~20k flows spread over 2 simulated seconds: at t=0 the queue
+            // holds one FlowStart per flow, far beyond MIN_SLOTS.
+            let flows: Vec<FlowEvent> = (0..20_000usize)
+                .map(|i| {
+                    let src_rack = racks[i % racks.len()];
+                    let dst_rack = racks[(i + 5) % racks.len()];
+                    flow(
+                        (i as f64) * 1e-4,
+                        (src_rack, (i % 2) as u32),
+                        (dst_rack, ((i / 2) % 2) as u32),
+                        2_000,
+                    )
+                })
+                .collect();
+            sim.inject(&flows);
+            sim
+        };
+        let mut straight = mk();
+        let mut sim = mk();
+        assert!(!sim.run_until(0), "population should still be pending");
+        let ckpt = sim.checkpoint().expect("checkpoint");
+        let suite = RoutingSuite::new(&t);
+        let mut resumed =
+            Simulator::restore(&t, Box::new(suite.ecmp()), SimConfig::default(), &ckpt)
+                .expect("restore");
+        assert!(
+            resumed.queue.num_slots() > 1024,
+            "calendar must resize to the restored population, got {} slots",
+            resumed.queue.num_slots()
+        );
+        straight.run_until(5 * MS);
+        resumed.run_until(5 * MS);
+        assert_eq!(straight.events_processed(), resumed.events_processed());
+        assert_eq!(straight.records(), resumed.records());
     }
 
     #[test]

@@ -1,15 +1,20 @@
-//! The engine layer: event heap, clock, and dispatch loop.
+//! The engine layer: event queue, clock, and dispatch loop.
 //!
 //! [`Simulator`] owns the three lower layers and wires them together:
 //!
-//! - **time** — an `EventQueue` binary heap of `(t, seq)`-ordered events;
-//!   the monotonically increasing `seq` makes same-timestamp ordering (and
-//!   therefore every run) deterministic,
+//! - **time** — a [`CalendarQueue`](crate::calendar::CalendarQueue) of
+//!   `(t, seq)`-ordered events; the monotonically increasing `seq` makes
+//!   same-timestamp ordering (and therefore every run) deterministic,
 //! - **hosts** — [`Flow`] state driven by a pluggable
 //!   [`Transport`] (DCTCP by default; see [`crate::host`]),
-//! - **fabric** — directed [`Channel`](crate::channel::Channel)s with
-//!   per-port [`QueueDiscipline`](crate::switch::QueueDiscipline)s (see
+//! - **fabric** — directed channels ([`Channels`](crate::channel::Channels),
+//!   struct-of-arrays) with per-port
+//!   [`QueueDiscipline`](crate::switch::QueueDiscipline)s (see
 //!   [`crate::switch`]), degraded by the fault layer ([`crate::fault`]).
+//!
+//! In-flight packets live in a [`PacketArena`] slab and travel through
+//! events and queues as dense [`PktId`]s — the per-packet path does no
+//! heap allocation and no pointer chasing.
 //!
 //! Servers are explicit endpoints attached to their ToR by a pair of host
 //! channels; switches are source-routed (the path is chosen per flowlet at
@@ -25,9 +30,11 @@
 //! sequence rewinding, flowlet re-salting); transports decide what happens
 //! to the window.
 
+use crate::calendar::{CalEntry, CalendarQueue};
 use crate::channel::Offer;
 use crate::fault::{component_labels, FaultController, FaultPlan, RemappedSelector};
 use crate::host::{transport_for, ChannelPath, Flow, Transport};
+use crate::slab::{PacketArena, PktId};
 use crate::stats::{DropCounters, FlowRecord, TraceCounters};
 use crate::switch::{DisciplineFactory, Fabric};
 use crate::telemetry::{Sample, Telemetry};
@@ -37,17 +44,15 @@ use dcn_routing::ecmp::hash3;
 use dcn_routing::{KspSelector, PathSelector};
 use dcn_topology::{NodeId, Topology};
 use dcn_workloads::FlowEvent;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 const HEADER_BYTES: u32 = 40;
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
     FlowStart(u32),
     TxFree(u32),
-    Deliver(Box<Packet>),
+    Deliver(PktId),
     Rto(u32, u32),
     /// A scheduled fault fires (index into the installed plan's events).
     Fault(u32),
@@ -56,69 +61,14 @@ pub(crate) enum Ev {
     Reconverge(u64),
 }
 
-pub(crate) struct HeapItem {
-    pub(crate) t: Ns,
-    pub(crate) seq: u64,
-    pub(crate) ev: Ev,
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for HeapItem {}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first.
-        Reverse((self.t, self.seq)).cmp(&Reverse((other.t, other.seq)))
-    }
-}
-
-/// The event heap: earliest timestamp first, insertion order (`seq`)
-/// breaking ties, so identical schedules replay identically.
-pub(crate) struct EventQueue {
-    pub(crate) heap: BinaryHeap<HeapItem>,
-    pub(crate) seq: u64,
-    /// High-water mark of `heap.len()` — a memory-footprint proxy that
-    /// run manifests report.
-    pub(crate) peak: usize,
-}
-
-impl EventQueue {
-    fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            peak: 0,
-        }
-    }
-
-    fn push(&mut self, t: Ns, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(HeapItem {
-            t,
-            seq: self.seq,
-            ev,
-        });
-        self.peak = self.peak.max(self.heap.len());
-    }
-
-    fn pop(&mut self) -> Option<HeapItem> {
-        self.heap.pop()
-    }
-}
-
 /// The packet-level simulator.
 pub struct Simulator {
     pub(crate) cfg: SimConfig,
     pub(crate) now: Ns,
-    pub(crate) queue: EventQueue,
+    pub(crate) queue: CalendarQueue,
+    /// Slab arena holding every in-flight packet; events and queue
+    /// disciplines reference packets by [`PktId`].
+    pub(crate) pkts: PacketArena,
     pub(crate) fabric: Fabric,
     pub(crate) flows: Vec<Flow>,
     pub(crate) transport: Box<dyn Transport>,
@@ -198,7 +148,8 @@ impl Simulator {
         Simulator {
             cfg,
             now: 0,
-            queue: EventQueue::new(),
+            queue: CalendarQueue::new(),
+            pkts: PacketArena::new(),
             fabric,
             flows: Vec::new(),
             transport,
@@ -265,14 +216,14 @@ impl Simulator {
         let mut queued_pkts = 0u64;
         let mut queued_bytes = 0u64;
         let mut channels = Vec::new();
-        for (id, ch) in self.fabric.channels.iter().enumerate() {
-            let qlen = ch.queue_len() as u32;
-            let qbytes = ch.queue_bytes();
-            let tx = tel.interval_tx(id as u32);
+        for id in 0..self.fabric.channels.len() as u32 {
+            let qlen = self.fabric.channels.queue_len(id) as u32;
+            let qbytes = self.fabric.channels.queue_bytes(id);
+            let tx = tel.interval_tx(id);
             queued_pkts += qlen as u64;
             queued_bytes += qbytes;
             if qlen > 0 || tx > 0 {
-                channels.push((id as u32, qlen, qbytes, tx));
+                channels.push((id, qlen, qbytes, tx));
             }
         }
         let mut flows_active = 0u64;
@@ -286,7 +237,9 @@ impl Simulator {
         let sample = Sample {
             t: boundary,
             events: self.events_processed,
-            heap: self.queue.heap.len() as u64,
+            // Field name predates the calendar queue; kept for byte-stable
+            // telemetry streams.
+            heap: self.queue.len() as u64,
             flows_active,
             inflight_bytes,
             queued_pkts,
@@ -317,7 +270,8 @@ impl Simulator {
         }
     }
 
-    /// High-water mark of the event heap over the run so far.
+    /// High-water mark of the event-queue population over the run so far
+    /// (the name predates the calendar queue; manifests report it).
     pub fn heap_peak(&self) -> usize {
         self.queue.peak
     }
@@ -402,7 +356,7 @@ impl Simulator {
 
     /// Processes one popped event; returns `true` when every
     /// measurement-window flow has completed (the run's natural end).
-    fn step(&mut self, item: HeapItem) -> bool {
+    fn step(&mut self, item: CalEntry) -> bool {
         self.now = item.t;
         self.events_processed += 1;
         if item.t >= self.telemetry_next {
@@ -411,7 +365,7 @@ impl Simulator {
         match item.ev {
             Ev::FlowStart(f) => self.on_flow_start(f),
             Ev::TxFree(ch) => self.on_tx_free(ch),
-            Ev::Deliver(p) => self.on_deliver(p),
+            Ev::Deliver(id) => self.on_deliver(id),
             Ev::Rto(f, epoch) => self.on_rto(f, epoch),
             Ev::Fault(i) => self.on_fault(i),
             Ev::Reconverge(epoch) => self.on_reconverge(epoch),
@@ -447,9 +401,9 @@ impl Simulator {
     /// checkpointed and later driven on with `run` or `run_until`.
     pub fn run_until(&mut self, t_stop: Ns) -> bool {
         loop {
-            match self.queue.heap.peek() {
+            match self.queue.peek_t() {
                 None => return true,
-                Some(item) if item.t > t_stop => return false,
+                Some(t) if t > t_stop => return false,
                 Some(_) => {}
             }
             let item = self.queue.pop().expect("peeked item must pop");
@@ -526,15 +480,11 @@ impl Simulator {
     /// delivery) — the in-flight term of the conservation identity when a
     /// run stops at its horizon.
     pub fn packets_in_flight(&self) -> u64 {
-        let queued: u64 = self
-            .fabric
-            .channels
-            .iter()
-            .map(|c| c.queue_len() as u64)
+        let queued: u64 = (0..self.fabric.channels.len() as u32)
+            .map(|id| self.fabric.channels.queue_len(id) as u64)
             .sum();
         let on_wire = self
             .queue
-            .heap
             .iter()
             .filter(|i| matches!(i.ev, Ev::Deliver(_)))
             .count() as u64;
@@ -587,56 +537,64 @@ impl Simulator {
     }
 
     fn on_tx_free(&mut self, ch_id: u32) {
-        if let Some(pkt) = self.fabric.channels[ch_id as usize].tx_done() {
-            self.start_tx(ch_id, pkt);
+        if let Some(id) = self.fabric.channels.tx_done(ch_id) {
+            self.start_tx(ch_id, id);
         }
     }
 
-    fn start_tx(&mut self, ch_id: u32, pkt: Box<Packet>) {
+    fn start_tx(&mut self, ch_id: u32, id: PktId) {
+        let (flow, seq, is_ack, bytes) = {
+            let p = self.pkts.get(id);
+            (p.flow, p.seq, p.is_ack, p.bytes)
+        };
         if self.trace_on {
-            let ev = TraceEvent::Dequeue {
+            self.trace(TraceEvent::Dequeue {
                 ch: ch_id,
-                flow: pkt.flow,
-                seq: pkt.seq,
-                is_ack: pkt.is_ack,
-            };
-            self.trace(ev);
+                flow,
+                seq,
+                is_ack,
+            });
         }
-        let ch = &self.fabric.channels[ch_id as usize];
-        let ser = ch.ser_ns(pkt.bytes);
-        let prop = ch.prop_ns;
+        let ser = self.fabric.channels.ser_ns(ch_id, bytes);
+        let prop = self.fabric.channels.prop_ns[ch_id as usize];
         if let Some(tel) = self.telemetry.as_mut() {
-            tel.on_tx(ch_id, pkt.bytes);
+            tel.on_tx(ch_id, bytes);
         }
         self.schedule(self.now + ser, Ev::TxFree(ch_id));
-        self.schedule(self.now + ser + prop, Ev::Deliver(pkt));
+        self.schedule(self.now + ser + prop, Ev::Deliver(id));
     }
 
-    fn send_on(&mut self, ch_id: u32, pkt: Box<Packet>) {
-        let (up, loss) = {
-            let ch = &self.fabric.channels[ch_id as usize];
-            (ch.up, ch.loss_prob)
-        };
+    fn send_on(&mut self, ch_id: u32, id: PktId) {
+        let up = self.fabric.channels.up[ch_id as usize];
+        let loss = self.fabric.channels.loss_prob[ch_id as usize];
         if !up || (loss > 0.0 && self.faults.gray_loses(loss)) {
-            self.fabric.channels[ch_id as usize].fault_drops += 1;
+            self.fabric.channels.fault_drops[ch_id as usize] += 1;
+            let (flow, seq, is_ack) = {
+                let p = self.pkts.get(id);
+                (p.flow, p.seq, p.is_ack)
+            };
+            self.pkts.free(id);
             if self.trace_on {
                 self.trace(TraceEvent::DropFault {
                     ch: ch_id,
-                    flow: pkt.flow,
-                    seq: pkt.seq,
-                    is_ack: pkt.is_ack,
+                    flow,
+                    seq,
+                    is_ack,
                 });
             }
-            self.note_fault_hit(pkt.flow);
+            self.note_fault_hit(flow);
             return;
         }
-        let (flow, seq, is_ack) = (pkt.flow, pkt.seq, pkt.is_ack);
-        let (offer, handed, out) = self.fabric.channels[ch_id as usize].offer(pkt);
+        let (flow, seq, is_ack) = {
+            let p = self.pkts.get(id);
+            (p.flow, p.seq, p.is_ack)
+        };
+        let (offer, out) = self.fabric.channels.offer(ch_id, id, &mut self.pkts);
         if self.trace_on {
             match offer {
                 Offer::Queued => {
-                    let ch = &self.fabric.channels[ch_id as usize];
-                    let (qlen, qbytes) = (ch.queue_len() as u32, ch.queue_bytes());
+                    let qlen = self.fabric.channels.queue_len(ch_id) as u32;
+                    let qbytes = self.fabric.channels.queue_bytes(ch_id);
                     self.trace(TraceEvent::Enqueue {
                         ch: ch_id,
                         flow,
@@ -669,66 +627,74 @@ impl Simulator {
                 });
             }
         }
-        if let (Offer::StartTx, Some(p)) = (offer, handed) {
-            self.start_tx(ch_id, p)
+        if offer == Offer::StartTx {
+            self.start_tx(ch_id, id)
         }
     }
 
-    fn on_deliver(&mut self, mut pkt: Box<Packet>) {
-        let ch = pkt.path[pkt.hop as usize];
-        if !self.fabric.channels[ch as usize].up {
+    fn on_deliver(&mut self, id: PktId) {
+        let (ch, flow, seq, is_ack) = {
+            let p = self.pkts.get(id);
+            (p.path[p.hop as usize], p.flow, p.seq, p.is_ack)
+        };
+        if !self.fabric.channels.up[ch as usize] {
             // The wire died while this packet was in flight (or queued
             // behind the transmitter): it is lost.
-            self.fabric.channels[ch as usize].fault_drops += 1;
+            self.fabric.channels.fault_drops[ch as usize] += 1;
+            self.pkts.free(id);
             if self.trace_on {
                 self.trace(TraceEvent::DropFault {
                     ch,
-                    flow: pkt.flow,
-                    seq: pkt.seq,
-                    is_ack: pkt.is_ack,
+                    flow,
+                    seq,
+                    is_ack,
                 });
             }
-            self.note_fault_hit(pkt.flow);
+            self.note_fault_hit(flow);
             return;
         }
-        let node = self.fabric.channels[ch as usize].to_node;
-        pkt.hop += 1;
+        let node = self.fabric.channels.to_node[ch as usize];
         if node < self.fabric.num_switches {
             // Switch: source-routed forward onto the next channel.
-            let next = pkt.path[pkt.hop as usize];
-            self.send_on(next, pkt);
+            let next = {
+                let p = self.pkts.get_mut(id);
+                p.hop += 1;
+                p.path[p.hop as usize]
+            };
+            self.send_on(next, id);
         } else {
+            self.pkts.get_mut(id).hop += 1;
             self.pkts_delivered += 1;
             if self.trace_on {
-                self.trace(TraceEvent::Deliver {
-                    flow: pkt.flow,
-                    seq: pkt.seq,
-                    is_ack: pkt.is_ack,
-                });
+                self.trace(TraceEvent::Deliver { flow, seq, is_ack });
             }
-            if pkt.is_ack {
-                self.on_ack(pkt);
+            if is_ack {
+                self.on_ack(id);
             } else {
-                self.on_data(pkt);
+                self.on_data(id);
             }
         }
     }
 
-    // Packets arrive boxed from the event heap; unboxing at the dispatch
-    // site would just move the struct for no benefit.
-    #[allow(clippy::boxed_local)]
-    fn on_data(&mut self, pkt: Box<Packet>) {
-        let fid = pkt.flow;
+    fn on_data(&mut self, id: PktId) {
+        let (fid, seq, ecn_ce, ts) = {
+            let p = self.pkts.get(id);
+            (p.flow, p.seq, p.ecn_ce, p.ts)
+        };
+        let path = self.pkts.get(id).path.clone();
+        // The data packet's arena slot is released before the ACK is
+        // allocated, so (LIFO free list) the ACK usually reuses it.
+        self.pkts.free(id);
         if self.flows[fid as usize].failed {
             return;
         }
         let f = &mut self.flows[fid as usize];
         debug_assert_eq!(self.fabric.num_switches + f.dst_server, {
-            let last = *pkt.path.last().unwrap();
-            self.fabric.channels[last as usize].to_node
+            let last = *path.last().unwrap();
+            self.fabric.channels.to_node[last as usize]
         });
         if f.finished_ns.is_none() {
-            f.rcv_mark(pkt.seq);
+            f.rcv_mark(seq);
             if f.rcv_cum == f.total_pkts {
                 f.finished_ns = Some(self.now);
                 f.rcv_bitmap = Vec::new();
@@ -744,47 +710,51 @@ impl Simulator {
         // Cumulative ACK retracing the data packet's route backwards.
         let f = &mut self.flows[fid as usize];
         let rev = match &f.rev_cache {
-            Some((fwd, rev)) if Arc::ptr_eq(fwd, &pkt.path) => rev.clone(),
+            Some((fwd, rev)) if Arc::ptr_eq(fwd, &path) => rev.clone(),
             _ => {
-                let rev: ChannelPath = Arc::new(pkt.path.iter().rev().map(|c| c ^ 1).collect());
-                f.rev_cache = Some((pkt.path.clone(), rev.clone()));
+                let rev: ChannelPath = Arc::new(path.iter().rev().map(|c| c ^ 1).collect());
+                f.rev_cache = Some((path.clone(), rev.clone()));
                 rev
             }
         };
         let f = &self.flows[fid as usize];
-        let ack = Box::new(Packet {
+        let first = rev[0];
+        let ack_seq = f.rcv_cum;
+        let ack_bytes = self.cfg.ack_bytes;
+        let ack = self.pkts.alloc(Packet {
             flow: fid,
-            seq: f.rcv_cum,
-            bytes: self.cfg.ack_bytes,
+            seq: ack_seq,
+            bytes: ack_bytes,
             ecn_ce: false,
             is_ack: true,
-            ack_ecn: pkt.ecn_ce,
-            ts: pkt.ts,
+            ack_ecn: ecn_ce,
+            ts,
             hop: 0,
             prio: 0,
             path: rev,
         });
-        let first = ack.path[0];
         self.pkts_sent += 1;
         if self.trace_on {
             self.trace(TraceEvent::Send {
                 flow: fid,
-                seq: ack.seq,
+                seq: ack_seq,
                 is_ack: true,
-                bytes: ack.bytes,
+                bytes: ack_bytes,
             });
         }
         self.send_on(first, ack);
     }
 
-    #[allow(clippy::boxed_local)]
-    fn on_ack(&mut self, ack: Box<Packet>) {
-        let fid = ack.flow;
+    fn on_ack(&mut self, id: PktId) {
+        let (fid, c, ack_ecn, ts) = {
+            let a = self.pkts.get(id);
+            (a.flow, a.seq, a.ack_ecn, a.ts)
+        };
+        self.pkts.free(id);
         let f = &self.flows[fid as usize];
         if f.failed || f.acked >= f.total_pkts {
             return; // sender already done (or flow terminated)
         }
-        let c = ack.seq;
         if c > f.acked {
             // Engine-side accounting of forward progress (independent of
             // the transport's window reaction).
@@ -803,27 +773,23 @@ impl Simulator {
                 // First forward progress after a fault-induced loss.
                 f.recovery_ns = Some(self.now);
             }
-            if ack.ack_ecn {
+            if ack_ecn {
                 // Feedback for adaptive routing is tracked regardless of
                 // the transport's reaction.
                 f.ecn_total += newly as u64;
             }
         }
-        let rtt_ns = self.now - ack.ts;
-        let act = self.transport.on_ack(
-            &mut self.flows[fid as usize],
-            c,
-            ack.ack_ecn,
-            rtt_ns,
-            &self.cfg,
-        );
+        let rtt_ns = self.now - ts;
+        let act =
+            self.transport
+                .on_ack(&mut self.flows[fid as usize], c, ack_ecn, rtt_ns, &self.cfg);
         if self.trace_on {
             // The window value is reported after the transport's reaction.
             let cwnd_bytes = self.flows[fid as usize].cwnd as u64;
             self.trace(TraceEvent::Ack {
                 flow: fid,
                 cum: c,
-                ecn: ack.ack_ecn,
+                ecn: ack_ecn,
                 rtt_ns,
                 cwnd_bytes,
             });
@@ -1023,30 +989,31 @@ impl Simulator {
         let prio = self
             .transport
             .priority(&self.flows[fid as usize], &self.cfg);
-        let f = &self.flows[fid as usize];
-        let pkt = Box::new(Packet {
+        let path = self.flows[fid as usize].cur_path.clone().unwrap();
+        let first = path[0];
+        let bytes = payload + HEADER_BYTES;
+        let id = self.pkts.alloc(Packet {
             flow: fid,
             seq,
-            bytes: payload + HEADER_BYTES,
+            bytes,
             ecn_ce: false,
             is_ack: false,
             ack_ecn: false,
             ts: self.now,
             hop: 0,
             prio,
-            path: f.cur_path.clone().unwrap(),
+            path,
         });
-        let first = pkt.path[0];
         self.pkts_sent += 1;
         if self.trace_on {
             self.trace(TraceEvent::Send {
                 flow: fid,
                 seq,
                 is_ack: false,
-                bytes: pkt.bytes,
+                bytes,
             });
         }
-        self.send_on(first, pkt);
+        self.send_on(first, id);
     }
 
     /// Oracle scoring: queued bytes along each KSP candidate, walking the
@@ -1061,7 +1028,7 @@ impl Simulator {
                 let link = self.fabric.links[l as usize];
                 let ch = if link.a == u { 2 * l } else { 2 * l + 1 };
                 u = link.other(u);
-                queued += self.fabric.channels[ch as usize].queue_bytes();
+                queued += self.fabric.channels.queue_bytes(ch);
             }
             let tie = hash3(key, i as u64, 0x07AC1E);
             if best.is_none_or(|(q, t, _)| (queued, tie) < (q, t)) {

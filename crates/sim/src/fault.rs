@@ -446,13 +446,13 @@ impl FaultController {
             // Gray failures are invisible to the control plane: no
             // reconvergence, just per-packet losses in both directions.
             FaultKind::LinkGray(l, p) => {
-                fabric.channels[2 * l as usize].loss_prob = p;
-                fabric.channels[2 * l as usize + 1].loss_prob = p;
+                fabric.channels.loss_prob[2 * l as usize] = p;
+                fabric.channels.loss_prob[2 * l as usize + 1] = p;
                 return false;
             }
             FaultKind::LinkClear(l) => {
-                fabric.channels[2 * l as usize].loss_prob = 0.0;
-                fabric.channels[2 * l as usize + 1].loss_prob = 0.0;
+                fabric.channels.loss_prob[2 * l as usize] = 0.0;
+                fabric.channels.loss_prob[2 * l as usize + 1] = 0.0;
                 return false;
             }
         }

@@ -6,7 +6,8 @@
 //!
 //! The simulator is layered (see `DESIGN.md` for the full contract):
 //!
-//! - [`engine`] — event heap, clock, and dispatch loop ([`Simulator`]);
+//! - [`engine`] — calendar event queue, clock, and dispatch loop
+//!   ([`Simulator`]), with in-flight packets in a [`PacketArena`] slab;
 //! - [`host`] — per-flow state behind the pluggable [`Transport`] trait
 //!   ([`Dctcp`] by default; [`NewReno`] and [`PFabric`] ship too);
 //! - [`switch`] — per-port queues behind the [`QueueDiscipline`] trait
@@ -55,12 +56,14 @@
 //! assert_eq!(m.completed, m.flows);
 //! ```
 
+pub mod calendar;
 pub mod channel;
 pub mod checkpoint;
 pub mod engine;
 pub mod fault;
 pub mod host;
 pub mod net;
+pub mod slab;
 pub mod stats;
 pub mod switch;
 pub mod telemetry;
@@ -71,6 +74,7 @@ pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointMeta};
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};
+pub use slab::{PacketArena, PktId};
 pub use stats::{
     compute_metrics, compute_metrics_with_dists, percentile, ChannelCounters, DropCounters,
     FctDistributions, FlowRecord, Metrics, StreamingHistogram, TraceCounters, SHORT_FLOW_BYTES,

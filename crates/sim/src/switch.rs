@@ -1,11 +1,18 @@
 //! The switch layer: per-port queue disciplines and the fabric substrate.
 //!
-//! A switch port (and a host NIC queue) is a [`crate::channel::Channel`]:
-//! a serializing transmitter fed by a queue. What *kind* of queue — FIFO
-//! tail-drop with ECN marking, strict priority, anything else — is decided
-//! here, behind the [`QueueDiscipline`] trait. The engine never looks
-//! inside a queue; it offers packets and takes whatever the discipline
-//! hands back.
+//! A switch port (and a host NIC queue) is a channel in
+//! [`crate::channel::Channels`]: a serializing transmitter fed by a
+//! queue. What *kind* of queue — FIFO tail-drop with ECN marking, strict
+//! priority, anything else — is decided here, behind the
+//! [`QueueDiscipline`] trait. The engine never looks inside a queue; it
+//! offers packet ids and takes whatever id the discipline hands back.
+//!
+//! Disciplines queue dense [`PktId`]s plus the few packet fields their
+//! scheduling decisions read (bytes, priority, flow identity), copied
+//! into their own contiguous entries at enqueue time. Scans — pFabric's
+//! best/worst search, byte accounting — therefore run over a flat array
+//! instead of chasing per-packet heap pointers; the full packet stays in
+//! the [`PacketArena`] and is only touched to apply an ECN mark.
 //!
 //! Two disciplines ship with the simulator:
 //!
@@ -17,11 +24,12 @@
 //!   first; when full, evict from the tail of the *lowest*-priority flow
 //!   (or reject the newcomer if it is itself the least urgent).
 //!
-//! [`Fabric`] bundles the directed channels, the link→channel numbering,
-//! and the server↔rack maps — the static substrate the engine routes over
+//! [`Fabric`] bundles the channel table, the link→channel numbering, and
+//! the server↔rack maps — the static substrate the engine routes over
 //! and the fault layer degrades.
 
-use crate::channel::Channel;
+use crate::channel::Channels;
+use crate::slab::{PacketArena, PktId};
 use crate::types::{Packet, QueueDiscKind, SimConfig};
 use dcn_topology::{Link, NodeId, Topology};
 use std::collections::VecDeque;
@@ -39,7 +47,7 @@ pub struct EnqueueOutcome {
     /// `(flow, seq)` of each queued packet evicted to make room for the
     /// offered one (excludes the offered packet itself when rejected).
     /// Empty for disciplines that never evict, so the common path
-    /// allocates nothing.
+    /// allocates nothing. Victims' arena ids are freed by the discipline.
     pub evicted: Vec<(u32, u32)>,
 }
 
@@ -48,14 +56,20 @@ pub struct EnqueueOutcome {
 /// Implementations decide admission (drop/evict), marking (ECN), and
 /// service order (FIFO, strict priority, …). They must be deterministic —
 /// no clocks, no randomness — so simulations stay reproducible.
+///
+/// Ownership protocol: an accepted id belongs to the discipline until
+/// [`QueueDiscipline::dequeue`] hands it back. Eviction victims are freed
+/// into the arena by the discipline itself; a *rejected* offered id is
+/// NOT freed here — the channel layer frees it (the discipline never
+/// owned it).
 pub trait QueueDiscipline: Send {
     /// Offers a packet while the transmitter is busy. The discipline
     /// keeps it (`accepted`), rejects it, and/or evicts queued packets;
     /// `dropped` counts every packet lost either way.
-    fn enqueue(&mut self, pkt: Box<Packet>) -> EnqueueOutcome;
+    fn enqueue(&mut self, id: PktId, pool: &mut PacketArena) -> EnqueueOutcome;
 
     /// Next packet to serialize, or `None` if the queue is empty.
-    fn dequeue(&mut self) -> Option<Box<Packet>>;
+    fn dequeue(&mut self) -> Option<PktId>;
 
     /// Bytes currently queued (excludes the packet being serialized).
     fn queue_bytes(&self) -> u64;
@@ -69,15 +83,18 @@ pub trait QueueDiscipline: Send {
     /// (arrival) order, or `None` when the discipline cannot be
     /// snapshotted — [`crate::Simulator::checkpoint`] then fails cleanly
     /// instead of silently losing queue state.
-    fn snapshot_queue(&self) -> Option<Vec<Packet>> {
+    fn snapshot_queue(&self, pool: &PacketArena) -> Option<Vec<Packet>> {
+        let _ = pool;
         None
     }
 
     /// Reinstates packets captured by [`QueueDiscipline::snapshot_queue`]
-    /// in the same order, bypassing admission entirely (no marking, drops,
-    /// or evictions — the packets already carry their marks). Disciplines
-    /// returning `Some` from the snapshot hook must implement this.
-    fn restore_queue(&mut self, pkts: Vec<Box<Packet>>) {
+    /// in the same order, allocating fresh arena ids and bypassing
+    /// admission entirely (no marking, drops, or evictions — the packets
+    /// already carry their marks). Disciplines returning `Some` from the
+    /// snapshot hook must implement this.
+    fn restore_queue(&mut self, pkts: Vec<Packet>, pool: &mut PacketArena) {
+        let _ = pool;
         assert!(
             pkts.is_empty(),
             "{} does not support queue restoration",
@@ -102,10 +119,18 @@ impl QueueDiscKind {
     }
 }
 
+/// A queued packet in a [`TailDropEcn`] port: the id plus the one field
+/// byte accounting needs.
+#[derive(Clone, Copy, Debug)]
+struct FifoEntry {
+    id: PktId,
+    bytes: u32,
+}
+
 /// FIFO + tail drop + DCTCP ECN marking — the paper's §6.4 switch port.
 #[derive(Debug)]
 pub struct TailDropEcn {
-    queue: VecDeque<Box<Packet>>,
+    queue: VecDeque<FifoEntry>,
     bytes: u64,
     cap_bytes: u64,
     ecn_threshold_bytes: u64,
@@ -123,8 +148,12 @@ impl TailDropEcn {
 }
 
 impl QueueDiscipline for TailDropEcn {
-    fn enqueue(&mut self, mut pkt: Box<Packet>) -> EnqueueOutcome {
-        if self.bytes + pkt.bytes as u64 > self.cap_bytes {
+    fn enqueue(&mut self, id: PktId, pool: &mut PacketArena) -> EnqueueOutcome {
+        let (pkt_bytes, is_ack) = {
+            let p = pool.get(id);
+            (p.bytes, p.is_ack)
+        };
+        if self.bytes + pkt_bytes as u64 > self.cap_bytes {
             return EnqueueOutcome {
                 accepted: false,
                 dropped: 1,
@@ -132,12 +161,15 @@ impl QueueDiscipline for TailDropEcn {
             };
         }
         // DCTCP: mark on enqueue when the instantaneous queue exceeds K.
-        let marked = self.bytes >= self.ecn_threshold_bytes && !pkt.is_ack;
+        let marked = self.bytes >= self.ecn_threshold_bytes && !is_ack;
         if marked {
-            pkt.ecn_ce = true;
+            pool.get_mut(id).ecn_ce = true;
         }
-        self.bytes += pkt.bytes as u64;
-        self.queue.push_back(pkt);
+        self.bytes += pkt_bytes as u64;
+        self.queue.push_back(FifoEntry {
+            id,
+            bytes: pkt_bytes,
+        });
         EnqueueOutcome {
             accepted: true,
             marked,
@@ -145,10 +177,10 @@ impl QueueDiscipline for TailDropEcn {
         }
     }
 
-    fn dequeue(&mut self) -> Option<Box<Packet>> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.bytes as u64;
-        Some(pkt)
+    fn dequeue(&mut self) -> Option<PktId> {
+        let e = self.queue.pop_front()?;
+        self.bytes -= e.bytes as u64;
+        Some(e.id)
     }
 
     fn queue_bytes(&self) -> u64 {
@@ -163,16 +195,30 @@ impl QueueDiscipline for TailDropEcn {
         "tail_drop_ecn"
     }
 
-    fn snapshot_queue(&self) -> Option<Vec<Packet>> {
-        Some(self.queue.iter().map(|p| (**p).clone()).collect())
+    fn snapshot_queue(&self, pool: &PacketArena) -> Option<Vec<Packet>> {
+        Some(self.queue.iter().map(|e| pool.get(e.id).clone()).collect())
     }
 
-    fn restore_queue(&mut self, pkts: Vec<Box<Packet>>) {
+    fn restore_queue(&mut self, pkts: Vec<Packet>, pool: &mut PacketArena) {
         for pkt in pkts {
-            self.bytes += pkt.bytes as u64;
-            self.queue.push_back(pkt);
+            let bytes = pkt.bytes;
+            let id = pool.alloc(pkt);
+            self.bytes += bytes as u64;
+            self.queue.push_back(FifoEntry { id, bytes });
         }
     }
+}
+
+/// A queued packet in a [`PFabricQueue`] port: the id plus the fields the
+/// priority scans and victim reporting read, kept contiguous so best/worst
+/// searches never leave the entry array.
+#[derive(Clone, Copy, Debug)]
+struct PrioEntry {
+    id: PktId,
+    bytes: u32,
+    prio: u32,
+    flow: u32,
+    seq: u32,
 }
 
 /// pFabric strict-priority queue: serve the smallest remaining flow size
@@ -182,7 +228,7 @@ impl QueueDiscipline for TailDropEcn {
 #[derive(Debug)]
 pub struct PFabricQueue {
     /// Arrival order is the queue order; service order is by priority.
-    queue: VecDeque<Box<Packet>>,
+    queue: VecDeque<PrioEntry>,
     bytes: u64,
     cap_bytes: u64,
 }
@@ -200,9 +246,9 @@ impl PFabricQueue {
     /// arrival among ties (the "tail of the lowest priority").
     fn worst(&self) -> Option<usize> {
         let mut worst: Option<(u32, usize)> = None;
-        for (i, p) in self.queue.iter().enumerate() {
-            if worst.is_none_or(|(wp, _)| p.prio >= wp) {
-                worst = Some((p.prio, i));
+        for (i, e) in self.queue.iter().enumerate() {
+            if worst.is_none_or(|(wp, _)| e.prio >= wp) {
+                worst = Some((e.prio, i));
             }
         }
         worst.map(|(_, i)| i)
@@ -210,16 +256,21 @@ impl PFabricQueue {
 }
 
 impl QueueDiscipline for PFabricQueue {
-    fn enqueue(&mut self, pkt: Box<Packet>) -> EnqueueOutcome {
+    fn enqueue(&mut self, id: PktId, pool: &mut PacketArena) -> EnqueueOutcome {
+        let (pkt_bytes, prio, flow, seq) = {
+            let p = pool.get(id);
+            (p.bytes, p.prio, p.flow, p.seq)
+        };
         let mut evicted = Vec::new();
-        while self.bytes + pkt.bytes as u64 > self.cap_bytes {
+        while self.bytes + pkt_bytes as u64 > self.cap_bytes {
             match self.worst() {
                 // A strictly less urgent packet is queued: evict it. On a
                 // tie the newcomer is the tail of that priority and loses.
-                Some(w) if self.queue[w].prio > pkt.prio => {
+                Some(w) if self.queue[w].prio > prio => {
                     let victim = self.queue.remove(w).unwrap();
                     self.bytes -= victim.bytes as u64;
                     evicted.push((victim.flow, victim.seq));
+                    pool.free(victim.id);
                 }
                 _ => {
                     return EnqueueOutcome {
@@ -231,8 +282,14 @@ impl QueueDiscipline for PFabricQueue {
                 }
             }
         }
-        self.bytes += pkt.bytes as u64;
-        self.queue.push_back(pkt);
+        self.bytes += pkt_bytes as u64;
+        self.queue.push_back(PrioEntry {
+            id,
+            bytes: pkt_bytes,
+            prio,
+            flow,
+            seq,
+        });
         EnqueueOutcome {
             accepted: true,
             dropped: evicted.len() as u32,
@@ -241,18 +298,18 @@ impl QueueDiscipline for PFabricQueue {
         }
     }
 
-    fn dequeue(&mut self) -> Option<Box<Packet>> {
+    fn dequeue(&mut self) -> Option<PktId> {
         // Most urgent = smallest prio; earliest arrival breaks ties.
         let mut best: Option<(u32, usize)> = None;
-        for (i, p) in self.queue.iter().enumerate() {
-            if best.is_none_or(|(bp, _)| p.prio < bp) {
-                best = Some((p.prio, i));
+        for (i, e) in self.queue.iter().enumerate() {
+            if best.is_none_or(|(bp, _)| e.prio < bp) {
+                best = Some((e.prio, i));
             }
         }
         let (_, i) = best?;
-        let pkt = self.queue.remove(i).unwrap();
-        self.bytes -= pkt.bytes as u64;
-        Some(pkt)
+        let e = self.queue.remove(i).unwrap();
+        self.bytes -= e.bytes as u64;
+        Some(e.id)
     }
 
     fn queue_bytes(&self) -> u64 {
@@ -267,14 +324,22 @@ impl QueueDiscipline for PFabricQueue {
         "pfabric"
     }
 
-    fn snapshot_queue(&self) -> Option<Vec<Packet>> {
-        Some(self.queue.iter().map(|p| (**p).clone()).collect())
+    fn snapshot_queue(&self, pool: &PacketArena) -> Option<Vec<Packet>> {
+        Some(self.queue.iter().map(|e| pool.get(e.id).clone()).collect())
     }
 
-    fn restore_queue(&mut self, pkts: Vec<Box<Packet>>) {
+    fn restore_queue(&mut self, pkts: Vec<Packet>, pool: &mut PacketArena) {
         for pkt in pkts {
-            self.bytes += pkt.bytes as u64;
-            self.queue.push_back(pkt);
+            let (bytes, prio, flow, seq) = (pkt.bytes, pkt.prio, pkt.flow, pkt.seq);
+            let id = pool.alloc(pkt);
+            self.bytes += bytes as u64;
+            self.queue.push_back(PrioEntry {
+                id,
+                bytes,
+                prio,
+                flow,
+                seq,
+            });
         }
     }
 }
@@ -284,7 +349,7 @@ impl QueueDiscipline for PFabricQueue {
 /// numbering. Built once per simulation; the fault layer flips channel
 /// `up` flags, the engine routes packets over it.
 pub struct Fabric {
-    pub(crate) channels: Vec<Channel>,
+    pub(crate) channels: Channels,
     pub(crate) links: Vec<Link>,
     /// First channel id of the host (server) channel block.
     pub(crate) host_ch_base: u32,
@@ -297,29 +362,19 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Builds the channel set for `topo` under `cfg`, one queue-discipline
-    /// instance per channel from `disc`. Channel numbering: link `l`'s
-    /// a→b direction is channel `2l`, b→a is `2l+1`; after
-    /// [`Fabric::host_ch_base`] come per-server (up, down) pairs.
+    /// Builds the channel table for `topo` under `cfg`, one
+    /// queue-discipline instance per channel from `disc`. Channel
+    /// numbering: link `l`'s a→b direction is channel `2l`, b→a is `2l+1`;
+    /// after [`Fabric::host_ch_base`] come per-server (up, down) pairs.
     pub(crate) fn build(topo: &Topology, cfg: &SimConfig, disc: DisciplineFactory) -> Self {
         let mtu = cfg.mtu as u64;
         let link_cap = cfg.queue_pkts as u64 * mtu;
         let ecn_at = cfg.ecn_k_pkts as u64 * mtu;
-        let mut channels = Vec::with_capacity(topo.num_links() * 2);
+        let mut channels = Channels::new(cfg.mtu, cfg.ack_bytes);
         for l in topo.links() {
             let gbps = cfg.link_gbps * l.capacity;
-            channels.push(Channel::new(
-                l.b,
-                gbps,
-                cfg.prop_delay_ns,
-                disc(link_cap, ecn_at),
-            ));
-            channels.push(Channel::new(
-                l.a,
-                gbps,
-                cfg.prop_delay_ns,
-                disc(link_cap, ecn_at),
-            ));
+            channels.push(l.b, gbps, cfg.prop_delay_ns, disc(link_cap, ecn_at));
+            channels.push(l.a, gbps, cfg.prop_delay_ns, disc(link_cap, ecn_at));
         }
         let host_ch_base = channels.len() as u32;
         let num_switches = topo.num_nodes() as u32;
@@ -337,19 +392,19 @@ impl Fabric {
                 // Up: server → ToR. The NIC queue marks ECN like a switch
                 // port so DCTCP self-paces instead of overflowing the host
                 // queue (real stacks backpressure at the qdisc).
-                channels.push(Channel::new(
+                channels.push(
                     rack,
                     cfg.server_link_gbps,
                     cfg.prop_delay_ns,
                     disc(host_cap, ecn_at),
-                ));
+                );
                 // Down: ToR → server (a real switch port: ECN + drops).
-                channels.push(Channel::new(
+                channels.push(
                     server_node,
                     cfg.server_link_gbps,
                     cfg.prop_delay_ns,
                     disc(link_cap, ecn_at),
-                ));
+                );
                 server_tor.push(rack);
             }
         }
@@ -381,36 +436,36 @@ impl Fabric {
     pub(crate) fn apply_fault_state(&mut self, down_links: &[bool], down_sw: &[bool]) {
         for (l, link) in self.links.iter().enumerate() {
             let up = !down_links[l] && !down_sw[link.a as usize] && !down_sw[link.b as usize];
-            self.channels[2 * l].up = up;
-            self.channels[2 * l + 1].up = up;
+            self.channels.up[2 * l] = up;
+            self.channels.up[2 * l + 1] = up;
         }
         for s in 0..self.server_tor.len() {
             let up = !down_sw[self.server_tor[s] as usize];
-            self.channels[self.host_ch_base as usize + 2 * s].up = up;
-            self.channels[self.host_ch_base as usize + 2 * s + 1].up = up;
+            self.channels.up[self.host_ch_base as usize + 2 * s] = up;
+            self.channels.up[self.host_ch_base as usize + 2 * s + 1] = up;
         }
     }
 
     /// Total congestion tail drops across all channels (includes
     /// priority evictions).
     pub(crate) fn total_congestion_drops(&self) -> u64 {
-        self.channels.iter().map(|c| c.drops).sum()
+        self.channels.drops.iter().sum()
     }
 
     /// Queued packets evicted by priority disciplines (a subset of
     /// [`Fabric::total_congestion_drops`]).
     pub(crate) fn total_evictions(&self) -> u64 {
-        self.channels.iter().map(|c| c.evictions).sum()
+        self.channels.evictions.iter().sum()
     }
 
     /// Packets lost on dead or gray channels.
     pub(crate) fn total_fault_drops(&self) -> u64 {
-        self.channels.iter().map(|c| c.fault_drops).sum()
+        self.channels.fault_drops.iter().sum()
     }
 
     /// Total ECN marks across all channels.
     pub(crate) fn total_marks(&self) -> u64 {
-        self.channels.iter().map(|c| c.marks).sum()
+        self.channels.marks.iter().sum()
     }
 }
 
@@ -419,8 +474,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn pkt(bytes: u32, prio: u32) -> Box<Packet> {
-        Box::new(Packet {
+    fn pkt(a: &mut PacketArena, bytes: u32, prio: u32) -> PktId {
+        a.alloc(Packet {
             flow: 0,
             seq: 0,
             bytes,
@@ -436,12 +491,17 @@ mod tests {
 
     #[test]
     fn tail_drop_marks_above_threshold_and_drops_when_full() {
+        let mut a = PacketArena::new();
         let mut q = TailDropEcn::new(3 * 1500, 1500);
-        assert!(q.enqueue(pkt(1500, 0)).accepted); // 0 < 1500: no mark
-        let out = q.enqueue(pkt(1500, 0)); // queue holds 1500 ≥ K
+        let p = pkt(&mut a, 1500, 0);
+        assert!(q.enqueue(p, &mut a).accepted); // 0 < 1500: no mark
+        let p = pkt(&mut a, 1500, 0);
+        let out = q.enqueue(p, &mut a); // queue holds 1500 ≥ K
         assert!(out.accepted && out.marked);
-        assert!(q.enqueue(pkt(1500, 0)).accepted);
-        let out = q.enqueue(pkt(1500, 0)); // 4500 + 1500 > cap
+        let p = pkt(&mut a, 1500, 0);
+        assert!(q.enqueue(p, &mut a).accepted);
+        let rejected = pkt(&mut a, 1500, 0);
+        let out = q.enqueue(rejected, &mut a); // 4500 + 1500 > cap
         assert_eq!(
             out,
             EnqueueOutcome {
@@ -451,67 +511,81 @@ mod tests {
                 evicted: vec![],
             }
         );
-        // FIFO order out, marks travel with the packets.
-        assert!(!q.dequeue().unwrap().ecn_ce);
-        assert!(q.dequeue().unwrap().ecn_ce);
-        assert!(q.dequeue().unwrap().ecn_ce);
+        a.free(rejected); // the channel layer frees rejected offers
+                          // FIFO order out, marks travel with the packets.
+        assert!(!a.get(q.dequeue().unwrap()).ecn_ce);
+        assert!(a.get(q.dequeue().unwrap()).ecn_ce);
+        assert!(a.get(q.dequeue().unwrap()).ecn_ce);
         assert!(q.dequeue().is_none());
         assert_eq!(q.queue_bytes(), 0);
     }
 
     #[test]
     fn pfabric_serves_smallest_remaining_first() {
+        let mut a = PacketArena::new();
         let mut q = PFabricQueue::new(10 * 1500);
-        q.enqueue(pkt(1500, 50));
-        q.enqueue(pkt(1500, 3));
-        q.enqueue(pkt(1500, 7));
-        assert_eq!(q.dequeue().unwrap().prio, 3);
-        assert_eq!(q.dequeue().unwrap().prio, 7);
-        assert_eq!(q.dequeue().unwrap().prio, 50);
+        for prio in [50, 3, 7] {
+            let p = pkt(&mut a, 1500, prio);
+            q.enqueue(p, &mut a);
+        }
+        assert_eq!(a.get(q.dequeue().unwrap()).prio, 3);
+        assert_eq!(a.get(q.dequeue().unwrap()).prio, 7);
+        assert_eq!(a.get(q.dequeue().unwrap()).prio, 50);
         assert!(q.dequeue().is_none());
     }
 
     #[test]
     fn pfabric_fifo_among_equal_priorities() {
+        let mut a = PacketArena::new();
         let mut q = PFabricQueue::new(10 * 1500);
         for seq in 0..3 {
-            let mut p = pkt(1500, 5);
-            p.seq = seq;
-            q.enqueue(p);
+            let p = pkt(&mut a, 1500, 5);
+            a.get_mut(p).seq = seq;
+            q.enqueue(p, &mut a);
         }
-        assert_eq!(q.dequeue().unwrap().seq, 0);
-        assert_eq!(q.dequeue().unwrap().seq, 1);
-        assert_eq!(q.dequeue().unwrap().seq, 2);
+        assert_eq!(a.get(q.dequeue().unwrap()).seq, 0);
+        assert_eq!(a.get(q.dequeue().unwrap()).seq, 1);
+        assert_eq!(a.get(q.dequeue().unwrap()).seq, 2);
     }
 
     #[test]
     fn pfabric_evicts_lowest_priority_when_full() {
+        let mut a = PacketArena::new();
         let mut q = PFabricQueue::new(3 * 1500);
-        q.enqueue(pkt(1500, 10));
-        let mut straggler = pkt(1500, 90);
-        straggler.flow = 4;
-        straggler.seq = 2;
-        q.enqueue(straggler);
-        q.enqueue(pkt(1500, 20));
+        let p = pkt(&mut a, 1500, 10);
+        q.enqueue(p, &mut a);
+        let straggler = pkt(&mut a, 1500, 90);
+        a.get_mut(straggler).flow = 4;
+        a.get_mut(straggler).seq = 2;
+        q.enqueue(straggler, &mut a);
+        let p = pkt(&mut a, 1500, 20);
+        q.enqueue(p, &mut a);
         // Full. An urgent packet evicts the prio-90 straggler...
-        let out = q.enqueue(pkt(1500, 1));
+        let live = a.live_count();
+        let p = pkt(&mut a, 1500, 1);
+        let out = q.enqueue(p, &mut a);
         assert!(out.accepted);
         assert_eq!(out.dropped, 1);
         assert_eq!(out.evicted, vec![(4, 2)], "victim identity reported");
         assert_eq!(q.queue_len(), 3);
+        assert_eq!(a.live_count(), live, "victim freed, newcomer allocated");
         // ...while a hopeless one is rejected outright.
-        let out = q.enqueue(pkt(1500, 99));
+        let hopeless = pkt(&mut a, 1500, 99);
+        let out = q.enqueue(hopeless, &mut a);
         assert!(!out.accepted);
         assert_eq!(out.dropped, 1);
         assert!(out.evicted.is_empty(), "rejection evicts nothing");
+        a.free(hopeless);
         // Ties lose too: the tail of the lowest priority is the newcomer.
-        let out = q.enqueue(pkt(1500, 20));
+        let tie = pkt(&mut a, 1500, 20);
+        let out = q.enqueue(tie, &mut a);
         assert!(!out.accepted, "equal-priority newcomer must be the victim");
+        a.free(tie);
         assert_eq!(
             vec![
-                q.dequeue().unwrap().prio,
-                q.dequeue().unwrap().prio,
-                q.dequeue().unwrap().prio
+                a.get(q.dequeue().unwrap()).prio,
+                a.get(q.dequeue().unwrap()).prio,
+                a.get(q.dequeue().unwrap()).prio
             ],
             vec![1, 10, 20]
         );
@@ -519,11 +593,34 @@ mod tests {
 
     #[test]
     fn pfabric_never_marks() {
+        let mut a = PacketArena::new();
         let mut q = PFabricQueue::new(10 * 1500);
         for _ in 0..9 {
-            assert!(!q.enqueue(pkt(1500, 1)).marked);
+            let p = pkt(&mut a, 1500, 1);
+            assert!(!q.enqueue(p, &mut a).marked);
         }
         assert!(q.dequeue().is_some());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_through_the_arena() {
+        let mut a = PacketArena::new();
+        let mut q = TailDropEcn::new(10 * 1500, 1500);
+        for seq in 0..4 {
+            let p = pkt(&mut a, 1500, 0);
+            a.get_mut(p).seq = seq;
+            q.enqueue(p, &mut a);
+        }
+        let snap = q.snapshot_queue(&a).unwrap();
+        assert_eq!(snap.len(), 4);
+        let mut b = PacketArena::new();
+        let mut q2 = TailDropEcn::new(10 * 1500, 1500);
+        q2.restore_queue(snap, &mut b);
+        assert_eq!(q2.queue_len(), 4);
+        assert_eq!(q2.queue_bytes(), q.queue_bytes());
+        for seq in 0..4 {
+            assert_eq!(b.get(q2.dequeue().unwrap()).seq, seq);
+        }
     }
 
     #[test]

@@ -311,11 +311,11 @@ fn pfabric_evicts_only_when_full() {
 /// urgent packets, and only when full.
 #[test]
 fn pfabric_queue_matches_srpt_model() {
-    use dcn_sim::{PFabricQueue, Packet, QueueDiscipline};
+    use dcn_sim::{PFabricQueue, Packet, PacketArena, QueueDiscipline};
     use std::sync::Arc;
 
-    let mk = |prio: u32, seq: u32| {
-        Box::new(Packet {
+    let mk = |pool: &mut PacketArena, prio: u32, seq: u32| {
+        pool.alloc(Packet {
             flow: prio,
             seq,
             bytes: 1500,
@@ -332,6 +332,7 @@ fn pfabric_queue_matches_srpt_model() {
     let mut meta = Rng::seed_from_u64(0x512F);
     for _ in 0..20 {
         let cap_pkts = 2 + meta.gen_range(0u64..8);
+        let mut pool = PacketArena::new();
         let mut q = PFabricQueue::new(cap_pkts * 1500);
         // Reference queue: (prio, arrival id) in arrival order.
         let mut model: Vec<(u32, u32)> = Vec::new();
@@ -341,7 +342,8 @@ fn pfabric_queue_matches_srpt_model() {
                 let prio = meta.gen_range(0u32..6);
                 let seq = arrivals;
                 arrivals += 1;
-                let out = q.enqueue(mk(prio, seq));
+                let id = mk(&mut pool, prio, seq);
+                let out = q.enqueue(id, &mut pool);
                 // Reference: evict the worst (max prio, latest arrival)
                 // while full, but only if strictly less urgent.
                 let mut expect_evicted = Vec::new();
@@ -364,17 +366,23 @@ fn pfabric_queue_matches_srpt_model() {
                 );
                 if accepted {
                     model.push((prio, seq));
+                } else {
+                    // The discipline never owned the rejected id; the
+                    // channel layer frees it.
+                    pool.free(id);
                 }
             } else {
                 let expect = (0..model.len()).min_by_key(|&i| (model[i].0, i));
                 match (q.dequeue(), expect) {
-                    (Some(p), Some(i)) => {
+                    (Some(id), Some(i)) => {
                         let (prio, seq) = model.remove(i);
+                        let p = pool.get(id);
                         assert_eq!(
                             (p.prio, p.seq),
                             (prio, seq),
                             "dequeue is not smallest-priority-first"
                         );
+                        pool.free(id);
                     }
                     (None, None) => {}
                     (got, want) => {
@@ -383,6 +391,11 @@ fn pfabric_queue_matches_srpt_model() {
                 }
             }
             assert_eq!(q.queue_len(), model.len());
+            assert_eq!(
+                pool.live_count(),
+                model.len(),
+                "every drop must free its arena slot"
+            );
             assert!(q.queue_bytes() <= cap_pkts * 1500);
         }
     }

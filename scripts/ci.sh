@@ -212,8 +212,20 @@ rm -rf "$serve_dir"
 echo "==> chaos soak (20 seeded fault plans x 3 transports, zero violations)"
 cargo run --release --quiet --bin dcnrun -- chaos --plans 20 --seed 1
 
+echo "==> chaos soak under debug assertions (arena liveness, calendar invariants)"
+# The relcheck profile is release + debug-assertions: the packet arena's
+# use-after-free/double-free checks and the calendar queue's ordering
+# asserts all fire at near-release speed while faults churn ids.
+cargo run --profile relcheck --quiet --bin dcnrun -- chaos --plans 5 --seed 2
+
 echo "==> tracing overhead gate (NopTracer must stay free)"
 cargo run --release -p dcn-bench --bin trace_overhead -- --check > /dev/null
+
+echo "==> engine perf gate (BENCH_sim.json: simulated fields exact, rate floor)"
+# Re-baseline deliberate engine changes with:
+#   cargo run --release -p dcn-bench --bin bench -- perf --bless
+# and commit the updated BENCH_sim.json next to the code that moved it.
+cargo run --release -p dcn-bench --bin bench -- perf --check > /dev/null
 
 echo "==> cargo build --examples"
 cargo build --release --workspace --examples

@@ -6,6 +6,7 @@
 //! dcnstat util   <telemetry.jsonl>            per-channel utilization TSV
 //! dcnstat hist   <trace.jsonl>                FCT / queue-delay / flowlet-gap histograms
 //! dcnstat diff   <a/manifest.json> <b/manifest.json>   field-by-field manifest compare
+//! dcnstat bench  <BENCH_sim.json> [<other.json>]       perf baseline table / diff
 //! ```
 //!
 //! `queues` and `util` read the time-series JSONL a telemetry-enabled run
@@ -14,6 +15,12 @@
 //! manifests, skipping wall-clock and output-path fields, and exits
 //! non-zero when any simulated field drifts — two same-seed runs must
 //! report "zero drift".
+//!
+//! `bench` reads the engine-perf baselines `bench perf --bless` writes:
+//! with one file it prints the per-case rate table; with two it prints a
+//! speedup table (old → new), highlights cases whose rate regressed below
+//! the CI floor, and reports any simulated-field drift — so a perf
+//! trajectory of committed baselines stays readable across re-anchors.
 
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -28,7 +35,8 @@ fn fail(msg: &str) -> ! {
 
 const USAGE: &str = "usage: dcnstat queues <telemetry.jsonl> [--ch N] \
      | dcnstat util <telemetry.jsonl> | dcnstat hist <trace.jsonl> \
-     | dcnstat diff <a/manifest.json> <b/manifest.json>";
+     | dcnstat diff <a/manifest.json> <b/manifest.json> \
+     | dcnstat bench <BENCH_sim.json> [<other.json>]";
 
 /// Parses every JSONL line of `path`.
 fn read_jsonl(path: &str) -> Vec<Json> {
@@ -292,6 +300,82 @@ fn cmd_diff(a_path: &str, b_path: &str, out: &mut dyn Write) -> io::Result<bool>
     Ok(!drift.is_empty())
 }
 
+/// Parses a `BENCH_sim.json` document and returns its case rows.
+fn read_bench(path: &str) -> Vec<Json> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let doc = Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+    if doc.get("schema").and_then(|s| s.as_str()) != Some(dcn_bench::perf::PERF_SCHEMA) {
+        fail(&format!(
+            "{path}: not a {} document",
+            dcn_bench::perf::PERF_SCHEMA
+        ));
+    }
+    doc.get("cases")
+        .and_then(|c| c.as_array())
+        .unwrap_or_else(|| fail(&format!("{path}: missing cases array")))
+        .to_vec()
+}
+
+/// `bench <file>`: per-case rate table of one perf baseline.
+fn bench_report(cases: &[Json], out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "case\tevents\twall_ms\tevents_per_sec")?;
+    for c in cases {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            dcn_bench::perf::case_label(c),
+            c.get("events").and_then(|v| v.as_u64()).unwrap_or(0),
+            c.get("wall_ms").and_then(|v| v.as_u64()).unwrap_or(0),
+            dcn_bench::perf::case_rate(c).unwrap_or(0.0) as u64,
+        )?;
+    }
+    Ok(())
+}
+
+/// `bench <old> <new>`: speedup table plus simulated-field drift; returns
+/// whether anything regressed (rate below the CI floor) or drifted.
+fn bench_compare(old: &[Json], new: &[Json], out: &mut dyn Write) -> io::Result<bool> {
+    let mut bad = false;
+    writeln!(out, "case\told_ev_s\tnew_ev_s\tspeedup\tnote")?;
+    for o in old {
+        let label = dcn_bench::perf::case_label(o);
+        let Some(n) = new.iter().find(|c| dcn_bench::perf::case_label(c) == label) else {
+            bad = true;
+            writeln!(out, "{label}\t-\t-\t-\tMISSING in new")?;
+            continue;
+        };
+        let (or, nr) = (
+            dcn_bench::perf::case_rate(o).unwrap_or(0.0),
+            dcn_bench::perf::case_rate(n).unwrap_or(0.0),
+        );
+        let speedup = if or > 0.0 { nr / or } else { 0.0 };
+        let mut drift = Vec::new();
+        diff_json(o, n, &label, &mut drift);
+        let note = if speedup < dcn_bench::perf::PERF_RATE_FLOOR {
+            bad = true;
+            "REGRESSED (below CI floor)"
+        } else if !drift.is_empty() {
+            bad = true;
+            "simulated fields drifted"
+        } else if speedup < 1.0 {
+            "slower (within floor)"
+        } else {
+            "ok"
+        };
+        writeln!(out, "{label}\t{:.0}\t{:.0}\t{speedup:.2}x\t{note}", or, nr)?;
+        for d in &drift {
+            writeln!(out, "  {d}")?;
+        }
+    }
+    for n in new {
+        let label = dcn_bench::perf::case_label(n);
+        if !old.iter().any(|c| dcn_bench::perf::case_label(c) == label) {
+            writeln!(out, "{label}\t-\t-\t-\tnew case")?;
+        }
+    }
+    Ok(bad)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { fail(USAGE) };
@@ -314,6 +398,13 @@ fn main() {
             let a = args.get(1).unwrap_or_else(|| fail(USAGE));
             let b = args.get(2).unwrap_or_else(|| fail(USAGE));
             cmd_diff(a, b, &mut out).map(|d| drifted = d)
+        }
+        "bench" => {
+            let a = read_bench(args.get(1).unwrap_or_else(|| fail(USAGE)));
+            match args.get(2) {
+                None => bench_report(&a, &mut out),
+                Some(b) => bench_compare(&a, &read_bench(b), &mut out).map(|d| drifted = d),
+            }
         }
         other => fail(&format!("unknown subcommand \"{other}\"\n{USAGE}")),
     };
@@ -380,6 +471,55 @@ mod tests {
             out[0].contains("only_a") && out[1].contains("only_b"),
             "{out:?}"
         );
+    }
+
+    fn bench_case(transport: &str, events: u64, rate: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"topology": "fat_tree_k4", "transport": "{transport}",
+                 "events": {events}, "wall_ms": 10, "events_per_sec_wall": {rate}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn bench_report_prints_one_row_per_case() {
+        let cases = vec![
+            bench_case("dctcp", 100, 1000),
+            bench_case("pfabric", 50, 900),
+        ];
+        let mut out = Vec::new();
+        bench_report(&cases, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(s.lines().count(), 3, "{s}");
+        assert!(s.contains("fat_tree_k4/dctcp\t100\t10\t1000"), "{s}");
+    }
+
+    #[test]
+    fn bench_compare_reports_speedup_and_ignores_wall_fields() {
+        let old = vec![bench_case("dctcp", 100, 1000)];
+        let new = vec![bench_case("dctcp", 100, 3000)];
+        let mut out = Vec::new();
+        let bad = bench_compare(&old, &new, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(!bad, "{s}");
+        assert!(s.contains("3.00x\tok"), "{s}");
+    }
+
+    #[test]
+    fn bench_compare_flags_floor_regression_and_drift() {
+        let old = vec![bench_case("dctcp", 100, 1000)];
+        let mut out = Vec::new();
+        assert!(
+            bench_compare(&old, &[bench_case("dctcp", 100, 400)], &mut out).unwrap(),
+            "rate below half the old baseline must regress"
+        );
+        let mut out = Vec::new();
+        assert!(
+            bench_compare(&old, &[bench_case("dctcp", 101, 1000)], &mut out).unwrap(),
+            "simulated-field drift must be flagged"
+        );
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("drifted"), "{s}");
     }
 
     #[test]
