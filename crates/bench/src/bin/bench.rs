@@ -18,7 +18,7 @@
 //! `--out <path>` overrides the baseline location (default
 //! `BENCH_sim.json` in the working directory — the repo root under CI).
 
-use dcn_bench::perf::{case_label, case_rate, check_perf, run_perf_suite};
+use dcn_bench::perf::{case_label, case_rate, check_perf, check_thread_invariance, run_perf_suite};
 use dcn_json::Json;
 
 fn fail(msg: &str) -> ! {
@@ -79,6 +79,15 @@ fn main() {
     }
 
     if bless {
+        // Even a fresh baseline must honor the parallel-engine contract:
+        // the shard-scaling rows may not disagree on simulated fields.
+        let errs = check_thread_invariance(&report);
+        if !errs.is_empty() {
+            for e in &errs {
+                eprintln!("bench: {e}");
+            }
+            fail("refusing to bless a thread-dependent baseline");
+        }
         dcn_core::write_atomic(&path, report.pretty().as_bytes())
             .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
         eprintln!("blessed {path}");

@@ -12,6 +12,8 @@
 //! [`Attempt::TimedOut`].
 
 use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Exit-code taxonomy. Workers exit with these; the supervisor's own exit
@@ -141,6 +143,55 @@ pub fn retry(
     }
 }
 
+/// Work-stealing dispatch for a batch of independent indexed jobs.
+///
+/// `workers` OS threads share one take-a-number queue: an idle worker
+/// claims the next undispatched index, runs `run(i)`, and comes back for
+/// more — so job durations load-balance themselves with no up-front
+/// partitioning. `run` returns `(result, keep_dispatching)`; returning
+/// `false` stops the queue (the batch fail-fast), letting in-flight jobs
+/// finish but dispatching nothing further.
+///
+/// Returns the completed `(index, result)` pairs **sorted by index** —
+/// callers emit summaries in job order, independent of which worker
+/// finished when — plus the indexes never dispatched, also in order.
+pub fn run_queue<R: Send>(
+    jobs: usize,
+    workers: usize,
+    run: impl Fn(usize) -> (R, bool) + Sync,
+) -> (Vec<(usize, R)>, Vec<usize>) {
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs));
+    let workers = workers.clamp(1, jobs.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= jobs {
+                    return;
+                }
+                let (r, keep_dispatching) = run(i);
+                if !keep_dispatching {
+                    stop.store(true, Ordering::SeqCst);
+                }
+                done.lock().unwrap().push((i, r));
+            });
+        }
+    });
+    let mut results = done.into_inner().unwrap();
+    results.sort_by_key(|&(i, _)| i);
+    let mut ran = vec![false; jobs];
+    for &(i, _) in &results {
+        ran[i] = true;
+    }
+    let skipped = (0..jobs).filter(|&i| !ran[i]).collect();
+    (results, skipped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +287,57 @@ mod tests {
         let out = retry(|_| sh("exit 1"), None, 5, Duration::from_millis(1)).unwrap();
         assert_eq!(out.attempts, 1, "config errors must not be retried");
         assert_eq!(out.exit_code(), EXIT_CONFIG);
+    }
+
+    #[test]
+    fn run_queue_returns_results_in_job_order() {
+        // Uneven job durations: later jobs finish first under parallelism,
+        // yet results must come back index-ordered.
+        let (results, skipped) = run_queue(8, 4, |i| {
+            std::thread::sleep(Duration::from_millis((8 - i as u64) * 3));
+            (i * 10, true)
+        });
+        assert_eq!(skipped, Vec::<usize>::new());
+        let idx: Vec<usize> = results.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+        for &(i, r) in &results {
+            assert_eq!(r, i * 10);
+        }
+    }
+
+    #[test]
+    fn run_queue_actually_runs_jobs_concurrently() {
+        // Two jobs rendezvous: each waits (bounded) for the other to have
+        // started. Only possible when both are in flight at once.
+        let started = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let (results, _) = run_queue(2, 2, |i| {
+            started[i].store(1, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while started[1 - i].load(Ordering::SeqCst) == 0 {
+                assert!(Instant::now() < deadline, "peer job never started");
+                std::thread::yield_now();
+            }
+            (i, true)
+        });
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn run_queue_fail_fast_skips_undispatched_jobs() {
+        // Single worker, job 1 pulls the plug: 2..6 are never dispatched.
+        let (results, skipped) = run_queue(6, 1, |i| (i, i != 1));
+        let idx: Vec<usize> = results.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1]);
+        assert_eq!(skipped, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_queue_clamps_workers_and_handles_empty_batches() {
+        let (results, skipped) = run_queue(3, 64, |i| (i, true));
+        assert_eq!(results.len(), 3);
+        assert!(skipped.is_empty());
+        let (results, skipped) = run_queue(0, 4, |_| ((), true));
+        assert!(results.is_empty());
+        assert!(skipped.is_empty());
     }
 }

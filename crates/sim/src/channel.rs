@@ -8,17 +8,32 @@
 //! the channel layer itself only models the transmitter, the wire, and
 //! the fault state.
 //!
-//! [`Channels`] keeps each per-channel field in its own dense `Vec`
-//! indexed by channel id, so the hot path (up/loss check → offer →
-//! serialize) touches a handful of contiguous words instead of pulling a
-//! whole per-channel struct through the cache. Serialization times for
-//! the two wire sizes that dominate every run (full MTU data packets and
-//! ACKs) are precomputed per channel, removing the float divide from the
-//! common case.
+//! [`Channels`] keeps the immutable per-channel fields (endpoints, rates,
+//! precomputed serialization times) in dense `Vec`s indexed by channel
+//! id, and the mutable transmitter state in one [`ChanDyn`] record per
+//! channel behind an `UnsafeCell`. The cells are what lets the parallel
+//! engine share the whole table across shard workers by `&Channels`:
+//!
+//! - **Owner-exclusive fields** (`busy`, `qlen`, the drop/mark counters,
+//!   `gray_ctr`, the queue discipline) are only ever touched by the
+//!   worker that owns the channel's *source node* shard during an epoch,
+//!   and by the coordinator between epochs.
+//! - **Barrier fields** (`up`, `loss_prob`) are written only by the
+//!   coordinator between epochs (fault firing) and read by any worker
+//!   during epochs (the arrival-side dead-wire check).
+//!
+//! All cell access is field-granular — methods never materialize a
+//! `&mut ChanDyn` — so a cross-shard `up` read and an owner-side `busy`
+//! write touch disjoint bytes and the epoch-barrier Release/Acquire
+//! pairs order everything else. The serialization-time cache for the two
+//! wire sizes that dominate every run (full MTU data packets and ACKs)
+//! removes the float divide from the common case, exactly as before.
+
+use std::cell::UnsafeCell;
 
 use crate::slab::{PacketArena, PktId};
 use crate::switch::{EnqueueOutcome, QueueDiscipline};
-use crate::types::Ns;
+use crate::types::{Ns, Packet};
 
 /// Result of offering a packet to a channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,12 +48,50 @@ pub enum Offer {
     Dropped,
 }
 
-/// All directed channels of a fabric, struct-of-arrays: index `i` of
-/// every `Vec` is channel `i`'s field.
+/// The mutable half of one channel. See the module docs for which fields
+/// the owning shard touches and which the coordinator owns.
+pub(crate) struct ChanDyn {
+    /// A packet is currently being serialized.
+    pub(crate) busy: bool,
+    /// Fault state: a hard-failed channel delivers nothing. The simulator
+    /// flips this at barriers (never the channel layer itself) and drops
+    /// packets at the offer and delivery points, so queued packets drain
+    /// onto the dead wire and are lost — "in-flight packets are lost on
+    /// failure".
+    pub(crate) up: bool,
+    /// Gray-failure per-packet drop probability (0.0 = healthy), written
+    /// at barriers.
+    pub(crate) loss_prob: f64,
+    /// Cached `disc.queue_len()`, so the per-event path can check for an
+    /// empty queue without dereferencing the discipline's `Box<dyn>`.
+    pub(crate) qlen: u32,
+    /// Congestion drops (tail or priority-evicted), for stats and tests.
+    pub(crate) drops: u64,
+    /// ECN marks applied.
+    pub(crate) marks: u64,
+    /// Packets lost to hard or gray faults on the channel.
+    pub(crate) fault_drops: u64,
+    /// Queued packets evicted by the discipline to admit more urgent
+    /// ones — a subset of `drops`, split out so drops can be reported by
+    /// cause.
+    pub(crate) evictions: u64,
+    /// Gray-loss draw counter: each offered packet on a lossy channel
+    /// bumps it, and the (seed, channel, counter) hash decides the drop —
+    /// deterministic whatever order channels are drained across shards.
+    pub(crate) gray_ctr: u64,
+    /// The output queue feeding the transmitter.
+    pub(crate) disc: Box<dyn QueueDiscipline>,
+}
+
+/// All directed channels of a fabric: dense static `Vec`s plus one
+/// [`ChanDyn`] cell per channel.
 pub struct Channels {
     /// Node (switch or server, in the simulator's global id space) that
-    /// packets leaving the channel arrive at.
+    /// packets *leaving* the channel arrive at.
     pub(crate) to_node: Vec<u32>,
+    /// Node whose egress the channel is — the shard that owns the
+    /// channel's transmitter state.
+    pub(crate) src_node: Vec<u32>,
     /// Bytes per nanosecond.
     pub(crate) rate_bpns: Vec<f64>,
     pub(crate) prop_ns: Vec<Ns>,
@@ -46,35 +99,16 @@ pub struct Channels {
     ser_mtu_ns: Vec<Ns>,
     /// Precomputed [`Channels::ser_ns`] for an ACK.
     ser_ack_ns: Vec<Ns>,
-    /// A packet is currently being serialized.
-    pub(crate) busy: Vec<bool>,
-    /// Fault state: a hard-failed channel delivers nothing. The simulator
-    /// flips this (never the channel layer itself) and drops packets at
-    /// the offer and delivery points, so queued packets drain onto the
-    /// dead wire and are lost — "in-flight packets are lost on failure".
-    pub(crate) up: Vec<bool>,
-    /// Gray-failure per-packet drop probability (0.0 = healthy). The
-    /// simulator draws from its seeded RNG; the channel just holds state.
-    pub(crate) loss_prob: Vec<f64>,
-    /// Congestion drops (tail or priority-evicted), for stats and tests.
-    pub(crate) drops: Vec<u64>,
-    /// ECN marks applied.
-    pub(crate) marks: Vec<u64>,
-    /// Packets lost to hard or gray faults on the channel.
-    pub(crate) fault_drops: Vec<u64>,
-    /// Queued packets evicted by the discipline to admit more urgent
-    /// ones — a subset of `drops`, split out so drops can be reported by
-    /// cause.
-    pub(crate) evictions: Vec<u64>,
-    /// The output queue feeding each transmitter.
-    pub(crate) disc: Vec<Box<dyn QueueDiscipline>>,
-    /// Cached `disc[i].queue_len()`, kept dense so the per-event path
-    /// (and telemetry scans) can check for an empty queue without
-    /// dereferencing the discipline's `Box<dyn>`.
-    qlen: Vec<u32>,
+    state: Vec<UnsafeCell<ChanDyn>>,
     mtu_bytes: u32,
     ack_bytes: u32,
 }
+
+// Safety: shared access follows the shard protocol in the module docs —
+// owner-exclusive fields are only touched by one thread per epoch,
+// barrier fields only between epochs, and the engine's EpochSync
+// atomics provide the Release/Acquire ordering between the two phases.
+unsafe impl Sync for Channels {}
 
 impl Channels {
     /// An empty table; `mtu_bytes`/`ack_bytes` are the two wire sizes the
@@ -82,19 +116,12 @@ impl Channels {
     pub(crate) fn new(mtu_bytes: u32, ack_bytes: u32) -> Self {
         Channels {
             to_node: Vec::new(),
+            src_node: Vec::new(),
             rate_bpns: Vec::new(),
             prop_ns: Vec::new(),
             ser_mtu_ns: Vec::new(),
             ser_ack_ns: Vec::new(),
-            busy: Vec::new(),
-            up: Vec::new(),
-            loss_prob: Vec::new(),
-            drops: Vec::new(),
-            marks: Vec::new(),
-            fault_drops: Vec::new(),
-            evictions: Vec::new(),
-            disc: Vec::new(),
-            qlen: Vec::new(),
+            state: Vec::new(),
             mtu_bytes,
             ack_bytes,
         }
@@ -103,6 +130,7 @@ impl Channels {
     /// Appends one channel and returns its id.
     pub(crate) fn push(
         &mut self,
+        src_node: u32,
         to_node: u32,
         gbps: f64,
         prop_ns: Ns,
@@ -111,26 +139,108 @@ impl Channels {
         let id = self.to_node.len() as u32;
         let rate_bpns = gbps / 8.0;
         self.to_node.push(to_node);
+        self.src_node.push(src_node);
         self.rate_bpns.push(rate_bpns);
         self.prop_ns.push(prop_ns);
         self.ser_mtu_ns
             .push((self.mtu_bytes as f64 / rate_bpns).ceil() as Ns);
         self.ser_ack_ns
             .push((self.ack_bytes as f64 / rate_bpns).ceil() as Ns);
-        self.busy.push(false);
-        self.up.push(true);
-        self.loss_prob.push(0.0);
-        self.drops.push(0);
-        self.marks.push(0);
-        self.fault_drops.push(0);
-        self.evictions.push(0);
-        self.disc.push(disc);
-        self.qlen.push(0);
+        self.state.push(UnsafeCell::new(ChanDyn {
+            busy: false,
+            up: true,
+            loss_prob: 0.0,
+            qlen: 0,
+            drops: 0,
+            marks: 0,
+            fault_drops: 0,
+            evictions: 0,
+            gray_ctr: 0,
+            disc,
+        }));
         id
     }
 
     pub(crate) fn len(&self) -> usize {
         self.to_node.len()
+    }
+
+    #[inline]
+    fn d(&self, ch: u32) -> *mut ChanDyn {
+        self.state[ch as usize].get()
+    }
+
+    /// Full mutable access to one channel's dynamic state — for
+    /// single-threaded contexts that hold `&mut Channels` (setup,
+    /// checkpoint restore, tests).
+    pub(crate) fn dyn_mut(&mut self, ch: u32) -> &mut ChanDyn {
+        self.state[ch as usize].get_mut()
+    }
+
+    // --- barrier fields: coordinator writes between epochs, anyone reads ---
+
+    #[inline]
+    pub(crate) fn up(&self, ch: u32) -> bool {
+        unsafe { (*self.d(ch)).up }
+    }
+
+    /// Coordinator-only (fault firing at barriers).
+    pub(crate) fn set_up(&self, ch: u32, up: bool) {
+        unsafe { (*self.d(ch)).up = up }
+    }
+
+    #[inline]
+    pub(crate) fn loss_prob(&self, ch: u32) -> f64 {
+        unsafe { (*self.d(ch)).loss_prob }
+    }
+
+    /// Coordinator-only (fault firing at barriers).
+    pub(crate) fn set_loss_prob(&self, ch: u32, p: f64) {
+        unsafe { (*self.d(ch)).loss_prob = p }
+    }
+
+    // --- owner-exclusive fields: one thread per epoch per channel ---
+
+    pub(crate) fn busy(&self, ch: u32) -> bool {
+        unsafe { (*self.d(ch)).busy }
+    }
+
+    pub(crate) fn drops(&self, ch: u32) -> u64 {
+        unsafe { (*self.d(ch)).drops }
+    }
+
+    pub(crate) fn marks(&self, ch: u32) -> u64 {
+        unsafe { (*self.d(ch)).marks }
+    }
+
+    pub(crate) fn evictions(&self, ch: u32) -> u64 {
+        unsafe { (*self.d(ch)).evictions }
+    }
+
+    pub(crate) fn fault_drops(&self, ch: u32) -> u64 {
+        unsafe { (*self.d(ch)).fault_drops }
+    }
+
+    /// Owner-side fault-drop accounting (offer-point drops). Arrival-side
+    /// drops on channels owned by other shards go through the engine's
+    /// deferred `remote_fault_drops` lists instead.
+    pub(crate) fn add_fault_drop(&self, ch: u32) {
+        unsafe { (*self.d(ch)).fault_drops += 1 }
+    }
+
+    /// The gray-loss draw counter, read between epochs (checkpointing).
+    pub(crate) fn gray_ctr(&self, ch: u32) -> u64 {
+        unsafe { (*self.d(ch)).gray_ctr }
+    }
+
+    /// Bumps and returns the channel's gray-loss draw counter
+    /// (owner-side, at the offer point).
+    pub(crate) fn gray_bump(&self, ch: u32) -> u64 {
+        unsafe {
+            let p = self.d(ch);
+            (*p).gray_ctr += 1;
+            (*p).gray_ctr
+        }
     }
 
     /// Serialization time for `bytes` on channel `ch`. MTU-sized packets
@@ -148,82 +258,124 @@ impl Channels {
         }
     }
 
+    /// The conservative-parallel lookahead contribution of the slowest
+    /// part of this table: the minimum over channels of serialization
+    /// time for `min_wire_bytes` plus propagation delay. Any packet a
+    /// shard emits at time `t` arrives somewhere else no earlier than
+    /// `t + lookahead`, which is what lets an epoch safely run to
+    /// `min_t + lookahead`.
+    pub(crate) fn min_latency_ns(&self, min_wire_bytes: u32) -> Ns {
+        (0..self.len())
+            .map(|i| {
+                let ser = (min_wire_bytes as f64 / self.rate_bpns[i]).ceil() as Ns;
+                ser.max(1) + self.prop_ns[i]
+            })
+            .min()
+            .unwrap_or(1)
+            .max(1)
+    }
+
     /// Offers packet `id` to channel `ch`. On [`Offer::StartTx`] the
     /// caller owns the in-flight transmission (the id stays live); on
     /// [`Offer::Queued`] the discipline holds it (possibly evicting less
     /// urgent packets — those count into `drops` and are freed); on
     /// [`Offer::Dropped`] the id has been freed. The returned
     /// [`EnqueueOutcome`] carries the mark flag and eviction victims for
-    /// the observability layer.
+    /// the observability layer. Owner-exclusive.
     pub(crate) fn offer(
-        &mut self,
+        &self,
         ch: u32,
         id: PktId,
         pool: &mut PacketArena,
     ) -> (Offer, EnqueueOutcome) {
-        let i = ch as usize;
-        if !self.busy[i] {
-            self.busy[i] = true;
-            let out = EnqueueOutcome {
-                accepted: true,
-                ..Default::default()
-            };
-            return (Offer::StartTx, out);
-        }
-        let out = self.disc[i].enqueue(id, pool);
-        self.qlen[i] = self.qlen[i] + out.accepted as u32 - out.evicted.len() as u32;
-        self.drops[i] += out.dropped as u64;
-        self.evictions[i] += out.evicted.len() as u64;
-        if out.marked {
-            self.marks[i] += 1;
-        }
-        if out.accepted {
-            (Offer::Queued, out)
-        } else {
-            pool.free(id);
-            (Offer::Dropped, out)
+        let d = self.d(ch);
+        unsafe {
+            if !(*d).busy {
+                (*d).busy = true;
+                let out = EnqueueOutcome {
+                    accepted: true,
+                    ..Default::default()
+                };
+                return (Offer::StartTx, out);
+            }
+            let out = (*d).disc.enqueue(id, pool);
+            (*d).qlen = (*d).qlen + out.accepted as u32 - out.evicted.len() as u32;
+            (*d).drops += out.dropped as u64;
+            (*d).evictions += out.evicted.len() as u64;
+            if out.marked {
+                (*d).marks += 1;
+            }
+            if out.accepted {
+                (Offer::Queued, out)
+            } else {
+                pool.free(id);
+                (Offer::Dropped, out)
+            }
         }
     }
 
     /// Called when channel `ch`'s in-flight transmission completes;
     /// returns the next packet to transmit, if any (caller schedules its
-    /// TxFree/Deliver).
-    pub(crate) fn tx_done(&mut self, ch: u32) -> Option<PktId> {
-        let i = ch as usize;
-        debug_assert!(self.busy[i]);
-        if self.qlen[i] == 0 {
-            self.busy[i] = false;
-            return None;
+    /// TxFree/Deliver). Owner-exclusive.
+    pub(crate) fn tx_done(&self, ch: u32) -> Option<PktId> {
+        let d = self.d(ch);
+        unsafe {
+            debug_assert!((*d).busy);
+            if (*d).qlen == 0 {
+                (*d).busy = false;
+                return None;
+            }
+            (*d).qlen -= 1;
+            let id = (*d).disc.dequeue();
+            debug_assert!(id.is_some(), "qlen said non-empty but dequeue had nothing");
+            id
         }
-        self.qlen[i] -= 1;
-        let id = self.disc[i].dequeue();
-        debug_assert!(id.is_some(), "qlen said non-empty but dequeue had nothing");
-        id
     }
 
+    /// Owner-exclusive (or coordinator between epochs).
     pub(crate) fn queue_bytes(&self, ch: u32) -> u64 {
-        self.disc[ch as usize].queue_bytes()
+        unsafe { (*self.d(ch)).disc.queue_bytes() }
     }
 
+    /// Owner-exclusive (or coordinator between epochs).
     pub(crate) fn queue_len(&self, ch: u32) -> usize {
-        debug_assert_eq!(
-            self.qlen[ch as usize] as usize,
-            self.disc[ch as usize].queue_len()
-        );
-        self.qlen[ch as usize] as usize
+        unsafe {
+            let d = self.d(ch);
+            debug_assert_eq!((*d).qlen as usize, (*d).disc.queue_len());
+            (*d).qlen as usize
+        }
+    }
+
+    /// Snapshot of the channel's queued packets for checkpointing
+    /// (coordinator-only, at a barrier).
+    pub(crate) fn snapshot_queue(&self, ch: u32, pool: &PacketArena) -> Option<Vec<Packet>> {
+        unsafe { (*self.d(ch)).disc.snapshot_queue(pool) }
     }
 
     /// Reinstates a checkpointed queue on channel `ch`, keeping the dense
     /// length cache in sync with the discipline.
-    pub(crate) fn restore_queue(
-        &mut self,
-        ch: u32,
-        pkts: Vec<crate::types::Packet>,
-        pool: &mut PacketArena,
-    ) {
-        let i = ch as usize;
-        self.qlen[i] = pkts.len() as u32;
-        self.disc[i].restore_queue(pkts, pool);
+    pub(crate) fn restore_queue(&mut self, ch: u32, pkts: Vec<Packet>, pool: &mut PacketArena) {
+        let d = self.dyn_mut(ch);
+        d.qlen = pkts.len() as u32;
+        d.disc.restore_queue(pkts, pool);
+    }
+
+    // --- coordinator-only whole-table sums (stats, between epochs) ---
+
+    pub(crate) fn sum_drops(&self) -> u64 {
+        (0..self.len() as u32).map(|c| self.drops(c)).sum()
+    }
+
+    pub(crate) fn sum_evictions(&self) -> u64 {
+        (0..self.len() as u32).map(|c| self.evictions(c)).sum()
+    }
+
+    pub(crate) fn sum_fault_drops(&self) -> u64 {
+        (0..self.len() as u32).map(|c| self.fault_drops(c)).sum()
+    }
+
+    pub(crate) fn sum_marks(&self) -> u64 {
+        (0..self.len() as u32).map(|c| self.marks(c)).sum()
     }
 }
 
@@ -253,6 +405,7 @@ mod tests {
         // 10 Gbps, 100ns prop, 10-packet queue, ECN at 3 packets.
         let mut c = Channels::new(1500, 40);
         c.push(
+            0,
             1,
             10.0,
             100,
@@ -264,18 +417,18 @@ mod tests {
     #[test]
     fn idle_channel_starts_tx() {
         let mut a = PacketArena::new();
-        let mut c = chan();
+        let c = chan();
         let p = pkt(&mut a, 1500);
         let (o, _) = c.offer(0, p, &mut a);
         assert_eq!(o, Offer::StartTx);
-        assert!(c.busy[0]);
+        assert!(c.busy(0));
         assert_eq!(a.live_count(), 1, "StartTx leaves the id live");
     }
 
     #[test]
     fn busy_channel_queues_then_drains_fifo() {
         let mut a = PacketArena::new();
-        let mut c = chan();
+        let c = chan();
         let head = pkt(&mut a, 1500);
         c.offer(0, head, &mut a);
         let q1 = pkt(&mut a, 100);
@@ -290,13 +443,13 @@ mod tests {
         let n2 = c.tx_done(0).unwrap();
         assert_eq!(a.get(n2).seq, 2);
         assert!(c.tx_done(0).is_none());
-        assert!(!c.busy[0]);
+        assert!(!c.busy(0));
     }
 
     #[test]
     fn tail_drop_when_full_frees_the_id() {
         let mut a = PacketArena::new();
-        let mut c = chan();
+        let c = chan();
         c.offer(0, pkt(&mut a, 1500), &mut a); // in flight
         for _ in 0..10 {
             let p = pkt(&mut a, 1500);
@@ -305,21 +458,21 @@ mod tests {
         let live = a.live_count();
         let p = pkt(&mut a, 1500);
         assert_eq!(c.offer(0, p, &mut a).0, Offer::Dropped);
-        assert_eq!(c.drops[0], 1);
+        assert_eq!(c.drops(0), 1);
         assert_eq!(a.live_count(), live, "dropped packet must be freed");
     }
 
     #[test]
     fn ecn_marks_above_threshold() {
         let mut a = PacketArena::new();
-        let mut c = chan();
+        let c = chan();
         c.offer(0, pkt(&mut a, 1500), &mut a); // in flight, queue empty
         c.offer(0, pkt(&mut a, 1500), &mut a); // queue -> 1500
         c.offer(0, pkt(&mut a, 1500), &mut a); // queue -> 3000
         c.offer(0, pkt(&mut a, 1500), &mut a); // queue -> 4500 (at 3000 < 4500 thresh)
-        assert_eq!(c.marks[0], 0);
+        assert_eq!(c.marks(0), 0);
         c.offer(0, pkt(&mut a, 1500), &mut a); // enqueued seeing 4500 >= 4500 → marked
-        assert_eq!(c.marks[0], 1);
+        assert_eq!(c.marks(0), 1);
         // Drain: the marked packet is the last one.
         c.tx_done(0);
         c.tx_done(0);
@@ -331,27 +484,38 @@ mod tests {
     #[test]
     fn acks_never_marked() {
         let mut a = PacketArena::new();
-        let mut c = chan();
+        let c = chan();
         c.offer(0, pkt(&mut a, 1500), &mut a); // in flight
         for _ in 0..3 {
             c.offer(0, pkt(&mut a, 1500), &mut a); // queue reaches the 4500 B threshold
         }
-        assert_eq!(c.marks[0], 0);
+        assert_eq!(c.marks(0), 0);
         let ack = pkt(&mut a, 40);
         a.get_mut(ack).is_ack = true;
         c.offer(0, ack, &mut a); // sees queue ≥ threshold but is an ACK
-        assert_eq!(c.marks[0], 0);
+        assert_eq!(c.marks(0), 0);
         c.offer(0, pkt(&mut a, 1500), &mut a); // a data packet here *is* marked
-        assert_eq!(c.marks[0], 1);
+        assert_eq!(c.marks(0), 1);
     }
 
     #[test]
     fn serialization_uses_channel_rate_and_cache() {
         let mut c = Channels::new(1500, 40);
-        c.push(0, 40.0, 0, Box::new(TailDropEcn::new(1, 1)));
+        c.push(1, 0, 40.0, 0, Box::new(TailDropEcn::new(1, 1)));
         assert_eq!(c.ser_ns(0, 1500), 300); // cached MTU path, 4x faster than 10G
         assert_eq!(c.ser_ns(0, 40), 8); // cached ACK path
         assert_eq!(c.ser_ns(0, 777), 156); // uncached fallback: ceil(777/5)
+    }
+
+    #[test]
+    fn min_latency_covers_every_channel() {
+        let mut c = Channels::new(1500, 40);
+        c.push(0, 1, 10.0, 100, Box::new(TailDropEcn::new(1, 1)));
+        c.push(1, 0, 40.0, 30, Box::new(TailDropEcn::new(1, 1)));
+        // 40 B: ch0 = ceil(40/1.25)=32 + 100; ch1 = ceil(40/5)=8 + 30.
+        assert_eq!(c.min_latency_ns(40), 38);
+        // Empty tables still yield a positive lookahead.
+        assert_eq!(Channels::new(1500, 40).min_latency_ns(40), 1);
     }
 
     #[test]
@@ -359,7 +523,7 @@ mod tests {
         use crate::switch::PFabricQueue;
         let mut a = PacketArena::new();
         let mut c = Channels::new(1500, 40);
-        c.push(1, 10.0, 100, Box::new(PFabricQueue::new(2 * 1500)));
+        c.push(0, 1, 10.0, 100, Box::new(PFabricQueue::new(2 * 1500)));
         c.offer(0, pkt(&mut a, 1500), &mut a); // in flight
         let low = pkt(&mut a, 1500);
         a.get_mut(low).prio = 9;
@@ -371,8 +535,8 @@ mod tests {
         let live = a.live_count();
         let (o, out) = c.offer(0, urgent, &mut a);
         assert_eq!(o, Offer::Queued, "urgent packet must win");
-        assert_eq!(c.drops[0], 1, "the prio-9 victim is a congestion drop");
-        assert_eq!(c.evictions[0], 1, "and is attributed to eviction");
+        assert_eq!(c.drops(0), 1, "the prio-9 victim is a congestion drop");
+        assert_eq!(c.evictions(0), 1, "and is attributed to eviction");
         assert_eq!(out.evicted.len(), 1);
         assert_eq!(a.live_count(), live - 1, "the victim's id must be freed");
     }

@@ -1,15 +1,23 @@
 //! Versioned, fingerprinted snapshots of complete simulator state.
 //!
 //! [`Simulator::checkpoint`] captures everything the run depends on — the
-//! event queue, per-flow transport state, switch queues, fault-controller
-//! state (including the gray-loss RNG stream), observability cursors, and
-//! the intrinsic counters — into a self-validating byte image.
-//! [`Simulator::restore`] rebuilds a simulator from it that continues the
-//! run **byte-identically**: flow records, JSONL traces, and telemetry
-//! streams from a checkpoint/restore cycle are exactly those of the
-//! uninterrupted run, for every transport and with fault plans active.
-//! The `dcnrun` supervisor leans on this to resume crashed or killed jobs
-//! from their last good checkpoint.
+//! per-shard event queues, per-flow transport state (sender and receiver
+//! halves), switch queues, fault-controller state, the control-plane
+//! schedule, observability cursors, and the intrinsic counters — into a
+//! self-validating byte image. [`Simulator::restore`] rebuilds a simulator
+//! from it that continues the run **byte-identically**: flow records,
+//! JSONL traces, and telemetry streams from a checkpoint/restore cycle are
+//! exactly those of the uninterrupted run, for every transport and with
+//! fault plans active. The `dcnrun` supervisor leans on this to resume
+//! crashed or killed jobs from their last good checkpoint.
+//!
+//! Checkpoints are taken between epochs, when every cross-shard mailbox
+//! and per-shard barrier buffer is drained — so the only queue state is
+//! the eight shard calendars themselves. The shard partition is a pure
+//! function of the topology fingerprint and the worker count is not part
+//! of the image (nor of the config fingerprint): a snapshot taken under
+//! `threads = N` restores and continues byte-identically under any
+//! `threads = M`.
 //!
 //! Wire format (all integers little-endian):
 //!
@@ -19,11 +27,11 @@
 //! ```
 //!
 //! The topology fingerprint is [`Topology::fingerprint`]; the config
-//! fingerprint hashes every [`SimConfig`] field (floats via `to_bits`).
-//! Restore refuses images whose fingerprints do not match the topology
-//! and config it is given, and any truncation or bit flip fails the
-//! trailing checksum in [`Checkpoint::from_bytes`] before any state is
-//! trusted.
+//! fingerprint hashes every behavior-relevant [`SimConfig`] field (floats
+//! via `to_bits`). Restore refuses images whose fingerprints do not match
+//! the topology and config it is given, and any truncation or bit flip
+//! fails the trailing checksum in [`Checkpoint::from_bytes`] before any
+//! state is trusted.
 //!
 //! Not checkpointable (checkpoint returns `Err`, nothing is written):
 //! oracle routing (its selector is deliberately not rebuilt on restore),
@@ -32,21 +40,25 @@
 //! [`QueueDiscipline::snapshot_queue`](crate::switch::QueueDiscipline).
 
 use crate::calendar::{CalEntry, CalendarQueue};
-use crate::engine::{Ev, Simulator};
+use crate::engine::{CtrlEntry, CtrlEv, Ev, Simulator};
 use crate::fault::{survivor_topology_from, FaultEvent, FaultKind, RemappedSelector};
-use crate::host::Flow;
+use crate::host::{Flow, FlowRx};
+use crate::shard::NUM_SHARDS;
 use crate::slab::PacketArena;
 use crate::stats::{ChannelCounters, DropCounters, TraceCounters};
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::trace::{CountingTracer, JsonlTracer, NopTracer, TracerSnapshot};
 use crate::types::{Ns, Packet, SimConfig};
-use dcn_rng::Rng;
 use dcn_routing::PathSelector;
 use dcn_topology::Topology;
+use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"DCNCKPT1";
-const VERSION: u32 = 1;
+/// v2: per-shard calendars, split sender/receiver flow halves, the
+/// counter-based gray-loss state (no RNG stream), and the control-plane
+/// schedule.
+const VERSION: u32 = 2;
 /// magic + version + topo fp + cfg fp + now + events_processed.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
 
@@ -59,8 +71,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Fingerprint of every [`SimConfig`] field, so a checkpoint can only be
-/// restored under the exact configuration that produced it.
+/// Fingerprint of every behavior-relevant [`SimConfig`] field, so a
+/// checkpoint can only be restored under the exact configuration that
+/// produced it. `threads` is deliberately excluded: the event schedule is
+/// invariant to the worker count, so the same image restores under any.
 pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
     let mut e = Enc::new();
     e.f64(cfg.link_gbps);
@@ -295,14 +309,6 @@ fn enc_ev(e: &mut Enc, ev: &Ev, pkts: &PacketArena) {
             e.u32(*f);
             e.u32(*epoch);
         }
-        Ev::Fault(i) => {
-            e.u8(4);
-            e.u32(*i);
-        }
-        Ev::Reconverge(epoch) => {
-            e.u8(5);
-            e.u64(*epoch);
-        }
     }
 }
 
@@ -312,12 +318,37 @@ fn dec_ev(d: &mut Dec, pkts: &mut PacketArena) -> Result<Ev, String> {
         1 => Ev::TxFree(d.u32()?),
         2 => Ev::Deliver(pkts.alloc(dec_packet(d)?)),
         3 => Ev::Rto(d.u32()?, d.u32()?),
-        4 => Ev::Fault(d.u32()?),
-        5 => Ev::Reconverge(d.u64()?),
         t => return Err(format!("checkpoint corrupt: unknown event tag {t}")),
     })
 }
 
+fn enc_ctrl(e: &mut Enc, c: &CtrlEntry) {
+    e.u64(c.t);
+    e.u64(c.seq);
+    match c.ev {
+        CtrlEv::Fault(i) => {
+            e.u8(0);
+            e.u32(i);
+        }
+        CtrlEv::Reconverge(epoch) => {
+            e.u8(1);
+            e.u64(epoch);
+        }
+    }
+}
+
+fn dec_ctrl(d: &mut Dec) -> Result<CtrlEntry, String> {
+    let t = d.u64()?;
+    let seq = d.u64()?;
+    let ev = match d.u8()? {
+        0 => CtrlEv::Fault(d.u32()?),
+        1 => CtrlEv::Reconverge(d.u64()?),
+        tag => return Err(format!("checkpoint corrupt: unknown control tag {tag}")),
+    };
+    Ok(CtrlEntry { t, seq, ev })
+}
+
+/// Sender half only; the receiver half is a separate [`FlowRx`] record.
 fn enc_flow(e: &mut Enc, f: &Flow) {
     e.u32(f.src_server);
     e.u32(f.dst_server);
@@ -351,11 +382,6 @@ fn enc_flow(e: &mut Enc, f: &Flow) {
         }
         None => e.bool(false),
     }
-    e.vec_u64(&f.rcv_bitmap);
-    e.u32(f.rcv_cum);
-    // rev_cache is a pure content-derived cache: restored as None and
-    // repopulated on the next data packet, with identical contents.
-    e.opt_u64(f.finished_ns);
     e.bool(f.in_window);
     e.bool(f.failed);
     e.opt_u64(f.fault_hit_ns);
@@ -395,15 +421,38 @@ fn dec_flow(d: &mut Dec) -> Result<Flow, String> {
         } else {
             None
         },
-        rcv_bitmap: d.vec_u64()?,
-        rcv_cum: d.u32()?,
-        rev_cache: None,
-        finished_ns: d.opt_u64()?,
         in_window: d.bool()?,
         failed: d.bool()?,
         fault_hit_ns: d.opt_u64()?,
         recovery_ns: d.opt_u64()?,
         path_salt: d.u64()?,
+    })
+}
+
+fn enc_rx(e: &mut Enc, r: &FlowRx) {
+    e.u32(r.total_pkts);
+    e.u32(r.dst_server);
+    e.u64(r.start_ns);
+    e.bool(r.in_window);
+    e.vec_u64(&r.rcv_bitmap);
+    e.u32(r.rcv_cum);
+    // rev_cache is a pure content-derived cache: restored as None and
+    // repopulated on the next data packet, with identical contents.
+    e.opt_u64(r.finished_ns);
+    e.bool(r.failed);
+}
+
+fn dec_rx(d: &mut Dec) -> Result<FlowRx, String> {
+    Ok(FlowRx {
+        total_pkts: d.u32()?,
+        dst_server: d.u32()?,
+        start_ns: d.u64()?,
+        in_window: d.bool()?,
+        rcv_bitmap: d.vec_u64()?,
+        rcv_cum: d.u32()?,
+        rev_cache: None,
+        finished_ns: d.opt_u64()?,
+        failed: d.bool()?,
     })
 }
 
@@ -610,12 +659,16 @@ impl Checkpoint {
 impl Simulator {
     /// Snapshots the complete simulator state (see the module docs).
     ///
-    /// Takes `&mut self` because file-backed observability sinks are
-    /// flushed first, so their on-disk temporaries cover the cursors the
-    /// snapshot records. Fails — without side effects on the run — when
-    /// some installed component cannot be checkpointed.
+    /// Must be called between epochs (any time outside [`Simulator::run`]
+    /// and `run_until` is): the cross-shard mailboxes and per-shard
+    /// barrier buffers are empty then, so the shard calendars are the
+    /// whole event state. Takes `&mut self` because file-backed
+    /// observability sinks are flushed first, so their on-disk temporaries
+    /// cover the cursors the snapshot records. Fails — without side
+    /// effects on the run — when some installed component cannot be
+    /// checkpointed.
     pub fn checkpoint(&mut self) -> Result<Checkpoint, String> {
-        if self.oracle.is_some() {
+        if self.sh.oracle.is_some() {
             return Err("oracle routing cannot be checkpointed".into());
         }
         let tracer_snap = self
@@ -639,7 +692,7 @@ impl Simulator {
         e.buf.extend_from_slice(MAGIC);
         e.u32(VERSION);
         e.u64(self.topo.fingerprint());
-        e.u64(config_fingerprint(&self.cfg));
+        e.u64(config_fingerprint(&self.sh.cfg));
         e.u64(self.now);
         e.u64(self.events_processed);
 
@@ -650,37 +703,54 @@ impl Simulator {
         e.u64(self.pkts_sent);
         e.u64(self.pkts_delivered);
         e.u64(self.telemetry_next);
+        e.u64(self.sh.plan_seed);
+        e.u64(self.ctrl_seq);
 
-        // Event queue, in arbitrary internal order: pop order is
-        // determined by the (t, seq) element set alone, so restore is free
-        // to re-file entries into a differently sized calendar.
-        e.u64(self.queue.seq);
-        e.u64(self.queue.peak as u64);
-        e.u64(self.queue.len() as u64);
-        for item in self.queue.iter() {
-            e.u64(item.t);
-            e.u64(item.seq);
-            enc_ev(&mut e, &item.ev, &self.pkts);
+        // Shard calendars, one section per shard in shard order, each in
+        // arbitrary internal order: pop order is determined by the
+        // (t, seq) element set alone, so restore is free to re-file
+        // entries into differently sized calendars. The shard partition
+        // is derived from the topology fingerprint, so each section
+        // restores into the same shard that produced it.
+        for s in 0..NUM_SHARDS {
+            // Sound: `&mut self` is exclusive, no epoch is in flight.
+            let st = unsafe { &*self.shards[s].0.get() };
+            e.u64(st.queue.seq);
+            e.u64(st.queue.peak as u64);
+            e.u64(st.queue.len() as u64);
+            for item in st.queue.iter() {
+                e.u64(item.t);
+                e.u64(item.seq);
+                enc_ev(&mut e, &item.ev, &st.pkts);
+            }
         }
 
-        // Flows.
-        e.u64(self.flows.len() as u64);
-        for f in &self.flows {
-            enc_flow(&mut e, f);
+        // Flows: all sender halves, then all receiver halves.
+        e.u64(self.sh.flows.len() as u64);
+        for id in 0..self.sh.flows.len() as u32 {
+            enc_flow(&mut e, self.flow_ref(id));
+        }
+        for id in 0..self.sh.flows.len() as u32 {
+            enc_rx(&mut e, self.rx_ref(id));
         }
 
-        // Channels.
-        let chs = &self.fabric.channels;
+        // Channels. Queued packets live in the arena of the shard owning
+        // the channel's source node — snapshot against that arena.
+        let chs = &self.sh.fabric.channels;
         e.u64(chs.len() as u64);
         for i in 0..chs.len() {
-            e.bool(chs.busy[i]);
-            e.u64(chs.drops[i]);
-            e.u64(chs.marks[i]);
-            e.bool(chs.up[i]);
-            e.f64(chs.loss_prob[i]);
-            e.u64(chs.fault_drops[i]);
-            e.u64(chs.evictions[i]);
-            let q = chs.disc[i].snapshot_queue(&self.pkts).ok_or_else(|| {
+            let ch = i as u32;
+            e.bool(chs.busy(ch));
+            e.u64(chs.drops(ch));
+            e.u64(chs.marks(ch));
+            e.bool(chs.up(ch));
+            e.f64(chs.loss_prob(ch));
+            e.u64(chs.fault_drops(ch));
+            e.u64(chs.evictions(ch));
+            e.u64(chs.gray_ctr(ch));
+            let owner = self.sh.shard_of_node(chs.src_node[i]);
+            let pool = unsafe { &(*self.shards[owner].0.get()).pkts };
+            let q = chs.snapshot_queue(ch, pool).ok_or_else(|| {
                 "a channel's queue discipline does not support checkpointing".to_string()
             })?;
             e.u64(q.len() as u64);
@@ -689,7 +759,8 @@ impl Simulator {
             }
         }
 
-        // Fault controller.
+        // Fault controller (pure counters and masks — the gray-loss draw
+        // state lives in the per-channel counters above).
         e.u64(self.faults.events.len() as u64);
         for ev in &self.faults.events {
             e.u64(ev.at_ns);
@@ -699,10 +770,14 @@ impl Simulator {
         e.u64(self.faults.epoch);
         e.vec_bool(&self.faults.down_links);
         e.vec_bool(&self.faults.down_sw);
-        for s in self.faults.rng.state() {
-            e.u64(s);
-        }
         e.u64(self.faults.noroute_drops);
+
+        // Remaining control-plane schedule (fault firings and
+        // reconvergence completions not yet executed).
+        e.u64((self.ctrl.len() - self.ctrl_pos) as u64);
+        for c in &self.ctrl[self.ctrl_pos..] {
+            enc_ctrl(&mut e, c);
+        }
 
         // Goodput timeline and the routing view.
         e.vec_u64(&self.goodput_bins);
@@ -761,7 +836,8 @@ impl Simulator {
     ///
     /// The restored simulator continues byte-identically: driving it to
     /// the end produces the same flow records, trace lines, and telemetry
-    /// samples the uninterrupted run would have.
+    /// samples the uninterrupted run would have — at any `cfg.threads`,
+    /// including one differing from the snapshotting run's.
     pub fn restore(
         topo: &Topology,
         selector: Box<dyn PathSelector>,
@@ -792,23 +868,46 @@ impl Simulator {
         let pkts_sent = d.u64()?;
         let pkts_delivered = d.u64()?;
         let telemetry_next = d.u64()?;
+        let plan_seed = d.u64()?;
+        let ctrl_seq = d.u64()?;
 
-        let queue_seq = d.u64()?;
-        let queue_peak = d.u64()? as usize;
-        let n_items = d.len()?;
-        let mut pkts = PacketArena::new();
-        let mut items = Vec::with_capacity(n_items);
-        for _ in 0..n_items {
-            let t = d.u64()?;
+        // Per-shard calendars; Deliver packets decode into the owning
+        // shard's fresh arena.
+        struct ShardQueue {
+            seq: u64,
+            peak: usize,
+            items: Vec<CalEntry>,
+            pkts: PacketArena,
+        }
+        let mut shard_queues = Vec::with_capacity(NUM_SHARDS);
+        for _ in 0..NUM_SHARDS {
             let seq = d.u64()?;
-            let ev = dec_ev(&mut d, &mut pkts)?;
-            items.push(CalEntry { t, seq, ev });
+            let peak = d.u64()? as usize;
+            let n_items = d.len()?;
+            let mut pkts = PacketArena::new();
+            let mut items = Vec::with_capacity(n_items);
+            for _ in 0..n_items {
+                let t = d.u64()?;
+                let seq = d.u64()?;
+                let ev = dec_ev(&mut d, &mut pkts)?;
+                items.push(CalEntry { t, seq, ev });
+            }
+            shard_queues.push(ShardQueue {
+                seq,
+                peak,
+                items,
+                pkts,
+            });
         }
 
         let n_flows = d.len()?;
         let mut flows = Vec::with_capacity(n_flows);
         for _ in 0..n_flows {
             flows.push(dec_flow(&mut d)?);
+        }
+        let mut rxs = Vec::with_capacity(n_flows);
+        for _ in 0..n_flows {
+            rxs.push(dec_rx(&mut d)?);
         }
 
         struct ChanState {
@@ -819,6 +918,7 @@ impl Simulator {
             loss_prob: f64,
             fault_drops: u64,
             evictions: u64,
+            gray_ctr: u64,
             queue: Vec<Packet>,
         }
         let n_channels = d.len()?;
@@ -831,6 +931,7 @@ impl Simulator {
             let loss_prob = d.f64()?;
             let fault_drops = d.u64()?;
             let evictions = d.u64()?;
+            let gray_ctr = d.u64()?;
             let n_q = d.len()?;
             let mut queue = Vec::with_capacity(n_q);
             for _ in 0..n_q {
@@ -844,6 +945,7 @@ impl Simulator {
                 loss_prob,
                 fault_drops,
                 evictions,
+                gray_ctr,
                 queue,
             });
         }
@@ -859,8 +961,13 @@ impl Simulator {
         let epoch = d.u64()?;
         let down_links = d.vec_bool()?;
         let down_sw = d.vec_bool()?;
-        let rng_state = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
         let noroute_drops = d.u64()?;
+
+        let n_ctrl = d.len()?;
+        let mut ctrl = Vec::with_capacity(n_ctrl);
+        for _ in 0..n_ctrl {
+            ctrl.push(dec_ctrl(&mut d)?);
+        }
 
         let goodput_bins = d.vec_u64()?;
         let routing_down = if d.bool()? {
@@ -924,29 +1031,51 @@ impl Simulator {
         sim.telemetry_next = telemetry_next;
         sim.routing_down = routing_down;
         sim.goodput_bins = goodput_bins;
-        sim.flows = flows;
+        sim.sh.plan_seed = plan_seed;
+        sim.sh.flows = flows.into_iter().map(UnsafeCell::new).collect();
+        sim.sh.rx = rxs.into_iter().map(UnsafeCell::new).collect();
+        sim.ctrl = ctrl;
+        sim.ctrl_pos = 0;
+        sim.ctrl_seq = ctrl_seq;
 
-        // The calendar is rebuilt from the serialized element set; pop
-        // order depends only on (t, seq), so the ring is free to be sized
-        // to the checkpointed population rather than the original's
-        // default (a snapshot of a huge event set restores into a
-        // proportionally larger ring instead of degrading).
-        sim.pkts = pkts;
-        sim.queue = CalendarQueue::from_items(queue_seq, queue_peak, items, meta.now);
+        // Each calendar is rebuilt from its serialized element set; pop
+        // order depends only on (t, seq), so the rings are free to be
+        // sized to the checkpointed population rather than the original's
+        // default (a snapshot of a huge event set restores into
+        // proportionally larger rings instead of degrading).
+        for (s, q) in shard_queues.into_iter().enumerate() {
+            let st = sim.shards[s].0.get_mut();
+            st.pkts = q.pkts;
+            st.queue = CalendarQueue::from_items(q.seq, q.peak, q.items, meta.now);
+        }
 
-        if sim.fabric.channels.len() != chans.len() {
+        if sim.sh.fabric.channels.len() != chans.len() {
             return Err("checkpoint corrupt: channel count mismatch".into());
         }
-        let chs = &mut sim.fabric.channels;
+        // Queued packets reinstate into the owning shard's arena, the one
+        // their ids will be resolved against when the queue drains.
+        let owners: Vec<usize> = {
+            let chs = &sim.sh.fabric.channels;
+            (0..chs.len())
+                .map(|i| sim.sh.node_shard[chs.src_node[i] as usize] as usize)
+                .collect()
+        };
+        let Simulator { sh, shards, .. } = &mut sim;
         for (i, st) in chans.into_iter().enumerate() {
-            chs.busy[i] = st.busy;
-            chs.drops[i] = st.drops;
-            chs.marks[i] = st.marks;
-            chs.up[i] = st.up;
-            chs.loss_prob[i] = st.loss_prob;
-            chs.fault_drops[i] = st.fault_drops;
-            chs.evictions[i] = st.evictions;
-            chs.restore_queue(i as u32, st.queue, &mut sim.pkts);
+            let dch = sh.fabric.channels.dyn_mut(i as u32);
+            dch.busy = st.busy;
+            dch.drops = st.drops;
+            dch.marks = st.marks;
+            dch.up = st.up;
+            dch.loss_prob = st.loss_prob;
+            dch.fault_drops = st.fault_drops;
+            dch.evictions = st.evictions;
+            dch.gray_ctr = st.gray_ctr;
+            sh.fabric.channels.restore_queue(
+                i as u32,
+                st.queue,
+                &mut shards[owners[i]].0.get_mut().pkts,
+            );
         }
 
         if sim.faults.down_links.len() != down_links.len()
@@ -959,7 +1088,6 @@ impl Simulator {
         sim.faults.epoch = epoch;
         sim.faults.down_links = down_links;
         sim.faults.down_sw = down_sw;
-        sim.faults.rng = Rng::from_state(rng_state);
         sim.faults.noroute_drops = noroute_drops;
 
         match tracer_snap {
@@ -986,6 +1114,7 @@ impl Simulator {
             // the first cadence boundary instead of the checkpointed one.
             sim.telemetry = Some(Box::new(tel));
             sim.telemetry_next = telemetry_next;
+            sim.sh.tel_on = true;
         }
         Ok(sim)
     }
@@ -1057,13 +1186,36 @@ mod tests {
     }
 
     #[test]
+    fn restore_at_different_thread_count_is_byte_identical() {
+        // A snapshot taken under one worker count must resume under
+        // another to the exact same end state: the shard partition (and
+        // so the schedule) is independent of `threads`.
+        let t = FatTree::full(4).build();
+        let mut straight = faulty_sim(&t);
+        let want = straight.run(10 * SEC);
+
+        let mut sim = faulty_sim(&t);
+        sim.run_until(3 * MS);
+        let ckpt = sim.checkpoint().expect("checkpoint");
+        for threads in [2u32, 4] {
+            let suite = RoutingSuite::new(&t);
+            let cfg = SimConfig::default().with_threads(threads);
+            let mut resumed =
+                Simulator::restore(&t, Box::new(suite.ecmp()), cfg, &ckpt).expect("restore");
+            let got = resumed.run(10 * SEC);
+            assert_eq!(got, want, "restore under threads={threads} diverged");
+            assert_eq!(resumed.events_processed(), straight.events_processed());
+        }
+    }
+
+    #[test]
     fn serialized_roundtrip_and_meta() {
         let t = FatTree::full(4).build();
         let mut sim = faulty_sim(&t);
         sim.run_until(2 * MS);
         let ckpt = sim.checkpoint().unwrap();
         let meta = ckpt.meta();
-        assert_eq!(meta.version, 1);
+        assert_eq!(meta.version, 2);
         assert_eq!(meta.topo_fingerprint, t.fingerprint());
         assert_eq!(
             meta.cfg_fingerprint,
@@ -1073,6 +1225,16 @@ mod tests {
         assert!(meta.events_processed > 0);
         let reparsed = Checkpoint::from_bytes(ckpt.as_bytes().to_vec()).unwrap();
         assert_eq!(reparsed.meta(), meta);
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_thread_count() {
+        assert_eq!(
+            config_fingerprint(&SimConfig::default()),
+            config_fingerprint(&SimConfig::default().with_threads(4)),
+            "threads must not affect the config fingerprint — a checkpoint \
+             restores at any worker count"
+        );
     }
 
     #[test]
@@ -1132,17 +1294,18 @@ mod tests {
     #[test]
     fn restore_resizes_calendar_for_large_heaps() {
         // A checkpoint whose event population dwarfs the default calendar
-        // sizing must restore into a proportionally larger ring (not
-        // degrade into an overloaded 1024-slot one) and still continue
+        // sizing must restore into proportionally larger per-shard rings
+        // (not degrade into overloaded 1024-slot ones) and still continue
         // byte-identically.
         let t = FatTree::full(4).build();
         let racks = t.tors_with_servers();
         let mk = || {
             let suite = RoutingSuite::new(&t);
             let mut sim = Simulator::new(&t, Box::new(suite.ecmp()), SimConfig::default());
-            // ~20k flows spread over 2 simulated seconds: at t=0 the queue
-            // holds one FlowStart per flow, far beyond MIN_SLOTS.
-            let flows: Vec<FlowEvent> = (0..20_000usize)
+            // ~80k flows spread over 8 simulated seconds: at t=0 every
+            // populated shard's calendar holds thousands of FlowStarts,
+            // far beyond MIN_SLOTS.
+            let flows: Vec<FlowEvent> = (0..80_000usize)
                 .map(|i| {
                     let src_rack = racks[i % racks.len()];
                     let dst_rack = racks[(i + 5) % racks.len()];
@@ -1165,10 +1328,13 @@ mod tests {
         let mut resumed =
             Simulator::restore(&t, Box::new(suite.ecmp()), SimConfig::default(), &ckpt)
                 .expect("restore");
+        let mut max_slots = 0;
+        for s in 0..NUM_SHARDS {
+            max_slots = max_slots.max(resumed.shards[s].0.get_mut().queue.num_slots());
+        }
         assert!(
-            resumed.queue.num_slots() > 1024,
-            "calendar must resize to the restored population, got {} slots",
-            resumed.queue.num_slots()
+            max_slots > 1024,
+            "calendars must resize to the restored population, got a max of {max_slots} slots"
         );
         straight.run_until(5 * MS);
         resumed.run_until(5 * MS);

@@ -379,10 +379,13 @@ impl FaultPlan {
 }
 
 /// The fault layer's runtime state: which links/switches are currently
-/// down, the not-yet-fired schedule, the reconvergence epoch counter, and
-/// the seeded gray-loss RNG. The engine owns one and routes every fault
-/// event through it; the controller in turn degrades the [`Fabric`] — the
-/// engine never flips channel state itself.
+/// down, the not-yet-fired schedule, and the reconvergence epoch counter.
+/// The engine owns one and routes every fault event through it; the
+/// controller in turn degrades the [`Fabric`] — the engine never flips
+/// channel state itself. Gray losses carry no RNG state here: each draw
+/// is a stateless hash of (plan seed, channel, per-channel counter) —
+/// see [`gray_drop`] — so shards can draw independently and still agree
+/// byte-for-byte at every thread count.
 pub(crate) struct FaultController {
     pub(crate) events: Vec<FaultEvent>,
     /// Scheduled fault events not yet fired; when zero, the current
@@ -393,9 +396,6 @@ pub(crate) struct FaultController {
     pub(crate) epoch: u64,
     pub(crate) down_links: Vec<bool>,
     pub(crate) down_sw: Vec<bool>,
-    /// Seeded from the fault plan; drawn only for gray-link losses, so
-    /// fault-free runs never touch it.
-    pub(crate) rng: Rng,
     /// Packets dropped at the source because the selector had no route.
     pub(crate) noroute_drops: u64,
 }
@@ -408,16 +408,14 @@ impl FaultController {
             epoch: 0,
             down_links: vec![false; num_links],
             down_sw: vec![false; num_nodes],
-            rng: Rng::seed_from_u64(0),
             noroute_drops: 0,
         }
     }
 
-    /// Adopts a plan's events and reseeds the gray-loss RNG from it.
-    /// Returns `(fire_time, event_index)` pairs for the engine to put on
-    /// its heap — scheduling stays the engine's job.
+    /// Adopts a plan's events. Returns `(fire_time, event_index)` pairs
+    /// for the engine to put on its control schedule — scheduling stays
+    /// the engine's job.
     pub(crate) fn install(&mut self, plan: &FaultPlan) -> Vec<(Ns, u32)> {
-        self.rng = Rng::seed_from_u64(plan.seed);
         let mut schedule = Vec::with_capacity(plan.events().len());
         for e in plan.events() {
             let idx = self.events.len() as u32;
@@ -436,7 +434,8 @@ impl FaultController {
     /// Fires scheduled event `idx` against the fabric. Returns `true` when
     /// the fault is control-plane visible (hard link/switch change) and the
     /// engine must schedule a reconvergence; gray events return `false`.
-    pub(crate) fn fire(&mut self, idx: u32, fabric: &mut Fabric) -> bool {
+    /// Coordinator-only: `up`/`loss_prob` are barrier fields.
+    pub(crate) fn fire(&mut self, idx: u32, fabric: &Fabric) -> bool {
         self.pending -= 1;
         match self.events[idx as usize].kind {
             FaultKind::LinkDown(l) => self.set_link(l, true, fabric),
@@ -446,32 +445,27 @@ impl FaultController {
             // Gray failures are invisible to the control plane: no
             // reconvergence, just per-packet losses in both directions.
             FaultKind::LinkGray(l, p) => {
-                fabric.channels.loss_prob[2 * l as usize] = p;
-                fabric.channels.loss_prob[2 * l as usize + 1] = p;
+                fabric.channels.set_loss_prob(2 * l, p);
+                fabric.channels.set_loss_prob(2 * l + 1, p);
                 return false;
             }
             FaultKind::LinkClear(l) => {
-                fabric.channels.loss_prob[2 * l as usize] = 0.0;
-                fabric.channels.loss_prob[2 * l as usize + 1] = 0.0;
+                fabric.channels.set_loss_prob(2 * l, 0.0);
+                fabric.channels.set_loss_prob(2 * l + 1, 0.0);
                 return false;
             }
         }
         true
     }
 
-    fn set_link(&mut self, l: LinkId, down: bool, fabric: &mut Fabric) {
+    fn set_link(&mut self, l: LinkId, down: bool, fabric: &Fabric) {
         self.down_links[l as usize] = down;
         fabric.apply_fault_state(&self.down_links, &self.down_sw);
     }
 
-    fn set_switch(&mut self, n: NodeId, down: bool, fabric: &mut Fabric) {
+    fn set_switch(&mut self, n: NodeId, down: bool, fabric: &Fabric) {
         self.down_sw[n as usize] = down;
         fabric.apply_fault_state(&self.down_links, &self.down_sw);
-    }
-
-    /// One per-packet gray-loss draw.
-    pub(crate) fn gray_loses(&mut self, loss_prob: f64) -> bool {
-        self.rng.gen_bool(loss_prob)
     }
 
     pub(crate) fn pending(&self) -> usize {
@@ -504,6 +498,20 @@ impl FaultController {
     pub(crate) fn down_state(&self) -> (Vec<bool>, Vec<bool>) {
         (self.down_links.clone(), self.down_sw.clone())
     }
+}
+
+/// One per-packet gray-loss draw: a stateless splitmix64 hash of the
+/// fault-plan seed, the channel id, and the channel's draw counter,
+/// mapped to `[0, 1)` with 53 bits. Counter-based (instead of a shared
+/// sequential RNG) so the draw a packet sees depends only on how many
+/// packets were offered to *its* channel before it — invariant under the
+/// parallel engine's shard interleaving and thread count.
+pub(crate) fn gray_drop(seed: u64, ch: u32, draw: u64, loss_prob: f64) -> bool {
+    let x = crate::shard::mix64(
+        seed ^ (ch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ draw.wrapping_mul(0xD129_0B2C_76A8_36C1),
+    );
+    ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < loss_prob
 }
 
 /// Survivor view for explicit down vectors — the restore path rebuilds a

@@ -73,17 +73,11 @@ pub struct Flow {
     pub(crate) last_send_ns: Ns,
     pub(crate) flowlet_count: u64,
     pub(crate) cur_path: Option<ChannelPath>,
-    // --- receiver ---
-    pub(crate) rcv_bitmap: Vec<u64>,
-    pub(crate) rcv_cum: u32,
-    /// Cache: forward path pointer → its reversed channels, so per-packet
-    /// ACKs reuse one allocation per flowlet.
-    pub(crate) rev_cache: Option<(ChannelPath, ChannelPath)>,
-    pub(crate) finished_ns: Option<Ns>,
     pub(crate) in_window: bool,
     // --- faults ---
     /// Terminated by the simulator: endpoints permanently disconnected,
-    /// or still unfinished when the run stopped.
+    /// or still unfinished when the run stopped. Mirrored in
+    /// [`FlowRx::failed`] so the receiver shard never reads sender state.
     pub(crate) failed: bool,
     /// When this flow first lost a packet to an injected fault.
     pub(crate) fault_hit_ns: Option<Ns>,
@@ -134,10 +128,6 @@ impl Flow {
             last_send_ns: 0,
             flowlet_count: 0,
             cur_path: None,
-            rcv_bitmap: Vec::new(),
-            rcv_cum: 0,
-            rev_cache: None,
-            finished_ns: None,
             in_window,
             failed: false,
             fault_hit_ns: None,
@@ -154,9 +144,10 @@ impl Flow {
     }
 
     /// Whether the flow is live at `now`: started, not finished, not
-    /// terminated — the population the telemetry sampler counts.
-    pub fn is_active(&self, now: Ns) -> bool {
-        !self.failed && self.finished_ns.is_none() && self.start_ns <= now
+    /// terminated — the population the telemetry sampler counts. Takes
+    /// the flow's receiver half because completion is receiver state.
+    pub(crate) fn is_active(&self, rx: &FlowRx, now: Ns) -> bool {
+        !self.failed && rx.finished_ns.is_none() && self.start_ns <= now
     }
 
     /// Sender-side bytes sent but not yet cumulatively acked (payload
@@ -166,8 +157,46 @@ impl Flow {
         let acked = (self.acked as u64 * mss as u64).min(self.size_bytes);
         sent - acked
     }
+}
 
-    /// Receiver: record `seq` and advance the cumulative-ACK point.
+/// The receiver half of a flow, split from [`Flow`] so the destination
+/// host's shard owns it exclusively: under the parallel engine the
+/// sender's shard mutates the [`Flow`] while the receiver's shard mutates
+/// the `FlowRx`, and neither reads the other's half mid-epoch. Fields
+/// both sides need (`failed`, `in_window`, timing) are mirrored at
+/// construction or written only at barriers.
+pub(crate) struct FlowRx {
+    pub(crate) total_pkts: u32,
+    pub(crate) dst_server: u32,
+    pub(crate) start_ns: Ns,
+    pub(crate) in_window: bool,
+    /// Allocated lazily on the first data packet.
+    pub(crate) rcv_bitmap: Vec<u64>,
+    pub(crate) rcv_cum: u32,
+    /// Cache: forward path pointer → its reversed channels, so per-packet
+    /// ACKs reuse one allocation per flowlet.
+    pub(crate) rev_cache: Option<(ChannelPath, ChannelPath)>,
+    pub(crate) finished_ns: Option<Ns>,
+    /// Barrier-written mirror of [`Flow::failed`].
+    pub(crate) failed: bool,
+}
+
+impl FlowRx {
+    pub(crate) fn new(flow: &Flow) -> Self {
+        FlowRx {
+            total_pkts: flow.total_pkts,
+            dst_server: flow.dst_server,
+            start_ns: flow.start_ns,
+            in_window: flow.in_window,
+            rcv_bitmap: Vec::new(),
+            rcv_cum: 0,
+            rev_cache: None,
+            finished_ns: None,
+            failed: false,
+        }
+    }
+
+    /// Record `seq` and advance the cumulative-ACK point.
     pub(crate) fn rcv_mark(&mut self, seq: u32) {
         let (w, b) = ((seq / 64) as usize, seq % 64);
         self.rcv_bitmap[w] |= 1 << b;

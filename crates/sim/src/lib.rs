@@ -62,7 +62,9 @@ pub mod checkpoint;
 pub mod engine;
 pub mod fault;
 pub mod host;
+pub mod mailbox;
 pub mod net;
+pub mod shard;
 pub mod slab;
 pub mod stats;
 pub mod switch;
@@ -74,6 +76,7 @@ pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointMeta};
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};
+pub use shard::NUM_SHARDS;
 pub use slab::{PacketArena, PktId};
 pub use stats::{
     compute_metrics, compute_metrics_with_dists, percentile, ChannelCounters, DropCounters,

@@ -1,0 +1,129 @@
+//! Per-shard-pair mailboxes for cross-shard packet events.
+//!
+//! During an epoch a worker never touches another shard's calendar.
+//! A packet that crosses a shard boundary (its Deliver lands on a node
+//! owned elsewhere) is moved *by value* into the sender's local per-pair
+//! batch; at epoch end the worker flushes each non-empty batch into the
+//! matching `(src, dst)` mailbox under its mutex — one lock per pair per
+//! epoch, not per packet. At the barrier the coordinator drains the
+//! boxes in a fixed `(dst shard, then src shard)` scan, re-allocating
+//! each packet in the destination shard's arena and pushing it onto the
+//! destination calendar. Calendar sequence numbers are assigned in that
+//! merge order, so same-timestamp cross-shard events pop in
+//! `(t, src shard, source emission order)` — a deterministic function of
+//! the event set, independent of thread count and lock timing.
+//!
+//! Conservative lookahead guarantees every mailed event's timestamp is
+//! at or past the epoch horizon (debug-asserted in the engine), so a
+//! mailed packet can never be needed inside the epoch that produced it.
+
+use std::sync::Mutex;
+
+use crate::shard::NUM_SHARDS;
+use crate::types::{Ns, Packet};
+
+/// One cross-shard packet event: a Deliver for `pkt` at absolute time `t`.
+pub(crate) struct Mail {
+    pub(crate) t: Ns,
+    pub(crate) pkt: Packet,
+}
+
+/// `NUM_SHARDS x NUM_SHARDS` mutex-batched mailboxes, indexed
+/// `src * NUM_SHARDS + dst`.
+pub(crate) struct Mailboxes {
+    slots: Vec<Mutex<Vec<Mail>>>,
+}
+
+impl Mailboxes {
+    pub(crate) fn new() -> Self {
+        Mailboxes {
+            slots: (0..NUM_SHARDS * NUM_SHARDS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Worker-side: append a whole local batch (keeps its capacity for
+    /// the next epoch). One lock acquisition per pair per epoch.
+    pub(crate) fn post(&self, src: usize, dst: usize, batch: &mut Vec<Mail>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut slot = self.slots[src * NUM_SHARDS + dst].lock().unwrap();
+        slot.append(batch);
+    }
+
+    /// Coordinator-side: drain everything addressed to `dst`, visiting
+    /// source shards in ascending order — the fixed merge order the
+    /// determinism argument relies on.
+    pub(crate) fn drain_to(&self, dst: usize, mut sink: impl FnMut(Mail)) {
+        for src in 0..NUM_SHARDS {
+            let mut slot = self.slots[src * NUM_SHARDS + dst].lock().unwrap();
+            for mail in slot.drain(..) {
+                sink(mail);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pkt(flow: u32) -> Packet {
+        Packet {
+            flow,
+            seq: 0,
+            bytes: 40,
+            ecn_ce: false,
+            is_ack: false,
+            ack_ecn: false,
+            ts: 0,
+            hop: 0,
+            prio: 0,
+            path: Arc::new(vec![0]),
+        }
+    }
+
+    #[test]
+    fn drains_in_src_shard_order() {
+        let boxes = Mailboxes::new();
+        // Post out of source order; the drain must still visit src 1
+        // before src 5.
+        let mut b5 = vec![Mail {
+            t: 10,
+            pkt: pkt(50),
+        }];
+        let mut b1 = vec![
+            Mail {
+                t: 10,
+                pkt: pkt(10),
+            },
+            Mail {
+                t: 12,
+                pkt: pkt(11),
+            },
+        ];
+        boxes.post(5, 3, &mut b5);
+        boxes.post(1, 3, &mut b1);
+        assert!(b5.is_empty() && b1.is_empty());
+        let mut seen = Vec::new();
+        boxes.drain_to(3, |m| seen.push(m.pkt.flow));
+        assert_eq!(seen, vec![10, 11, 50]);
+        // Drained boxes are empty.
+        let mut again = Vec::new();
+        boxes.drain_to(3, |m| again.push(m.pkt.flow));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn post_preserves_batch_capacity() {
+        let boxes = Mailboxes::new();
+        let mut batch = Vec::with_capacity(64);
+        batch.push(Mail { t: 1, pkt: pkt(0) });
+        boxes.post(0, 1, &mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.capacity() >= 64);
+    }
+}

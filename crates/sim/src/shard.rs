@@ -1,0 +1,258 @@
+//! The fixed shard decomposition behind the parallel engine.
+//!
+//! The simulator always partitions the fabric's nodes (switches and
+//! server hosts) into [`NUM_SHARDS`] shards, whatever `SimConfig::threads`
+//! says. Threads only decide how many OS workers *execute* those shards
+//! each epoch: worker `w` of `T` drains every shard `s` with
+//! `s % T == w`. Because the decomposition, the per-shard event order,
+//! and the barrier merge order are all functions of the topology and the
+//! seed alone — never of the thread count — simulated output is
+//! byte-identical at every `threads` setting. That is the determinism
+//! invariant the parallel-determinism property tests and the ci.sh
+//! `threads=1` vs `threads=4` gate enforce.
+//!
+//! Shard assignment hashes the topology fingerprint with the node id
+//! (splitmix64), so it is stable across runs and processes and needs no
+//! extra state in checkpoints: restore recomputes it from the topology.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::calendar::CalendarQueue;
+use crate::mailbox::Mail;
+use crate::slab::PacketArena;
+use crate::trace::TraceEvent;
+use crate::types::Ns;
+
+/// The engine's fixed shard count. `SimConfig::threads` is clamped to
+/// `1..=NUM_SHARDS`; raising this would change event interleaving and
+/// therefore golden traces, so it is a constant, not a knob.
+pub const NUM_SHARDS: usize = 8;
+
+/// splitmix64 finalizer — the engine's stateless hash for shard
+/// assignment and counter-based gray-loss draws.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Deterministic node → shard assignment: hash of the topology
+/// fingerprint and the node id. `num_nodes` counts switches *and* server
+/// hosts (servers are nodes `num_switches..`).
+pub(crate) fn shard_map(topo_fingerprint: u64, num_nodes: usize) -> Vec<u8> {
+    (0..num_nodes as u64)
+        .map(|n| {
+            let h = mix64(topo_fingerprint ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (h % NUM_SHARDS as u64) as u8
+        })
+        .collect()
+}
+
+/// Everything one shard owns: its calendar, its packet arena, and the
+/// per-epoch side buffers the coordinator drains at barriers. Only the
+/// worker assigned to the shard touches it during an epoch; only the
+/// coordinator touches it between epochs.
+pub(crate) struct ShardState {
+    pub(crate) queue: CalendarQueue,
+    pub(crate) pkts: PacketArena,
+    /// Cross-shard sends batched locally, one bucket per destination
+    /// shard; flushed to the [`crate::mailbox::Mailboxes`] once per epoch.
+    pub(crate) out: Vec<Vec<Mail>>,
+    /// Trace events emitted this epoch, time-nondecreasing; k-way merged
+    /// into the tracer at the barrier.
+    pub(crate) trace_buf: Vec<(Ns, TraceEvent)>,
+    /// `(channel, wire bytes)` transmissions this epoch, drained into
+    /// telemetry's per-channel accumulators at the barrier.
+    pub(crate) tx_notes: Vec<(u32, u32)>,
+    /// Flows that hit a fault this epoch (`(flow, t)`); the barrier
+    /// applies the earliest hit per flow.
+    pub(crate) fault_hits: Vec<(u32, Ns)>,
+    /// Fault drops observed on channels owned by *other* shards
+    /// (arrival-side drops on a dead wire); merged at the barrier.
+    pub(crate) remote_fault_drops: Vec<u32>,
+    /// No-route drops by senders in this shard this epoch.
+    pub(crate) noroute: u64,
+    /// Measurement-window flows that finished this epoch.
+    pub(crate) window_finished: u64,
+    /// Sparse goodput deltas `(ms bin, bytes)` this epoch.
+    pub(crate) goodput: Vec<(u32, u64)>,
+    pub(crate) events: u64,
+    pub(crate) sent: u64,
+    pub(crate) delivered: u64,
+    /// Highest event time this shard has processed.
+    pub(crate) last_t: Ns,
+}
+
+impl ShardState {
+    pub(crate) fn new() -> Self {
+        ShardState {
+            queue: CalendarQueue::new(),
+            pkts: PacketArena::new(),
+            out: (0..NUM_SHARDS).map(|_| Vec::new()).collect(),
+            trace_buf: Vec::new(),
+            tx_notes: Vec::new(),
+            fault_hits: Vec::new(),
+            remote_fault_drops: Vec::new(),
+            noroute: 0,
+            window_finished: 0,
+            goodput: Vec::new(),
+            events: 0,
+            sent: 0,
+            delivered: 0,
+            last_t: 0,
+        }
+    }
+}
+
+/// A shard behind an `UnsafeCell` so the worker scope can reach it
+/// through a shared reference.
+///
+/// Safety protocol: during an epoch exactly one worker dereferences each
+/// slot (worker `w` owns shards `s % T == w`); between the barrier
+/// atomics, only the coordinator does. The Release/Acquire pairs in
+/// [`EpochSync`] order those accesses.
+pub(crate) struct ShardSlot(pub(crate) UnsafeCell<ShardState>);
+
+unsafe impl Sync for ShardSlot {}
+
+impl ShardSlot {
+    pub(crate) fn new() -> Self {
+        ShardSlot(UnsafeCell::new(ShardState::new()))
+    }
+
+    /// Coordinator-only access between epochs (callers uphold the slot's
+    /// safety protocol).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self) -> &mut ShardState {
+        &mut *self.0.get()
+    }
+}
+
+/// Barrier coordination between the coordinator and `T - 1` workers.
+///
+/// The coordinator publishes an epoch (`end` horizon, then an epoch-count
+/// bump with Release); workers spin on the count with Acquire, drain
+/// their shards to the horizon, and bump `done` with Release; the
+/// coordinator spins on `done` with Acquire. Spin loops yield after a
+/// short burst so the engine stays polite on oversubscribed machines
+/// (threads > cores is a supported, merely slower, configuration).
+pub(crate) struct EpochSync {
+    epoch: AtomicU64,
+    end: AtomicU64,
+    done: AtomicUsize,
+    quit: AtomicBool,
+}
+
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+impl EpochSync {
+    pub(crate) fn new() -> Self {
+        EpochSync {
+            epoch: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            quit: AtomicBool::new(false),
+        }
+    }
+
+    /// Coordinator: start the next epoch with horizon `end`.
+    pub(crate) fn publish(&self, end: Ns) {
+        self.end.store(end, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Worker: wait for an epoch newer than `last`; `None` means shut down.
+    pub(crate) fn await_epoch(&self, last: u64) -> Option<(u64, Ns)> {
+        let mut spins = 0u32;
+        loop {
+            if self.quit.load(Ordering::Acquire) {
+                return None;
+            }
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != last {
+                return Some((e, self.end.load(Ordering::Acquire)));
+            }
+            spins += 1;
+            if spins > SPINS_BEFORE_YIELD {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Worker: signal this epoch's shards are drained and flushed.
+    pub(crate) fn finish_epoch(&self) {
+        self.done.fetch_add(1, Ordering::Release);
+    }
+
+    /// Coordinator: wait for all `workers` to finish, then reset the
+    /// count for the next epoch.
+    pub(crate) fn wait_workers(&self, workers: usize) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) != workers {
+            spins += 1;
+            if spins > SPINS_BEFORE_YIELD {
+                std::thread::yield_now();
+            }
+        }
+        self.done.store(0, Ordering::Relaxed);
+    }
+
+    /// Coordinator: release the workers for good. The epoch bump wakes
+    /// any worker parked in [`EpochSync::await_epoch`].
+    pub(crate) fn shutdown(&self) {
+        self.quit.store(true, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_is_deterministic_and_balanced() {
+        let a = shard_map(0xDEAD_BEEF, 4096);
+        let b = shard_map(0xDEAD_BEEF, 4096);
+        assert_eq!(a, b);
+        let mut counts = [0usize; NUM_SHARDS];
+        for &s in &a {
+            assert!((s as usize) < NUM_SHARDS);
+            counts[s as usize] += 1;
+        }
+        // A uniform hash over 4096 nodes should land every shard within
+        // a factor of two of the mean.
+        for &c in &counts {
+            assert!(c > 256 && c < 1024, "unbalanced shard map: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shard_map_depends_on_fingerprint() {
+        assert_ne!(shard_map(1, 256), shard_map(2, 256));
+    }
+
+    #[test]
+    fn epoch_sync_round_trip() {
+        let sync = EpochSync::new();
+        std::thread::scope(|scope| {
+            let s = &sync;
+            scope.spawn(move || {
+                let mut last = 0;
+                while let Some((e, end)) = s.await_epoch(last) {
+                    assert_eq!(end, 100 * e);
+                    last = e;
+                    s.finish_epoch();
+                }
+            });
+            for e in 1..=5u64 {
+                sync.publish(100 * e);
+                sync.wait_workers(1);
+            }
+            sync.shutdown();
+        });
+    }
+}

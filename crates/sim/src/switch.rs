@@ -373,8 +373,8 @@ impl Fabric {
         let mut channels = Channels::new(cfg.mtu, cfg.ack_bytes);
         for l in topo.links() {
             let gbps = cfg.link_gbps * l.capacity;
-            channels.push(l.b, gbps, cfg.prop_delay_ns, disc(link_cap, ecn_at));
-            channels.push(l.a, gbps, cfg.prop_delay_ns, disc(link_cap, ecn_at));
+            channels.push(l.a, l.b, gbps, cfg.prop_delay_ns, disc(link_cap, ecn_at));
+            channels.push(l.b, l.a, gbps, cfg.prop_delay_ns, disc(link_cap, ecn_at));
         }
         let host_ch_base = channels.len() as u32;
         let num_switches = topo.num_nodes() as u32;
@@ -393,6 +393,7 @@ impl Fabric {
                 // port so DCTCP self-paces instead of overflowing the host
                 // queue (real stacks backpressure at the qdisc).
                 channels.push(
+                    server_node,
                     rack,
                     cfg.server_link_gbps,
                     cfg.prop_delay_ns,
@@ -400,6 +401,7 @@ impl Fabric {
                 );
                 // Down: ToR → server (a real switch port: ECN + drops).
                 channels.push(
+                    rack,
                     server_node,
                     cfg.server_link_gbps,
                     cfg.prop_delay_ns,
@@ -433,39 +435,41 @@ impl Fabric {
     /// Recomputes every channel's up flag from the link and switch fault
     /// state. Downed channels keep serializing their queues — those
     /// packets drain onto the dead wire and are dropped at delivery.
-    pub(crate) fn apply_fault_state(&mut self, down_links: &[bool], down_sw: &[bool]) {
+    /// Coordinator-only: `up` is a barrier field (see [`Channels`]).
+    pub(crate) fn apply_fault_state(&self, down_links: &[bool], down_sw: &[bool]) {
         for (l, link) in self.links.iter().enumerate() {
             let up = !down_links[l] && !down_sw[link.a as usize] && !down_sw[link.b as usize];
-            self.channels.up[2 * l] = up;
-            self.channels.up[2 * l + 1] = up;
+            self.channels.set_up(2 * l as u32, up);
+            self.channels.set_up(2 * l as u32 + 1, up);
         }
         for s in 0..self.server_tor.len() {
             let up = !down_sw[self.server_tor[s] as usize];
-            self.channels.up[self.host_ch_base as usize + 2 * s] = up;
-            self.channels.up[self.host_ch_base as usize + 2 * s + 1] = up;
+            self.channels.set_up(self.host_ch_base + 2 * s as u32, up);
+            self.channels
+                .set_up(self.host_ch_base + 2 * s as u32 + 1, up);
         }
     }
 
     /// Total congestion tail drops across all channels (includes
     /// priority evictions).
     pub(crate) fn total_congestion_drops(&self) -> u64 {
-        self.channels.drops.iter().sum()
+        self.channels.sum_drops()
     }
 
     /// Queued packets evicted by priority disciplines (a subset of
     /// [`Fabric::total_congestion_drops`]).
     pub(crate) fn total_evictions(&self) -> u64 {
-        self.channels.evictions.iter().sum()
+        self.channels.sum_evictions()
     }
 
     /// Packets lost on dead or gray channels.
     pub(crate) fn total_fault_drops(&self) -> u64 {
-        self.channels.fault_drops.iter().sum()
+        self.channels.sum_fault_drops()
     }
 
     /// Total ECN marks across all channels.
     pub(crate) fn total_marks(&self) -> u64 {
-        self.channels.marks.iter().sum()
+        self.channels.sum_marks()
     }
 }
 

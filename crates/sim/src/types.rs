@@ -157,6 +157,11 @@ pub struct SimConfig {
     /// (0 disables). Guards against fault scenarios that would otherwise
     /// spin forever instead of failing loudly.
     pub max_events: u64,
+    /// Worker threads executing the engine's fixed shard set (clamped to
+    /// `1..=NUM_SHARDS`). The shard decomposition — and therefore every
+    /// simulated byte — is identical at every setting; `threads` only
+    /// chooses how many OS threads drain the shards each epoch.
+    pub threads: u32,
 }
 
 impl Default for SimConfig {
@@ -180,6 +185,7 @@ impl Default for SimConfig {
             pfabric_cwnd_pkts: 18,
             reconverge_delay_ns: MS,
             max_events: 0,
+            threads: 1,
         }
     }
 }
@@ -203,6 +209,13 @@ impl SimConfig {
     pub fn with_pfabric(mut self) -> Self {
         self.transport = TransportKind::PFabric;
         self.queue_disc = QueueDiscKind::PFabric;
+        self
+    }
+
+    /// Selects how many worker threads drain the shard set each epoch.
+    /// Simulated results are byte-identical at every setting.
+    pub fn with_threads(mut self, n: u32) -> Self {
+        self.threads = n;
         self
     }
 

@@ -65,6 +65,26 @@ cargo run --release --bin dcnstat -- util "$obs_dir/ts_a.jsonl" > "$obs_dir/util
 test -s "$obs_dir/util.tsv"
 rm -rf "$obs_dir"
 
+echo "==> parallel engine gate (threads=1 vs threads=4: all artifacts byte-identical)"
+par_dir="$(mktemp -d)"
+for n in 1 4; do
+  cargo run --release --bin dcnsim -- examples/configs/trace_tiny.json \
+    --threads "$n" --json \
+    --trace "$par_dir/trace_$n.jsonl" --telemetry "$par_dir/ts_$n.jsonl" \
+    --manifest "$par_dir/man_$n.json" > "$par_dir/report_$n.json"
+done
+# The sharded schedule is thread-count-invariant: every artifact — metrics
+# report, event trace, telemetry series — must match byte-for-byte, and
+# the manifests must agree on every simulated field.
+cmp "$par_dir/report_1.json" "$par_dir/report_4.json"
+cmp "$par_dir/trace_1.jsonl" "$par_dir/trace_4.jsonl"
+cmp "$par_dir/ts_1.jsonl" "$par_dir/ts_4.jsonl"
+cargo run --release --bin dcnstat -- diff "$par_dir/man_1.json" "$par_dir/man_4.json"
+rm -rf "$par_dir"
+
+echo "==> parallel determinism property sweep (random topo/transport/chaos)"
+cargo test --release -q --test parallel_determinism
+
 echo "==> dcnsim error handling (clean failure, no panic)"
 set +e
 err_out="$(cargo run --release --bin dcnsim -- /nonexistent_config.json 2>&1 >/dev/null)"
@@ -151,7 +171,7 @@ test ! -e "$batch_dir/abort/ok2.result.json"
 # exit code is still nonzero because one job failed.
 set +e
 dcnrun batch "$batch_dir/ok1.json" "$batch_dir/bad.json" "$batch_dir/ok2.json" \
-  --out-dir "$batch_dir/keep" --keep-going 2> /dev/null
+  --out-dir "$batch_dir/keep" --keep-going --jobs 2 2> /dev/null
 keep_rc=$?
 set -e
 test "$keep_rc" -ne 0
@@ -221,7 +241,7 @@ cargo run --profile relcheck --quiet --bin dcnrun -- chaos --plans 5 --seed 2
 echo "==> tracing overhead gate (NopTracer must stay free)"
 cargo run --release -p dcn-bench --bin trace_overhead -- --check > /dev/null
 
-echo "==> engine perf gate (BENCH_sim.json: simulated fields exact, rate floor)"
+echo "==> engine perf gate (BENCH_sim.json: simulated fields exact, rate floor, shard scaling thread-invariant)"
 # Re-baseline deliberate engine changes with:
 #   cargo run --release -p dcn-bench --bin bench -- perf --bless
 # and commit the updated BENCH_sim.json next to the code that moved it.

@@ -57,6 +57,7 @@ options:
   --retries N               relaunch budget per job (default: 2)
   --backoff-ms N            base retry backoff, doubles per attempt (default: 200)
   --checkpoint-every-ms N   worker auto-checkpoint cadence; 0 = every chunk (default: 1000)
+  --jobs N                  batch: parallel worker processes (default: all cores)
   --keep-going              batch: run every job even after failures (default: stop at first)";
 
 fn fail(msg: &str) -> ! {
@@ -142,6 +143,7 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
                 | "--retries"
                 | "--backoff-ms"
                 | "--checkpoint-every-ms"
+                | "--jobs"
                 | "--die-after-checkpoints"
                 | "--stall-after-checkpoints" => i += 1,
                 "--keep-going" => {}
@@ -164,13 +166,20 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
     let every_ms = flag_u64(args, "--checkpoint-every-ms").unwrap_or(1000);
     let die_after = flag_u64(args, "--die-after-checkpoints");
     let stall_after = flag_u64(args, "--stall-after-checkpoints");
+    let slots = match flag_u64(args, "--jobs") {
+        Some(0) => fail("--jobs must be at least 1"),
+        Some(n) => n as usize,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
     let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
 
-    let mut worst = EXIT_OK;
-    let mut per_job: Vec<Json> = Vec::new();
-    let mut counts = (0u64, 0u64); // (ok, failed)
-    let mut aborted_at: Option<usize> = None;
-    for (idx, cfg_path) in configs.iter().enumerate() {
+    // One supervised job: clean stale artifacts, retry the worker to a
+    // final outcome, write its report. Runs on a scheduler thread; every
+    // artifact path is job-unique, so jobs never contend on files.
+    let run_one = |idx: usize| {
+        let cfg_path = configs[idx];
         let stem = std::path::Path::new(cfg_path)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
@@ -251,10 +260,25 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
             outcome.attempts,
             outcome.wall.as_secs_f64()
         );
+        let keep_dispatching = outcome.exit_code() == EXIT_OK || keep_going;
+        ((stem, outcome), keep_dispatching)
+    };
+
+    // Work-stealing dispatch across `--jobs` supervisor slots (a single
+    // slot for `dcnrun run`): idle slots claim the next config, a failure
+    // without --keep-going stops dispatch, and the summary below is
+    // always emitted in job order regardless of completion order.
+    let (finished, skipped_idx) =
+        supervise::run_queue(configs.len(), if batch { slots } else { 1 }, run_one);
+
+    let mut worst = EXIT_OK;
+    let mut per_job: Vec<Json> = Vec::new();
+    let mut counts = (0u64, 0u64); // (ok, failed)
+    for (i, (stem, outcome)) in &finished {
         worst = worst.max(outcome.exit_code());
         per_job.push(Json::obj(vec![
             ("job", Json::from(stem.as_str())),
-            ("config", Json::from(cfg_path.as_str())),
+            ("config", Json::from(configs[*i].as_str())),
             ("status", Json::from(status_label(outcome.last))),
             ("exit_code", Json::from(outcome.exit_code() as u64)),
             ("attempts", Json::from(outcome.attempts as u64)),
@@ -263,20 +287,13 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
             counts.0 += 1;
         } else {
             counts.1 += 1;
-            if !keep_going {
-                aborted_at = Some(idx + 1);
-                break;
-            }
         }
     }
 
     // The per-batch summary: every job's fate in one artifact, including
     // the ones a fail-fast abort never launched.
     if batch {
-        let skipped: Vec<&String> = match aborted_at {
-            Some(from) => configs[from..].to_vec(),
-            None => Vec::new(),
-        };
+        let skipped: Vec<&String> = skipped_idx.iter().map(|&i| configs[i]).collect();
         for cfg_path in &skipped {
             let stem = std::path::Path::new(cfg_path.as_str())
                 .file_stem()
@@ -288,7 +305,7 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
                 ("status", Json::from("skipped")),
             ]));
         }
-        if aborted_at.is_some() {
+        if !skipped.is_empty() {
             eprintln!(
                 "dcnrun: batch aborted after first failure; {} job(s) skipped \
                  (use --keep-going to run them all)",

@@ -491,7 +491,7 @@ mod tests {
         bench_report(&cases, &mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert_eq!(s.lines().count(), 3, "{s}");
-        assert!(s.contains("fat_tree_k4/dctcp\t100\t10\t1000"), "{s}");
+        assert!(s.contains("fat_tree_k4/dctcp/t1\t100\t10\t1000"), "{s}");
     }
 
     #[test]

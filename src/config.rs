@@ -103,6 +103,7 @@ const SIM_KEYS: &[&str] = &[
     "transport",
     "queue",
     "pfabric_cwnd_pkts",
+    "threads",
 ];
 
 /// The config printed by `dcnsim --print-example`.
@@ -310,6 +311,12 @@ fn parse_sim(cfg: Option<&Json>) -> Result<SimConfig, String> {
     }
     if let Some(v) = opt_u64(cfg, "pfabric_cwnd_pkts")? {
         c.pfabric_cwnd_pkts = v as u32;
+    }
+    if let Some(v) = opt_u64(cfg, "threads")? {
+        if v == 0 {
+            return Err("config: \"threads\" must be at least 1".to_string());
+        }
+        c.threads = v as u32;
     }
     Ok(c)
 }

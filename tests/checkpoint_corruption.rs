@@ -76,7 +76,7 @@ fn truncated_tail_is_rejected() {
 #[test]
 fn version_bump_is_rejected_even_with_valid_checksum() {
     let mut img = image();
-    img[VERSION_AT..VERSION_AT + 4].copy_from_slice(&2u32.to_le_bytes());
+    img[VERSION_AT..VERSION_AT + 4].copy_from_slice(&u32::MAX.to_le_bytes());
     reseal(&mut img);
     let Err(err) = Checkpoint::from_bytes(img) else {
         panic!("future version must not validate");

@@ -1,0 +1,158 @@
+//! The sharded engine's headline property, exercised as a randomized
+//! sweep: for *any* topology, transport, workload, and adversarial fault
+//! plan, running under 2 or 4 worker threads reproduces the
+//! single-thread oracle **byte-for-byte** — identical flow records,
+//! identical JSONL event traces, identical telemetry streams.
+//!
+//! Thread count only selects how many workers drain the 8 fixed shards;
+//! the event schedule is the same at every setting, so any divergence
+//! here is a real engine bug (a cross-shard event leaking past a
+//! barrier, a merge-order tie broken nondeterministically), not noise.
+
+use beyond_fattrees::prelude::*;
+use dcn_rng::Rng;
+
+/// Everything a run emits, captured in memory.
+struct Artifacts {
+    records: Vec<FlowRecord>,
+    trace: Vec<u8>,
+    telemetry: Vec<u8>,
+}
+
+/// One fully instrumented run of a scenario at a given thread count.
+fn run_instrumented(
+    topo: &Topology,
+    cfg: SimConfig,
+    flows: &[FlowEvent],
+    plan: Option<&FaultPlan>,
+    window_end: u64,
+    max_time: u64,
+) -> Artifacts {
+    let mut sim = Simulator::new(topo, Routing::Ecmp.selector(topo), cfg);
+    sim.set_window(0, window_end);
+    sim.inject(flows);
+    if let Some(p) = plan {
+        sim.set_fault_plan(p);
+    }
+    let tbuf = SharedBuf::new();
+    sim.set_tracer(Box::new(JsonlTracer::new(tbuf.clone())));
+    let mbuf = SharedBuf::new();
+    sim.set_telemetry(Telemetry::new(
+        Box::new(mbuf.clone()),
+        DEFAULT_SAMPLE_EVERY_NS,
+    ));
+    let records = sim.run(max_time);
+    Artifacts {
+        records,
+        trace: tbuf.contents(),
+        telemetry: mbuf.contents(),
+    }
+}
+
+/// A seeded random scenario: topology family, transport, workload, and
+/// (on odd seeds) a chaos fault plan all drawn from the seed.
+fn scenario(seed: u64) -> (Topology, SimConfig, Vec<FlowEvent>, Option<FaultPlan>) {
+    let mut meta = Rng::seed_from_u64(0x5AAD ^ seed.wrapping_mul(0x9E37_79B9));
+    let topo = match meta.gen_range(0u32..3) {
+        0 => FatTree::full(4).build(),
+        1 => Xpander::for_switches(4, 15, 2, seed).build(),
+        _ => Jellyfish::new(12, 4, 2, seed).build(),
+    };
+    let cfg = match meta.gen_range(0u32..3) {
+        0 => SimConfig::default(),
+        1 => SimConfig::default().with_newreno(),
+        _ => SimConfig::default().with_pfabric(),
+    };
+    let lambda = 1_000.0 + meta.gen_range(0.0..2_000.0);
+    let pattern = AllToAll::new(&topo, topo.tors_with_servers());
+    let flows = generate_flows(&pattern, &PFabricWebSearch::new(), lambda, 0.004, seed);
+    let plan = (seed % 2 == 1).then(|| FaultPlan::chaos(&topo, 4 * MS, seed));
+    (topo, cfg, flows, plan)
+}
+
+/// The sweep: six random scenarios, each run at 1 (oracle), 2, and 4
+/// threads, every artifact compared byte-for-byte.
+#[test]
+fn sharded_runs_match_single_thread_oracle() {
+    for seed in 0u64..6 {
+        let (topo, cfg, flows, plan) = scenario(seed);
+        if flows.is_empty() {
+            continue; // a seed may draw an empty arrival window
+        }
+        if let Some(p) = &plan {
+            p.validate_schedule(&topo, 80 * MS)
+                .expect("chaos plans must validate");
+        }
+        let oracle = run_instrumented(
+            &topo,
+            cfg.with_threads(1),
+            &flows,
+            plan.as_ref(),
+            4 * MS,
+            80 * MS,
+        );
+        assert!(!oracle.trace.is_empty(), "seed {seed}: empty oracle trace");
+        for threads in [2u32, 4] {
+            let got = run_instrumented(
+                &topo,
+                cfg.with_threads(threads),
+                &flows,
+                plan.as_ref(),
+                4 * MS,
+                80 * MS,
+            );
+            assert_eq!(
+                got.records, oracle.records,
+                "seed {seed}: flow records diverge at {threads} threads"
+            );
+            assert_eq!(
+                got.trace, oracle.trace,
+                "seed {seed}: event trace diverges at {threads} threads"
+            );
+            assert_eq!(
+                got.telemetry, oracle.telemetry,
+                "seed {seed}: telemetry diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Thread count is invisible to the results even mid-plan: snapshotting
+/// a chaos run under one thread count and resuming under another lands
+/// on the oracle's records exactly.
+#[test]
+fn checkpoint_crosses_thread_counts_under_chaos() {
+    let (topo, cfg, flows, plan) = scenario(1); // odd seed: plan is Some
+    let plan = plan.expect("odd seed draws a fault plan");
+    let build = |threads: u32| {
+        let mut sim = Simulator::new(
+            &topo,
+            Routing::Ecmp.selector(&topo),
+            cfg.with_threads(threads),
+        );
+        sim.set_window(0, 4 * MS);
+        sim.inject(&flows);
+        sim.set_fault_plan(&plan);
+        sim
+    };
+    let straight = build(1).run(80 * MS);
+    let mut paused = build(4);
+    if paused.run_until(2 * MS) {
+        assert_eq!(paused.finish(), straight);
+        return;
+    }
+    let ckpt = paused.checkpoint().expect("checkpoint");
+    drop(paused);
+    let mut resumed = Simulator::restore(
+        &topo,
+        Routing::Ecmp.selector(&topo),
+        cfg.with_threads(2),
+        &ckpt,
+    )
+    .expect("restore at a different thread count");
+    assert_eq!(
+        resumed.run(80 * MS),
+        straight,
+        "snapshot at 4 threads, resume at 2 diverged from the 1-thread oracle"
+    );
+}
