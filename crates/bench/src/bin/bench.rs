@@ -15,6 +15,11 @@
 //! engine changes with `--bless` so the perf trajectory is reviewed next
 //! to the code that moved it; `dcnstat bench` diffs two baselines.
 //!
+//! `--counters` switches the report table to the engine's deterministic
+//! self-observability columns (epochs, cross-shard packets, calendar
+//! spills/fallbacks, arena high-water, shard balance extremes) instead of
+//! the wall-clock columns; the JSON rows always carry both.
+//!
 //! `--out <path>` overrides the baseline location (default
 //! `BENCH_sim.json` in the working directory — the repo root under CI).
 
@@ -26,7 +31,7 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1)
 }
 
-const USAGE: &str = "usage: bench perf [--bless | --check] [--seed N] [--out <path>]";
+const USAGE: &str = "usage: bench perf [--bless | --check] [--counters] [--seed N] [--out <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +40,7 @@ fn main() {
     }
     let mut bless = false;
     let mut check = false;
+    let mut counters = false;
     let mut seed = 1u64;
     let mut path = "BENCH_sim.json".to_string();
     let mut i = 1;
@@ -42,6 +48,7 @@ fn main() {
         match args[i].as_str() {
             "--bless" => bless = true,
             "--check" => check = true,
+            "--counters" => counters = true,
             "--seed" => {
                 i += 1;
                 seed = args
@@ -65,16 +72,42 @@ fn main() {
     }
 
     let report = run_perf_suite(seed);
-    println!("case\tevents\twall_ms\tevents_per_sec");
+    let u = |c: &Json, k: &str| c.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    if counters {
+        // The engine self-observability columns: all deterministic, so
+        // they are part of the blessed baseline and exact-checked.
+        println!(
+            "case\tevents\tepochs\txshard\tspills\tfallbacks\tcal_peak\tarena_hwm\t\
+             shard_ev_max\tshard_ev_min"
+        );
+    } else {
+        println!("case\tevents\twall_ms\tevents_per_sec");
+    }
     if let Some(cases) = report.get("cases").and_then(|c| c.as_array()) {
         for c in cases {
-            println!(
-                "{}\t{}\t{}\t{}",
-                case_label(c),
-                c.get("events").and_then(|v| v.as_u64()).unwrap_or(0),
-                c.get("wall_ms").and_then(|v| v.as_u64()).unwrap_or(0),
-                case_rate(c).unwrap_or(0.0) as u64,
-            );
+            if counters {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    case_label(c),
+                    u(c, "events"),
+                    u(c, "epochs"),
+                    u(c, "xshard_pkts"),
+                    u(c, "ladder_spills"),
+                    u(c, "scatter_fallbacks"),
+                    u(c, "calendar_peak_max"),
+                    u(c, "arena_hwm"),
+                    u(c, "shard_events_max"),
+                    u(c, "shard_events_min"),
+                );
+            } else {
+                println!(
+                    "{}\t{}\t{}\t{}",
+                    case_label(c),
+                    u(c, "events"),
+                    u(c, "wall_ms"),
+                    case_rate(c).unwrap_or(0.0) as u64,
+                );
+            }
         }
     }
 

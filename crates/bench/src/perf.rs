@@ -4,10 +4,12 @@
 //! Each case runs one deterministic packet-level experiment (a transport
 //! on a fat-tree size) and records two kinds of fields:
 //!
-//! - **simulated** — flow counts, events processed, drops, queue peak.
-//!   Same binary, same seed ⇒ byte-identical values; `--check` compares
-//!   them exactly, so an accidental behavior change in the hot path fails
-//!   CI even if it is *faster*.
+//! - **simulated** — flow counts, events processed, drops, queue peak,
+//!   and the engine's deterministic self-observability counters (epochs,
+//!   cross-shard packets, calendar spills/fallbacks, arena high-water,
+//!   per-shard event extremes). Same binary, same seed ⇒ byte-identical
+//!   values; `--check` compares them exactly, so an accidental behavior
+//!   change in the hot path fails CI even if it is *faster*.
 //! - **wall-clock** — `wall_ms` and `events_per_sec_wall`, segregated in
 //!   [`PERF_WALL_CLOCK_FIELDS`] exactly like `RunManifest`'s wall fields.
 //!   `--check` only asserts a loose floor (half the blessed rate), which
@@ -114,6 +116,13 @@ fn run_case(c: &Case, seed: u64) -> Json {
     let wall = t0.elapsed();
     let m = compute_metrics(&rec, warmup, end);
     let rate = sim.events_processed() as f64 / wall.as_secs_f64();
+    // The engine's deterministic self-observability counters are report
+    // columns too: they are simulated fields, so --check compares them
+    // exactly and check_thread_invariance proves they are byte-identical
+    // across the shard-scaling series.
+    let eng = sim.engine_counters();
+    let shard_events_max = eng.shards.iter().map(|s| s.events).max().unwrap_or(0);
+    let shard_events_min = eng.shards.iter().map(|s| s.events).min().unwrap_or(0);
     Json::obj(vec![
         ("topology", Json::from(c.topology)),
         ("transport", Json::from(c.transport)),
@@ -124,6 +133,33 @@ fn run_case(c: &Case, seed: u64) -> Json {
         ("events", Json::from(sim.events_processed())),
         ("drops", Json::from(sim.total_drops())),
         ("queue_peak", Json::from(sim.heap_peak())),
+        ("epochs", Json::from(eng.epochs)),
+        ("merge_ties", Json::from(eng.merge_ties)),
+        ("xshard_pkts", Json::from(eng.cross_shard_total())),
+        (
+            "ladder_spills",
+            Json::from(eng.shards.iter().map(|s| s.ladder_spills).sum::<u64>()),
+        ),
+        (
+            "scatter_fallbacks",
+            Json::from(eng.shards.iter().map(|s| s.scatter_fallbacks).sum::<u64>()),
+        ),
+        (
+            "calendar_peak_max",
+            Json::from(
+                eng.shards
+                    .iter()
+                    .map(|s| s.calendar_peak)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        ),
+        (
+            "arena_hwm",
+            Json::from(eng.shards.iter().map(|s| s.arena_high_water).sum::<u64>()),
+        ),
+        ("shard_events_max", Json::from(shard_events_max)),
+        ("shard_events_min", Json::from(shard_events_min)),
         ("wall_ms", Json::from(wall.as_millis() as u64)),
         ("events_per_sec_wall", Json::from(rate.round() as u64)),
     ])

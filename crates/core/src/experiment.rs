@@ -224,6 +224,8 @@ pub fn run_fct_experiment_instrumented(
         ecn_marks: sim.total_marks(),
         events: sim.events_processed(),
     };
+    let engine = sim.engine_counters();
+    let engine_wall = sim.wall_clock_counters();
     let manifest = manifest.map(|spec| {
         RunManifest::build(&ManifestInputs {
             spec,
@@ -236,6 +238,8 @@ pub fn run_fct_experiment_instrumented(
             metrics: &metrics,
             dists: &dists,
             counters: &counters,
+            engine: &engine,
+            engine_wall: &engine_wall,
             conservation: sim.conservation(),
             peak_heap: sim.heap_peak(),
             wall,

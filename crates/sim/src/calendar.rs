@@ -163,6 +163,14 @@ pub(crate) struct CalendarQueue {
     /// High-water mark of [`CalendarQueue::len`] — a memory-footprint
     /// proxy that run manifests report.
     pub(crate) peak: usize,
+    /// Ladder→ring migrations performed by cursor advances — a pure
+    /// function of the push/pop sequence, so thread-count invariant
+    /// (reported by the engine's deterministic counter set).
+    pub(crate) ladder_spills: u64,
+    /// Sub-bucket sorts that fell back from the counting scatter to a
+    /// comparison sort (per-`t` seq monotonicity broken by a ladder
+    /// migration); also thread-count invariant.
+    pub(crate) scatter_fallbacks: u64,
 }
 
 impl CalendarQueue {
@@ -190,16 +198,28 @@ impl CalendarQueue {
             len: 0,
             seq: 0,
             peak: 0,
+            ladder_spills: 0,
+            scatter_fallbacks: 0,
         }
     }
 
     /// Rebuilds a queue from a checkpoint's event population: `items`
     /// carry their original `seq`s (in arbitrary order), and the ring is
     /// sized to the population so restoring a large snapshot into the
-    /// default ring cannot degrade into an all-ladder queue.
-    pub(crate) fn from_items(seq: u64, peak: usize, items: Vec<CalEntry>, now: Ns) -> Self {
+    /// default ring cannot degrade into an all-ladder queue. `min_slots`
+    /// floors the sizing (checkpoints record the organic ring size so a
+    /// restore never lands on a smaller ring than the run had grown);
+    /// pass 0 for population-derived sizing alone.
+    pub(crate) fn from_items(
+        seq: u64,
+        peak: usize,
+        items: Vec<CalEntry>,
+        now: Ns,
+        min_slots: usize,
+    ) -> Self {
         let num_slots = (items.len() / 4)
             .next_power_of_two()
+            .max(min_slots.next_power_of_two())
             .clamp(MIN_SLOTS, MAX_SLOTS);
         let mut q = Self::with_slots(num_slots, now);
         q.seq = seq;
@@ -215,8 +235,8 @@ impl CalendarQueue {
         self.len
     }
 
-    /// Ring size, exposed for sizing tests.
-    #[cfg(test)]
+    /// Ring size (checkpoints record it so restores keep the organic
+    /// sizing; sizing tests read it too).
     pub(crate) fn num_slots(&self) -> usize {
         self.slots.len()
     }
@@ -414,6 +434,7 @@ impl CalendarQueue {
             last[g] = e.seq;
         }
         if !ordered {
+            self.scatter_fallbacks += 1;
             debug_assert!(self.seq < 1 << 59);
             self.cur
                 .sort_unstable_by_key(|e| Reverse(((e.t & low) << 59) | e.seq));
@@ -483,6 +504,7 @@ impl CalendarQueue {
                 break;
             }
             let e = self.overflow.pop().expect("peeked ladder entry");
+            self.ladder_spills += 1;
             if abs == self.cur_abs {
                 self.file_current(e);
             } else {
@@ -646,6 +668,28 @@ mod tests {
     }
 
     #[test]
+    fn ladder_spills_are_counted() {
+        let mut q = CalendarQueue::new();
+        // One near event and one far beyond the ring horizon: draining
+        // past the first advances the cursor and migrates the second.
+        q.push(100, Ev::FlowStart(0));
+        q.push(20_000_000, Ev::FlowStart(1));
+        assert_eq!(q.ladder_spills, 0);
+        assert_eq!(q.pop().unwrap().t, 100);
+        assert_eq!(q.pop().unwrap().t, 20_000_000);
+        assert_eq!(q.ladder_spills, 1, "the far event must migrate once");
+        assert_eq!(q.scatter_fallbacks, 0);
+    }
+
+    #[test]
+    fn from_items_respects_min_slots_floor() {
+        let q = CalendarQueue::from_items(0, 0, Vec::new(), 0, MAX_SLOTS);
+        assert_eq!(q.num_slots(), MAX_SLOTS);
+        let q = CalendarQueue::from_items(0, 0, Vec::new(), 0, 0);
+        assert_eq!(q.num_slots(), MIN_SLOTS);
+    }
+
+    #[test]
     fn ladder_pressure_grows_the_ring() {
         let mut q = CalendarQueue::new();
         assert_eq!(q.num_slots(), MIN_SLOTS);
@@ -682,7 +726,7 @@ mod tests {
             });
         }
         model.seq = seq;
-        let mut q = CalendarQueue::from_items(seq, 123, items, 5_000_000);
+        let mut q = CalendarQueue::from_items(seq, 123, items, 5_000_000, 0);
         assert!(
             q.num_slots() == MAX_SLOTS,
             "40k events must size the ring up to the cap, got {}",

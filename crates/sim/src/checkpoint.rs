@@ -55,10 +55,13 @@ use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"DCNCKPT1";
-/// v2: per-shard calendars, split sender/receiver flow halves, the
-/// counter-based gray-loss state (no RNG stream), and the control-plane
-/// schedule.
-const VERSION: u32 = 2;
+/// v3: v2 (per-shard calendars, split sender/receiver flow halves, the
+/// counter-based gray-loss state, the control-plane schedule) plus the
+/// deterministic engine counter set — per-shard event totals, cross-shard
+/// mailbox counts, calendar spill/fallback counters, arena high-water,
+/// ring size — and the epoch/merge-tie scalars. The wall-clock counter
+/// set is deliberately not serialized (it is not simulated state).
+pub const VERSION: u32 = 3;
 /// magic + version + topo fp + cfg fp + now + events_processed.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
 
@@ -705,6 +708,8 @@ impl Simulator {
         e.u64(self.telemetry_next);
         e.u64(self.sh.plan_seed);
         e.u64(self.ctrl_seq);
+        e.u64(self.epochs);
+        e.u64(self.merge_ties);
 
         // Shard calendars, one section per shard in shard order, each in
         // arbitrary internal order: pop order is determined by the
@@ -717,6 +722,17 @@ impl Simulator {
             let st = unsafe { &*self.shards[s].0.get() };
             e.u64(st.queue.seq);
             e.u64(st.queue.peak as u64);
+            // Deterministic per-shard counters, and the organic ring size
+            // so the restored calendar spills exactly like the original
+            // would have.
+            e.u64(st.events_total);
+            for d in 0..NUM_SHARDS {
+                e.u64(st.xshard_sent[d]);
+            }
+            e.u64(st.queue.ladder_spills);
+            e.u64(st.queue.scatter_fallbacks);
+            e.u64(st.pkts.high_water() as u64);
+            e.u64(st.queue.num_slots() as u64);
             e.u64(st.queue.len() as u64);
             for item in st.queue.iter() {
                 e.u64(item.t);
@@ -870,12 +886,20 @@ impl Simulator {
         let telemetry_next = d.u64()?;
         let plan_seed = d.u64()?;
         let ctrl_seq = d.u64()?;
+        let epochs = d.u64()?;
+        let merge_ties = d.u64()?;
 
         // Per-shard calendars; Deliver packets decode into the owning
         // shard's fresh arena.
         struct ShardQueue {
             seq: u64,
             peak: usize,
+            events_total: u64,
+            xshard_sent: [u64; NUM_SHARDS],
+            ladder_spills: u64,
+            scatter_fallbacks: u64,
+            arena_hwm: usize,
+            num_slots: usize,
             items: Vec<CalEntry>,
             pkts: PacketArena,
         }
@@ -883,6 +907,18 @@ impl Simulator {
         for _ in 0..NUM_SHARDS {
             let seq = d.u64()?;
             let peak = d.u64()? as usize;
+            let events_total = d.u64()?;
+            let mut xshard_sent = [0u64; NUM_SHARDS];
+            for x in xshard_sent.iter_mut() {
+                *x = d.u64()?;
+            }
+            let ladder_spills = d.u64()?;
+            let scatter_fallbacks = d.u64()?;
+            let arena_hwm = d.u64()? as usize;
+            let num_slots = d.u64()? as usize;
+            if num_slots != 0 && !num_slots.is_power_of_two() {
+                return Err("checkpoint corrupt: calendar ring size not a power of two".into());
+            }
             let n_items = d.len()?;
             let mut pkts = PacketArena::new();
             let mut items = Vec::with_capacity(n_items);
@@ -895,6 +931,12 @@ impl Simulator {
             shard_queues.push(ShardQueue {
                 seq,
                 peak,
+                events_total,
+                xshard_sent,
+                ladder_spills,
+                scatter_fallbacks,
+                arena_hwm,
+                num_slots,
                 items,
                 pkts,
             });
@@ -1037,6 +1079,8 @@ impl Simulator {
         sim.ctrl = ctrl;
         sim.ctrl_pos = 0;
         sim.ctrl_seq = ctrl_seq;
+        sim.epochs = epochs;
+        sim.merge_ties = merge_ties;
 
         // Each calendar is rebuilt from its serialized element set; pop
         // order depends only on (t, seq), so the rings are free to be
@@ -1046,7 +1090,12 @@ impl Simulator {
         for (s, q) in shard_queues.into_iter().enumerate() {
             let st = sim.shards[s].0.get_mut();
             st.pkts = q.pkts;
-            st.queue = CalendarQueue::from_items(q.seq, q.peak, q.items, meta.now);
+            st.pkts.set_high_water(q.arena_hwm);
+            st.queue = CalendarQueue::from_items(q.seq, q.peak, q.items, meta.now, q.num_slots);
+            st.queue.ladder_spills = q.ladder_spills;
+            st.queue.scatter_fallbacks = q.scatter_fallbacks;
+            st.events_total = q.events_total;
+            st.xshard_sent = q.xshard_sent;
         }
 
         if sim.sh.fabric.channels.len() != chans.len() {
@@ -1215,7 +1264,7 @@ mod tests {
         sim.run_until(2 * MS);
         let ckpt = sim.checkpoint().unwrap();
         let meta = ckpt.meta();
-        assert_eq!(meta.version, 2);
+        assert_eq!(meta.version, 3);
         assert_eq!(meta.topo_fingerprint, t.fingerprint());
         assert_eq!(
             meta.cfg_fingerprint,

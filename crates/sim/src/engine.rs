@@ -55,6 +55,7 @@
 //! transports decide what happens to the window.
 
 use crate::channel::Offer;
+use crate::counters::{EngineCounters, ShardCounters, WallClockCounters};
 use crate::fault::{component_labels, gray_drop, FaultController, FaultPlan, RemappedSelector};
 use crate::host::{transport_for, ChannelPath, Flow, FlowRx, Transport};
 use crate::mailbox::{Mail, Mailboxes};
@@ -71,6 +72,7 @@ use dcn_topology::{NodeId, Topology};
 use dcn_workloads::FlowEvent;
 use std::cell::UnsafeCell;
 use std::sync::Arc;
+use std::time::Instant;
 
 const HEADER_BYTES: u32 = 40;
 
@@ -198,6 +200,14 @@ pub struct Simulator {
     /// topology). Checkpoints persist this so a restore can rebuild the
     /// identical survivor view.
     pub(crate) routing_down: Option<(Vec<bool>, Vec<bool>)>,
+    /// Data-plane epochs executed (deterministic counter; checkpointed).
+    pub(crate) epochs: u64,
+    /// Same-timestamp candidates passed over in the barrier's k-way trace
+    /// merge (deterministic counter; checkpointed).
+    pub(crate) merge_ties: u64,
+    /// Coordinator wall time spent waiting at epoch barriers (zero unless
+    /// `SimConfig::wall_counters`; never checkpointed).
+    pub(crate) wall_barrier_ns: u64,
 }
 
 /// Inserts a control event keeping `ctrl[pos..]` sorted by `(t, seq)`.
@@ -302,6 +312,9 @@ impl Simulator {
             pkts_sent: 0,
             pkts_delivered: 0,
             routing_down: None,
+            epochs: 0,
+            merge_ties: 0,
+            wall_barrier_ns: 0,
         }
     }
 
@@ -492,6 +505,9 @@ impl Simulator {
             pkts_sent,
             pkts_delivered,
             routing_down,
+            epochs,
+            merge_ties,
+            wall_barrier_ns,
         } = self;
         let sh: &Shared = sh;
         let shards: &[ShardSlot] = shards.as_slice();
@@ -515,6 +531,9 @@ impl Simulator {
             pkts_sent,
             pkts_delivered,
             routing_down,
+            epochs,
+            merge_ties,
+            wall_barrier_ns,
         };
         let sync = EpochSync::new();
         std::thread::scope(|scope| {
@@ -526,8 +545,7 @@ impl Simulator {
                         last = e;
                         for s in (w..NUM_SHARDS).step_by(threads) {
                             let st = unsafe { shards[s].get() };
-                            run_shard_epoch(sh, st, s, end);
-                            flush_out(mail, st, s);
+                            drain_and_flush(sh, mail, st, s, end);
                         }
                         sync.finish_epoch();
                     }
@@ -658,6 +676,46 @@ impl Simulator {
         self.events_processed
     }
 
+    /// The deterministic engine counter set (see [`crate::counters`]):
+    /// byte-identical at every thread count and preserved exactly across
+    /// checkpoint/restore. Call between runs/epochs (any time `&self` is
+    /// available outside `run`/`run_until` is).
+    pub fn engine_counters(&self) -> EngineCounters {
+        EngineCounters {
+            epochs: self.epochs,
+            merge_ties: self.merge_ties,
+            shards: (0..NUM_SHARDS)
+                .map(|s| {
+                    let st = self.shard_ref(s);
+                    ShardCounters {
+                        events: st.events_total,
+                        cross_shard_sent: st.xshard_sent,
+                        calendar_peak: st.queue.peak as u64,
+                        ladder_spills: st.queue.ladder_spills,
+                        scatter_fallbacks: st.queue.scatter_fallbacks,
+                        arena_live: st.pkts.live_count() as u64,
+                        arena_high_water: st.pkts.high_water() as u64,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The wall-clock counter set — all zero unless the simulator ran
+    /// with [`SimConfig::wall_counters`] set. Never part of checkpoints
+    /// or determinism comparisons.
+    pub fn wall_clock_counters(&self) -> WallClockCounters {
+        WallClockCounters {
+            drain_ns: (0..NUM_SHARDS)
+                .map(|s| self.shard_ref(s).wall_drain_ns)
+                .collect(),
+            barrier_wait_ns: self.wall_barrier_ns,
+            mailbox_flush_ns: (0..NUM_SHARDS)
+                .map(|s| self.shard_ref(s).wall_flush_ns)
+                .sum(),
+        }
+    }
+
     /// Current simulated time in ns (the horizon of the last completed
     /// epoch's newest event).
     pub fn now(&self) -> Ns {
@@ -699,10 +757,29 @@ fn run_shard_epoch(sh: &Shared, st: &mut ShardState, shard: usize, end: Ns) {
     }
 }
 
-/// Posts a shard's batched cross-shard sends to the mailboxes.
+/// Posts a shard's batched cross-shard sends to the mailboxes,
+/// accumulating the per-destination counts (one add per mailbox pair per
+/// epoch — off the per-packet path).
 fn flush_out(mail: &Mailboxes, st: &mut ShardState, shard: usize) {
     for dst in 0..NUM_SHARDS {
+        st.xshard_sent[dst] += st.out[dst].len() as u64;
         mail.post(shard, dst, &mut st.out[dst]);
+    }
+}
+
+/// Drains one shard to the epoch horizon and flushes its out-buffers,
+/// timing both phases when the wall-clock counter set is on.
+fn drain_and_flush(sh: &Shared, mail: &Mailboxes, st: &mut ShardState, shard: usize, end: Ns) {
+    if sh.cfg.wall_counters {
+        let t0 = Instant::now();
+        run_shard_epoch(sh, st, shard, end);
+        let t1 = Instant::now();
+        st.wall_drain_ns += (t1 - t0).as_nanos() as u64;
+        flush_out(mail, st, shard);
+        st.wall_flush_ns += t1.elapsed().as_nanos() as u64;
+    } else {
+        run_shard_epoch(sh, st, shard, end);
+        flush_out(mail, st, shard);
     }
 }
 
@@ -727,6 +804,9 @@ struct Ctx<'a> {
     pkts_sent: &'a mut u64,
     pkts_delivered: &'a mut u64,
     routing_down: &'a mut Option<(Vec<bool>, Vec<bool>)>,
+    epochs: &'a mut u64,
+    merge_ties: &'a mut u64,
+    wall_barrier_ns: &'a mut u64,
 }
 
 impl Ctx<'_> {
@@ -785,10 +865,16 @@ impl Ctx<'_> {
             sync.publish(end);
             for s in (0..NUM_SHARDS).step_by(threads) {
                 let st = unsafe { self.shards[s].get() };
-                run_shard_epoch(sh, st, s, end);
-                flush_out(self.mail, st, s);
+                drain_and_flush(sh, self.mail, st, s, end);
             }
-            sync.wait_workers(threads - 1);
+            if sh.cfg.wall_counters {
+                let t0 = Instant::now();
+                sync.wait_workers(threads - 1);
+                *self.wall_barrier_ns += t0.elapsed().as_nanos() as u64;
+            } else {
+                sync.wait_workers(threads - 1);
+            }
+            *self.epochs += 1;
             let done = self.barrier_merge();
             if sh.cfg.max_events != 0 && *self.events_processed > sh.cfg.max_events {
                 panic!(
@@ -965,6 +1051,7 @@ impl Ctx<'_> {
         for s in 0..NUM_SHARDS {
             let st = unsafe { self.shards[s].get() };
             *self.events_processed += st.events;
+            st.events_total += st.events;
             st.events = 0;
             *self.pkts_sent += st.sent;
             st.sent = 0;
@@ -1018,8 +1105,17 @@ impl Ctx<'_> {
                 for (s, &ix) in idx.iter().enumerate() {
                     let st = unsafe { self.shards[s].get() };
                     if let Some(&(t, _)) = st.trace_buf.get(ix) {
-                        if best.is_none_or(|(bt, _)| t < bt) {
-                            best = Some((t, s));
+                        match best {
+                            Some((bt, _)) if t >= bt => {
+                                if t == bt {
+                                    // A same-t candidate passed over: the
+                                    // lowest shard wins the tie. Counting
+                                    // these surfaces how much merge order
+                                    // actually rides on the tiebreak.
+                                    *self.merge_ties += 1;
+                                }
+                            }
+                            _ => best = Some((t, s)),
                         }
                     }
                 }

@@ -59,6 +59,7 @@
 pub mod calendar;
 pub mod channel;
 pub mod checkpoint;
+pub mod counters;
 pub mod engine;
 pub mod fault;
 pub mod host;
@@ -73,6 +74,7 @@ pub mod trace;
 pub mod types;
 
 pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointMeta};
+pub use counters::{EngineCounters, ShardCounters, WallClockCounters, WALL_CLOCK_COUNTER_FIELDS};
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};
 pub use host::{AckActions, Dctcp, Flow, NewReno, PFabric, Transport};

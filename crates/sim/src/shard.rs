@@ -85,6 +85,19 @@ pub(crate) struct ShardState {
     pub(crate) delivered: u64,
     /// Highest event time this shard has processed.
     pub(crate) last_t: Ns,
+    /// Whole-run event total (unlike `events`, never reset at barriers;
+    /// the barrier accumulates the per-epoch delta into it). Part of the
+    /// deterministic counter set, so it survives checkpoints.
+    pub(crate) events_total: u64,
+    /// Whole-run cross-shard packets posted per destination shard
+    /// (accumulated once per mailbox flush). Deterministic; checkpointed.
+    pub(crate) xshard_sent: [u64; NUM_SHARDS],
+    /// Wall-clock time spent draining this shard's calendar (zero unless
+    /// `SimConfig::wall_counters`; never checkpointed).
+    pub(crate) wall_drain_ns: u64,
+    /// Wall-clock time spent flushing this shard's out-buffers to the
+    /// mailboxes (same gating as `wall_drain_ns`).
+    pub(crate) wall_flush_ns: u64,
 }
 
 impl ShardState {
@@ -104,6 +117,10 @@ impl ShardState {
             sent: 0,
             delivered: 0,
             last_t: 0,
+            events_total: 0,
+            xshard_sent: [0; NUM_SHARDS],
+            wall_drain_ns: 0,
+            wall_flush_ns: 0,
         }
     }
 }

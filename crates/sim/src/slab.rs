@@ -29,6 +29,12 @@ pub type PktId = u32;
 pub struct PacketArena {
     slots: Vec<Packet>,
     free: Vec<PktId>,
+    /// High-water carried over from a checkpoint restore. `slots` only
+    /// grows when every slot is live, so `slots.len()` is itself the
+    /// organic live high-water; a restored arena starts from the
+    /// snapshot's live set and would forget the original's peak without
+    /// this floor. See [`PacketArena::high_water`].
+    restored_hwm: usize,
     /// Liveness per slot, kept only when debug assertions are on: catches
     /// use-after-free and double-free at the first bad access instead of
     /// letting a recycled id corrupt an unrelated packet.
@@ -41,6 +47,7 @@ impl PacketArena {
         PacketArena {
             slots: Vec::new(),
             free: Vec::new(),
+            restored_hwm: 0,
             #[cfg(debug_assertions)]
             live: Vec::new(),
         }
@@ -49,6 +56,20 @@ impl PacketArena {
     /// Number of live packets.
     pub fn live_count(&self) -> usize {
         self.slots.len() - self.free.len()
+    }
+
+    /// High-water mark of live packets over the run (across checkpoint
+    /// restores). A new slot is pushed only when every existing slot is
+    /// live, so the slot count tracks the organic peak for free — no
+    /// hot-path bookkeeping.
+    pub fn high_water(&self) -> usize {
+        self.slots.len().max(self.restored_hwm)
+    }
+
+    /// Restore-path setter: carries a checkpointed high-water mark into a
+    /// freshly repopulated arena.
+    pub fn set_high_water(&mut self, hwm: usize) {
+        self.restored_hwm = hwm;
     }
 
     #[inline]
@@ -133,6 +154,7 @@ mod tests {
         let y = a.alloc(pkt(2));
         assert_ne!(x, y);
         assert_eq!(a.live_count(), 2);
+        assert_eq!(a.high_water(), 2);
         assert_eq!(a.get(x).flow, 1);
         a.free(x);
         assert_eq!(a.live_count(), 1);
@@ -141,6 +163,19 @@ mod tests {
         assert_eq!(a.get(z).flow, 3);
         a.get_mut(y).ecn_ce = true;
         assert!(a.get(y).ecn_ce);
+        assert_eq!(a.high_water(), 2, "slot reuse must not raise the peak");
+    }
+
+    #[test]
+    fn restored_high_water_floors_the_organic_one() {
+        let mut a = PacketArena::new();
+        a.alloc(pkt(1));
+        a.set_high_water(7);
+        assert_eq!(a.high_water(), 7);
+        for f in 2..=9 {
+            a.alloc(pkt(f));
+        }
+        assert_eq!(a.high_water(), 9, "organic growth overtakes the floor");
     }
 
     #[test]

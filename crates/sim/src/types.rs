@@ -162,6 +162,12 @@ pub struct SimConfig {
     /// simulated byte — is identical at every setting; `threads` only
     /// chooses how many OS threads drain the shards each epoch.
     pub threads: u32,
+    /// Collect the wall-clock counter set (per-shard drain time, barrier
+    /// wait, mailbox flush — see [`crate::counters`]). Off by default so
+    /// the epoch loop does no clock reads. Deliberately excluded from the
+    /// checkpoint config fingerprint: like `threads`, it cannot affect
+    /// simulated output.
+    pub wall_counters: bool,
 }
 
 impl Default for SimConfig {
@@ -186,6 +192,7 @@ impl Default for SimConfig {
             reconverge_delay_ns: MS,
             max_events: 0,
             threads: 1,
+            wall_counters: false,
         }
     }
 }
@@ -216,6 +223,13 @@ impl SimConfig {
     /// Simulated results are byte-identical at every setting.
     pub fn with_threads(mut self, n: u32) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Turns on the wall-clock counter set (drain/barrier/flush timing).
+    /// Simulated results are unaffected.
+    pub fn with_wall_counters(mut self) -> Self {
+        self.wall_counters = true;
         self
     }
 

@@ -40,6 +40,7 @@ use std::process::Command;
 use std::time::Duration;
 
 use beyond_fattrees::jobs::{self, CrashHooks};
+use beyond_fattrees::metrics::Registry;
 use beyond_fattrees::prelude::*;
 use dcn_bench::supervise::{
     self, Attempt, EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_CRASH, EXIT_OK, EXIT_TIMEOUT,
@@ -58,7 +59,8 @@ options:
   --backoff-ms N            base retry backoff, doubles per attempt (default: 200)
   --checkpoint-every-ms N   worker auto-checkpoint cadence; 0 = every chunk (default: 1000)
   --jobs N                  batch: parallel worker processes (default: all cores)
-  --keep-going              batch: run every job even after failures (default: stop at first)";
+  --keep-going              batch: run every job even after failures (default: stop at first)
+  --metrics PATH            write Prometheus-style supervision metrics here at exit";
 
 fn fail(msg: &str) -> ! {
     eprintln!("dcnrun: error: {msg}");
@@ -144,6 +146,7 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
                 | "--backoff-ms"
                 | "--checkpoint-every-ms"
                 | "--jobs"
+                | "--metrics"
                 | "--die-after-checkpoints"
                 | "--stall-after-checkpoints" => i += 1,
                 "--keep-going" => {}
@@ -288,6 +291,42 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
         } else {
             counts.1 += 1;
         }
+    }
+
+    // Operational metrics for the whole supervision run, in the same
+    // Prometheus text format `dcnserve metrics` exposes — one registry,
+    // one render, one atomic write.
+    if let Some(path) = flag_value(args, "--metrics") {
+        let reg = Registry::new();
+        let jobs_total = reg.counter("dcnrun_jobs_total", "Jobs dispatched or skipped.");
+        let jobs_ok = reg.counter("dcnrun_jobs_ok_total", "Jobs that finished with exit 0.");
+        let jobs_failed = reg.counter("dcnrun_jobs_failed_total", "Jobs that exhausted retries.");
+        let jobs_skipped = reg.counter(
+            "dcnrun_jobs_skipped_total",
+            "Jobs never launched after a fail-fast abort.",
+        );
+        let attempts = reg.counter(
+            "dcnrun_worker_attempts_total",
+            "Worker launches, including relaunches.",
+        );
+        let relaunches = reg.counter(
+            "dcnrun_worker_relaunches_total",
+            "Worker launches beyond each job's first attempt.",
+        );
+        let worst_gauge = reg.gauge("dcnrun_worst_exit_code", "Worst exit code across the run.");
+        let wall = reg.histogram("dcnrun_job_wall_ms", "Per-job supervised wall time, ms.");
+        jobs_total.add(configs.len() as u64);
+        jobs_ok.add(counts.0);
+        jobs_failed.add(counts.1);
+        jobs_skipped.add(skipped_idx.len() as u64);
+        for (_i, (_stem, outcome)) in &finished {
+            attempts.add(outcome.attempts as u64);
+            relaunches.add(outcome.attempts.saturating_sub(1) as u64);
+            wall.observe(outcome.wall.as_millis() as u64);
+        }
+        worst_gauge.set(worst as u64);
+        write_atomic(&path, reg.render_text().as_bytes())
+            .unwrap_or_else(|e| fail(&format!("write metrics {path}: {e}")));
     }
 
     // The per-batch summary: every job's fate in one artifact, including

@@ -12,6 +12,7 @@
 //! dcnserve request experiment.json --tcp 127.0.0.1:7440   # result JSON on stdout
 //! dcnserve ping --tcp 127.0.0.1:7440
 //! dcnserve stats --tcp 127.0.0.1:7440
+//! dcnserve metrics --tcp 127.0.0.1:7440   # Prometheus text on stdout
 //! ```
 //!
 //! Robustness guarantees (see `beyond_fattrees::serve` for the details):
@@ -39,6 +40,7 @@ const USAGE: &str = "usage: dcnserve serve   [--tcp ADDR] [--unix PATH] [--state
        dcnserve request <config.json> (--tcp ADDR | --unix PATH) [--deadline-ms N] [--no-cache]
        dcnserve ping    (--tcp ADDR | --unix PATH)
        dcnserve stats   (--tcp ADDR | --unix PATH)
+       dcnserve metrics (--tcp ADDR | --unix PATH)
 
 serve options:
   --tcp ADDR                listen address, port 0 picks a free port (default: 127.0.0.1:7440)
@@ -82,6 +84,7 @@ fn main() {
         Some("request") => client_cmd(&args[1..], ClientOp::Request),
         Some("ping") => client_cmd(&args[1..], ClientOp::Ping),
         Some("stats") => client_cmd(&args[1..], ClientOp::Stats),
+        Some("metrics") => client_cmd(&args[1..], ClientOp::Metrics),
         Some("worker") => worker_cmd(&args[1..]),
         _ => fail(USAGE),
     };
@@ -160,6 +163,7 @@ enum ClientOp {
     Request,
     Ping,
     Stats,
+    Metrics,
 }
 
 enum ClientConn {
@@ -216,6 +220,7 @@ fn client_cmd(args: &[String], op: ClientOp) -> i32 {
     let frame = match &op {
         ClientOp::Ping => br#"{"op": "ping"}"#.to_vec(),
         ClientOp::Stats => br#"{"op": "stats"}"#.to_vec(),
+        ClientOp::Metrics => br#"{"op": "metrics"}"#.to_vec(),
         ClientOp::Request => {
             let Some(cfg_path) = args.first().filter(|a| !a.starts_with("--")) else {
                 fail("request needs a config path");
@@ -253,6 +258,20 @@ fn client_cmd(args: &[String], op: ClientOp) -> i32 {
         }
         ClientOp::Request => {
             eprintln!("dcnserve: request failed:\n{envelope}");
+            1
+        }
+        ClientOp::Metrics if status == "ok" => {
+            // The exposition body follows the envelope as a plaintext
+            // frame; print it verbatim for scrapers and humans alike.
+            let text =
+                read_frame(&mut conn).unwrap_or_else(|e| fail(&format!("read metrics: {e}")));
+            std::io::stdout()
+                .write_all(&text)
+                .unwrap_or_else(|e| fail(&format!("stdout: {e}")));
+            0
+        }
+        ClientOp::Metrics => {
+            eprintln!("dcnserve: metrics failed:\n{envelope}");
             1
         }
         ClientOp::Ping | ClientOp::Stats => {

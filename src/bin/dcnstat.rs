@@ -7,6 +7,8 @@
 //! dcnstat hist   <trace.jsonl>                FCT / queue-delay / flowlet-gap histograms
 //! dcnstat diff   <a/manifest.json> <b/manifest.json>   field-by-field manifest compare
 //! dcnstat bench  <BENCH_sim.json> [<other.json>]       perf baseline table / diff
+//! dcnstat shards <manifest.json>              per-shard engine counter breakdown
+//! dcnstat top    (--tcp ADDR | --unix PATH)   live dcnserve stats, refreshing
 //! ```
 //!
 //! `queues` and `util` read the time-series JSONL a telemetry-enabled run
@@ -21,11 +23,23 @@
 //! speedup table (old → new), highlights cases whose rate regressed below
 //! the CI floor, and reports any simulated-field drift — so a perf
 //! trajectory of committed baselines stays readable across re-anchors.
+//!
+//! `shards` renders a manifest's `engine` counter block as a per-shard
+//! balance table (events share, cross-shard traffic, calendar/arena
+//! high-water, and — when the run enabled wall counters — drain time),
+//! the fastest way to see why adding threads didn't help. `top` polls a
+//! running `dcnserve`'s `stats` op and redraws a compact operational
+//! table every `--interval-ms` (default 1000), `--count N` times
+//! (default: until interrupted).
 
 use std::collections::HashMap;
-use std::io::{self, Write};
+use std::io::{self, IsTerminal, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 use beyond_fattrees::prelude::*;
+use beyond_fattrees::serve::protocol::{read_frame, write_frame};
 use dcn_json::Json;
 
 fn fail(msg: &str) -> ! {
@@ -36,7 +50,9 @@ fn fail(msg: &str) -> ! {
 const USAGE: &str = "usage: dcnstat queues <telemetry.jsonl> [--ch N] \
      | dcnstat util <telemetry.jsonl> | dcnstat hist <trace.jsonl> \
      | dcnstat diff <a/manifest.json> <b/manifest.json> \
-     | dcnstat bench <BENCH_sim.json> [<other.json>]";
+     | dcnstat bench <BENCH_sim.json> [<other.json>] \
+     | dcnstat shards <manifest.json> \
+     | dcnstat top (--tcp ADDR | --unix PATH) [--interval-ms N] [--count N]";
 
 /// Parses every JSONL line of `path`.
 fn read_jsonl(path: &str) -> Vec<Json> {
@@ -376,6 +392,237 @@ fn bench_compare(old: &[Json], new: &[Json], out: &mut dyn Write) -> io::Result<
     Ok(bad)
 }
 
+// ---------------------------------------------------------------- shards
+
+/// `shards <manifest.json>`: per-shard balance table from the manifest's
+/// `engine` counter block. The deterministic columns render always; the
+/// wall-clock drain column appears only when the run recorded it
+/// (`SimConfig::wall_counters`), since all-zero timings would mislead.
+fn cmd_shards(path: &str, out: &mut dyn Write) -> io::Result<()> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let doc = Json::parse(&body).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+    let eng = doc
+        .get("engine")
+        .unwrap_or_else(|| fail(&format!("{path}: no engine counter block in manifest")));
+    render_shards(eng, out)
+}
+
+fn render_shards(eng: &Json, out: &mut dyn Write) -> io::Result<()> {
+    let u = |v: &Json, k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let events_total = u(eng, "events_total");
+    writeln!(
+        out,
+        "epochs {}  events {}  cross_shard {}  merge_ties {}  imbalance {:.3}",
+        u(eng, "epochs"),
+        events_total,
+        u(eng, "cross_shard_total"),
+        u(eng, "merge_ties"),
+        eng.get("imbalance").and_then(|v| v.as_f64()).unwrap_or(0.0),
+    )?;
+    let u64s = |v: Option<&Json>| -> Vec<u64> {
+        v.and_then(|a| a.as_array())
+            .map(|a| a.iter().map(|x| x.as_u64().unwrap_or(0)).collect())
+            .unwrap_or_default()
+    };
+    let drain = u64s(eng.get("drain_ns"));
+    let have_wall = drain.iter().any(|&v| v > 0);
+    let shards = eng
+        .get("shards")
+        .and_then(|s| s.as_array())
+        .unwrap_or_else(|| fail("engine block has no shards array"));
+    write!(
+        out,
+        "shard\tevents\tshare\txshard_out\tcal_peak\tspills\tfallbacks\tarena_live\tarena_hwm"
+    )?;
+    writeln!(out, "{}", if have_wall { "\tdrain_ms" } else { "" })?;
+    for (i, s) in shards.iter().enumerate() {
+        let xshard: u64 = u64s(s.get("cross_shard")).iter().sum();
+        let share = u(s, "events") as f64 / events_total.max(1) as f64;
+        write!(
+            out,
+            "{i}\t{}\t{:.1}%\t{xshard}\t{}\t{}\t{}\t{}\t{}",
+            u(s, "events"),
+            share * 100.0,
+            u(s, "calendar_peak"),
+            u(s, "ladder_spills"),
+            u(s, "scatter_fallbacks"),
+            u(s, "arena_live"),
+            u(s, "arena_high_water"),
+        )?;
+        if have_wall {
+            let ms = drain.get(i).copied().unwrap_or(0) as f64 / 1e6;
+            write!(out, "\t{ms:.2}")?;
+        }
+        writeln!(out)?;
+    }
+    if have_wall {
+        writeln!(
+            out,
+            "barrier_wait_ms {:.2}  mailbox_flush_ms {:.2}",
+            u(eng, "barrier_wait_ns") as f64 / 1e6,
+            u(eng, "mailbox_flush_ns") as f64 / 1e6,
+        )?;
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------- top
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// `--flag <value>` anywhere in `args`.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| fail(&format!("{flag} takes a value")))
+            .to_string()
+    })
+}
+
+/// One `stats` round-trip on a fresh connection; returns the envelope.
+fn poll_stats(args: &[String]) -> Json {
+    let mut conn = if let Some(addr) = flag_value(args, "--tcp") {
+        let s = TcpStream::connect(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+        let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
+        Conn::Tcp(s)
+    } else if let Some(path) = flag_value(args, "--unix") {
+        let s =
+            UnixStream::connect(&path).unwrap_or_else(|e| fail(&format!("connect {path}: {e}")));
+        let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
+        Conn::Unix(s)
+    } else {
+        fail("top needs --tcp ADDR or --unix PATH")
+    };
+    write_frame(&mut conn, br#"{"op": "stats"}"#)
+        .unwrap_or_else(|e| fail(&format!("send stats: {e}")));
+    let bytes = read_frame(&mut conn).unwrap_or_else(|e| fail(&format!("read stats: {e}")));
+    let env = Json::parse(&String::from_utf8_lossy(&bytes))
+        .unwrap_or_else(|e| fail(&format!("parse stats response: {e}")));
+    if env.get("status").and_then(|s| s.as_str()) != Some("ok") {
+        fail(&format!("stats request failed: {env}"));
+    }
+    env
+}
+
+/// One refresh of the `top` table from a stats envelope.
+fn render_stats(stats: &Json, out: &mut dyn Write) -> io::Result<()> {
+    let n = |k: &str| stats.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let version = stats
+        .get("version")
+        .and_then(|v| v.get("crate"))
+        .and_then(|v| v.as_str())
+        .unwrap_or("?");
+    let errors = n("errors_config")
+        + n("errors_unknown_op")
+        + n("errors_crash")
+        + n("errors_ckpt_corrupt")
+        + n("errors_internal");
+    writeln!(
+        out,
+        "dcnserve {version}  up {:.1}s  conns {}  workers {} running / {} queued",
+        n("uptime_ms") as f64 / 1e3,
+        n("conns"),
+        n("workers_running"),
+        n("workers_queued"),
+    )?;
+    writeln!(
+        out,
+        "requests {}: ok {}  cached {}  coalesced {}  shed {}  deadline {}  errors {}",
+        n("requests"),
+        n("run_ok"),
+        n("served_cached"),
+        n("coalesced"),
+        n("overloaded"),
+        n("deadline_exceeded"),
+        errors,
+    )?;
+    writeln!(
+        out,
+        "cache: {} entries  {} bytes  hits {}  misses {}  stores {}  quarantined {}",
+        n("cache_entries"),
+        n("cache_bytes"),
+        n("cache_hits"),
+        n("cache_misses"),
+        n("cache_stores"),
+        n("cache_quarantined"),
+    )?;
+    writeln!(
+        out,
+        "relaunches {}  protocol_errors {}  disconnects {}  draining_refused {}",
+        n("worker_relaunches"),
+        n("protocol_errors"),
+        n("disconnects"),
+        n("draining_refused"),
+    )?;
+    Ok(())
+}
+
+/// `top`: poll a running dcnserve and redraw the table until `--count`
+/// refreshes have printed (0 = forever) or the pipe closes.
+fn cmd_top(args: &[String], out: &mut dyn Write) -> io::Result<()> {
+    let interval = Duration::from_millis(
+        flag_value(args, "--interval-ms")
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| fail("--interval-ms takes an integer"))
+            })
+            .unwrap_or(1000),
+    );
+    let count: u64 = flag_value(args, "--count")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--count takes an integer"))
+        })
+        .unwrap_or(0);
+    let tty = io::stdout().is_terminal();
+    let mut shown = 0u64;
+    loop {
+        let stats = poll_stats(args);
+        if tty {
+            // Home + clear: redraw in place on a live terminal; plain
+            // appended blocks when piped (logs, CI).
+            write!(out, "\x1b[H\x1b[2J")?;
+        }
+        render_stats(&stats, out)?;
+        out.flush()?;
+        shown += 1;
+        if count != 0 && shown >= count {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { fail(USAGE) };
@@ -406,6 +653,8 @@ fn main() {
                 Some(b) => bench_compare(&a, &read_bench(b), &mut out).map(|d| drifted = d),
             }
         }
+        "shards" => cmd_shards(args.get(1).unwrap_or_else(|| fail(USAGE)), &mut out),
+        "top" => cmd_top(&args[1..], &mut out),
         other => fail(&format!("unknown subcommand \"{other}\"\n{USAGE}")),
     };
     match result.and_then(|_| out.flush()) {
@@ -527,5 +776,110 @@ mod tests {
         let s = Json::parse(r#"{"t": 100, "ev": "sample", "ch": [[3, 1, 1540, 3080]]}"#).unwrap();
         assert!(is_sample(&s));
         assert_eq!(sample_channels(&s), vec![(3, 1, 1540, 3080)]);
+    }
+
+    #[test]
+    fn shards_table_renders_deterministic_columns() {
+        let eng = Json::parse(
+            r#"{"epochs": 4, "merge_ties": 1, "events_total": 100,
+                "cross_shard_total": 30, "imbalance": 1.25,
+                "shards": [
+                  {"events": 60, "cross_shard": [0, 20], "calendar_peak": 5,
+                   "ladder_spills": 0, "scatter_fallbacks": 0,
+                   "arena_live": 0, "arena_high_water": 9},
+                  {"events": 40, "cross_shard": [10, 0], "calendar_peak": 3,
+                   "ladder_spills": 1, "scatter_fallbacks": 2,
+                   "arena_live": 0, "arena_high_water": 7}],
+                "drain_ns": [0, 0], "barrier_wait_ns": 0, "mailbox_flush_ns": 0}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        render_shards(&eng, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("epochs 4"), "{s}");
+        assert!(s.contains("0\t60\t60.0%\t20\t5\t0\t0\t0\t9"), "{s}");
+        assert!(s.contains("1\t40\t40.0%\t10\t3\t1\t2\t0\t7"), "{s}");
+        // All-zero wall counters: no misleading timing columns.
+        assert!(!s.contains("drain_ms"), "{s}");
+        assert!(!s.contains("barrier_wait_ms"), "{s}");
+    }
+
+    #[test]
+    fn shards_table_adds_wall_columns_when_recorded() {
+        let eng = Json::parse(
+            r#"{"epochs": 1, "merge_ties": 0, "events_total": 10,
+                "cross_shard_total": 0, "imbalance": 1.0,
+                "shards": [{"events": 10, "cross_shard": [0], "calendar_peak": 1,
+                            "ladder_spills": 0, "scatter_fallbacks": 0,
+                            "arena_live": 0, "arena_high_water": 1}],
+                "drain_ns": [2500000], "barrier_wait_ns": 1000000,
+                "mailbox_flush_ns": 500000}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        render_shards(&eng, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("drain_ms"), "{s}");
+        assert!(s.contains("\t2.50"), "{s}");
+        assert!(
+            s.contains("barrier_wait_ms 1.00  mailbox_flush_ms 0.50"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn top_table_renders_stats_envelope() {
+        let stats = Json::parse(
+            r#"{"status": "ok", "version": {"crate": "0.1.0"}, "uptime_ms": 2500,
+                "requests": 10, "run_ok": 7, "served_cached": 2, "coalesced": 1,
+                "overloaded": 0, "deadline_exceeded": 0, "errors_config": 1,
+                "errors_unknown_op": 1, "conns": 3, "workers_running": 2,
+                "workers_queued": 1, "cache_entries": 4, "cache_bytes": 4096,
+                "cache_hits": 2, "cache_misses": 8}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        render_stats(&stats, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("dcnserve 0.1.0  up 2.5s"), "{s}");
+        assert!(s.contains("workers 2 running / 1 queued"), "{s}");
+        assert!(s.contains("requests 10: ok 7  cached 2"), "{s}");
+        assert!(s.contains("errors 2"), "{s}");
+        assert!(s.contains("cache: 4 entries  4096 bytes"), "{s}");
+    }
+
+    /// The diff satellite: two same-seed runs at different thread counts —
+    /// with wall-clock counters enabled, so every nondeterministic leaf the
+    /// engine can emit is present — must diff clean, because everything
+    /// simulated (including the deterministic counter set) is
+    /// thread-invariant and the wall leaves sit under `WALL_CLOCK_FIELDS`.
+    #[test]
+    fn same_seed_manifests_diff_clean_across_thread_counts() {
+        let manifest_at = |threads: u32| {
+            let topo = FatTree::full(4).build();
+            let pattern = AllToAll::new(&topo, topo.tors_with_servers());
+            let flows = generate_flows(&pattern, &PFabricWebSearch::new(), 200.0, 0.01, 7);
+            let spec = ManifestSpec::new("dcnstat-test", 7);
+            let cfg = SimConfig::default()
+                .with_threads(threads)
+                .with_wall_counters();
+            let (_, _, manifest) = run_fct_experiment_instrumented(
+                &topo,
+                Routing::Ecmp,
+                cfg,
+                &flows,
+                (0, 2 * MS),
+                40 * MS,
+                None,
+                None,
+                None,
+                Some(&spec),
+            );
+            manifest.unwrap().json().clone()
+        };
+        let (a, b) = (manifest_at(1), manifest_at(4));
+        let mut drift = Vec::new();
+        diff_json(&a, &b, "", &mut drift);
+        assert!(drift.is_empty(), "thread-count drift: {drift:?}");
     }
 }

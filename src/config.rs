@@ -104,6 +104,7 @@ const SIM_KEYS: &[&str] = &[
     "queue",
     "pfabric_cwnd_pkts",
     "threads",
+    "wall_counters",
 ];
 
 /// The config printed by `dcnsim --print-example`.
@@ -317,6 +318,9 @@ fn parse_sim(cfg: Option<&Json>) -> Result<SimConfig, String> {
             return Err("config: \"threads\" must be at least 1".to_string());
         }
         c.threads = v as u32;
+    }
+    if cfg.get("wall_counters").and_then(|v| v.as_bool()) == Some(true) {
+        c = c.with_wall_counters();
     }
     Ok(c)
 }

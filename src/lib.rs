@@ -39,6 +39,7 @@
 
 pub mod config;
 pub mod jobs;
+pub mod metrics;
 pub mod serve;
 
 pub use dcn_core as core;
@@ -64,10 +65,10 @@ pub mod prelude {
     pub use dcn_sim::{
         check_conservation, compute_metrics, compute_metrics_with_dists, config_fingerprint,
         ChannelCounters, Checkpoint, CheckpointMeta, Conservation, CountingTracer, DropCounters,
-        FaultEvent, FaultKind, FaultPlan, FctDistributions, FlowRecord, JsonlTracer, Metrics,
-        NopTracer, QueueDiscKind, QueueDiscipline, Sample, SharedBuf, SimConfig, Simulator,
-        StreamingHistogram, Telemetry, TraceCounters, TraceEvent, Tracer, Transport, TransportKind,
-        DEFAULT_SAMPLE_EVERY_NS, MS, SEC, US,
+        EngineCounters, FaultEvent, FaultKind, FaultPlan, FctDistributions, FlowRecord,
+        JsonlTracer, Metrics, NopTracer, QueueDiscKind, QueueDiscipline, Sample, ShardCounters,
+        SharedBuf, SimConfig, Simulator, StreamingHistogram, Telemetry, TraceCounters, TraceEvent,
+        Tracer, Transport, TransportKind, WallClockCounters, DEFAULT_SAMPLE_EVERY_NS, MS, SEC, US,
     };
     pub use dcn_topology::{
         fattree::FatTree, jellyfish::Jellyfish, longhop::Longhop, slimfly::SlimFly, toy::ToyFig4,

@@ -1,0 +1,237 @@
+//! A hermetic, hand-rolled metrics registry: counters, gauges, and
+//! histograms with Prometheus-style plaintext exposition — no
+//! dependencies, no background threads, no global state.
+//!
+//! The service layer (`dcnserve`, `dcnrun`) records operational
+//! measurements through cheap cloneable handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]); [`Registry::render_text`] walks every registered
+//! instrument and emits the standard text format:
+//!
+//! ```text
+//! # HELP dcnserve_requests_total Requests received, any op.
+//! # TYPE dcnserve_requests_total counter
+//! dcnserve_requests_total 42
+//! ```
+//!
+//! Histograms reuse [`StreamingHistogram`] — the same fixed-size
+//! log-bucketed sketch the simulator uses for FCT distributions — and
+//! expose as Prometheus *summaries* (quantiles + `_sum` + `_count`),
+//! which fits a sketch that answers percentile queries directly.
+//!
+//! Handles are `Arc`-backed: recording is an atomic add (counters,
+//! gauges) or a short mutex hold (histograms), so instruments can be
+//! shared freely across connection threads. Everything here is
+//! deterministic given the same sequence of recordings; only *what* the
+//! service records (wall time, arrival order) is nondeterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dcn_sim::StreamingHistogram;
+
+/// A monotonically increasing count. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depth, live connections).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A distribution sketch; exposed as a Prometheus summary.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<StreamingHistogram>>);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        self.0.lock().unwrap().record(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.lock().unwrap().count()
+    }
+}
+
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Instrument {
+    name: String,
+    help: String,
+    kind: Kind,
+}
+
+/// The instrument directory: hands out handles and renders them all.
+#[derive(Default)]
+pub struct Registry {
+    instruments: Mutex<Vec<Instrument>>,
+}
+
+/// Prometheus metric names: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, kind: Kind) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut list = self.instruments.lock().unwrap();
+        assert!(
+            !list.iter().any(|i| i.name == name),
+            "metric {name:?} registered twice"
+        );
+        list.push(Instrument {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+        });
+    }
+
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter::default();
+        self.register(name, help, Kind::Counter(c.clone()));
+        c
+    }
+
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let g = Gauge::default();
+        self.register(name, help, Kind::Gauge(g.clone()));
+        g
+    }
+
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let h = Histogram(Arc::new(Mutex::new(StreamingHistogram::new())));
+        self.register(name, help, Kind::Histogram(h.clone()));
+        h
+    }
+
+    /// The full exposition document, instruments in registration order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for i in self.instruments.lock().unwrap().iter() {
+            let ty = match &i.kind {
+                Kind::Counter(_) => "counter",
+                Kind::Gauge(_) => "gauge",
+                Kind::Histogram(_) => "summary",
+            };
+            out.push_str(&format!("# HELP {} {}\n", i.name, i.help));
+            out.push_str(&format!("# TYPE {} {}\n", i.name, ty));
+            match &i.kind {
+                Kind::Counter(c) => out.push_str(&format!("{} {}\n", i.name, c.get())),
+                Kind::Gauge(g) => out.push_str(&format!("{} {}\n", i.name, g.get())),
+                Kind::Histogram(h) => {
+                    let sketch = h.0.lock().unwrap();
+                    if !sketch.is_empty() {
+                        for (label, p) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+                            out.push_str(&format!(
+                                "{}{{quantile=\"{}\"}} {}\n",
+                                i.name,
+                                label,
+                                sketch.value_at_percentile(p)
+                            ));
+                        }
+                    }
+                    out.push_str(&format!("{}_sum {}\n", i.name, sketch.sum()));
+                    out.push_str(&format!("{}_count {}\n", i.name, sketch.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "Requests received.");
+        let g = r.gauge("queue_depth", "Requests waiting.");
+        c.inc();
+        c.add(2);
+        g.set(7);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total 3\n"), "{text}");
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth 7\n"), "{text}");
+    }
+
+    #[test]
+    fn histograms_render_as_summaries() {
+        let r = Registry::new();
+        let h = r.histogram("latency_ms", "Request latency.");
+        let empty = r.render_text();
+        assert!(empty.contains("latency_ms_count 0"), "{empty}");
+        assert!(!empty.contains("quantile"), "{empty}");
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        let text = r.render_text();
+        assert!(text.contains("# TYPE latency_ms summary"), "{text}");
+        assert!(text.contains("latency_ms{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("latency_ms_count 100"), "{text}");
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn handles_share_state_across_clones() {
+        let r = Registry::new();
+        let c = r.counter("shared_total", "Shared.");
+        let c2 = c.clone();
+        c2.add(5);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_are_rejected() {
+        let r = Registry::new();
+        let _a = r.counter("dup", "x");
+        let _b = r.gauge("dup", "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        let r = Registry::new();
+        let _ = r.counter("9starts-with-digit", "x");
+    }
+}

@@ -27,6 +27,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 9] = b"DCNCACHE1";
+/// On-disk entry format version (the digit in [`MAGIC`]); reported by the
+/// daemon's `stats` op so operators can tell what a state dir holds.
+pub const FORMAT_VERSION: u32 = 1;
 /// magic + payload length.
 const HEADER_LEN: usize = 9 + 8;
 
@@ -195,6 +198,20 @@ impl ArtifactCache {
         dcn_core::write_atomic(self.entry_path(key), &image)?;
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// `(entries, payload bytes)` currently on disk — a directory walk,
+    /// so called at stats/metrics render time, never on the serve path.
+    pub fn disk_usage(&self) -> (u64, u64) {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for p in entry_paths(&self.dir) {
+            if let Ok(md) = std::fs::metadata(&p) {
+                entries += 1;
+                bytes += md.len();
+            }
+        }
+        (entries, bytes)
     }
 
     /// Number of quarantined files on disk (test/debug visibility).

@@ -19,11 +19,21 @@
 //! {"op": "run", "config": {...}, "deadline_ms": 30000, "no_cache": false}
 //! {"op": "ping"}
 //! {"op": "stats"}
+//! {"op": "metrics"}
 //! ```
 //!
 //! Envelope statuses: `ok`, `overloaded`, `draining`, `deadline_exceeded`,
-//! and `error` (with `kind` ∈ `config` / `crash` / `checkpoint_corrupt` /
-//! `internal` and a human `message`).
+//! and `error` (with `kind` ∈ `config` / `unknown_op` / `crash` /
+//! `checkpoint_corrupt` / `internal` and a human `message`). A request
+//! whose `op` the server does not recognize gets a structured
+//! `unknown_op` error naming the op — distinguishable from a malformed
+//! frame (`config`), so old clients against new servers fail loudly and
+//! descriptively.
+//!
+//! `metrics` is the one non-JSON response: the envelope is followed by a
+//! single frame of plaintext Prometheus-style exposition (the same
+//! counters `stats` reports, plus histograms), for scraping through the
+//! framed socket without a second listener.
 
 use std::io::{self, Read, Write};
 
@@ -132,14 +142,45 @@ pub enum Request {
     },
     Ping,
     Stats,
+    /// Plaintext Prometheus-style exposition of the daemon's metrics.
+    Metrics,
+}
+
+/// Why a request frame could not become a [`Request`]. `UnknownOp` is
+/// split out so the server can answer with a structured `unknown_op`
+/// error envelope instead of lumping protocol-version skew in with
+/// malformed JSON.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Valid JSON with an `op` the server does not implement.
+    UnknownOp(String),
+    /// Everything else: bad UTF-8, bad JSON, missing/ill-typed fields.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownOp(op) => write!(f, "unknown op \"{op}\""),
+            ParseError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(msg: &str) -> ParseError {
+        ParseError::Invalid(msg.to_string())
+    }
 }
 
 impl Request {
     /// Parses a request frame; errors are one-line human messages the
-    /// server echoes back in a `config`-kind error envelope.
-    pub fn parse(bytes: &[u8]) -> Result<Request, String> {
-        let text = std::str::from_utf8(bytes).map_err(|_| "request is not UTF-8".to_string())?;
-        let v = Json::parse(text).map_err(|e| format!("request is not JSON: {e}"))?;
+    /// server echoes back in a `config`- or `unknown_op`-kind error
+    /// envelope.
+    pub fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "request is not UTF-8")?;
+        let v = Json::parse(text)
+            .map_err(|e| ParseError::Invalid(format!("request is not JSON: {e}")))?;
         let op = v
             .get("op")
             .and_then(|o| o.as_str())
@@ -147,6 +188,7 @@ impl Request {
         Ok(match op {
             "ping" => Request::Ping,
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "run" => Request::Run {
                 config: v.get("config").cloned().ok_or("run needs a \"config\"")?,
                 deadline_ms: match v.get("deadline_ms") {
@@ -155,7 +197,7 @@ impl Request {
                 },
                 no_cache: v.get("no_cache").and_then(|b| b.as_bool()).unwrap_or(false),
             },
-            other => return Err(format!("unknown op \"{other}\"")),
+            other => return Err(ParseError::UnknownOp(other.to_string())),
         })
     }
 
@@ -274,18 +316,32 @@ mod tests {
             Request::parse(br#"{"op": "stats"}"#).unwrap(),
             Request::Stats
         ));
+        assert!(matches!(
+            Request::parse(br#"{"op": "metrics"}"#).unwrap(),
+            Request::Metrics
+        ));
     }
 
     #[test]
     fn bad_requests_are_one_line_errors() {
-        assert!(Request::parse(b"\xff\xfe").unwrap_err().contains("UTF-8"));
-        assert!(Request::parse(b"{").unwrap_err().contains("JSON"));
-        assert!(Request::parse(b"{}").unwrap_err().contains("\"op\""));
-        assert!(Request::parse(br#"{"op": "dance"}"#)
-            .unwrap_err()
-            .contains("unknown op"));
-        assert!(Request::parse(br#"{"op": "run"}"#)
-            .unwrap_err()
-            .contains("config"));
+        let msg = |b: &[u8]| Request::parse(b).unwrap_err().to_string();
+        assert!(msg(b"\xff\xfe").contains("UTF-8"));
+        assert!(msg(b"{").contains("JSON"));
+        assert!(msg(b"{}").contains("\"op\""));
+        assert!(msg(br#"{"op": "run"}"#).contains("config"));
+    }
+
+    #[test]
+    fn unknown_ops_are_structurally_distinct() {
+        // Protocol-version skew (a newer client op) is not a malformed
+        // request: the server answers `unknown_op`, not `config`.
+        match Request::parse(br#"{"op": "dance"}"#).unwrap_err() {
+            ParseError::UnknownOp(op) => assert_eq!(op, "dance"),
+            other => panic!("expected UnknownOp, got {other:?}"),
+        }
+        assert!(matches!(
+            Request::parse(b"{}").unwrap_err(),
+            ParseError::Invalid(_)
+        ));
     }
 }

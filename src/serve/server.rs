@@ -50,9 +50,10 @@ use dcn_bench::supervise::{self, Attempt, EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_O
 use dcn_json::Json;
 
 use super::admission::{Admission, Admit};
-use super::cache::{fnv1a, ArtifactCache, CacheKey, Lookup};
-use super::protocol::{self, envelope, FrameError, Request};
+use super::cache::{self, fnv1a, ArtifactCache, CacheKey, Lookup};
+use super::protocol::{self, envelope, FrameError, ParseError, Request};
 use crate::config::Experiment;
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
 use dcn_sim::config_fingerprint;
 
 /// Could not bind or listen on the requested socket.
@@ -118,25 +119,99 @@ impl Default for ServeOptions {
     }
 }
 
-/// Daemon-wide counters, served by the `stats` op.
-#[derive(Debug, Default)]
+/// Daemon-wide counters, served by the `stats` op and exposed through
+/// the `metrics` op. Each field is a [`Registry`] handle, so the JSON
+/// stats response and the Prometheus exposition read the same cells —
+/// there is one source of truth for every count.
+#[derive(Debug)]
 pub struct Stats {
-    pub requests: AtomicU64,
-    pub run_ok: AtomicU64,
-    pub served_cached: AtomicU64,
-    pub recomputed_after_quarantine: AtomicU64,
-    pub coalesced: AtomicU64,
-    pub overloaded: AtomicU64,
-    pub deadline_exceeded: AtomicU64,
-    pub errors_config: AtomicU64,
-    pub errors_crash: AtomicU64,
-    pub errors_ckpt_corrupt: AtomicU64,
-    pub errors_internal: AtomicU64,
-    pub draining_refused: AtomicU64,
-    pub worker_relaunches: AtomicU64,
-    pub protocol_errors: AtomicU64,
-    pub disconnects: AtomicU64,
-    pub conns: AtomicU64,
+    pub requests: Counter,
+    pub run_ok: Counter,
+    pub served_cached: Counter,
+    pub recomputed_after_quarantine: Counter,
+    pub coalesced: Counter,
+    pub overloaded: Counter,
+    pub deadline_exceeded: Counter,
+    pub errors_config: Counter,
+    pub errors_unknown_op: Counter,
+    pub errors_crash: Counter,
+    pub errors_ckpt_corrupt: Counter,
+    pub errors_internal: Counter,
+    pub draining_refused: Counter,
+    pub worker_relaunches: Counter,
+    pub protocol_errors: Counter,
+    pub disconnects: Counter,
+    pub conns: Counter,
+}
+
+impl Stats {
+    fn new(reg: &Registry) -> Stats {
+        let c = |name, help| reg.counter(name, help);
+        Stats {
+            requests: c("dcnserve_requests_total", "Requests received, any op."),
+            run_ok: c(
+                "dcnserve_run_ok_total",
+                "Run requests computed successfully (cache misses).",
+            ),
+            served_cached: c(
+                "dcnserve_cache_served_total",
+                "Run requests answered from the verified cache.",
+            ),
+            recomputed_after_quarantine: c(
+                "dcnserve_recomputed_after_quarantine_total",
+                "Runs recomputed because the cached entry was corrupt.",
+            ),
+            coalesced: c(
+                "dcnserve_coalesced_total",
+                "Followers served from a leader's freshly cached result.",
+            ),
+            overloaded: c(
+                "dcnserve_shed_overloaded_total",
+                "Run requests shed by admission control.",
+            ),
+            deadline_exceeded: c(
+                "dcnserve_deadline_exceeded_total",
+                "Requests that ran out of deadline budget.",
+            ),
+            errors_config: c(
+                "dcnserve_errors_config_total",
+                "Requests rejected for a malformed frame or config.",
+            ),
+            errors_unknown_op: c(
+                "dcnserve_errors_unknown_op_total",
+                "Requests with an op this server does not implement.",
+            ),
+            errors_crash: c(
+                "dcnserve_errors_crash_total",
+                "Runs that exhausted the worker relaunch budget.",
+            ),
+            errors_ckpt_corrupt: c(
+                "dcnserve_errors_checkpoint_corrupt_total",
+                "Runs aborted on a corrupt checkpoint (chain discarded).",
+            ),
+            errors_internal: c(
+                "dcnserve_errors_internal_total",
+                "Daemon-side failures (spawn, spool, panic).",
+            ),
+            draining_refused: c(
+                "dcnserve_draining_refused_total",
+                "Requests refused because the daemon was draining.",
+            ),
+            worker_relaunches: c(
+                "dcnserve_worker_relaunches_total",
+                "Worker processes relaunched after a retryable failure.",
+            ),
+            protocol_errors: c(
+                "dcnserve_protocol_errors_total",
+                "Frames that could not be parsed as requests.",
+            ),
+            disconnects: c(
+                "dcnserve_disconnects_total",
+                "Clients that vanished mid-conversation.",
+            ),
+            conns: c("dcnserve_connections_total", "Connections accepted."),
+        }
+    }
 }
 
 /// SIGTERM/SIGINT flag. Signal handlers may only touch statics, so the
@@ -284,7 +359,18 @@ struct Server {
     cache: ArtifactCache,
     gate: Arc<Admission>,
     inflight: Arc<InFlight>,
+    registry: Registry,
     stats: Stats,
+    /// Liveness gauges synced from their sources at render time (the
+    /// admission gate and the cache own the live values).
+    workers_running: Gauge,
+    workers_queued: Gauge,
+    cache_entries: Gauge,
+    cache_bytes: Gauge,
+    uptime_ms: Gauge,
+    /// End-to-end `run` handling wall time, cached hits included.
+    run_latency_ms: Histogram,
+    started: Instant,
     active_conns: AtomicUsize,
     /// Uniquifies spool paths for non-coalescable (`no_cache`) jobs.
     job_serial: AtomicU64,
@@ -293,12 +379,42 @@ struct Server {
 }
 
 impl Server {
+    /// Version identity reported by `stats`: the crate plus the on-disk
+    /// format versions a state dir depends on.
+    fn version_json() -> Json {
+        Json::obj(vec![
+            ("crate", Json::from(env!("CARGO_PKG_VERSION"))),
+            (
+                "checkpoint_format",
+                Json::from(dcn_sim::checkpoint::VERSION),
+            ),
+            ("cache_format", Json::from(cache::FORMAT_VERSION)),
+        ])
+    }
+
+    /// Refreshes the gauges whose truth lives elsewhere (admission gate
+    /// occupancy, cache directory, the clock). Called before every
+    /// `stats`/`metrics` render so both views are consistent.
+    fn sync_gauges(&self) {
+        let (running, queued) = self.gate.occupancy();
+        self.workers_running.set(running as u64);
+        self.workers_queued.set(queued as u64);
+        let (entries, bytes) = self.cache.disk_usage();
+        self.cache_entries.set(entries);
+        self.cache_bytes.set(bytes);
+        self.uptime_ms
+            .set(self.started.elapsed().as_millis() as u64);
+    }
+
     fn stats_json(&self) -> Vec<u8> {
+        self.sync_gauges();
         let s = &self.stats;
         let c = &self.cache.stats;
-        let g = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
-        let (running, queued) = self.gate.occupancy();
+        let a = |v: &AtomicU64| Json::from(v.load(Ordering::Relaxed));
+        let g = |v: &Counter| Json::from(v.get());
         envelope::ok_fields(vec![
+            ("version", Self::version_json()),
+            ("uptime_ms", Json::from(self.uptime_ms.get())),
             ("requests", g(&s.requests)),
             ("run_ok", g(&s.run_ok)),
             ("served_cached", g(&s.served_cached)),
@@ -310,6 +426,7 @@ impl Server {
             ("overloaded", g(&s.overloaded)),
             ("deadline_exceeded", g(&s.deadline_exceeded)),
             ("errors_config", g(&s.errors_config)),
+            ("errors_unknown_op", g(&s.errors_unknown_op)),
             ("errors_crash", g(&s.errors_crash)),
             ("errors_ckpt_corrupt", g(&s.errors_ckpt_corrupt)),
             ("errors_internal", g(&s.errors_internal)),
@@ -318,13 +435,51 @@ impl Server {
             ("protocol_errors", g(&s.protocol_errors)),
             ("disconnects", g(&s.disconnects)),
             ("conns", g(&s.conns)),
-            ("cache_hits", g(&c.hits)),
-            ("cache_misses", g(&c.misses)),
-            ("cache_stores", g(&c.stores)),
-            ("cache_quarantined", g(&c.quarantined)),
-            ("workers_running", Json::from(running)),
-            ("workers_queued", Json::from(queued)),
+            ("cache_hits", a(&c.hits)),
+            ("cache_misses", a(&c.misses)),
+            ("cache_stores", a(&c.stores)),
+            ("cache_quarantined", a(&c.quarantined)),
+            ("cache_entries", Json::from(self.cache_entries.get())),
+            ("cache_bytes", Json::from(self.cache_bytes.get())),
+            ("workers_running", Json::from(self.workers_running.get())),
+            ("workers_queued", Json::from(self.workers_queued.get())),
         ])
+    }
+
+    /// The Prometheus-style plaintext exposition body. Cache read-side
+    /// counters live in [`cache::CacheStats`] atomics, so they are
+    /// appended here rather than registered.
+    fn metrics_text(&self) -> String {
+        self.sync_gauges();
+        let mut text = self.registry.render_text();
+        let c = &self.cache.stats;
+        for (name, help, v) in [
+            (
+                "dcnserve_cache_hits_total",
+                "Verified cache reads.",
+                c.hits.load(Ordering::Relaxed),
+            ),
+            (
+                "dcnserve_cache_misses_total",
+                "Cache lookups that found no entry.",
+                c.misses.load(Ordering::Relaxed),
+            ),
+            (
+                "dcnserve_cache_stores_total",
+                "Results written to the cache.",
+                c.stores.load(Ordering::Relaxed),
+            ),
+            (
+                "dcnserve_cache_quarantined_total",
+                "Corrupt entries moved to quarantine.",
+                c.quarantined.load(Ordering::Relaxed),
+            ),
+        ] {
+            text.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        }
+        text
     }
 }
 
@@ -388,7 +543,7 @@ fn run_supervised_job(
             Attempt::Exited(EXIT_CONFIG) => return RunReplyKind::Config,
             Attempt::Exited(EXIT_CKPT_CORRUPT) => return RunReplyKind::CkptCorrupt,
             a if a.retryable() && attempts <= srv.opts.retries => {
-                srv.stats.worker_relaunches.fetch_add(1, Ordering::Relaxed);
+                srv.stats.worker_relaunches.inc();
                 let pause =
                     supervise::backoff(attempts - 1, Duration::from_millis(srv.opts.backoff_ms))
                         .min(deadline.saturating_duration_since(Instant::now()));
@@ -417,7 +572,7 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
     let exp = match Experiment::from_json(&config) {
         Ok(e) => e,
         Err(e) => {
-            srv.stats.errors_config.fetch_add(1, Ordering::Relaxed);
+            srv.stats.errors_config.inc();
             return RunReply::Envelope(envelope::error("config", &e));
         }
     };
@@ -436,9 +591,9 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
         if !no_cache {
             match srv.cache.load(&key) {
                 Lookup::Hit(payload) => {
-                    srv.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+                    srv.stats.served_cached.inc();
                     if waited_on_leader {
-                        srv.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        srv.stats.coalesced.inc();
                     }
                     return RunReply::Ok {
                         cached: true,
@@ -461,7 +616,7 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
             Flight::Leader(g) => break Some(g),
             Flight::Followed => waited_on_leader = true, // re-check the cache
             Flight::DeadlineExceeded => {
-                srv.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                srv.stats.deadline_exceeded.inc();
                 return RunReply::Envelope(envelope::status("deadline_exceeded"));
             }
         }
@@ -471,11 +626,11 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
     let _permit = match srv.gate.acquire(deadline) {
         Admit::Granted(p) => p,
         Admit::Overloaded => {
-            srv.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            srv.stats.overloaded.inc();
             return RunReply::Envelope(envelope::status("overloaded"));
         }
         Admit::DeadlineExceeded => {
-            srv.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            srv.stats.deadline_exceeded.inc();
             return RunReply::Envelope(envelope::status("deadline_exceeded"));
         }
     };
@@ -491,7 +646,7 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
     let result_path = srv.jobs_dir.join(format!("{stem}.result.json"));
     let ckpt_path = srv.jobs_dir.join(format!("{stem}.ckpt"));
     if let Err(e) = dcn_core::write_atomic(&cfg_path, canonical.as_bytes()) {
-        srv.stats.errors_internal.fetch_add(1, Ordering::Relaxed);
+        srv.stats.errors_internal.inc();
         return RunReply::Envelope(envelope::error("internal", &format!("spool config: {e}")));
     }
     let _ = std::fs::remove_file(&result_path); // never serve a stale file
@@ -502,7 +657,7 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
             let payload = match std::fs::read(&result_path) {
                 Ok(b) => b,
                 Err(e) => {
-                    srv.stats.errors_internal.fetch_add(1, Ordering::Relaxed);
+                    srv.stats.errors_internal.inc();
                     return RunReply::Envelope(envelope::error(
                         "internal",
                         &format!("worker succeeded but result unreadable: {e}"),
@@ -515,11 +670,9 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
             }
             let _ = std::fs::remove_file(&cfg_path);
             let _ = std::fs::remove_file(&result_path);
-            srv.stats.run_ok.fetch_add(1, Ordering::Relaxed);
+            srv.stats.run_ok.inc();
             if recovered_from_quarantine {
-                srv.stats
-                    .recomputed_after_quarantine
-                    .fetch_add(1, Ordering::Relaxed);
+                srv.stats.recomputed_after_quarantine.inc();
             }
             RunReply::Ok {
                 cached: false,
@@ -529,19 +682,17 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
             }
         }
         RunReplyKind::DeadlineExceeded => {
-            srv.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            srv.stats.deadline_exceeded.inc();
             // The checkpoint stays: an identical future request resumes
             // from it instead of starting over.
             RunReply::Envelope(envelope::status("deadline_exceeded"))
         }
         RunReplyKind::Config => {
-            srv.stats.errors_config.fetch_add(1, Ordering::Relaxed);
+            srv.stats.errors_config.inc();
             RunReply::Envelope(envelope::error("config", "worker rejected the config"))
         }
         RunReplyKind::CkptCorrupt => {
-            srv.stats
-                .errors_ckpt_corrupt
-                .fetch_add(1, Ordering::Relaxed);
+            srv.stats.errors_ckpt_corrupt.inc();
             // Break the poisoned resume chain so the next identical
             // request starts clean instead of failing forever.
             let _ = std::fs::remove_file(&ckpt_path);
@@ -551,14 +702,14 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
             ))
         }
         RunReplyKind::Crash { attempts } => {
-            srv.stats.errors_crash.fetch_add(1, Ordering::Relaxed);
+            srv.stats.errors_crash.inc();
             RunReply::Envelope(envelope::error(
                 "crash",
                 &format!("worker kept crashing ({attempts} attempts)"),
             ))
         }
         RunReplyKind::Internal(msg) => {
-            srv.stats.errors_internal.fetch_add(1, Ordering::Relaxed);
+            srv.stats.errors_internal.inc();
             RunReply::Envelope(envelope::error("internal", &msg))
         }
     }
@@ -587,25 +738,36 @@ fn handle_conn(srv: &Server, mut conn: Conn) {
             }
             Err(FrameError::Closed) => return,
             Err(FrameError::Truncated) => {
-                srv.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                srv.stats.disconnects.inc();
                 return;
             }
             Err(FrameError::TooLarge(_)) | Err(FrameError::Io(_)) => {
-                srv.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                srv.stats.protocol_errors.inc();
                 return;
             }
         };
-        srv.stats.requests.fetch_add(1, Ordering::Relaxed);
+        srv.stats.requests.inc();
         if draining() {
-            srv.stats.draining_refused.fetch_add(1, Ordering::Relaxed);
+            srv.stats.draining_refused.inc();
             let _ = protocol::write_frame(&mut conn, &envelope::status("draining"));
             return;
         }
         let request = match Request::parse(&frame) {
             Ok(r) => r,
             Err(e) => {
-                srv.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                if protocol::write_frame(&mut conn, &envelope::error("config", &e)).is_err() {
+                // Unknown ops get their own structured error (protocol
+                // skew is diagnosable); everything else is `config`.
+                let env = match &e {
+                    ParseError::UnknownOp(_) => {
+                        srv.stats.errors_unknown_op.inc();
+                        envelope::error("unknown_op", &e.to_string())
+                    }
+                    ParseError::Invalid(msg) => {
+                        srv.stats.protocol_errors.inc();
+                        envelope::error("config", msg)
+                    }
+                };
+                if protocol::write_frame(&mut conn, &env).is_err() {
                     return;
                 }
                 idle_deadline = Instant::now() + Duration::from_millis(srv.opts.idle_timeout_ms);
@@ -615,25 +777,38 @@ fn handle_conn(srv: &Server, mut conn: Conn) {
         let write_ok = match request {
             Request::Ping => protocol::write_frame(&mut conn, &envelope::status("ok")).is_ok(),
             Request::Stats => protocol::write_frame(&mut conn, &srv.stats_json()).is_ok(),
+            Request::Metrics => {
+                let text = srv.metrics_text();
+                protocol::write_frame(&mut conn, &envelope::status("ok"))
+                    .and_then(|()| protocol::write_frame(&mut conn, text.as_bytes()))
+                    .is_ok()
+            }
             Request::Run {
                 config,
                 deadline_ms,
                 no_cache,
-            } => match handle_run(srv, config, deadline_ms, no_cache) {
-                RunReply::Ok {
-                    cached,
-                    key,
-                    attempts,
-                    payload,
-                } => protocol::write_frame(&mut conn, &envelope::ok_run(cached, &key, attempts))
-                    .and_then(|()| protocol::write_frame(&mut conn, &payload))
-                    .is_ok(),
-                RunReply::Envelope(env) => protocol::write_frame(&mut conn, &env).is_ok(),
-            },
+            } => {
+                let t0 = Instant::now();
+                let reply = handle_run(srv, config, deadline_ms, no_cache);
+                srv.run_latency_ms.observe(t0.elapsed().as_millis() as u64);
+                match reply {
+                    RunReply::Ok {
+                        cached,
+                        key,
+                        attempts,
+                        payload,
+                    } => {
+                        protocol::write_frame(&mut conn, &envelope::ok_run(cached, &key, attempts))
+                            .and_then(|()| protocol::write_frame(&mut conn, &payload))
+                            .is_ok()
+                    }
+                    RunReply::Envelope(env) => protocol::write_frame(&mut conn, &env).is_ok(),
+                }
+            }
         };
         if !write_ok {
             // Slow or gone client: its problem, not the daemon's.
-            srv.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+            srv.stats.disconnects.inc();
             return;
         }
         idle_deadline = Instant::now() + Duration::from_millis(srv.opts.idle_timeout_ms);
@@ -718,10 +893,44 @@ pub fn serve(opts: ServeOptions) -> i32 {
         eprintln!("dcnserve: listening on {b}");
     }
 
+    let registry = Registry::new();
+    let stats = Stats::new(&registry);
+    let workers_running = registry.gauge(
+        "dcnserve_workers_running",
+        "Worker processes currently executing.",
+    );
+    let workers_queued = registry.gauge(
+        "dcnserve_workers_queued",
+        "Admitted requests waiting for a worker slot.",
+    );
+    let cache_entries = registry.gauge(
+        "dcnserve_cache_entries",
+        "Result artifacts on disk in the cache.",
+    );
+    let cache_bytes = registry.gauge(
+        "dcnserve_cache_bytes",
+        "Bytes of result artifacts on disk in the cache.",
+    );
+    let uptime_ms = registry.gauge(
+        "dcnserve_uptime_ms",
+        "Milliseconds since the daemon started.",
+    );
+    let run_latency_ms = registry.histogram(
+        "dcnserve_run_latency_ms",
+        "End-to-end run request handling time, cache hits included.",
+    );
     let srv = Arc::new(Server {
         gate: Admission::new(opts.max_workers, opts.max_queue),
         inflight: Arc::new(InFlight::default()),
-        stats: Stats::default(),
+        registry,
+        stats,
+        workers_running,
+        workers_queued,
+        cache_entries,
+        cache_bytes,
+        uptime_ms,
+        run_latency_ms,
+        started: Instant::now(),
         active_conns: AtomicUsize::new(0),
         job_serial: AtomicU64::new(0),
         jobs_dir,
@@ -740,7 +949,7 @@ pub fn serve(opts: ServeOptions) -> i32 {
             match conn {
                 Ok(conn) => {
                     accepted = true;
-                    srv.stats.conns.fetch_add(1, Ordering::Relaxed);
+                    srv.stats.conns.inc();
                     srv.active_conns.fetch_add(1, Ordering::SeqCst);
                     let srv2 = Arc::clone(&srv);
                     std::thread::spawn(move || {
@@ -751,7 +960,7 @@ pub fn serve(opts: ServeOptions) -> i32 {
                         }));
                         srv2.active_conns.fetch_sub(1, Ordering::SeqCst);
                         if r.is_err() {
-                            srv2.stats.errors_internal.fetch_add(1, Ordering::Relaxed);
+                            srv2.stats.errors_internal.inc();
                         }
                     });
                 }

@@ -17,6 +17,7 @@ struct Artifacts {
     records: Vec<FlowRecord>,
     trace: Vec<u8>,
     telemetry: Vec<u8>,
+    counters: EngineCounters,
 }
 
 /// One fully instrumented run of a scenario at a given thread count.
@@ -42,10 +43,12 @@ fn run_instrumented(
         DEFAULT_SAMPLE_EVERY_NS,
     ));
     let records = sim.run(max_time);
+    let counters = sim.engine_counters();
     Artifacts {
         records,
         trace: tbuf.contents(),
         telemetry: mbuf.contents(),
+        counters,
     }
 }
 
@@ -113,8 +116,48 @@ fn sharded_runs_match_single_thread_oracle() {
                 got.telemetry, oracle.telemetry,
                 "seed {seed}: telemetry diverges at {threads} threads"
             );
+            // The deterministic counter set is part of the contract too:
+            // shard balance, cross-shard traffic, calendar/arena behavior,
+            // and merge-tie counts may not depend on the thread count.
+            assert_eq!(
+                got.counters, oracle.counters,
+                "seed {seed}: engine counters diverge at {threads} threads"
+            );
         }
     }
+}
+
+/// Counters are simulator state: a snapshot→restore round-trip hands the
+/// resumed engine exactly the counters the paused one held, at any pair
+/// of thread counts.
+#[test]
+fn counters_survive_checkpoint_byte_exactly() {
+    let (topo, cfg, flows, plan) = scenario(1); // odd seed: plan is Some
+    let plan = plan.expect("odd seed draws a fault plan");
+    let mut paused = Simulator::new(&topo, Routing::Ecmp.selector(&topo), cfg.with_threads(4));
+    paused.set_window(0, 4 * MS);
+    paused.inject(&flows);
+    paused.set_fault_plan(&plan);
+    assert!(
+        !paused.run_until(2 * MS),
+        "scenario 1 must still be mid-run at its window midpoint"
+    );
+    let at_pause = paused.engine_counters();
+    assert!(at_pause.events_total() > 0, "pause point saw no events");
+    let ckpt = paused.checkpoint().expect("checkpoint");
+    drop(paused);
+    let resumed = Simulator::restore(
+        &topo,
+        Routing::Ecmp.selector(&topo),
+        cfg.with_threads(2),
+        &ckpt,
+    )
+    .expect("restore");
+    assert_eq!(
+        resumed.engine_counters(),
+        at_pause,
+        "engine counters did not survive the checkpoint round-trip"
+    );
 }
 
 /// Thread count is invisible to the results even mid-plan: snapshotting

@@ -363,3 +363,101 @@ fn impossible_deadline_is_refused_not_hung() {
     assert!(!payload.is_empty());
     assert_eq!(d.terminate(), 0);
 }
+
+/// Every frame the daemon reads lands in exactly one stats bucket: over a
+/// known request mix, `requests` must reconcile against the sum of run
+/// outcomes, shed/refused answers, structured errors, and the non-run ops
+/// we sent ourselves — no silently dropped or double-counted requests.
+#[test]
+fn stats_reconcile_requests_by_outcome() {
+    let d = Daemon::spawn("reconcile", &[]);
+    let cfg_a = config_json(21, 300, 2);
+    let cfg_b = config_json(22, 300, 2);
+    // Two cold runs, then a warm repeat served from the cache.
+    assert_eq!(d.request(&cfg_a, None, false).0, "ok");
+    assert_eq!(d.request(&cfg_b, None, false).0, "ok");
+    assert_eq!(d.request(&cfg_a, None, false).0, "ok");
+    let env_of = |frame: &[u8]| {
+        let mut conn = d.connect();
+        write_frame(&mut conn, frame).expect("send frame");
+        Json::parse(&String::from_utf8_lossy(
+            &read_frame(&mut conn).expect("read envelope"),
+        ))
+        .expect("parse envelope")
+    };
+    // A run whose config cannot load: the structured `config` error.
+    let env = env_of(br#"{"op": "run", "config": {}}"#);
+    assert_eq!(env.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(env.get("kind").and_then(Json::as_str), Some("config"));
+    // An unknown op: its own error kind, so protocol skew is diagnosable.
+    let env = env_of(br#"{"op": "selfdestruct"}"#);
+    assert_eq!(env.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(env.get("kind").and_then(Json::as_str), Some("unknown_op"));
+    // A frame that is not JSON at all: a protocol error, still answered.
+    let env = env_of(b"this is not json");
+    assert_eq!(env.get("status").and_then(Json::as_str), Some("error"));
+    // One ping and one metrics scrape, both counted as requests; the
+    // exposition must agree with what we did so far.
+    assert_eq!(
+        env_of(br#"{"op": "ping"}"#)
+            .get("status")
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+    {
+        let mut conn = d.connect();
+        write_frame(&mut conn, br#"{"op": "metrics"}"#).expect("send metrics");
+        let env = read_frame(&mut conn).expect("metrics envelope");
+        assert!(String::from_utf8_lossy(&env).contains("ok"));
+        let text =
+            String::from_utf8(read_frame(&mut conn).expect("metrics body")).expect("utf8 body");
+        assert!(
+            text.contains("# TYPE dcnserve_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("dcnserve_run_ok_total 2"), "{text}");
+        assert!(text.contains("dcnserve_cache_served_total 1"), "{text}");
+    }
+    // The ledger must balance: 8 frames before this stats op, plus itself.
+    let mut conn = d.connect();
+    write_frame(&mut conn, br#"{"op": "stats"}"#).expect("send stats");
+    let stats = Json::parse(&String::from_utf8_lossy(
+        &read_frame(&mut conn).expect("read stats"),
+    ))
+    .expect("parse stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let outcomes = n("run_ok")
+        + n("served_cached")
+        + n("coalesced")
+        + n("overloaded")
+        + n("deadline_exceeded")
+        + n("errors_config")
+        + n("errors_unknown_op")
+        + n("errors_crash")
+        + n("errors_ckpt_corrupt")
+        + n("errors_internal")
+        + n("draining_refused")
+        + n("protocol_errors");
+    let non_run_ops = 3; // the ping, the metrics scrape, and this stats op
+    assert_eq!(
+        n("requests"),
+        outcomes + non_run_ops,
+        "stats ledger does not balance: {stats}"
+    );
+    assert_eq!(n("run_ok"), 2);
+    assert_eq!(n("served_cached"), 1);
+    assert_eq!(n("errors_config"), 1);
+    assert_eq!(n("errors_unknown_op"), 1);
+    assert_eq!(n("cache_entries"), 2, "both cold results must be on disk");
+    assert!(n("cache_bytes") > 0);
+    assert!(n("uptime_ms") > 0);
+    assert_eq!(
+        stats
+            .get("version")
+            .and_then(|v| v.get("crate"))
+            .and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    drop(conn);
+    assert_eq!(d.terminate(), 0);
+}
