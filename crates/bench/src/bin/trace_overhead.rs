@@ -16,7 +16,10 @@
 //! `--check` fails if the NopTracer rate drops below half the blessed
 //! baseline in `results/trace_overhead_baseline.json` (a deliberately
 //! loose bound: it catches "tracing made untraced runs slow", not CI
-//! machine jitter).
+//! machine jitter). The same gate covers the disarmed-failpoint check
+//! rate: fault-injection sites are compiled into every durability
+//! boundary, and this proves they cost nothing while no faults are
+//! armed.
 
 use dcn_bench::parse_cli;
 use dcn_core::{paper_networks, Routing, Scale};
@@ -62,6 +65,31 @@ fn run_once(
     (sim.events_processed(), t0.elapsed().as_secs_f64())
 }
 
+/// Disarmed-failpoint check throughput (checks/s): the price every
+/// durability boundary pays when no faults are armed. The whole point of
+/// the registry design is that this is one relaxed atomic load, so the
+/// rate should sit within a small factor of raw memory-load throughput —
+/// the `--check` gate proves "failpoints compiled in but off" costs
+/// nothing measurable.
+fn failpoint_rate(reps: u32) -> f64 {
+    dcn_core::failpoint::disarm_all();
+    const ITERS: u64 = 50_000_000;
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let mut trips = 0u64;
+        for _ in 0..ITERS {
+            if std::hint::black_box(dcn_core::failpoint::check("fsio.tmp_write")).is_some() {
+                trips += 1;
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(trips, 0, "disarmed failpoint tripped");
+        best = best.max(ITERS as f64 / secs);
+    }
+    best
+}
+
 /// Best-of-`reps` event rate (events/s) for one observability
 /// configuration.
 fn rate(
@@ -98,6 +126,7 @@ fn main() {
     // set is always on and priced into nop itself).
     let telemetry = rate(3, cli.seed, true, false, || None);
     let wall_counters = rate(3, cli.seed, false, true, || None);
+    let failpoint = failpoint_rate(3);
 
     println!("tracer\tevents_per_sec");
     println!("nop\t{nop:.0}");
@@ -105,6 +134,7 @@ fn main() {
     println!("jsonl\t{jsonl:.0}");
     println!("telemetry\t{telemetry:.0}");
     println!("wall_counters\t{wall_counters:.0}");
+    println!("failpoint_checks\t{failpoint:.0}");
 
     if cli.has_flag("bless") {
         std::fs::create_dir_all(&dir).expect("create results dir");
@@ -115,6 +145,10 @@ fn main() {
                 Json::from(counting.round() as u64),
             ),
             ("jsonl_events_per_sec", Json::from(jsonl.round() as u64)),
+            (
+                "failpoint_checks_per_sec",
+                Json::from(failpoint.round() as u64),
+            ),
         ]);
         dcn_core::write_atomic(&path, report.pretty().as_bytes()).expect("write baseline");
         eprintln!("blessed {path}");
@@ -133,5 +167,21 @@ fn main() {
              baseline {base:.0} (floor {floor:.0}) — tracing must stay free when off"
         );
         eprintln!("ok: nop {nop:.0} events/s >= floor {floor:.0} (baseline {base:.0})");
+        // Same loose half-the-baseline bound for the disarmed-failpoint
+        // fast path; tolerated absent in pre-failpoint baselines so an
+        // old blessed file does not break --check.
+        if let Some(fp_base) = v.get("failpoint_checks_per_sec").and_then(|x| x.as_f64()) {
+            let fp_floor = 0.5 * fp_base;
+            assert!(
+                failpoint >= fp_floor,
+                "disarmed failpoint check regressed: {failpoint:.0} checks/s < half the \
+                 blessed baseline {fp_base:.0} (floor {fp_floor:.0}) — failpoints must \
+                 stay free when off"
+            );
+            eprintln!(
+                "ok: disarmed failpoint {failpoint:.0} checks/s >= floor {fp_floor:.0} \
+                 (baseline {fp_base:.0})"
+            );
+        }
     }
 }

@@ -28,6 +28,11 @@ pub const EXIT_TIMEOUT: i32 = 3;
 /// A checkpoint failed to load (corrupt or mismatched) — the resume chain
 /// is broken.
 pub const EXIT_CKPT_CORRUPT: i32 = 4;
+/// The worker finished and its result is correct, but durable persistence
+/// (checkpointing) was lost along the way — e.g. the checkpoint disk
+/// filled. A success for the caller, a degraded-mode signal for the
+/// supervisor: the run completed without crash protection.
+pub const EXIT_OK_DEGRADED: i32 = 7;
 
 /// What happened to one supervised attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,28 +43,43 @@ pub enum Attempt {
     Signaled,
     /// The watchdog killed the child at the wall-clock deadline.
     TimedOut,
+    /// The child could not even be launched (fork/exec failure — fd or
+    /// PID exhaustion, a vanished binary). Transient on a loaded host,
+    /// so retryable like a crash.
+    SpawnFailed,
 }
 
 impl Attempt {
-    /// Whether another attempt could change the outcome: crashes and
-    /// timeouts are retryable, success and config/checkpoint errors are
-    /// final.
+    /// Whether another attempt could change the outcome: crashes,
+    /// timeouts, and spawn failures are retryable; success (degraded or
+    /// not) and config/checkpoint errors are final.
     pub fn retryable(self) -> bool {
         match self {
             Attempt::Exited(EXIT_OK)
             | Attempt::Exited(EXIT_CONFIG)
-            | Attempt::Exited(EXIT_CKPT_CORRUPT) => false,
-            Attempt::Exited(_) | Attempt::Signaled | Attempt::TimedOut => true,
+            | Attempt::Exited(EXIT_CKPT_CORRUPT)
+            | Attempt::Exited(EXIT_OK_DEGRADED) => false,
+            Attempt::Exited(_) | Attempt::Signaled | Attempt::TimedOut | Attempt::SpawnFailed => {
+                true
+            }
         }
     }
 
-    /// The supervisor-side exit code this attempt maps to.
+    /// The supervisor-side exit code this attempt maps to. A degraded
+    /// success is still a success — degradation is reported out-of-band
+    /// (counters, logs), not through the batch exit code.
     pub fn exit_code(self) -> i32 {
         match self {
+            Attempt::Exited(EXIT_OK_DEGRADED) => EXIT_OK,
             Attempt::Exited(c @ (EXIT_OK | EXIT_CONFIG | EXIT_CKPT_CORRUPT)) => c,
-            Attempt::Exited(_) | Attempt::Signaled => EXIT_CRASH,
+            Attempt::Exited(_) | Attempt::Signaled | Attempt::SpawnFailed => EXIT_CRASH,
             Attempt::TimedOut => EXIT_TIMEOUT,
         }
+    }
+
+    /// Whether this attempt is a success that lost durable persistence.
+    pub fn degraded(self) -> bool {
+        self == Attempt::Exited(EXIT_OK_DEGRADED)
     }
 }
 
@@ -79,11 +99,59 @@ impl JobOutcome {
     }
 }
 
-/// Exponential backoff before retry `attempt` (0-based): `base · 2^attempt`,
-/// capped at 10 s so a flaky long batch keeps making progress.
-pub fn backoff(attempt: u32, base: Duration) -> Duration {
-    let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
-    base.saturating_mul(factor).min(Duration::from_secs(10))
+/// Retry pacing shared by every supervisor in the stack (`dcnrun`
+/// batches, `dcnserve` worker relaunches): exponential growth from
+/// `base`, capped at `cap`, with **deterministic jitter** — each delay is
+/// drawn into `[d/2, d)` by a splitmix64 hash of `(jitter_seed, attempt)`.
+///
+/// The jitter matters at the fleet level: when a shared dependency
+/// hiccups, N clients whose workers died simultaneously would otherwise
+/// all retry on the same doubling schedule and arrive as one thundering
+/// herd, forever in phase. Seeding per job (e.g. by job index or cache
+/// key) de-phases them while keeping every run bit-reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First delay (before jitter).
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Seed for the jitter draw; same seed → same delays.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// The conventional policy: `base` growing to a 10 s cap, jitter
+    /// stream 0.
+    pub fn new(base: Duration) -> RetryPolicy {
+        RetryPolicy {
+            base,
+            cap: Duration::from_secs(10),
+            jitter_seed: 0,
+        }
+    }
+
+    /// Same schedule shape, different jitter stream — give each job its
+    /// own seed so coexisting retry loops de-phase.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Delay before retry `attempt` (0-based): `base · 2^attempt` capped
+    /// at `cap`, then jittered into `[d/2, d)`. Deterministic in
+    /// `(jitter_seed, attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        let d = self.base.saturating_mul(factor).min(self.cap);
+        let nanos = d.as_nanos() as u64;
+        if nanos < 2 {
+            return d;
+        }
+        let mut s = self.jitter_seed ^ (u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let draw = dcn_rng::splitmix64(&mut s);
+        let half = nanos / 2;
+        Duration::from_nanos(half + draw % (nanos - half))
+    }
 }
 
 /// Polling cadence for the watchdog loop. Coarse enough to cost nothing,
@@ -110,22 +178,29 @@ fn wait_outcome(child: &mut Child, timeout: Option<Duration>) -> std::io::Result
 
 /// Launches `cmd` and supervises it to completion: returns how the child
 /// ended, killing it first if it outlives `timeout` (the hung-job
-/// watchdog). `None` means no deadline.
+/// watchdog). `None` means no deadline. A failed `spawn` — including one
+/// injected through the `supervise.spawn` failpoint — is
+/// [`Attempt::SpawnFailed`], an outcome like any other, so retry loops
+/// treat it as transient instead of aborting the whole job.
 pub fn run_attempt(cmd: &mut Command, timeout: Option<Duration>) -> std::io::Result<Attempt> {
-    let mut child = cmd.spawn()?;
+    let mut child = match dcn_core::failpoint::fail_io("supervise.spawn").and_then(|()| cmd.spawn())
+    {
+        Ok(c) => c,
+        Err(_) => return Ok(Attempt::SpawnFailed),
+    };
     wait_outcome(&mut child, timeout)
 }
 
 /// Full retry loop: launches the command built by `make_cmd(attempt)` up
-/// to `1 + max_retries` times, backing off exponentially between
-/// attempts, until an attempt is non-retryable (success, config error,
-/// corrupt checkpoint) or the budget is spent. The builder sees the
-/// attempt index so retries can add resume flags.
+/// to `1 + max_retries` times, pacing attempts by `policy`, until an
+/// attempt is non-retryable (success, config error, corrupt checkpoint)
+/// or the budget is spent. The builder sees the attempt index so retries
+/// can add resume flags.
 pub fn retry(
     mut make_cmd: impl FnMut(u32) -> Command,
     timeout: Option<Duration>,
     max_retries: u32,
-    base_backoff: Duration,
+    policy: RetryPolicy,
 ) -> std::io::Result<JobOutcome> {
     let t0 = Instant::now();
     let mut attempt = 0;
@@ -139,7 +214,7 @@ pub fn retry(
                 wall: t0.elapsed(),
             });
         }
-        std::thread::sleep(backoff(attempt - 1, base_backoff));
+        std::thread::sleep(policy.delay(attempt - 1));
     }
 }
 
@@ -212,10 +287,50 @@ mod tests {
 
     #[test]
     fn crash_codes_map_to_crash() {
-        let a = run_attempt(&mut sh("exit 7"), None).unwrap();
-        assert_eq!(a, Attempt::Exited(7));
+        let a = run_attempt(&mut sh("exit 9"), None).unwrap();
+        assert_eq!(a, Attempt::Exited(9));
         assert_eq!(a.exit_code(), EXIT_CRASH);
         assert!(a.retryable());
+    }
+
+    #[test]
+    fn degraded_success_is_success_not_retryable() {
+        let a = run_attempt(&mut sh("exit 7"), None).unwrap();
+        assert_eq!(a, Attempt::Exited(EXIT_OK_DEGRADED));
+        assert!(a.degraded());
+        assert!(
+            !a.retryable(),
+            "the result is correct; retrying wastes work"
+        );
+        assert_eq!(
+            a.exit_code(),
+            EXIT_OK,
+            "degradation is out-of-band, not an error"
+        );
+        assert!(!Attempt::Exited(EXIT_OK).degraded());
+    }
+
+    #[test]
+    fn spawn_failure_is_a_retryable_outcome_not_an_error() {
+        let a = run_attempt(&mut Command::new("/no/such/binary/anywhere"), None).unwrap();
+        assert_eq!(a, Attempt::SpawnFailed);
+        assert!(a.retryable());
+        assert_eq!(a.exit_code(), EXIT_CRASH);
+    }
+
+    #[test]
+    fn injected_spawn_failure_retries_to_success() {
+        dcn_core::failpoint::configure("supervise.spawn", "2*err");
+        let out = retry(
+            |_| sh("exit 0"),
+            None,
+            3,
+            RetryPolicy::new(Duration::from_millis(1)),
+        )
+        .unwrap();
+        dcn_core::failpoint::disarm("supervise.spawn");
+        assert_eq!(out.last, Attempt::Exited(0));
+        assert_eq!(out.attempts, 3, "two injected spawn failures, then success");
     }
 
     #[test]
@@ -251,13 +366,39 @@ mod tests {
     }
 
     #[test]
-    fn backoff_doubles_and_caps() {
-        let base = Duration::from_millis(100);
-        assert_eq!(backoff(0, base), Duration::from_millis(100));
-        assert_eq!(backoff(1, base), Duration::from_millis(200));
-        assert_eq!(backoff(3, base), Duration::from_millis(800));
-        assert_eq!(backoff(30, base), Duration::from_secs(10));
-        assert_eq!(backoff(u32::MAX, base), Duration::from_secs(10));
+    fn retry_policy_doubles_caps_and_jitters_within_bounds() {
+        let p = RetryPolicy::new(Duration::from_millis(100));
+        // Un-jittered schedule: 100, 200, 400, ..., capped at 10 s. Each
+        // jittered delay lands in [d/2, d).
+        for (attempt, ms) in [(0u32, 100u64), (1, 200), (3, 800), (30, 10_000)] {
+            let d = p.delay(attempt);
+            let lo = Duration::from_millis(ms / 2);
+            let hi = Duration::from_millis(ms);
+            assert!(
+                d >= lo && d < hi,
+                "attempt {attempt}: {d:?} outside [{lo:?}, {hi:?})"
+            );
+        }
+        assert!(p.delay(u32::MAX) < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn retry_policy_jitter_is_deterministic_and_seed_dependent() {
+        let base = RetryPolicy::new(Duration::from_millis(100));
+        let a: Vec<_> = (0..8).map(|i| base.with_seed(7).delay(i)).collect();
+        let b: Vec<_> = (0..8).map(|i| base.with_seed(7).delay(i)).collect();
+        let c: Vec<_> = (0..8).map(|i| base.with_seed(8).delay(i)).collect();
+        assert_eq!(a, b, "same seed must replay the same delays");
+        assert_ne!(a, c, "different seeds must de-phase (anti-thundering-herd)");
+    }
+
+    #[test]
+    fn retry_policy_handles_degenerate_bases() {
+        // Zero and one-nanosecond bases must not divide by zero or panic.
+        let p = RetryPolicy::new(Duration::ZERO);
+        assert_eq!(p.delay(0), Duration::ZERO);
+        let p = RetryPolicy::new(Duration::from_nanos(1));
+        assert!(p.delay(0) <= Duration::from_nanos(1));
     }
 
     #[test]
@@ -268,7 +409,13 @@ mod tests {
             "test -f {m} && exit 0; touch {m}; exit 9",
             m = marker.display()
         );
-        let out = retry(|_| sh(&script), None, 3, Duration::from_millis(1)).unwrap();
+        let out = retry(
+            |_| sh(&script),
+            None,
+            3,
+            RetryPolicy::new(Duration::from_millis(1)),
+        )
+        .unwrap();
         assert_eq!(out.last, Attempt::Exited(0));
         assert_eq!(out.attempts, 2, "first attempt crashes, second succeeds");
         assert_eq!(out.exit_code(), EXIT_OK);
@@ -277,14 +424,26 @@ mod tests {
 
     #[test]
     fn retry_budget_is_finite() {
-        let out = retry(|_| sh("exit 9"), None, 2, Duration::from_millis(1)).unwrap();
+        let out = retry(
+            |_| sh("exit 9"),
+            None,
+            2,
+            RetryPolicy::new(Duration::from_millis(1)),
+        )
+        .unwrap();
         assert_eq!(out.attempts, 3, "initial + 2 retries");
         assert_eq!(out.exit_code(), EXIT_CRASH);
     }
 
     #[test]
     fn retry_stops_at_config_errors() {
-        let out = retry(|_| sh("exit 1"), None, 5, Duration::from_millis(1)).unwrap();
+        let out = retry(
+            |_| sh("exit 1"),
+            None,
+            5,
+            RetryPolicy::new(Duration::from_millis(1)),
+        )
+        .unwrap();
         assert_eq!(out.attempts, 1, "config errors must not be retried");
         assert_eq!(out.exit_code(), EXIT_CONFIG);
     }

@@ -11,21 +11,45 @@
 use std::io::{self, Write};
 use std::path::Path;
 
+use crate::failpoint;
+
 /// Writes `bytes` to `path` atomically: temporary + flush + fsync +
 /// rename + parent-directory fsync. The temporary lives next to the
 /// target (`<path>.tmp`) so the rename stays within one filesystem.
+///
+/// Every step of the ladder carries a failpoint site (`fsio.tmp_create`,
+/// `fsio.tmp_write` — partial-capable, `fsio.tmp_fsync`, `fsio.rename`,
+/// `fsio.dir_fsync`); the crash-consistency harness arms each one and
+/// asserts the target is never torn: a failure before the rename leaves
+/// the old content whole, and only a completed rename exposes the new
+/// bytes.
 pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
+    failpoint::fail_io("fsio.tmp_create")?;
     let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
+    match failpoint::partial_write("fsio.tmp_write")? {
+        // A torn write: persist only the first n bytes of the payload,
+        // then report failure — the temporary is left truncated, the
+        // target untouched.
+        Some(n) => {
+            let n = (n as usize).min(bytes.len());
+            f.write_all(&bytes[..n])?;
+            let _ = f.flush();
+            return Err(io::Error::other("injected failpoint: torn tmp write"));
+        }
+        None => f.write_all(bytes)?,
+    }
     f.flush()?;
+    failpoint::fail_io("fsio.tmp_fsync")?;
     f.sync_all()?;
+    failpoint::fail_io("fsio.rename")?;
     std::fs::rename(&tmp, path)?;
     // The rename itself lives in the parent directory's entries; without
     // fsyncing those, a power loss can forget the rename and the file
     // "vanishes" even though its bytes were durable.
+    failpoint::fail_io("fsio.dir_fsync")?;
     fsync_parent_dir(path)
 }
 

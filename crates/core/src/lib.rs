@@ -24,6 +24,7 @@
 pub mod cost;
 pub mod dynamicnet;
 pub mod experiment;
+pub mod failpoint;
 pub mod flex;
 pub mod fsio;
 pub mod manifest;

@@ -641,21 +641,71 @@ impl Checkpoint {
     }
 
     /// Writes the image crash-safely: to `<path>.tmp`, fsynced, then
-    /// renamed into place, so `path` only ever holds a complete image.
+    /// renamed into place and the parent directory fsynced, so `path`
+    /// only ever holds a complete image and a completed save survives
+    /// power loss.
+    ///
+    /// Each step consults the installed I/O hook (see
+    /// [`install_io_hook`]) under the sites `ckpt.save.write`,
+    /// `ckpt.save.fsync`, and `ckpt.save.rename`, so the
+    /// crash-consistency harness can fail or kill the process at every
+    /// boundary and assert that resume is byte-identical.
     pub fn save(&self, path: &str) -> std::io::Result<()> {
         use std::io::Write;
         let tmp = format!("{path}.tmp");
+        io_hook("ckpt.save.write")?;
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(&self.data)?;
+        io_hook("ckpt.save.fsync")?;
         f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        io_hook("ckpt.save.rename")?;
+        std::fs::rename(&tmp, path)?;
+        // Durably record the rename in the directory entries, like
+        // fsio::write_atomic does; without this a power loss can forget
+        // the rename even though the image bytes themselves are durable.
+        #[cfg(unix)]
+        {
+            let parent = match std::path::Path::new(path).parent() {
+                Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+                _ => std::path::PathBuf::from("."),
+            };
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
     }
 
-    /// Reads and validates an image from disk.
+    /// Reads and validates an image from disk. Consults the installed
+    /// I/O hook under the site `ckpt.load`.
     pub fn load(path: &str) -> Result<Self, String> {
+        io_hook("ckpt.load").map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
         let data =
             std::fs::read(path).map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
         Self::from_bytes(data)
+    }
+}
+
+/// Installable I/O fault hook for checkpoint persistence.
+///
+/// `dcn-sim` sits below `dcn-core` in the crate graph, so it cannot call
+/// `dcn_core::failpoint` directly; instead the binaries install the
+/// failpoint checker here once at startup (`jobs::worker_main` does).
+/// Uninstalled, every site check is a single relaxed `OnceLock` read that
+/// finds nothing — effectively free.
+static IO_HOOK: std::sync::OnceLock<fn(&'static str) -> std::io::Result<()>> =
+    std::sync::OnceLock::new();
+
+/// Installs `hook` as the checkpoint I/O fault checker. The first
+/// installation wins; later calls (e.g. in-process test harnesses
+/// spinning up several workers) are no-ops, which is fine because every
+/// caller installs the same function.
+pub fn install_io_hook(hook: fn(&'static str) -> std::io::Result<()>) {
+    let _ = IO_HOOK.set(hook);
+}
+
+fn io_hook(site: &'static str) -> std::io::Result<()> {
+    match IO_HOOK.get() {
+        Some(hook) => hook(site),
+        None => Ok(()),
     }
 }
 

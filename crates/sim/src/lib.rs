@@ -73,7 +73,7 @@ pub mod telemetry;
 pub mod trace;
 pub mod types;
 
-pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointMeta};
+pub use checkpoint::{config_fingerprint, install_io_hook, Checkpoint, CheckpointMeta};
 pub use counters::{EngineCounters, ShardCounters, WallClockCounters, WALL_CLOCK_COUNTER_FIELDS};
 pub use engine::Simulator;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RemappedSelector};

@@ -109,6 +109,11 @@ cargo test --release -q --test checkpoint_resume
 echo "==> checkpoint corruption gate (damage is final, never restored)"
 cargo test --release -q --test checkpoint_corruption
 
+echo "==> crash-consistency harness (every failpoint site has a recovery story)"
+# Already ran in debug as part of the workspace tests; the release re-run
+# proves the recovery invariants are profile-independent.
+cargo test --release -q --test crash_consistency
+
 echo "==> dcnrun crash/hang supervision gates"
 run_dir="$(mktemp -d)"
 cat > "$run_dir/job.json" <<'EOF'
@@ -264,6 +269,63 @@ trap - EXIT
 test "$drain_rc" -eq 0
 rm -rf "$serve_dir"
 
+echo "==> failpoint-armed dcnserve soak (ENOSPC checkpoints + LRU cache bound, relcheck)"
+# The daemon runs under relcheck (release + debug assertions) with every
+# worker checkpoint save failing ENOSPC and the cache bounded to a single
+# entry: every request must still answer byte-identical results — the
+# service degrades (counted), it never refuses or corrupts.
+cargo build --profile relcheck --quiet --bin dcnserve
+cargo build --release --quiet --bin dcnrun
+fp_dir="$(mktemp -d)"
+cat > "$fp_dir/a.json" <<'EOF'
+{
+  "topology": { "kind": "fat_tree", "k": 4 },
+  "routing": { "kind": "ecmp" },
+  "workload": { "pattern": { "kind": "all_to_all" } },
+  "lambda": 1000.0,
+  "window_ms": [0, 2],
+  "seed": 7
+}
+EOF
+sed 's/"seed": 7/"seed": 8/' "$fp_dir/a.json" > "$fp_dir/b.json"
+# Unarmed ground truth for config A, computed by dcnrun.
+cargo run --release --quiet --bin dcnrun -- run "$fp_dir/a.json" \
+  --out-dir "$fp_dir/truth" --checkpoint-every-ms 0
+truth_size="$(stat -c%s "$fp_dir/truth/a.result.json")"
+DCN_FAILPOINTS='ckpt.save.write=enospc' ./target/relcheck/dcnserve serve \
+  --tcp 127.0.0.1:0 --addr-file "$fp_dir/addr" --state-dir "$fp_dir/state" \
+  --checkpoint-every-ms 0 --cache-max-bytes "$(( truth_size + 120 ))" \
+  2> "$fp_dir/daemon.log" &
+fp_pid=$!
+trap 'kill -9 "$fp_pid" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do test -s "$fp_dir/addr" && break; sleep 0.1; done
+fp_addr="$(head -n 1 "$fp_dir/addr")"
+# Cold A (worker degrades, result cached), warm A (cache hit), cold B
+# (degrades again; storing B evicts A past the one-entry bound).
+./target/relcheck/dcnserve request "$fp_dir/a.json" --tcp "$fp_addr" \
+  > "$fp_dir/a_cold.json" 2> /dev/null
+./target/relcheck/dcnserve request "$fp_dir/a.json" --tcp "$fp_addr" \
+  > "$fp_dir/a_warm.json" 2> /dev/null
+./target/relcheck/dcnserve request "$fp_dir/b.json" --tcp "$fp_addr" \
+  > "$fp_dir/b_cold.json" 2> /dev/null
+cmp "$fp_dir/truth/a.result.json" "$fp_dir/a_cold.json"   # degraded ≠ different
+cmp "$fp_dir/a_cold.json" "$fp_dir/a_warm.json"           # cached ≠ different
+test -s "$fp_dir/b_cold.json"
+fp_stats="$(./target/relcheck/dcnserve stats --tcp "$fp_addr")"
+fpget() { echo "$fp_stats" | sed -n 's/.*"'"$1"'": \([0-9]*\).*/\1/p' | head -n 1; }
+test "$(fpget degraded)" -eq 2        # both cold runs lost checkpointing
+test "$(fpget served_cached)" -eq 1   # the warm A repeat
+test "$(fpget cache_evicted)" -ge 1   # storing B pushed A out
+test "$(fpget cache_entries)" -eq 1   # the bound holds exactly one entry
+kill -TERM "$fp_pid"
+set +e
+wait "$fp_pid"
+fp_rc=$?
+set -e
+trap - EXIT
+test "$fp_rc" -eq 0                   # degraded daemons still drain cleanly
+rm -rf "$fp_dir"
+
 echo "==> chaos soak (20 seeded fault plans x 3 transports, zero violations)"
 cargo run --release --quiet --bin dcnrun -- chaos --plans 20 --seed 1
 
@@ -273,7 +335,7 @@ echo "==> chaos soak under debug assertions (arena liveness, calendar invariants
 # asserts all fire at near-release speed while faults churn ids.
 cargo run --profile relcheck --quiet --bin dcnrun -- chaos --plans 5 --seed 2
 
-echo "==> tracing overhead gate (NopTracer must stay free)"
+echo "==> tracing overhead gate (NopTracer and disarmed failpoints must stay free)"
 cargo run --release -p dcn-bench --bin trace_overhead -- --check > /dev/null
 
 echo "==> engine perf gate (BENCH_sim.json: simulated fields exact, rate floor, shard scaling thread-invariant)"

@@ -56,7 +56,7 @@ options:
   --out-dir DIR             result/checkpoint/report directory (default: runs)
   --timeout-s N             wall-clock watchdog per attempt (default: none)
   --retries N               relaunch budget per job (default: 2)
-  --backoff-ms N            base retry backoff, doubles per attempt (default: 200)
+  --backoff-ms N            base retry backoff, doubles per attempt with jitter (default: 200)
   --checkpoint-every-ms N   worker auto-checkpoint cadence; 0 = every chunk (default: 1000)
   --jobs N                  batch: parallel worker processes (default: all cores)
   --keep-going              batch: run every job even after failures (default: stop at first)
@@ -125,6 +125,11 @@ fn worker(args: &[String]) -> i32 {
 // ------------------------------------------------------------ supervisor
 
 fn status_label(a: Attempt) -> &'static str {
+    if a.degraded() {
+        // Correct result, but the worker ran without durable
+        // checkpointing (e.g. the checkpoint disk filled mid-run).
+        return "ok_degraded";
+    }
     match a.exit_code() {
         EXIT_OK => "ok",
         EXIT_CONFIG => "config_error",
@@ -220,7 +225,9 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
             },
             timeout,
             retries,
-            backoff,
+            // Per-job jitter stream: parallel jobs whose workers die
+            // together de-phase their retries instead of re-colliding.
+            supervise::RetryPolicy::new(backoff).with_seed(idx as u64),
         );
         let outcome = match outcome {
             Ok(o) => o,
@@ -300,6 +307,10 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
         let reg = Registry::new();
         let jobs_total = reg.counter("dcnrun_jobs_total", "Jobs dispatched or skipped.");
         let jobs_ok = reg.counter("dcnrun_jobs_ok_total", "Jobs that finished with exit 0.");
+        let jobs_degraded = reg.counter(
+            "dcnrun_jobs_degraded_total",
+            "Jobs that finished correctly but without durable checkpointing.",
+        );
         let jobs_failed = reg.counter("dcnrun_jobs_failed_total", "Jobs that exhausted retries.");
         let jobs_skipped = reg.counter(
             "dcnrun_jobs_skipped_total",
@@ -323,6 +334,9 @@ fn supervisor(args: &[String], batch: bool) -> i32 {
             attempts.add(outcome.attempts as u64);
             relaunches.add(outcome.attempts.saturating_sub(1) as u64);
             wall.observe(outcome.wall.as_millis() as u64);
+            if outcome.last.degraded() {
+                jobs_degraded.inc();
+            }
         }
         worst_gauge.set(worst as u64);
         write_atomic(&path, reg.render_text().as_bytes())

@@ -55,7 +55,8 @@ serve options:
   --drain-timeout-ms N      SIGTERM drain budget (default: 30000)
   --checkpoint-every-ms N   worker checkpoint cadence, 0 = every chunk (default: 1000)
   --retries N               worker relaunch budget per request (default: 2)
-  --backoff-ms N            base retry backoff (default: 200)";
+  --backoff-ms N            base retry backoff, exponential with jitter (default: 200)
+  --cache-max-bytes N       LRU bound on cache entry bytes, 0 = unbounded (default: 0)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("dcnserve: error: {msg}");
@@ -132,6 +133,9 @@ fn serve_cmd(args: &[String]) -> i32 {
     }
     if let Some(n) = flag_u64(args, "--backoff-ms") {
         opts.backoff_ms = n;
+    }
+    if let Some(n) = flag_u64(args, "--cache-max-bytes") {
+        opts.cache_max_bytes = (n > 0).then_some(n);
     }
     // Hidden chaos hook for the soak tests: every job's first worker
     // attempt SIGKILLs itself after one checkpoint.

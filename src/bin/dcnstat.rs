@@ -508,30 +508,31 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// One `stats` round-trip on a fresh connection; returns the envelope.
-fn poll_stats(args: &[String]) -> Json {
+/// I/O failures (refused connection, reset mid-frame) come back as `Err`
+/// so `top` can ride out a daemon restart; a daemon that *answers* with
+/// garbage or a non-ok status is still fatal — that is a bug, not churn.
+fn poll_stats(args: &[String]) -> io::Result<Json> {
     let mut conn = if let Some(addr) = flag_value(args, "--tcp") {
-        let s = TcpStream::connect(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+        let s = TcpStream::connect(&addr)?;
         let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
         let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
         Conn::Tcp(s)
     } else if let Some(path) = flag_value(args, "--unix") {
-        let s =
-            UnixStream::connect(&path).unwrap_or_else(|e| fail(&format!("connect {path}: {e}")));
+        let s = UnixStream::connect(&path)?;
         let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
         let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
         Conn::Unix(s)
     } else {
         fail("top needs --tcp ADDR or --unix PATH")
     };
-    write_frame(&mut conn, br#"{"op": "stats"}"#)
-        .unwrap_or_else(|e| fail(&format!("send stats: {e}")));
-    let bytes = read_frame(&mut conn).unwrap_or_else(|e| fail(&format!("read stats: {e}")));
+    write_frame(&mut conn, br#"{"op": "stats"}"#)?;
+    let bytes = read_frame(&mut conn).map_err(|e| io::Error::other(e.to_string()))?;
     let env = Json::parse(&String::from_utf8_lossy(&bytes))
         .unwrap_or_else(|e| fail(&format!("parse stats response: {e}")));
     if env.get("status").and_then(|s| s.as_str()) != Some("ok") {
         fail(&format!("stats request failed: {env}"));
     }
-    env
+    Ok(env)
 }
 
 /// One refresh of the `top` table from a stats envelope.
@@ -606,18 +607,36 @@ fn cmd_top(args: &[String], out: &mut dyn Write) -> io::Result<()> {
         .unwrap_or(0);
     let tty = io::stdout().is_terminal();
     let mut shown = 0u64;
+    // Bounded reconnect: a daemon restart (refused/reset for a few polls)
+    // should not kill a dashboard, but a daemon that stays down is an
+    // error, not something to spin on forever.
+    const MAX_CONSECUTIVE_FAILURES: u32 = 5;
+    let mut failures = 0u32;
     loop {
-        let stats = poll_stats(args);
-        if tty {
-            // Home + clear: redraw in place on a live terminal; plain
-            // appended blocks when piped (logs, CI).
-            write!(out, "\x1b[H\x1b[2J")?;
-        }
-        render_stats(&stats, out)?;
-        out.flush()?;
-        shown += 1;
-        if count != 0 && shown >= count {
-            return Ok(());
+        match poll_stats(args) {
+            Ok(stats) => {
+                failures = 0;
+                if tty {
+                    // Home + clear: redraw in place on a live terminal;
+                    // plain appended blocks when piped (logs, CI).
+                    write!(out, "\x1b[H\x1b[2J")?;
+                }
+                render_stats(&stats, out)?;
+                out.flush()?;
+                shown += 1;
+                if count != 0 && shown >= count {
+                    return Ok(());
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                if failures >= MAX_CONSECUTIVE_FAILURES {
+                    fail(&format!(
+                        "poll stats: {e} ({failures} consecutive failures, giving up)"
+                    ));
+                }
+                eprintln!("dcnstat: poll stats: {e} (retry {failures}/{MAX_CONSECUTIVE_FAILURES})");
+            }
         }
         std::thread::sleep(interval);
     }

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use crate::config::Experiment;
 use crate::prelude::*;
-use dcn_bench::supervise::{EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_CRASH};
+use dcn_bench::supervise::{EXIT_CKPT_CORRUPT, EXIT_CONFIG, EXIT_CRASH, EXIT_OK_DEGRADED};
 
 /// Failure-injection hooks threaded from hidden CLI flags; they make the
 /// supervision paths testable against genuinely unclean deaths.
@@ -44,13 +44,6 @@ impl JobFailure {
     fn config(message: String) -> Self {
         JobFailure {
             exit_code: EXIT_CONFIG,
-            message,
-        }
-    }
-
-    fn crash(message: String) -> Self {
-        JobFailure {
-            exit_code: EXIT_CRASH,
             message,
         }
     }
@@ -96,6 +89,15 @@ fn fresh_simulator(exp: &Experiment) -> Result<Simulator, JobFailure> {
     Ok(s)
 }
 
+/// A finished job: the result bytes plus whether durable persistence was
+/// lost along the way (checkpoint writes failing — e.g. a full disk —
+/// downgrade the run to compute-without-persist instead of killing it).
+#[derive(Debug)]
+pub struct JobResult {
+    pub bytes: Vec<u8>,
+    pub degraded: bool,
+}
+
 /// Runs `exp` to completion with periodic checkpoints and returns the
 /// result JSON bytes. If `ckpt_path` already holds a checkpoint, the run
 /// resumes from it (the supervisor removes stale ones before a fresh
@@ -104,13 +106,24 @@ fn fresh_simulator(exp: &Experiment) -> Result<Simulator, JobFailure> {
 ///
 /// The result is derived from simulator state only, so a crashed-and-
 /// resumed job returns byte-identical bytes to an uninterrupted one.
+///
+/// A checkpoint that cannot be *saved* (ENOSPC, injected fault) does not
+/// fail the job: the run continues without crash protection and the
+/// result is flagged [`JobResult::degraded`] — losing a safety net is
+/// strictly better than losing the computation. A checkpoint that cannot
+/// be *loaded* is still fatal (`EXIT_CKPT_CORRUPT`): resuming from bad
+/// state could silently produce wrong bytes.
 pub fn run_job(
     tool: &str,
     exp: &Experiment,
     ckpt_path: &str,
     every_ms: u64,
     hooks: CrashHooks,
-) -> Result<Vec<u8>, JobFailure> {
+) -> Result<JobResult, JobFailure> {
+    // Route checkpoint persistence through the failpoint registry. The
+    // hook is a OnceLock — repeated installs are no-ops — and costs one
+    // disarmed atomic load per site when no faults are armed.
+    dcn_sim::install_io_hook(dcn_core::failpoint::fail_io);
     let mut sim = if std::fs::metadata(ckpt_path).is_ok() {
         let ckpt = Checkpoint::load(ckpt_path)
             .map_err(|e| JobFailure::corrupt(format!("load checkpoint {ckpt_path}: {e}")))?;
@@ -130,6 +143,7 @@ pub fn run_job(
     // wall-clock cadence (0 = every chunk, the deterministic test mode).
     let chunk = (exp.max_time / 200).max(1);
     let mut written = 0u64;
+    let mut degraded = false;
     let mut last_ckpt = Instant::now();
     let mut done = false;
     // First chunk boundary strictly ahead of the clock (resume lands
@@ -141,18 +155,33 @@ pub fn run_job(
         if done {
             break;
         }
-        if every_ms == 0 || last_ckpt.elapsed() >= Duration::from_millis(every_ms) {
+        if !degraded && (every_ms == 0 || last_ckpt.elapsed() >= Duration::from_millis(every_ms)) {
             let ckpt = sim
                 .checkpoint()
                 .map_err(|e| JobFailure::config(format!("checkpoint: {e}")))?;
-            ckpt.save(ckpt_path)
-                .map_err(|e| JobFailure::crash(format!("save checkpoint {ckpt_path}: {e}")))?;
-            written += 1;
+            match ckpt.save(ckpt_path) {
+                Ok(()) => written += 1,
+                Err(e) => {
+                    // Persistence failed (full disk, injected fault):
+                    // degrade to compute-without-persist. The result is
+                    // still exact; only crash protection is lost. Any
+                    // partial checkpoint on disk is removed so a later
+                    // resume cannot read it — the `.tmp` never became
+                    // `ckpt_path`, but a *stale complete* checkpoint from
+                    // an earlier save would rewind a resumed run, which
+                    // is correct but wasteful; keep it.
+                    eprintln!(
+                        "{tool}: warning: checkpoint save failed ({e}); \
+                         continuing without crash protection"
+                    );
+                    degraded = true;
+                }
+            }
             last_ckpt = Instant::now();
-            if hooks.die_after_checkpoints == Some(written) {
+            if hooks.die_after_checkpoints == Some(written) && written > 0 {
                 die_uncleanly();
             }
-            if hooks.stall_after_checkpoints == Some(written) {
+            if hooks.stall_after_checkpoints == Some(written) && written > 0 {
                 loop {
                     std::thread::sleep(Duration::from_secs(3600)); // hang forever
                 }
@@ -191,7 +220,10 @@ pub fn run_job(
     ]);
     let mut body = report.pretty();
     body.push('\n');
-    Ok(body.into_bytes())
+    Ok(JobResult {
+        bytes: body.into_bytes(),
+        degraded,
+    })
 }
 
 /// The full hidden-`worker`-subcommand body shared by `dcnrun` and
@@ -213,17 +245,23 @@ pub fn worker_main(
             return EXIT_CONFIG;
         }
     };
-    let bytes = match run_job(tool, &exp, ckpt_path, every_ms, hooks) {
-        Ok(b) => b,
+    let result = match run_job(tool, &exp, ckpt_path, every_ms, hooks) {
+        Ok(r) => r,
         Err(f) => {
             eprintln!("{tool}: error: {}", f.message);
             return f.exit_code;
         }
     };
-    if let Err(e) = dcn_core::write_atomic(result_path, &bytes) {
+    if let Err(e) = dcn_core::write_atomic(result_path, &result.bytes) {
         eprintln!("{tool}: error: write result {result_path}: {e}");
         return EXIT_CRASH;
     }
     let _ = std::fs::remove_file(ckpt_path); // job done; nothing to resume
+    if result.degraded {
+        // The bytes are correct and durably written; only checkpoint
+        // persistence was lost mid-run. Report that out-of-band via the
+        // taxonomy so the supervisor can count it without parsing stderr.
+        return EXIT_OK_DEGRADED;
+    }
     dcn_bench::supervise::EXIT_OK
 }

@@ -22,9 +22,18 @@
 //! transparently recomputes. Corruption is an availability event, not a
 //! correctness one.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dcn_core::failpoint;
+
+/// Quarantined entries kept for post-mortem before oldest-first pruning
+/// kicks in. Corruption evidence is valuable but finite: a bit-rotting
+/// disk must not be able to grow `quarantine/` without bound.
+pub const QUARANTINE_MAX: usize = 32;
 
 const MAGIC: &[u8; 9] = b"DCNCACHE1";
 /// On-disk entry format version (the digit in [`MAGIC`]); reported by the
@@ -88,24 +97,59 @@ pub struct CacheStats {
     pub misses: AtomicU64,
     pub stores: AtomicU64,
     pub quarantined: AtomicU64,
+    /// Entries removed by the `max_bytes` LRU bound.
+    pub evicted: AtomicU64,
+    /// Quarantined files pruned by the [`QUARANTINE_MAX`] count cap.
+    pub quarantine_pruned: AtomicU64,
 }
 
 /// A directory of checksummed result artifacts.
 pub struct ArtifactCache {
     dir: PathBuf,
+    /// Total on-disk entry bytes the cache may hold; `None` = unbounded.
+    max_bytes: Option<u64>,
+    /// LRU bookkeeping: entry file name → last-touch stamp from `clock`.
+    /// In-memory only — after a daemon restart, untouched entries rank by
+    /// file mtime until read or stored again.
+    recency: Mutex<HashMap<String, u64>>,
+    clock: AtomicU64,
     pub stats: CacheStats,
 }
 
 impl ArtifactCache {
     /// Opens (creating if needed) the cache directory and its
-    /// `quarantine/` sibling.
+    /// `quarantine/` sibling, with no size bound.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
+        Self::open_bounded(dir, None)
+    }
+
+    /// [`ArtifactCache::open`] with an LRU size bound: after every store,
+    /// least-recently-used entries are evicted until total entry bytes
+    /// fit in `max_bytes` (the just-stored entry is always kept, even if
+    /// it alone exceeds the bound — serving it beats thrashing).
+    pub fn open_bounded(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> io::Result<ArtifactCache> {
         let dir = dir.into();
         std::fs::create_dir_all(dir.join("quarantine"))?;
         Ok(ArtifactCache {
             dir,
+            max_bytes,
+            recency: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(1),
             stats: CacheStats::default(),
         })
+    }
+
+    /// Records a touch of `path` for LRU ranking.
+    fn touch(&self, path: &Path) {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.recency.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(name.to_string(), stamp);
     }
 
     /// Path of the entry for `key`.
@@ -148,7 +192,7 @@ impl ArtifactCache {
     /// [`Lookup::Quarantined`].
     pub fn load(&self, key: &CacheKey) -> Lookup {
         let path = self.entry_path(key);
-        let data = match std::fs::read(&path) {
+        let data = match failpoint::fail_io("cache.read").and_then(|()| std::fs::read(&path)) {
             Ok(d) => d,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -163,6 +207,7 @@ impl ArtifactCache {
         match Self::decode(&data) {
             Ok(bytes) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&path);
                 Lookup::Hit(bytes)
             }
             Err(why) => {
@@ -170,7 +215,8 @@ impl ArtifactCache {
                 let dest = self
                     .quarantine_dir()
                     .join(format!("{}.{}.res", key.hex(), n));
-                let moved = std::fs::rename(&path, &dest);
+                let moved = failpoint::fail_io("cache.quarantine")
+                    .and_then(|()| std::fs::rename(&path, &dest));
                 let note = match moved {
                     Ok(()) => format!("{why}; quarantined to {}", dest.display()),
                     Err(e) => {
@@ -180,6 +226,7 @@ impl ArtifactCache {
                         format!("{why}; quarantine rename failed ({e}), entry removed")
                     }
                 };
+                self.prune_quarantine();
                 Lookup::Quarantined(note)
             }
         }
@@ -187,7 +234,9 @@ impl ArtifactCache {
 
     /// Stores `payload` under `key`, atomically (temporary + fsync +
     /// rename + parent fsync), so a crash mid-store leaves either the old
-    /// entry or the new one — never a torn file.
+    /// entry or the new one — never a torn file. When a `max_bytes` bound
+    /// is set, least-recently-used entries are evicted afterwards until
+    /// the cache fits.
     pub fn store(&self, key: &CacheKey, payload: &[u8]) -> io::Result<()> {
         let mut image = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
         image.extend_from_slice(MAGIC);
@@ -195,9 +244,94 @@ impl ArtifactCache {
         image.extend_from_slice(payload);
         let sum = fnv1a(&image);
         image.extend_from_slice(&sum.to_le_bytes());
-        dcn_core::write_atomic(self.entry_path(key), &image)?;
+        let path = self.entry_path(key);
+        failpoint::fail_io("cache.store")?;
+        dcn_core::write_atomic(&path, &image)?;
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.touch(&path);
+        if self.max_bytes.is_some() {
+            self.evict_to_bound(&path);
+        }
         Ok(())
+    }
+
+    /// Evicts least-recently-used entries until total entry bytes fit in
+    /// the bound, never touching `keep` (the entry just stored). Eviction
+    /// is a plain unlink: entries are immutable once renamed into place,
+    /// so removal is atomic and a concurrent reader either got the whole
+    /// file or sees a miss.
+    fn evict_to_bound(&self, keep: &Path) {
+        let Some(bound) = self.max_bytes else { return };
+        // Rank: recency stamp if the entry was touched this process
+        // lifetime, else 0 — cold restarts rank untouched entries oldest,
+        // tie-broken by mtime so pre-restart entries still age out
+        // oldest-first.
+        let map = self.recency.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<(u64, std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let mut total = 0u64;
+        for p in entry_paths(&self.dir) {
+            let Ok(md) = std::fs::metadata(&p) else {
+                continue;
+            };
+            total += md.len();
+            let stamp = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| map.get(n).copied())
+                .unwrap_or(0);
+            let mtime = md.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((stamp, mtime, md.len(), p));
+        }
+        drop(map);
+        if total <= bound {
+            return;
+        }
+        entries.sort();
+        for (_, _, len, path) in entries {
+            if total <= bound {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    let mut map = self.recency.lock().unwrap_or_else(|e| e.into_inner());
+                    map.remove(name);
+                }
+            }
+        }
+    }
+
+    /// Caps `quarantine/` at [`QUARANTINE_MAX`] files, pruning
+    /// oldest-first (mtime, then name). Called after every quarantine so
+    /// a bit-rotting disk cannot grow the evidence directory forever.
+    fn prune_quarantine(&self) {
+        let Ok(rd) = std::fs::read_dir(self.quarantine_dir()) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .map(|p| {
+                let mtime = std::fs::metadata(&p)
+                    .and_then(|md| md.modified())
+                    .unwrap_or(std::time::UNIX_EPOCH);
+                (mtime, p)
+            })
+            .collect();
+        if files.len() <= QUARANTINE_MAX {
+            return;
+        }
+        files.sort();
+        let excess = files.len() - QUARANTINE_MAX;
+        for (_, p) in files.into_iter().take(excess) {
+            if std::fs::remove_file(&p).is_ok() {
+                self.stats.quarantine_pruned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// `(entries, payload bytes)` currently on disk — a directory walk,
@@ -240,6 +374,15 @@ pub fn entry_paths(dir: &Path) -> Vec<PathBuf> {
 mod tests {
     use super::*;
 
+    /// Failpoint state is process-global: tests that arm `cache.*` sites
+    /// must not interleave with tests that call `store`/`load`, so every
+    /// test in this module serializes on this lock.
+    static FP_LOCK: Mutex<()> = Mutex::new(());
+
+    fn fp_lock() -> std::sync::MutexGuard<'static, ()> {
+        FP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn key(n: u64) -> CacheKey {
         CacheKey {
             topo: n,
@@ -258,6 +401,7 @@ mod tests {
 
     #[test]
     fn store_then_load_roundtrips() {
+        let _g = fp_lock();
         let c = fresh("roundtrip");
         let k = key(1);
         assert_eq!(c.load(&k), Lookup::Miss);
@@ -268,6 +412,7 @@ mod tests {
 
     #[test]
     fn distinct_keys_do_not_collide() {
+        let _g = fp_lock();
         let c = fresh("keys");
         c.store(&key(1), b"one").unwrap();
         c.store(&key(2), b"two").unwrap();
@@ -294,6 +439,7 @@ mod tests {
 
     #[test]
     fn bit_flip_quarantines_and_recovers() {
+        let _g = fp_lock();
         let c = fresh("bitflip");
         let k = key(3);
         c.store(&k, b"the truth").unwrap();
@@ -317,6 +463,7 @@ mod tests {
 
     #[test]
     fn truncation_and_bad_magic_quarantine() {
+        let _g = fp_lock();
         let c = fresh("trunc");
         let k = key(4);
         c.store(&k, b"0123456789").unwrap();
@@ -336,12 +483,139 @@ mod tests {
 
     #[test]
     fn empty_and_header_only_files_quarantine() {
+        let _g = fp_lock();
         let c = fresh("tiny");
         let k = key(5);
         std::fs::write(c.entry_path(&k), b"").unwrap();
         assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
         std::fs::write(c.entry_path(&k), MAGIC).unwrap();
         assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    fn fresh_bounded(name: &str, max_bytes: u64) -> ArtifactCache {
+        let dir =
+            std::env::temp_dir().join(format!("dcnserve_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::open_bounded(dir, Some(max_bytes)).unwrap()
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_used() {
+        let _g = fp_lock();
+        // Each entry: 9 magic + 8 len + 8 payload + 8 checksum = 33 bytes.
+        // Bound of 70 holds two entries, not three.
+        let c = fresh_bounded("lru", 70);
+        c.store(&key(1), b"aaaaaaaa").unwrap();
+        c.store(&key(2), b"bbbbbbbb").unwrap();
+        // Touch entry 1 so entry 2 becomes the LRU victim.
+        assert!(matches!(c.load(&key(1)), Lookup::Hit(_)));
+        c.store(&key(3), b"cccccccc").unwrap();
+        assert_eq!(c.stats.evicted.load(Ordering::Relaxed), 1);
+        assert!(
+            matches!(c.load(&key(1)), Lookup::Hit(_)),
+            "recently used survives"
+        );
+        assert_eq!(c.load(&key(2)), Lookup::Miss, "LRU entry evicted");
+        assert!(
+            matches!(c.load(&key(3)), Lookup::Hit(_)),
+            "just-stored survives"
+        );
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn lru_bound_never_evicts_the_entry_just_stored() {
+        let _g = fp_lock();
+        let c = fresh_bounded("lru_keep", 10); // smaller than any one entry
+        c.store(&key(1), b"payload that exceeds the whole bound")
+            .unwrap();
+        assert!(matches!(c.load(&key(1)), Lookup::Hit(_)));
+        // Storing a second oversize entry evicts the first, keeps itself.
+        c.store(&key(2), b"another oversized payload").unwrap();
+        assert_eq!(c.load(&key(1)), Lookup::Miss);
+        assert!(matches!(c.load(&key(2)), Lookup::Hit(_)));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn quarantine_directory_is_bounded() {
+        let _g = fp_lock();
+        let c = fresh("qbound");
+        let k = key(6);
+        for _ in 0..(QUARANTINE_MAX + 5) {
+            c.store(&k, b"good bytes").unwrap();
+            let path = c.entry_path(&k);
+            let mut data = std::fs::read(&path).unwrap();
+            let mid = data.len() / 2;
+            data[mid] ^= 0xff;
+            std::fs::write(&path, &data).unwrap();
+            assert!(matches!(c.load(&k), Lookup::Quarantined(_)));
+        }
+        assert!(
+            c.quarantined_on_disk() <= QUARANTINE_MAX,
+            "quarantine grew past the cap: {}",
+            c.quarantined_on_disk()
+        );
+        assert!(c.stats.quarantine_pruned.load(Ordering::Relaxed) >= 5);
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn injected_store_failure_leaves_cache_servable() {
+        let _g = fp_lock();
+        let c = fresh("fp_store");
+        let k = key(7);
+        c.store(&k, b"original").unwrap();
+        failpoint::configure("cache.store", "enospc");
+        let err = c.store(&k, b"replacement").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        failpoint::disarm("cache.store");
+        // The failed store never touched the existing entry.
+        assert_eq!(c.load(&k), Lookup::Hit(b"original".to_vec()));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn injected_read_failure_reports_quarantined_not_panic() {
+        let _g = fp_lock();
+        let c = fresh("fp_read");
+        let k = key(8);
+        c.store(&k, b"bytes").unwrap();
+        failpoint::configure("cache.read", "err");
+        match c.load(&k) {
+            Lookup::Quarantined(why) => assert!(why.contains("injected"), "{why}"),
+            other => panic!("expected quarantined-style miss, got {other:?}"),
+        }
+        failpoint::disarm("cache.read");
+        // The entry itself is intact once the fault clears.
+        assert_eq!(c.load(&k), Lookup::Hit(b"bytes".to_vec()));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn injected_quarantine_rename_failure_still_heals() {
+        let _g = fp_lock();
+        let c = fresh("fp_quar");
+        let k = key(9);
+        c.store(&k, b"truth").unwrap();
+        let path = c.entry_path(&k);
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x20;
+        std::fs::write(&path, &data).unwrap();
+        failpoint::configure("cache.quarantine", "err");
+        match c.load(&k) {
+            Lookup::Quarantined(why) => assert!(why.contains("entry removed"), "{why}"),
+            other => panic!("corrupt entry served: {other:?}"),
+        }
+        failpoint::disarm("cache.quarantine");
+        assert!(
+            !path.exists(),
+            "corrupt entry must leave the serving path even unquarantined"
+        );
+        c.store(&k, b"truth").unwrap();
+        assert_eq!(c.load(&k), Lookup::Hit(b"truth".to_vec()));
         let _ = std::fs::remove_dir_all(&c.dir);
     }
 }

@@ -37,6 +37,7 @@
 
 use std::io::{self, Read, Write};
 
+use dcn_core::failpoint;
 use dcn_json::Json;
 
 /// Hard cap on a single frame, requests and responses alike.
@@ -83,6 +84,12 @@ fn classify(e: io::Error, started: bool) -> FrameError {
 /// conversation cleanly (EOF on a frame boundary); any mid-frame EOF is
 /// `Truncated` — the caller must not treat partial bytes as a message.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    // Failpoint `serve.sock_read`: an injected error here exercises the
+    // same classification a real socket fault would (`eof` at frame start
+    // → Closed, not Truncated).
+    if let Err(e) = failpoint::fail_io("serve.sock_read") {
+        return Err(classify(e, false));
+    }
     let mut len_buf = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -124,6 +131,17 @@ pub fn write_frame(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
             io::ErrorKind::InvalidInput,
             format!("frame of {} bytes exceeds cap {MAX_FRAME}", bytes.len()),
         ));
+    }
+    // Failpoint `serve.sock_write`: `partial(n)` emits the length prefix
+    // plus the first n payload bytes and then fails — the torn frame a
+    // mid-write disconnect leaves on the wire. The reader on the other
+    // end must classify it as Truncated, never parse it.
+    if let Some(n) = failpoint::partial_write("serve.sock_write")? {
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        let n = (n as usize).min(bytes.len());
+        w.write_all(&bytes[..n])?;
+        let _ = w.flush();
+        return Err(io::Error::other("injected failpoint: torn frame write"));
     }
     w.write_all(&(bytes.len() as u32).to_le_bytes())?;
     w.write_all(bytes)?;
@@ -256,8 +274,67 @@ pub mod envelope {
 mod tests {
     use super::*;
 
+    /// Failpoint state is process-global; tests in this module serialize
+    /// so one test arming `serve.*` cannot trip another's frame I/O.
+    static FP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fp_lock() -> std::sync::MutexGuard<'static, ()> {
+        FP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A reader that delivers the stream one byte per `read` call — the
+    /// worst legal TCP segmentation.
+    struct OneByte<'a>(&'a [u8]);
+
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    /// A reader that injects `Interrupted` before every real byte — the
+    /// EINTR storm a signal-heavy host produces.
+    struct Interrupting<'a> {
+        inner: &'a [u8],
+        interrupt_next: bool,
+    }
+
+    impl Read for Interrupting<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.interrupt_next = true;
+            self.inner.read(buf)
+        }
+    }
+
+    /// A writer that accepts at most one byte per `write` call — forces
+    /// `write_all` to loop — and records everything it got.
+    struct ShortWriter(Vec<u8>);
+
+    impl Write for ShortWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn frames_roundtrip() {
+        let _g = fp_lock();
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello").unwrap();
         write_frame(&mut buf, b"").unwrap();
@@ -269,6 +346,7 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_not_messages() {
+        let _g = fp_lock();
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello world").unwrap();
         // Cut mid-payload and mid-length-prefix.
@@ -280,6 +358,7 @@ mod tests {
 
     #[test]
     fn oversized_length_prefix_is_rejected() {
+        let _g = fp_lock();
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         buf.extend_from_slice(b"junk");
@@ -343,5 +422,102 @@ mod tests {
             Request::parse(b"{}").unwrap_err(),
             ParseError::Invalid(_)
         ));
+    }
+
+    // ---- adversarial I/O: worst-case segmentation, EINTR, torn frames ----
+
+    #[test]
+    fn one_byte_at_a_time_frames_roundtrip() {
+        let _g = fp_lock();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"dripped through a straw").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = OneByte(&buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"dripped through a straw");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_fatal() {
+        let _g = fp_lock();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"survives EINTR").unwrap();
+        let mut r = Interrupting {
+            inner: &buf,
+            interrupt_next: true,
+        };
+        assert_eq!(read_frame(&mut r).unwrap(), b"survives EINTR");
+    }
+
+    #[test]
+    fn short_writes_still_produce_a_complete_frame() {
+        let _g = fp_lock();
+        let mut w = ShortWriter(Vec::new());
+        write_frame(&mut w, b"one byte per syscall").unwrap();
+        let mut r = &w.0[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"one byte per syscall");
+    }
+
+    #[test]
+    fn every_truncation_point_is_closed_or_truncated_never_a_message() {
+        let _g = fp_lock();
+        // Exhaustive: cut a valid two-frame stream at every byte offset.
+        // Each prefix must yield only complete frames then a clean
+        // Closed/Truncated — never a fabricated message, panic, or hang.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first frame").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        for cut in 0..=buf.len() {
+            let mut r = &buf[..cut];
+            let mut frames = Vec::new();
+            loop {
+                match read_frame(&mut r) {
+                    Ok(f) => frames.push(f),
+                    Err(FrameError::Closed) => {
+                        // Clean end: only on a frame boundary.
+                        assert!(
+                            cut == 0 || cut == 15 || cut == buf.len(),
+                            "Closed at non-boundary cut {cut}"
+                        );
+                        break;
+                    }
+                    Err(FrameError::Truncated) => break,
+                    Err(e) => panic!("cut {cut}: unexpected {e}"),
+                }
+            }
+            for f in &frames {
+                assert!(
+                    f == b"first frame" || f == b"second",
+                    "cut {cut} fabricated a frame: {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_sock_read_eof_classifies_as_closed() {
+        let _g = fp_lock();
+        dcn_core::failpoint::configure("serve.sock_read", "eof");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"never seen").unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+        dcn_core::failpoint::disarm("serve.sock_read");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"never seen");
+    }
+
+    #[test]
+    fn injected_torn_write_is_truncated_on_the_read_side() {
+        let _g = fp_lock();
+        dcn_core::failpoint::configure("serve.sock_write", "partial(3)");
+        let mut buf = Vec::new();
+        assert!(write_frame(&mut buf, b"a frame that tears").is_err());
+        dcn_core::failpoint::disarm("serve.sock_write");
+        // The wire holds a length prefix and 3 payload bytes: the reader
+        // must classify, never deliver.
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
     }
 }

@@ -88,8 +88,13 @@ pub struct ServeOptions {
     pub checkpoint_every_ms: u64,
     /// Worker relaunch budget per request.
     pub retries: u32,
-    /// Base retry backoff, doubling per attempt, capped by `supervise`.
+    /// Base retry backoff; grows exponentially with deterministic jitter
+    /// (see [`supervise::RetryPolicy`]), capped at 10 s.
     pub backoff_ms: u64,
+    /// LRU bound on total cache entry bytes (`None` = unbounded). On
+    /// overflow, least-recently-used entries are evicted atomically after
+    /// each store.
+    pub cache_max_bytes: Option<u64>,
     /// Chaos hook: first worker attempt of every job SIGKILLs itself
     /// after its first checkpoint, so retry-from-checkpoint is exercised
     /// on live traffic.
@@ -114,6 +119,7 @@ impl Default for ServeOptions {
             checkpoint_every_ms: 1_000,
             retries: 2,
             backoff_ms: 200,
+            cache_max_bytes: None,
             inject_worker_crash: false,
         }
     }
@@ -142,6 +148,10 @@ pub struct Stats {
     pub protocol_errors: Counter,
     pub disconnects: Counter,
     pub conns: Counter,
+    /// Requests answered correctly but without durable persistence —
+    /// the worker lost checkpointing (ENOSPC) or the result could not be
+    /// cached. Correctness held; durability degraded.
+    pub degraded: Counter,
 }
 
 impl Stats {
@@ -210,6 +220,10 @@ impl Stats {
                 "Clients that vanished mid-conversation.",
             ),
             conns: c("dcnserve_connections_total", "Connections accepted."),
+            degraded: c(
+                "dcnserve_degraded_total",
+                "Requests served correctly but without durable persistence.",
+            ),
         }
     }
 }
@@ -435,10 +449,13 @@ impl Server {
             ("protocol_errors", g(&s.protocol_errors)),
             ("disconnects", g(&s.disconnects)),
             ("conns", g(&s.conns)),
+            ("degraded", g(&s.degraded)),
             ("cache_hits", a(&c.hits)),
             ("cache_misses", a(&c.misses)),
             ("cache_stores", a(&c.stores)),
             ("cache_quarantined", a(&c.quarantined)),
+            ("cache_evicted", a(&c.evicted)),
+            ("cache_quarantine_pruned", a(&c.quarantine_pruned)),
             ("cache_entries", Json::from(self.cache_entries.get())),
             ("cache_bytes", Json::from(self.cache_bytes.get())),
             ("workers_running", Json::from(self.workers_running.get())),
@@ -473,6 +490,16 @@ impl Server {
                 "dcnserve_cache_quarantined_total",
                 "Corrupt entries moved to quarantine.",
                 c.quarantined.load(Ordering::Relaxed),
+            ),
+            (
+                "dcnserve_cache_evicted_total",
+                "Entries evicted by the cache size bound (LRU).",
+                c.evicted.load(Ordering::Relaxed),
+            ),
+            (
+                "dcnserve_cache_quarantine_pruned_total",
+                "Quarantined files pruned by the count cap.",
+                c.quarantine_pruned.load(Ordering::Relaxed),
             ),
         ] {
             text.push_str(&format!(
@@ -514,6 +541,11 @@ fn run_supervised_job(
     ckpt_path: &Path,
     deadline: Instant,
 ) -> RunReplyKind {
+    // Jitter stream seeded per job (by spool path), so N coalesced keys
+    // whose workers died together retry out of phase instead of as one
+    // thundering herd — while any single job replays deterministically.
+    let policy = supervise::RetryPolicy::new(Duration::from_millis(srv.opts.backoff_ms))
+        .with_seed(fnv1a(cfg_path.as_os_str().as_encoded_bytes()));
     let mut attempts = 0u32;
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -534,19 +566,31 @@ fn run_supervised_job(
         }
         let attempt = match supervise::run_attempt(&mut cmd, Some(remaining)) {
             Ok(a) => a,
-            Err(e) => return RunReplyKind::Internal(format!("spawn worker: {e}")),
+            Err(e) => return RunReplyKind::Internal(format!("supervise worker: {e}")),
         };
         attempts += 1;
         match attempt {
-            Attempt::Exited(EXIT_OK) => return RunReplyKind::Ok { attempts },
+            Attempt::Exited(EXIT_OK) => {
+                return RunReplyKind::Ok {
+                    attempts,
+                    degraded: false,
+                }
+            }
+            a if a.degraded() => {
+                // Correct result, no durable checkpointing along the way.
+                return RunReplyKind::Ok {
+                    attempts,
+                    degraded: true,
+                };
+            }
             Attempt::TimedOut => return RunReplyKind::DeadlineExceeded,
             Attempt::Exited(EXIT_CONFIG) => return RunReplyKind::Config,
             Attempt::Exited(EXIT_CKPT_CORRUPT) => return RunReplyKind::CkptCorrupt,
             a if a.retryable() && attempts <= srv.opts.retries => {
                 srv.stats.worker_relaunches.inc();
-                let pause =
-                    supervise::backoff(attempts - 1, Duration::from_millis(srv.opts.backoff_ms))
-                        .min(deadline.saturating_duration_since(Instant::now()));
+                let pause = policy
+                    .delay(attempts - 1)
+                    .min(deadline.saturating_duration_since(Instant::now()));
                 std::thread::sleep(pause);
             }
             _ => return RunReplyKind::Crash { attempts },
@@ -555,7 +599,7 @@ fn run_supervised_job(
 }
 
 enum RunReplyKind {
-    Ok { attempts: u32 },
+    Ok { attempts: u32, degraded: bool },
     DeadlineExceeded,
     Config,
     CkptCorrupt,
@@ -653,7 +697,7 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
 
     let outcome = run_supervised_job(srv, &cfg_path, &result_path, &ckpt_path, deadline);
     match outcome {
-        RunReplyKind::Ok { attempts } => {
+        RunReplyKind::Ok { attempts, degraded } => {
             let payload = match std::fs::read(&result_path) {
                 Ok(b) => b,
                 Err(e) => {
@@ -664,9 +708,15 @@ fn handle_run(srv: &Server, config: Json, deadline_ms: Option<u64>, no_cache: bo
                     ));
                 }
             };
+            let mut degraded = degraded;
             if let Err(e) = srv.cache.store(&key, &payload) {
-                // Serving beats caching: log and answer anyway.
+                // Serving beats caching: log, count the lost durability,
+                // and answer anyway.
                 eprintln!("dcnserve: cache store {hex}: {e}");
+                degraded = true;
+            }
+            if degraded {
+                srv.stats.degraded.inc();
             }
             let _ = std::fs::remove_file(&cfg_path);
             let _ = std::fs::remove_file(&result_path);
@@ -830,7 +880,7 @@ pub fn serve(opts: ServeOptions) -> i32 {
         eprintln!("dcnserve: error: create {}: {e}", jobs_dir.display());
         return EXIT_CONFIG;
     }
-    let cache = match ArtifactCache::open(state.join("cache")) {
+    let cache = match ArtifactCache::open_bounded(state.join("cache"), opts.cache_max_bytes) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("dcnserve: error: open cache: {e}");

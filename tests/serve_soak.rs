@@ -46,7 +46,8 @@ fn expected_bytes(cfg: &str, tag: &str) -> Vec<u8> {
         3_600_000, // cadence far beyond the run: no checkpoints taken
         CrashHooks::default(),
     )
-    .expect("direct run");
+    .expect("direct run")
+    .bytes;
     let _ = std::fs::remove_file(&cfg_path);
     let _ = std::fs::remove_file(&ckpt);
     bytes
@@ -61,6 +62,13 @@ struct Daemon {
 impl Daemon {
     /// Spawns a daemon on an ephemeral port and waits for its addr file.
     fn spawn(tag: &str, extra: &[&str]) -> Daemon {
+        Daemon::spawn_with_env(tag, extra, &[])
+    }
+
+    /// Like [`Daemon::spawn`], with extra environment variables — the
+    /// fault-injection soaks arm `DCN_FAILPOINTS` in the daemon (and,
+    /// inherited, in its workers).
+    fn spawn_with_env(tag: &str, extra: &[&str], env: &[(&str, &str)]) -> Daemon {
         let root = std::env::temp_dir().join(format!("serve_soak_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).expect("mkdir");
@@ -78,12 +86,15 @@ impl Daemon {
             "0".into(),
         ];
         args.extend(extra.iter().map(|s| s.to_string()));
-        let child = Command::new(env!("CARGO_BIN_EXE_dcnserve"))
-            .args(&args)
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcnserve"));
+        cmd.args(&args)
             .stdout(Stdio::null())
             .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn dcnserve");
+            .env_remove("DCN_FAILPOINTS");
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().expect("spawn dcnserve");
         let deadline = Instant::now() + Duration::from_secs(30);
         let addr = loop {
             if let Ok(s) = std::fs::read_to_string(&addr_file) {
@@ -157,8 +168,15 @@ impl Drop for Daemon {
 /// clean drain at the end.
 #[test]
 fn soak_survives_worker_kills_cache_rot_and_bad_clients() {
-    let cfg_a = config_json(7, 300, 2);
-    let cfg_b = config_json(8, 300, 2);
+    // Lambda high enough that BOTH seeds' jobs span several
+    // simulated-time chunks: `--checkpoint-every-ms 0` then writes real
+    // checkpoints, so the injected first-attempt SIGKILL actually fires.
+    // (At low lambda the Poisson flow count is small and seed-dependent —
+    // some seeds drain inside the first chunk, never checkpoint, and the
+    // kill hook, which triggers *after* a checkpoint, silently never
+    // happens. The `worker_relaunches` assertion below guards that.)
+    let cfg_a = config_json(7, 1000, 2);
+    let cfg_b = config_json(8, 1000, 2);
     let want_a = Arc::new(expected_bytes(&cfg_a, "a"));
     let want_b = Arc::new(expected_bytes(&cfg_b, "b"));
     assert_ne!(
@@ -270,6 +288,10 @@ fn soak_survives_worker_kills_cache_rot_and_bad_clients() {
     let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
     assert!(n("run_ok") >= 2, "at least both cold runs completed");
     assert!(n("served_cached") >= 1, "the fleet must have hit the cache");
+    assert!(
+        n("worker_relaunches") >= 1,
+        "the injected first-attempt kill must have forced a relaunch: {stats}"
+    );
     drop(conn);
 
     // Quarantine holds the rotted entries; nothing was served from them.
@@ -361,6 +383,105 @@ fn impossible_deadline_is_refused_not_hung() {
     let (status, payload) = d.request(&config_json(10, 300, 2), None, false);
     assert_eq!(status, "ok", "daemon wedged after a deadline kill");
     assert!(!payload.is_empty());
+    assert_eq!(d.terminate(), 0);
+}
+
+/// Graceful degradation: with a "full disk" injected under both the
+/// worker checkpoint path and the daemon's cache store, every request
+/// must still complete with byte-identical results — the service loses
+/// durability (counted in `degraded`), never answers.
+#[test]
+fn enospc_degrades_but_serves_exact_results() {
+    let cfg = config_json(31, 1000, 2);
+    let want = expected_bytes(&cfg, "deg");
+    let d = Daemon::spawn_with_env(
+        "degraded",
+        &[],
+        &[(
+            "DCN_FAILPOINTS",
+            "ckpt.save.write=enospc;cache.store=enospc",
+        )],
+    );
+    for i in 0..3 {
+        let (status, payload) = d.request(&cfg, None, false);
+        assert_eq!(status, "ok", "request {i}: ENOSPC must degrade, not fail");
+        assert_eq!(
+            payload, want,
+            "request {i}: degraded response diverges from a direct run"
+        );
+    }
+    let mut conn = d.connect();
+    write_frame(&mut conn, br#"{"op": "stats"}"#).expect("send stats");
+    let stats = Json::parse(&String::from_utf8_lossy(
+        &read_frame(&mut conn).expect("stats"),
+    ))
+    .expect("parse stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    assert_eq!(
+        n("degraded"),
+        3,
+        "every request lost persistence and must say so: {stats}"
+    );
+    assert_eq!(
+        n("served_cached"),
+        0,
+        "nothing can be cached while stores fail: {stats}"
+    );
+    assert_eq!(n("run_ok"), 3, "each request recomputed: {stats}");
+    assert_eq!(n("cache_entries"), 0, "no entry may survive a failed store");
+    drop(conn);
+    assert_eq!(d.terminate(), 0, "a degraded daemon still drains cleanly");
+}
+
+/// The `--cache-max-bytes` LRU bound: sized to hold exactly one entry,
+/// the cache evicts the older entry on each new store, stays within
+/// bound, and evicted results are recomputed — byte-identical, never
+/// refused.
+#[test]
+fn cache_bound_evicts_lru_and_recomputes() {
+    let cfg_a = config_json(41, 300, 2);
+    let cfg_b = config_json(42, 300, 2);
+    let want_a = expected_bytes(&cfg_a, "ev_a");
+    let want_b = expected_bytes(&cfg_b, "ev_b");
+    // One entry is the payload plus a fixed checksummed header; payload +
+    // 100 admits one entry comfortably and can never fit two.
+    let bound = (want_a.len() + 100).to_string();
+    let d = Daemon::spawn("evict", &["--cache-max-bytes", &bound]);
+
+    let (status, payload) = d.request(&cfg_a, None, false);
+    assert_eq!((status.as_str(), &payload), ("ok", &want_a));
+    let (status, payload) = d.request(&cfg_b, None, false);
+    assert_eq!((status.as_str(), &payload), ("ok", &want_b));
+    // Storing B must have evicted A; A is recomputed, not refused.
+    let (status, payload) = d.request(&cfg_a, None, false);
+    assert_eq!((status.as_str(), &payload), ("ok", &want_a));
+    // A is now resident again: a repeat is a genuine cache hit.
+    let (status, payload) = d.request(&cfg_a, None, false);
+    assert_eq!((status.as_str(), &payload), ("ok", &want_a));
+
+    let mut conn = d.connect();
+    write_frame(&mut conn, br#"{"op": "stats"}"#).expect("send stats");
+    let stats = Json::parse(&String::from_utf8_lossy(
+        &read_frame(&mut conn).expect("stats"),
+    ))
+    .expect("parse stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    assert_eq!(n("run_ok"), 3, "A cold, B cold, A recomputed: {stats}");
+    assert_eq!(
+        n("served_cached"),
+        1,
+        "the repeat must hit the cache: {stats}"
+    );
+    assert!(
+        n("cache_evicted") >= 2,
+        "A then B must have been evicted: {stats}"
+    );
+    assert_eq!(n("cache_entries"), 1, "the bound holds one entry: {stats}");
+    assert!(
+        n("cache_bytes") <= bound.parse::<u64>().unwrap(),
+        "on-disk bytes exceed the bound: {stats}"
+    );
+    drop(conn);
     assert_eq!(d.terminate(), 0);
 }
 
